@@ -1,0 +1,107 @@
+"""Figure 9: throughput beyond saturation, round-robin vs inverse-weighted.
+
+Runs the paper's batch experiment on a downscaled machine (8x2x2 torus,
+4 cores per chip -- see EXPERIMENTS.md for the scale substitution) with
+2-hop-neighbor and uniform random traffic, sweeping the batch size. As in
+the paper, a *single* set of arbiter weights computed from the uniform
+pattern's channel loads is used for all traffic patterns.
+
+Reproduced claims (shape, not absolute scale):
+
+* with round-robin arbiters, normalized throughput degrades as the batch
+  size grows (sustained saturation compounds the per-arbiter unfairness
+  into starvation -- visible in the finish-time spread);
+* with inverse-weighted arbiters, throughput saturates high (~0.85-0.9)
+  and stays there as the batch size increases;
+* the weights need not match the measured pattern exactly: the
+  uniform-derived weights also stabilize 2-hop-neighbor traffic.
+
+Runtime: several minutes (cycle-level simulation of 32 ASICs).
+"""
+
+import pytest
+
+from repro.analysis.report import format_series
+from repro.analysis.throughput import throughput_vs_batch_size
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.traffic.patterns import NHopNeighbor, UniformRandom
+
+SHAPE = (8, 2, 2)
+CORES = 4
+BATCH_SIZES = (64, 256, 512)
+
+
+def run_experiment():
+    machine = Machine(MachineConfig(shape=SHAPE, endpoints_per_chip=CORES))
+    routes = RouteComputer(machine)
+    uniform = UniformRandom(SHAPE)
+    patterns = [uniform, NHopNeighbor(SHAPE, 2)]
+    return throughput_vs_batch_size(
+        machine,
+        routes,
+        patterns,
+        batch_sizes=BATCH_SIZES,
+        cores_per_chip=CORES,
+        weight_pattern=uniform,  # one weight set for all patterns
+        seed=7,
+    )
+
+
+def test_fig09_saturation_throughput(benchmark, report):
+    points = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    by_key = {
+        (p.pattern, p.arbitration, p.batch_size): p for p in points
+    }
+    largest = max(BATCH_SIZES)
+    for pattern in ("uniform", "2-hop-neighbor"):
+        rr_large = by_key[(pattern, "rr", largest)]
+        iw_large = by_key[(pattern, "iw", largest)]
+        # Beyond saturation, inverse weighting wins on throughput...
+        assert iw_large.normalized_throughput > rr_large.normalized_throughput
+        # ...and dramatically on fairness (finish-time spread).
+        assert iw_large.finish_spread < rr_large.finish_spread
+        # Inverse-weighted throughput is maintained as batch size grows:
+        # the largest batch is no worse than the mid-sweep value (small
+        # tolerance for sampling noise). This is the paper's "maintain
+        # this throughput as batch size increases".
+        iw_values = [
+            by_key[(pattern, "iw", b)].normalized_throughput
+            for b in BATCH_SIZES[1:]
+        ]
+        assert iw_values[-1] > iw_values[0] - 0.05
+        assert iw_values[-1] > 0.7
+    # Round-robin uniform degrades from its peak as saturation persists.
+    rr_uniform = [
+        by_key[("uniform", "rr", b)].normalized_throughput for b in BATCH_SIZES
+    ]
+    assert rr_uniform[-1] < max(rr_uniform) - 0.05
+
+    series = {}
+    spread_series = {}
+    for p in points:
+        key = f"{p.pattern}/{p.arbitration}"
+        series.setdefault(key, {})[p.batch_size] = round(
+            p.normalized_throughput, 3
+        )
+        spread_series.setdefault(key, {})[p.batch_size] = round(
+            p.finish_spread, 3
+        )
+    text = "\n".join(
+        [
+            "Figure 9 -- normalized throughput vs. batch size",
+            f"(torus {SHAPE[0]}x{SHAPE[1]}x{SHAPE[2]}, {CORES} cores/chip; "
+            "weights from uniform loads for all patterns)",
+            "",
+            format_series(series, x_label="batch"),
+            "",
+            "finish-time spread (0 = all sources finish together):",
+            format_series(spread_series, x_label="batch"),
+            "",
+            "paper (8x8x8, 16 cores/chip): round-robin uniform falls below",
+            "0.6 beyond saturation; inverse-weighted saturates near 0.9 and",
+            "holds. Shape reproduced at reduced scale; see EXPERIMENTS.md.",
+        ]
+    )
+    report("fig09_saturation_throughput", text)

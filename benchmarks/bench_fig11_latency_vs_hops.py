@@ -1,0 +1,84 @@
+"""Figure 11: one-way message latency versus inter-node hop count.
+
+Two reproductions:
+
+* the calibrated latency model averaged over endpoint pairs at each hop
+  distance, fitted to a line (paper: 80.7 ns + 39.1 ns/hop);
+* the cycle-level simulator driving single packets through an idle
+  network, checking latency is linear in hops (the figure's shape).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_series, side_by_side
+from repro.core.geometry import all_coords, torus_hops
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.models.latency import LatencyModel, latency_vs_hops, linear_fit
+from repro.sim.simulator import run_single_packet
+
+
+def run_experiment():
+    machine = Machine(MachineConfig(shape=(8, 4, 4), endpoints_per_chip=2))
+    routes = RouteComputer(machine)
+    model = LatencyModel()
+    model_latencies = latency_vs_hops(machine, routes, model, max_pairs_per_distance=8)
+
+    sim_latencies = {}
+    src_ep = machine.ep_id[((0, 0, 0), 0)]
+    for dst_chip in all_coords(machine.config.shape):
+        hops = torus_hops((0, 0, 0), dst_chip, machine.config.shape)
+        if hops == 0 or hops in sim_latencies or hops > 8:
+            continue
+        dst_ep = machine.ep_id[(dst_chip, 0)]
+        sim_latencies[hops] = run_single_packet(machine, routes, src_ep, dst_ep)
+    return model_latencies, sim_latencies
+
+
+def test_fig11_latency_vs_hops(benchmark, report):
+    model_latencies, sim_latencies = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    intercept, slope = linear_fit(model_latencies)
+
+    # --- the paper's claims ---
+    assert slope == pytest.approx(39.1, rel=0.10)
+    assert intercept > 50.0
+    # Simulated latency is linear in hops: residuals of a line fit stay
+    # below half a hop's increment.
+    hops = np.array(sorted(sim_latencies))
+    cycles = np.array([sim_latencies[h] for h in hops])
+    sim_slope, sim_intercept = np.polyfit(hops, cycles, 1)
+    residuals = cycles - (sim_slope * hops + sim_intercept)
+    assert np.max(np.abs(residuals)) < 0.5 * sim_slope
+    assert sim_slope > 0
+
+    series = {
+        "model (ns)": {h: round(v, 1) for h, v in model_latencies.items()},
+        "simulator (cycles)": dict(sim_latencies),
+    }
+    text = "\n".join(
+        [
+            "Figure 11 -- one-way latency vs. inter-node hops",
+            "",
+            format_series(series, x_label="hops"),
+            "",
+            f"model fit: {intercept:.1f} ns + {slope:.1f} ns/hop",
+            f"simulator fit: {sim_intercept:.1f} + {sim_slope:.1f} cycles/hop",
+            "",
+            side_by_side(
+                {"fixed overhead (ns)": 80.7, "per-hop (ns)": 39.1},
+                {
+                    "fixed overhead (ns)": round(intercept, 1),
+                    "per-hop (ns)": round(slope, 1),
+                },
+                "paper linear fit vs. measured",
+            ),
+            "",
+            "note: the intercept runs ~13% low because it depends on the",
+            "average on-chip path length between endpoints, which depends",
+            "on the unpublished endpoint-adapter placement (DESIGN.md S3).",
+        ]
+    )
+    report("fig11_latency_vs_hops", text)

@@ -1,0 +1,66 @@
+"""Figure 12: decomposition of the minimum inter-node message latency.
+
+Walks the fastest one-hop route through the machine model and itemizes
+the calibrated per-component latency model over it. Reproduced claims:
+
+* minimum inter-node one-way latency about 99 ns;
+* the network proper accounts for only ~40% of it (endpoint software
+  and synchronization dominate);
+* the router contributes its four pipeline stages (RC, VA, SA1, SA2).
+"""
+
+import pytest
+
+from repro.analysis.report import format_table, side_by_side
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.models.latency import (
+    LatencyModel,
+    ROUTER_STAGES,
+    aggregate_breakdown,
+    minimum_internode_route,
+    network_fraction,
+)
+
+
+def build():
+    machine = Machine(MachineConfig(shape=(8, 4, 4), endpoints_per_chip=2))
+    routes = RouteComputer(machine)
+    model = LatencyModel()
+    route = minimum_internode_route(machine, routes)
+    return machine, model, route
+
+
+def test_fig12_latency_breakdown(benchmark, report):
+    machine, model, route = benchmark.pedantic(build, rounds=1, iterations=1)
+    items = model.route_breakdown(machine, route)
+    merged = aggregate_breakdown(items)
+    total = sum(ns for _l, ns in merged)
+    fraction = network_fraction(items)
+
+    assert total == pytest.approx(99.0, rel=0.05)
+    assert fraction == pytest.approx(0.40, abs=0.07)
+    assert route.internode_hops == 1
+
+    rows = [[label, round(ns, 2), f"{100 * ns / total:.1f}%"] for label, ns in merged]
+    rows.append(["TOTAL", round(total, 2), "100.0%"])
+    text = "\n".join(
+        [
+            "Figure 12 -- minimum inter-node latency decomposition",
+            "",
+            format_table(["component", "ns", "share"], rows),
+            "",
+            f"router pipeline stages modeled: {', '.join(ROUTER_STAGES)} "
+            f"({model.router_ns:.2f} ns per router)",
+            "",
+            side_by_side(
+                {"min one-way latency (ns)": 99.0, "network fraction": 0.40},
+                {
+                    "min one-way latency (ns)": round(total, 1),
+                    "network fraction": round(fraction, 2),
+                },
+                "paper vs. measured",
+            ),
+        ]
+    )
+    report("fig12_latency_breakdown", text)

@@ -1,0 +1,88 @@
+"""Figure 13: router energy per flit versus injection rate.
+
+Reproduces the measurement methodology end to end: bit-level flit streams
+for the three payload patterns (all zeros, all ones, random) at maximal
+activation rate, per-hop energy recovered by the 35-hop minus 3-hop route
+subtraction, and a least-squares fit recovering the published model
+
+    E = 42.7 + 0.837 h + (34.4 + 0.250 n)(a / r)  pJ.
+
+Reproduced claims: random > ones > zeros ordering, flat energy up to
+r = 0.5 followed by a decline (the a/r knee), and coefficient recovery.
+"""
+
+import pytest
+
+from repro.analysis.report import format_series, side_by_side
+from repro.models.energy import (
+    EnergyModel,
+    energy_curve,
+    fit_model,
+    synthesize_measurements,
+)
+
+RATES = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def run_experiment():
+    model = EnergyModel()
+    curves = {
+        pattern: dict(energy_curve(model, pattern, RATES, seed=3))
+        for pattern in ("zeros", "ones", "random")
+    }
+    measurements = synthesize_measurements(model, rates=RATES, noise_pj=0.4, seed=5)
+    fitted = fit_model(measurements)
+    return curves, fitted
+
+
+def test_fig13_router_energy(benchmark, report):
+    curves, fitted = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    model = EnergyModel()
+
+    # --- the paper's claims ---
+    for rate in RATES:
+        assert curves["random"][rate] > curves["ones"][rate] > curves["zeros"][rate]
+    # The a/r knee: flat below half rate, falling beyond it.
+    assert curves["ones"][0.1] == pytest.approx(curves["ones"][0.5], rel=0.03)
+    assert curves["ones"][0.9] < curves["ones"][0.5]
+    # Coefficients recovered from noisy synthetic measurements.
+    assert fitted.fixed_pj == pytest.approx(model.fixed_pj, abs=2.0)
+    assert fitted.per_bitflip_pj == pytest.approx(model.per_bitflip_pj, abs=0.05)
+    assert fitted.activation_fixed_pj == pytest.approx(
+        model.activation_fixed_pj, abs=3.0
+    )
+    assert fitted.activation_per_setbit_pj == pytest.approx(
+        model.activation_per_setbit_pj, abs=0.05
+    )
+
+    series = {
+        pattern: {rate: round(curves[pattern][rate], 1) for rate in RATES}
+        for pattern in ("zeros", "ones", "random")
+    }
+    text = "\n".join(
+        [
+            "Figure 13 -- router energy per flit (pJ) vs. injection rate",
+            "(3-hop vs. 35-hop route subtraction; maximal activation rate)",
+            "",
+            format_series(series, x_label="rate"),
+            "",
+            side_by_side(
+                {
+                    "fixed (pJ)": 42.7,
+                    "per bit flip (pJ)": 0.837,
+                    "activation fixed (pJ)": 34.4,
+                    "activation per set bit (pJ)": 0.250,
+                },
+                {
+                    "fixed (pJ)": round(fitted.fixed_pj, 2),
+                    "per bit flip (pJ)": round(fitted.per_bitflip_pj, 4),
+                    "activation fixed (pJ)": round(fitted.activation_fixed_pj, 2),
+                    "activation per set bit (pJ)": round(
+                        fitted.activation_per_setbit_pj, 4
+                    ),
+                },
+                "paper model vs. coefficients refit from noisy measurements",
+            ),
+        ]
+    )
+    report("fig13_router_energy", text)

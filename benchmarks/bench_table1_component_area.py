@@ -1,0 +1,51 @@
+"""Table 1: die-area contribution of the network component types.
+
+Regenerates the table from the structural area model (queue geometry,
+arbiter gate counts, multicast tables, calibrated fixed categories).
+Reproduced claims: router 3.4%, endpoint adapters 1.1%, channel adapters
+4.7%, and a network total under 10% of the die.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.models.area import AreaModel
+
+PAPER = {"Router": (16, 3.4), "Endpoint": (23, 1.1), "Channel": (12, 4.7)}
+
+
+def build_table():
+    model = AreaModel()
+    return model, model.table1(), model.component_counts()
+
+
+def test_table1_component_area(benchmark, report):
+    model, table, counts = benchmark.pedantic(build_table, rounds=1, iterations=1)
+
+    for component, (count, pct) in PAPER.items():
+        assert counts[component] == count
+        assert table[component] == pytest.approx(pct, abs=0.3)
+    assert sum(table.values()) < 10.0
+
+    rows = [
+        [
+            {"Router": "Router", "Endpoint": "Endpoint adapter", "Channel": "Channel adapter"}[c],
+            counts[c],
+            round(table[c], 2),
+            PAPER[c][1],
+        ]
+        for c in ("Router", "Endpoint", "Channel")
+    ]
+    rows.append(["TOTAL", sum(counts.values()), round(sum(table.values()), 2), 9.2])
+    text = "\n".join(
+        [
+            "Table 1 -- network component contributions to die area",
+            "",
+            format_table(
+                ["component", "count", "% die (measured)", "% die (paper)"], rows
+            ),
+            "",
+            "paper: less than 10% of the ASIC's total die area is network.",
+        ]
+    )
+    report("table1_component_area", text)

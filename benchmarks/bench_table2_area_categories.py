@@ -1,0 +1,68 @@
+"""Table 2: network area by category and component.
+
+Regenerates the category breakdown from structure. Reproduced claims:
+
+* queues dominate (46.6% of network area) -- and their area tracks the
+  VC count, which is why the Section 2.5 VC reduction matters;
+* the inverse-weighted arbiters are the smallest category (5.4%), about
+  three-quarters of which is accumulator/weight storage and update.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.models.area import AreaModel, CATEGORIES, COMPONENTS
+
+PAPER = {
+    "Queues": (21.2, 2.7, 22.7, 46.6),
+    "Reduction": (0.0, 0.0, 9.6, 9.6),
+    "Link": (0.0, 0.0, 8.9, 8.9),
+    "Configuration": (3.3, 2.5, 2.8, 8.6),
+    "Debug": (3.0, 2.5, 2.3, 7.8),
+    "Miscellaneous": (4.3, 1.0, 2.0, 7.3),
+    "Multicast": (0.0, 3.2, 2.5, 5.7),
+    "Arbiters": (5.2, 0.1, 0.2, 5.4),
+}
+
+
+def build_table():
+    model = AreaModel()
+    return model, model.table2()
+
+
+def test_table2_area_categories(benchmark, report):
+    model, table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+
+    for category, row in PAPER.items():
+        for component, expected in zip(COMPONENTS, row[:3]):
+            assert table[category][component] == pytest.approx(expected, abs=1.0)
+        assert table[category]["Total"] == pytest.approx(row[3], abs=1.0)
+    assert model.arbiter_accumulator_fraction() == pytest.approx(0.75, abs=0.05)
+
+    rows = []
+    for category in CATEGORIES:
+        measured = table[category]
+        rows.append(
+            [
+                category,
+                round(measured["Router"], 1),
+                round(measured["Endpoint"], 1),
+                round(measured["Channel"], 1),
+                round(measured["Total"], 1),
+                PAPER[category][3],
+            ]
+        )
+    text = "\n".join(
+        [
+            "Table 2 -- network area by category (% of network area)",
+            "",
+            format_table(
+                ["category", "router", "endpoint", "channel", "total", "paper total"],
+                rows,
+            ),
+            "",
+            f"arbiter area in accumulators/weights/update: "
+            f"{model.arbiter_accumulator_fraction() * 100:.0f}% (paper: ~75%)",
+        ]
+    )
+    report("table2_area_categories", text)

@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one table or figure of the paper. Rendered
+results are printed (visible with ``pytest -s``) and also persisted to
+``benchmarks/results/<name>.txt`` so a full ``pytest benchmarks/
+--benchmark-only`` run leaves the complete reproduction on disk.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture()
+def report():
+    """Returns a writer: ``report(name, text)`` prints and persists."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""One-way message latency versus hop count (Figures 11 and 12).
+
+Reproduces the paper's ping-pong measurement two ways:
+
+1. the calibrated per-component latency model applied to the machine's
+   actual routes, averaged per hop distance and fitted to a line
+   (paper: 80.7 ns + 39.1 ns/hop, minimum 99 ns, network ~40% of it);
+2. the cycle-level simulator injecting single packets into an idle
+   network, demonstrating that simulated latency is linear in hop count.
+
+Run:  python examples/latency_pingpong.py
+"""
+
+import numpy as np
+
+from repro import Machine, MachineConfig, RouteComputer
+from repro.analysis import format_table
+from repro.core.geometry import all_coords, torus_hops
+from repro.models.latency import (
+    LatencyModel,
+    aggregate_breakdown,
+    latency_vs_hops,
+    linear_fit,
+    minimum_internode_route,
+    network_fraction,
+)
+from repro.sim.simulator import run_single_packet
+
+
+def model_fit(machine: Machine, routes: RouteComputer) -> None:
+    model = LatencyModel()
+    latencies = latency_vs_hops(machine, routes, model, max_pairs_per_distance=8)
+    intercept, slope = linear_fit(latencies)
+    print("Latency model vs. inter-node hops (cf. Figure 11):")
+    print(format_table(
+        ["hops", "one-way ns"],
+        [[h, latencies[h]] for h in sorted(latencies)],
+    ))
+    print(f"linear fit: {intercept:.1f} ns + {slope:.1f} ns/hop "
+          f"(paper: 80.7 + 39.1)")
+    print()
+
+    route = minimum_internode_route(machine, routes)
+    items = model.route_breakdown(machine, route)
+    print("Minimum inter-node latency decomposition (cf. Figure 12):")
+    print(format_table(["component", "ns"], aggregate_breakdown(items)))
+    total = sum(ns for _l, ns in items)
+    print(f"total {total:.1f} ns (paper: ~99); network fraction "
+          f"{network_fraction(items) * 100:.0f}% (paper: ~40%)")
+    print()
+
+
+def simulated_linearity(machine: Machine, routes: RouteComputer) -> None:
+    print("Cycle-level simulator, idle network, one packet per distance:")
+    src_ep = machine.ep_id[((0, 0, 0), 0)]
+    rows = []
+    seen = set()
+    for dst_chip in all_coords(machine.config.shape):
+        hops = torus_hops((0, 0, 0), dst_chip, machine.config.shape)
+        if hops == 0 or hops in seen or hops > 6:
+            continue
+        seen.add(hops)
+        dst_ep = machine.ep_id[(dst_chip, 0)]
+        cycles = run_single_packet(machine, routes, src_ep, dst_ep)
+        rows.append([hops, cycles])
+    rows.sort()
+    print(format_table(["hops", "latency (cycles)"], rows))
+    hops = np.array([r[0] for r in rows])
+    cycles = np.array([r[1] for r in rows])
+    slope, intercept = np.polyfit(hops, cycles, 1)
+    print(f"simulated fit: {intercept:.1f} cycles + {slope:.1f} cycles/hop")
+
+
+def main() -> None:
+    config = MachineConfig(shape=(8, 4, 4), endpoints_per_chip=2)
+    machine = Machine(config)
+    routes = RouteComputer(machine)
+    print(machine.describe())
+    print()
+    model_fit(machine, routes)
+    simulated_linearity(machine, routes)
+
+
+if __name__ == "__main__":
+    main()

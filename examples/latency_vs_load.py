@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Latency versus offered load: the hockey-stick curve.
+
+The paper reports the two endpoints of this curve — zero-load latency
+(Figures 11-12) and post-saturation throughput (Figures 9-10). This
+example sweeps the region between them: open-loop injection at fractions
+of the analytically predicted saturation rate, showing flat latency at
+low load and the queueing blow-up at the knee.
+
+Run:  python examples/latency_vs_load.py
+"""
+
+from repro import Machine, MachineConfig, RouteComputer, UniformRandom
+from repro.analysis import format_table, latency_vs_load, saturation_rate
+from repro.traffic.loads import compute_loads
+
+
+def main() -> None:
+    config = MachineConfig(shape=(4, 2, 2), endpoints_per_chip=2)
+    machine = Machine(config)
+    routes = RouteComputer(machine)
+    pattern = UniformRandom(config.shape)
+    table = compute_loads(machine, routes, pattern, cores_per_chip=2)
+    rate = saturation_rate(machine, table)
+    print(machine.describe())
+    print(f"predicted saturation rate: {rate:.3f} packets/cycle/source "
+          f"(busiest torus channel load {table.max_torus_load(machine):.2f} "
+          f"x {config.torus_cycles_per_flit:.2f} cycles/flit)")
+    print()
+    points = latency_vs_load(
+        machine, routes, pattern,
+        cores_per_chip=2,
+        fractions_of_saturation=(0.2, 0.4, 0.6, 0.8, 0.9, 0.98),
+        duration_cycles=2500,
+    )
+    rows = [
+        [
+            f"{p.offered_load:.2f}",
+            round(p.mean_latency_cycles, 1),
+            round(p.p99_latency_cycles, 1),
+            p.delivered,
+        ]
+        for p in points
+    ]
+    print(format_table(
+        ["fraction of saturation", "mean latency (cycles)",
+         "p99 latency (cycles)", "packets"],
+        rows,
+        title="Latency vs. offered load (uniform random, round-robin)",
+    ))
+    print()
+    print("Expected shape: flat at low load, sharp knee near saturation.")
+
+
+if __name__ == "__main__":
+    main()

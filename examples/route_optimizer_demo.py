@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The on-chip routing-algorithm search (Section 2.4, Figure 4).
+
+Evaluates all 24 direction-order routing algorithms against every
+permutation switching demand among the external torus channels, verifies
+the result against the linear-programming formulation, and prints the
+worst-case permutation -- the paper's equation (1) -- together with the
+mesh-channel loads it induces under the chosen algorithm.
+
+Run:  python examples/route_optimizer_demo.py
+"""
+
+from repro.analysis import format_table
+from repro.core.chip import default_floorplan
+from repro.core.onchip import ANTON_DIRECTION_ORDER, direction_order_name
+from repro.core.params import BandwidthBudget
+from repro.core.route_search import (
+    PAPER_WORST_CASE,
+    format_permutation,
+    permutation_mesh_loads,
+    search_direction_orders,
+)
+from repro.core.worstcase_lp import worst_case_lp
+
+
+def main() -> None:
+    print("Searching 24 direction orders x 720 permutations...")
+    result = search_direction_orders()
+    rows = [
+        [r.name, r.worst_load, r.num_worst, r.mean_max_load]
+        for r in sorted(result.per_order, key=lambda r: r.rank_key)
+    ]
+    print(format_table(
+        ["direction order", "worst load", "#worst perms", "mean max load"],
+        rows[:6] + [["...", "", "", ""]] + rows[-3:],
+        title="Direction-order algorithms ranked (best first)",
+    ))
+    anton_name = direction_order_name(ANTON_DIRECTION_ORDER)
+    best_names = [r.name for r in result.best_orders]
+    print(f"\npaper's order {anton_name} in the optimal class: "
+          f"{anton_name in best_names} ({len(best_names)} orders tie)")
+
+    lp = worst_case_lp()
+    print(f"LP cross-check: worst-case load {lp.worst_load:.1f} "
+          f"(enumeration: {result.best.worst_load:.1f})")
+
+    print("\nThe common worst-case permutation (paper's equation (1)):")
+    print(format_permutation(PAPER_WORST_CASE))
+    loads = permutation_mesh_loads(default_floorplan(), PAPER_WORST_CASE)
+    peak = max(loads.values())
+    print(f"\npeak mesh-channel load under it: {peak:.0f} torus channels")
+    budget = BandwidthBudget()
+    print(f"one mesh channel carries {budget.torus_channels_per_mesh_channel:.2f} "
+          f"torus channels of bandwidth, leaving "
+          f"{budget.headroom_after_two_torus_channels_gbps:.0f} Gb/s of headroom "
+          "for endpoint traffic (Section 2.4's conclusion)")
+
+
+if __name__ == "__main__":
+    main()

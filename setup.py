@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` on this offline machine falls back
+to the legacy code path (`--no-use-pep517`), which requires a setup.py.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Experiment harnesses, fairness metrics, and reporting."""
+
+from .fairness import (
+    expected_shares,
+    figure5_loads,
+    finish_time_fairness,
+    grant_ratio_experiment,
+    jain_index,
+    mid_run_service_fairness,
+)
+from .latency_load import LatencyLoadPoint, latency_vs_load, saturation_rate
+from .report import ascii_bar_chart, format_series, format_table, side_by_side
+from .throughput import (
+    ThroughputPoint,
+    blend_sweep,
+    measure_batch,
+    throughput_vs_batch_size,
+)
+
+__all__ = [
+    "LatencyLoadPoint",
+    "ThroughputPoint",
+    "ascii_bar_chart",
+    "blend_sweep",
+    "expected_shares",
+    "figure5_loads",
+    "finish_time_fairness",
+    "format_series",
+    "format_table",
+    "grant_ratio_experiment",
+    "jain_index",
+    "latency_vs_load",
+    "measure_batch",
+    "saturation_rate",
+    "mid_run_service_fairness",
+    "side_by_side",
+    "throughput_vs_batch_size",
+]

@@ -1,0 +1,97 @@
+"""Latency versus offered load: the classic network characterization.
+
+The paper reports latency at zero load (Figures 11-12) and throughput
+beyond saturation (Figures 9-10); this module fills in the curve between
+them. Open-loop Bernoulli injection at a swept rate yields the familiar
+hockey-stick: flat latency at low load, a knee near the saturation rate
+predicted by the analytic channel loads, and runaway queueing beyond it.
+
+The saturation prediction comes from :mod:`repro.traffic.loads`: a
+per-source injection rate of ``1 / (max_torus_load x torus_cycles_per
+_flit)`` packets/cycle keeps the busiest torus channel exactly busy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.core.machine import Machine
+from repro.core.routing import RouteComputer
+from repro.sim.engine import Engine
+from repro.sim.simulator import arbiter_builder_for
+from repro.traffic.batch import generate_open_loop
+from repro.traffic.loads import LoadTable, compute_loads
+from repro.traffic.patterns import TrafficPattern
+
+
+@dataclasses.dataclass
+class LatencyLoadPoint:
+    """One point of the latency-load curve."""
+
+    offered_load: float
+    mean_latency_cycles: float
+    p99_latency_cycles: float
+    delivered: int
+
+
+def saturation_rate(machine: Machine, table: LoadTable) -> float:
+    """Per-source injection rate (packets/cycle) that saturates the
+    busiest torus channel."""
+    bottleneck = table.max_torus_load(machine) * machine.config.torus_cycles_per_flit
+    if bottleneck <= 0:
+        raise ValueError("pattern places no load on the torus")
+    return 1.0 / bottleneck
+
+
+def latency_vs_load(
+    machine: Machine,
+    route_computer: RouteComputer,
+    pattern: TrafficPattern,
+    cores_per_chip: int,
+    fractions_of_saturation: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 0.9),
+    duration_cycles: int = 2000,
+    arbitration: str = "rr",
+    seed: int = 0,
+    load_table: Optional[LoadTable] = None,
+) -> List[LatencyLoadPoint]:
+    """Measure mean/p99 packet latency at fractions of the saturation rate.
+
+    Open-loop injection: sources emit Bernoulli packet streams for
+    ``duration_cycles`` and the network drains completely, so every
+    latency (including queueing at the source) is observed.
+    """
+    if load_table is None:
+        load_table = compute_loads(machine, route_computer, pattern, cores_per_chip)
+    base_rate = saturation_rate(machine, load_table)
+    points = []
+    for fraction in fractions_of_saturation:
+        rate = min(1.0, fraction * base_rate)
+        packets = generate_open_loop(
+            machine,
+            route_computer,
+            pattern,
+            injection_rate=rate,
+            duration_cycles=duration_cycles,
+            cores_per_chip=cores_per_chip,
+            seed=seed,
+        )
+        builder = arbiter_builder_for(arbitration)
+        engine = Engine(
+            machine, arbiter_builder=builder, keep_packet_latencies=True
+        )
+        for packet in packets:
+            engine.enqueue(packet)
+        stats = engine.run()
+        latencies = sorted(stats.packet_latencies)
+        mean = sum(latencies) / len(latencies)
+        p99 = latencies[min(len(latencies) - 1, int(0.99 * len(latencies)))]
+        points.append(
+            LatencyLoadPoint(
+                offered_load=fraction,
+                mean_latency_cycles=mean,
+                p99_latency_cycles=float(p99),
+                delivered=stats.delivered,
+            )
+        )
+    return points

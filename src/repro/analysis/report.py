@@ -1,0 +1,94 @@
+"""Plain-text reporting: tables and series formatted like the paper's.
+
+Benchmarks print their reproduced tables/figures through these helpers so
+that ``pytest benchmarks/ --benchmark-only`` output can be compared
+against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not match {columns} headers")
+    cells = [[str(h) for h in headers]] + [
+        [_format_cell(value) for value in row] for row in rows
+    ]
+    widths = [max(len(line[i]) for line in cells) for i in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def format_series(
+    series: Dict[str, Dict[object, float]],
+    x_label: str = "x",
+    title: Optional[str] = None,
+) -> str:
+    """Render ``{curve: {x: y}}`` data as an aligned table, one row per x.
+
+    The plain-text analogue of a figure with several curves.
+    """
+    xs: List[object] = sorted({x for curve in series.values() for x in curve})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def ascii_bar_chart(
+    values: Dict[str, float], width: int = 50, title: Optional[str] = None
+) -> str:
+    """Horizontal bar chart for quick visual comparison in test output."""
+    if not values:
+        raise ValueError("values must be nonempty")
+    peak = max(values.values())
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * (int(width * value / peak) if peak > 0 else 0)
+        lines.append(f"{label.ljust(label_width)}  {value:8.2f}  {bar}")
+    return "\n".join(lines)
+
+
+def side_by_side(paper: Dict[str, float], measured: Dict[str, float], title: str) -> str:
+    """Paper-vs-measured comparison table used by EXPERIMENTS.md entries."""
+    rows = []
+    for key in paper:
+        measured_value = measured.get(key)
+        rows.append(
+            [
+                key,
+                paper[key],
+                "-" if measured_value is None else measured_value,
+            ]
+        )
+    return format_table(["quantity", "paper", "measured"], rows, title=title)

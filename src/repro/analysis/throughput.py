@@ -1,0 +1,215 @@
+"""Throughput experiment harnesses (Figures 9 and 10).
+
+These wrap the simulator into the paper's measurement methodology:
+normalized batch throughput versus batch size for different arbitration
+policies (Figure 9), and versus blend fraction for different arbiter
+weight sets (Figure 10).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.machine import Machine
+from repro.core.routing import RouteComputer
+from repro.sim.simulator import make_vc_weight_tables, make_weight_tables, run_batch
+from repro.traffic.batch import BatchSpec
+from repro.traffic.loads import LoadTable, compute_loads, ideal_batch_cycles
+from repro.traffic.patterns import Blend, TrafficPattern
+
+
+@dataclasses.dataclass
+class ThroughputPoint:
+    """One measured point of a throughput experiment."""
+
+    pattern: str
+    arbitration: str
+    batch_size: int
+    normalized_throughput: float
+    finish_spread: float
+    completion_cycles: int
+    wall_seconds: float
+
+
+def measure_batch(
+    machine: Machine,
+    route_computer: RouteComputer,
+    pattern: TrafficPattern,
+    batch_size: int,
+    cores_per_chip: int,
+    arbitration: str,
+    load_table: Optional[LoadTable] = None,
+    weight_tables: Optional[Dict] = None,
+    vc_weight_tables: Optional[Dict] = None,
+    seed: int = 0,
+    label: Optional[str] = None,
+) -> ThroughputPoint:
+    """Run one batch and normalize its completion time.
+
+    Normalization follows Section 4.1: a throughput of 1 means the
+    busiest torus channel (under the pattern's expected loads) was never
+    idle.
+    """
+    if load_table is None:
+        load_table = compute_loads(machine, route_computer, pattern, cores_per_chip)
+    if arbitration == "iw" and weight_tables is None:
+        # Default to weights programmed from the measured pattern itself.
+        weight_tables = make_weight_tables(
+            machine,
+            route_computer,
+            [pattern],
+            cores_per_chip,
+            load_tables=[load_table],
+        )
+    if arbitration == "iw" and vc_weight_tables is None:
+        vc_weight_tables = make_vc_weight_tables(
+            machine,
+            route_computer,
+            [pattern],
+            cores_per_chip,
+            load_tables=[load_table],
+        )
+    spec = BatchSpec(
+        pattern,
+        packets_per_source=batch_size,
+        cores_per_chip=cores_per_chip,
+        seed=seed,
+    )
+    start = time.perf_counter()
+    stats = run_batch(
+        machine,
+        route_computer,
+        spec,
+        arbitration=arbitration,
+        weight_tables=weight_tables,
+        vc_weight_tables=vc_weight_tables,
+    )
+    wall = time.perf_counter() - start
+    ideal = ideal_batch_cycles(machine, load_table, batch_size)
+    return ThroughputPoint(
+        pattern=pattern.name,
+        arbitration=label or arbitration,
+        batch_size=batch_size,
+        normalized_throughput=ideal / stats.last_delivery_cycle,
+        finish_spread=stats.finish_spread() or 0.0,
+        completion_cycles=stats.last_delivery_cycle,
+        wall_seconds=wall,
+    )
+
+
+def throughput_vs_batch_size(
+    machine: Machine,
+    route_computer: RouteComputer,
+    patterns: Sequence[TrafficPattern],
+    batch_sizes: Sequence[int],
+    cores_per_chip: int,
+    weight_pattern: Optional[TrafficPattern] = None,
+    arbitrations: Sequence[str] = ("rr", "iw"),
+    seed: int = 0,
+) -> List[ThroughputPoint]:
+    """The Figure 9 experiment.
+
+    A *single* set of inverse weights -- computed from ``weight_pattern``
+    (default: the first pattern, matching the paper's use of
+    uniform-derived weights for all traffic) -- is used for every
+    measured pattern.
+    """
+    weight_pattern = weight_pattern or patterns[0]
+    weight_tables = None
+    vc_weight_tables = None
+    if "iw" in arbitrations:
+        weight_loads = compute_loads(
+            machine, route_computer, weight_pattern, cores_per_chip
+        )
+        weight_tables = make_weight_tables(
+            machine, route_computer, [weight_pattern], cores_per_chip,
+            load_tables=[weight_loads],
+        )
+        vc_weight_tables = make_vc_weight_tables(
+            machine, route_computer, [weight_pattern], cores_per_chip,
+            load_tables=[weight_loads],
+        )
+    points = []
+    for pattern in patterns:
+        load_table = compute_loads(
+            machine, route_computer, pattern, cores_per_chip
+        )
+        for batch_size in batch_sizes:
+            for arbitration in arbitrations:
+                points.append(
+                    measure_batch(
+                        machine,
+                        route_computer,
+                        pattern,
+                        batch_size,
+                        cores_per_chip,
+                        arbitration,
+                        load_table=load_table,
+                        weight_tables=weight_tables if arbitration == "iw" else None,
+                        vc_weight_tables=(
+                            vc_weight_tables if arbitration == "iw" else None
+                        ),
+                        seed=seed,
+                    )
+                )
+    return points
+
+
+def blend_sweep(
+    machine: Machine,
+    route_computer: RouteComputer,
+    pattern_a: TrafficPattern,
+    pattern_b: TrafficPattern,
+    fractions: Sequence[float],
+    batch_size: int,
+    cores_per_chip: int,
+    seed: int = 0,
+) -> List[ThroughputPoint]:
+    """The Figure 10 experiment: blend two patterns, vary the fraction,
+    and measure four arbiter configurations:
+
+    * ``none`` -- round-robin arbitration;
+    * ``forward`` -- inverse weights for ``pattern_a`` only;
+    * ``reverse`` -- inverse weights for ``pattern_b`` only;
+    * ``both`` -- two weight sets, packets labeled by component pattern.
+    """
+    loads_a = compute_loads(machine, route_computer, pattern_a, cores_per_chip)
+    loads_b = compute_loads(machine, route_computer, pattern_b, cores_per_chip)
+    table_loads = {
+        "forward": ([pattern_a], [loads_a]),
+        "reverse": ([pattern_b], [loads_b]),
+        "both": ([pattern_a, pattern_b], [loads_a, loads_b]),
+    }
+    tables = {}
+    vc_tables = {}
+    for label, (pats, loads) in table_loads.items():
+        tables[label] = make_weight_tables(
+            machine, route_computer, pats, cores_per_chip, load_tables=loads
+        )
+        vc_tables[label] = make_vc_weight_tables(
+            machine, route_computer, pats, cores_per_chip, load_tables=loads
+        )
+    points = []
+    for fraction in fractions:
+        blend = Blend([pattern_a, pattern_b], [fraction, 1.0 - fraction])
+        load_table = compute_loads(machine, route_computer, blend, cores_per_chip)
+        for label in ("none", "forward", "reverse", "both"):
+            arbitration = "rr" if label == "none" else "iw"
+            point = measure_batch(
+                machine,
+                route_computer,
+                blend,
+                batch_size,
+                cores_per_chip,
+                arbitration,
+                load_table=load_table,
+                weight_tables=tables.get(label),
+                vc_weight_tables=vc_tables.get(label),
+                seed=seed,
+                label=label,
+            )
+            point.pattern = f"{fraction:.2f} {pattern_a.name}"
+            points.append(point)
+    return points

@@ -1,0 +1,125 @@
+"""Bit-faithful model of the inverse-weighted arbiter's accumulators.
+
+This module mirrors, operation for operation, the SystemVerilog
+``accumulator_update`` module of Figure 6. Each arbiter input ``i`` owns an
+``M+1``-bit accumulator ``A_i`` tracking a scaled service history
+
+    A_i(t) = sum_n s_{i,n}(t) / gamma_{i,n}            (paper eq. 3)
+
+approximated with integer *inverse weights* ``m_{i,n} = nint(beta /
+gamma_{i,n})`` (Section 3.3). The accumulator values are stored relative to
+a sliding window of ``2^(M+1)`` values:
+
+* the most significant bit of each accumulator, inverted, is the input's
+  **priority bit** (values in the lower half of the window are high
+  priority);
+* when a *low-priority* input is granted (meaning no high-priority input
+  was requesting), the window slides: ``2^M`` is subtracted from every
+  accumulator, clamping underflow at zero;
+* a granted input additionally adds its packet's inverse weight.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class AccumulatorBank:
+    """The accumulators and update logic for one k-input arbiter.
+
+    Parameters
+    ----------
+    inverse_weights:
+        ``inverse_weights[i][n]`` is the integer inverse weight
+        ``m_{i,n}`` for arbiter input ``i`` and traffic pattern ``n``.
+        All inputs must list the same number of patterns.
+    weight_bits:
+        ``M``, the number of bits used to store each inverse weight. All
+        weights must satisfy ``0 <= m < 2^M``; accumulators occupy
+        ``M + 1`` bits.
+    """
+
+    def __init__(self, inverse_weights: Sequence[Sequence[int]], weight_bits: int) -> None:
+        if weight_bits < 1:
+            raise ValueError(f"weight_bits must be positive, got {weight_bits}")
+        if not inverse_weights:
+            raise ValueError("at least one input is required")
+        num_patterns = len(inverse_weights[0])
+        if num_patterns < 1:
+            raise ValueError("at least one traffic pattern is required")
+        limit = 1 << weight_bits
+        for i, row in enumerate(inverse_weights):
+            if len(row) != num_patterns:
+                raise ValueError(
+                    f"input {i} lists {len(row)} patterns, expected {num_patterns}"
+                )
+            for n, m in enumerate(row):
+                if not 0 <= m < limit:
+                    raise ValueError(
+                        f"inverse weight m[{i}][{n}] = {m} does not fit in "
+                        f"{weight_bits} bits"
+                    )
+        self.weight_bits = weight_bits
+        self.num_inputs = len(inverse_weights)
+        self.num_patterns = num_patterns
+        self._weights = [list(row) for row in inverse_weights]
+        #: Accumulator values; each always in ``[0, 2^(M+1))``.
+        self.accumulators: List[int] = [0] * self.num_inputs
+
+    @property
+    def window(self) -> int:
+        """The window half-size ``2^M`` used for the sliding-window shift."""
+        return 1 << self.weight_bits
+
+    def priority(self, index: int) -> bool:
+        """Priority bit of an input: True (high) when MSB of accumulator is 0."""
+        return not (self.accumulators[index] >> self.weight_bits) & 1
+
+    def priorities(self) -> List[bool]:
+        """Priority bits for all inputs (the ``pri`` output of Figure 6)."""
+        return [self.priority(i) for i in range(self.num_inputs)]
+
+    def update(self, granted: Optional[int], pattern: int) -> None:
+        """Apply one cycle of the Figure 6 update rule.
+
+        ``granted`` is the granted input index (or None for an idle cycle,
+        which leaves all state unchanged); ``pattern`` is the granted
+        packet's traffic-pattern identifier.
+        """
+        if granted is None:
+            return
+        if not 0 <= granted < self.num_inputs:
+            raise ValueError(f"granted index {granted} out of range")
+        if not 0 <= pattern < self.num_patterns:
+            raise ValueError(f"pattern {pattern} out of range")
+        window = self.window
+        msb_mask = window - 1
+        accumulators = self.accumulators
+        # low_grant = |(grant & ~pri): the granted input had low priority,
+        # so the window slides for every input.
+        if accumulators[granted] >= window:
+            for i in range(self.num_inputs):
+                value = accumulators[i]
+                if i == granted:
+                    accumulators[i] = (value & msb_mask) + self._weights[i][pattern]
+                elif value < window:
+                    # Window shift underflow: high-priority accumulators
+                    # (MSB already 0) clamp at zero.
+                    accumulators[i] = 0
+                else:
+                    accumulators[i] = value & msb_mask
+        else:
+            accumulators[granted] += self._weights[granted][pattern]
+
+    def check_invariant(self) -> None:
+        """Raise if any accumulator has left its ``[0, 2^(M+1))`` range."""
+        bound = 2 * self.window
+        for i, value in enumerate(self.accumulators):
+            if not 0 <= value < bound:
+                raise AssertionError(
+                    f"accumulator {i} = {value} outside [0, {bound})"
+                )
+
+    def inverse_weight(self, index: int, pattern: int) -> int:
+        """The stored inverse weight ``m_{index,pattern}``."""
+        return self._weights[index][pattern]

@@ -1,0 +1,42 @@
+"""Age-based arbitration baseline.
+
+Age-based packet arbitration [Abts & Weisser, SC 2007] grants the request
+whose packet was injected earliest, providing strong global fairness at
+the cost of carrying and comparing timestamps at every arbitration point.
+The paper cites this as the heavy-weight technique that would have been
+"prohibitively expensive" in the small, low-latency Anton 2 routers
+(Section 3); it is implemented here as the quality reference against which
+the inverse-weighted arbiter's fairness can be compared.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .base import Arbiter, Request
+from .round_robin import rr_order
+
+
+class AgeBasedArbiter(Arbiter):
+    """Oldest-packet-first arbiter with round-robin tie-breaking."""
+
+    def __init__(self, num_inputs: int) -> None:
+        super().__init__(num_inputs)
+        self._pointer = 0
+
+    def peek(self, requests: Sequence[Optional[Request]]) -> Optional[int]:
+        best_index: Optional[int] = None
+        best_age: Optional[int] = None
+        for index in rr_order(self._pointer, self.num_inputs):
+            request = requests[index]
+            if request is None:
+                continue
+            age = request.inject_cycle
+            if best_age is None or age < best_age:
+                best_age = age
+                best_index = index
+        return best_index
+
+    def commit(self, index: int, request: Request) -> None:
+        self._pointer = index
+        self.record_grant(index)

@@ -1,0 +1,114 @@
+"""The inverse-weighted arbiter (Section 3).
+
+The arbiter grants each input in proportion to the input's contribution to
+the load on the arbitrated resource, achieving equality of service (EoS)
+beyond saturation. It combines the two bit-faithful hardware models:
+
+* the :class:`~repro.arbiters.accumulator.AccumulatorBank` of Figure 6,
+  whose priority bits classify each input as high or low priority; and
+* the two-level prioritized round-robin arbiter of Figure 8
+  (:func:`~repro.arbiters.priority_arb.priority_arb_bits`).
+
+Each granted packet's traffic-pattern header field selects which inverse
+weight is added to the granted input's accumulator, which is what lets a
+single arbiter maintain EoS over any *blend* of the pre-computed patterns
+(Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .accumulator import AccumulatorBank
+from .base import Arbiter, Request
+from .priority_arb import grant_index, priority_arb_bits, thermometer
+
+#: Number of hardware priority levels used by the inverse-weighted arbiter.
+NUM_PRIORITY_LEVELS = 2
+
+
+class InverseWeightedArbiter(Arbiter):
+    """k-input inverse-weighted arbiter with two priority levels.
+
+    Parameters
+    ----------
+    inverse_weights:
+        ``inverse_weights[i][n]``: integer inverse weight for input ``i``
+        and traffic pattern ``n`` (see
+        :func:`repro.arbiters.weights.compute_inverse_weights`).
+    weight_bits:
+        ``M``, the width in bits of each inverse weight.
+    bit_exact:
+        When True, grants are computed with the literal Figure 8 bit-level
+        model (:func:`~repro.arbiters.priority_arb.priority_arb_bits`).
+        The default fast path computes the identical grant directly (the
+        equivalence is property-tested in
+        ``tests/properties/test_arbiter_equivalence.py``).
+    """
+
+    def __init__(
+        self,
+        inverse_weights: Sequence[Sequence[int]],
+        weight_bits: int,
+        bit_exact: bool = False,
+    ) -> None:
+        super().__init__(len(inverse_weights))
+        self.bank = AccumulatorBank(inverse_weights, weight_bits)
+        self._pointer = 0
+        self.bit_exact = bit_exact
+
+    def _grant_fast(self, requests: Sequence[Optional[Request]]) -> Optional[int]:
+        """Behavioural grant: the requesting input with the largest
+        (effective priority level, index) key, where the level combines
+        the accumulator priority bit and the round-robin boost."""
+        window = self.bank.window
+        accumulators = self.bank.accumulators
+        pointer = self._pointer
+        num_inputs = self.num_inputs
+        best_key = -1
+        granted: Optional[int] = None
+        for i in range(num_inputs):
+            if requests[i] is None:
+                continue
+            level = (1 if accumulators[i] < window else 0) + (1 if i < pointer else 0)
+            key = level * num_inputs + i
+            if key > best_key:
+                best_key = key
+                granted = i
+        return granted
+
+    def _grant_bits(self, requests: Sequence[Optional[Request]]) -> Optional[int]:
+        req_vector = 0
+        for i, request in enumerate(requests):
+            if request is not None:
+                req_vector |= 1 << i
+        if req_vector == 0:
+            return None
+        # Accumulators in the lower half of the window are high priority
+        # (level 1); others low (level 0).
+        pri = [1 if high else 0 for high in self.bank.priorities()]
+        rr_therm = thermometer(self._pointer, self.num_inputs)
+        grant_vector = priority_arb_bits(
+            req_vector, pri, rr_therm, self.num_inputs, NUM_PRIORITY_LEVELS
+        )
+        return grant_index(grant_vector)
+
+    def peek(self, requests: Sequence[Optional[Request]]) -> Optional[int]:
+        if self.bit_exact:
+            return self._grant_bits(requests)
+        return self._grant_fast(requests)
+
+    def commit(self, index: int, request: Request) -> None:
+        # A packet may be marked with a pattern the arbiter has no weights
+        # for (e.g. single-pattern weights under blended traffic, the
+        # "Forward"/"Reverse" curves of Figure 10). The hardware charges
+        # such packets against the weights it does have.
+        pattern = min(request.pattern, self.bank.num_patterns - 1)
+        self.bank.update(index, pattern)
+        self._pointer = index
+        self.record_grant(index)
+
+    @property
+    def accumulators(self) -> Sequence[int]:
+        """Current accumulator values (for inspection and tests)."""
+        return tuple(self.bank.accumulators)

@@ -1,0 +1,156 @@
+"""Bit-faithful model of the optimized prioritized arbiter of Figure 8.
+
+The hardware arbiter selects among ``k`` requests carrying ``P`` priority
+levels, breaking ties with a thermometer-encoded round-robin pointer. Its
+key optimization (Figure 7) is that, after the round-robin split, the
+"high-priority requests below the pointer" and "low-priority requests at or
+above the pointer" vectors are mutually exclusive in the fixed-priority
+order, so they can be combined -- reducing the number of fixed-priority
+arbiters from ``2P`` to ``P + 1``.
+
+Two implementations are provided:
+
+* :func:`priority_arb_bits` -- a literal translation of the SystemVerilog
+  of Figure 8, operating on Python integers as bit vectors, including the
+  request unrolling, the Kogge-Stone-style parallel-prefix OR, and the
+  grant fold;
+* :func:`behavioral_grant` -- a straightforward behavioural reference
+  (grant the requesting input with the highest ``(effective level, index)``
+  key), used to cross-check the bit-level model in property tests.
+
+Conventions (matching the Verilog):
+
+* ``req`` is a ``k``-bit vector; bit ``i`` set means input ``i`` requests.
+* ``pri[i]`` is input ``i``'s priority level in ``[0, P - 1]``; for the
+  inverse-weighted arbiter ``P = 2`` and the level is the accumulator's
+  priority bit.
+* ``rr_therm`` is thermometer encoded: if bit ``i`` is set then bit
+  ``i - 1`` is also set. Bits ``0 .. s-1`` set (pointer value ``s``) means
+  inputs below ``s`` get the round-robin boost, so the preference order is
+  ``s-1, s-2, ..., 0, k-1, ..., s`` (descending from the pointer).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+
+def clog2(value: int) -> int:
+    """SystemVerilog ``$clog2``: ceil(log2(value)), with ``$clog2(1) = 0``."""
+    if value < 1:
+        return 0
+    return math.ceil(math.log2(value))
+
+
+def thermometer(pointer: int, num_inputs: int) -> int:
+    """Thermometer-encode a round-robin pointer: bits ``0..pointer-1`` set."""
+    if not 0 <= pointer <= num_inputs:
+        raise ValueError(f"pointer {pointer} out of range [0, {num_inputs}]")
+    return (1 << pointer) - 1
+
+
+def is_thermometer(value: int, num_inputs: int) -> bool:
+    """Whether ``value`` is a valid thermometer code of ``num_inputs`` bits."""
+    if value >> num_inputs:
+        return False
+    return value & (value + 1) == 0
+
+
+def unroll_requests(
+    req: int, pri: Sequence[int], rr_therm: int, num_inputs: int, num_levels: int
+) -> List[int]:
+    """Compute ``req_unroll`` exactly as Figure 8 does.
+
+    ``req_unroll[0] = req`` and, for ``p >= 1``,
+    ``req_unroll[p][i] = req[i] & ({pri[i], rr_therm[i]} >= 2p - 1)``.
+    The concatenation ``{pri[i], rr_therm[i]}`` has value
+    ``2 * pri[i] + rr_therm[i]``.
+    """
+    unrolled = [req]
+    for p in range(1, num_levels + 1):
+        vec = 0
+        for i in range(num_inputs):
+            if not (req >> i) & 1:
+                continue
+            combined = 2 * pri[i] + ((rr_therm >> i) & 1)
+            if combined >= 2 * p - 1:
+                vec |= 1 << i
+        unrolled.append(vec)
+    return unrolled
+
+
+def priority_arb_bits(
+    req: int, pri: Sequence[int], rr_therm: int, num_inputs: int, num_levels: int
+) -> int:
+    """The grant vector computed by the Figure 8 hardware.
+
+    Returns a one-hot (or zero) ``num_inputs``-bit grant vector.
+    """
+    if num_inputs < 1:
+        raise ValueError("num_inputs must be positive")
+    if num_levels < 1:
+        raise ValueError("num_levels must be positive")
+    if len(pri) != num_inputs:
+        raise ValueError(f"expected {num_inputs} priorities, got {len(pri)}")
+    for i, level in enumerate(pri):
+        if not 0 <= level < num_levels:
+            raise ValueError(f"pri[{i}] = {level} outside [0, {num_levels})")
+    if not is_thermometer(rr_therm, num_inputs):
+        raise ValueError(f"rr_therm {rr_therm:#x} is not thermometer encoded")
+
+    k = num_inputs
+    unrolled_list = unroll_requests(req, pri, rr_therm, k, num_levels)
+    # Pack req_unroll into one wide bit vector, level p occupying bits
+    # [p*k, (p+1)*k).
+    req_unroll = 0
+    for p, vec in enumerate(unrolled_list):
+        req_unroll |= vec << (p * k)
+
+    # Parallel-prefix OR: higher_pri_req[j] = OR of req_unroll[j+1 ..]. The
+    # hardware bounds the prefix span using the thermometer structure of the
+    # unrolled requests; the loop below is the literal translation.
+    higher_pri_req = req_unroll >> 1
+    for i in range(clog2(k - 1) if k > 1 else 0):
+        higher_pri_req |= higher_pri_req >> (1 << i)
+
+    grant_unroll = req_unroll & ~higher_pri_req
+
+    # Fold the unrolled grants back down to k bits.
+    for i in range(clog2(num_levels + 1)):
+        grant_unroll |= grant_unroll >> (k << i)
+
+    return grant_unroll & ((1 << k) - 1)
+
+
+def behavioral_grant(
+    req: int, pri: Sequence[int], rr_therm: int, num_inputs: int, num_levels: int
+) -> Optional[int]:
+    """Behavioural reference for :func:`priority_arb_bits`.
+
+    The winner is the requesting input with the largest key
+    ``(effective_level, index)``, where the effective level is
+    ``min(P, pri[i] + rr_therm[i])`` -- the highest unrolled request level
+    the input reaches. Returns the granted input index or ``None``.
+    """
+    best: Optional[int] = None
+    best_key = (-1, -1)
+    for i in range(num_inputs):
+        if not (req >> i) & 1:
+            continue
+        rr_bit = (rr_therm >> i) & 1
+        level = min(num_levels, pri[i] + rr_bit)
+        key = (level, i)
+        if key > best_key:
+            best_key = key
+            best = i
+    return best
+
+
+def grant_index(grant_vector: int) -> Optional[int]:
+    """Convert a one-hot grant vector to an input index (or None)."""
+    if grant_vector == 0:
+        return None
+    if grant_vector & (grant_vector - 1):
+        raise ValueError(f"grant vector {grant_vector:#x} is not one-hot")
+    return grant_vector.bit_length() - 1

@@ -1,0 +1,66 @@
+"""Locally fair round-robin arbiter.
+
+This is the baseline arbiter of Section 4.1's measurements ("round-robin
+arbitration"): each requesting input is granted in cyclic order, giving
+every *input* (not every *source*) an equal share of the output. Chained
+through multiple arbitration points, this local fairness composes into
+global unfairness -- the effect Figure 9 quantifies.
+
+The round-robin order is descending from the pointer, to match the
+hardware arbiter of Figure 8 (whose thermometer-encoded pointer prefers
+the highest index below the pointer, wrapping to the highest index
+overall). Any consistent cyclic order gives identical fairness behaviour;
+matching the hardware makes the behavioural and bit-level models directly
+comparable in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .base import Arbiter, Request
+
+
+def rr_order(pointer: int, num_inputs: int) -> list:
+    """The descending round-robin preference order for a pointer value.
+
+    ``pointer`` is the index one above the most-preferred input:
+    preference is ``pointer-1, pointer-2, ..., 0, k-1, ..., pointer``.
+    """
+    return [(pointer - 1 - i) % num_inputs for i in range(num_inputs)]
+
+
+class RoundRobinArbiter(Arbiter):
+    """Single-priority round-robin arbiter."""
+
+    def __init__(self, num_inputs: int) -> None:
+        super().__init__(num_inputs)
+        self._pointer = 0
+
+    def peek(self, requests: Sequence[Optional[Request]]) -> Optional[int]:
+        for index in rr_order(self._pointer, self.num_inputs):
+            if requests[index] is not None:
+                return index
+        return None
+
+    def commit(self, index: int, request: Request) -> None:
+        self._pointer = index
+        self.record_grant(index)
+
+
+class FixedPriorityArbiter(Arbiter):
+    """Fixed-priority arbiter: the highest index always wins.
+
+    This matches the most-significant-bit-first rule used inside the
+    hardware arbiter of Figure 8. It is intentionally unfair and exists as
+    a building block and as a worst-case baseline in fairness tests.
+    """
+
+    def peek(self, requests: Sequence[Optional[Request]]) -> Optional[int]:
+        for index in range(self.num_inputs - 1, -1, -1):
+            if requests[index] is not None:
+                return index
+        return None
+
+    def commit(self, index: int, request: Request) -> None:
+        self.record_grant(index)

@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
+
+Commands map onto the reproduction's main entry points:
+
+* ``info``       -- machine summary and Figure 2 packaging census
+* ``route``      -- print every hop (and VC) of one unified-network route
+* ``search``     -- the Section 2.4 direction-order routing search
+* ``deadlock``   -- the Section 2.5 dependency-graph verification
+* ``throughput`` -- one batch-throughput measurement point
+* ``latency``    -- the Figure 11/12 latency model
+* ``area``       -- Tables 1 and 2 from the area model
+* ``energy``     -- the Figure 13 energy curves
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.geometry import Dim
+from repro.core.machine import Machine, MachineConfig
+from repro.core.packaging import Packaging
+from repro.core.routing import RouteChoice, RouteComputer
+
+
+def parse_shape(text: str):
+    """Parse '8x2x2' into a torus shape tuple."""
+    parts = text.lower().split("x")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(f"shape must be KxKxK, got {text!r}")
+    try:
+        return tuple(int(p) for p in parts)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def parse_endpoint(text: str):
+    """Parse 'x,y,z:e' into (chip coordinate, endpoint index)."""
+    try:
+        chip_text, _, ep_text = text.partition(":")
+        chip = tuple(int(c) for c in chip_text.split(","))
+        endpoint = int(ep_text) if ep_text else 0
+        if len(chip) != 3:
+            raise ValueError
+        return chip, endpoint
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"endpoint must be 'x,y,z:e', got {text!r}"
+        )
+
+
+def _machine(args) -> Machine:
+    return Machine(
+        MachineConfig(shape=args.shape, endpoints_per_chip=args.endpoints)
+    )
+
+
+def cmd_info(args) -> int:
+    machine = _machine(args)
+    print(machine.describe())
+    print(Packaging(args.shape).summary())
+    return 0
+
+
+def cmd_route(args) -> int:
+    machine = _machine(args)
+    routes = RouteComputer(machine)
+    src_chip, src_index = args.src
+    dst_chip, dst_index = args.dst
+    order = tuple(Dim[c] for c in args.order.upper())
+    choice = RouteChoice(dim_order=order, slice_index=args.slice)
+    route = routes.compute(
+        machine.ep_id[(src_chip, src_index)],
+        machine.ep_id[(dst_chip, dst_index)],
+        choice,
+    )
+    print(
+        f"{route.internode_hops} inter-node hops, {len(route.hops)} channel hops:"
+    )
+    for channel_id, vc in route.hops:
+        channel = machine.channels[channel_id]
+        print(
+            f"  {channel.kind.name:13s} "
+            f"{str(machine.components[channel.src]):>20s} -> "
+            f"{str(machine.components[channel.dst]):<20s} vc={vc}"
+        )
+    return 0
+
+
+def cmd_search(args) -> int:
+    from repro.core.onchip import ANTON_DIRECTION_ORDER, direction_order_name
+    from repro.core.route_search import search_direction_orders
+
+    result = search_direction_orders()
+    best = [r.name for r in result.best_orders]
+    print(f"minimal worst-case mesh load: {result.best.worst_load:.1f} torus channels")
+    print(f"optimal direction orders ({len(best)}): {', '.join(best)}")
+    anton = direction_order_name(ANTON_DIRECTION_ORDER)
+    print(f"paper's {anton} optimal: {anton in best}")
+    return 0
+
+
+def cmd_deadlock(args) -> int:
+    from repro.core import deadlock
+
+    machine = Machine(
+        MachineConfig(
+            shape=args.shape, endpoints_per_chip=1, vc_scheme=args.scheme
+        )
+    )
+    report = deadlock.analyze(machine, RouteComputer(machine))
+    print(
+        f"scheme={args.scheme} shape={args.shape}: "
+        f"deadlock_free={report.deadlock_free} "
+        f"T-VCs={sorted(report.t_vcs_used)} M-VCs={sorted(report.m_vcs_used)} "
+        f"routes={report.routes}"
+    )
+    if report.cycle:
+        print("cycle:", deadlock.describe_cycle(machine, report.cycle))
+    return 0 if report.deadlock_free == (args.scheme != "unsafe-single") else 1
+
+
+def cmd_throughput(args) -> int:
+    from repro.analysis.throughput import measure_batch
+    from repro.traffic.patterns import (
+        NHopNeighbor,
+        ReverseTornado,
+        Tornado,
+        UniformRandom,
+    )
+
+    machine = _machine(args)
+    routes = RouteComputer(machine)
+    patterns = {
+        "uniform": lambda: UniformRandom(args.shape),
+        "2hop": lambda: NHopNeighbor(args.shape, 2),
+        "1hop": lambda: NHopNeighbor(args.shape, 1),
+        "tornado": lambda: Tornado(args.shape),
+        "reverse-tornado": lambda: ReverseTornado(args.shape),
+    }
+    pattern = patterns[args.pattern]()
+    point = measure_batch(
+        machine,
+        routes,
+        pattern,
+        batch_size=args.batch,
+        cores_per_chip=args.cores,
+        arbitration=args.arbitration,
+        seed=args.seed,
+    )
+    print(
+        f"{pattern.name} / {args.arbitration}: normalized throughput "
+        f"{point.normalized_throughput:.3f}, finish spread "
+        f"{point.finish_spread:.3f}, {point.completion_cycles} cycles "
+        f"({point.wall_seconds:.1f}s wall)"
+    )
+    return 0
+
+
+def cmd_latency(args) -> int:
+    from repro.models.latency import (
+        LatencyModel,
+        aggregate_breakdown,
+        latency_vs_hops,
+        linear_fit,
+        minimum_internode_route,
+        network_fraction,
+    )
+
+    machine = _machine(args)
+    routes = RouteComputer(machine)
+    model = LatencyModel()
+    latencies = latency_vs_hops(machine, routes, model, max_pairs_per_distance=8)
+    for hops in sorted(latencies):
+        print(f"  {hops} hops: {latencies[hops]:.1f} ns")
+    intercept, slope = linear_fit(latencies)
+    print(f"fit: {intercept:.1f} ns + {slope:.1f} ns/hop (paper: 80.7 + 39.1)")
+    route = minimum_internode_route(machine, routes)
+    items = model.route_breakdown(machine, route)
+    total = sum(ns for _l, ns in items)
+    print(f"minimum inter-node latency: {total:.1f} ns "
+          f"(network {network_fraction(items) * 100:.0f}%)")
+    for label, ns in aggregate_breakdown(items):
+        print(f"  {label:14s} {ns:6.2f} ns")
+    return 0
+
+
+def cmd_area(args) -> int:
+    from repro.models.area import AreaModel, CATEGORIES
+
+    model = AreaModel()
+    print("Table 1 (% of die):")
+    for component, pct in model.table1().items():
+        print(f"  {component:10s} {pct:5.2f}")
+    print("Table 2 (% of network area):")
+    table = model.table2()
+    for category in CATEGORIES:
+        print(f"  {category:14s} {table[category]['Total']:5.1f}")
+    return 0
+
+
+def cmd_energy(args) -> int:
+    from repro.models.energy import EnergyModel, energy_curve
+
+    model = EnergyModel()
+    rates = (0.1, 0.25, 0.5, 0.75, 0.9)
+    for pattern in ("zeros", "ones", "random"):
+        curve = energy_curve(model, pattern, rates)
+        values = "  ".join(f"{rate:.2f}:{energy:6.1f}" for rate, energy in curve)
+        print(f"{pattern:7s} pJ/flit  {values}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Anton 2 unified-network reproduction (ISCA 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_machine_args(p, endpoints=4):
+        p.add_argument("--shape", type=parse_shape, default=(4, 4, 4))
+        p.add_argument("--endpoints", type=int, default=endpoints)
+
+    p = sub.add_parser("info", help="machine and packaging summary")
+    add_machine_args(p)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("route", help="print one route hop by hop")
+    add_machine_args(p)
+    p.add_argument("--src", type=parse_endpoint, required=True)
+    p.add_argument("--dst", type=parse_endpoint, required=True)
+    p.add_argument("--order", default="XYZ", choices=["XYZ", "XZY", "YXZ", "YZX", "ZXY", "ZYX"])
+    p.add_argument("--slice", type=int, default=0, choices=[0, 1])
+    p.set_defaults(func=cmd_route)
+
+    p = sub.add_parser("search", help="Section 2.4 routing search")
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("deadlock", help="Section 2.5 dependency check")
+    p.add_argument("--shape", type=parse_shape, default=(3, 3, 3))
+    p.add_argument(
+        "--scheme", default="anton", choices=["anton", "baseline", "unsafe-single"]
+    )
+    p.set_defaults(func=cmd_deadlock)
+
+    p = sub.add_parser("throughput", help="one batch-throughput point")
+    add_machine_args(p)
+    p.add_argument(
+        "--pattern",
+        default="uniform",
+        choices=["uniform", "1hop", "2hop", "tornado", "reverse-tornado"],
+    )
+    p.add_argument("--batch", type=int, default=64)
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--arbitration", default="iw", choices=["rr", "age", "iw"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_throughput)
+
+    p = sub.add_parser("latency", help="Figure 11/12 latency model")
+    add_machine_args(p, endpoints=2)
+    p.set_defaults(func=cmd_latency)
+
+    p = sub.add_parser("area", help="Tables 1 and 2")
+    p.set_defaults(func=cmd_area)
+
+    p = sub.add_parser("energy", help="Figure 13 energy curves")
+    p.set_defaults(func=cmd_energy)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

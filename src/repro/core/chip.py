@@ -1,0 +1,253 @@
+"""The Anton 2 ASIC floorplan: 4 x 4 mesh, skip channels, adapters.
+
+This module reconstructs the on-chip topology of Figure 1 from the paper's
+textual constraints (see DESIGN.md Section 3):
+
+* the mesh is ``MESH_RADIX x MESH_RADIX`` (4 x 4), routers addressed by
+  mesh coordinates ``(u, v)``;
+* high-speed I/O sits on the two opposite edges ``u = 0`` and ``u = 3``;
+* both directions of a Y or Z torus channel pair attach to a *single*
+  router so through traffic crosses one router; same-slice Y and Z share
+  an edge (the text pins ``Y0+/Y0-`` to router ``(0, 2)``);
+* the X+ and X- channels are split across the two edges (the text pins
+  ``X1-`` to ``(3, 0)`` and ``X1+`` to ``(0, 0)``), and a *skip channel*
+  connects each X pair directly so X through traffic skips the two
+  intermediate routers.
+
+Everything here is pure layout data; :mod:`repro.core.machine` instantiates
+components and channels from it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from . import params
+from .geometry import (
+    Coord2,
+    Dim,
+    TORUS_DIRECTIONS,
+    TorusDirection,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SkipChannel:
+    """A bidirectional skip channel between two routers on one mesh row.
+
+    ``slice_index`` records which torus slice's X traffic uses it; the
+    deadlock analysis places skip channels in the T-group.
+    """
+
+    ends: Tuple[Coord2, Coord2]
+    slice_index: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ChipFloorplan:
+    """Placement of channel adapters, skip channels, and endpoint adapters.
+
+    Attributes
+    ----------
+    mesh_radix:
+        Routers per mesh dimension (4 for Anton 2).
+    channel_adapter_router:
+        Maps ``(direction, slice)`` to the mesh coordinates of the router
+        the corresponding torus-channel adapter attaches to.
+    skip_channels:
+        The skip channels (two for Anton 2, one per slice).
+    endpoint_router:
+        ``endpoint_router[e]`` is the router that endpoint adapter ``e``
+        attaches to.
+    """
+
+    mesh_radix: int
+    channel_adapter_router: Dict[Tuple[TorusDirection, int], Coord2]
+    skip_channels: Tuple[SkipChannel, ...]
+    endpoint_router: Tuple[Coord2, ...]
+
+    #: Ports per router (six in Anton 2).
+    ROUTER_PORTS = 6
+
+    @property
+    def num_endpoints(self) -> int:
+        return len(self.endpoint_router)
+
+    @property
+    def num_channel_adapters(self) -> int:
+        return len(self.channel_adapter_router)
+
+    def router_coords(self) -> List[Coord2]:
+        """All router coordinates in row-major (u, then v) order."""
+        return [
+            (u, v)
+            for u in range(self.mesh_radix)
+            for v in range(self.mesh_radix)
+        ]
+
+    def mesh_links(self) -> List[Tuple[Coord2, Coord2]]:
+        """All bidirectional mesh links as coordinate pairs (u, v) sorted."""
+        links = []
+        r = self.mesh_radix
+        for u in range(r):
+            for v in range(r):
+                if u + 1 < r:
+                    links.append(((u, v), (u + 1, v)))
+                if v + 1 < r:
+                    links.append(((u, v), (u, v + 1)))
+        return links
+
+    def skip_for(self, src_router: Coord2, dst_router: Coord2) -> bool:
+        """Whether a skip channel directly connects these two routers."""
+        for skip in self.skip_channels:
+            if set(skip.ends) == {src_router, dst_router}:
+                return True
+        return False
+
+    def ports_used(self) -> Dict[Coord2, int]:
+        """Ports consumed at each router (mesh + skip + adapters)."""
+        used = {coord: 0 for coord in self.router_coords()}
+        for a, b in self.mesh_links():
+            used[a] += 1
+            used[b] += 1
+        for skip in self.skip_channels:
+            for end in skip.ends:
+                used[end] += 1
+        for coord in self.channel_adapter_router.values():
+            used[coord] += 1
+        for coord in self.endpoint_router:
+            used[coord] += 1
+        return used
+
+    def validate(self) -> None:
+        """Check structural invariants (port budget, placement legality)."""
+        r = self.mesh_radix
+        for (direction, slice_index), coord in self.channel_adapter_router.items():
+            if slice_index not in range(params.NUM_SLICES):
+                raise ValueError(f"bad slice {slice_index} for {direction}")
+            if not (0 <= coord[0] < r and 0 <= coord[1] < r):
+                raise ValueError(f"adapter {direction} slice {slice_index} at {coord} off mesh")
+        for skip in self.skip_channels:
+            (u1, v1), (u2, v2) = skip.ends
+            if v1 != v2:
+                raise ValueError(f"skip channel {skip} must run along one mesh row")
+        for coord, used in self.ports_used().items():
+            if used > self.ROUTER_PORTS:
+                raise ValueError(
+                    f"router {coord} uses {used} ports, more than {self.ROUTER_PORTS}"
+                )
+
+
+def _default_adapter_placement() -> Dict[Tuple[TorusDirection, int], Coord2]:
+    """The Figure 1 channel-adapter placement (see DESIGN.md Section 3)."""
+    placement: Dict[Tuple[TorusDirection, int], Coord2] = {}
+    for direction in TORUS_DIRECTIONS:
+        for slice_index in range(params.NUM_SLICES):
+            if direction.dim == Dim.X:
+                # X+ on the u=0 edge, X- on the u=3 edge; slice 1 on row
+                # v=0 (pinned by the paper's example), slice 0 on row v=3.
+                u = 0 if direction.sign > 0 else 3
+                v = 0 if slice_index == 1 else 3
+                placement[(direction, slice_index)] = (u, v)
+            else:
+                # Y and Z pairs on a single router; slice 0 on the u=0
+                # edge, slice 1 on the u=3 edge. Y at v=2 (pinned by the
+                # paper's example), Z at v=1.
+                u = 0 if slice_index == 0 else 3
+                v = 2 if direction.dim == Dim.Y else 1
+                placement[(direction, slice_index)] = (u, v)
+    return placement
+
+
+def _default_skip_channels() -> Tuple[SkipChannel, ...]:
+    """Skip channels between the X adapters of each slice."""
+    return (
+        SkipChannel(ends=((3, 0), (0, 0)), slice_index=1),
+        SkipChannel(ends=((0, 3), (3, 3)), slice_index=0),
+    )
+
+
+def _default_endpoint_placement(
+    num_endpoints: int,
+    adapter_placement: Dict[Tuple[TorusDirection, int], Coord2],
+    skip_channels: Sequence[SkipChannel],
+    mesh_radix: int,
+) -> Tuple[Coord2, ...]:
+    """Distribute endpoint adapters round-robin over routers with free ports.
+
+    The real chip attaches 23 endpoint adapters; the exact assignment is
+    not published, so we spread endpoints as evenly as possible (at most
+    one per router per round) which both respects the port budget and
+    matches the paper's measurement setup of one active core per router.
+    """
+    free = {
+        (u, v): ChipFloorplan.ROUTER_PORTS
+        for u in range(mesh_radix)
+        for v in range(mesh_radix)
+    }
+    plan = ChipFloorplan(
+        mesh_radix=mesh_radix,
+        channel_adapter_router=adapter_placement,
+        skip_channels=tuple(skip_channels),
+        endpoint_router=(),
+    )
+    for a, b in plan.mesh_links():
+        free[a] -= 1
+        free[b] -= 1
+    for skip in skip_channels:
+        for end in skip.ends:
+            free[end] -= 1
+    for coord in adapter_placement.values():
+        free[coord] -= 1
+
+    order = [
+        (u, v) for v in range(mesh_radix) for u in range(mesh_radix)
+    ]
+    placement: List[Coord2] = []
+    while len(placement) < num_endpoints:
+        progress = False
+        for coord in order:
+            if len(placement) >= num_endpoints:
+                break
+            if free[coord] > 0:
+                placement.append(coord)
+                free[coord] -= 1
+                progress = True
+        if not progress:
+            raise ValueError(
+                f"cannot place {num_endpoints} endpoints: only "
+                f"{len(placement)} ports available"
+            )
+    return tuple(placement)
+
+
+def default_floorplan(
+    num_endpoints: int = params.ENDPOINTS_PER_ASIC,
+    mesh_radix: int = params.MESH_RADIX,
+) -> ChipFloorplan:
+    """Build the default Anton 2 floorplan.
+
+    ``num_endpoints`` may be reduced for small simulations; the default is
+    the real chip's 23. ``mesh_radix`` other than 4 is supported for unit
+    tests of mesh routing but does not reposition the adapters, so only
+    radix 4 is a faithful Anton 2 chip.
+    """
+    if mesh_radix != params.MESH_RADIX:
+        raise ValueError(
+            "only the 4 x 4 Anton 2 mesh has a defined floorplan; "
+            f"got mesh_radix={mesh_radix}"
+        )
+    adapters = _default_adapter_placement()
+    skips = _default_skip_channels()
+    endpoints = _default_endpoint_placement(
+        num_endpoints, adapters, skips, mesh_radix
+    )
+    plan = ChipFloorplan(
+        mesh_radix=mesh_radix,
+        channel_adapter_router=adapters,
+        skip_channels=skips,
+        endpoint_router=endpoints,
+    )
+    plan.validate()
+    return plan

@@ -1,0 +1,224 @@
+"""Coordinate systems and direction vocabulary for the Anton 2 network.
+
+Two coordinate systems coexist:
+
+* **Torus coordinates** ``(x, y, z)`` locate an ASIC in the three-dimensional
+  inter-node torus. The torus dimensions are named X, Y, Z (paper
+  Section 2.2).
+* **Mesh coordinates** ``(u, v)`` locate a router within an ASIC's 4 x 4
+  on-chip mesh. The mesh dimensions are named U, V to avoid confusion with
+  the torus dimensions.
+
+Directions are represented as small immutable objects. A torus direction is
+a (dimension, sign) pair such as ``X+`` and a mesh direction is one of
+``U+, U-, V+, V-``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterator, Sequence, Tuple
+
+Coord3 = Tuple[int, int, int]
+Coord2 = Tuple[int, int]
+
+
+class Dim(enum.IntEnum):
+    """A torus dimension."""
+
+    X = 0
+    Y = 1
+    Z = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class TorusDirection:
+    """A signed torus direction, e.g. ``X+`` or ``Z-``.
+
+    ``sign`` is +1 or -1.
+    """
+
+    dim: Dim
+    sign: int
+
+    def __post_init__(self) -> None:
+        if self.sign not in (1, -1):
+            raise ValueError(f"sign must be +1 or -1, got {self.sign}")
+
+    @property
+    def opposite(self) -> "TorusDirection":
+        """The direction pointing the other way along the same dimension."""
+        return TorusDirection(self.dim, -self.sign)
+
+    def __str__(self) -> str:
+        return f"{self.dim.name}{'+' if self.sign > 0 else '-'}"
+
+
+#: The six torus directions in canonical order X+, X-, Y+, Y-, Z+, Z-.
+TORUS_DIRECTIONS: Tuple[TorusDirection, ...] = tuple(
+    TorusDirection(dim, sign) for dim in Dim for sign in (1, -1)
+)
+
+XP = TorusDirection(Dim.X, 1)
+XM = TorusDirection(Dim.X, -1)
+YP = TorusDirection(Dim.Y, 1)
+YM = TorusDirection(Dim.Y, -1)
+ZP = TorusDirection(Dim.Z, 1)
+ZM = TorusDirection(Dim.Z, -1)
+
+
+class MeshDirection(enum.Enum):
+    """A direction in the on-chip mesh: U+, U-, V+ or V-."""
+
+    UP = ("U", 1)
+    UM = ("U", -1)
+    VP = ("V", 1)
+    VM = ("V", -1)
+
+    def __init__(self, axis: str, sign: int) -> None:
+        self.axis = axis
+        self.sign = sign
+
+    @property
+    def delta(self) -> Coord2:
+        """The (du, dv) step taken by one hop in this direction."""
+        if self.axis == "U":
+            return (self.sign, 0)
+        return (0, self.sign)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.axis}{'+' if self.sign > 0 else '-'}"
+
+
+#: All four mesh directions in canonical order.
+MESH_DIRECTIONS: Tuple[MeshDirection, ...] = (
+    MeshDirection.UP,
+    MeshDirection.UM,
+    MeshDirection.VP,
+    MeshDirection.VM,
+)
+
+
+def torus_delta(src: int, dst: int, radix: int) -> int:
+    """Signed minimal displacement from ``src`` to ``dst`` on a ring.
+
+    Returns the displacement with the smallest absolute value; ties (exactly
+    half way around an even-radix ring) are broken toward the positive
+    direction, matching the deterministic tie-break used by the router's
+    route computation. The result is in ``[-radix//2 + 1, radix//2]`` for
+    even radix and ``[-(radix-1)//2, (radix-1)//2]`` for odd radix.
+    """
+    if not 0 <= src < radix or not 0 <= dst < radix:
+        raise ValueError(f"coordinates must be in [0, {radix}), got {src}, {dst}")
+    delta = (dst - src) % radix
+    if delta > radix // 2:
+        delta -= radix
+    elif delta == radix // 2 and radix % 2 == 0:
+        # Exactly half way: both directions are minimal; choose +.
+        pass
+    return delta
+
+
+def minimal_deltas(src: int, dst: int, radix: int) -> Tuple[int, ...]:
+    """All minimal signed displacements from ``src`` to ``dst`` on a ring.
+
+    Usually a single value; two values (one positive, one negative) when the
+    distance is exactly half of an even radix.
+    """
+    delta = (dst - src) % radix
+    if delta == 0:
+        return (0,)
+    if 2 * delta < radix:
+        return (delta,)
+    if 2 * delta > radix:
+        return (delta - radix,)
+    return (delta, delta - radix)
+
+
+def torus_hops(src: Coord3, dst: Coord3, shape: Coord3) -> int:
+    """Minimal inter-node hop count between two torus coordinates."""
+    return sum(
+        abs(torus_delta(s, d, k)) for s, d, k in zip(src, dst, shape)
+    )
+
+
+def wrap(coord: int, radix: int) -> int:
+    """Wrap a ring coordinate into ``[0, radix)``."""
+    return coord % radix
+
+
+def ring_path(src: int, delta: int, radix: int) -> Iterator[int]:
+    """Yield the ring coordinates visited moving ``delta`` from ``src``.
+
+    The first yielded coordinate is the first hop's destination; ``src``
+    itself is not yielded. ``delta`` may be negative.
+    """
+    step = 1 if delta >= 0 else -1
+    cur = src
+    for _ in range(abs(delta)):
+        cur = (cur + step) % radix
+        yield cur
+
+
+def crosses_dateline(src: int, delta: int, radix: int) -> bool:
+    """Whether a minimal ring route from ``src`` moving ``delta`` crosses
+    the dateline placed between coordinates ``radix - 1`` and ``0``.
+
+    A packet crosses the dateline when its coordinate changes from
+    ``radix - 1`` to ``0`` (traveling +) or from ``0`` to ``radix - 1``
+    (traveling -). This matches the dateline placement of Section 2.5.
+    """
+    cur = src
+    step = 1 if delta >= 0 else -1
+    for _ in range(abs(delta)):
+        nxt = (cur + step) % radix
+        if (cur == radix - 1 and nxt == 0) or (cur == 0 and nxt == radix - 1):
+            return True
+        cur = nxt
+    return False
+
+
+def dateline_hop_index(src: int, delta: int, radix: int) -> int:
+    """Index (0-based) of the hop that crosses the dateline, or -1 if none.
+
+    Hop ``i`` moves from the ``i``-th to the ``(i+1)``-th coordinate of the
+    route.
+    """
+    cur = src
+    step = 1 if delta >= 0 else -1
+    for i in range(abs(delta)):
+        nxt = (cur + step) % radix
+        if (cur == radix - 1 and nxt == 0) or (cur == 0 and nxt == radix - 1):
+            return i
+        cur = nxt
+    return -1
+
+
+def validate_shape(shape: Sequence[int], max_radix: int = 16) -> Coord3:
+    """Validate a torus shape tuple and return it as a 3-tuple.
+
+    Every radix must be at least 1 and at most ``max_radix`` (the paper's
+    maximum machine is 16 x 16 x 16).
+    """
+    if len(shape) != 3:
+        raise ValueError(f"torus shape must have 3 dimensions, got {shape!r}")
+    x, y, z = (int(k) for k in shape)
+    for k in (x, y, z):
+        if not 1 <= k <= max_radix:
+            raise ValueError(
+                f"torus radix must be in [1, {max_radix}], got shape {shape!r}"
+            )
+    return (x, y, z)
+
+
+def all_coords(shape: Coord3) -> Iterator[Coord3]:
+    """Iterate over every torus coordinate of a machine of this shape."""
+    kx, ky, kz = shape
+    for x in range(kx):
+        for y in range(ky):
+            for z in range(kz):
+                yield (x, y, z)

@@ -1,0 +1,408 @@
+"""Whole-machine model: a channel-sliced 3D torus of Anton 2 ASICs.
+
+The :class:`Machine` instantiates every network component (routers,
+endpoint adapters, channel adapters) and every directed channel (mesh,
+skip, router/adapter links, inter-node torus channels) for a configurable
+torus shape, and exposes the lookup tables that routing
+(:mod:`repro.core.routing`), the deadlock checker
+(:mod:`repro.core.deadlock`) and the simulator (:mod:`repro.sim`) operate
+on.
+
+The deadlock analysis of Section 2.5 divides channels into two groups:
+
+* **M-group** -- mesh channels, excluding skip channels and the links
+  between routers and torus-channel adapters;
+* **T-group** -- skip channels, router/channel-adapter links, and the
+  torus channels themselves.
+
+Endpoint-adapter links are pure traffic sources/sinks and belong to
+neither group (``ChannelGroup.E``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from . import params
+from .chip import ChipFloorplan, default_floorplan
+from .geometry import (
+    Coord2,
+    Coord3,
+    Dim,
+    TORUS_DIRECTIONS,
+    TorusDirection,
+    all_coords,
+    validate_shape,
+)
+
+
+class ComponentKind(enum.IntEnum):
+    """The three network component types of Figure 1 / Table 1."""
+
+    ROUTER = 0
+    ENDPOINT = 1
+    CHANNEL_ADAPTER = 2
+
+
+class ChannelKind(enum.IntEnum):
+    """Physical role of a directed channel."""
+
+    MESH = 0
+    SKIP = 1
+    ROUTER_TO_CA = 2
+    CA_TO_ROUTER = 3
+    ROUTER_TO_EP = 4
+    EP_TO_ROUTER = 5
+    TORUS = 6
+
+
+class ChannelGroup(enum.IntEnum):
+    """Deadlock-analysis channel group (Section 2.5)."""
+
+    M = 0
+    T = 1
+    E = 2
+
+
+#: Channel kinds belonging to the T-group.
+T_GROUP_KINDS = frozenset(
+    {ChannelKind.SKIP, ChannelKind.ROUTER_TO_CA, ChannelKind.CA_TO_ROUTER, ChannelKind.TORUS}
+)
+
+
+def group_of(kind: ChannelKind) -> ChannelGroup:
+    """Map a channel kind to its deadlock-analysis group."""
+    if kind == ChannelKind.MESH:
+        return ChannelGroup.M
+    if kind in T_GROUP_KINDS:
+        return ChannelGroup.T
+    return ChannelGroup.E
+
+
+@dataclasses.dataclass(frozen=True)
+class Component:
+    """One network component instance.
+
+    ``detail`` disambiguates within a chip: mesh coordinates for a router,
+    ``(direction, slice)`` for a channel adapter, or an integer index for
+    an endpoint adapter.
+    """
+
+    cid: int
+    kind: ComponentKind
+    chip: Coord3
+    detail: object
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind == ComponentKind.ROUTER:
+            return f"R{self.detail}@{self.chip}"
+        if self.kind == ComponentKind.ENDPOINT:
+            return f"E{self.detail}@{self.chip}"
+        direction, slice_index = self.detail
+        return f"C[{direction}{slice_index}]@{self.chip}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Channel:
+    """One directed channel between two components.
+
+    ``cycles_per_flit`` expresses the channel's bandwidth relative to the
+    on-chip clock: mesh channels move one flit per cycle
+    (``cycles_per_flit = 1``); the effective torus-channel bandwidth is
+    89.6 Gb/s against the mesh's 288 Gb/s, i.e. about 3.2 cycles per
+    flit. This 1:3.2 ratio is what lets one mesh channel absorb two torus
+    channels of through traffic with headroom (Section 2.4).
+    """
+
+    cid: int
+    src: int
+    dst: int
+    kind: ChannelKind
+    group: ChannelGroup
+    latency: int
+    cycles_per_flit: float = 1.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ch{self.cid}[{self.kind.name}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineConfig:
+    """Configuration of a machine instance.
+
+    Parameters mirror the real machine where they are published and are
+    otherwise simulation knobs. Defaults are chosen for faithful behaviour
+    at simulation-friendly scale; see DESIGN.md for the scale
+    substitutions.
+    """
+
+    #: Torus radices (k_X, k_Y, k_Z). The paper's machine is (8, 8, 8).
+    shape: Coord3 = (4, 4, 4)
+    #: Endpoint adapters instantiated per chip (the real chip has 23; small
+    #: simulations reduce this since idle endpoints only cost memory).
+    endpoints_per_chip: int = params.ENDPOINTS_PER_ASIC
+    #: VC scheme: "anton" (promotion, n+1 VCs), "baseline" (2n VCs), or
+    #: "unsafe-single" (one VC, deadlock-prone -- a negative control used
+    #: by the deadlock tests).
+    vc_scheme: str = "anton"
+    #: Traffic classes instantiated in simulation (the hardware has 2;
+    #: experiments drive a single class).
+    num_classes: int = 1
+    #: Channel latencies, in cycles.
+    mesh_latency: int = 1
+    skip_latency: int = 1
+    adapter_link_latency: int = 1
+    torus_latency: int = 12
+    #: Per-VC input buffer depth in flits for on-chip channels.
+    onchip_buffer_flits: int = 8
+    #: Per-VC input buffer depth in flits for torus-channel inputs (the
+    #: channel adapters carry deep queues to cover the inter-node
+    #: credit round trip; cf. Table 2's queue-dominated channel adapters).
+    torus_buffer_flits: int = 64
+    #: Cycles a torus channel needs per flit: the mesh-to-effective-torus
+    #: bandwidth ratio 288 / 89.6. Setting this to 1.0 models an
+    #: (unrealistic) full-speed torus; tests use that to stress the mesh.
+    torus_cycles_per_flit: float = (
+        params.MESH_CHANNEL_GBPS / params.TORUS_CHANNEL_EFFECTIVE_GBPS
+    )
+    #: Extra cycles a packet spends in a component's pipeline (RC, VA, ...)
+    #: before it may arbitrate for an output. Zero keeps the fast
+    #: one-cycle-per-hop abstraction used by the throughput experiments;
+    #: latency-focused studies can set it to the four router stages.
+    router_pipeline_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        validate_shape(self.shape, params.MAX_TORUS_RADIX)
+        if self.vc_scheme not in ("anton", "baseline", "unsafe-single"):
+            raise ValueError(f"unknown vc_scheme {self.vc_scheme!r}")
+        if not 1 <= self.num_classes <= params.NUM_TRAFFIC_CLASSES:
+            raise ValueError(f"num_classes must be 1 or 2, got {self.num_classes}")
+        if not 1 <= self.endpoints_per_chip:
+            raise ValueError("endpoints_per_chip must be at least 1")
+        for name in (
+            "mesh_latency",
+            "skip_latency",
+            "adapter_link_latency",
+            "torus_latency",
+            "onchip_buffer_flits",
+            "torus_buffer_flits",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1")
+        if self.torus_cycles_per_flit <= 0:
+            raise ValueError("torus_cycles_per_flit must be positive")
+        if self.router_pipeline_cycles < 0:
+            raise ValueError("router_pipeline_cycles must be nonnegative")
+
+    @property
+    def vcs_per_class_m(self) -> int:
+        """VCs per traffic class on M-group channels."""
+        if self.vc_scheme == "anton":
+            return params.VCS_PER_CLASS_ANTON
+        if self.vc_scheme == "unsafe-single":
+            return 1
+        return params.VCS_PER_CLASS_BASELINE_M
+
+    @property
+    def vcs_per_class_t(self) -> int:
+        """VCs per traffic class on T-group channels."""
+        if self.vc_scheme == "anton":
+            return params.VCS_PER_CLASS_ANTON
+        if self.vc_scheme == "unsafe-single":
+            return 1
+        return params.VCS_PER_CLASS_BASELINE_T
+
+    @property
+    def num_chips(self) -> int:
+        kx, ky, kz = self.shape
+        return kx * ky * kz
+
+
+class Machine:
+    """A fully elaborated Anton 2 machine (component/channel graph)."""
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        floorplan: Optional[ChipFloorplan] = None,
+    ) -> None:
+        self.config = config or MachineConfig()
+        self.floorplan = floorplan or default_floorplan(
+            num_endpoints=self.config.endpoints_per_chip
+        )
+        if self.floorplan.num_endpoints != self.config.endpoints_per_chip:
+            raise ValueError(
+                "floorplan endpoint count does not match configuration"
+            )
+        self.components: List[Component] = []
+        self.channels: List[Channel] = []
+        #: (chip, (u, v)) -> router component id
+        self.router_id: Dict[Tuple[Coord3, Coord2], int] = {}
+        #: (chip, direction, slice) -> channel-adapter component id
+        self.ca_id: Dict[Tuple[Coord3, TorusDirection, int], int] = {}
+        #: (chip, endpoint index) -> endpoint component id
+        self.ep_id: Dict[Tuple[Coord3, int], int] = {}
+        #: (src component id, dst component id) -> channel id
+        self.channel_between: Dict[Tuple[int, int], int] = {}
+        #: incoming channel ids per component, in input-index order
+        self.component_inputs: List[List[int]] = []
+        #: outgoing channel ids per component
+        self.component_outputs: List[List[int]] = []
+        #: input index of each channel at its destination component
+        self.input_index: List[int] = []
+        self._build()
+
+    # --- construction -----------------------------------------------------
+
+    def _add_component(self, kind: ComponentKind, chip: Coord3, detail: object) -> int:
+        cid = len(self.components)
+        self.components.append(Component(cid, kind, chip, detail))
+        return cid
+
+    def _add_channel(self, src: int, dst: int, kind: ChannelKind, latency: int) -> int:
+        cid = len(self.channels)
+        cycles_per_flit = (
+            self.config.torus_cycles_per_flit if kind == ChannelKind.TORUS else 1.0
+        )
+        channel = Channel(cid, src, dst, kind, group_of(kind), latency, cycles_per_flit)
+        self.channels.append(channel)
+        key = (src, dst)
+        if key in self.channel_between:
+            raise ValueError(f"duplicate channel between {src} and {dst}")
+        self.channel_between[key] = cid
+        return cid
+
+    def _build(self) -> None:
+        cfg = self.config
+        plan = self.floorplan
+        for chip in all_coords(cfg.shape):
+            for coord in plan.router_coords():
+                self.router_id[(chip, coord)] = self._add_component(
+                    ComponentKind.ROUTER, chip, coord
+                )
+            for (direction, slice_index), _coord in sorted(
+                plan.channel_adapter_router.items(),
+                key=lambda item: (item[0][0].dim, item[0][0].sign, item[0][1]),
+            ):
+                self.ca_id[(chip, direction, slice_index)] = self._add_component(
+                    ComponentKind.CHANNEL_ADAPTER, chip, (direction, slice_index)
+                )
+            for index in range(plan.num_endpoints):
+                self.ep_id[(chip, index)] = self._add_component(
+                    ComponentKind.ENDPOINT, chip, index
+                )
+
+        for chip in all_coords(cfg.shape):
+            # Mesh channels (both directions of each link).
+            for a, b in plan.mesh_links():
+                ra = self.router_id[(chip, a)]
+                rb = self.router_id[(chip, b)]
+                self._add_channel(ra, rb, ChannelKind.MESH, cfg.mesh_latency)
+                self._add_channel(rb, ra, ChannelKind.MESH, cfg.mesh_latency)
+            # Skip channels.
+            for skip in plan.skip_channels:
+                ra = self.router_id[(chip, skip.ends[0])]
+                rb = self.router_id[(chip, skip.ends[1])]
+                self._add_channel(ra, rb, ChannelKind.SKIP, cfg.skip_latency)
+                self._add_channel(rb, ra, ChannelKind.SKIP, cfg.skip_latency)
+            # Router <-> channel-adapter links.
+            for (direction, slice_index), coord in plan.channel_adapter_router.items():
+                router = self.router_id[(chip, coord)]
+                adapter = self.ca_id[(chip, direction, slice_index)]
+                self._add_channel(
+                    router, adapter, ChannelKind.ROUTER_TO_CA, cfg.adapter_link_latency
+                )
+                self._add_channel(
+                    adapter, router, ChannelKind.CA_TO_ROUTER, cfg.adapter_link_latency
+                )
+            # Router <-> endpoint-adapter links.
+            for index, coord in enumerate(plan.endpoint_router):
+                router = self.router_id[(chip, coord)]
+                endpoint = self.ep_id[(chip, index)]
+                self._add_channel(
+                    router, endpoint, ChannelKind.ROUTER_TO_EP, cfg.adapter_link_latency
+                )
+                self._add_channel(
+                    endpoint, router, ChannelKind.EP_TO_ROUTER, cfg.adapter_link_latency
+                )
+
+        # Inter-node torus channels. A packet departing chip c in direction
+        # d arrives at the neighbor's adapter for the opposite direction.
+        for chip in all_coords(cfg.shape):
+            for direction in TORUS_DIRECTIONS:
+                radix = cfg.shape[direction.dim]
+                if radix < 2:
+                    continue
+                for slice_index in range(params.NUM_SLICES):
+                    neighbor = self.neighbor(chip, direction)
+                    src = self.ca_id[(chip, direction, slice_index)]
+                    dst = self.ca_id[(neighbor, direction.opposite, slice_index)]
+                    self._add_channel(src, dst, ChannelKind.TORUS, cfg.torus_latency)
+
+        # Input/output indices.
+        self.component_inputs = [[] for _ in self.components]
+        self.component_outputs = [[] for _ in self.components]
+        self.input_index = [0] * len(self.channels)
+        for channel in self.channels:
+            inputs = self.component_inputs[channel.dst]
+            self.input_index[channel.cid] = len(inputs)
+            inputs.append(channel.cid)
+            self.component_outputs[channel.src].append(channel.cid)
+
+    # --- queries ------------------------------------------------------------
+
+    def neighbor(self, chip: Coord3, direction: TorusDirection) -> Coord3:
+        """The torus coordinate one hop away in ``direction``."""
+        coords = list(chip)
+        radix = self.config.shape[direction.dim]
+        coords[direction.dim] = (coords[direction.dim] + direction.sign) % radix
+        return tuple(coords)
+
+    def channel(self, src: int, dst: int) -> Channel:
+        """The directed channel from component ``src`` to ``dst``."""
+        return self.channels[self.channel_between[(src, dst)]]
+
+    def vcs_for_channel(self, channel: Channel) -> int:
+        """Total VC count implemented on a channel's destination buffer."""
+        cfg = self.config
+        if channel.group == ChannelGroup.M:
+            per_class = cfg.vcs_per_class_m
+        elif channel.group == ChannelGroup.T:
+            per_class = cfg.vcs_per_class_t
+        else:
+            per_class = 1
+        return per_class * cfg.num_classes
+
+    def buffer_depth_for_channel(self, channel: Channel) -> int:
+        """Per-VC input buffer depth (flits) at a channel's destination."""
+        if channel.kind == ChannelKind.TORUS:
+            return self.config.torus_buffer_flits
+        return self.config.onchip_buffer_flits
+
+    def endpoints(self) -> Iterator[Component]:
+        """All endpoint adapters, chip-major then index order."""
+        for component in self.components:
+            if component.kind == ComponentKind.ENDPOINT:
+                yield component
+
+    def routers(self) -> Iterator[Component]:
+        for component in self.components:
+            if component.kind == ComponentKind.ROUTER:
+                yield component
+
+    def channel_adapters(self) -> Iterator[Component]:
+        for component in self.components:
+            if component.kind == ComponentKind.CHANNEL_ADAPTER:
+                yield component
+
+    def describe(self) -> str:
+        """A short human-readable summary of the machine."""
+        kx, ky, kz = self.config.shape
+        return (
+            f"Anton 2 machine {kx}x{ky}x{kz} "
+            f"({self.config.num_chips} chips, {len(self.components)} components, "
+            f"{len(self.channels)} directed channels, vc_scheme="
+            f"{self.config.vc_scheme})"
+        )

@@ -1,0 +1,123 @@
+"""Direction-order routing on the on-chip mesh (Section 2.4).
+
+A *direction-order* routing algorithm fixes the order in which a packet
+may traverse the four mesh directions (U+, U-, V+, V-); dimension-order
+(e.g. UV) routing is the special case where both directions of a
+dimension are adjacent in the order. Direction-order algorithms are
+deterministic, minimal in a mesh, and deadlock-free with a single VC
+because the direction transitions form a DAG.
+
+The Anton 2 search (reproduced in :mod:`repro.core.route_search`) found
+that the order **V-, U+, U-, V+** minimizes the worst-case mesh-channel
+load over all switching demands; that order is the default here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Sequence, Tuple
+
+from .geometry import Coord2, MESH_DIRECTIONS, MeshDirection
+
+
+#: The optimal direction order found by the Anton 2 design search.
+ANTON_DIRECTION_ORDER: Tuple[MeshDirection, ...] = (
+    MeshDirection.VM,
+    MeshDirection.UP,
+    MeshDirection.UM,
+    MeshDirection.VP,
+)
+
+
+def validate_direction_order(order: Sequence[MeshDirection]) -> Tuple[MeshDirection, ...]:
+    """Check that ``order`` is a permutation of the four mesh directions."""
+    order = tuple(order)
+    if sorted(d.name for d in order) != sorted(d.name for d in MESH_DIRECTIONS):
+        raise ValueError(
+            f"direction order must be a permutation of U+/U-/V+/V-, got {order}"
+        )
+    return order
+
+
+def all_direction_orders() -> Iterator[Tuple[MeshDirection, ...]]:
+    """All 24 direction-order routing algorithms."""
+    return itertools.permutations(MESH_DIRECTIONS)
+
+
+def mesh_route(
+    src: Coord2,
+    dst: Coord2,
+    order: Sequence[MeshDirection] = ANTON_DIRECTION_ORDER,
+) -> List[MeshDirection]:
+    """The sequence of mesh hops from ``src`` to ``dst`` under ``order``.
+
+    The route takes, for each direction in ``order``, every hop needed in
+    that direction; the result is minimal (Manhattan) and deterministic.
+    """
+    order = validate_direction_order(order)
+    du = dst[0] - src[0]
+    dv = dst[1] - src[1]
+    route: List[MeshDirection] = []
+    for direction in order:
+        if direction.axis == "U":
+            needed = du if direction.sign > 0 else -du
+        else:
+            needed = dv if direction.sign > 0 else -dv
+        if needed > 0:
+            route.extend([direction] * needed)
+            if direction.axis == "U":
+                du = 0
+            else:
+                dv = 0
+    if du != 0 or dv != 0:  # pragma: no cover - order validation prevents this
+        raise AssertionError("direction order failed to complete the route")
+    return route
+
+
+def mesh_route_coords(
+    src: Coord2,
+    dst: Coord2,
+    order: Sequence[MeshDirection] = ANTON_DIRECTION_ORDER,
+) -> List[Coord2]:
+    """Router coordinates visited by :func:`mesh_route`, excluding ``src``."""
+    coords: List[Coord2] = []
+    u, v = src
+    for direction in mesh_route(src, dst, order):
+        du, dv = direction.delta
+        u, v = u + du, v + dv
+        coords.append((u, v))
+    return coords
+
+
+def mesh_route_links(
+    src: Coord2,
+    dst: Coord2,
+    order: Sequence[MeshDirection] = ANTON_DIRECTION_ORDER,
+) -> List[Tuple[Coord2, Coord2]]:
+    """Directed mesh links traversed from ``src`` to ``dst``."""
+    links: List[Tuple[Coord2, Coord2]] = []
+    cur = src
+    for nxt in mesh_route_coords(src, dst, order):
+        links.append((cur, nxt))
+        cur = nxt
+    return links
+
+
+def direction_order_name(order: Sequence[MeshDirection]) -> str:
+    """Compact name like ``V-,U+,U-,V+`` for reports."""
+    return ",".join(str(d) for d in order)
+
+
+def turn_pairs(order: Sequence[MeshDirection]) -> List[Tuple[MeshDirection, MeshDirection]]:
+    """The permitted turns (earlier direction -> later direction).
+
+    Used by the deadlock checker: direction-order routing only ever turns
+    from an earlier direction in the order to a strictly later one, so the
+    turn relation is acyclic and a single VC suffices within the mesh.
+    """
+    order = validate_direction_order(order)
+    pairs = []
+    for i, earlier in enumerate(order):
+        for later in order[i + 1 :]:
+            pairs.append((earlier, later))
+    return pairs

@@ -1,0 +1,149 @@
+"""Physical packaging of an Anton 2 machine (Section 2.2, Figure 2).
+
+Each ASIC sits on a *nodecard*; sixteen nodecards plug into a backplane
+in a 4 x 4 x 1 arrangement, with the torus channels between them routed
+entirely in the backplane. All other torus channels leave the backplane
+on cables, which is what lets a single backplane design serve every
+machine size from 16 to 4,096 ASICs. Eight backplanes mount in a rack;
+a 512-node machine fills four racks.
+
+The model classifies every torus link as backplane trace, intra-rack
+cable, or inter-rack cable, and assigns representative lengths (Figure 2
+annotates nodecard traces of 7.1-11.7 cm and keys trace/cable lengths by
+connection type), from which per-link flight times can be derived.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, Iterator, Tuple
+
+from .geometry import Coord3, TORUS_DIRECTIONS, TorusDirection, all_coords, validate_shape
+
+#: Nodecards per backplane along each torus dimension.
+BACKPLANE_SHAPE = (4, 4, 1)
+
+#: Backplanes mounted in one rack.
+BACKPLANES_PER_RACK = 8
+
+#: Nodecard trace length range, in cm (ASIC to edge connector).
+NODECARD_TRACE_CM = (7.1, 11.7)
+
+#: Representative connection lengths, in cm, by classification.
+CONNECTION_LENGTH_CM = {
+    "backplane": 25.0,
+    "intra-rack cable": 75.0,
+    "inter-rack cable": 180.0,
+}
+
+#: Signal propagation in PCB trace / cable, cm per ns.
+PROPAGATION_CM_PER_NS = 15.0
+
+
+@dataclasses.dataclass(frozen=True)
+class Packaging:
+    """Packaging map for a machine of a given torus shape."""
+
+    shape: Coord3
+
+    def __post_init__(self) -> None:
+        validate_shape(self.shape)
+
+    def backplane_of(self, chip: Coord3) -> Coord3:
+        """The backplane holding a chip, labeled Figure 2 style by the
+        lexicographically smallest coordinates of its chips."""
+        return tuple(
+            (c // b) * b for c, b in zip(chip, BACKPLANE_SHAPE)
+        )
+
+    def rack_of(self, chip: Coord3) -> Tuple[int, int]:
+        """The rack holding a chip.
+
+        Racks group the eight backplanes that share an (x, y) footprint
+        (the z column), matching the 512-node machine's 4 racks of 8
+        backplanes.
+        """
+        backplane = self.backplane_of(chip)
+        return (backplane[0] // BACKPLANE_SHAPE[0], backplane[1] // BACKPLANE_SHAPE[1])
+
+    @property
+    def num_chips(self) -> int:
+        kx, ky, kz = self.shape
+        return kx * ky * kz
+
+    @property
+    def num_backplanes(self) -> int:
+        return len({self.backplane_of(chip) for chip in all_coords(self.shape)})
+
+    @property
+    def num_racks(self) -> int:
+        return len({self.rack_of(chip) for chip in all_coords(self.shape)})
+
+    def classify_link(self, chip_a: Coord3, chip_b: Coord3) -> str:
+        """Classification of the torus link between two neighbor chips."""
+        if self.backplane_of(chip_a) == self.backplane_of(chip_b):
+            return "backplane"
+        if self.rack_of(chip_a) == self.rack_of(chip_b):
+            return "intra-rack cable"
+        return "inter-rack cable"
+
+    def link_length_cm(self, chip_a: Coord3, chip_b: Coord3) -> float:
+        """Representative end-to-end length of a link, nodecard traces
+        included."""
+        kind = self.classify_link(chip_a, chip_b)
+        nodecard = sum(NODECARD_TRACE_CM) / 2.0
+        return CONNECTION_LENGTH_CM[kind] + 2 * nodecard
+
+    def link_flight_ns(self, chip_a: Coord3, chip_b: Coord3) -> float:
+        """Signal flight time over a link."""
+        return self.link_length_cm(chip_a, chip_b) / PROPAGATION_CM_PER_NS
+
+    def links(self) -> Iterator[Tuple[Coord3, Coord3, TorusDirection]]:
+        """Every bidirectional torus link once (positive directions only).
+
+        Dimensions of radix 1 have no links; radix-2 dimensions have two
+        parallel links per chip pair (the + and - channels), and both are
+        yielded.
+        """
+        for chip in all_coords(self.shape):
+            for direction in TORUS_DIRECTIONS:
+                radix = self.shape[direction.dim]
+                if radix < 2:
+                    continue
+                if direction.sign < 0 and radix != 2:
+                    # For radix > 2, chip->neighbor in the negative
+                    # direction is the positive-direction link of the
+                    # neighbor; yield each link once.
+                    continue
+                neighbor = list(chip)
+                neighbor[direction.dim] = (
+                    neighbor[direction.dim] + direction.sign
+                ) % radix
+                yield chip, tuple(neighbor), direction
+
+    def link_census(self) -> Dict[str, int]:
+        """Count of torus links by classification."""
+        census: Counter = Counter()
+        for chip_a, chip_b, _direction in self.links():
+            census[self.classify_link(chip_a, chip_b)] += 1
+        return dict(census)
+
+    def summary(self) -> str:
+        census = self.link_census()
+        kx, ky, kz = self.shape
+        return (
+            f"{kx}x{ky}x{kz}: {self.num_chips} nodecards, "
+            f"{self.num_backplanes} backplanes, {self.num_racks} racks; links: "
+            + ", ".join(f"{count} {kind}" for kind, count in sorted(census.items()))
+        )
+
+
+def supported_machine_sizes() -> Iterator[Coord3]:
+    """Machine shapes the single backplane design supports: multiples of
+    the 4 x 4 x 1 backplane footprint in x and y, any z, from 16 up to
+    the 16 x 16 x 16 maximum."""
+    for kx in (4, 8, 12, 16):
+        for ky in (4, 8, 12, 16):
+            for kz in range(1, 17):
+                yield (kx, ky, kz)

@@ -1,0 +1,158 @@
+"""Physical and architectural constants of the Anton 2 network.
+
+All constants come directly from the paper (Section 2.2 and Section 4).
+They are collected here so that models (bandwidth accounting, latency,
+energy, area) share a single source of truth, and so that tests can check
+the paper's derived numbers (e.g., 2.15 Tb/s of effective I/O per ASIC).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+# --- Torus (inter-node) channels -------------------------------------------
+
+#: SerDes lanes per physical torus channel.
+SERDES_PER_CHANNEL = 8
+
+#: Line rate of one SerDes lane, in Gb/s.
+SERDES_GBPS = 14.0
+
+#: Raw bandwidth of one torus channel per direction, in Gb/s (8 x 14).
+TORUS_CHANNEL_RAW_GBPS = SERDES_PER_CHANNEL * SERDES_GBPS
+
+#: Effective bandwidth of one torus channel per direction after framing,
+#: error checking, and go-back-N retransmission overheads, in Gb/s.
+TORUS_CHANNEL_EFFECTIVE_GBPS = 89.6
+
+#: Number of torus-channel slices (the torus is channel-sliced).
+NUM_SLICES = 2
+
+#: Neighbors of a node in the three-dimensional torus.
+TORUS_NEIGHBORS = 6
+
+#: Physical torus channels per ASIC (two slices to each of six neighbors).
+TORUS_CHANNELS_PER_ASIC = NUM_SLICES * TORUS_NEIGHBORS
+
+#: Effective I/O bandwidth per ASIC in Tb/s (paper: 2.15 Tb/s).
+ASIC_EFFECTIVE_IO_TBPS = (
+    TORUS_CHANNELS_PER_ASIC * TORUS_CHANNEL_EFFECTIVE_GBPS * 2 / 1000.0
+)
+
+# --- On-chip mesh ------------------------------------------------------------
+
+#: On-chip mesh radix per dimension (the mesh is 4 x 4).
+MESH_RADIX = 4
+
+#: Bits per mesh channel per direction.
+MESH_CHANNEL_BITS = 192
+
+#: On-chip network clock, in GHz.
+MESH_CLOCK_GHZ = 1.5
+
+#: Bandwidth of one mesh channel per direction, in Gb/s (192 b x 1.5 GHz).
+MESH_CHANNEL_GBPS = MESH_CHANNEL_BITS * MESH_CLOCK_GHZ
+
+#: Cycle time of the on-chip network, in nanoseconds.
+CYCLE_NS = 1.0 / MESH_CLOCK_GHZ
+
+# --- Packets -----------------------------------------------------------------
+
+#: Header size of a packet, in bytes (common case).
+HEADER_BYTES = 8
+
+#: Payload of the common-case packet, in bytes.
+TYPICAL_PAYLOAD_BYTES = 16
+
+#: Total size of the common-case packet, in bytes. It fits in one flit.
+TYPICAL_PACKET_BYTES = HEADER_BYTES + TYPICAL_PAYLOAD_BYTES
+
+#: Maximum packet: twice the typical packet (32 B payload + 16 B header).
+MAX_PACKET_BYTES = 2 * TYPICAL_PACKET_BYTES
+
+#: Flit size, in bytes (one mesh channel transfer: 192 bits = 24 bytes).
+FLIT_BYTES = MESH_CHANNEL_BITS // 8
+
+#: Maximum packet size, in flits.
+MAX_PACKET_FLITS = MAX_PACKET_BYTES // FLIT_BYTES
+
+# --- Virtual channels and traffic classes ------------------------------------
+
+#: Traffic classes (request and reply) provided to avoid protocol deadlock.
+NUM_TRAFFIC_CLASSES = 2
+
+#: VCs per traffic class with the Anton 2 promotion scheme (n + 1 for n = 3).
+VCS_PER_CLASS_ANTON = 4
+
+#: VCs per traffic class on T-group channels with the baseline 2n scheme.
+VCS_PER_CLASS_BASELINE_T = 6
+
+#: VCs per traffic class on M-group channels with the baseline scheme.
+VCS_PER_CLASS_BASELINE_M = 4
+
+#: Total VCs in routers and channel adapters (2 classes x 4 VCs).
+TOTAL_VCS_ANTON = NUM_TRAFFIC_CLASSES * VCS_PER_CLASS_ANTON
+
+# --- Component counts per ASIC (Table 1) --------------------------------------
+
+#: Routers per ASIC.
+ROUTERS_PER_ASIC = MESH_RADIX * MESH_RADIX
+
+#: Endpoint adapters per ASIC.
+ENDPOINTS_PER_ASIC = 23
+
+#: Channel adapters per ASIC (one per torus channel).
+CHANNEL_ADAPTERS_PER_ASIC = TORUS_CHANNELS_PER_ASIC
+
+# --- Maximum machine size ------------------------------------------------------
+
+#: Maximum supported torus radix per dimension (16 x 16 x 16 = 4,096 ASICs).
+MAX_TORUS_RADIX = 16
+
+# --- Measured latency constants (Section 4.3), used to calibrate models -------
+
+#: Fixed (zero-hop) overhead of the one-way latency linear fit, in ns.
+LATENCY_FIXED_NS = 80.7
+
+#: Per-inter-node-hop latency of the linear fit, in ns.
+LATENCY_PER_HOP_NS = 39.1
+
+#: Minimum measured inter-node one-way latency, in ns.
+LATENCY_MIN_INTERNODE_NS = 99.0
+
+# --- Measured energy-model coefficients (Section 4.5, Figure 13) --------------
+
+#: Fixed energy to send a flit (arbitration/control), in pJ.
+ENERGY_FIXED_PJ = 42.7
+
+#: Energy per bit flip between successive valid flits, in pJ.
+ENERGY_PER_BITFLIP_PJ = 0.837
+
+#: Fixed activation energy per activation, in pJ.
+ENERGY_ACTIVATION_FIXED_PJ = 34.4
+
+#: Activation energy per set payload bit, in pJ.
+ENERGY_ACTIVATION_PER_SETBIT_PJ = 0.250
+
+
+@dataclasses.dataclass(frozen=True)
+class BandwidthBudget:
+    """Derived bandwidth facts used by the routing-optimization argument.
+
+    The on-chip routing search (Section 2.4) is justified by the fact that a
+    mesh channel can carry at least two torus channels' worth of effective
+    bandwidth, with room left over for endpoint traffic.
+    """
+
+    mesh_channel_gbps: float = MESH_CHANNEL_GBPS
+    torus_channel_effective_gbps: float = TORUS_CHANNEL_EFFECTIVE_GBPS
+
+    @property
+    def torus_channels_per_mesh_channel(self) -> float:
+        """How many torus channels one mesh channel can absorb."""
+        return self.mesh_channel_gbps / self.torus_channel_effective_gbps
+
+    @property
+    def headroom_after_two_torus_channels_gbps(self) -> float:
+        """Mesh bandwidth left after carrying two torus channels of traffic."""
+        return self.mesh_channel_gbps - 2 * self.torus_channel_effective_gbps

@@ -1,0 +1,203 @@
+"""In-network reductions over the torus (the Table 2 "Reduction" logic).
+
+The channel adapters contain logic for accelerating in-network reductions
+(Section 4.4 -- 9.6% of the network's area, described by the authors in a
+follow-on paper). Functionally, a reduction is the reverse of a
+multicast: contributions flow from a set of source nodes toward a root,
+combining (sum, min, max, ...) wherever branches meet, so each torus link
+carries exactly one partial value instead of every upstream contribution.
+
+This module builds reduction trees (reversed dimension-order multicast
+trees, so every leaf-to-root path is a valid minimal unicast route),
+evaluates them functionally, and accounts for the bandwidth and latency
+advantages over endpoint-based reduction:
+
+* bandwidth: tree edges vs. the sum of per-source unicast hop counts;
+* latency: combining happens in parallel along the tree, so completion
+  is governed by the deepest leaf, not by serializing all contributions
+  through the root's single ejection port.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from .geometry import Coord3, Dim, torus_delta
+from .multicast import build_tree, unicast_hops
+
+#: Combining operators the reduction hardware supports.
+OPERATORS: Dict[str, Callable[[float, float], float]] = {
+    "sum": lambda a, b: a + b,
+    "min": min,
+    "max": max,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ReductionTree:
+    """A combining tree: directed edges flowing toward the root."""
+
+    root: Coord3
+    sources: FrozenSet[Coord3]
+    dim_order: Tuple[Dim, ...]
+    #: Directed edges (child_chip, parent_chip) toward the root.
+    edges: FrozenSet[Tuple[Coord3, Coord3]]
+
+    @property
+    def torus_hops(self) -> int:
+        return len(self.edges)
+
+    def children_of(self) -> Dict[Coord3, List[Coord3]]:
+        """Upstream neighbors per chip (who sends partials to whom)."""
+        children: Dict[Coord3, List[Coord3]] = defaultdict(list)
+        for child, parent in self.edges:
+            children[parent].append(child)
+        return dict(children)
+
+    def combining_chips(self) -> List[Coord3]:
+        """Chips where two or more partial values merge."""
+        children = self.children_of()
+        return [
+            chip
+            for chip, kids in children.items()
+            if len(kids) + (1 if chip in self.sources else 0) >= 2
+        ]
+
+    def depth(self) -> int:
+        """Longest leaf-to-root path, in torus hops."""
+        parents = {child: parent for child, parent in self.edges}
+        best = 0
+        for source in self.sources:
+            hops = 0
+            node = source
+            while node != self.root:
+                node = parents[node]
+                hops += 1
+            best = max(best, hops)
+        return best
+
+
+def build_reduction_tree(
+    shape: Coord3,
+    root: Coord3,
+    sources: Iterable[Coord3],
+    dim_order: Sequence[Dim] = (Dim.X, Dim.Y, Dim.Z),
+) -> ReductionTree:
+    """Build the combining tree as the reverse of a multicast tree.
+
+    The multicast tree from ``root`` to the source set (under the
+    *reversed* dimension order) has minimal dimension-order paths to
+    every source; reversing its edges yields a reduction tree whose
+    leaf-to-root paths are themselves valid minimal dimension-order
+    unicast routes (in ``dim_order``), so the partials ride ordinary
+    network routes.
+    """
+    sources = frozenset(sources)
+    if not sources:
+        raise ValueError("source set is empty")
+    if root in sources:
+        raise ValueError("the root does not send a contribution to itself")
+    reversed_order = tuple(reversed(tuple(dim_order)))
+    multicast = build_tree(shape, root, sources, reversed_order)
+    edges = frozenset((dst, src) for src, dst in multicast.edges)
+    return ReductionTree(
+        root=root,
+        sources=sources,
+        dim_order=tuple(dim_order),
+        edges=edges,
+    )
+
+
+def bandwidth_saving(tree: ReductionTree, shape: Coord3) -> int:
+    """Torus hops saved versus every source unicasting to the root."""
+    return unicast_hops(shape, tree.root, tree.sources) - tree.torus_hops
+
+
+@dataclasses.dataclass
+class ReductionOutcome:
+    """Result of functionally evaluating a reduction tree."""
+
+    value: float
+    #: Torus hops on the critical (deepest) path.
+    critical_hops: int
+    #: Number of in-network combining operations performed.
+    combines: int
+    #: Completion time in cycles under the simple timing model.
+    completion_cycles: int
+
+
+def evaluate(
+    tree: ReductionTree,
+    contributions: Dict[Coord3, float],
+    operator: str = "sum",
+    hop_cycles: int = 16,
+    combine_cycles: int = 2,
+) -> ReductionOutcome:
+    """Functionally evaluate the reduction and its completion time.
+
+    Every source contributes one value; partials combine where branches
+    meet. Timing: each torus hop costs ``hop_cycles``; each combining
+    step costs ``combine_cycles``; a chip forwards its partial once all
+    upstream contributions have arrived (the hardware's counted
+    combining).
+    """
+    if set(contributions) != set(tree.sources):
+        raise ValueError("contributions must cover exactly the source set")
+    combine = OPERATORS.get(operator)
+    if combine is None:
+        raise ValueError(f"unknown operator {operator!r}; pick from {sorted(OPERATORS)}")
+
+    children = tree.children_of()
+    combines = 0
+
+    def resolve(chip: Coord3) -> Tuple[float, int]:
+        """(partial value, ready time) of the value leaving ``chip``."""
+        nonlocal combines
+        parts: List[Tuple[float, int]] = []
+        for child in children.get(chip, ()):
+            value, ready = resolve(child)
+            parts.append((value, ready + hop_cycles))
+        if chip in tree.sources:
+            parts.append((contributions[chip], 0))
+        value, ready = parts[0]
+        for other_value, other_ready in parts[1:]:
+            value = combine(value, other_value)
+            ready = max(ready, other_ready) + combine_cycles
+            combines += 1
+        return value, ready
+
+    value, ready = resolve(tree.root)
+    return ReductionOutcome(
+        value=value,
+        critical_hops=tree.depth(),
+        combines=combines,
+        completion_cycles=ready,
+    )
+
+
+def endpoint_reduction_cycles(
+    tree: ReductionTree,
+    shape: Coord3,
+    hop_cycles: int = 16,
+    combine_cycles: int = 2,
+    ejection_cycles: int = 4,
+) -> int:
+    """Completion time without in-network combining.
+
+    Every source unicasts to the root, contributions serialize through
+    the root's ejection port, and the root combines them one at a time --
+    the baseline the reduction hardware beats.
+    """
+    arrivals = sorted(
+        sum(abs(torus_delta(s, r, k)) for s, r, k in zip(source, tree.root, shape))
+        * hop_cycles
+        for source in tree.sources
+    )
+    done = 0
+    ejected = 0
+    for arrival in arrivals:
+        ejected = max(ejected, arrival) + ejection_cycles
+        done = ejected + combine_cycles
+    return done

@@ -1,0 +1,324 @@
+"""Full route construction: inter-node + on-chip + VC assignment.
+
+Unicast routing in the Anton 2 network is *oblivious* (Section 2.3): a
+packet follows a minimal dimension-order route through the torus, where
+the dimension order is any of the six permutations of X, Y, Z and the
+packet is pinned to one of the two torus slices; typically both choices
+are randomized per packet. Within each chip the packet follows the
+direction-order on-chip algorithm (:mod:`repro.core.onchip`); between
+chips it hops torus channels through the channel adapters, using the skip
+channels for X through traffic.
+
+This module turns a (source endpoint, destination endpoint, route choice)
+triple into the exact sequence of ``(channel, VC)`` hops the hardware
+would use, including the VC promotion decisions of Section 2.5. The
+resulting :class:`Route` objects are immutable and cached, and are what
+both the cycle-level simulator and the analytic load computation consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import params
+from .geometry import (
+    Coord3,
+    Dim,
+    TorusDirection,
+    minimal_deltas,
+    torus_delta,
+)
+from .machine import Channel, ChannelGroup, ComponentKind, Machine
+from .onchip import ANTON_DIRECTION_ORDER, mesh_route_coords, validate_direction_order
+from .vc import make_allocator
+
+#: All six dimension orders of Section 2.3 (XYZ, XZY, YXZ, YZX, ZXY, ZYX).
+ALL_DIM_ORDERS: Tuple[Tuple[Dim, Dim, Dim], ...] = tuple(
+    itertools.permutations((Dim.X, Dim.Y, Dim.Z))
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteChoice:
+    """The randomized per-packet routing decisions.
+
+    ``deltas`` optionally pins the signed displacement traveled in each
+    dimension; when omitted, the minimal displacement is used with ties
+    (even radix, half-way destinations) broken toward ``+``.
+    """
+
+    dim_order: Tuple[Dim, Dim, Dim] = (Dim.X, Dim.Y, Dim.Z)
+    slice_index: int = 0
+    deltas: Optional[Coord3] = None
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.dim_order)) != (Dim.X, Dim.Y, Dim.Z):
+            raise ValueError(f"dim_order must be a permutation of X, Y, Z: {self.dim_order}")
+        if self.slice_index not in range(params.NUM_SLICES):
+            raise ValueError(f"slice_index must be 0 or 1, got {self.slice_index}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Route:
+    """A complete route: the exact (channel id, VC index) hop sequence."""
+
+    src: int
+    dst: int
+    choice: RouteChoice
+    hops: Tuple[Tuple[int, int], ...]
+    internode_hops: int
+
+    def channels(self) -> Tuple[int, ...]:
+        """The channel ids along the route, in order."""
+        return tuple(channel for channel, _vc in self.hops)
+
+
+class RouteComputer:
+    """Builds and caches routes over one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        direction_order: Sequence = ANTON_DIRECTION_ORDER,
+    ) -> None:
+        self.machine = machine
+        self.direction_order = validate_direction_order(direction_order)
+        self._cache: Dict[Tuple[int, int, RouteChoice, int], Route] = {}
+
+    # --- route-choice helpers ------------------------------------------------
+
+    def random_choice(
+        self, rng: random.Random, src_chip: Coord3, dst_chip: Coord3
+    ) -> RouteChoice:
+        """Draw a uniformly randomized route choice (order, slice, ties)."""
+        dim_order = ALL_DIM_ORDERS[rng.randrange(len(ALL_DIM_ORDERS))]
+        slice_index = rng.randrange(params.NUM_SLICES)
+        shape = self.machine.config.shape
+        deltas = tuple(
+            rng.choice(minimal_deltas(src_chip[d], dst_chip[d], shape[d]))
+            for d in range(3)
+        )
+        return RouteChoice(dim_order=dim_order, slice_index=slice_index, deltas=deltas)
+
+    def all_choices(self, src_chip: Coord3, dst_chip: Coord3):
+        """Every (dim order, slice, tie-break) choice with its probability.
+
+        Used by the analytic load computation: yields ``(choice, prob)``
+        pairs whose probabilities sum to one and match the distribution of
+        :meth:`random_choice`.
+        """
+        shape = self.machine.config.shape
+        delta_options = [
+            minimal_deltas(src_chip[d], dst_chip[d], shape[d]) for d in range(3)
+        ]
+        num_delta_combos = 1
+        for options in delta_options:
+            num_delta_combos *= len(options)
+        prob = 1.0 / (len(ALL_DIM_ORDERS) * params.NUM_SLICES * num_delta_combos)
+        for dim_order in ALL_DIM_ORDERS:
+            for slice_index in range(params.NUM_SLICES):
+                for deltas in itertools.product(*delta_options):
+                    yield (
+                        RouteChoice(dim_order, slice_index, tuple(deltas)),
+                        prob,
+                    )
+
+    # --- route construction ----------------------------------------------------
+
+    def compute(
+        self,
+        src_endpoint: int,
+        dst_endpoint: int,
+        choice: RouteChoice,
+        traffic_class: int = 0,
+    ) -> Route:
+        """The route from one endpoint adapter to another.
+
+        Routes are cached; callers must treat the result as immutable.
+        """
+        key = (src_endpoint, dst_endpoint, choice, traffic_class)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        route = self._build(src_endpoint, dst_endpoint, choice, traffic_class)
+        self._cache[key] = route
+        return route
+
+    def _vc_index(self, channel: Channel, within_class_vc: int, traffic_class: int) -> int:
+        cfg = self.machine.config
+        if channel.group == ChannelGroup.M:
+            per_class = cfg.vcs_per_class_m
+        elif channel.group == ChannelGroup.T:
+            per_class = cfg.vcs_per_class_t
+        else:
+            per_class = 1
+            within_class_vc = 0
+        if within_class_vc >= per_class:
+            raise AssertionError(
+                f"VC {within_class_vc} exceeds the {per_class} VCs of {channel}"
+            )
+        return traffic_class * per_class + within_class_vc
+
+    def _build(
+        self,
+        src_endpoint: int,
+        dst_endpoint: int,
+        choice: RouteChoice,
+        traffic_class: int,
+    ) -> Route:
+        machine = self.machine
+        plan = machine.floorplan
+        cfg = machine.config
+        src = machine.components[src_endpoint]
+        dst = machine.components[dst_endpoint]
+        if src.kind != ComponentKind.ENDPOINT or dst.kind != ComponentKind.ENDPOINT:
+            raise ValueError("routes connect endpoint adapters")
+
+        shape = cfg.shape
+        deltas = choice.deltas
+        if deltas is None:
+            deltas = tuple(
+                torus_delta(src.chip[d], dst.chip[d], shape[d]) for d in range(3)
+            )
+        else:
+            for d in range(3):
+                if deltas[d] not in minimal_deltas(src.chip[d], dst.chip[d], shape[d]):
+                    raise ValueError(
+                        f"delta {deltas[d]} is not minimal for dimension {Dim(d)}"
+                    )
+
+        alloc = make_allocator(cfg.vc_scheme)
+        hops: List[Tuple[int, int]] = []
+        internode_hops = 0
+
+        def emit(src_cid: int, dst_cid: int, vc_kind: str) -> None:
+            channel = machine.channel(src_cid, dst_cid)
+            if vc_kind == "m":
+                vc = self._vc_index(channel, alloc.m_vc(), traffic_class)
+            elif vc_kind == "t":
+                vc = self._vc_index(channel, alloc.t_vc(), traffic_class)
+            else:
+                vc = self._vc_index(channel, 0, traffic_class)
+            hops.append((channel.cid, vc))
+
+        def emit_mesh_path(chip: Coord3, src_coord, dst_coord) -> None:
+            cur = src_coord
+            for nxt in mesh_route_coords(src_coord, dst_coord, self.direction_order):
+                emit(
+                    machine.router_id[(chip, cur)],
+                    machine.router_id[(chip, nxt)],
+                    "m",
+                )
+                cur = nxt
+
+        cur_chip = src.chip
+        cur_router = plan.endpoint_router[src.detail]
+        emit(src_endpoint, machine.router_id[(cur_chip, cur_router)], "e")
+
+        dims_to_travel = [d for d in choice.dim_order if deltas[d] != 0]
+        for dim in dims_to_travel:
+            delta = deltas[dim]
+            direction = TorusDirection(Dim(dim), 1 if delta > 0 else -1)
+            slice_index = choice.slice_index
+            radix = shape[dim]
+            departure_coord = plan.channel_adapter_router[(direction, slice_index)]
+            arrival_coord = plan.channel_adapter_router[(direction.opposite, slice_index)]
+
+            # On-chip route to the departure channel adapter's router, then
+            # into the T-group via the router -> adapter link.
+            emit_mesh_path(cur_chip, cur_router, departure_coord)
+            cur_router = departure_coord
+            alloc.start_dimension()
+            departure_ca = machine.ca_id[(cur_chip, direction, slice_index)]
+            emit(machine.router_id[(cur_chip, cur_router)], departure_ca, "t")
+
+            coord = cur_chip[dim]
+            steps = abs(delta)
+            for step in range(steps):
+                next_coord = (coord + direction.sign) % radix
+                crossing = (coord == radix - 1 and next_coord == 0) or (
+                    coord == 0 and next_coord == radix - 1
+                )
+                if crossing:
+                    # The dateline channel itself is used at the promoted VC.
+                    alloc.cross_dateline()
+                next_chip = machine.neighbor(cur_chip, direction)
+                arrival_ca = machine.ca_id[
+                    (next_chip, direction.opposite, slice_index)
+                ]
+                emit(machine.ca_id[(cur_chip, direction, slice_index)], arrival_ca, "t")
+                internode_hops += 1
+                cur_chip = next_chip
+                coord = next_coord
+                if step < steps - 1:
+                    # Through route at an intermediate chip: adapter ->
+                    # router, (skip channel for X), router -> adapter. All
+                    # these links are T-group.
+                    arrival_router = machine.router_id[(cur_chip, arrival_coord)]
+                    emit(arrival_ca, arrival_router, "t")
+                    if arrival_coord != departure_coord:
+                        if not plan.skip_for(arrival_coord, departure_coord):
+                            raise AssertionError(
+                                f"no skip channel between {arrival_coord} and "
+                                f"{departure_coord} for {direction} through traffic"
+                            )
+                        departure_router = machine.router_id[(cur_chip, departure_coord)]
+                        emit(arrival_router, departure_router, "t")
+                        arrival_router = departure_router
+                    emit(
+                        arrival_router,
+                        machine.ca_id[(cur_chip, direction, slice_index)],
+                        "t",
+                    )
+            # Last chip of this dimension: leave the T-group. The final
+            # adapter -> router link still belongs to this dimension's
+            # T-group visit (old VC); the promotion applies afterwards.
+            final_ca = machine.ca_id[(cur_chip, direction.opposite, slice_index)]
+            emit(final_ca, machine.router_id[(cur_chip, arrival_coord)], "t")
+            alloc.finish_dimension()
+            cur_router = arrival_coord
+
+        # Destination chip: on-chip route to the destination endpoint.
+        dst_router = plan.endpoint_router[dst.detail]
+        emit_mesh_path(cur_chip, cur_router, dst_router)
+        emit(machine.router_id[(cur_chip, dst_router)], dst_endpoint, "e")
+
+        if cur_chip != dst.chip:  # pragma: no cover - defensive
+            raise AssertionError(f"route ended at {cur_chip}, expected {dst.chip}")
+
+        return Route(
+            src=src_endpoint,
+            dst=dst_endpoint,
+            choice=choice,
+            hops=tuple(hops),
+            internode_hops=internode_hops,
+        )
+
+
+def validate_route(machine: Machine, route: Route) -> None:
+    """Check route well-formedness: connectivity and VC legality.
+
+    Raises ``AssertionError`` on any violation. Used by tests and by the
+    deadlock checker's route enumeration.
+    """
+    if not route.hops:
+        raise AssertionError("route has no hops")
+    first = machine.channels[route.hops[0][0]]
+    if first.src != route.src:
+        raise AssertionError("route does not start at its source endpoint")
+    last = machine.channels[route.hops[-1][0]]
+    if last.dst != route.dst:
+        raise AssertionError("route does not end at its destination endpoint")
+    prev_dst = None
+    for channel_id, vc in route.hops:
+        channel = machine.channels[channel_id]
+        if prev_dst is not None and channel.src != prev_dst:
+            raise AssertionError(
+                f"hop {channel} does not start where the previous hop ended"
+            )
+        if not 0 <= vc < machine.vcs_for_channel(channel):
+            raise AssertionError(f"VC {vc} illegal on {channel}")
+        prev_dst = channel.dst

@@ -1,0 +1,49 @@
+"""Measurement models: latency (Figs 11-12), energy (Fig 13), area (Tables 1-2)."""
+
+from .area import AreaConfig, AreaModel, CATEGORIES, COMPONENTS, queue_area_saving
+from .energy import (
+    EnergyModel,
+    PAYLOAD_PATTERNS,
+    StreamStats,
+    energy_curve,
+    fit_model,
+    make_stream,
+    max_activation_rate,
+    measure_per_hop_energy,
+    stream_statistics,
+    synthesize_measurements,
+)
+from .latency import (
+    LatencyModel,
+    ROUTER_STAGES,
+    aggregate_breakdown,
+    latency_vs_hops,
+    linear_fit,
+    minimum_internode_route,
+    network_fraction,
+)
+
+__all__ = [
+    "AreaConfig",
+    "AreaModel",
+    "CATEGORIES",
+    "COMPONENTS",
+    "EnergyModel",
+    "LatencyModel",
+    "PAYLOAD_PATTERNS",
+    "ROUTER_STAGES",
+    "StreamStats",
+    "aggregate_breakdown",
+    "energy_curve",
+    "fit_model",
+    "latency_vs_hops",
+    "linear_fit",
+    "make_stream",
+    "max_activation_rate",
+    "measure_per_hop_energy",
+    "minimum_internode_route",
+    "network_fraction",
+    "queue_area_saving",
+    "stream_statistics",
+    "synthesize_measurements",
+]

@@ -1,0 +1,268 @@
+"""Parametric silicon-area model (Section 4.4, Tables 1 and 2).
+
+The paper reports the network's area by component type (Table 1: router
+3.4%, endpoint adapter 1.1%, channel adapter 4.7% of the die -- under 10%
+total) and by category (Table 2: queues dominate at 46.6% of network
+area; the inverse-weighted arbiters are the smallest at 5.4%, roughly
+three-quarters of which is accumulator storage/update).
+
+We rebuild those tables from structure. Storage-backed categories are
+computed from first principles in *bit-area units* (one SRAM/flop bit =
+one unit):
+
+* **Queues** -- per-VC input buffers: VC count x depth x flit width, per
+  port. Queue area is therefore proportional to the VC count, which is
+  exactly why the Section 2.5 promotion algorithm (4 VCs instead of 6 on
+  T-group channels) matters; the ``vc_scheme`` parameter exposes that
+  ablation.
+* **Arbiters** -- gate counts from :mod:`repro.arbiters.cost`, converted
+  at a gates-to-bit-area ratio; the accumulator/priority-arbiter split is
+  the cost model's, not a fitted constant.
+* **Multicast** -- table storage: entries x entry width.
+
+The remaining categories (reduction, link, configuration, debug,
+miscellaneous) have no published structural parameters; they are carried
+as per-component constants calibrated once against Table 2 and held
+fixed across ablations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.arbiters.cost import ArbiterCost
+from repro.core import params
+
+#: Bit-area units per gate equivalent (a logic gate is roughly half the
+#: area of an SRAM bit cell with its margins in this normalization).
+GATE_TO_BIT_AREA = 0.5
+
+#: Multiplier covering arbiter implementation overheads the datapath gate
+#: count does not see -- per-VC request muxing, grant fan-out, pipeline
+#: registers, and place-and-route inefficiency of small control blocks.
+#: Calibrated once against Table 2's arbiter row; the *relative* arbiter
+#: claims (accumulator share ~3/4, P+1 vs 2P fixed-priority arbiters) come
+#: from the unscaled cost model and are unaffected.
+ARBITER_OVERHEAD_FACTOR = 4.4
+
+#: Categories in Table 2 order.
+CATEGORIES = (
+    "Queues",
+    "Reduction",
+    "Link",
+    "Configuration",
+    "Debug",
+    "Miscellaneous",
+    "Multicast",
+    "Arbiters",
+)
+
+#: Component labels in Table 1/2 order.
+COMPONENTS = ("Router", "Endpoint", "Channel")
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaConfig:
+    """Structural parameters of the area model."""
+
+    #: VC scheme ("anton" = 4 VCs/class on all channels; "baseline" =
+    #: 6 VCs/class on T-group channels).
+    vc_scheme: str = "anton"
+    #: Traffic classes implemented in hardware.
+    num_classes: int = params.NUM_TRAFFIC_CLASSES
+    #: Queue depth per VC, in flits, for router and on-chip adapter ports.
+    onchip_queue_flits: int = 8
+    #: Queue depth per VC for the torus-side channel-adapter port (deep,
+    #: to cover the inter-node credit round trip).
+    torus_queue_flits: int = 56
+    #: Flit width in bits.
+    flit_bits: int = params.MESH_CHANNEL_BITS
+    #: Router ports.
+    router_ports: int = 6
+    #: Multicast table entries per endpoint adapter ("several hundred
+    #: distinct destination sets per node" across endpoints).
+    multicast_entries_endpoint: int = 156
+    #: Multicast table entries per channel adapter.
+    multicast_entries_channel: int = 232
+    #: Bits per multicast table entry (destination-set encoding).
+    multicast_entry_bits: int = 48
+
+    def vcs_per_class(self, group: str) -> int:
+        if self.vc_scheme == "anton":
+            return params.VCS_PER_CLASS_ANTON
+        if self.vc_scheme == "baseline":
+            return (
+                params.VCS_PER_CLASS_BASELINE_T
+                if group == "t"
+                else params.VCS_PER_CLASS_BASELINE_M
+            )
+        raise ValueError(f"unknown vc_scheme {self.vc_scheme!r}")
+
+
+#: Calibrated per-component constants (bit-area units) for categories
+#: without published structure. Derived once from Table 2 with the
+#: default AreaConfig; kept fixed across ablations.
+_FIXED_CATEGORY_UNITS: Dict[str, Dict[str, float]] = {
+    "Reduction": {"Router": 0.0, "Endpoint": 0.0, "Channel": 42_900.0},
+    "Link": {"Router": 0.0, "Endpoint": 0.0, "Channel": 39_800.0},
+    "Configuration": {"Router": 11_100.0, "Endpoint": 5_800.0, "Channel": 12_500.0},
+    "Debug": {"Router": 10_100.0, "Endpoint": 5_800.0, "Channel": 10_300.0},
+    "Miscellaneous": {"Router": 14_400.0, "Endpoint": 2_300.0, "Channel": 8_900.0},
+}
+
+#: Fraction of the die occupied by the whole network (Table 1 totals
+#: 3.4 + 1.1 + 4.7 = 9.2%); the single die-level calibration constant.
+NETWORK_DIE_FRACTION = 0.092
+
+
+class AreaModel:
+    """Computes Table 1 and Table 2 from structural parameters."""
+
+    def __init__(self, config: AreaConfig = AreaConfig()) -> None:
+        self.config = config
+
+    # --- per-component category areas, in bit-area units -----------------------
+
+    def queue_units(self, component: str) -> float:
+        cfg = self.config
+        flit = cfg.flit_bits
+        classes = cfg.num_classes
+        if component == "Router":
+            # All six ports carry both T- and M-group traffic; the
+            # hardware provisions the larger (T-group) VC count.
+            vcs = cfg.vcs_per_class("t") * classes
+            return cfg.router_ports * vcs * cfg.onchip_queue_flits * flit
+        if component == "Endpoint":
+            # One VC per traffic class, two ports.
+            return 2 * classes * cfg.onchip_queue_flits * flit
+        if component == "Channel":
+            vcs = cfg.vcs_per_class("t") * classes
+            torus_side = vcs * cfg.torus_queue_flits * flit
+            router_side = vcs * cfg.onchip_queue_flits * flit
+            return torus_side + router_side
+        raise ValueError(f"unknown component {component!r}")
+
+    def arbiter_units(self, component: str) -> float:
+        cfg = self.config
+        if component == "Router":
+            cost = ArbiterCost(
+                num_inputs=cfg.router_ports,
+                num_levels=2,
+                weight_bits=5,
+                num_patterns=2,
+            )
+            return (
+                cfg.router_ports
+                * cost.total_gates
+                * GATE_TO_BIT_AREA
+                * ARBITER_OVERHEAD_FACTOR
+            )
+        if component == "Endpoint":
+            # Endpoint adapters only arbitrate trivially (< 0.1% in the
+            # paper); model a single 2-input round-robin point.
+            cost = ArbiterCost(num_inputs=2, num_levels=1, weight_bits=1, num_patterns=1)
+            return cost.priority_arbiter_gates * GATE_TO_BIT_AREA
+        if component == "Channel":
+            cost = ArbiterCost(num_inputs=2, num_levels=2, weight_bits=5, num_patterns=2)
+            return 2 * cost.total_gates * GATE_TO_BIT_AREA * ARBITER_OVERHEAD_FACTOR
+        raise ValueError(f"unknown component {component!r}")
+
+    def multicast_units(self, component: str) -> float:
+        cfg = self.config
+        if component == "Router":
+            return 0.0
+        if component == "Endpoint":
+            return cfg.multicast_entries_endpoint * cfg.multicast_entry_bits
+        if component == "Channel":
+            return cfg.multicast_entries_channel * cfg.multicast_entry_bits
+        raise ValueError(f"unknown component {component!r}")
+
+    def category_units(self, category: str, component: str) -> float:
+        if category == "Queues":
+            return self.queue_units(component)
+        if category == "Arbiters":
+            return self.arbiter_units(component)
+        if category == "Multicast":
+            return self.multicast_units(component)
+        return _FIXED_CATEGORY_UNITS[category][component]
+
+    # --- table assembly ---------------------------------------------------------
+
+    def component_counts(self) -> Dict[str, int]:
+        return {
+            "Router": params.ROUTERS_PER_ASIC,
+            "Endpoint": params.ENDPOINTS_PER_ASIC,
+            "Channel": params.CHANNEL_ADAPTERS_PER_ASIC,
+        }
+
+    def component_total_units(self, component: str) -> float:
+        """Area of one instance of a component, all categories."""
+        return sum(
+            self.category_units(category, component) for category in CATEGORIES
+        )
+
+    def network_total_units(self) -> float:
+        counts = self.component_counts()
+        return sum(
+            counts[component] * self.component_total_units(component)
+            for component in COMPONENTS
+        )
+
+    def table2(self) -> Dict[str, Dict[str, float]]:
+        """Table 2: percent of network area, by category and component.
+
+        Returns ``{category: {component: pct, ..., "Total": pct}}``.
+        """
+        counts = self.component_counts()
+        network = self.network_total_units()
+        table: Dict[str, Dict[str, float]] = {}
+        for category in CATEGORIES:
+            row: Dict[str, float] = {}
+            total = 0.0
+            for component in COMPONENTS:
+                units = counts[component] * self.category_units(category, component)
+                pct = 100.0 * units / network
+                row[component] = pct
+                total += pct
+            row["Total"] = total
+            table[category] = row
+        return table
+
+    def table1(self, network_die_fraction: float = NETWORK_DIE_FRACTION) -> Dict[str, float]:
+        """Table 1: percent of total die area, by component type.
+
+        ``network_die_fraction`` is the single die-level calibration (the
+        published network total of 9.2%).
+        """
+        counts = self.component_counts()
+        network = self.network_total_units()
+        result = {}
+        for component in COMPONENTS:
+            units = counts[component] * self.component_total_units(component)
+            result[component] = 100.0 * network_die_fraction * units / network
+        return result
+
+    def arbiter_accumulator_fraction(self) -> float:
+        """Share of router arbiter area in accumulators/weights/update.
+
+        The paper reports approximately three-quarters.
+        """
+        cost = ArbiterCost(
+            num_inputs=self.config.router_ports,
+            num_levels=2,
+            weight_bits=5,
+            num_patterns=2,
+        )
+        return cost.accumulator_fraction
+
+
+def queue_area_saving(num_dims: int = 3) -> float:
+    """Fractional T-group queue saving of the promotion VC scheme.
+
+    ``(2n - (n + 1)) / 2n``: one-third for a three-dimensional torus --
+    the paper's headline VC reduction.
+    """
+    baseline = 2 * num_dims
+    anton = num_dims + 1
+    return (baseline - anton) / baseline

@@ -1,0 +1,213 @@
+"""Latency model: the ping-pong decomposition of Figures 11 and 12.
+
+The paper measures software-to-software one-way message latency with a
+ping-pong test. The measured latency is linear in the number of
+inter-node hops (80.7 ns fixed + 39.1 ns/hop), the minimum inter-node
+latency is about 99 ns, and Figure 12 decomposes that minimum into
+endpoint/software overheads and network components -- with the actual
+network accounting for only about 40% of the total.
+
+We reproduce this with a calibrated per-component latency model applied
+to the *actual routes* of the machine model: the latency of a message is
+the software overhead plus the sum of the costs of every component and
+channel its route traverses. Averaging over all endpoint pairs at each
+hop distance and fitting a line reproduces Figure 11's shape; walking the
+minimum route itemizes Figure 12.
+
+Calibration: component costs are set from the on-chip clock (one 0.667 ns
+cycle per pipeline stage or mesh hop) and the published endpoints
+(99 ns minimum, ~40% network share, 39.1 ns/hop slope), and are checked
+against those numbers by the test suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import params
+from repro.core.geometry import all_coords, torus_hops
+from repro.core.machine import ChannelKind, ComponentKind, Machine
+from repro.core.routing import RouteChoice, RouteComputer
+
+#: Names of the four router pipeline stages (Figure 12).
+ROUTER_STAGES = ("RC", "VA", "SA1", "SA2")
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyModel:
+    """Per-component one-way latency contributions, in nanoseconds."""
+
+    #: Software send overhead at the source core (store assembly, doorbell).
+    software_send_ns: float = 27.0
+    #: Receive-side synchronization and handler dispatch [Grossman 2013].
+    software_receive_ns: float = 23.0
+    #: Endpoint adapter traversal (each of source and destination).
+    endpoint_adapter_ns: float = 2.0
+    #: One router pipeline stage (RC, VA, SA1 or SA2): one 1.5 GHz cycle.
+    router_stage_ns: float = params.CYCLE_NS
+    #: One mesh channel hop (wire + retiming): one cycle.
+    mesh_hop_ns: float = params.CYCLE_NS
+    #: One skip channel hop (longer wire, still one pipelined cycle).
+    skip_hop_ns: float = params.CYCLE_NS
+    #: Channel adapter traversal (framing/deframing, CRC).
+    channel_adapter_ns: float = 2.3
+    #: SerDes serialization + deserialization + cable flight per torus hop.
+    #: Calibrated so the per-hop slope matches the paper's 39.1 ns and the
+    #: minimum inter-node latency lands at ~99 ns. The fit's *intercept*
+    #: comes out ~70 ns versus the paper's 80.7 ns because it depends on
+    #: the average on-chip path length between endpoints, which in turn
+    #: depends on the unpublished endpoint-adapter placement.
+    serdes_wire_ns: float = 29.2
+
+    @property
+    def router_ns(self) -> float:
+        """Full router traversal: all four pipeline stages."""
+        return len(ROUTER_STAGES) * self.router_stage_ns
+
+    @property
+    def software_ns(self) -> float:
+        return self.software_send_ns + self.software_receive_ns
+
+    def route_latency_ns(self, machine: Machine, route) -> float:
+        """One-way latency of a specific route, software included."""
+        return self.software_ns + sum(
+            ns for _label, ns in self.route_breakdown(machine, route)[1:]
+        )
+
+    def route_breakdown(self, machine: Machine, route) -> List[Tuple[str, float]]:
+        """Itemized latency of a route, Figure 12 style.
+
+        Returns ``(label, ns)`` pairs in traversal order, starting with
+        the software overhead (send + receive combined).
+        """
+        items: List[Tuple[str, float]] = [("software+sync", self.software_ns)]
+        for channel_id, _vc in route.hops:
+            channel = machine.channels[channel_id]
+            kind = channel.kind
+            if kind == ChannelKind.EP_TO_ROUTER:
+                items.append(("E(src)", self.endpoint_adapter_ns))
+            elif kind == ChannelKind.ROUTER_TO_EP:
+                # Traverse the router feeding the endpoint, then the
+                # destination endpoint adapter.
+                items.append(("R(pipeline)", self.router_ns))
+                items.append(("E(dst)", self.endpoint_adapter_ns))
+            elif kind == ChannelKind.MESH:
+                items.append(("R(pipeline)", self.router_ns))
+                items.append(("mesh wire", self.mesh_hop_ns))
+            elif kind == ChannelKind.SKIP:
+                items.append(("R(pipeline)", self.router_ns))
+                items.append(("skip wire", self.skip_hop_ns))
+            elif kind == ChannelKind.ROUTER_TO_CA:
+                items.append(("R(pipeline)", self.router_ns))
+                items.append(("C(egress)", self.channel_adapter_ns))
+            elif kind == ChannelKind.CA_TO_ROUTER:
+                items.append(("C(ingress)", self.channel_adapter_ns))
+            elif kind == ChannelKind.TORUS:
+                items.append(("SerDes+wire", self.serdes_wire_ns))
+        return items
+
+
+def minimum_internode_route(machine: Machine, route_computer: RouteComputer):
+    """The fastest one-hop route in the machine (for Figure 12).
+
+    Scans one-hop neighbor pairs and all route choices, returning the
+    route with the fewest hops (a Y or Z hop between endpoints adjacent
+    to the channel-adapter routers).
+    """
+    best = None
+    origin = (0, 0, 0)
+    count = machine.config.endpoints_per_chip
+    for dst_chip in all_coords(machine.config.shape):
+        if torus_hops(origin, dst_chip, machine.config.shape) != 1:
+            continue
+        for src_index in range(count):
+            src_ep = machine.ep_id[(origin, src_index)]
+            for dst_index in range(count):
+                dst_ep = machine.ep_id[(dst_chip, dst_index)]
+                for choice, _prob in route_computer.all_choices(origin, dst_chip):
+                    route = route_computer.compute(src_ep, dst_ep, choice)
+                    if best is None or len(route.hops) < len(best.hops):
+                        best = route
+    if best is None:
+        raise ValueError("machine has no one-hop neighbor pairs")
+    return best
+
+
+def latency_vs_hops(
+    machine: Machine,
+    route_computer: RouteComputer,
+    model: Optional[LatencyModel] = None,
+    max_pairs_per_distance: int = 64,
+) -> Dict[int, float]:
+    """Mean one-way latency (ns) at each inter-node hop distance.
+
+    Averages the model latency over endpoint pairs (core 0 to core 0 of
+    each destination chip, all route choices) grouped by minimal hop
+    count -- the Figure 11 measurement. ``max_pairs_per_distance`` bounds
+    the enumeration on large machines.
+    """
+    model = model or LatencyModel()
+    shape = machine.config.shape
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    origin = (0, 0, 0)
+    src_ep = machine.ep_id[(origin, 0)]
+    pairs_seen: Dict[int, int] = {}
+    for dst_chip in all_coords(shape):
+        if dst_chip == origin:
+            continue
+        hops = torus_hops(origin, dst_chip, shape)
+        if pairs_seen.get(hops, 0) >= max_pairs_per_distance:
+            continue
+        pairs_seen[hops] = pairs_seen.get(hops, 0) + 1
+        dst_ep = machine.ep_id[(dst_chip, 0)]
+        for choice, prob in route_computer.all_choices(origin, dst_chip):
+            route = route_computer.compute(src_ep, dst_ep, choice)
+            latency = model.route_latency_ns(machine, route)
+            sums[hops] = sums.get(hops, 0.0) + latency * prob
+            counts[hops] = counts.get(hops, 0) + 1
+    result = {}
+    for hops, total in sums.items():
+        result[hops] = total / pairs_seen[hops]
+    return result
+
+
+def linear_fit(latencies_by_hops: Dict[int, float]) -> Tuple[float, float]:
+    """Least-squares line through (hops, latency): (intercept, slope).
+
+    The paper's fit is 80.7 ns + 39.1 ns/hop.
+    """
+    hops = np.array(sorted(latencies_by_hops))
+    values = np.array([latencies_by_hops[h] for h in hops])
+    slope, intercept = np.polyfit(hops, values, 1)
+    return float(intercept), float(slope)
+
+
+def aggregate_breakdown(
+    items: Sequence[Tuple[str, float]]
+) -> List[Tuple[str, float]]:
+    """Merge repeated labels of a route breakdown (Figure 12 bars)."""
+    totals: Dict[str, float] = {}
+    order: List[str] = []
+    for label, ns in items:
+        if label not in totals:
+            totals[label] = 0.0
+            order.append(label)
+        totals[label] += ns
+    return [(label, totals[label]) for label in order]
+
+
+def network_fraction(items: Sequence[Tuple[str, float]]) -> float:
+    """Fraction of the total latency spent in the network proper.
+
+    The paper reports the network accounts for about 40% of the minimum
+    inter-node latency; software, synchronization, and the endpoint
+    adapters make up the rest.
+    """
+    total = sum(ns for _label, ns in items)
+    endpoint_labels = {"software+sync", "E(src)", "E(dst)"}
+    network = sum(ns for label, ns in items if label not in endpoint_labels)
+    return network / total

@@ -1,0 +1,38 @@
+"""Cycle-level simulator for the unified Anton 2 network."""
+
+from .endpoints import (
+    CountedWriteCounter,
+    PingPongDriver,
+    PingPongResult,
+    measure_one_way_latency,
+)
+from .engine import ArbiterBuilder, DeadlockError, Engine, round_robin_builder
+from .packet import Packet
+from .simulator import (
+    DEFAULT_WEIGHT_BITS,
+    arbiter_builder_for,
+    make_vc_weight_tables,
+    make_weight_tables,
+    run_batch,
+    run_single_packet,
+)
+from .stats import SimStats
+
+__all__ = [
+    "ArbiterBuilder",
+    "CountedWriteCounter",
+    "DEFAULT_WEIGHT_BITS",
+    "DeadlockError",
+    "Engine",
+    "Packet",
+    "PingPongDriver",
+    "PingPongResult",
+    "SimStats",
+    "arbiter_builder_for",
+    "make_vc_weight_tables",
+    "make_weight_tables",
+    "measure_one_way_latency",
+    "round_robin_builder",
+    "run_batch",
+    "run_single_packet",
+]

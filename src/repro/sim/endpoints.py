@@ -1,0 +1,173 @@
+"""Endpoint-level software model: counted writes and ping-pong.
+
+The Anton 2 programming model (Section 2.1) is distributed memory with
+remote writes; synchronization uses a *counted-write* mechanism at the
+endpoints [Grossman et al., ASPLOS 2013]: a counter decrements as writes
+arrive, and when it reaches zero a software handler is dispatched. The
+one-way latency measurement of Section 4.3 is a ping-pong built on this:
+core A remote-writes 16 bytes to core B; B's handler fires and writes
+back; half the round trip (averaged) is the one-way latency, *including*
+software and synchronization overheads.
+
+This module reproduces that methodology on the cycle-level simulator
+using the engine's delivery hook:
+
+* :class:`CountedWriteCounter` -- the hardware counter + handler;
+* :class:`PingPongDriver` -- runs N ping-pongs between two endpoints with
+  configurable software overhead (in cycles) per handler dispatch;
+* :func:`measure_one_way_latency` -- the Section 4.3 measurement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.core.machine import Machine
+from repro.core.routing import RouteChoice, RouteComputer
+
+from .engine import Engine
+from .packet import Packet
+
+
+class CountedWriteCounter:
+    """One counted-write synchronization counter.
+
+    Armed with an expected write count; each matching delivery decrements
+    it, and the handler fires exactly when it reaches zero.
+    """
+
+    def __init__(self, expected: int, handler: Callable[[int], None]) -> None:
+        if expected < 1:
+            raise ValueError("expected write count must be at least 1")
+        self.remaining = expected
+        self.handler = handler
+        self.fired = False
+
+    def on_write(self, cycle: int) -> None:
+        if self.remaining <= 0:
+            raise RuntimeError("counted-write counter already satisfied")
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.fired = True
+            self.handler(cycle)
+
+
+@dataclasses.dataclass
+class PingPongResult:
+    """Outcome of a ping-pong measurement."""
+
+    round_trips: int
+    total_cycles: int
+    one_way_cycles: float
+    #: Per-round-trip durations (cycles).
+    round_trip_cycles: List[int]
+
+
+class PingPongDriver:
+    """Runs the Section 4.3 ping-pong between two endpoints.
+
+    ``software_overhead_cycles`` models the handler dispatch plus the
+    store assembly on each side before the return write is injected.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        route_computer: RouteComputer,
+        endpoint_a: int,
+        endpoint_b: int,
+        rounds: int = 16,
+        software_overhead_cycles: int = 20,
+        choice: Optional[RouteChoice] = None,
+    ) -> None:
+        if rounds < 1:
+            raise ValueError("at least one round trip is required")
+        self.machine = machine
+        self.routes = route_computer
+        self.endpoint_a = endpoint_a
+        self.endpoint_b = endpoint_b
+        self.rounds = rounds
+        self.software_overhead = software_overhead_cycles
+        self.choice = choice or RouteChoice()
+        self._engine = Engine(machine)
+        self._engine.on_delivery = self._handle_delivery
+        self._counters: Dict[int, CountedWriteCounter] = {}
+        self._round_starts: List[int] = []
+        self._round_ends: List[int] = []
+        self._next_pid = 0
+
+    def _send(self, src: int, dst: int, release_cycle: int) -> None:
+        route = self.routes.compute(src, dst, self.choice)
+        packet = Packet(self._next_pid, route, release_cycle=release_cycle)
+        self._next_pid += 1
+        self._engine.enqueue(packet)
+
+    def _arm(self, endpoint: int, handler: Callable[[int], None]) -> None:
+        self._counters[endpoint] = CountedWriteCounter(1, handler)
+
+    def _handle_delivery(self, packet: Packet, cycle: int) -> None:
+        counter = self._counters.get(packet.dst)
+        if counter is not None and not counter.fired:
+            counter.on_write(cycle)
+
+    def _on_pong_received(self, cycle: int) -> None:
+        # A pong arrived back at A: the round trip is complete.
+        self._round_ends.append(cycle)
+        if len(self._round_ends) < self.rounds:
+            self._start_round(cycle + self.software_overhead)
+
+    def _on_ping_received(self, cycle: int) -> None:
+        # B's handler dispatches and writes back to A.
+        self._arm(self.endpoint_a, self._on_pong_received)
+        self._send(
+            self.endpoint_b, self.endpoint_a, cycle + self.software_overhead
+        )
+
+    def _start_round(self, cycle: int) -> None:
+        self._round_starts.append(cycle)
+        self._arm(self.endpoint_b, self._on_ping_received)
+        self._send(self.endpoint_a, self.endpoint_b, cycle)
+
+    def run(self) -> PingPongResult:
+        self._start_round(0)
+        self._engine.run()
+        if len(self._round_ends) != self.rounds:  # pragma: no cover
+            raise RuntimeError("ping-pong did not complete")
+        durations = [
+            end - start
+            for start, end in zip(self._round_starts, self._round_ends)
+        ]
+        total = sum(durations)
+        return PingPongResult(
+            round_trips=self.rounds,
+            total_cycles=total,
+            one_way_cycles=total / (2 * self.rounds),
+            round_trip_cycles=durations,
+        )
+
+
+def measure_one_way_latency(
+    machine: Machine,
+    route_computer: RouteComputer,
+    endpoint_a: int,
+    endpoint_b: int,
+    rounds: int = 16,
+    software_overhead_cycles: int = 20,
+    choice: Optional[RouteChoice] = None,
+) -> float:
+    """One-way software-to-software latency in cycles (Section 4.3).
+
+    Half the average round-trip time of ``rounds`` ping-pongs, software
+    overheads included -- exactly the paper's definition.
+    """
+    driver = PingPongDriver(
+        machine,
+        route_computer,
+        endpoint_a,
+        endpoint_b,
+        rounds=rounds,
+        software_overhead_cycles=software_overhead_cycles,
+        choice=choice,
+    )
+    return driver.run().one_way_cycles

@@ -1,0 +1,431 @@
+"""The cycle-driven simulation engine.
+
+The engine advances a global cycle counter and, each cycle, performs the
+two-stage switch allocation of the Anton 2 router pipeline:
+
+* **SA1 (input arbitration)** -- each input port nominates at most one of
+  its VCs' head packets, chosen round-robin among *eligible* VCs (next
+  output channel idle and downstream VC credit available for the whole
+  packet -- virtual cut-through flow control);
+* **SA2 (output arbitration)** -- each output channel's arbiter (the
+  policy under study: round-robin, age-based, or inverse-weighted) picks
+  one winner among the nominating input ports.
+
+Winning packets occupy the output channel for one cycle per flit, occupy
+their input port likewise, consume downstream credits immediately, and
+arrive in the downstream buffer after the channel latency. Credits return
+to the upstream arbitration point one channel latency after a packet
+departs a buffer.
+
+Endpoint adapters inject from an unbounded source queue (the Section 4.1
+batch methodology: every core has a batch of packets ready at time zero)
+and consume delivered packets at arrival.
+
+The engine is deliberately conservative about liveness: if no packet
+moves for ``watchdog_cycles`` while packets are in flight, it raises
+:class:`DeadlockError`. With correctly assigned VCs this never fires; the
+deadlock tests use it to demonstrate that *broken* VC assignments (e.g.,
+no datelines) really do deadlock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional
+
+from repro.arbiters.base import Arbiter
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.core.machine import ComponentKind, Machine
+
+from .packet import Packet
+from .stats import SimStats
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the network makes no progress for the watchdog period."""
+
+
+#: Builds an arbiter given (number of inputs, output channel id).
+ArbiterBuilder = Callable[[int, int], Arbiter]
+
+
+def round_robin_builder(num_inputs: int, site: int) -> Arbiter:
+    """Default arbiter builder: locally fair round-robin everywhere."""
+    return RoundRobinArbiter(num_inputs)
+
+
+#: Builds the SA1 (per-input VC selection) arbiter given (number of VCs,
+#: input channel id).
+VcArbiterBuilder = Callable[[int, int], Arbiter]
+
+
+_EV_ARRIVAL = 0
+_EV_CREDIT = 1
+_EV_WAKE = 2
+
+
+class Engine:
+    """Cycle-level simulator over a :class:`~repro.core.machine.Machine`."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        arbiter_builder: ArbiterBuilder = round_robin_builder,
+        vc_arbiter_builder: VcArbiterBuilder = round_robin_builder,
+        watchdog_cycles: int = 20_000,
+        keep_packet_latencies: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.stats = SimStats()
+        self.cycle = 0
+        self.watchdog_cycles = watchdog_cycles
+        self.keep_packet_latencies = keep_packet_latencies
+
+        channels = machine.channels
+        #: Per-channel, per-VC buffers at the channel's destination.
+        self._buffers: List[List[List[Packet]]] = []
+        #: Per-channel, per-VC credits available to the channel's source.
+        self._credits: List[List[int]] = []
+        self._channel_free_at: List[float] = [0.0] * len(channels)
+        self._input_free_at: List[int] = [0] * len(channels)
+        self._latency: List[int] = [c.latency for c in channels]
+        #: Cycles of channel occupancy per flit (> 1 on torus channels,
+        #: whose effective bandwidth is below one flit per on-chip cycle).
+        self._occupancy: List[float] = [c.cycles_per_flit for c in channels]
+        self._pipeline = machine.config.router_pipeline_cycles
+        for channel in channels:
+            vcs = machine.vcs_for_channel(channel)
+            depth = machine.buffer_depth_for_channel(channel)
+            self._buffers.append([[] for _ in range(vcs)])
+            self._credits.append([depth] * vcs)
+        # Buffers are plain lists used as FIFOs with an explicit head index
+        # to avoid O(n) pops; heads are compacted periodically.
+        self._buffer_heads: List[List[int]] = [
+            [0] * len(bufs) for bufs in self._buffers
+        ]
+        #: Packets buffered per channel (all VCs); lets the hot loop skip
+        #: empty inputs without scanning their VC queues.
+        self._buffered_count: List[int] = [0] * len(channels)
+
+        #: Output (SA2) arbiters keyed by output channel id.
+        self.arbiters: Dict[int, Arbiter] = {}
+        for comp in machine.components:
+            if comp.kind == ComponentKind.ENDPOINT:
+                continue
+            num_inputs = len(machine.component_inputs[comp.cid])
+            for oc in machine.component_outputs[comp.cid]:
+                self.arbiters[oc] = arbiter_builder(num_inputs, oc)
+        #: Input (SA1) VC-selection arbiters keyed by input channel id;
+        #: only channels whose destination forwards packets need one.
+        self.vc_arbiters: List[Optional[Arbiter]] = [None] * len(channels)
+        for channel in channels:
+            if machine.components[channel.dst].kind == ComponentKind.ENDPOINT:
+                continue
+            vcs = machine.vcs_for_channel(channel)
+            self.vc_arbiters[channel.cid] = vc_arbiter_builder(vcs, channel.cid)
+
+        #: Injection queues per endpoint component id.
+        self._source_queues: Dict[int, List[Packet]] = {}
+        self._source_heads: Dict[int, int] = {}
+        self._events: List[tuple] = []
+        self._event_seq = 0
+        self._active: set = set()
+        self._queued = 0
+        self._in_network = 0
+        self._last_progress = 0
+        #: Optional hook invoked as ``on_delivery(packet, cycle)`` when a
+        #: packet is consumed at its destination endpoint. Handlers may
+        #: call :meth:`enqueue` (e.g. to send a reply), which models the
+        #: endpoint's counted-write handler dispatch [Grossman 2013].
+        self.on_delivery: Optional[Callable[[Packet, int], None]] = None
+
+    # --- public API -------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> None:
+        """Add a packet to its source endpoint's injection queue.
+
+        Packets must be enqueued per-source in nondecreasing
+        ``release_cycle`` order (generators in :mod:`repro.traffic` do
+        this naturally).
+        """
+        src = packet.src
+        component = self.machine.components[src]
+        if component.kind != ComponentKind.ENDPOINT:
+            raise ValueError(f"packet source {src} is not an endpoint adapter")
+        queue = self._source_queues.setdefault(src, [])
+        if queue and queue[-1].release_cycle > packet.release_cycle:
+            raise ValueError("packets must be enqueued in release order")
+        queue.append(packet)
+        self._source_heads.setdefault(src, 0)
+        self._queued += 1
+        if packet.release_cycle <= self.cycle:
+            self._active.add(src)
+        else:
+            self._push_event(packet.release_cycle, _EV_WAKE, src, 0, None)
+
+    def run_for(self, cycles: int) -> SimStats:
+        """Advance the simulation by at most ``cycles`` cycles.
+
+        Returns early if all traffic drains first. Useful for observing
+        mid-run state (e.g. arbiter service shares while the network is
+        still saturated); call again or call :meth:`run` to finish.
+        """
+        target = self.cycle + cycles
+        events = self._events
+        while (self._queued or self._in_network or events) and self.cycle < target:
+            if not self._active and events:
+                self.cycle = min(target, max(self.cycle, events[0][0]))
+            self._process_events()
+            if self._active:
+                self._step()
+            self.cycle += 1
+        return self.stats
+
+    def run(self, max_cycles: int = 10_000_000) -> SimStats:
+        """Run until all enqueued packets are delivered (or ``max_cycles``)."""
+        events = self._events
+        while self._queued or self._in_network or events:
+            if self.cycle >= max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles with "
+                    f"{self._queued + self._in_network} packets outstanding"
+                )
+            if not self._active and events:
+                # Nothing can move; jump to the next event.
+                self.cycle = max(self.cycle, events[0][0])
+            self._process_events()
+            if self._active:
+                self._step()
+            if (
+                self._in_network
+                and self.cycle - self._last_progress > self.watchdog_cycles
+            ):
+                raise DeadlockError(
+                    f"no progress for {self.watchdog_cycles} cycles at cycle "
+                    f"{self.cycle}; {self._in_network} packets stuck in the network"
+                )
+            self.cycle += 1
+        self.stats.end_cycle = self.cycle
+        return self.stats
+
+    # --- internals ----------------------------------------------------------------
+
+    def _push_event(self, cycle: int, kind: int, a, b, c) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (cycle, self._event_seq, kind, a, b, c))
+
+    def _process_events(self) -> None:
+        events = self._events
+        now = self.cycle
+        while events and events[0][0] <= now:
+            _cycle, _seq, kind, a, b, c = heapq.heappop(events)
+            if kind == _EV_ARRIVAL:
+                self._handle_arrival(a, b)
+            elif kind == _EV_CREDIT:
+                self._credits[a][b] += c
+                self._active.add(self.machine.channels[a].src)
+            else:  # wake
+                self._active.add(a)
+
+    def _handle_arrival(self, packet: Packet, channel_id: int) -> None:
+        machine = self.machine
+        channel = machine.channels[channel_id]
+        if packet.hop_index >= len(packet.route.hops):
+            # Final hop: consume at the destination endpoint.
+            packet.deliver_cycle = self.cycle
+            self.stats.record_delivery(packet, self.keep_packet_latencies)
+            self._in_network -= 1
+            self._last_progress = self.cycle
+            vc = packet.route.hops[-1][1]
+            self._push_event(
+                self.cycle + channel.latency,
+                _EV_CREDIT,
+                channel_id,
+                vc,
+                packet.size_flits,
+            )
+            if self.on_delivery is not None:
+                self.on_delivery(packet, self.cycle)
+            return
+        vc = packet.route.hops[packet.hop_index - 1][1]
+        packet.ready_cycle = self.cycle + self._pipeline
+        self._buffers[channel_id][vc].append(packet)
+        self._buffered_count[channel_id] += 1
+        self._active.add(channel.dst)
+
+    def _step(self) -> None:
+        now = self.cycle
+        idle: List[int] = []
+        for comp_id in list(self._active):
+            if not self._arbitrate_component(comp_id, now):
+                idle.append(comp_id)
+        for comp_id in idle:
+            self._active.discard(comp_id)
+
+    def _arbitrate_component(self, comp_id: int, now: int) -> bool:
+        """One SA1+SA2 pass at a component. Returns False when the
+        component holds no packets at all (and may be deactivated)."""
+        machine = self.machine
+        component = machine.components[comp_id]
+        if component.kind == ComponentKind.ENDPOINT:
+            return self._inject_endpoint(comp_id, now)
+
+        inputs = machine.component_inputs[comp_id]
+        buffers = self._buffers
+        heads = self._buffer_heads
+        buffered_count = self._buffered_count
+        input_free_at = self._input_free_at
+        channel_free_at = self._channel_free_at
+        credits = self._credits
+        has_packets = False
+        # SA1: each input port nominates one VC's head packet among the
+        # *eligible* ones (next channel accepting, credits available). The
+        # SA1 arbiter state is only committed if the packet also wins SA2.
+        candidates: Dict[int, List] = {}
+        for input_idx, ic in enumerate(inputs):
+            if not buffered_count[ic]:
+                continue
+            has_packets = True
+            if input_free_at[ic] > now:
+                continue
+            bufs = buffers[ic]
+            hds = heads[ic]
+            nvc = len(bufs)
+            vc_requests: List = [None] * nvc
+            any_request = False
+            for vc in range(nvc):
+                queue = bufs[vc]
+                head = hds[vc]
+                if head >= len(queue):
+                    continue
+                packet = queue[head]
+                if packet.ready_cycle > now:
+                    continue
+                oc, ovc = packet.route.hops[packet.hop_index]
+                # A channel accepts a new packet in any cycle in which its
+                # staging buffer drains (free_at < now + 1); fractional
+                # occupancy carries over so sub-cycle bandwidth (the 3.2
+                # cycles/flit torus channels) is not quantized away.
+                if channel_free_at[oc] >= now + 1:
+                    continue
+                if credits[oc][ovc] < packet.size_flits:
+                    continue
+                vc_requests[vc] = packet
+                any_request = True
+            if not any_request:
+                continue
+            vc = self.vc_arbiters[ic].peek(vc_requests)
+            packet = vc_requests[vc]
+            oc, ovc = packet.route.hops[packet.hop_index]
+            candidates.setdefault(oc, [None] * len(inputs))[input_idx] = (
+                packet,
+                ic,
+                vc,
+                ovc,
+            )
+        # SA2: arbitrate each requested output channel.
+        for oc, slots in candidates.items():
+            requests = [slot[0] if slot is not None else None for slot in slots]
+            winner = self.arbiters[oc].arbitrate(requests)
+            if winner is None:  # pragma: no cover - slots is never all-None
+                continue
+            packet, ic, vc, ovc = slots[winner]
+            self.vc_arbiters[ic].commit(vc, packet)
+            self._depart(packet, ic, vc, oc, ovc, now)
+        return has_packets
+
+    def _inject_endpoint(self, comp_id: int, now: int) -> bool:
+        queue = self._source_queues.get(comp_id)
+        if queue is None:
+            return False
+        head = self._source_heads[comp_id]
+        if head >= len(queue):
+            # Allow the queue list to be garbage collected once drained.
+            del self._source_queues[comp_id]
+            del self._source_heads[comp_id]
+            return False
+        packet = queue[head]
+        if packet.release_cycle > now:
+            # Head not released yet; a wake event will re-activate us.
+            return False
+        oc, ovc = packet.route.hops[0]
+        if self._channel_free_at[oc] > now:
+            return True
+        if self._credits[oc][ovc] < packet.size_flits:
+            return True
+        self._source_heads[comp_id] = head + 1
+        if head + 1 >= len(queue):
+            del self._source_queues[comp_id]
+            del self._source_heads[comp_id]
+        self._queued -= 1
+        self._in_network += 1
+        packet.inject_cycle = now
+        self.stats.record_injection(packet)
+        self._depart(packet, None, 0, oc, ovc, now)
+        return True
+
+    def _depart(
+        self,
+        packet: Packet,
+        from_channel: Optional[int],
+        from_vc: int,
+        oc: int,
+        ovc: int,
+        now: int,
+    ) -> None:
+        size = packet.size_flits
+        serialization = size * self._occupancy[oc]
+        # Serialization begins when the previous packet's last flit clears
+        # the channel (which may be mid-cycle on slow torus channels).
+        start = self._channel_free_at[oc]
+        if start < now:
+            start = now
+        serialization_end = start + serialization
+        self._channel_free_at[oc] = serialization_end
+        self._credits[oc][ovc] -= size
+        self.stats.record_channel_use(oc, size)
+        self._last_progress = now
+        if from_channel is not None:
+            self._input_free_at[from_channel] = now + size
+            self._pop_head(from_channel, from_vc)
+            self._push_event(
+                now + self._latency[from_channel],
+                _EV_CREDIT,
+                from_channel,
+                from_vc,
+                size,
+            )
+        packet.hop_index += 1
+        # The packet is fully received downstream one latency after its
+        # last flit finishes serializing onto the channel.
+        arrival = -int(-(serialization_end - 0.000001)) - 1 + self._latency[oc]
+        if arrival <= now:  # pragma: no cover - latency >= 1 prevents this
+            arrival = now + 1
+        self._push_event(arrival, _EV_ARRIVAL, packet, oc, None)
+
+    def _pop_head(self, channel_id: int, vc: int) -> None:
+        heads = self._buffer_heads[channel_id]
+        queue = self._buffers[channel_id][vc]
+        heads[vc] += 1
+        self._buffered_count[channel_id] -= 1
+        # Compact once the dead prefix dominates, keeping amortized O(1).
+        if heads[vc] > 32 and heads[vc] * 2 >= len(queue):
+            del queue[: heads[vc]]
+            heads[vc] = 0
+
+    # --- introspection (used by tests) ------------------------------------------
+
+    def buffered_packets(self) -> int:
+        """Packets currently sitting in network buffers."""
+        total = 0
+        for cid, bufs in enumerate(self._buffers):
+            heads = self._buffer_heads[cid]
+            for vc, queue in enumerate(bufs):
+                total += len(queue) - heads[vc]
+        return total
+
+    def credits_outstanding(self, channel_id: int, vc: int) -> int:
+        """Credits currently held (buffer depth minus available credits)."""
+        channel = self.machine.channels[channel_id]
+        depth = self.machine.buffer_depth_for_channel(channel)
+        return depth - self._credits[channel_id][vc]

@@ -1,0 +1,240 @@
+"""High-level simulation facade: wiring machines, arbiters, and workloads.
+
+This is the main entry point for running experiments:
+
+    machine = Machine(MachineConfig(shape=(4, 4, 4), endpoints_per_chip=4))
+    rc = RouteComputer(machine)
+    spec = BatchSpec(UniformRandom(machine.config.shape), 64, cores_per_chip=4)
+    stats = run_batch(machine, rc, spec, arbitration="iw",
+                      weight_patterns=[UniformRandom(machine.config.shape)])
+
+The ``arbitration`` argument selects the policy at every router and
+adapter output:
+
+* ``"rr"`` -- round-robin (the paper's gray baseline curves);
+* ``"age"`` -- age-based (the heavy-weight EoS reference);
+* ``"iw"`` -- inverse-weighted, programmed from analytically computed
+  loads of one or more traffic patterns (the paper's black curves).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.arbiters.age_based import AgeBasedArbiter
+from repro.arbiters.base import Arbiter
+from repro.arbiters.inverse_weighted import InverseWeightedArbiter
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.arbiters.weights import WeightTable, compute_inverse_weights
+from repro.core.machine import Machine
+from repro.core.routing import RouteComputer
+
+from .engine import ArbiterBuilder, Engine
+from .stats import SimStats
+
+#: Default inverse-weight width, matching the Figure 6 example hardware.
+DEFAULT_WEIGHT_BITS = 5
+
+
+def make_weight_tables(
+    machine: Machine,
+    route_computer: RouteComputer,
+    patterns: Sequence["TrafficPattern"],
+    cores_per_chip: int,
+    dst_endpoint_mode: str = "same_index",
+    weight_bits: int = DEFAULT_WEIGHT_BITS,
+    load_tables: Optional[Sequence["LoadTable"]] = None,
+) -> Dict[int, WeightTable]:
+    """Program inverse-weight tables for every arbitration site.
+
+    This is the offline flow of Section 3.2: compute per-input loads for
+    each traffic pattern, then quantize their inverses into the per-site
+    weight memories. ``load_tables`` may be passed to reuse
+    already-computed loads.
+    """
+    # Imported here (not at module top) to avoid a circular import:
+    # repro.traffic generates Packet objects and so imports repro.sim.
+    from repro.traffic.loads import compute_loads, merge_arbiter_loads
+
+    if load_tables is None:
+        load_tables = [
+            compute_loads(
+                machine, route_computer, pattern, cores_per_chip, dst_endpoint_mode
+            )
+            for pattern in patterns
+        ]
+    merged = merge_arbiter_loads(machine, load_tables)
+    return {
+        oc: compute_inverse_weights(matrix, weight_bits=weight_bits)
+        for oc, matrix in merged.items()
+    }
+
+
+def make_vc_weight_tables(
+    machine: Machine,
+    route_computer: RouteComputer,
+    patterns: Sequence["TrafficPattern"],
+    cores_per_chip: int,
+    dst_endpoint_mode: str = "same_index",
+    weight_bits: int = DEFAULT_WEIGHT_BITS,
+    load_tables: Optional[Sequence["LoadTable"]] = None,
+) -> Dict[int, WeightTable]:
+    """Program inverse-weight tables for the SA1 (VC selection) stage.
+
+    Equality of service must hold at *every* arbitration point
+    (Section 3.1), and the per-input VC selection is one: dateline
+    geography makes per-VC loads uneven (sources beyond a dateline travel
+    on promoted VCs), so an unweighted SA1 would re-introduce exactly the
+    source bias the output arbiters remove.
+    """
+    from repro.traffic.loads import compute_loads, merge_vc_loads
+
+    if load_tables is None:
+        load_tables = [
+            compute_loads(
+                machine, route_computer, pattern, cores_per_chip, dst_endpoint_mode
+            )
+            for pattern in patterns
+        ]
+    merged = merge_vc_loads(machine, load_tables)
+    return {
+        cid: compute_inverse_weights(matrix, weight_bits=weight_bits)
+        for cid, matrix in merged.items()
+    }
+
+
+def arbiter_builder_for(
+    arbitration: str,
+    weight_tables: Optional[Dict[int, WeightTable]] = None,
+    num_patterns: int = 1,
+    weight_bits: int = DEFAULT_WEIGHT_BITS,
+) -> ArbiterBuilder:
+    """Build the per-site arbiter factory for an arbitration policy.
+
+    Used for both arbitration stages: SA2 sites are keyed by output
+    channel id with per-input-port weights, SA1 sites by input channel id
+    with per-VC weights.
+    """
+    if arbitration == "rr":
+        return lambda num_inputs, site: RoundRobinArbiter(num_inputs)
+    if arbitration == "age":
+        return lambda num_inputs, site: AgeBasedArbiter(num_inputs)
+    if arbitration == "iw":
+        if weight_tables is None:
+            raise ValueError("inverse-weighted arbitration requires weight tables")
+
+        def build(num_inputs: int, site: int) -> Arbiter:
+            table = weight_tables.get(site)
+            if table is None:
+                # No modeled traffic ever crosses this output; any packets
+                # that do show up are handled with equal (maximal) weights.
+                table = compute_inverse_weights(
+                    [[0.0] * num_patterns] * num_inputs, weight_bits=weight_bits
+                )
+            return InverseWeightedArbiter(table.inverse_weights, table.weight_bits)
+
+        return build
+    raise ValueError(f"unknown arbitration policy {arbitration!r}")
+
+
+def run_batch(
+    machine: Machine,
+    route_computer: RouteComputer,
+    spec: "BatchSpec",
+    arbitration: str = "rr",
+    weight_patterns: Optional[Sequence["TrafficPattern"]] = None,
+    weight_tables: Optional[Dict[int, WeightTable]] = None,
+    vc_weight_tables: Optional[Dict[int, WeightTable]] = None,
+    weight_bits: int = DEFAULT_WEIGHT_BITS,
+    max_cycles: int = 10_000_000,
+    keep_packet_latencies: bool = False,
+) -> SimStats:
+    """Run one batch experiment and return its statistics.
+
+    For ``arbitration="iw"``, either ``weight_tables``/``vc_weight_tables``
+    (pre-programmed) or ``weight_patterns`` (programmed here from analytic
+    loads) must be given. Inverse weighting is applied at both
+    arbitration stages (output ports and per-input VC selection).
+    """
+    from repro.traffic.batch import generate_batch
+    from repro.traffic.loads import compute_loads
+
+    num_patterns = 1
+    if arbitration == "iw":
+        if weight_tables is None or vc_weight_tables is None:
+            if weight_patterns is None:
+                raise ValueError(
+                    "iw arbitration needs weight_patterns or weight tables"
+                )
+            load_tables = [
+                compute_loads(
+                    machine,
+                    route_computer,
+                    pattern,
+                    spec.cores_per_chip,
+                    spec.dst_endpoint_mode,
+                )
+                for pattern in weight_patterns
+            ]
+            if weight_tables is None:
+                weight_tables = make_weight_tables(
+                    machine,
+                    route_computer,
+                    weight_patterns,
+                    spec.cores_per_chip,
+                    spec.dst_endpoint_mode,
+                    weight_bits,
+                    load_tables=load_tables,
+                )
+            if vc_weight_tables is None:
+                vc_weight_tables = make_vc_weight_tables(
+                    machine,
+                    route_computer,
+                    weight_patterns,
+                    spec.cores_per_chip,
+                    spec.dst_endpoint_mode,
+                    weight_bits,
+                    load_tables=load_tables,
+                )
+        for table in weight_tables.values():
+            num_patterns = table.num_patterns
+            break
+    builder = arbiter_builder_for(arbitration, weight_tables, num_patterns, weight_bits)
+    vc_builder = arbiter_builder_for(
+        arbitration, vc_weight_tables, num_patterns, weight_bits
+    )
+    engine = Engine(
+        machine,
+        arbiter_builder=builder,
+        vc_arbiter_builder=vc_builder,
+        keep_packet_latencies=keep_packet_latencies,
+    )
+    for packet in generate_batch(machine, route_computer, spec):
+        engine.enqueue(packet)
+    return engine.run(max_cycles=max_cycles)
+
+
+def run_single_packet(
+    machine: Machine,
+    route_computer: RouteComputer,
+    src_endpoint: int,
+    dst_endpoint: int,
+    choice=None,
+    size_flits: int = 1,
+) -> int:
+    """Inject one packet into an idle network; returns its latency in cycles.
+
+    Used by the latency-versus-hops experiment (Figure 11): in an idle
+    network the measured latency is pure pipeline and channel delay.
+    """
+    from repro.core.routing import RouteChoice
+    from repro.sim.packet import Packet
+
+    if choice is None:
+        choice = RouteChoice()
+    route = route_computer.compute(src_endpoint, dst_endpoint, choice)
+    engine = Engine(machine)
+    packet = Packet(0, route, size_flits=size_flits)
+    engine.enqueue(packet)
+    engine.run()
+    return packet.network_latency

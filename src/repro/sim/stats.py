@@ -1,0 +1,120 @@
+"""Measurement collection for the cycle-level simulator.
+
+The statistics mirror the paper's measurement methodology (Section 4):
+batch completion time for throughput, per-source delivery counts for
+fairness (equality of service), per-channel flit counts for utilization,
+and per-packet latencies for the ping-pong experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from .packet import Packet
+
+
+@dataclasses.dataclass
+class SimStats:
+    """Aggregated results of one simulation run."""
+
+    #: Total packets injected into the network.
+    injected: int = 0
+    #: Total packets delivered.
+    delivered: int = 0
+    #: Cycle of the last delivery (the batch completion time).
+    last_delivery_cycle: int = 0
+    #: Cycle the simulation stopped at.
+    end_cycle: int = 0
+    #: Delivered packets per source endpoint component id.
+    delivered_per_source: Dict[int, int] = dataclasses.field(
+        default_factory=lambda: defaultdict(int)
+    )
+    #: Cycle of each source's last delivery: in a batch run, the cycle the
+    #: source *finished*. The spread of these values is the direct
+    #: signature of (un)fairness beyond saturation.
+    source_finish_cycle: Dict[int, int] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Flits carried per channel id.
+    channel_flits: Dict[int, int] = dataclasses.field(
+        default_factory=lambda: defaultdict(int)
+    )
+    #: Sum and count of release-to-delivery latencies.
+    latency_sum: int = 0
+    #: Sum of injection-to-delivery (network) latencies.
+    network_latency_sum: int = 0
+    #: Retained per-packet latencies when ``keep_packet_latencies`` is set
+    #: on the engine (used by the latency-vs-hops experiment).
+    packet_latencies: List[int] = dataclasses.field(default_factory=list)
+
+    def record_injection(self, packet: Packet) -> None:
+        self.injected += 1
+
+    def record_delivery(self, packet: Packet, keep_latency: bool = False) -> None:
+        self.delivered += 1
+        assert packet.deliver_cycle is not None
+        self.last_delivery_cycle = max(self.last_delivery_cycle, packet.deliver_cycle)
+        self.delivered_per_source[packet.src] += 1
+        self.source_finish_cycle[packet.src] = packet.deliver_cycle
+        self.latency_sum += packet.latency
+        self.network_latency_sum += packet.network_latency
+        if keep_latency:
+            self.packet_latencies.append(packet.network_latency)
+
+    def record_channel_use(self, channel_id: int, flits: int) -> None:
+        self.channel_flits[channel_id] += flits
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean release-to-delivery latency in cycles."""
+        if self.delivered == 0:
+            raise ValueError("no packets delivered")
+        return self.latency_sum / self.delivered
+
+    @property
+    def mean_network_latency(self) -> float:
+        """Mean injection-to-delivery latency in cycles."""
+        if self.delivered == 0:
+            raise ValueError("no packets delivered")
+        return self.network_latency_sum / self.delivered
+
+    def throughput_packets_per_cycle(self) -> float:
+        """Delivered packets divided by batch completion time."""
+        if self.last_delivery_cycle == 0:
+            return 0.0
+        return self.delivered / self.last_delivery_cycle
+
+    def service_counts(self) -> List[int]:
+        """Delivered counts per source, sorted ascending (fairness view)."""
+        return sorted(self.delivered_per_source.values())
+
+    def min_max_service_ratio(self) -> Optional[float]:
+        """Min/max per-source delivered ratio; 1.0 is perfectly fair.
+
+        Meaningful mid-run or for open-loop workloads; after a batch run
+        completes every source has delivered its whole batch, so use
+        :meth:`finish_spread` instead.
+        """
+        counts = self.service_counts()
+        if not counts or counts[-1] == 0:
+            return None
+        return counts[0] / counts[-1]
+
+    def finish_spread(self) -> Optional[float]:
+        """Relative spread of per-source batch finish times.
+
+        ``(latest - earliest finish) / latest``: 0 means every source
+        finished together (perfect equality of service); values near 1
+        mean some sources were starved until the very end -- the
+        unfairness mechanism that collapses round-robin throughput beyond
+        saturation (Figure 9).
+        """
+        if not self.source_finish_cycle:
+            return None
+        finishes = self.source_finish_cycle.values()
+        latest = max(finishes)
+        if latest == 0:
+            return None
+        return (latest - min(finishes)) / latest

@@ -1,0 +1,43 @@
+"""Traffic patterns, workload generators, and analytic load computation."""
+
+from .batch import BatchSpec, generate_batch, generate_open_loop
+from .md import MdMulticastWorkload, import_region, random_particle_destinations
+from .loads import (
+    LoadTable,
+    active_endpoints,
+    compute_loads,
+    ideal_batch_cycles,
+    merge_arbiter_loads,
+)
+from .patterns import (
+    BitComplement,
+    Blend,
+    FixedPermutation,
+    NHopNeighbor,
+    ReverseTornado,
+    Tornado,
+    TrafficPattern,
+    UniformRandom,
+)
+
+__all__ = [
+    "BatchSpec",
+    "MdMulticastWorkload",
+    "import_region",
+    "random_particle_destinations",
+    "BitComplement",
+    "Blend",
+    "FixedPermutation",
+    "LoadTable",
+    "NHopNeighbor",
+    "ReverseTornado",
+    "Tornado",
+    "TrafficPattern",
+    "UniformRandom",
+    "active_endpoints",
+    "compute_loads",
+    "generate_batch",
+    "generate_open_loop",
+    "ideal_batch_cycles",
+    "merge_arbiter_loads",
+]

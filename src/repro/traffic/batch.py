@@ -1,0 +1,147 @@
+"""Workload generation: batches and open-loop injection processes.
+
+The paper's throughput experiments (Section 4.1) use a *batch*
+methodology: every participating core sends a fixed number of packets
+according to a traffic pattern as fast as the network accepts them, and
+throughput is the batch size divided by the time at which the last packet
+is received. Batches also expose fairness: beyond saturation, an unfair
+network finishes some sources long before others, stretching the
+completion time (Figure 9).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional
+
+from repro.core.machine import Machine
+from repro.core.routing import RouteComputer
+from repro.sim.packet import Packet
+
+from .loads import active_endpoints
+from .patterns import Blend, TrafficPattern
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchSpec:
+    """Parameters of one batch workload."""
+
+    pattern: TrafficPattern
+    packets_per_source: int
+    cores_per_chip: int
+    dst_endpoint_mode: str = "same_index"
+    size_flits: int = 1
+    traffic_class: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.packets_per_source < 1:
+            raise ValueError("packets_per_source must be at least 1")
+        if self.dst_endpoint_mode not in ("same_index", "uniform"):
+            raise ValueError(f"unknown dst_endpoint_mode {self.dst_endpoint_mode!r}")
+
+
+def generate_batch(
+    machine: Machine, route_computer: RouteComputer, spec: BatchSpec
+) -> List[Packet]:
+    """Generate the packets of a batch, all released at cycle zero.
+
+    Destinations, route choices (dimension order, slice, tie-breaks) and
+    blend membership are drawn from a seeded RNG, so workloads are
+    reproducible. Packets drawn from a :class:`~repro.traffic.patterns.Blend`
+    carry the index of their component pattern in the ``pattern`` header
+    field.
+    """
+    if spec.pattern.shape != machine.config.shape:
+        raise ValueError("pattern shape does not match the machine")
+    rng = random.Random(spec.seed)
+    sources = active_endpoints(machine, spec.cores_per_chip)
+    packets: List[Packet] = []
+    pid = 0
+    is_blend = isinstance(spec.pattern, Blend)
+    for src_ep in sources:
+        src_comp = machine.components[src_ep]
+        src_chip = src_comp.chip
+        src_index = src_comp.detail
+        for _ in range(spec.packets_per_source):
+            if is_blend:
+                dst_chip, pattern_id = spec.pattern.sample_with_pattern(rng, src_chip)
+            else:
+                dst_chip = spec.pattern.sample(rng, src_chip)
+                pattern_id = 0
+            if spec.dst_endpoint_mode == "same_index":
+                dst_index = src_index
+            else:
+                dst_index = rng.randrange(spec.cores_per_chip)
+            dst_ep = machine.ep_id[(dst_chip, dst_index)]
+            choice = route_computer.random_choice(rng, src_chip, dst_chip)
+            route = route_computer.compute(
+                src_ep, dst_ep, choice, spec.traffic_class
+            )
+            packets.append(
+                Packet(
+                    pid,
+                    route,
+                    size_flits=spec.size_flits,
+                    pattern=pattern_id,
+                    traffic_class=spec.traffic_class,
+                    release_cycle=0,
+                )
+            )
+            pid += 1
+    return packets
+
+
+def generate_open_loop(
+    machine: Machine,
+    route_computer: RouteComputer,
+    pattern: TrafficPattern,
+    injection_rate: float,
+    duration_cycles: int,
+    cores_per_chip: int,
+    dst_endpoint_mode: str = "same_index",
+    size_flits: int = 1,
+    seed: int = 0,
+    traffic_class: int = 0,
+) -> List[Packet]:
+    """Open-loop Bernoulli injection at ``injection_rate`` packets per
+    source per cycle, for latency-versus-load style experiments."""
+    if not 0 < injection_rate <= 1:
+        raise ValueError(f"injection_rate must be in (0, 1], got {injection_rate}")
+    rng = random.Random(seed)
+    sources = active_endpoints(machine, cores_per_chip)
+    packets: List[Packet] = []
+    pid = 0
+    is_blend = isinstance(pattern, Blend)
+    for src_ep in sources:
+        src_comp = machine.components[src_ep]
+        src_chip = src_comp.chip
+        src_index = src_comp.detail
+        for cycle in range(duration_cycles):
+            if rng.random() >= injection_rate:
+                continue
+            if is_blend:
+                dst_chip, pattern_id = pattern.sample_with_pattern(rng, src_chip)
+            else:
+                dst_chip = pattern.sample(rng, src_chip)
+                pattern_id = 0
+            if dst_endpoint_mode == "same_index":
+                dst_index = src_index
+            else:
+                dst_index = rng.randrange(cores_per_chip)
+            dst_ep = machine.ep_id[(dst_chip, dst_index)]
+            choice = route_computer.random_choice(rng, src_chip, dst_chip)
+            route = route_computer.compute(src_ep, dst_ep, choice, traffic_class)
+            packets.append(
+                Packet(
+                    pid,
+                    route,
+                    size_flits=size_flits,
+                    pattern=pattern_id,
+                    traffic_class=traffic_class,
+                    release_cycle=cycle,
+                )
+            )
+            pid += 1
+    return packets

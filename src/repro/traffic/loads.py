@@ -1,0 +1,321 @@
+"""Analytic channel and arbiter-input loads (Figure 5 semantics).
+
+The *load* a traffic pattern places on a resource is the expected number
+of packets per unit time that use the resource, summed over all sources
+(Section 3.1). This module computes, by exact enumeration of the
+oblivious route distribution (all dimension orders x slices x minimal
+tie-breaks, each with its probability):
+
+* the expected load on every directed channel, and
+* the expected load on every (output channel, input port) arbitration
+  point -- the ``gamma_{i,n}`` values from which the inverse-weighted
+  arbiter's weights are computed.
+
+Loads are normalized to "every active source endpoint injects exactly one
+packet": multiplying by a per-source batch size B gives the expected
+number of packets crossing each channel during a batch, which is how the
+throughput experiments normalize completion time (a normalized throughput
+of 1 means the most-loaded torus channel never idles).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.machine import ChannelKind, Machine
+from repro.core.routing import RouteComputer
+
+from .patterns import TrafficPattern
+
+
+def active_endpoints(machine: Machine, cores_per_chip: int) -> List[int]:
+    """The endpoint component ids participating in an experiment.
+
+    The first ``cores_per_chip`` endpoints of each chip are used; the
+    default floorplan places consecutive endpoints on distinct routers, so
+    this matches the paper's measurement setup ("one core per router
+    participating") when ``cores_per_chip`` equals the router count.
+    """
+    if not 1 <= cores_per_chip <= machine.config.endpoints_per_chip:
+        raise ValueError(
+            f"cores_per_chip must be in [1, {machine.config.endpoints_per_chip}]"
+        )
+    ids = []
+    from repro.core.geometry import all_coords
+
+    for chip in all_coords(machine.config.shape):
+        for index in range(cores_per_chip):
+            ids.append(machine.ep_id[(chip, index)])
+    return ids
+
+
+@dataclasses.dataclass
+class LoadTable:
+    """Expected loads for one traffic pattern on one machine."""
+
+    #: Expected packets per channel id, per one packet injected by every
+    #: active source.
+    channel_load: Dict[int, float]
+    #: ``arbiter_load[output channel][input index]`` -- expected packets
+    #: arriving at that arbitration point via that input port.
+    arbiter_load: Dict[int, List[float]]
+    #: ``vc_load[channel][vc]`` -- expected packets carried per virtual
+    #: channel of each channel. This is the load seen by the SA1 (per-
+    #: input VC selection) arbitration stage; dateline geography makes
+    #: these loads uneven, so SA1 must be weighted too for global EoS.
+    vc_load: Dict[int, List[float]]
+    #: Number of active source endpoints the table was computed over.
+    num_sources: int
+
+    def max_load(self, machine: Machine, kind: Optional[ChannelKind] = None) -> float:
+        """The largest channel load, optionally restricted to one kind."""
+        best = 0.0
+        for cid, load in self.channel_load.items():
+            if kind is not None and machine.channels[cid].kind != kind:
+                continue
+            best = max(best, load)
+        return best
+
+    def max_torus_load(self, machine: Machine) -> float:
+        """Peak torus-channel load; the throughput normalizer."""
+        return self.max_load(machine, ChannelKind.TORUS)
+
+
+def _translate_component(machine: Machine, comp_id: int, offset) -> int:
+    """The component id of ``comp_id`` shifted by a torus offset."""
+    comp = machine.components[comp_id]
+    shape = machine.config.shape
+    chip = tuple((comp.chip[d] + offset[d]) % shape[d] for d in range(3))
+    from repro.core.machine import ComponentKind
+
+    if comp.kind == ComponentKind.ROUTER:
+        return machine.router_id[(chip, comp.detail)]
+    if comp.kind == ComponentKind.ENDPOINT:
+        return machine.ep_id[(chip, comp.detail)]
+    direction, slice_index = comp.detail
+    return machine.ca_id[(chip, direction, slice_index)]
+
+
+def _translate_channel(machine: Machine, channel_id: int, offset) -> int:
+    """The channel id of ``channel_id`` shifted by a torus offset."""
+    channel = machine.channels[channel_id]
+    return machine.channel_between[
+        (
+            _translate_component(machine, channel.src, offset),
+            _translate_component(machine, channel.dst, offset),
+        )
+    ]
+
+
+def compute_loads(
+    machine: Machine,
+    route_computer: RouteComputer,
+    pattern: TrafficPattern,
+    cores_per_chip: int,
+    dst_endpoint_mode: str = "same_index",
+    use_symmetry: Optional[bool] = None,
+) -> LoadTable:
+    """Exact expected loads for ``pattern`` over the oblivious router.
+
+    ``dst_endpoint_mode`` selects how node-level destinations map to
+    endpoints: ``"same_index"`` (core i talks to core i, the default) or
+    ``"uniform"`` (uniform over the active endpoints of the destination
+    node).
+
+    For translation-symmetric patterns (``pattern.node_symmetric``),
+    only sources on one chip are enumerated and the resulting loads are
+    translated over the machine -- exact, and an O(num_chips) speedup.
+    ``use_symmetry`` overrides the automatic choice (tests use this to
+    verify the fast and slow paths agree).
+    """
+    if pattern.shape != machine.config.shape:
+        raise ValueError("pattern shape does not match the machine")
+    if dst_endpoint_mode not in ("same_index", "uniform"):
+        raise ValueError(f"unknown dst_endpoint_mode {dst_endpoint_mode!r}")
+    if use_symmetry is None:
+        use_symmetry = pattern.node_symmetric
+
+    sources = active_endpoints(machine, cores_per_chip)
+    channel_load: Dict[int, float] = defaultdict(float)
+    arbiter_load: Dict[int, Dict[int, float]] = defaultdict(lambda: defaultdict(float))
+    vc_load: Dict[int, Dict[int, float]] = defaultdict(lambda: defaultdict(float))
+    input_index = machine.input_index
+
+    if use_symmetry:
+        base_chip = (0, 0, 0)
+        enumerated = [
+            machine.ep_id[(base_chip, index)] for index in range(cores_per_chip)
+        ]
+    else:
+        enumerated = sources
+
+    for src_ep in enumerated:
+        src_comp = machine.components[src_ep]
+        src_chip = src_comp.chip
+        src_index = src_comp.detail
+        for dst_chip, node_prob in pattern.destinations(src_chip):
+            if dst_endpoint_mode == "same_index":
+                dst_choices = [(machine.ep_id[(dst_chip, src_index)], node_prob)]
+            else:
+                prob = node_prob / cores_per_chip
+                dst_choices = [
+                    (machine.ep_id[(dst_chip, e)], prob)
+                    for e in range(cores_per_chip)
+                ]
+            for dst_ep, ep_prob in dst_choices:
+                for choice, choice_prob in route_computer.all_choices(
+                    src_chip, dst_chip
+                ):
+                    prob = ep_prob * choice_prob
+                    route = route_computer.compute(src_ep, dst_ep, choice)
+                    hops = route.hops
+                    prev_channel = None
+                    for channel_id, vc in hops:
+                        channel_load[channel_id] += prob
+                        vc_load[channel_id][vc] += prob
+                        if prev_channel is not None:
+                            arbiter_load[channel_id][
+                                input_index[prev_channel]
+                            ] += prob
+                        prev_channel = channel_id
+
+    if use_symmetry:
+        # Translate the single-chip result over every nonzero offset.
+        # Arbiter input indices are translation-invariant because every
+        # chip's channels are created in the same per-chip order.
+        from repro.core.geometry import all_coords
+
+        base_channel_load = dict(channel_load)
+        base_arbiter_load = {
+            oc: dict(per_input) for oc, per_input in arbiter_load.items()
+        }
+        base_vc_load = {cid: dict(per_vc) for cid, per_vc in vc_load.items()}
+        for offset in all_coords(machine.config.shape):
+            if offset == (0, 0, 0):
+                continue
+            channel_map = {
+                cid: _translate_channel(machine, cid, offset)
+                for cid in base_channel_load
+            }
+            for cid, load in base_channel_load.items():
+                channel_load[channel_map[cid]] += load
+            for oc, per_input in base_arbiter_load.items():
+                translated = channel_map[oc]
+                target = arbiter_load[translated]
+                for idx, load in per_input.items():
+                    target[idx] += load
+            for cid, per_vc in base_vc_load.items():
+                translated = channel_map[cid]
+                target = vc_load[translated]
+                for vc, load in per_vc.items():
+                    target[vc] += load
+
+    dense_arbiter_load: Dict[int, List[float]] = {}
+    for oc, per_input in arbiter_load.items():
+        src_comp_id = machine.channels[oc].src
+        num_inputs = len(machine.component_inputs[src_comp_id])
+        row = [0.0] * num_inputs
+        for idx, value in per_input.items():
+            row[idx] = value
+        dense_arbiter_load[oc] = row
+
+    dense_vc_load: Dict[int, List[float]] = {}
+    for cid, per_vc in vc_load.items():
+        vcs = machine.vcs_for_channel(machine.channels[cid])
+        row = [0.0] * vcs
+        for vc, value in per_vc.items():
+            row[vc] = value
+        dense_vc_load[cid] = row
+
+    return LoadTable(
+        channel_load=dict(channel_load),
+        arbiter_load=dense_arbiter_load,
+        vc_load=dense_vc_load,
+        num_sources=len(sources),
+    )
+
+
+def merge_arbiter_loads(
+    machine: Machine, tables: Sequence[LoadTable]
+) -> Dict[int, List[List[float]]]:
+    """Stack per-pattern arbiter loads into per-site ``gamma[i][n]`` matrices.
+
+    Returns a map from output channel id to a matrix whose row ``i`` is
+    input ``i``'s load under each pattern -- the exact input of
+    :func:`repro.arbiters.weights.compute_inverse_weights`.
+    """
+    sites = set()
+    for table in tables:
+        sites.update(table.arbiter_load.keys())
+    merged: Dict[int, List[List[float]]] = {}
+    for oc in sites:
+        src_comp_id = machine.channels[oc].src
+        num_inputs = len(machine.component_inputs[src_comp_id])
+        matrix = [[0.0] * len(tables) for _ in range(num_inputs)]
+        for n, table in enumerate(tables):
+            row = table.arbiter_load.get(oc)
+            if row is None:
+                continue
+            for i, value in enumerate(row):
+                matrix[i][n] = value
+        merged[oc] = matrix
+    return merged
+
+
+def merge_vc_loads(
+    machine: Machine, tables: Sequence[LoadTable]
+) -> Dict[int, List[List[float]]]:
+    """Stack per-pattern VC loads into per-channel ``gamma[vc][n]`` matrices.
+
+    The SA1 analogue of :func:`merge_arbiter_loads`: row ``vc`` of the
+    matrix for a channel is that VC's load under each pattern.
+    """
+    channels = set()
+    for table in tables:
+        channels.update(table.vc_load.keys())
+    merged: Dict[int, List[List[float]]] = {}
+    for cid in channels:
+        vcs = machine.vcs_for_channel(machine.channels[cid])
+        matrix = [[0.0] * len(tables) for _ in range(vcs)]
+        for n, table in enumerate(tables):
+            row = table.vc_load.get(cid)
+            if row is None:
+                continue
+            for vc, value in enumerate(row):
+                matrix[vc][n] = value
+        merged[cid] = matrix
+    return merged
+
+
+def ideal_batch_cycles(
+    machine: Machine,
+    table: LoadTable,
+    packets_per_source: int,
+    flits_per_packet: int = 1,
+    bottleneck: str = "torus",
+) -> float:
+    """Cycles an ideal (perfect-switch) network needs for a batch.
+
+    With ``bottleneck="torus"`` (the paper's normalization: "a throughput
+    of 1 indicates full utilization of torus channels") the bound is the
+    time the busiest torus channel needs to carry its share of the batch
+    at its effective bandwidth. ``bottleneck="any"`` instead bounds over
+    every channel (including injection/ejection links), which is the
+    honest bound for small machine configurations whose torus is not the
+    limiting resource.
+    """
+    if bottleneck == "torus":
+        return (
+            packets_per_source
+            * table.max_torus_load(machine)
+            * flits_per_packet
+            * machine.config.torus_cycles_per_flit
+        )
+    if bottleneck != "any":
+        raise ValueError(f"unknown bottleneck {bottleneck!r}")
+    worst = 0.0
+    for cid, load in table.channel_load.items():
+        worst = max(worst, load * machine.channels[cid].cycles_per_flit)
+    return packets_per_source * worst * flits_per_packet

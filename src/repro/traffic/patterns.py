@@ -1,0 +1,300 @@
+"""Traffic patterns used in the paper's evaluation (Sections 4.1-4.2).
+
+All patterns are defined at *node* granularity: a pattern maps a source
+torus coordinate to a probability distribution over destination torus
+coordinates. The harness (:mod:`repro.traffic.batch`) maps node-level
+patterns onto endpoint adapters.
+
+Implemented patterns:
+
+* :class:`UniformRandom` -- every other node equally likely.
+* :class:`NHopNeighbor` -- destinations at most ``n`` hops away along
+  *each* dimension of the torus [Agarwal 1991], the locality-controlled
+  family of Figure 9.
+* :class:`Tornado` and :class:`ReverseTornado` -- the diametrically
+  opposed patterns of Figure 10: node ``(x, y, z)`` sends to
+  ``(x + kx/2 - 1, y + ky/2 - 1, z + kz/2 - 1)`` (respectively minus).
+* :class:`BitComplement` -- a classic adversarial permutation, used in
+  extra stress tests.
+* :class:`FixedPermutation` -- any explicit node permutation.
+* :class:`Blend` -- a probabilistic mixture of patterns; packets carry
+  the index of the pattern they were drawn from, which is exactly the
+  header field the inverse-weighted arbiter keys on.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.geometry import Coord3, all_coords, torus_delta
+
+
+class TrafficPattern(abc.ABC):
+    """A node-level traffic pattern over a torus of a given shape."""
+
+    #: Whether the pattern is invariant under torus translation (the
+    #: destination distribution of ``src + t`` is the distribution of
+    #: ``src`` shifted by ``t``). Symmetric patterns allow the analytic
+    #: load computation to enumerate sources on a single chip and
+    #: translate the result over the machine.
+    node_symmetric = False
+
+    def __init__(self, shape: Coord3) -> None:
+        self.shape = shape
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short name for reports."""
+
+    @abc.abstractmethod
+    def destinations(self, src: Coord3) -> List[Tuple[Coord3, float]]:
+        """The destination distribution for packets sourced at ``src``.
+
+        Returns ``(destination, probability)`` pairs; probabilities sum
+        to 1.
+        """
+
+    def sample(self, rng: random.Random, src: Coord3) -> Coord3:
+        """Draw one destination. Default: inverse-CDF over
+        :meth:`destinations`; subclasses override with direct draws."""
+        roll = rng.random()
+        acc = 0.0
+        dests = self.destinations(src)
+        for dst, prob in dests:
+            acc += prob
+            if roll < acc:
+                return dst
+        return dests[-1][0]
+
+    def mean_hops(self) -> float:
+        """Average minimal inter-node hops per packet (analytic)."""
+        total = 0.0
+        count = 0
+        for src in all_coords(self.shape):
+            for dst, prob in self.destinations(src):
+                hops = sum(
+                    abs(torus_delta(s, d, k))
+                    for s, d, k in zip(src, dst, self.shape)
+                )
+                total += prob * hops
+            count += 1
+        return total / count
+
+
+class UniformRandom(TrafficPattern):
+    """Uniform random traffic: any node other than the source."""
+
+    node_symmetric = True
+
+    def __init__(self, shape: Coord3, include_self: bool = False) -> None:
+        super().__init__(shape)
+        self.include_self = include_self
+        self._nodes = list(all_coords(shape))
+
+    @property
+    def name(self) -> str:
+        return "uniform"
+
+    def destinations(self, src: Coord3) -> List[Tuple[Coord3, float]]:
+        candidates = (
+            self._nodes
+            if self.include_self
+            else [node for node in self._nodes if node != src]
+        )
+        prob = 1.0 / len(candidates)
+        return [(node, prob) for node in candidates]
+
+    def sample(self, rng: random.Random, src: Coord3) -> Coord3:
+        while True:
+            dst = self._nodes[rng.randrange(len(self._nodes))]
+            if self.include_self or dst != src:
+                return dst
+
+
+class NHopNeighbor(TrafficPattern):
+    """Destinations within ``n`` hops along each dimension, excluding self."""
+
+    node_symmetric = True
+
+    def __init__(self, shape: Coord3, hops: int) -> None:
+        super().__init__(shape)
+        if hops < 1:
+            raise ValueError(f"hops must be at least 1, got {hops}")
+        self.hops = hops
+        #: Per-dimension signed offsets reachable within ``hops``; on small
+        #: rings offsets alias, so deduplicate destination coordinates.
+        self._offsets_by_dim = []
+        for k in shape:
+            offsets = sorted(
+                {delta % k for delta in range(-hops, hops + 1)}
+            )
+            self._offsets_by_dim.append(offsets)
+
+    @property
+    def name(self) -> str:
+        return f"{self.hops}-hop-neighbor"
+
+    def destinations(self, src: Coord3) -> List[Tuple[Coord3, float]]:
+        dests = []
+        for dx in self._offsets_by_dim[0]:
+            for dy in self._offsets_by_dim[1]:
+                for dz in self._offsets_by_dim[2]:
+                    dst = (
+                        (src[0] + dx) % self.shape[0],
+                        (src[1] + dy) % self.shape[1],
+                        (src[2] + dz) % self.shape[2],
+                    )
+                    if dst != src:
+                        dests.append(dst)
+        prob = 1.0 / len(dests)
+        return [(dst, prob) for dst in dests]
+
+    def sample(self, rng: random.Random, src: Coord3) -> Coord3:
+        while True:
+            dst = tuple(
+                (src[d] + rng.choice(self._offsets_by_dim[d])) % self.shape[d]
+                for d in range(3)
+            )
+            if dst != src:
+                return dst
+
+
+class _OffsetPattern(TrafficPattern):
+    """Deterministic pattern sending each node to ``node + offset``."""
+
+    node_symmetric = True
+
+    def __init__(self, shape: Coord3, offset: Coord3, name: str) -> None:
+        super().__init__(shape)
+        self.offset = offset
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def destination_of(self, src: Coord3) -> Coord3:
+        return tuple((src[d] + self.offset[d]) % self.shape[d] for d in range(3))
+
+    def destinations(self, src: Coord3) -> List[Tuple[Coord3, float]]:
+        return [(self.destination_of(src), 1.0)]
+
+    def sample(self, rng: random.Random, src: Coord3) -> Coord3:
+        return self.destination_of(src)
+
+
+class Tornado(_OffsetPattern):
+    """Tornado traffic [Singh et al. 2002]: offset ``k_D / 2 - 1`` in each
+    dimension (dimensions of radix 2 get offset 0, i.e. no movement)."""
+
+    def __init__(self, shape: Coord3) -> None:
+        offset = tuple(k // 2 - 1 if k >= 2 else 0 for k in shape)
+        super().__init__(shape, offset, "tornado")
+
+
+class ReverseTornado(_OffsetPattern):
+    """The opposite of tornado: offset ``-(k_D / 2 - 1)`` per dimension."""
+
+    def __init__(self, shape: Coord3) -> None:
+        offset = tuple(-(k // 2 - 1) if k >= 2 else 0 for k in shape)
+        super().__init__(shape, offset, "reverse-tornado")
+
+
+class BitComplement(TrafficPattern):
+    """Bit-complement permutation: coordinate ``c`` maps to ``k - 1 - c``."""
+
+    def __init__(self, shape: Coord3) -> None:
+        super().__init__(shape)
+
+    @property
+    def name(self) -> str:
+        return "bit-complement"
+
+    def destinations(self, src: Coord3) -> List[Tuple[Coord3, float]]:
+        dst = tuple(self.shape[d] - 1 - src[d] for d in range(3))
+        return [(dst, 1.0)]
+
+    def sample(self, rng: random.Random, src: Coord3) -> Coord3:
+        return tuple(self.shape[d] - 1 - src[d] for d in range(3))
+
+
+class FixedPermutation(TrafficPattern):
+    """An arbitrary explicit node permutation."""
+
+    def __init__(self, shape: Coord3, mapping: Dict[Coord3, Coord3], name: str = "permutation") -> None:
+        super().__init__(shape)
+        nodes = set(all_coords(shape))
+        if set(mapping.keys()) != nodes or set(mapping.values()) != nodes:
+            raise ValueError("mapping must be a permutation of all nodes")
+        self.mapping = dict(mapping)
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def destinations(self, src: Coord3) -> List[Tuple[Coord3, float]]:
+        return [(self.mapping[src], 1.0)]
+
+    def sample(self, rng: random.Random, src: Coord3) -> Coord3:
+        return self.mapping[src]
+
+
+class Blend(TrafficPattern):
+    """A mixture of patterns with given fractions (Section 4.2).
+
+    :meth:`sample_with_pattern` additionally reports which component
+    pattern the packet was drawn from; the batch generator stores it in
+    the packet's ``pattern`` header field for the inverse-weighted
+    arbiters.
+    """
+
+    def __init__(
+        self, patterns: Sequence[TrafficPattern], fractions: Sequence[float]
+    ) -> None:
+        if len(patterns) != len(fractions) or not patterns:
+            raise ValueError("patterns and fractions must align and be nonempty")
+        if any(f < 0 for f in fractions) or abs(sum(fractions) - 1.0) > 1e-9:
+            raise ValueError("fractions must be nonnegative and sum to 1")
+        shapes = {p.shape for p in patterns}
+        if len(shapes) != 1:
+            raise ValueError("all blended patterns must share a shape")
+        super().__init__(patterns[0].shape)
+        self.patterns = list(patterns)
+        self.fractions = list(fractions)
+        self.node_symmetric = all(p.node_symmetric for p in self.patterns)
+
+    @property
+    def name(self) -> str:
+        parts = ", ".join(
+            f"{frac:.2f} {p.name}" for p, frac in zip(self.patterns, self.fractions)
+        )
+        return f"blend({parts})"
+
+    def destinations(self, src: Coord3) -> List[Tuple[Coord3, float]]:
+        merged: Dict[Coord3, float] = {}
+        for pattern, fraction in zip(self.patterns, self.fractions):
+            if fraction == 0:
+                continue
+            for dst, prob in pattern.destinations(src):
+                merged[dst] = merged.get(dst, 0.0) + fraction * prob
+        return list(merged.items())
+
+    def sample_with_pattern(
+        self, rng: random.Random, src: Coord3
+    ) -> Tuple[Coord3, int]:
+        """Draw (destination, component-pattern index)."""
+        roll = rng.random()
+        acc = 0.0
+        for index, fraction in enumerate(self.fractions):
+            acc += fraction
+            if roll < acc:
+                return self.patterns[index].sample(rng, src), index
+        index = len(self.patterns) - 1
+        return self.patterns[index].sample(rng, src), index
+
+    def sample(self, rng: random.Random, src: Coord3) -> Coord3:
+        return self.sample_with_pattern(rng, src)[0]

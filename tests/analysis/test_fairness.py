@@ -1,0 +1,96 @@
+"""Tests for fairness metrics and the Figure 5 scenario."""
+
+import pytest
+
+from repro.analysis.fairness import (
+    expected_shares,
+    figure5_loads,
+    finish_time_fairness,
+    grant_ratio_experiment,
+    jain_index,
+    mid_run_service_fairness,
+)
+from repro.arbiters.inverse_weighted import InverseWeightedArbiter
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.arbiters.weights import compute_inverse_weights
+from repro.sim.stats import SimStats
+
+
+class TestFigure5:
+    def test_published_loads(self):
+        loads = figure5_loads()
+        # Arbiter A: input 0 carries E1 (1.0), input 1 carries E0 (0.5).
+        assert loads["A"] == {0: 1.0, 1: 0.5}
+        # Arbiter B: input 0 carries A's output (1.5), input 1 E2 (0.75).
+        assert loads["B"] == {0: 1.5, 1: 0.75}
+
+    @pytest.mark.parametrize("arbiter_name,ratio", [("A", 2.0), ("B", 2.0)])
+    def test_inverse_weighted_achieves_published_ratios(self, arbiter_name, ratio):
+        loads = figure5_loads()[arbiter_name]
+        table = compute_inverse_weights(
+            [[loads[0]], [loads[1]]], weight_bits=5
+        )
+        arbiter = InverseWeightedArbiter(table.inverse_weights, table.weight_bits)
+        shares = grant_ratio_experiment(arbiter, steps=8000)
+        # Tolerance covers the 5-bit weight quantization (nint rounding
+        # can shift the programmed ratio by about one part in 2^M - 1).
+        assert shares[0] / shares[1] == pytest.approx(ratio, rel=0.05)
+
+    def test_round_robin_misallocates(self):
+        # RR grants 1:1 where EoS demands 2:1 -- the motivating failure.
+        arbiter = RoundRobinArbiter(2)
+        shares = grant_ratio_experiment(arbiter, steps=4000)
+        assert shares == pytest.approx([0.5, 0.5], abs=0.01)
+
+
+class TestExpectedShares:
+    def test_normalizes(self):
+        assert expected_shares([1.0, 0.5]) == pytest.approx([2 / 3, 1 / 3])
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            expected_shares([0.0, 0.0])
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        assert jain_index([1, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+    def test_all_zero(self):
+        assert jain_index([0, 0]) == 1.0
+
+
+class TestStatsMetrics:
+    def test_finish_time_fairness(self):
+        stats = SimStats()
+        stats.source_finish_cycle = {1: 100, 2: 100, 3: 100}
+        index, spread = finish_time_fairness(stats)
+        assert index == pytest.approx(1.0)
+        assert spread == 0.0
+
+    def test_finish_time_unfair(self):
+        stats = SimStats()
+        stats.source_finish_cycle = {1: 10, 2: 100}
+        index, spread = finish_time_fairness(stats)
+        assert index < 1.0
+        assert spread == pytest.approx(0.9)
+
+    def test_requires_finishers(self):
+        with pytest.raises(ValueError):
+            finish_time_fairness(SimStats())
+
+    def test_mid_run_service(self):
+        stats = SimStats()
+        stats.delivered_per_source.update({1: 10, 2: 10})
+        assert mid_run_service_fairness(stats) == pytest.approx(1.0)
+
+    def test_mid_run_requires_deliveries(self):
+        with pytest.raises(ValueError):
+            mid_run_service_fairness(SimStats())

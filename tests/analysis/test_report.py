@@ -1,0 +1,73 @@
+"""Tests for plain-text reporting helpers."""
+
+import pytest
+
+from repro.analysis.report import (
+    ascii_bar_chart,
+    format_series,
+    format_table,
+    side_by_side,
+)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 22.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.startswith("Table 1")
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159], [123.456]])
+        assert "3.142" in text
+        assert "123.5" in text
+
+
+class TestFormatSeries:
+    def test_rows_per_x(self):
+        series = {"rr": {1: 0.5, 2: 0.4}, "iw": {1: 0.9, 2: 0.9}}
+        text = format_series(series, x_label="batch")
+        lines = text.splitlines()
+        assert "batch" in lines[0]
+        assert len(lines) == 4
+
+    def test_missing_points_dashed(self):
+        series = {"a": {1: 0.5}, "b": {2: 0.7}}
+        text = format_series(series)
+        assert "-" in text
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        text = ascii_bar_chart({"small": 1.0, "big": 2.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") * 2 == lines[1].count("#")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})
+
+    def test_zero_values(self):
+        text = ascii_bar_chart({"a": 0.0})
+        assert "#" not in text
+
+
+class TestSideBySide:
+    def test_pairs_quantities(self):
+        text = side_by_side(
+            {"latency": 99.0}, {"latency": 101.0}, title="Fig 12"
+        )
+        assert "Fig 12" in text
+        assert "99" in text and "101" in text
+
+    def test_missing_measurement(self):
+        text = side_by_side({"x": 1.0}, {}, title="t")
+        assert "-" in text

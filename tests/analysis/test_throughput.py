@@ -1,0 +1,71 @@
+"""Tests for the throughput experiment harnesses."""
+
+import pytest
+
+from repro.analysis.throughput import (
+    blend_sweep,
+    measure_batch,
+    throughput_vs_batch_size,
+)
+from repro.traffic.patterns import ReverseTornado, Tornado, UniformRandom
+
+
+class TestMeasureBatch:
+    def test_returns_sane_point(self, tiny_machine, tiny_routes):
+        pattern = UniformRandom((2, 2, 2))
+        point = measure_batch(
+            tiny_machine, tiny_routes, pattern, batch_size=8,
+            cores_per_chip=2, arbitration="rr",
+        )
+        assert point.pattern == "uniform"
+        assert point.arbitration == "rr"
+        assert 0 < point.normalized_throughput <= 1.5
+        assert point.completion_cycles > 0
+
+    def test_iw_defaults_weights_to_pattern(self, tiny_machine, tiny_routes):
+        pattern = Tornado((2, 2, 2))
+        point = measure_batch(
+            tiny_machine, tiny_routes, pattern, batch_size=8,
+            cores_per_chip=2, arbitration="iw",
+        )
+        assert point.arbitration == "iw"
+
+    def test_label_override(self, tiny_machine, tiny_routes):
+        pattern = UniformRandom((2, 2, 2))
+        point = measure_batch(
+            tiny_machine, tiny_routes, pattern, batch_size=4,
+            cores_per_chip=2, arbitration="rr", label="none",
+        )
+        assert point.arbitration == "none"
+
+
+class TestSweeps:
+    def test_batch_size_sweep_structure(self, tiny_machine, tiny_routes):
+        pattern = UniformRandom((2, 2, 2))
+        points = throughput_vs_batch_size(
+            tiny_machine, tiny_routes, [pattern], batch_sizes=(4, 8),
+            cores_per_chip=2,
+        )
+        assert len(points) == 2 * 2  # sizes x (rr, iw)
+        assert {p.arbitration for p in points} == {"rr", "iw"}
+        assert {p.batch_size for p in points} == {4, 8}
+
+    def test_blend_sweep_structure(self, tiny_machine, tiny_routes):
+        points = blend_sweep(
+            tiny_machine, tiny_routes,
+            Tornado((2, 2, 2)), ReverseTornado((2, 2, 2)),
+            fractions=(1.0, 0.0), batch_size=6, cores_per_chip=2,
+        )
+        assert len(points) == 2 * 4
+        labels = {p.arbitration for p in points}
+        assert labels == {"none", "forward", "reverse", "both"}
+
+    def test_blend_sweep_pattern_names_carry_fraction(
+        self, tiny_machine, tiny_routes
+    ):
+        points = blend_sweep(
+            tiny_machine, tiny_routes,
+            Tornado((2, 2, 2)), ReverseTornado((2, 2, 2)),
+            fractions=(0.5,), batch_size=4, cores_per_chip=2,
+        )
+        assert all(p.pattern.startswith("0.50") for p in points)

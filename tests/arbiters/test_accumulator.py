@@ -1,0 +1,139 @@
+"""Tests for the Figure 6 accumulator-update hardware model."""
+
+import pytest
+
+from repro.arbiters.accumulator import AccumulatorBank
+
+
+class TestConstruction:
+    def test_valid(self):
+        bank = AccumulatorBank([[1, 2], [3, 4]], weight_bits=5)
+        assert bank.num_inputs == 2
+        assert bank.num_patterns == 2
+        assert bank.accumulators == [0, 0]
+
+    def test_weight_too_wide(self):
+        with pytest.raises(ValueError):
+            AccumulatorBank([[32]], weight_bits=5)
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            AccumulatorBank([[-1]], weight_bits=5)
+
+    def test_ragged_rows(self):
+        with pytest.raises(ValueError):
+            AccumulatorBank([[1, 2], [3]], weight_bits=5)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            AccumulatorBank([], weight_bits=5)
+
+    def test_zero_weight_bits(self):
+        with pytest.raises(ValueError):
+            AccumulatorBank([[0]], weight_bits=0)
+
+
+class TestPriorityBit:
+    def test_fresh_bank_all_high_priority(self):
+        bank = AccumulatorBank([[1], [1]], weight_bits=5)
+        assert bank.priorities() == [True, True]
+
+    def test_msb_set_means_low_priority(self):
+        bank = AccumulatorBank([[31], [1]], weight_bits=5)
+        bank.update(0, 0)  # accumulator 0 -> 31 (still < 32: high)
+        assert bank.priority(0)
+        bank.update(0, 0)  # -> 62: MSB set, low priority
+        assert not bank.priority(0)
+
+
+class TestUpdateRules:
+    def test_grant_adds_inverse_weight(self):
+        bank = AccumulatorBank([[5], [7]], weight_bits=5)
+        bank.update(0, 0)
+        assert bank.accumulators == [5, 0]
+        bank.update(1, 0)
+        assert bank.accumulators == [5, 7]
+
+    def test_idle_cycle_no_change(self):
+        bank = AccumulatorBank([[5], [7]], weight_bits=5)
+        bank.update(0, 0)
+        before = list(bank.accumulators)
+        bank.update(None, 0)
+        assert bank.accumulators == before
+
+    def test_window_shift_on_low_priority_grant(self):
+        # Drive input 0 into the upper window half, then grant it again:
+        # all accumulators shift down by 2^M.
+        bank = AccumulatorBank([[20], [20]], weight_bits=5)
+        bank.update(0, 0)  # 20
+        bank.update(0, 0)  # 40 (low priority)
+        bank.update(1, 0)  # input 1 -> 20
+        assert bank.accumulators == [40, 20]
+        bank.update(0, 0)  # low-priority grant: window slides by 32
+        # input 0: (40 - 32) + 20 = 28; input 1: 20 - 32 -> clamps to 0.
+        assert bank.accumulators == [28, 0]
+
+    def test_underflow_clamps_to_zero(self):
+        bank = AccumulatorBank([[31], [1]], weight_bits=5)
+        bank.update(0, 0)  # 31
+        bank.update(0, 0)  # 62, low
+        # Grant low-priority input 0 again: window shift; input 1 at 0
+        # would underflow and clamps at zero.
+        bank.update(0, 0)
+        assert bank.accumulators[1] == 0
+
+    def test_pattern_selects_weight(self):
+        bank = AccumulatorBank([[3, 9]], weight_bits=5)
+        bank.update(0, 0)
+        assert bank.accumulators == [3]
+        bank.update(0, 1)
+        assert bank.accumulators == [12]
+
+    def test_pattern_out_of_range(self):
+        bank = AccumulatorBank([[3]], weight_bits=5)
+        with pytest.raises(ValueError):
+            bank.update(0, 1)
+
+    def test_granted_out_of_range(self):
+        bank = AccumulatorBank([[3]], weight_bits=5)
+        with pytest.raises(ValueError):
+            bank.update(2, 0)
+
+
+class TestInvariant:
+    def test_accumulators_stay_bounded(self):
+        # The update rule guarantees values < 2^(M+1) forever.
+        import random
+
+        rng = random.Random(7)
+        bank = AccumulatorBank(
+            [[rng.randrange(1, 32) for _ in range(2)] for _ in range(4)],
+            weight_bits=5,
+        )
+        for _ in range(5000):
+            bank.update(rng.randrange(4), rng.randrange(2))
+            bank.check_invariant()
+
+    def test_check_invariant_detects_corruption(self):
+        bank = AccumulatorBank([[1]], weight_bits=5)
+        bank.accumulators[0] = 64
+        with pytest.raises(AssertionError):
+            bank.check_invariant()
+
+
+class TestServiceProportionality:
+    def test_two_to_one_service(self):
+        """The core EoS property: inverse weights 1:2 yield grants 2:1."""
+        bank = AccumulatorBank([[1], [2]], weight_bits=5)
+        grants = [0, 0]
+        for _ in range(3000):
+            # Grant whichever input has the smaller accumulator (the
+            # abstract arbitration policy of Section 3.2).
+            winner = 0 if bank.accumulators[0] <= bank.accumulators[1] else 1
+            bank.update(winner, 0)
+            grants[winner] += 1
+        assert grants[0] / grants[1] == pytest.approx(2.0, rel=0.02)
+
+    def test_inverse_weight_accessor(self):
+        bank = AccumulatorBank([[4, 8]], weight_bits=5)
+        assert bank.inverse_weight(0, 1) == 8

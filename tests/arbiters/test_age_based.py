@@ -1,0 +1,37 @@
+"""Tests for the age-based baseline arbiter."""
+
+from repro.arbiters.age_based import AgeBasedArbiter
+from repro.arbiters.base import SimpleRequest
+
+
+def req(age):
+    return SimpleRequest(inject_cycle=age)
+
+
+class TestAgeBased:
+    def test_oldest_wins(self):
+        arb = AgeBasedArbiter(3)
+        assert arb.arbitrate([req(10), req(3), req(7)]) == 1
+
+    def test_none_when_empty(self):
+        arb = AgeBasedArbiter(2)
+        assert arb.arbitrate([None, None]) is None
+
+    def test_skips_missing(self):
+        arb = AgeBasedArbiter(3)
+        assert arb.arbitrate([None, req(9), None]) == 1
+
+    def test_tie_broken_round_robin(self):
+        arb = AgeBasedArbiter(2)
+        grants = [arb.arbitrate([req(0), req(0)]) for _ in range(4)]
+        assert sorted(grants) == [0, 0, 1, 1]
+
+    def test_global_age_priority_prevents_starvation(self):
+        # An old packet at input 0 beats a stream of young packets.
+        arb = AgeBasedArbiter(2)
+        assert arb.arbitrate([req(0), req(100)]) == 0
+
+    def test_history_recorded(self):
+        arb = AgeBasedArbiter(2)
+        arb.arbitrate([req(1), req(2)])
+        assert sum(arb.grants) == 1

@@ -1,0 +1,70 @@
+"""Tests for the arbiter hardware-cost model (Section 3.4, Figure 7)."""
+
+import pytest
+
+from repro.arbiters.cost import (
+    ArbiterCost,
+    anton2_router_arbiter_cost,
+    fixed_priority_arbiters_conventional,
+    fixed_priority_arbiters_optimized,
+    reduction_fraction,
+)
+
+
+class TestFixedPriorityCounts:
+    def test_paper_case_p2(self):
+        # For the inverse-weighted arbiter's two priority levels: 4 -> 3.
+        assert fixed_priority_arbiters_conventional(2) == 4
+        assert fixed_priority_arbiters_optimized(2) == 3
+
+    def test_general_claim(self):
+        # "For P priority levels ... reduced by almost half (from 2P to
+        # P+1)".
+        for levels in range(1, 9):
+            assert fixed_priority_arbiters_conventional(levels) == 2 * levels
+            assert fixed_priority_arbiters_optimized(levels) == levels + 1
+
+    def test_reduction_approaches_half(self):
+        assert reduction_fraction(2) == pytest.approx(0.25)
+        assert reduction_fraction(16) == pytest.approx((32 - 17) / 32)
+        assert reduction_fraction(64) > 0.48
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fixed_priority_arbiters_conventional(0)
+        with pytest.raises(ValueError):
+            fixed_priority_arbiters_optimized(0)
+
+
+class TestArbiterCostModel:
+    def test_accumulator_fraction_about_three_quarters(self):
+        # Section 4.4: ~3/4 of arbiter area is weights + accumulators +
+        # update logic.
+        cost = anton2_router_arbiter_cost()
+        assert cost.accumulator_fraction == pytest.approx(0.75, abs=0.08)
+
+    def test_optimized_cheaper_than_conventional(self):
+        cost = anton2_router_arbiter_cost()
+        assert cost.priority_arbiter_gates < cost.conventional_priority_arbiter_gates
+
+    def test_cost_grows_with_inputs(self):
+        small = ArbiterCost(num_inputs=2, num_levels=2, weight_bits=5, num_patterns=2)
+        large = ArbiterCost(num_inputs=8, num_levels=2, weight_bits=5, num_patterns=2)
+        assert large.total_gates > small.total_gates
+
+    def test_cost_grows_with_patterns(self):
+        one = ArbiterCost(num_inputs=6, num_levels=2, weight_bits=5, num_patterns=1)
+        two = ArbiterCost(num_inputs=6, num_levels=2, weight_bits=5, num_patterns=2)
+        assert two.accumulator_gates > one.accumulator_gates
+
+    def test_cost_grows_with_weight_bits(self):
+        narrow = ArbiterCost(num_inputs=6, num_levels=2, weight_bits=3, num_patterns=2)
+        wide = ArbiterCost(num_inputs=6, num_levels=2, weight_bits=8, num_patterns=2)
+        assert wide.accumulator_gates > narrow.accumulator_gates
+
+    def test_anton2_parameters(self):
+        cost = anton2_router_arbiter_cost()
+        assert cost.num_inputs == 6
+        assert cost.num_levels == 2
+        assert cost.weight_bits == 5
+        assert cost.num_patterns == 2

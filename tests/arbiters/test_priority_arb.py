@@ -1,0 +1,136 @@
+"""Tests for the Figure 8 bit-level prioritized arbiter."""
+
+import itertools
+
+import pytest
+
+from repro.arbiters.priority_arb import (
+    behavioral_grant,
+    clog2,
+    grant_index,
+    is_thermometer,
+    priority_arb_bits,
+    thermometer,
+    unroll_requests,
+)
+
+
+class TestHelpers:
+    def test_clog2(self):
+        assert clog2(1) == 0
+        assert clog2(2) == 1
+        assert clog2(3) == 2
+        assert clog2(4) == 2
+        assert clog2(5) == 3
+
+    def test_thermometer(self):
+        assert thermometer(0, 4) == 0b0000
+        assert thermometer(2, 4) == 0b0011
+        assert thermometer(4, 4) == 0b1111
+
+    def test_thermometer_range(self):
+        with pytest.raises(ValueError):
+            thermometer(5, 4)
+
+    def test_is_thermometer(self):
+        assert is_thermometer(0b0111, 4)
+        assert is_thermometer(0b0000, 4)
+        assert not is_thermometer(0b0101, 4)
+        assert not is_thermometer(0b10000, 4)
+
+    def test_grant_index(self):
+        assert grant_index(0) is None
+        assert grant_index(0b0100) == 2
+        with pytest.raises(ValueError):
+            grant_index(0b0110)
+
+
+class TestUnroll:
+    def test_level_zero_is_raw_requests(self):
+        unrolled = unroll_requests(0b1011, [0, 1, 0, 1], 0b0001, 4, 2)
+        assert unrolled[0] == 0b1011
+
+    def test_thermometer_property_of_levels(self):
+        # req_unroll[p] must be a subset of req_unroll[p-1] (the caption's
+        # thermometer encoding of the fixed-priority request).
+        for pri_bits in itertools.product(range(2), repeat=4):
+            for pointer in range(5):
+                unrolled = unroll_requests(
+                    0b1111, list(pri_bits), thermometer(pointer, 4), 4, 2
+                )
+                for lower, upper in zip(unrolled, unrolled[1:]):
+                    assert upper & ~lower == 0
+
+    def test_level_two_needs_priority_and_pointer(self):
+        unrolled = unroll_requests(0b11, [1, 1], 0b01, 2, 2)
+        # Input 0 has pri=1 and the round-robin bit: level 2.
+        assert unrolled[2] == 0b01
+
+
+class TestGrantCorrectness:
+    def test_no_requests(self):
+        assert priority_arb_bits(0, [0, 0], 0, 2, 2) == 0
+
+    def test_single_request(self):
+        assert grant_index(priority_arb_bits(0b010, [0, 0, 0], 0, 3, 2)) == 1
+
+    def test_priority_beats_round_robin(self):
+        # Input 0 high priority, input 1 favored by the pointer: priority
+        # wins.
+        grant = priority_arb_bits(0b11, [1, 0], thermometer(2, 2), 2, 2)
+        assert grant_index(grant) == 0
+
+    def test_exhaustive_match_behavioral(self):
+        """The bit-level model equals the behavioural reference on every
+        (req, pri, pointer) combination for k <= 4, P = 2."""
+        for k in (1, 2, 3, 4):
+            for req in range(1 << k):
+                for pri_bits in itertools.product(range(2), repeat=k):
+                    for pointer in range(k + 1):
+                        rr = thermometer(pointer, k)
+                        bits = priority_arb_bits(req, list(pri_bits), rr, k, 2)
+                        expected = behavioral_grant(req, list(pri_bits), rr, k, 2)
+                        assert grant_index(bits) == expected, (
+                            k, req, pri_bits, pointer
+                        )
+
+    def test_three_priority_levels(self):
+        for req in range(1, 1 << 3):
+            for pri_levels in itertools.product(range(3), repeat=3):
+                for pointer in range(4):
+                    rr = thermometer(pointer, 3)
+                    bits = priority_arb_bits(req, list(pri_levels), rr, 3, 3)
+                    expected = behavioral_grant(req, list(pri_levels), rr, 3, 3)
+                    assert grant_index(bits) == expected
+
+    def test_grant_always_one_hot(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(500):
+            k = rng.randrange(1, 9)
+            req = rng.randrange(1, 1 << k)
+            pri = [rng.randrange(2) for _ in range(k)]
+            rr = thermometer(rng.randrange(k + 1), k)
+            grant = priority_arb_bits(req, pri, rr, k, 2)
+            assert grant != 0
+            assert grant & (grant - 1) == 0
+            assert grant & req == grant
+
+
+class TestValidation:
+    def test_bad_thermometer(self):
+        with pytest.raises(ValueError):
+            priority_arb_bits(0b11, [0, 0], 0b10, 2, 2)
+
+    def test_priority_out_of_range(self):
+        with pytest.raises(ValueError):
+            priority_arb_bits(0b11, [0, 2], 0b00, 2, 2)
+
+    def test_wrong_priority_count(self):
+        with pytest.raises(ValueError):
+            priority_arb_bits(0b11, [0], 0b00, 2, 2)
+
+    def test_zero_inputs(self):
+        with pytest.raises(ValueError):
+            priority_arb_bits(0, [], 0, 0, 2)

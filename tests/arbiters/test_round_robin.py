@@ -1,0 +1,86 @@
+"""Tests for round-robin and fixed-priority arbiters."""
+
+import pytest
+
+from repro.arbiters.base import SimpleRequest
+from repro.arbiters.round_robin import (
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    rr_order,
+)
+
+REQ = SimpleRequest()
+
+
+class TestRrOrder:
+    def test_descending_from_pointer(self):
+        assert rr_order(2, 4) == [1, 0, 3, 2]
+
+    def test_pointer_zero(self):
+        assert rr_order(0, 4) == [3, 2, 1, 0]
+
+    def test_covers_all_inputs(self):
+        for pointer in range(5):
+            assert sorted(rr_order(pointer, 5)) == list(range(5))
+
+
+class TestRoundRobinArbiter:
+    def test_no_requests(self):
+        arb = RoundRobinArbiter(3)
+        assert arb.arbitrate([None, None, None]) is None
+
+    def test_single_requester_always_wins(self):
+        arb = RoundRobinArbiter(3)
+        for _ in range(5):
+            assert arb.arbitrate([None, REQ, None]) == 1
+
+    def test_cycles_through_requesters(self):
+        arb = RoundRobinArbiter(3)
+        grants = [arb.arbitrate([REQ, REQ, REQ]) for _ in range(6)]
+        # Every input granted exactly twice over two full cycles.
+        assert sorted(grants) == [0, 0, 1, 1, 2, 2]
+
+    def test_no_back_to_back_grants_under_contention(self):
+        arb = RoundRobinArbiter(4)
+        previous = None
+        for _ in range(20):
+            granted = arb.arbitrate([REQ] * 4)
+            assert granted != previous
+            previous = granted
+
+    def test_equal_shares_when_saturated(self):
+        arb = RoundRobinArbiter(4)
+        for _ in range(400):
+            arb.arbitrate([REQ] * 4)
+        assert arb.grants == [100] * 4
+
+    def test_validates_length(self):
+        arb = RoundRobinArbiter(2)
+        with pytest.raises(ValueError):
+            arb.arbitrate([REQ])
+
+    def test_at_least_one_input(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+
+    def test_reset_history(self):
+        arb = RoundRobinArbiter(2)
+        arb.arbitrate([REQ, REQ])
+        arb.reset_history()
+        assert arb.grants == [0, 0]
+
+
+class TestFixedPriorityArbiter:
+    def test_highest_index_wins(self):
+        arb = FixedPriorityArbiter(4)
+        assert arb.arbitrate([REQ, REQ, None, REQ]) == 3
+
+    def test_falls_through(self):
+        arb = FixedPriorityArbiter(4)
+        assert arb.arbitrate([REQ, None, None, None]) == 0
+
+    def test_starves_low_inputs(self):
+        arb = FixedPriorityArbiter(2)
+        for _ in range(10):
+            arb.arbitrate([REQ, REQ])
+        assert arb.grants == [0, 10]

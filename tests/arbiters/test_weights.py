@@ -1,0 +1,115 @@
+"""Tests for inverse-weight computation (Section 3.3)."""
+
+import pytest
+
+from repro.arbiters.weights import (
+    WeightTable,
+    choose_beta,
+    compute_inverse_weights,
+    nint,
+    uniform_weight_table,
+)
+
+
+class TestNint:
+    def test_rounds_to_nearest(self):
+        assert nint(2.4) == 2
+        assert nint(2.6) == 3
+
+    def test_halves_away_from_zero(self):
+        assert nint(2.5) == 3
+        assert nint(-2.5) == -3
+
+    def test_integers_unchanged(self):
+        assert nint(7.0) == 7
+
+
+class TestChooseBeta:
+    def test_all_weights_fit(self):
+        loads = [[0.1], [1.0], [3.0]]
+        beta = choose_beta(loads, weight_bits=5)
+        for row in loads:
+            assert nint(beta / row[0]) < 32
+
+    def test_zero_loads(self):
+        assert choose_beta([[0.0], [0.0]], weight_bits=5) == 1.0
+
+    def test_insignificant_load_does_not_anchor(self):
+        # A stray 0.1% load must not compress the meaningful ratios.
+        loads = [[3.0], [4.5], [0.004]]
+        table = compute_inverse_weights(loads, weight_bits=5)
+        w3, w45, w_tiny = (table.inverse_weights[i][0] for i in range(3))
+        # The 3.0 vs 4.5 ratio survives quantization...
+        assert w3 / w45 == pytest.approx(1.5, rel=0.25)
+        assert w3 > 1
+        # ...and the negligible input saturates at the maximum weight.
+        assert w_tiny == 31
+
+    def test_bad_weight_bits(self):
+        with pytest.raises(ValueError):
+            choose_beta([[1.0]], weight_bits=0)
+
+
+class TestComputeInverseWeights:
+    def test_ratio_preserved(self):
+        table = compute_inverse_weights([[2.0], [1.0]], weight_bits=5)
+        w_heavy = table.inverse_weights[0][0]
+        w_light = table.inverse_weights[1][0]
+        assert w_light == pytest.approx(2 * w_heavy, abs=1)
+
+    def test_all_weights_fit_bits(self):
+        table = compute_inverse_weights(
+            [[0.5, 2.0], [1.5, 0.25]], weight_bits=5
+        )
+        for row in table.inverse_weights:
+            for weight in row:
+                assert 1 <= weight < 32
+
+    def test_zero_load_gets_max_weight(self):
+        table = compute_inverse_weights([[1.0], [0.0]], weight_bits=5)
+        assert table.inverse_weights[1][0] == 31
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            compute_inverse_weights([[-1.0]])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            compute_inverse_weights([[1.0, 2.0], [1.0]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compute_inverse_weights([])
+
+    def test_explicit_beta(self):
+        table = compute_inverse_weights([[1.0]], weight_bits=5, beta=10.0)
+        assert table.inverse_weights[0][0] == 10
+        assert table.beta == 10.0
+
+    def test_bad_beta(self):
+        with pytest.raises(ValueError):
+            compute_inverse_weights([[1.0]], beta=-1.0)
+
+    def test_table_shape_accessors(self):
+        table = compute_inverse_weights([[1.0, 2.0], [3.0, 4.0]])
+        assert table.num_inputs == 2
+        assert table.num_patterns == 2
+
+    def test_wider_bits_better_resolution(self):
+        loads = [[3.086], [4.645]]
+        narrow = compute_inverse_weights(loads, weight_bits=3)
+        wide = compute_inverse_weights(loads, weight_bits=8)
+        true_ratio = 4.645 / 3.086
+        narrow_ratio = (
+            narrow.inverse_weights[0][0] / narrow.inverse_weights[1][0]
+        )
+        wide_ratio = wide.inverse_weights[0][0] / wide.inverse_weights[1][0]
+        assert abs(wide_ratio - true_ratio) <= abs(narrow_ratio - true_ratio)
+
+
+class TestUniformTable:
+    def test_equal_weights(self):
+        table = uniform_weight_table(4, num_patterns=2)
+        first = table.inverse_weights[0]
+        for row in table.inverse_weights:
+            assert tuple(row) == tuple(first)

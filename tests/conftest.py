@@ -1,0 +1,43 @@
+"""Shared fixtures: small machines reused across the test suite.
+
+Session-scoped because Machine construction elaborates every component
+and channel; tests must treat these instances as immutable.
+"""
+
+import pytest
+
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+
+
+@pytest.fixture(scope="session")
+def tiny_machine():
+    """2x2x2 torus, 2 endpoints per chip: the smallest full machine."""
+    return Machine(MachineConfig(shape=(2, 2, 2), endpoints_per_chip=2))
+
+
+@pytest.fixture(scope="session")
+def tiny_routes(tiny_machine):
+    return RouteComputer(tiny_machine)
+
+
+@pytest.fixture(scope="session")
+def small_machine():
+    """4x4x4 torus, 4 endpoints per chip: even radix (route tie-breaks)."""
+    return Machine(MachineConfig(shape=(4, 4, 4), endpoints_per_chip=4))
+
+
+@pytest.fixture(scope="session")
+def small_routes(small_machine):
+    return RouteComputer(small_machine)
+
+
+@pytest.fixture(scope="session")
+def odd_machine():
+    """3x3x3 torus: odd radix, no route tie-breaks."""
+    return Machine(MachineConfig(shape=(3, 3, 3), endpoints_per_chip=2))
+
+
+@pytest.fixture(scope="session")
+def odd_routes(odd_machine):
+    return RouteComputer(odd_machine)

@@ -1,0 +1,143 @@
+"""Tests for the reconstructed Figure 1 chip floorplan."""
+
+import pytest
+
+from repro.core import params
+from repro.core.chip import ChipFloorplan, default_floorplan
+from repro.core.geometry import Dim, TorusDirection, XP, XM, YP, YM, ZP, ZM
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return default_floorplan()
+
+
+class TestPaperPinnedPlacements:
+    """Placements the paper's text fixes explicitly."""
+
+    def test_y0_pair_shares_router_02(self, plan):
+        # "Y0+ -> R_{0,2} -> Y0-": both directions at one router.
+        assert plan.channel_adapter_router[(YP, 0)] == (0, 2)
+        assert plan.channel_adapter_router[(YM, 0)] == (0, 2)
+
+    def test_x1_split_across_edges(self, plan):
+        # "X1- -> R_{3,0} --skip--> R_{0,0} -> X1+".
+        assert plan.channel_adapter_router[(XM, 1)] == (3, 0)
+        assert plan.channel_adapter_router[(XP, 1)] == (0, 0)
+
+    def test_skip_connects_x1_routers(self, plan):
+        assert plan.skip_for((3, 0), (0, 0))
+
+    def test_skip_connects_x0_routers(self, plan):
+        x0p = plan.channel_adapter_router[(XP, 0)]
+        x0m = plan.channel_adapter_router[(XM, 0)]
+        assert plan.skip_for(x0p, x0m)
+
+
+class TestStructuralConstraints:
+    def test_yz_pairs_single_router(self, plan):
+        # Y and Z through traffic must traverse only one router.
+        for dim in (Dim.Y, Dim.Z):
+            for slice_index in range(params.NUM_SLICES):
+                plus = plan.channel_adapter_router[(TorusDirection(dim, 1), slice_index)]
+                minus = plan.channel_adapter_router[(TorusDirection(dim, -1), slice_index)]
+                assert plus == minus
+
+    def test_same_slice_yz_same_edge(self, plan):
+        # "Y and Z channels associated with the same torus slice are
+        # placed on the same side of the ASIC."
+        for slice_index in range(params.NUM_SLICES):
+            y_edge = plan.channel_adapter_router[(YP, slice_index)][0]
+            z_edge = plan.channel_adapter_router[(ZP, slice_index)][0]
+            assert y_edge == z_edge
+
+    def test_io_on_two_opposite_edges(self, plan):
+        edges = {coord[0] for coord in plan.channel_adapter_router.values()}
+        assert edges == {0, params.MESH_RADIX - 1}
+
+    def test_x_directions_on_opposite_edges(self, plan):
+        for slice_index in range(params.NUM_SLICES):
+            plus = plan.channel_adapter_router[(XP, slice_index)][0]
+            minus = plan.channel_adapter_router[(XM, slice_index)][0]
+            assert {plus, minus} == {0, params.MESH_RADIX - 1}
+
+    def test_twelve_channel_adapters(self, plan):
+        assert plan.num_channel_adapters == 12
+
+    def test_two_skip_channels_one_per_slice(self, plan):
+        assert len(plan.skip_channels) == 2
+        assert {s.slice_index for s in plan.skip_channels} == {0, 1}
+
+    def test_skip_channels_skip_two_routers(self, plan):
+        for skip in plan.skip_channels:
+            (u1, v1), (u2, v2) = skip.ends
+            assert v1 == v2
+            assert abs(u1 - u2) == params.MESH_RADIX - 1
+
+
+class TestPortBudget:
+    def test_no_router_over_six_ports(self, plan):
+        for coord, used in plan.ports_used().items():
+            assert used <= ChipFloorplan.ROUTER_PORTS, coord
+
+    def test_default_endpoint_count(self, plan):
+        assert plan.num_endpoints == params.ENDPOINTS_PER_ASIC == 23
+
+    def test_mesh_link_count(self, plan):
+        # 4x4 mesh: 2 * 4 * 3 = 24 bidirectional links.
+        assert len(plan.mesh_links()) == 24
+
+    def test_validate_passes(self, plan):
+        plan.validate()
+
+
+class TestEndpointPlacement:
+    def test_first_sixteen_cover_all_routers(self, plan):
+        # The measurement setup uses one core per router; the first 16
+        # endpoints must land on 16 distinct routers.
+        assert len(set(plan.endpoint_router[:16])) == 16
+
+    def test_reduced_endpoint_count(self):
+        plan = default_floorplan(num_endpoints=4)
+        assert plan.num_endpoints == 4
+        plan.validate()
+
+    def test_too_many_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            default_floorplan(num_endpoints=64)
+
+    def test_maximum_placeable_endpoints(self):
+        # 96 router ports minus 48 mesh ends, 4 skip ends, 12 adapters
+        # leaves 32 free ports.
+        plan = default_floorplan(num_endpoints=32)
+        plan.validate()
+        with pytest.raises(ValueError):
+            default_floorplan(num_endpoints=33)
+
+
+class TestValidation:
+    def test_wrong_mesh_radix_rejected(self):
+        with pytest.raises(ValueError):
+            default_floorplan(mesh_radix=3)
+
+    def test_bad_adapter_position_rejected(self, plan):
+        broken = ChipFloorplan(
+            mesh_radix=plan.mesh_radix,
+            channel_adapter_router={(XP, 0): (7, 0)},
+            skip_channels=(),
+            endpoint_router=(),
+        )
+        with pytest.raises(ValueError):
+            broken.validate()
+
+    def test_diagonal_skip_rejected(self, plan):
+        from repro.core.chip import SkipChannel
+
+        broken = ChipFloorplan(
+            mesh_radix=plan.mesh_radix,
+            channel_adapter_router={},
+            skip_channels=(SkipChannel(ends=((0, 0), (3, 1)), slice_index=0),),
+            endpoint_router=(),
+        )
+        with pytest.raises(ValueError):
+            broken.validate()

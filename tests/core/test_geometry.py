@@ -1,0 +1,183 @@
+"""Tests for torus/mesh coordinate arithmetic."""
+
+import pytest
+
+from repro.core.geometry import (
+    Dim,
+    MESH_DIRECTIONS,
+    MeshDirection,
+    TORUS_DIRECTIONS,
+    TorusDirection,
+    all_coords,
+    crosses_dateline,
+    dateline_hop_index,
+    minimal_deltas,
+    ring_path,
+    torus_delta,
+    torus_hops,
+    validate_shape,
+    wrap,
+)
+
+
+class TestTorusDirection:
+    def test_six_directions(self):
+        assert len(TORUS_DIRECTIONS) == 6
+        assert len({str(d) for d in TORUS_DIRECTIONS}) == 6
+
+    def test_opposite(self):
+        for direction in TORUS_DIRECTIONS:
+            assert direction.opposite.dim == direction.dim
+            assert direction.opposite.sign == -direction.sign
+            assert direction.opposite.opposite == direction
+
+    def test_invalid_sign(self):
+        with pytest.raises(ValueError):
+            TorusDirection(Dim.X, 2)
+
+    def test_str(self):
+        assert str(TorusDirection(Dim.Y, -1)) == "Y-"
+
+
+class TestMeshDirection:
+    def test_four_directions(self):
+        assert len(MESH_DIRECTIONS) == 4
+
+    def test_deltas(self):
+        assert MeshDirection.UP.delta == (1, 0)
+        assert MeshDirection.UM.delta == (-1, 0)
+        assert MeshDirection.VP.delta == (0, 1)
+        assert MeshDirection.VM.delta == (0, -1)
+
+
+class TestTorusDelta:
+    def test_short_way(self):
+        assert torus_delta(0, 1, 8) == 1
+        assert torus_delta(0, 7, 8) == -1
+
+    def test_half_way_tie_prefers_positive(self):
+        assert torus_delta(0, 4, 8) == 4
+
+    def test_odd_radix_never_ties(self):
+        for src in range(5):
+            for dst in range(5):
+                assert abs(torus_delta(src, dst, 5)) <= 2
+
+    def test_zero(self):
+        assert torus_delta(3, 3, 8) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            torus_delta(8, 0, 8)
+
+    def test_minimality(self):
+        for radix in (2, 3, 4, 5, 8):
+            for src in range(radix):
+                for dst in range(radix):
+                    delta = torus_delta(src, dst, radix)
+                    assert (src + delta) % radix == dst
+                    assert abs(delta) <= radix // 2
+
+
+class TestMinimalDeltas:
+    def test_unique_when_not_half(self):
+        assert minimal_deltas(0, 1, 8) == (1,)
+        assert minimal_deltas(0, 7, 8) == (-1,)
+
+    def test_two_options_at_half_even(self):
+        assert set(minimal_deltas(0, 4, 8)) == {4, -4}
+
+    def test_zero(self):
+        assert minimal_deltas(2, 2, 8) == (0,)
+
+    def test_radix_two(self):
+        assert set(minimal_deltas(0, 1, 2)) == {1, -1}
+
+    def test_all_minimal(self):
+        for radix in (2, 4, 6):
+            for src in range(radix):
+                for dst in range(radix):
+                    for delta in minimal_deltas(src, dst, radix):
+                        assert (src + delta) % radix == dst
+                        assert abs(delta) <= radix // 2
+
+
+class TestRingPath:
+    def test_positive(self):
+        assert list(ring_path(6, 3, 8)) == [7, 0, 1]
+
+    def test_negative(self):
+        assert list(ring_path(1, -3, 8)) == [0, 7, 6]
+
+    def test_empty(self):
+        assert list(ring_path(5, 0, 8)) == []
+
+
+class TestDateline:
+    def test_positive_crossing(self):
+        # Moving + through the 7 -> 0 boundary crosses.
+        assert crosses_dateline(6, 3, 8)
+        assert not crosses_dateline(0, 3, 8)
+
+    def test_negative_crossing(self):
+        # Moving - through the 0 -> 7 boundary crosses.
+        assert crosses_dateline(1, -3, 8)
+        assert not crosses_dateline(5, -3, 8)
+
+    def test_hop_index(self):
+        assert dateline_hop_index(6, 3, 8) == 1
+        assert dateline_hop_index(7, 1, 8) == 0
+        assert dateline_hop_index(0, 3, 8) == -1
+
+    def test_minimal_route_crosses_at_most_once(self):
+        for radix in (2, 3, 4, 8):
+            for src in range(radix):
+                for dst in range(radix):
+                    for delta in minimal_deltas(src, dst, radix):
+                        crossings = 0
+                        cur = src
+                        step = 1 if delta >= 0 else -1
+                        for _ in range(abs(delta)):
+                            nxt = (cur + step) % radix
+                            if {cur, nxt} == {0, radix - 1} and abs(cur - nxt) == radix - 1:
+                                crossings += 1
+                            cur = nxt
+                        assert crossings <= 1
+
+
+class TestShape:
+    def test_validate(self):
+        assert validate_shape((4, 4, 4)) == (4, 4, 4)
+
+    def test_max_radix(self):
+        with pytest.raises(ValueError):
+            validate_shape((17, 4, 4))
+
+    def test_min_radix(self):
+        with pytest.raises(ValueError):
+            validate_shape((0, 4, 4))
+
+    def test_dimension_count(self):
+        with pytest.raises(ValueError):
+            validate_shape((4, 4))
+
+    def test_all_coords_count(self):
+        assert len(list(all_coords((2, 3, 4)))) == 24
+
+    def test_wrap(self):
+        assert wrap(-1, 8) == 7
+        assert wrap(8, 8) == 0
+
+
+class TestTorusHops:
+    def test_symmetric(self):
+        shape = (4, 4, 4)
+        assert torus_hops((0, 0, 0), (1, 2, 3), shape) == torus_hops(
+            (1, 2, 3), (0, 0, 0), shape
+        )
+
+    def test_wraparound_shorter(self):
+        assert torus_hops((0, 0, 0), (7, 0, 0), (8, 8, 8)) == 1
+
+    def test_max_distance(self):
+        assert torus_hops((0, 0, 0), (4, 4, 4), (8, 8, 8)) == 12

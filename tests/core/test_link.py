@@ -1,0 +1,91 @@
+"""Tests for the torus link layer (framing + go-back-N)."""
+
+import pytest
+
+from repro.core import params
+from repro.core.link import (
+    FrameFormat,
+    GoBackNLink,
+    effective_bandwidth_sweep,
+)
+
+
+class TestFrameFormat:
+    def test_derives_published_effective_bandwidth(self):
+        # 112 Gb/s raw x 0.8 framing efficiency = 89.6 Gb/s effective.
+        fmt = FrameFormat()
+        assert fmt.efficiency == pytest.approx(0.8)
+        assert fmt.effective_gbps() == pytest.approx(
+            params.TORUS_CHANNEL_EFFECTIVE_GBPS
+        )
+
+    def test_frame_bits_sum(self):
+        fmt = FrameFormat()
+        assert fmt.frame_bits == 240 + 36 + 8 + 16
+
+    def test_sequence_space_bounds_window(self):
+        assert FrameFormat().max_window == 255
+
+
+class TestGoBackN:
+    def test_error_free_near_unity_goodput(self):
+        link = GoBackNLink(frame_error_rate=0.0)
+        result = link.run(1000)
+        assert result.retransmissions == 0
+        assert result.frames_sent == 1000
+        assert result.goodput > 0.95
+
+    def test_reliable_delivery_under_errors(self):
+        # Every frame is eventually delivered in order, whatever the FER.
+        link = GoBackNLink(frame_error_rate=0.2, seed=3)
+        result = link.run(300)
+        assert result.frames_delivered == 300
+        assert len(result.latencies) == 300
+
+    def test_errors_cost_retransmissions(self):
+        clean = GoBackNLink(frame_error_rate=0.0).run(500)
+        lossy = GoBackNLink(frame_error_rate=0.02, seed=1).run(500)
+        assert lossy.retransmissions > 0
+        assert lossy.goodput < clean.goodput
+
+    def test_goodput_monotone_in_error_rate(self):
+        sweep = effective_bandwidth_sweep(
+            (0.0, 0.005, 0.02, 0.08), num_frames=800, seed=2
+        )
+        goodputs = [outcome.goodput for _rate, _bw, outcome in sweep]
+        assert all(a >= b for a, b in zip(goodputs, goodputs[1:]))
+
+    def test_latency_tail_grows_with_errors(self):
+        clean = GoBackNLink(frame_error_rate=0.0).run(400)
+        lossy = GoBackNLink(frame_error_rate=0.02, seed=4).run(400)
+        assert lossy.max_latency > clean.max_latency
+        assert lossy.mean_latency > clean.mean_latency
+
+    def test_window_one_is_stop_and_wait(self):
+        link = GoBackNLink(window=1, rtt_slots=8)
+        result = link.run(50)
+        # Stop-and-wait: about one frame per RTT.
+        assert result.total_slots >= 50 * 8 * 0.8
+
+    def test_bigger_window_faster(self):
+        narrow = GoBackNLink(window=2, rtt_slots=16).run(300)
+        wide = GoBackNLink(window=32, rtt_slots=16).run(300)
+        assert wide.total_slots < narrow.total_slots
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GoBackNLink(window=0)
+        with pytest.raises(ValueError):
+            GoBackNLink(rtt_slots=0)
+        with pytest.raises(ValueError):
+            GoBackNLink(frame_error_rate=1.0)
+        with pytest.raises(ValueError):
+            GoBackNLink(window=1000)
+        with pytest.raises(ValueError):
+            GoBackNLink().run(0)
+
+    def test_deterministic_given_seed(self):
+        a = GoBackNLink(frame_error_rate=0.05, seed=9).run(200)
+        b = GoBackNLink(frame_error_rate=0.05, seed=9).run(200)
+        assert a.total_slots == b.total_slots
+        assert a.retransmissions == b.retransmissions

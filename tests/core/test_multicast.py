@@ -1,0 +1,133 @@
+"""Tests for table-based multicast (Section 2.3, Figure 3)."""
+
+import pytest
+
+from repro.core.geometry import Dim
+from repro.core.multicast import (
+    build_tree,
+    channel_loads,
+    directional_loads,
+    edge_direction,
+    endpoint_fanout_savings,
+    figure3_example,
+    max_channel_load,
+    max_directional_load,
+    multicast_savings,
+    unicast_hops,
+    verify_unicast_paths,
+)
+
+
+SHAPE = (8, 8, 8)
+
+
+class TestTreeConstruction:
+    def test_single_destination_is_unicast(self):
+        tree = build_tree(SHAPE, (0, 0, 0), [(2, 0, 0)])
+        assert tree.torus_hops == 2
+        assert multicast_savings(tree, SHAPE) == 0
+
+    def test_shared_prefix_saves_hops(self):
+        # Two destinations sharing an X prefix: the prefix is paid once.
+        tree = build_tree(SHAPE, (0, 0, 0), [(2, 1, 0), (2, 7, 0)])
+        assert unicast_hops(SHAPE, (0, 0, 0), tree.destinations) == 6
+        assert tree.torus_hops == 4
+        assert multicast_savings(tree, SHAPE) == 2
+
+    def test_wraparound_edges(self):
+        tree = build_tree(SHAPE, (7, 0, 0), [(1, 0, 0)])
+        assert ((7, 0, 0), (0, 0, 0)) in tree.edges
+
+    def test_empty_destinations_rejected(self):
+        with pytest.raises(ValueError):
+            build_tree(SHAPE, (0, 0, 0), [])
+
+    def test_bad_dim_order_rejected(self):
+        with pytest.raises(ValueError):
+            build_tree(SHAPE, (0, 0, 0), [(1, 0, 0)], (Dim.X, Dim.X, Dim.Y))
+
+    def test_different_orders_different_trees(self):
+        dests = [(1, 1, 0), (2, 2, 0)]
+        xy = build_tree(SHAPE, (0, 0, 0), dests, (Dim.X, Dim.Y, Dim.Z))
+        yx = build_tree(SHAPE, (0, 0, 0), dests, (Dim.Y, Dim.X, Dim.Z))
+        assert xy.edges != yx.edges
+
+
+class TestUnicastPathValidity:
+    def test_all_paths_minimal_and_in_tree(self):
+        dests = [(1, 1, 0), (2, 2, 0), (7, 1, 1), (0, 2, 7)]
+        for order in ((Dim.X, Dim.Y, Dim.Z), (Dim.Z, Dim.Y, Dim.X)):
+            tree = build_tree(SHAPE, (0, 0, 0), dests, order)
+            verify_unicast_paths(tree, SHAPE)
+
+    def test_path_to_non_destination_rejected(self):
+        tree = build_tree(SHAPE, (0, 0, 0), [(1, 0, 0)])
+        with pytest.raises(ValueError):
+            tree.path_to((5, 5, 5), SHAPE)
+
+
+class TestFigure3:
+    def test_savings_substantial(self):
+        shape = (8, 8, 1)
+        tree_xy, tree_yx, dests = figure3_example(shape)
+        assert multicast_savings(tree_xy, shape) == 14
+        assert multicast_savings(tree_yx, shape) == 14
+
+    def test_trees_are_valid_unicast_bundles(self):
+        shape = (8, 8, 1)
+        tree_xy, tree_yx, _dests = figure3_example(shape)
+        verify_unicast_paths(tree_xy, shape)
+        verify_unicast_paths(tree_yx, shape)
+
+    def test_alternation_balances_directional_load(self):
+        shape = (8, 8, 1)
+        tree_xy, tree_yx, _dests = figure3_example(shape)
+        single = max_directional_load(
+            directional_loads([tree_xy], [1.0], shape)
+        )
+        alternating = max_directional_load(
+            directional_loads([tree_xy, tree_yx], [0.5, 0.5], shape)
+        )
+        assert alternating < single
+
+    def test_endpoint_fanout_multiplies_savings(self):
+        shape = (8, 8, 1)
+        tree_xy, _t, _d = figure3_example(shape)
+        one = endpoint_fanout_savings(tree_xy, shape, 1)
+        three = endpoint_fanout_savings(tree_xy, shape, 3)
+        assert one == multicast_savings(tree_xy, shape)
+        assert three > 2 * one
+
+    def test_fanout_validation(self):
+        shape = (8, 8, 1)
+        tree_xy, _t, _d = figure3_example(shape)
+        with pytest.raises(ValueError):
+            endpoint_fanout_savings(tree_xy, shape, 0)
+
+
+class TestLoads:
+    def test_channel_loads_weights_must_align(self):
+        tree = build_tree(SHAPE, (0, 0, 0), [(1, 0, 0)])
+        with pytest.raises(ValueError):
+            channel_loads([tree], [0.5, 0.5], SHAPE)
+
+    def test_channel_loads_weights_sum(self):
+        tree = build_tree(SHAPE, (0, 0, 0), [(1, 0, 0)])
+        with pytest.raises(ValueError):
+            channel_loads([tree], [0.5], SHAPE)
+
+    def test_single_tree_unit_loads(self):
+        tree = build_tree(SHAPE, (0, 0, 0), [(2, 0, 0), (0, 2, 0)])
+        loads = channel_loads([tree], [1.0], SHAPE)
+        assert max_channel_load(loads) == 1.0
+        assert len(loads) == tree.torus_hops
+
+    def test_edge_direction(self):
+        from repro.core.geometry import XP, YM
+
+        assert edge_direction(((0, 0, 0), (1, 0, 0)), SHAPE) == XP
+        assert edge_direction(((0, 0, 0), (0, 7, 0)), SHAPE) == YM
+
+    def test_edge_direction_rejects_self(self):
+        with pytest.raises(ValueError):
+            edge_direction(((0, 0, 0), (0, 0, 0)), SHAPE)

@@ -1,0 +1,117 @@
+"""Tests for the Figure 2 packaging model."""
+
+import pytest
+
+from repro.core.packaging import (
+    BACKPLANES_PER_RACK,
+    Packaging,
+    supported_machine_sizes,
+)
+
+
+class TestFiveTwelveNodeMachine:
+    """The Figure 2 reference configuration: 8x8x8 = 512 nodes."""
+
+    @pytest.fixture(scope="class")
+    def pkg(self):
+        return Packaging((8, 8, 8))
+
+    def test_counts(self, pkg):
+        assert pkg.num_chips == 512
+        assert pkg.num_backplanes == 32
+        assert pkg.num_racks == 4
+
+    def test_backplane_labeling(self, pkg):
+        # Backplanes are labeled by the lexicographically smallest chip.
+        assert pkg.backplane_of((0, 0, 0)) == (0, 0, 0)
+        assert pkg.backplane_of((3, 3, 0)) == (0, 0, 0)
+        assert pkg.backplane_of((4, 0, 0)) == (4, 0, 0)
+        assert pkg.backplane_of((7, 7, 7)) == (4, 4, 7)
+
+    def test_backplane_holds_sixteen(self, pkg):
+        from collections import Counter
+        from repro.core.geometry import all_coords
+
+        census = Counter(pkg.backplane_of(chip) for chip in all_coords((8, 8, 8)))
+        assert set(census.values()) == {16}
+
+    def test_rack_holds_eight_backplanes(self, pkg):
+        from repro.core.geometry import all_coords
+
+        backplanes_by_rack = {}
+        for chip in all_coords((8, 8, 8)):
+            backplanes_by_rack.setdefault(pkg.rack_of(chip), set()).add(
+                pkg.backplane_of(chip)
+            )
+        assert all(
+            len(planes) == BACKPLANES_PER_RACK
+            for planes in backplanes_by_rack.values()
+        )
+
+
+class TestLinkClassification:
+    @pytest.fixture(scope="class")
+    def pkg(self):
+        return Packaging((8, 8, 8))
+
+    def test_intra_backplane(self, pkg):
+        assert pkg.classify_link((0, 0, 0), (1, 0, 0)) == "backplane"
+
+    def test_z_neighbors_leave_backplane(self, pkg):
+        # Backplanes are 4x4x1: z-links are always cabled.
+        assert pkg.classify_link((0, 0, 0), (0, 0, 1)) == "intra-rack cable"
+
+    def test_inter_rack(self, pkg):
+        assert pkg.classify_link((3, 0, 0), (4, 0, 0)) == "inter-rack cable"
+
+    def test_lengths_ordered(self, pkg):
+        short = pkg.link_length_cm((0, 0, 0), (1, 0, 0))
+        medium = pkg.link_length_cm((0, 0, 0), (0, 0, 1))
+        long = pkg.link_length_cm((3, 0, 0), (4, 0, 0))
+        assert short < medium < long
+
+    def test_flight_times_positive(self, pkg):
+        assert pkg.link_flight_ns((0, 0, 0), (1, 0, 0)) > 0
+
+    def test_link_census_totals(self, pkg):
+        census = pkg.link_census()
+        # 8x8x8 torus: 3 x 512 bidirectional links per slice-pair group.
+        assert sum(census.values()) == 3 * 512
+        assert census["backplane"] == 768
+
+
+class TestSmallMachines:
+    def test_minimum_machine(self):
+        pkg = Packaging((4, 4, 1))
+        assert pkg.num_chips == 16
+        assert pkg.num_backplanes == 1
+        assert pkg.num_racks == 1
+        # Every link stays in the backplane except the z wrap (radix 1:
+        # no z links at all).
+        assert set(pkg.link_census()) == {"backplane"}
+
+    def test_radix_two_z(self):
+        pkg = Packaging((4, 4, 2))
+        census = pkg.link_census()
+        assert "intra-rack cable" in census
+
+    def test_summary_mentions_counts(self):
+        text = Packaging((8, 8, 8)).summary()
+        assert "512 nodecards" in text
+        assert "32 backplanes" in text
+
+
+class TestSupportedSizes:
+    def test_min_and_max_supported(self):
+        sizes = set(supported_machine_sizes())
+        assert (4, 4, 1) in sizes
+        assert (16, 16, 16) in sizes
+
+    def test_chip_count_range(self):
+        counts = sorted(s[0] * s[1] * s[2] for s in supported_machine_sizes())
+        assert counts[0] == 16
+        assert counts[-1] == 4096
+
+    def test_all_sizes_constructible(self):
+        for shape in list(supported_machine_sizes())[:8]:
+            Packaging(shape)

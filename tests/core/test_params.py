@@ -1,0 +1,76 @@
+"""Tests for the published constants of Section 2.2 / Section 4."""
+
+import pytest
+
+from repro.core import params
+
+
+class TestTorusChannels:
+    def test_raw_channel_bandwidth(self):
+        # 8 SerDes x 14 Gb/s = 112 Gb/s per direction.
+        assert params.TORUS_CHANNEL_RAW_GBPS == pytest.approx(112.0)
+
+    def test_effective_below_raw(self):
+        assert params.TORUS_CHANNEL_EFFECTIVE_GBPS < params.TORUS_CHANNEL_RAW_GBPS
+
+    def test_channels_per_asic(self):
+        # Two slices to each of six neighbors.
+        assert params.TORUS_CHANNELS_PER_ASIC == 12
+
+    def test_effective_io_per_asic(self):
+        # Paper: 2.15 Tb/s of effective I/O bandwidth per ASIC.
+        assert params.ASIC_EFFECTIVE_IO_TBPS == pytest.approx(2.15, abs=0.01)
+
+
+class TestMesh:
+    def test_mesh_channel_bandwidth(self):
+        # 192 bits x 1.5 GHz = 288 Gb/s.
+        assert params.MESH_CHANNEL_GBPS == pytest.approx(288.0)
+
+    def test_cycle_time(self):
+        assert params.CYCLE_NS == pytest.approx(1.0 / 1.5)
+
+    def test_mesh_radix(self):
+        assert params.MESH_RADIX == 4
+
+
+class TestPackets:
+    def test_typical_packet_fits_one_flit(self):
+        # The common-case 24-byte packet crosses a mesh channel per cycle.
+        assert params.TYPICAL_PACKET_BYTES == params.FLIT_BYTES == 24
+
+    def test_max_packet_two_flits(self):
+        assert params.MAX_PACKET_BYTES == 48
+        assert params.MAX_PACKET_FLITS == 2
+
+
+class TestVcCounts:
+    def test_total_vcs(self):
+        # Eight VCs in routers/channel adapters: 2 classes x 4.
+        assert params.TOTAL_VCS_ANTON == 8
+
+    def test_baseline_needs_more_t_vcs(self):
+        assert params.VCS_PER_CLASS_BASELINE_T == 6
+        assert params.VCS_PER_CLASS_ANTON == 4
+
+
+class TestComponentCounts:
+    def test_table1_counts(self):
+        assert params.ROUTERS_PER_ASIC == 16
+        assert params.ENDPOINTS_PER_ASIC == 23
+        assert params.CHANNEL_ADAPTERS_PER_ASIC == 12
+
+
+class TestBandwidthBudget:
+    def test_mesh_absorbs_two_torus_channels(self):
+        # The Section 2.4 conclusion: a mesh channel carries twice the
+        # effective torus bandwidth with room to spare.
+        budget = params.BandwidthBudget()
+        assert budget.torus_channels_per_mesh_channel > 2.0
+        assert budget.headroom_after_two_torus_channels_gbps > 100.0
+
+    def test_headroom_formula(self):
+        budget = params.BandwidthBudget()
+        assert budget.headroom_after_two_torus_channels_gbps == pytest.approx(
+            288.0 - 2 * 89.6
+        )

@@ -1,0 +1,162 @@
+"""Tests for in-network reductions."""
+
+import pytest
+
+from repro.core.geometry import Dim, all_coords
+from repro.core.reduction import (
+    ReductionTree,
+    bandwidth_saving,
+    build_reduction_tree,
+    endpoint_reduction_cycles,
+    evaluate,
+)
+
+SHAPE = (8, 8, 8)
+
+
+def plane_sources(root=(4, 4, 4), radius=2):
+    return [
+        ((root[0] + dx) % 8, (root[1] + dy) % 8, root[2])
+        for dx in range(-radius, radius + 1)
+        for dy in range(-radius, radius + 1)
+        if (dx, dy) != (0, 0)
+    ]
+
+
+class TestTreeConstruction:
+    def test_edges_flow_to_root(self):
+        tree = build_reduction_tree(SHAPE, (0, 0, 0), [(2, 0, 0), (0, 2, 0)])
+        parents = {child: parent for child, parent in tree.edges}
+        for source in tree.sources:
+            node = source
+            for _ in range(10):
+                if node == tree.root:
+                    break
+                node = parents[node]
+            assert node == tree.root
+
+    def test_leaf_paths_minimal(self):
+        sources = plane_sources()
+        tree = build_reduction_tree(SHAPE, (4, 4, 4), sources)
+        parents = {child: parent for child, parent in tree.edges}
+        from repro.core.geometry import torus_hops
+
+        for source in sources:
+            hops = 0
+            node = source
+            while node != tree.root:
+                node = parents[node]
+                hops += 1
+            assert hops == torus_hops(source, tree.root, SHAPE)
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ValueError):
+            build_reduction_tree(SHAPE, (0, 0, 0), [])
+
+    def test_root_in_sources_rejected(self):
+        with pytest.raises(ValueError):
+            build_reduction_tree(SHAPE, (0, 0, 0), [(0, 0, 0)])
+
+    def test_combining_chips_exist_for_fanin(self):
+        tree = build_reduction_tree(
+            SHAPE, (0, 0, 0), [(1, 1, 0), (1, 7, 0), (7, 1, 0)]
+        )
+        assert tree.combining_chips()
+
+    def test_depth_is_max_distance(self):
+        tree = build_reduction_tree(SHAPE, (0, 0, 0), plane_sources((0, 0, 0)))
+        assert tree.depth() == 4  # radius 2 in two dimensions
+
+
+class TestBandwidth:
+    def test_saving_positive_for_shared_paths(self):
+        tree = build_reduction_tree(SHAPE, (4, 4, 4), plane_sources())
+        assert bandwidth_saving(tree, SHAPE) > 0
+
+    def test_single_source_saves_nothing(self):
+        tree = build_reduction_tree(SHAPE, (0, 0, 0), [(3, 0, 0)])
+        assert bandwidth_saving(tree, SHAPE) == 0
+
+    def test_tree_matches_multicast_cost(self):
+        # A reduction uses exactly as much bandwidth as the multicast of
+        # the result back out would.
+        from repro.core.multicast import build_tree
+
+        sources = plane_sources()
+        reduction = build_reduction_tree(SHAPE, (4, 4, 4), sources)
+        multicast = build_tree(
+            SHAPE, (4, 4, 4), sources, (Dim.Z, Dim.Y, Dim.X)
+        )
+        assert reduction.torus_hops == multicast.torus_hops
+
+
+class TestEvaluation:
+    def test_sum_correct(self):
+        sources = plane_sources()
+        tree = build_reduction_tree(SHAPE, (4, 4, 4), sources)
+        contributions = {s: float(i + 1) for i, s in enumerate(sources)}
+        outcome = evaluate(tree, contributions, "sum")
+        assert outcome.value == pytest.approx(sum(contributions.values()))
+
+    def test_min_max_correct(self):
+        sources = plane_sources()
+        tree = build_reduction_tree(SHAPE, (4, 4, 4), sources)
+        contributions = {s: float(hash(s) % 97) for s in sources}
+        assert evaluate(tree, contributions, "min").value == min(
+            contributions.values()
+        )
+        assert evaluate(tree, contributions, "max").value == max(
+            contributions.values()
+        )
+
+    def test_combines_count(self):
+        # N contributions need exactly N - 1 combining operations.
+        sources = plane_sources()
+        tree = build_reduction_tree(SHAPE, (4, 4, 4), sources)
+        contributions = {s: 1.0 for s in sources}
+        outcome = evaluate(tree, contributions, "sum")
+        assert outcome.combines == len(sources) - 1
+
+    def test_unknown_operator(self):
+        tree = build_reduction_tree(SHAPE, (0, 0, 0), [(1, 0, 0)])
+        with pytest.raises(ValueError):
+            evaluate(tree, {(1, 0, 0): 1.0}, "xor")
+
+    def test_contributions_must_match_sources(self):
+        tree = build_reduction_tree(SHAPE, (0, 0, 0), [(1, 0, 0)])
+        with pytest.raises(ValueError):
+            evaluate(tree, {(2, 0, 0): 1.0}, "sum")
+
+
+class TestLatencyAdvantage:
+    def test_in_network_beats_endpoint_reduction(self):
+        # Parallel combining in the tree beats serializing all
+        # contributions through the root's ejection port.
+        sources = plane_sources()
+        tree = build_reduction_tree(SHAPE, (4, 4, 4), sources)
+        contributions = {s: 1.0 for s in sources}
+        in_network = evaluate(tree, contributions, "sum").completion_cycles
+        endpoint = endpoint_reduction_cycles(tree, SHAPE)
+        assert in_network < endpoint
+
+    def test_advantage_grows_with_fanin(self):
+        small = plane_sources(radius=1)
+        large = plane_sources(radius=2)
+
+        def ratio(sources):
+            tree = build_reduction_tree(SHAPE, (4, 4, 4), sources)
+            contributions = {s: 1.0 for s in sources}
+            in_network = evaluate(tree, contributions).completion_cycles
+            return endpoint_reduction_cycles(tree, SHAPE) / in_network
+
+        assert ratio(large) > ratio(small)
+
+    def test_machine_wide_allreduce_shape(self):
+        # Reduce over every node of a 4x4x4 machine to one root.
+        shape = (4, 4, 4)
+        sources = [c for c in all_coords(shape) if c != (0, 0, 0)]
+        tree = build_reduction_tree(shape, (0, 0, 0), sources)
+        contributions = {s: 1.0 for s in sources}
+        outcome = evaluate(tree, contributions, "sum")
+        assert outcome.value == len(sources)
+        assert bandwidth_saving(tree, shape) > 0

@@ -1,0 +1,129 @@
+"""Tests for the Section 2.4 routing-algorithm search (Figure 4)."""
+
+import pytest
+
+from repro.core.chip import default_floorplan
+from repro.core.geometry import TORUS_DIRECTIONS, XP, XM, YP, YM, ZP, ZM
+from repro.core.onchip import ANTON_DIRECTION_ORDER, direction_order_name
+from repro.core.route_search import (
+    PAPER_WORST_CASE,
+    all_permutations,
+    demand_route,
+    format_permutation,
+    max_mesh_load,
+    permutation_mesh_loads,
+    search_direction_orders,
+)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return default_floorplan()
+
+
+@pytest.fixture(scope="module")
+def search():
+    return search_direction_orders()
+
+
+class TestDemandRoutes:
+    def test_x_through_uses_skip(self, plan):
+        # Traffic entering the X- channel and leaving X+ is X+ through
+        # traffic: it must ride the skip channel, loading no mesh links.
+        for slice_index in (0, 1):
+            route = demand_route(plan, XM, XP, slice_index)
+            assert route.uses_skip
+            assert route.mesh_links == ()
+
+    def test_x_reverse_through_uses_skip(self, plan):
+        route = demand_route(plan, XP, XM, 1)
+        assert route.uses_skip
+
+    def test_yz_turn_same_router_is_free(self, plan):
+        # Y+ -> Y- share a router: a reversal costs no mesh hops.
+        route = demand_route(plan, YP, YM, 0)
+        assert route.mesh_links == ()
+        assert not route.uses_skip
+
+    def test_y_to_z_short(self, plan):
+        # Same-slice Y and Z adapters are adjacent on one edge: the turn
+        # costs a single mesh hop (the packaging optimization).
+        route = demand_route(plan, YP, ZP, 0)
+        assert len(route.mesh_links) == 1
+
+    def test_no_skip_ablation_routes_over_mesh(self, plan):
+        route = demand_route(plan, XM, XP, 1, use_skip=False)
+        assert not route.uses_skip
+        assert len(route.mesh_links) == 3  # u=3 to u=0 along the row
+
+
+class TestWorstCase:
+    def test_paper_permutation_is_valid(self):
+        assert sorted(PAPER_WORST_CASE) == sorted(TORUS_DIRECTIONS)
+
+    def test_paper_permutation_mapping(self):
+        mapping = dict(zip(TORUS_DIRECTIONS, PAPER_WORST_CASE))
+        assert mapping[XP] == ZM
+        assert mapping[XM] == XP
+        assert mapping[YP] == YM
+        assert mapping[YM] == ZP
+        assert mapping[ZP] == XM
+        assert mapping[ZM] == YP
+
+    def test_worst_case_load_is_two(self, plan):
+        # Figure 4: the heaviest mesh channel carries two torus channels.
+        assert max_mesh_load(plan, PAPER_WORST_CASE, ANTON_DIRECTION_ORDER) == 2.0
+
+    def test_loads_cover_both_slices(self, plan):
+        loads = permutation_mesh_loads(plan, PAPER_WORST_CASE)
+        slices = {key[0] for key in loads}
+        assert slices == {0, 1}
+
+
+class TestSearch:
+    def test_all_orders_evaluated(self, search):
+        assert len(search.per_order) == 24
+
+    def test_minimal_worst_case_is_two(self, search):
+        assert search.best.worst_load == 2.0
+
+    def test_anton_order_in_optimal_class(self, search):
+        names = [result.name for result in search.best_orders]
+        assert direction_order_name(ANTON_DIRECTION_ORDER) in names
+
+    def test_optimal_class_strictly_better(self, search):
+        # The twelve optimal orders hit the worst case on strictly fewer
+        # permutations than the other twelve.
+        best = search.best.rank_key
+        others = [r for r in search.per_order if r.rank_key != best]
+        assert others
+        for result in others:
+            assert result.num_worst > search.best.num_worst or (
+                result.mean_max_load > search.best.mean_max_load
+            )
+
+    def test_paper_permutation_is_common_worst_case(self, search):
+        assert PAPER_WORST_CASE in search.common_worst_permutations()
+
+    def test_result_for_lookup(self, search):
+        result = search.result_for(ANTON_DIRECTION_ORDER)
+        assert result.worst_load == 2.0
+
+    def test_result_for_unknown(self, search):
+        with pytest.raises(KeyError):
+            search.result_for(tuple(reversed(ANTON_DIRECTION_ORDER))[:2] * 2)
+
+
+class TestEnumeration:
+    def test_permutation_count(self):
+        assert len(list(all_permutations())) == 720
+
+    def test_identity_permutation_loads_nothing_much(self, plan):
+        # Hairpin demands enter and exit the same adapter: zero mesh load.
+        identity = tuple(TORUS_DIRECTIONS)
+        assert max_mesh_load(plan, identity) == 0.0
+
+    def test_format_permutation(self):
+        text = format_permutation(PAPER_WORST_CASE)
+        assert "X+" in text and "Z-" in text
+        assert text.count("\n") == 1

@@ -1,0 +1,259 @@
+"""Tests for full route construction (inter-node + on-chip + VCs)."""
+
+import pytest
+
+from repro.core.geometry import Dim, XP, XM, YP, YM, ZP
+from repro.core.machine import ChannelGroup, ChannelKind, Machine, MachineConfig
+from repro.core.routing import (
+    ALL_DIM_ORDERS,
+    RouteChoice,
+    RouteComputer,
+    validate_route,
+)
+
+
+class TestRouteChoice:
+    def test_default_valid(self):
+        RouteChoice()
+
+    def test_bad_dim_order(self):
+        with pytest.raises(ValueError):
+            RouteChoice(dim_order=(Dim.X, Dim.X, Dim.Y))
+
+    def test_bad_slice(self):
+        with pytest.raises(ValueError):
+            RouteChoice(slice_index=2)
+
+    def test_six_dim_orders(self):
+        assert len(ALL_DIM_ORDERS) == 6
+
+
+class TestPaperExampleRoutes:
+    """The two through-route examples of Section 2.4."""
+
+    def test_y_through_single_router(self, small_machine, small_routes):
+        # A packet traveling Y- through an intermediate chip must visit
+        # exactly one router there: Y0+ -> R(0,2) -> Y0-.
+        src = small_machine.ep_id[((0, 2, 0), 0)]
+        dst = small_machine.ep_id[((0, 0, 0), 0)]
+        choice = RouteChoice(
+            dim_order=(Dim.Y, Dim.X, Dim.Z), slice_index=0, deltas=(0, -2, 0)
+        )
+        route = small_routes.compute(src, dst, choice)
+        mid_chip = (0, 1, 0)
+        routers_visited = set()
+        for channel_id, _vc in route.hops:
+            channel = small_machine.channels[channel_id]
+            for comp_id in (channel.src, channel.dst):
+                comp = small_machine.components[comp_id]
+                if comp.chip == mid_chip and comp.kind.name == "ROUTER":
+                    routers_visited.add(comp_id)
+        assert len(routers_visited) == 1
+        router = small_machine.components[routers_visited.pop()]
+        assert router.detail == (0, 2)  # the paper's R_{0,2}
+
+    def test_x_through_uses_skip_channel(self, small_machine, small_routes):
+        # X+ through traffic on slice 1: X1- -> R(3,0) -> skip -> R(0,0) -> X1+.
+        src = small_machine.ep_id[((0, 0, 0), 0)]
+        dst = small_machine.ep_id[((2, 0, 0), 0)]
+        choice = RouteChoice(dim_order=(Dim.X, Dim.Y, Dim.Z), slice_index=1)
+        route = small_routes.compute(src, dst, choice)
+        skip_hops = [
+            (channel_id, vc)
+            for channel_id, vc in route.hops
+            if small_machine.channels[channel_id].kind == ChannelKind.SKIP
+        ]
+        assert len(skip_hops) == 1
+        skip = small_machine.channels[skip_hops[0][0]]
+        assert small_machine.components[skip.src].chip == (1, 0, 0)
+        assert small_machine.components[skip.src].detail == (3, 0)
+        assert small_machine.components[skip.dst].detail == (0, 0)
+
+
+class TestRouteStructure:
+    def test_starts_and_ends_at_endpoints(self, tiny_machine, tiny_routes):
+        src = tiny_machine.ep_id[((0, 0, 0), 0)]
+        dst = tiny_machine.ep_id[((1, 1, 1), 1)]
+        route = tiny_routes.compute(src, dst, RouteChoice())
+        validate_route(tiny_machine, route)
+
+    def test_internode_hops_match_distance(self, odd_machine, odd_routes):
+        from repro.core.geometry import all_coords, torus_hops
+
+        src = odd_machine.ep_id[((0, 0, 0), 0)]
+        for dst_chip in all_coords((3, 3, 3)):
+            dst = odd_machine.ep_id[(dst_chip, 0)]
+            if dst == src:
+                continue
+            route = odd_routes.compute(src, dst, RouteChoice())
+            assert route.internode_hops == torus_hops(
+                (0, 0, 0), dst_chip, (3, 3, 3)
+            )
+
+    def test_same_chip_route_stays_on_chip(self, tiny_machine, tiny_routes):
+        src = tiny_machine.ep_id[((1, 0, 1), 0)]
+        dst = tiny_machine.ep_id[((1, 0, 1), 1)]
+        route = tiny_routes.compute(src, dst, RouteChoice())
+        assert route.internode_hops == 0
+        for channel_id, _vc in route.hops:
+            channel = tiny_machine.channels[channel_id]
+            assert tiny_machine.components[channel.src].chip == (1, 0, 1)
+            assert channel.kind in (
+                ChannelKind.MESH,
+                ChannelKind.EP_TO_ROUTER,
+                ChannelKind.ROUTER_TO_EP,
+            )
+
+    def test_same_chip_route_uses_vc_zero(self, tiny_machine, tiny_routes):
+        src = tiny_machine.ep_id[((0, 0, 0), 0)]
+        dst = tiny_machine.ep_id[((0, 0, 0), 1)]
+        route = tiny_routes.compute(src, dst, RouteChoice())
+        for _channel_id, vc in route.hops:
+            assert vc == 0
+
+    def test_slice_pinning(self, small_machine, small_routes):
+        # All torus hops of one packet use the chosen slice.
+        src = small_machine.ep_id[((0, 0, 0), 0)]
+        dst = small_machine.ep_id[((2, 3, 1), 0)]
+        for slice_index in (0, 1):
+            route = small_routes.compute(
+                src, dst, RouteChoice(slice_index=slice_index)
+            )
+            for channel_id, _vc in route.hops:
+                channel = small_machine.channels[channel_id]
+                if channel.kind == ChannelKind.TORUS:
+                    _direction, used_slice = small_machine.components[
+                        channel.src
+                    ].detail
+                    assert used_slice == slice_index
+
+    def test_dimension_order_respected(self, small_machine, small_routes):
+        src = small_machine.ep_id[((0, 0, 0), 0)]
+        dst = small_machine.ep_id[((1, 1, 1), 0)]
+        for dim_order in ALL_DIM_ORDERS:
+            route = small_routes.compute(src, dst, RouteChoice(dim_order=dim_order))
+            dims_in_route = []
+            for channel_id, _vc in route.hops:
+                channel = small_machine.channels[channel_id]
+                if channel.kind == ChannelKind.TORUS:
+                    direction, _s = small_machine.components[channel.src].detail
+                    if not dims_in_route or dims_in_route[-1] != direction.dim:
+                        dims_in_route.append(direction.dim)
+            expected = [d for d in dim_order]
+            assert dims_in_route == expected
+
+
+class TestVcAssignment:
+    def test_vc_promotion_on_dateline(self, small_machine, small_routes):
+        # Traveling X- from x=0 crosses the dateline immediately: the
+        # crossing torus channel and everything after use VC >= 1.
+        src = small_machine.ep_id[((0, 0, 0), 0)]
+        dst = small_machine.ep_id[((3, 0, 0), 0)]
+        route = small_routes.compute(
+            src, dst, RouteChoice(deltas=(-1, 0, 0))
+        )
+        torus_vcs = [
+            vc
+            for channel_id, vc in route.hops
+            if small_machine.channels[channel_id].kind == ChannelKind.TORUS
+        ]
+        assert torus_vcs == [1]
+
+    def test_no_dateline_no_promotion_until_turn(self, small_machine, small_routes):
+        src = small_machine.ep_id[((0, 0, 0), 0)]
+        dst = small_machine.ep_id[((1, 0, 0), 0)]
+        route = small_routes.compute(src, dst, RouteChoice(deltas=(1, 0, 0)))
+        torus_vcs = [
+            vc
+            for channel_id, vc in route.hops
+            if small_machine.channels[channel_id].kind == ChannelKind.TORUS
+        ]
+        assert torus_vcs == [0]
+        # Final mesh hops (after the dimension finished) are promoted.
+        final_mesh_vcs = [
+            vc
+            for channel_id, vc in route.hops
+            if small_machine.channels[channel_id].kind == ChannelKind.MESH
+        ]
+        if final_mesh_vcs:
+            assert final_mesh_vcs[-1] == 1
+
+    def test_vc_never_exceeds_three(self, small_machine, small_routes):
+        import random
+
+        rng = random.Random(11)
+        for _ in range(100):
+            src_chip = tuple(rng.randrange(4) for _ in range(3))
+            dst_chip = tuple(rng.randrange(4) for _ in range(3))
+            src = small_machine.ep_id[(src_chip, rng.randrange(4))]
+            dst = small_machine.ep_id[(dst_chip, rng.randrange(4))]
+            if src == dst:
+                continue
+            choice = small_routes.random_choice(rng, src_chip, dst_chip)
+            route = small_routes.compute(src, dst, choice)
+            for channel_id, vc in route.hops:
+                channel = small_machine.channels[channel_id]
+                if channel.group != ChannelGroup.E:
+                    assert 0 <= vc <= 3
+
+    def test_baseline_scheme_uses_six_t_vcs(self):
+        machine = Machine(
+            MachineConfig(shape=(3, 3, 3), endpoints_per_chip=1, vc_scheme="baseline")
+        )
+        routes = RouteComputer(machine)
+        src = machine.ep_id[((0, 0, 0), 0)]
+        dst = machine.ep_id[((2, 2, 2), 0)]
+        # Travel 3 dims, crossing the dateline in each: deltas of -1 from 0.
+        route = routes.compute(src, dst, RouteChoice(deltas=(-1, -1, -1)))
+        torus_vcs = [
+            vc
+            for channel_id, vc in route.hops
+            if machine.channels[channel_id].kind == ChannelKind.TORUS
+        ]
+        assert torus_vcs == [1, 3, 5]
+
+
+class TestChoices:
+    def test_all_choices_probabilities_sum_to_one(self, small_machine, small_routes):
+        total = sum(
+            prob for _c, prob in small_routes.all_choices((0, 0, 0), (2, 1, 3))
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_tie_breaks_enumerated(self, small_machine, small_routes):
+        # Distance 2 on a radix-4 ring is half way: two minimal options
+        # per tied dimension.
+        choices = list(small_routes.all_choices((0, 0, 0), (2, 0, 0)))
+        assert len(choices) == 6 * 2 * 2  # orders x slices x X tie
+
+    def test_random_choice_minimal(self, small_machine, small_routes):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(50):
+            choice = small_routes.random_choice(rng, (0, 0, 0), (2, 3, 1))
+            assert choice.deltas[0] in (2, -2)
+            assert choice.deltas[1] == -1
+            assert choice.deltas[2] == 1
+
+    def test_non_minimal_delta_rejected(self, small_machine, small_routes):
+        src = small_machine.ep_id[((0, 0, 0), 0)]
+        dst = small_machine.ep_id[((1, 0, 0), 0)]
+        with pytest.raises(ValueError):
+            small_routes.compute(src, dst, RouteChoice(deltas=(-3, 0, 0)))
+
+
+class TestCaching:
+    def test_same_choice_returns_same_object(self, tiny_machine, tiny_routes):
+        src = tiny_machine.ep_id[((0, 0, 0), 0)]
+        dst = tiny_machine.ep_id[((1, 0, 0), 0)]
+        choice = RouteChoice()
+        route_a = tiny_routes.compute(src, dst, choice)
+        route_b = tiny_routes.compute(src, dst, choice)
+        assert route_a is route_b
+
+    def test_non_endpoint_rejected(self, tiny_machine, tiny_routes):
+        router = tiny_machine.router_id[((0, 0, 0), (0, 0))]
+        endpoint = tiny_machine.ep_id[((0, 0, 0), 0)]
+        with pytest.raises(ValueError):
+            tiny_routes.compute(router, endpoint, RouteChoice())

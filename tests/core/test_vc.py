@@ -1,0 +1,154 @@
+"""Tests for the VC allocation state machines (Section 2.5)."""
+
+import pytest
+
+from repro.core.vc import (
+    AntonVcAllocator,
+    BaselineVcAllocator,
+    UnsafeSingleVcAllocator,
+    make_allocator,
+    vcs_required,
+)
+
+
+class TestAntonAllocator:
+    def test_starts_at_zero(self):
+        alloc = AntonVcAllocator()
+        assert alloc.t_vc() == 0
+        assert alloc.m_vc() == 0
+
+    def test_dateline_promotes_mid_dimension(self):
+        alloc = AntonVcAllocator()
+        alloc.start_dimension()
+        assert alloc.t_vc() == 0
+        alloc.cross_dateline()
+        # The crossing channel itself uses the promoted VC.
+        assert alloc.t_vc() == 1
+        alloc.finish_dimension()
+        # Already promoted: finishing does not promote again.
+        assert alloc.m_vc() == 1
+
+    def test_finish_without_dateline_promotes(self):
+        alloc = AntonVcAllocator()
+        alloc.start_dimension()
+        alloc.finish_dimension()
+        assert alloc.m_vc() == 1
+
+    def test_exactly_one_promotion_per_dimension(self):
+        for crossings in ((False, False, False), (True, True, True), (True, False, True)):
+            alloc = AntonVcAllocator()
+            for crossed in crossings:
+                alloc.start_dimension()
+                if crossed:
+                    alloc.cross_dateline()
+                alloc.finish_dimension()
+            assert alloc.m_vc() == 3
+
+    def test_max_vc_is_num_dims(self):
+        alloc = AntonVcAllocator()
+        for _ in range(3):
+            alloc.start_dimension()
+            alloc.cross_dateline()
+            alloc.finish_dimension()
+        assert alloc.t_vc() == 3
+        assert alloc.m_vc() == 3
+
+    def test_double_dateline_rejected(self):
+        alloc = AntonVcAllocator()
+        alloc.start_dimension()
+        alloc.cross_dateline()
+        with pytest.raises(AssertionError):
+            alloc.cross_dateline()
+
+    def test_vc_counts(self):
+        assert AntonVcAllocator.T_VCS == 4
+        assert AntonVcAllocator.M_VCS == 4
+
+
+class TestBaselineAllocator:
+    def test_t_vc_formula(self):
+        alloc = BaselineVcAllocator()
+        alloc.start_dimension()
+        assert alloc.t_vc() == 0
+        alloc.cross_dateline()
+        assert alloc.t_vc() == 1
+        alloc.finish_dimension()
+        alloc.start_dimension()
+        assert alloc.t_vc() == 2
+        alloc.cross_dateline()
+        assert alloc.t_vc() == 3
+        alloc.finish_dimension()
+        alloc.start_dimension()
+        assert alloc.t_vc() == 4
+        alloc.cross_dateline()
+        assert alloc.t_vc() == 5
+
+    def test_m_vc_counts_completed_dimensions(self):
+        alloc = BaselineVcAllocator()
+        assert alloc.m_vc() == 0
+        for expected in (1, 2, 3):
+            alloc.start_dimension()
+            alloc.finish_dimension()
+            assert alloc.m_vc() == expected
+
+    def test_uses_six_t_vcs(self):
+        assert BaselineVcAllocator.T_VCS == 6
+
+    def test_double_dateline_rejected(self):
+        alloc = BaselineVcAllocator()
+        alloc.start_dimension()
+        alloc.cross_dateline()
+        with pytest.raises(AssertionError):
+            alloc.cross_dateline()
+
+    def test_too_many_dimensions_rejected(self):
+        alloc = BaselineVcAllocator()
+        for _ in range(3):
+            alloc.start_dimension()
+            alloc.finish_dimension()
+        with pytest.raises(AssertionError):
+            alloc.finish_dimension()
+
+
+class TestUnsafeAllocator:
+    def test_always_zero(self):
+        alloc = UnsafeSingleVcAllocator()
+        alloc.start_dimension()
+        alloc.cross_dateline()
+        alloc.finish_dimension()
+        assert alloc.t_vc() == 0
+        assert alloc.m_vc() == 0
+
+
+class TestFactory:
+    def test_known_schemes(self):
+        assert isinstance(make_allocator("anton"), AntonVcAllocator)
+        assert isinstance(make_allocator("baseline"), BaselineVcAllocator)
+        assert isinstance(make_allocator("unsafe-single"), UnsafeSingleVcAllocator)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_allocator("escape")
+
+
+class TestVcsRequired:
+    def test_paper_headline_claim(self):
+        # n + 1 versus 2n: one-third fewer VCs for the 3D torus.
+        anton = vcs_required("anton", 3)
+        baseline = vcs_required("baseline", 3)
+        assert anton["t"] == 4
+        assert baseline["t"] == 6
+        assert (baseline["t"] - anton["t"]) / baseline["t"] == pytest.approx(1 / 3)
+
+    def test_generalizes_to_any_dimension(self):
+        for dims in (1, 2, 3, 4, 6):
+            anton = vcs_required("anton", dims)
+            baseline = vcs_required("baseline", dims)
+            assert anton["t"] == dims + 1
+            assert baseline["t"] == 2 * dims
+            if dims > 1:
+                assert anton["t"] < baseline["t"]
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            vcs_required("other", 3)

@@ -1,0 +1,57 @@
+"""Tests for the LP formulation of worst-case switching demands."""
+
+import numpy as np
+import pytest
+
+from repro.core.onchip import all_direction_orders, ANTON_DIRECTION_ORDER
+from repro.core.route_search import all_permutations, max_mesh_load
+from repro.core.chip import default_floorplan
+from repro.core.worstcase_lp import max_channel_load_lp, worst_case_lp
+
+
+class TestLpAgainstEnumeration:
+    def test_anton_order_matches(self):
+        result = worst_case_lp(order=ANTON_DIRECTION_ORDER)
+        assert result.worst_load == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("order_index", [0, 7, 13, 23])
+    def test_sampled_orders_match_enumeration(self, order_index):
+        order = list(all_direction_orders())[order_index]
+        plan = default_floorplan()
+        enumerated = max(
+            max_mesh_load(plan, p, order) for p in all_permutations()
+        )
+        lp = worst_case_lp(plan, order)
+        assert lp.worst_load == pytest.approx(enumerated)
+
+
+class TestLpStructure:
+    def test_optimal_demand_is_doubly_substochastic(self):
+        result = worst_case_lp()
+        demand = result.demand
+        assert np.all(demand >= -1e-9)
+        assert np.all(demand.sum(axis=0) <= 1 + 1e-9)
+        assert np.all(demand.sum(axis=1) <= 1 + 1e-9)
+
+    def test_single_channel_lp(self):
+        # A channel used by demands (0 -> 1) and (2 -> 3): both can be
+        # saturated simultaneously (disjoint rows/columns): load 2.
+        usage = np.zeros((6, 6))
+        usage[0, 1] = 1.0
+        usage[2, 3] = 1.0
+        load, demand = max_channel_load_lp(usage)
+        assert load == pytest.approx(2.0)
+
+    def test_conflicting_demands_limited_by_row_sum(self):
+        # Demands sharing a source row cannot exceed 1 in total.
+        usage = np.zeros((6, 6))
+        usage[0, 1] = 1.0
+        usage[0, 2] = 1.0
+        load, _demand = max_channel_load_lp(usage)
+        assert load == pytest.approx(1.0)
+
+    def test_worst_channel_identified(self):
+        result = worst_case_lp()
+        slice_index, src, dst = result.worst_channel
+        assert slice_index in (0, 1)
+        assert src != dst

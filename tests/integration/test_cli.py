@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_endpoint, parse_shape
+
+
+class TestParsers:
+    def test_parse_shape(self):
+        assert parse_shape("8x2x2") == (8, 2, 2)
+        assert parse_shape("4X4X4") == (4, 4, 4)
+
+    def test_parse_shape_invalid(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_shape("8x2")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_shape("axbxc")
+
+    def test_parse_endpoint(self):
+        assert parse_endpoint("1,2,3:4") == ((1, 2, 3), 4)
+        assert parse_endpoint("0,0,0") == ((0, 0, 0), 0)
+
+    def test_parse_endpoint_invalid(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_endpoint("1,2")
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--shape", "2x2x2", "--endpoints", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2x2x2" in out
+        assert "nodecards" in out
+
+    def test_route(self, capsys):
+        code = main(
+            [
+                "route", "--shape", "2x2x2", "--endpoints", "2",
+                "--src", "0,0,0:0", "--dst", "1,0,0:1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TORUS" in out
+        assert "inter-node hops" in out
+
+    def test_search(self, capsys):
+        assert main(["search"]) == 0
+        out = capsys.readouterr().out
+        assert "2.0 torus channels" in out
+        assert "V-,U+,U-,V+" in out
+
+    def test_deadlock_safe_scheme(self, capsys):
+        assert main(["deadlock", "--shape", "2x2x2", "--scheme", "anton"]) == 0
+        assert "deadlock_free=True" in capsys.readouterr().out
+
+    def test_deadlock_unsafe_scheme(self, capsys):
+        assert (
+            main(["deadlock", "--shape", "4x1x1", "--scheme", "unsafe-single"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "deadlock_free=False" in out
+        assert "cycle:" in out
+
+    def test_throughput(self, capsys):
+        code = main(
+            [
+                "throughput", "--shape", "2x2x2", "--endpoints", "2",
+                "--cores", "2", "--batch", "8", "--pattern", "tornado",
+                "--arbitration", "rr",
+            ]
+        )
+        assert code == 0
+        assert "normalized throughput" in capsys.readouterr().out
+
+    def test_latency(self, capsys):
+        assert main(["latency", "--shape", "4x2x2", "--endpoints", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ns/hop" in out
+        assert "minimum inter-node latency" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "Queues" in out
+        assert "Router" in out
+
+    def test_energy(self, capsys):
+        assert main(["energy"]) == 0
+        out = capsys.readouterr().out
+        assert "random" in out
+        assert "pJ/flit" in out

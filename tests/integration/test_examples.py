@@ -1,0 +1,65 @@
+"""Smoke tests: the example scripts run and produce their headline output.
+
+The heavyweight sweep examples are exercised through their importable
+pieces elsewhere; here we run the fast scripts end to end as a user
+would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, timeout=360):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "Anton 2 machine 4x4x4" in output
+        assert "SKIP" in output or "TORUS" in output
+        assert "norm. throughput" in output
+
+    def test_md_multicast(self):
+        output = run_example("md_multicast.py", timeout=120)
+        assert "saves" in output
+        assert "full-shell" in output
+        assert "half-shell" in output
+
+    def test_route_optimizer_demo(self):
+        output = run_example("route_optimizer_demo.py", timeout=120)
+        assert "V-,U+,U-,V+" in output
+        assert "True" in output  # paper's order in the optimal class
+        assert "2 torus channels" in output
+
+    def test_link_and_reduction(self):
+        output = run_example("link_and_reduction.py", timeout=120)
+        assert "89.6" in output
+        assert "combining chips" in output
+
+    def test_latency_vs_load(self):
+        output = run_example("latency_vs_load.py", timeout=300)
+        assert "saturation" in output
+        assert "p99" in output
+
+    def test_latency_pingpong(self):
+        output = run_example("latency_pingpong.py", timeout=360)
+        assert "linear fit" in output
+        assert "99" in output
+
+    @pytest.mark.slow
+    def test_fairness_sweep(self):
+        output = run_example("fairness_sweep.py", timeout=1800)
+        assert "tornado fraction" in output

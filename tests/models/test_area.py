@@ -1,0 +1,129 @@
+"""Tests for the silicon-area model (Tables 1 and 2)."""
+
+import pytest
+
+from repro.models.area import (
+    AreaConfig,
+    AreaModel,
+    CATEGORIES,
+    COMPONENTS,
+    queue_area_saving,
+)
+
+#: Table 2 of the paper: category -> (router, endpoint, channel, total) %.
+PAPER_TABLE2 = {
+    "Queues": (21.2, 2.7, 22.7, 46.6),
+    "Reduction": (0.0, 0.0, 9.6, 9.6),
+    "Link": (0.0, 0.0, 8.9, 8.9),
+    "Configuration": (3.3, 2.5, 2.8, 8.6),
+    "Debug": (3.0, 2.5, 2.3, 7.8),
+    "Miscellaneous": (4.3, 1.0, 2.0, 7.3),
+    "Multicast": (0.0, 3.2, 2.5, 5.7),
+    "Arbiters": (5.2, 0.1, 0.2, 5.4),
+}
+
+#: Table 1: component -> % of total die area.
+PAPER_TABLE1 = {"Router": 3.4, "Endpoint": 1.1, "Channel": 4.7}
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaModel()
+
+
+class TestTable2:
+    def test_every_entry_within_one_point(self, model):
+        table = model.table2()
+        for category, row in PAPER_TABLE2.items():
+            measured = table[category]
+            for component, expected in zip(COMPONENTS, row[:3]):
+                assert measured[component] == pytest.approx(expected, abs=1.0), (
+                    category, component
+                )
+            assert measured["Total"] == pytest.approx(row[3], abs=1.0), category
+
+    def test_totals_sum_to_hundred(self, model):
+        table = model.table2()
+        total = sum(table[category]["Total"] for category in CATEGORIES)
+        assert total == pytest.approx(100.0)
+
+    def test_queues_dominate(self, model):
+        table = model.table2()
+        queue_total = table["Queues"]["Total"]
+        for category in CATEGORIES:
+            if category != "Queues":
+                assert table[category]["Total"] < queue_total
+
+    def test_arbiters_smallest(self, model):
+        table = model.table2()
+        arbiter_total = table["Arbiters"]["Total"]
+        for category in CATEGORIES:
+            if category != "Arbiters":
+                assert table[category]["Total"] >= arbiter_total - 0.3
+
+
+class TestTable1:
+    def test_matches_paper(self, model):
+        table = model.table1()
+        for component, expected in PAPER_TABLE1.items():
+            assert table[component] == pytest.approx(expected, abs=0.3)
+
+    def test_network_under_ten_percent_of_die(self, model):
+        assert sum(model.table1().values()) < 10.0
+
+    def test_channel_adapters_largest(self, model):
+        table = model.table1()
+        assert table["Channel"] > table["Router"] > table["Endpoint"]
+
+
+class TestArbiterBreakdown:
+    def test_accumulator_share_three_quarters(self, model):
+        assert model.arbiter_accumulator_fraction() == pytest.approx(0.75, abs=0.05)
+
+
+class TestVcAblation:
+    def test_baseline_inflates_queue_area_by_half(self):
+        # 6 VCs instead of 4 on T-group queues: +50% queue area in the
+        # components that implement them.
+        anton = AreaModel(AreaConfig(vc_scheme="anton"))
+        baseline = AreaModel(AreaConfig(vc_scheme="baseline"))
+        ratio = baseline.queue_units("Channel") / anton.queue_units("Channel")
+        assert ratio == pytest.approx(1.5)
+
+    def test_promotion_scheme_saves_one_third_of_vcs(self):
+        assert queue_area_saving(3) == pytest.approx(1 / 3)
+
+    def test_saving_generalizes(self):
+        for dims in (2, 3, 4, 6):
+            assert queue_area_saving(dims) == pytest.approx(
+                (dims - 1) / (2 * dims)
+            )
+
+    def test_baseline_network_area_larger(self):
+        anton = AreaModel(AreaConfig(vc_scheme="anton"))
+        baseline = AreaModel(AreaConfig(vc_scheme="baseline"))
+        assert baseline.network_total_units() > anton.network_total_units()
+
+    def test_vc_scheme_validation(self):
+        with pytest.raises(ValueError):
+            AreaConfig(vc_scheme="wormhole").vcs_per_class("t")
+
+
+class TestStructuralSensitivity:
+    def test_deeper_torus_queues_cost_more(self):
+        shallow = AreaModel(AreaConfig(torus_queue_flits=16))
+        deep = AreaModel(AreaConfig(torus_queue_flits=64))
+        assert deep.queue_units("Channel") > shallow.queue_units("Channel")
+
+    def test_multicast_area_scales_with_entries(self):
+        small = AreaModel(AreaConfig(multicast_entries_endpoint=64))
+        large = AreaModel(AreaConfig(multicast_entries_endpoint=256))
+        assert large.multicast_units("Endpoint") > small.multicast_units("Endpoint")
+
+    def test_unknown_component_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.queue_units("Switch")
+        with pytest.raises(ValueError):
+            model.arbiter_units("Switch")
+        with pytest.raises(ValueError):
+            model.multicast_units("Switch")

@@ -1,0 +1,170 @@
+"""Tests for the router energy model (Section 4.5, Figure 13)."""
+
+import pytest
+
+from repro.core import params
+from repro.models.energy import (
+    EnergyModel,
+    FLIT_BITS,
+    energy_curve,
+    fit_model,
+    make_stream,
+    max_activation_rate,
+    measure_per_hop_energy,
+    payload_flit,
+    stream_statistics,
+    synthesize_measurements,
+)
+
+
+class TestModelFormula:
+    def test_paper_coefficients_default(self):
+        model = EnergyModel()
+        assert model.coefficients() == (42.7, 0.837, 34.4, 0.250)
+
+    def test_zero_payload_minimum(self):
+        # All-zeros payload at full rate: only the fixed term remains
+        # (a = 0 when r = 1).
+        model = EnergyModel()
+        assert model.per_flit_energy(1.0, 0.0, 0.0, 0.0) == pytest.approx(42.7)
+
+    def test_activation_term_dominates_at_low_rate(self):
+        model = EnergyModel()
+        low = model.per_flit_energy(0.05, 0.05, 0.0, 0.0)
+        high = model.per_flit_energy(1.0, 0.0, 0.0, 0.0)
+        assert low == pytest.approx(42.7 + 34.4)
+        assert low > high
+
+    def test_rate_validation(self):
+        model = EnergyModel()
+        with pytest.raises(ValueError):
+            model.per_flit_energy(0.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            model.per_flit_energy(0.5, 0.9, 0.0, 0.0)
+
+
+class TestStreams:
+    def test_paper_example_sequences(self):
+        # ...0111 0111...: r = 0.75, a = 0.25 (the paper's third example).
+        stream = make_stream("ones", 0.75, 4000, seed=0)
+        stats = stream_statistics(stream)
+        assert stats.injection_rate == pytest.approx(0.75, abs=0.01)
+        assert stats.activation_rate == pytest.approx(0.25, abs=0.01)
+
+    def test_alternating_sequence(self):
+        # ...010101...: r = 0.5, a = 0.5.
+        stream = make_stream("ones", 0.5, 4000)
+        stats = stream_statistics(stream)
+        assert stats.injection_rate == pytest.approx(0.5, abs=0.01)
+        assert stats.activation_rate == pytest.approx(0.5, abs=0.01)
+
+    def test_payload_statistics(self):
+        zeros = stream_statistics(make_stream("zeros", 0.5, 4000))
+        ones = stream_statistics(make_stream("ones", 0.5, 4000))
+        rand = stream_statistics(make_stream("random", 0.5, 8000, seed=3))
+        assert zeros.mean_hamming == 0.0
+        assert zeros.mean_set_bits == 0.0
+        assert ones.mean_hamming == 0.0
+        assert ones.mean_set_bits == FLIT_BITS
+        assert rand.mean_hamming == pytest.approx(FLIT_BITS / 2, rel=0.05)
+        assert rand.mean_set_bits == pytest.approx(FLIT_BITS / 2, rel=0.05)
+
+    def test_activation_bounded(self):
+        for rate in (0.1, 0.3, 0.5, 0.7, 0.95):
+            stats = stream_statistics(make_stream("random", rate, 4000))
+            assert stats.activation_rate <= max_activation_rate(
+                stats.injection_rate
+            ) + 0.01
+
+    def test_full_rate_single_burst(self):
+        stream = make_stream("ones", 1.0, 100)
+        stats = stream_statistics(stream)
+        assert stats.injection_rate == 1.0
+        assert stats.activation_rate == pytest.approx(1 / 100)
+
+    def test_explicit_activation_rate(self):
+        stream = make_stream("ones", 0.5, 8000, activation_rate=0.125)
+        stats = stream_statistics(stream)
+        assert stats.activation_rate == pytest.approx(0.125, abs=0.01)
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            make_stream("ones", 0.5, 100, activation_rate=0.9)
+
+    def test_unknown_pattern(self):
+        import random
+
+        with pytest.raises(ValueError):
+            payload_flit("gray", random.Random(0))
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            stream_statistics([None, None])
+
+
+class TestFigure13Curves:
+    def test_ordering_random_above_ones_above_zeros(self):
+        model = EnergyModel()
+        rates = (0.1, 0.3, 0.5, 0.7, 0.9)
+        zeros = dict(energy_curve(model, "zeros", rates))
+        ones = dict(energy_curve(model, "ones", rates))
+        rand = dict(energy_curve(model, "random", rates, seed=2))
+        for rate in rates:
+            assert rand[rate] > ones[rate] > zeros[rate]
+
+    def test_energy_falls_beyond_half_rate(self):
+        # a/r = 1 for r <= 0.5, then falls: the Figure 13 knee.
+        model = EnergyModel()
+        curve = dict(energy_curve(model, "ones", (0.3, 0.5, 0.7, 0.9)))
+        assert curve[0.3] == pytest.approx(curve[0.5], rel=0.02)
+        assert curve[0.5] > curve[0.7] > curve[0.9]
+
+    def test_two_route_methodology_consistent(self):
+        # The 35-hop minus 3-hop subtraction recovers the per-hop energy
+        # regardless of the hop counts chosen.
+        model = EnergyModel()
+        a = measure_per_hop_energy(model, "random", 0.5, long_hops=35, short_hops=3)
+        b = measure_per_hop_energy(model, "random", 0.5, long_hops=20, short_hops=5)
+        assert a == pytest.approx(b, rel=1e-6)
+
+
+class TestFitting:
+    def test_recovers_paper_coefficients(self):
+        true = EnergyModel()
+        measurements = synthesize_measurements(true, noise_pj=0.3, seed=11)
+        fitted = fit_model(measurements)
+        assert fitted.fixed_pj == pytest.approx(true.fixed_pj, abs=1.5)
+        assert fitted.per_bitflip_pj == pytest.approx(true.per_bitflip_pj, abs=0.03)
+        assert fitted.activation_fixed_pj == pytest.approx(
+            true.activation_fixed_pj, abs=2.0
+        )
+        assert fitted.activation_per_setbit_pj == pytest.approx(
+            true.activation_per_setbit_pj, abs=0.03
+        )
+
+    def test_noiseless_fit_exact(self):
+        true = EnergyModel()
+        measurements = synthesize_measurements(true, noise_pj=0.0)
+        fitted = fit_model(measurements)
+        assert fitted.fixed_pj == pytest.approx(true.fixed_pj, abs=1e-6)
+
+    def test_needs_four_points(self):
+        measurements = synthesize_measurements(noise_pj=0.0)[:3]
+        with pytest.raises(ValueError):
+            fit_model(measurements)
+
+    def test_degenerate_set_rejected(self):
+        # Only zeros payloads: h and n never vary, so c1 and c3 are
+        # unidentifiable.
+        measurements = synthesize_measurements(
+            patterns=("zeros",), noise_pj=0.0
+        )
+        with pytest.raises(ValueError):
+            fit_model(measurements)
+
+
+class TestConstantsSync:
+    def test_model_matches_params(self):
+        model = EnergyModel()
+        assert model.fixed_pj == params.ENERGY_FIXED_PJ
+        assert model.per_bitflip_pj == params.ENERGY_PER_BITFLIP_PJ

@@ -1,0 +1,159 @@
+"""Property-based tests for the arbiter hardware models."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arbiters.accumulator import AccumulatorBank
+from repro.arbiters.base import SimpleRequest
+from repro.arbiters.inverse_weighted import InverseWeightedArbiter
+from repro.arbiters.priority_arb import (
+    behavioral_grant,
+    grant_index,
+    priority_arb_bits,
+    thermometer,
+)
+
+
+@st.composite
+def arb_case(draw):
+    k = draw(st.integers(min_value=1, max_value=8))
+    levels = draw(st.integers(min_value=1, max_value=4))
+    req = draw(st.integers(min_value=0, max_value=(1 << k) - 1))
+    pri = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=levels - 1),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    pointer = draw(st.integers(min_value=0, max_value=k))
+    return k, levels, req, pri, thermometer(pointer, k)
+
+
+class TestPriorityArbiter:
+    @given(arb_case())
+    def test_bit_model_matches_behavioral(self, case):
+        k, levels, req, pri, rr = case
+        bits = priority_arb_bits(req, pri, rr, k, levels)
+        assert grant_index(bits) == behavioral_grant(req, pri, rr, k, levels)
+
+    @given(arb_case())
+    def test_grant_subset_of_requests(self, case):
+        k, levels, req, pri, rr = case
+        grant = priority_arb_bits(req, pri, rr, k, levels)
+        assert grant & ~req == 0
+
+    @given(arb_case())
+    def test_grant_one_hot_when_requesting(self, case):
+        k, levels, req, pri, rr = case
+        grant = priority_arb_bits(req, pri, rr, k, levels)
+        if req:
+            assert grant != 0
+            assert grant & (grant - 1) == 0
+        else:
+            assert grant == 0
+
+
+@st.composite
+def bank_trace(draw):
+    k = draw(st.integers(min_value=1, max_value=6))
+    patterns = draw(st.integers(min_value=1, max_value=3))
+    bits = draw(st.integers(min_value=2, max_value=7))
+    weights = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=(1 << bits) - 1),
+                min_size=patterns,
+                max_size=patterns,
+            ),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=k - 1),
+                st.integers(min_value=0, max_value=patterns - 1),
+            ),
+            max_size=200,
+        )
+    )
+    return weights, bits, steps
+
+
+class TestAccumulatorInvariants:
+    @given(bank_trace())
+    def test_values_always_within_window(self, trace):
+        weights, bits, steps = trace
+        bank = AccumulatorBank(weights, bits)
+        for granted, pattern in steps:
+            bank.update(granted, pattern)
+            bank.check_invariant()
+
+    @given(bank_trace())
+    def test_priority_bit_is_msb(self, trace):
+        weights, bits, steps = trace
+        bank = AccumulatorBank(weights, bits)
+        for granted, pattern in steps:
+            bank.update(granted, pattern)
+            for i, value in enumerate(bank.accumulators):
+                assert bank.priority(i) == (value < (1 << bits))
+
+
+@st.composite
+def iw_trace(draw):
+    k = draw(st.integers(min_value=1, max_value=6))
+    patterns = draw(st.integers(min_value=1, max_value=2))
+    weights = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=31),
+                min_size=patterns,
+                max_size=patterns,
+            ),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << k) - 1),
+                st.integers(min_value=0, max_value=patterns - 1),
+            ),
+            max_size=150,
+        )
+    )
+    return k, weights, steps
+
+
+class TestInverseWeightedEquivalence:
+    @given(iw_trace())
+    def test_fast_equals_bit_exact(self, trace):
+        k, weights, steps = trace
+        fast = InverseWeightedArbiter(weights, weight_bits=5, bit_exact=False)
+        slow = InverseWeightedArbiter(weights, weight_bits=5, bit_exact=True)
+        for req_mask, pattern in steps:
+            requests = [
+                SimpleRequest(pattern=pattern) if (req_mask >> i) & 1 else None
+                for i in range(k)
+            ]
+            assert fast.arbitrate(list(requests)) == slow.arbitrate(list(requests))
+            assert fast.accumulators == slow.accumulators
+
+    @given(iw_trace())
+    def test_grants_only_requesters(self, trace):
+        k, weights, steps = trace
+        arbiter = InverseWeightedArbiter(weights, weight_bits=5)
+        for req_mask, pattern in steps:
+            requests = [
+                SimpleRequest(pattern=pattern) if (req_mask >> i) & 1 else None
+                for i in range(k)
+            ]
+            granted = arbiter.arbitrate(requests)
+            if req_mask:
+                assert granted is not None
+                assert (req_mask >> granted) & 1
+            else:
+                assert granted is None

@@ -1,0 +1,108 @@
+"""Property-based tests for torus coordinate arithmetic."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.geometry import (
+    crosses_dateline,
+    dateline_hop_index,
+    minimal_deltas,
+    ring_path,
+    torus_delta,
+)
+
+radix = st.integers(min_value=1, max_value=16)
+
+
+@st.composite
+def ring_pair(draw):
+    k = draw(radix)
+    src = draw(st.integers(min_value=0, max_value=k - 1))
+    dst = draw(st.integers(min_value=0, max_value=k - 1))
+    return src, dst, k
+
+
+class TestTorusDelta:
+    @given(ring_pair())
+    def test_reaches_destination(self, pair):
+        src, dst, k = pair
+        delta = torus_delta(src, dst, k)
+        assert (src + delta) % k == dst
+
+    @given(ring_pair())
+    def test_is_minimal(self, pair):
+        src, dst, k = pair
+        delta = torus_delta(src, dst, k)
+        distance = min((dst - src) % k, (src - dst) % k)
+        assert abs(delta) == distance
+
+    @given(ring_pair())
+    def test_in_minimal_set(self, pair):
+        src, dst, k = pair
+        assert torus_delta(src, dst, k) in minimal_deltas(src, dst, k)
+
+
+class TestMinimalDeltas:
+    @given(ring_pair())
+    def test_all_reach_and_are_minimal(self, pair):
+        src, dst, k = pair
+        options = minimal_deltas(src, dst, k)
+        distance = min((dst - src) % k, (src - dst) % k)
+        for delta in options:
+            assert (src + delta) % k == dst
+            assert abs(delta) == distance
+
+    @given(ring_pair())
+    def test_tie_only_at_half_of_even(self, pair):
+        src, dst, k = pair
+        options = minimal_deltas(src, dst, k)
+        if len(options) == 2:
+            assert k % 2 == 0
+            assert (dst - src) % k == k // 2
+
+
+class TestRingPath:
+    @given(ring_pair())
+    def test_path_length_and_endpoint(self, pair):
+        src, dst, k = pair
+        for delta in minimal_deltas(src, dst, k):
+            path = list(ring_path(src, delta, k))
+            assert len(path) == abs(delta)
+            if path:
+                assert path[-1] == dst
+
+
+class TestDateline:
+    @given(ring_pair())
+    def test_crossing_iff_hop_index_found(self, pair):
+        src, dst, k = pair
+        for delta in minimal_deltas(src, dst, k):
+            crossed = crosses_dateline(src, delta, k)
+            index = dateline_hop_index(src, delta, k)
+            assert crossed == (index >= 0)
+            if crossed:
+                assert 0 <= index < abs(delta)
+
+    @given(ring_pair())
+    def test_minimal_route_crosses_at_most_once(self, pair):
+        src, dst, k = pair
+        for delta in minimal_deltas(src, dst, k):
+            crossings = 0
+            cur = src
+            step = 1 if delta >= 0 else -1
+            for _ in range(abs(delta)):
+                nxt = (cur + step) % k
+                if (cur == k - 1 and nxt == 0) or (cur == 0 and nxt == k - 1):
+                    crossings += 1
+                cur = nxt
+            assert crossings <= 1
+
+    @given(ring_pair())
+    def test_opposite_directions_cross_consistently(self, pair):
+        src, dst, k = pair
+        # A + crossing from src to dst implies a - crossing from dst to
+        # src (the dateline sits between the same two nodes both ways).
+        options = minimal_deltas(src, dst, k)
+        for delta in options:
+            if crosses_dateline(src, delta, k):
+                assert crosses_dateline(dst, -delta, k)

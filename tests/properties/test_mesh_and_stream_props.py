@@ -1,0 +1,66 @@
+"""Property-based tests for mesh routing and energy flit streams."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.geometry import MESH_DIRECTIONS
+from repro.core.onchip import mesh_route, mesh_route_coords
+from repro.models.energy import make_stream, max_activation_rate, stream_statistics
+
+mesh_coord = st.tuples(
+    st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3)
+)
+orders = st.permutations(MESH_DIRECTIONS)
+
+
+class TestMeshRouting:
+    @given(mesh_coord, mesh_coord, orders)
+    def test_minimal(self, src, dst, order):
+        route = mesh_route(src, dst, tuple(order))
+        assert len(route) == abs(dst[0] - src[0]) + abs(dst[1] - src[1])
+
+    @given(mesh_coord, mesh_coord, orders)
+    def test_reaches_destination(self, src, dst, order):
+        coords = mesh_route_coords(src, dst, tuple(order))
+        end = coords[-1] if coords else src
+        assert end == dst
+
+    @given(mesh_coord, mesh_coord, orders)
+    def test_direction_sequence_monotone(self, src, dst, order):
+        order = tuple(order)
+        route = mesh_route(src, dst, order)
+        indices = [order.index(step) for step in route]
+        assert indices == sorted(indices)
+
+    @given(mesh_coord, mesh_coord, orders)
+    def test_stays_on_mesh(self, src, dst, order):
+        for u, v in mesh_route_coords(src, dst, tuple(order)):
+            assert 0 <= u <= 3 and 0 <= v <= 3
+
+
+class TestEnergyStreams:
+    @given(
+        st.sampled_from(["zeros", "ones", "random"]),
+        st.floats(min_value=0.02, max_value=1.0),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_measured_rate_close_to_requested(self, pattern, rate, seed):
+        stream = make_stream(pattern, rate, 4000, seed=seed)
+        stats = stream_statistics(stream)
+        assert abs(stats.injection_rate - rate) < 0.02
+
+    @given(
+        st.floats(min_value=0.02, max_value=0.99),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_activation_maximal_by_default(self, rate, seed):
+        stream = make_stream("ones", rate, 4000, seed=seed)
+        stats = stream_statistics(stream)
+        expected = max_activation_rate(stats.injection_rate)
+        assert stats.activation_rate <= expected + 0.01
+        assert stats.activation_rate >= expected - 0.05
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_stream_length_exact(self, rate):
+        stream = make_stream("zeros", rate, 1234)
+        assert len(stream) == 1234

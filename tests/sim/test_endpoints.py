@@ -1,0 +1,110 @@
+"""Tests for counted-write synchronization and the ping-pong driver."""
+
+import pytest
+
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.sim.endpoints import (
+    CountedWriteCounter,
+    PingPongDriver,
+    measure_one_way_latency,
+)
+
+
+class TestCountedWriteCounter:
+    def test_fires_at_zero(self):
+        fired = []
+        counter = CountedWriteCounter(3, fired.append)
+        counter.on_write(10)
+        counter.on_write(11)
+        assert not fired
+        counter.on_write(12)
+        assert fired == [12]
+        assert counter.fired
+
+    def test_over_satisfaction_rejected(self):
+        counter = CountedWriteCounter(1, lambda cycle: None)
+        counter.on_write(0)
+        with pytest.raises(RuntimeError):
+            counter.on_write(1)
+
+    def test_needs_positive_count(self):
+        with pytest.raises(ValueError):
+            CountedWriteCounter(0, lambda cycle: None)
+
+
+class TestPingPong:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        machine = Machine(MachineConfig(shape=(4, 4, 4), endpoints_per_chip=2))
+        return machine, RouteComputer(machine)
+
+    def test_completes_all_rounds(self, setup):
+        machine, routes = setup
+        driver = PingPongDriver(
+            machine, routes,
+            machine.ep_id[((0, 0, 0), 0)],
+            machine.ep_id[((0, 1, 0), 0)],
+            rounds=5,
+        )
+        result = driver.run()
+        assert result.round_trips == 5
+        assert len(result.round_trip_cycles) == 5
+        assert result.total_cycles == sum(result.round_trip_cycles)
+
+    def test_one_way_is_half_round_trip(self, setup):
+        machine, routes = setup
+        driver = PingPongDriver(
+            machine, routes,
+            machine.ep_id[((0, 0, 0), 0)],
+            machine.ep_id[((0, 1, 0), 0)],
+            rounds=4,
+        )
+        result = driver.run()
+        assert result.one_way_cycles == pytest.approx(
+            result.total_cycles / 8
+        )
+
+    def test_latency_grows_with_distance(self, setup):
+        machine, routes = setup
+        a = machine.ep_id[((0, 0, 0), 0)]
+        near = measure_one_way_latency(
+            machine, routes, a, machine.ep_id[((0, 1, 0), 0)], rounds=4
+        )
+        far = measure_one_way_latency(
+            machine, routes, a, machine.ep_id[((2, 2, 2), 0)], rounds=4
+        )
+        assert far > near
+
+    def test_software_overhead_included(self, setup):
+        machine, routes = setup
+        a = machine.ep_id[((0, 0, 0), 0)]
+        b = machine.ep_id[((0, 1, 0), 0)]
+        fast = measure_one_way_latency(
+            machine, routes, a, b, rounds=4, software_overhead_cycles=0
+        )
+        slow = measure_one_way_latency(
+            machine, routes, a, b, rounds=4, software_overhead_cycles=40
+        )
+        # The pong-side handler overhead lands inside each round trip:
+        # one dispatch per one-way, so +40 cycles overhead adds ~20 per
+        # one-way latency.
+        assert slow == pytest.approx(fast + 20, abs=2)
+
+    def test_rounds_validated(self, setup):
+        machine, routes = setup
+        with pytest.raises(ValueError):
+            PingPongDriver(
+                machine, routes,
+                machine.ep_id[((0, 0, 0), 0)],
+                machine.ep_id[((0, 1, 0), 0)],
+                rounds=0,
+            )
+
+    def test_deterministic(self, setup):
+        machine, routes = setup
+        a = machine.ep_id[((0, 0, 0), 0)]
+        b = machine.ep_id[((1, 1, 0), 1)]
+        first = measure_one_way_latency(machine, routes, a, b, rounds=3)
+        second = measure_one_way_latency(machine, routes, a, b, rounds=3)
+        assert first == second

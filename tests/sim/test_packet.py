@@ -1,0 +1,49 @@
+"""Tests for simulated packets."""
+
+import pytest
+
+from repro.core.routing import RouteChoice
+from repro.sim.packet import Packet
+
+
+@pytest.fixture()
+def route(tiny_machine, tiny_routes):
+    src = tiny_machine.ep_id[((0, 0, 0), 0)]
+    dst = tiny_machine.ep_id[((1, 0, 0), 0)]
+    return tiny_routes.compute(src, dst, RouteChoice())
+
+
+class TestPacket:
+    def test_defaults(self, route):
+        packet = Packet(1, route)
+        assert packet.size_flits == 1
+        assert packet.pattern == 0
+        assert packet.hop_index == 0
+        assert not packet.delivered
+
+    def test_src_dst_from_route(self, route):
+        packet = Packet(1, route)
+        assert packet.src == route.src
+        assert packet.dst == route.dst
+
+    def test_zero_size_rejected(self, route):
+        with pytest.raises(ValueError):
+            Packet(1, route, size_flits=0)
+
+    def test_latency_requires_delivery(self, route):
+        packet = Packet(1, route)
+        with pytest.raises(ValueError):
+            _ = packet.latency
+
+    def test_latencies(self, route):
+        packet = Packet(1, route, release_cycle=10)
+        packet.inject_cycle = 15
+        packet.deliver_cycle = 40
+        assert packet.latency == 30
+        assert packet.network_latency == 25
+
+    def test_satisfies_request_protocol(self, route):
+        from repro.arbiters.base import Request
+
+        packet = Packet(1, route, pattern=1)
+        assert isinstance(packet, Request)

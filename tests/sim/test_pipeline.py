@@ -1,0 +1,77 @@
+"""Tests for the router-pipeline latency option."""
+
+import pytest
+
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteChoice, RouteComputer
+from repro.sim.simulator import run_single_packet
+
+
+def latency_with_pipeline(pipeline_cycles, src_key, dst_key):
+    machine = Machine(
+        MachineConfig(
+            shape=(2, 2, 2),
+            endpoints_per_chip=2,
+            router_pipeline_cycles=pipeline_cycles,
+        )
+    )
+    routes = RouteComputer(machine)
+    src = machine.ep_id[src_key]
+    dst = machine.ep_id[dst_key]
+    route = routes.compute(src, dst, RouteChoice())
+    latency = run_single_packet(machine, routes, src, dst)
+    return latency, route
+
+
+class TestPipelineLatency:
+    def test_default_zero_unchanged(self):
+        base, _route = latency_with_pipeline(0, ((0, 0, 0), 0), ((1, 0, 0), 0))
+        again, _route = latency_with_pipeline(0, ((0, 0, 0), 0), ((1, 0, 0), 0))
+        assert base == again
+
+    def test_pipeline_adds_per_forwarding_component(self):
+        base, route = latency_with_pipeline(0, ((0, 0, 0), 0), ((1, 0, 0), 0))
+        deep, _route = latency_with_pipeline(4, ((0, 0, 0), 0), ((1, 0, 0), 0))
+        # The packet is buffered (and pipelined) after every hop except
+        # the final one, whose arrival is consumed at the endpoint.
+        forwarding_hops = len(route.hops) - 1
+        assert deep == base + 4 * forwarding_hops
+
+    def test_longer_routes_pay_more(self):
+        near_base, _r = latency_with_pipeline(0, ((0, 0, 0), 0), ((1, 0, 0), 0))
+        near_deep, _r = latency_with_pipeline(3, ((0, 0, 0), 0), ((1, 0, 0), 0))
+        far_base, _r = latency_with_pipeline(0, ((0, 0, 0), 0), ((1, 1, 1), 0))
+        far_deep, _r = latency_with_pipeline(3, ((0, 0, 0), 0), ((1, 1, 1), 0))
+        assert far_deep - far_base > near_deep - near_base
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(router_pipeline_cycles=-1)
+
+    def test_throughput_unaffected_in_steady_state(self):
+        """The pipeline adds latency, not bandwidth loss: a stream of
+        packets over one path completes in near-identical time."""
+        from repro.sim.engine import Engine
+        from repro.sim.packet import Packet
+
+        def completion(pipeline):
+            machine = Machine(
+                MachineConfig(
+                    shape=(2, 2, 2),
+                    endpoints_per_chip=2,
+                    router_pipeline_cycles=pipeline,
+                )
+            )
+            routes = RouteComputer(machine)
+            src = machine.ep_id[((0, 0, 0), 0)]
+            dst = machine.ep_id[((0, 0, 0), 1)]
+            route = routes.compute(src, dst, RouteChoice())
+            engine = Engine(machine)
+            for pid in range(60):
+                engine.enqueue(Packet(pid, route))
+            return engine.run().last_delivery_cycle
+
+        base = completion(0)
+        deep = completion(4)
+        # Fixed offset (pipeline fill), not a per-packet slowdown.
+        assert deep - base < 20

@@ -1,0 +1,103 @@
+"""Tests for the high-level simulation facade."""
+
+import pytest
+
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.sim.simulator import (
+    arbiter_builder_for,
+    make_weight_tables,
+    run_batch,
+    run_single_packet,
+)
+from repro.traffic.batch import BatchSpec
+from repro.traffic.patterns import Tornado, UniformRandom
+
+
+@pytest.fixture(scope="module")
+def setup():
+    machine = Machine(MachineConfig(shape=(2, 2, 2), endpoints_per_chip=2))
+    return machine, RouteComputer(machine)
+
+
+class TestRunBatch:
+    def test_all_policies_deliver_everything(self, setup):
+        machine, routes = setup
+        pattern = UniformRandom((2, 2, 2))
+        spec = BatchSpec(pattern, packets_per_source=8, cores_per_chip=2, seed=1)
+        for arbitration in ("rr", "age"):
+            stats = run_batch(machine, routes, spec, arbitration=arbitration)
+            assert stats.delivered == stats.injected == 16 * 8
+
+    def test_iw_with_weight_patterns(self, setup):
+        machine, routes = setup
+        pattern = UniformRandom((2, 2, 2))
+        spec = BatchSpec(pattern, packets_per_source=8, cores_per_chip=2, seed=1)
+        stats = run_batch(
+            machine, routes, spec, arbitration="iw", weight_patterns=[pattern]
+        )
+        assert stats.delivered == 16 * 8
+
+    def test_iw_requires_weights(self, setup):
+        machine, routes = setup
+        pattern = UniformRandom((2, 2, 2))
+        spec = BatchSpec(pattern, packets_per_source=4, cores_per_chip=2)
+        with pytest.raises(ValueError):
+            run_batch(machine, routes, spec, arbitration="iw")
+
+    def test_unknown_policy(self, setup):
+        machine, routes = setup
+        pattern = UniformRandom((2, 2, 2))
+        spec = BatchSpec(pattern, packets_per_source=4, cores_per_chip=2)
+        with pytest.raises(ValueError):
+            run_batch(machine, routes, spec, arbitration="lottery")
+
+    def test_deterministic_given_seed(self, setup):
+        machine, routes = setup
+        pattern = UniformRandom((2, 2, 2))
+        spec = BatchSpec(pattern, packets_per_source=8, cores_per_chip=2, seed=9)
+        first = run_batch(machine, routes, spec, arbitration="rr")
+        second = run_batch(machine, routes, spec, arbitration="rr")
+        assert first.last_delivery_cycle == second.last_delivery_cycle
+
+
+class TestWeightTables:
+    def test_tables_cover_loaded_sites(self, setup):
+        machine, routes = setup
+        pattern = Tornado((2, 2, 2))
+        tables = make_weight_tables(machine, routes, [pattern], cores_per_chip=2)
+        assert tables
+        for table in tables.values():
+            assert table.num_patterns == 1
+
+    def test_two_pattern_tables(self, setup):
+        machine, routes = setup
+        patterns = [UniformRandom((2, 2, 2)), Tornado((2, 2, 2))]
+        tables = make_weight_tables(machine, routes, patterns, cores_per_chip=2)
+        for table in tables.values():
+            assert table.num_patterns == 2
+
+    def test_builder_falls_back_for_unknown_site(self, setup):
+        machine, routes = setup
+        pattern = Tornado((2, 2, 2))
+        tables = make_weight_tables(machine, routes, [pattern], cores_per_chip=2)
+        builder = arbiter_builder_for("iw", tables, num_patterns=1)
+        # A site with no modeled load still gets a working arbiter.
+        arbiter = builder(4, site=-1)
+        assert arbiter.num_inputs == 4
+
+
+class TestRunSinglePacket:
+    def test_positive_latency(self, setup):
+        machine, routes = setup
+        src = machine.ep_id[((0, 0, 0), 0)]
+        dst = machine.ep_id[((1, 1, 1), 0)]
+        latency = run_single_packet(machine, routes, src, dst)
+        assert latency > 0
+
+    def test_monotone_in_distance(self, setup):
+        machine, routes = setup
+        src = machine.ep_id[((0, 0, 0), 0)]
+        near = run_single_packet(machine, routes, src, machine.ep_id[((1, 0, 0), 0)])
+        far = run_single_packet(machine, routes, src, machine.ep_id[((1, 1, 1), 0)])
+        assert far > near

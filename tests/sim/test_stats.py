@@ -1,0 +1,79 @@
+"""Tests for simulation statistics."""
+
+import pytest
+
+from repro.core.routing import RouteChoice
+from repro.sim.packet import Packet
+from repro.sim.stats import SimStats
+
+
+@pytest.fixture()
+def delivered_packet(tiny_machine, tiny_routes):
+    src = tiny_machine.ep_id[((0, 0, 0), 0)]
+    dst = tiny_machine.ep_id[((1, 0, 0), 0)]
+    route = tiny_routes.compute(src, dst, RouteChoice())
+    packet = Packet(0, route)
+    packet.inject_cycle = 5
+    packet.deliver_cycle = 30
+    return packet
+
+
+class TestRecording:
+    def test_delivery_updates_counters(self, delivered_packet):
+        stats = SimStats()
+        stats.record_injection(delivered_packet)
+        stats.record_delivery(delivered_packet)
+        assert stats.injected == 1
+        assert stats.delivered == 1
+        assert stats.last_delivery_cycle == 30
+        assert stats.delivered_per_source[delivered_packet.src] == 1
+        assert stats.source_finish_cycle[delivered_packet.src] == 30
+
+    def test_latency_accumulation(self, delivered_packet):
+        stats = SimStats()
+        stats.record_delivery(delivered_packet)
+        assert stats.mean_latency == 30  # release 0 -> deliver 30
+        assert stats.mean_network_latency == 25
+
+    def test_keep_latencies(self, delivered_packet):
+        stats = SimStats()
+        stats.record_delivery(delivered_packet, keep_latency=True)
+        assert stats.packet_latencies == [25]
+
+    def test_channel_use(self):
+        stats = SimStats()
+        stats.record_channel_use(7, 2)
+        stats.record_channel_use(7, 1)
+        assert stats.channel_flits[7] == 3
+
+
+class TestMetrics:
+    def test_mean_latency_requires_deliveries(self):
+        with pytest.raises(ValueError):
+            SimStats().mean_latency
+
+    def test_throughput(self, delivered_packet):
+        stats = SimStats()
+        stats.record_delivery(delivered_packet)
+        assert stats.throughput_packets_per_cycle() == pytest.approx(1 / 30)
+
+    def test_throughput_no_deliveries(self):
+        assert SimStats().throughput_packets_per_cycle() == 0.0
+
+    def test_finish_spread(self):
+        stats = SimStats()
+        stats.source_finish_cycle = {1: 100, 2: 50}
+        assert stats.finish_spread() == pytest.approx(0.5)
+
+    def test_finish_spread_empty(self):
+        assert SimStats().finish_spread() is None
+
+    def test_service_counts_sorted(self):
+        stats = SimStats()
+        stats.delivered_per_source.update({1: 5, 2: 2, 3: 9})
+        assert stats.service_counts() == [2, 5, 9]
+
+    def test_min_max_service_ratio(self):
+        stats = SimStats()
+        stats.delivered_per_source.update({1: 5, 2: 10})
+        assert stats.min_max_service_ratio() == pytest.approx(0.5)

@@ -1,0 +1,97 @@
+"""Tests for the MD multicast workload."""
+
+import pytest
+
+from repro.traffic.md import (
+    MdMulticastWorkload,
+    import_region,
+    random_particle_destinations,
+)
+
+
+SHAPE = (8, 8, 8)
+
+
+class TestImportRegion:
+    def test_full_shell_size(self):
+        region = import_region((4, 4, 4), SHAPE, radius=1, method="full-shell")
+        assert len(region) == 26
+
+    def test_half_shell_size(self):
+        region = import_region((4, 4, 4), SHAPE, radius=1, method="half-shell")
+        assert len(region) == 13
+
+    def test_half_shell_is_positive_half(self):
+        region = import_region((4, 4, 4), SHAPE, radius=1, method="half-shell")
+        for node in region:
+            offset = tuple(node[d] - 4 for d in range(3))
+            assert offset > (0, 0, 0) or offset >= (0, 0, 0)
+
+    def test_radius_two(self):
+        region = import_region((4, 4, 4), SHAPE, radius=2)
+        assert len(region) == 5 ** 3 - 1
+
+    def test_wraps_torus(self):
+        region = import_region((0, 0, 0), SHAPE, radius=1)
+        assert (7, 7, 7) in region
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            import_region((0, 0, 0), SHAPE, radius=0)
+        with pytest.raises(ValueError):
+            import_region((0, 0, 0), SHAPE, method="quarter-shell")
+
+
+class TestWorkload:
+    def test_trees_are_valid(self):
+        from repro.core.multicast import verify_unicast_paths
+
+        workload = MdMulticastWorkload(SHAPE)
+        for tree in workload.trees_for((2, 3, 4)):
+            verify_unicast_paths(tree, SHAPE)
+
+    def test_per_particle_savings_positive(self):
+        workload = MdMulticastWorkload(SHAPE)
+        assert workload.per_particle_savings((0, 0, 0)) > 0
+
+    def test_aggregate_savings_ratio(self):
+        # Full-shell radius-1 multicast should save roughly half the
+        # inter-node bandwidth (26 unicast hops vs. a 26-edge tree whose
+        # shared prefixes collapse).
+        workload = MdMulticastWorkload(SHAPE)
+        stats = workload.aggregate_stats(particles_per_node=16)
+        assert 0.3 < stats["savings_ratio"] < 0.7
+        assert stats["multicast_hops"] < stats["unicast_hops"]
+
+    def test_alternation_balances(self):
+        workload = MdMulticastWorkload(SHAPE)
+        stats = workload.aggregate_stats()
+        assert (
+            stats["peak_direction_load_alternating"]
+            <= stats["peak_direction_load_single"]
+        )
+
+    def test_table_entries_scale(self):
+        workload = MdMulticastWorkload(SHAPE)
+        assert workload.table_entries_per_node(128) == 256
+
+    def test_half_shell_cheaper_than_full(self):
+        full = MdMulticastWorkload(SHAPE, method="full-shell")
+        half = MdMulticastWorkload(SHAPE, method="half-shell")
+        assert (
+            half.aggregate_stats()["multicast_hops"]
+            < full.aggregate_stats()["multicast_hops"]
+        )
+
+
+class TestParticlePopulation:
+    def test_counts(self):
+        workload = MdMulticastWorkload((4, 4, 4))
+        pairs = random_particle_destinations(workload, particles_per_node=2, seed=1)
+        assert len(pairs) == 2 * 64
+
+    def test_regions_match_home(self):
+        workload = MdMulticastWorkload((4, 4, 4))
+        pairs = random_particle_destinations(workload, particles_per_node=1, seed=1)
+        for home, region in pairs[:10]:
+            assert region == import_region(home, (4, 4, 4), 1, "full-shell")

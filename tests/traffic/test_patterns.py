@@ -1,0 +1,186 @@
+"""Tests for the evaluated traffic patterns."""
+
+import random
+
+import pytest
+
+from repro.traffic.patterns import (
+    BitComplement,
+    Blend,
+    FixedPermutation,
+    NHopNeighbor,
+    ReverseTornado,
+    Tornado,
+    UniformRandom,
+)
+
+SHAPE = (4, 4, 4)
+
+
+def check_distribution(pattern, src=(0, 0, 0)):
+    dests = pattern.destinations(src)
+    total = sum(p for _d, p in dests)
+    assert total == pytest.approx(1.0)
+    return dests
+
+
+class TestUniform:
+    def test_excludes_self_by_default(self):
+        pattern = UniformRandom(SHAPE)
+        dests = check_distribution(pattern)
+        assert len(dests) == 63
+        assert all(d != (0, 0, 0) for d, _p in dests)
+
+    def test_include_self(self):
+        pattern = UniformRandom(SHAPE, include_self=True)
+        assert len(check_distribution(pattern)) == 64
+
+    def test_sampling_matches_support(self):
+        pattern = UniformRandom(SHAPE)
+        rng = random.Random(0)
+        support = {d for d, _p in pattern.destinations((1, 2, 3))}
+        for _ in range(200):
+            assert pattern.sample(rng, (1, 2, 3)) in support
+
+    def test_node_symmetric(self):
+        assert UniformRandom(SHAPE).node_symmetric
+
+    def test_mean_hops(self):
+        # Uniform mean hops on 4x4x4: 3 dims x ring mean (0+1+2+1)/4 = 3,
+        # adjusted for self-exclusion: 3 * 64/63.
+        assert UniformRandom(SHAPE).mean_hops() == pytest.approx(3 * 64 / 63)
+
+
+class TestNHopNeighbor:
+    def test_one_hop_support(self):
+        pattern = NHopNeighbor(SHAPE, 1)
+        dests = check_distribution(pattern)
+        # 3^3 - 1 = 26 neighbors within one hop per dimension.
+        assert len(dests) == 26
+
+    def test_two_hop_covers_radix_four(self):
+        pattern = NHopNeighbor(SHAPE, 2)
+        dests = check_distribution(pattern)
+        # Offsets -2..2 alias to the full radix-4 ring: all 63 others.
+        assert len(dests) == 63
+
+    def test_locality(self):
+        from repro.core.geometry import torus_delta
+
+        pattern = NHopNeighbor((8, 8, 8), 2)
+        for dst, _p in pattern.destinations((4, 4, 4)):
+            for d in range(3):
+                assert abs(torus_delta(4, dst[d], 8)) <= 2
+
+    def test_sampling_never_self(self):
+        pattern = NHopNeighbor(SHAPE, 1)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert pattern.sample(rng, (2, 2, 2)) != (2, 2, 2)
+
+    def test_requires_positive_hops(self):
+        with pytest.raises(ValueError):
+            NHopNeighbor(SHAPE, 0)
+
+    def test_mean_hops_smaller_than_uniform(self):
+        shape = (8, 8, 8)
+        assert (
+            NHopNeighbor(shape, 1).mean_hops()
+            < NHopNeighbor(shape, 2).mean_hops()
+            < UniformRandom(shape).mean_hops()
+        )
+
+
+class TestTornado:
+    def test_offset_formula(self):
+        # Offset k/2 - 1 per dimension (paper's tornado definition).
+        assert Tornado((8, 8, 8)).offset == (3, 3, 3)
+        assert Tornado((8, 2, 2)).offset == (3, 0, 0)
+        assert Tornado((4, 4, 4)).offset == (1, 1, 1)
+
+    def test_reverse_is_opposite(self):
+        fwd = Tornado((8, 8, 8))
+        rev = ReverseTornado((8, 8, 8))
+        src = (1, 2, 3)
+        via = fwd.destination_of(src)
+        assert rev.destination_of(via) == src
+
+    def test_deterministic(self):
+        pattern = Tornado((8, 8, 8))
+        dests = pattern.destinations((0, 0, 0))
+        assert dests == [((3, 3, 3), 1.0)]
+
+    def test_node_symmetric(self):
+        assert Tornado(SHAPE).node_symmetric
+        assert ReverseTornado(SHAPE).node_symmetric
+
+
+class TestBitComplement:
+    def test_mapping(self):
+        pattern = BitComplement(SHAPE)
+        assert pattern.destinations((0, 0, 0)) == [((3, 3, 3), 1.0)]
+
+    def test_involution(self):
+        pattern = BitComplement(SHAPE)
+        rng = random.Random(0)
+        src = (1, 2, 0)
+        assert pattern.sample(rng, pattern.sample(rng, src)) == src
+
+    def test_not_node_symmetric(self):
+        assert not BitComplement(SHAPE).node_symmetric
+
+
+class TestFixedPermutation:
+    def test_valid_permutation(self):
+        from repro.core.geometry import all_coords
+
+        nodes = list(all_coords((2, 2, 2)))
+        rotated = nodes[1:] + nodes[:1]
+        pattern = FixedPermutation((2, 2, 2), dict(zip(nodes, rotated)))
+        check_distribution(pattern, (0, 0, 0))
+
+    def test_non_permutation_rejected(self):
+        from repro.core.geometry import all_coords
+
+        nodes = list(all_coords((2, 2, 2)))
+        mapping = {node: nodes[0] for node in nodes}
+        with pytest.raises(ValueError):
+            FixedPermutation((2, 2, 2), mapping)
+
+
+class TestBlend:
+    def test_distribution_merges(self):
+        blend = Blend([Tornado(SHAPE), ReverseTornado(SHAPE)], [0.5, 0.5])
+        dests = check_distribution(blend)
+        assert len(dests) == 2
+
+    def test_zero_fraction_component_dropped(self):
+        blend = Blend([Tornado(SHAPE), ReverseTornado(SHAPE)], [1.0, 0.0])
+        assert len(blend.destinations((0, 0, 0))) == 1
+
+    def test_sample_with_pattern_fractions(self):
+        blend = Blend([Tornado(SHAPE), ReverseTornado(SHAPE)], [0.8, 0.2])
+        rng = random.Random(2)
+        counts = [0, 0]
+        for _ in range(3000):
+            _dst, index = blend.sample_with_pattern(rng, (0, 0, 0))
+            counts[index] += 1
+        assert counts[0] / 3000 == pytest.approx(0.8, abs=0.03)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            Blend([Tornado(SHAPE)], [0.5])
+        with pytest.raises(ValueError):
+            Blend([Tornado(SHAPE), ReverseTornado(SHAPE)], [0.7, 0.7])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Blend([Tornado(SHAPE), Tornado((8, 8, 8))], [0.5, 0.5])
+
+    def test_symmetry_inherited(self):
+        assert Blend([Tornado(SHAPE), ReverseTornado(SHAPE)], [0.5, 0.5]).node_symmetric
+        assert not Blend([Tornado(SHAPE), BitComplement(SHAPE)], [0.5, 0.5]).node_symmetric
+
+    def test_name_mentions_components(self):
+        blend = Blend([Tornado(SHAPE), ReverseTornado(SHAPE)], [0.25, 0.75])
+        assert "tornado" in blend.name
