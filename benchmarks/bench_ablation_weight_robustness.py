@@ -13,17 +13,17 @@ one machine:
 * tornado traffic: same three configurations -- the uniform weights are
   a poor model of tornado, so their benefit should shrink markedly.
 
-Runtime: several minutes.
+Runtime: a couple of minutes (the six points are fanned across processes
+by ``repro.sim.sweep``; set ``REPRO_SWEEP_WORKERS=1`` for the serial
+reference loop).
 """
 
 import pytest
 
 from repro.analysis.report import format_table
-from repro.analysis.throughput import measure_batch
-from repro.core.machine import Machine, MachineConfig
-from repro.core.routing import RouteComputer
-from repro.sim.simulator import make_vc_weight_tables, make_weight_tables
-from repro.traffic.loads import compute_loads
+from repro.analysis.throughput import BatchPoint, run_batch_points
+from repro.core.machine import MachineConfig
+from repro.sim.sweep import default_workers
 from repro.traffic.patterns import NHopNeighbor, Tornado, UniformRandom
 
 SHAPE = (8, 2, 2)
@@ -32,47 +32,37 @@ BATCH = 384
 
 
 def run_experiment():
-    machine = Machine(MachineConfig(shape=SHAPE, endpoints_per_chip=CORES))
-    routes = RouteComputer(machine)
+    config = MachineConfig(shape=SHAPE, endpoints_per_chip=CORES)
     patterns = {
         "uniform": UniformRandom(SHAPE),
         "2-hop": NHopNeighbor(SHAPE, 2),
         "tornado": Tornado(SHAPE),
     }
-    loads = {
-        name: compute_loads(machine, routes, pattern, CORES)
-        for name, pattern in patterns.items()
-    }
-    tables = {}
-    for name, pattern in patterns.items():
-        tables[name] = (
-            make_weight_tables(
-                machine, routes, [pattern], CORES, load_tables=[loads[name]]
-            ),
-            make_vc_weight_tables(
-                machine, routes, [pattern], CORES, load_tables=[loads[name]]
-            ),
+    keys = [
+        (measured, weights_from)
+        for measured in ("2-hop", "tornado")
+        for weights_from in ("own", "uniform", "none")
+    ]
+    points = []
+    for measured, weights_from in keys:
+        if weights_from == "none":
+            arbitration, weight_patterns = "rr", ()
+        else:
+            source = measured if weights_from == "own" else "uniform"
+            arbitration, weight_patterns = "iw", (patterns[source],)
+        points.append(
+            BatchPoint(
+                config=config,
+                pattern=patterns[measured],
+                batch_size=BATCH,
+                cores_per_chip=CORES,
+                arbitration=arbitration,
+                weight_patterns=weight_patterns,
+                seed=9,
+            )
         )
-
-    results = {}
-    for measured in ("2-hop", "tornado"):
-        pattern = patterns[measured]
-        for weights_from in ("own", "uniform", "none"):
-            if weights_from == "none":
-                point = measure_batch(
-                    machine, routes, pattern, BATCH, CORES, "rr",
-                    load_table=loads[measured], seed=9,
-                )
-            else:
-                source = measured if weights_from == "own" else "uniform"
-                wt, vwt = tables[source]
-                point = measure_batch(
-                    machine, routes, pattern, BATCH, CORES, "iw",
-                    load_table=loads[measured],
-                    weight_tables=wt, vc_weight_tables=vwt, seed=9,
-                )
-            results[(measured, weights_from)] = point
-    return results
+    measured_points = run_batch_points(points, max_workers=default_workers())
+    return dict(zip(keys, measured_points))
 
 
 def test_ablation_weight_robustness(benchmark, report):

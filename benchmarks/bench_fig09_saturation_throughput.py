@@ -16,7 +16,9 @@ Reproduced claims (shape, not absolute scale):
 * the weights need not match the measured pattern exactly: the
   uniform-derived weights also stabilize 2-hop-neighbor traffic.
 
-Runtime: several minutes (cycle-level simulation of 32 ASICs).
+Runtime: a couple of minutes (cycle-level simulation of 32 ASICs; the
+points are fanned across processes by ``repro.sim.sweep`` -- set
+``REPRO_SWEEP_WORKERS=1`` to force the serial reference loop).
 """
 
 import pytest
@@ -25,6 +27,7 @@ from repro.analysis.report import format_series
 from repro.analysis.throughput import throughput_vs_batch_size
 from repro.core.machine import Machine, MachineConfig
 from repro.core.routing import RouteComputer
+from repro.sim.sweep import default_workers
 from repro.traffic.patterns import NHopNeighbor, UniformRandom
 
 SHAPE = (8, 2, 2)
@@ -45,6 +48,7 @@ def run_experiment():
         cores_per_chip=CORES,
         weight_pattern=uniform,  # one weight set for all patterns
         seed=7,
+        max_workers=default_workers(),
     )
 
 

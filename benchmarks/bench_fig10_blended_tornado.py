@@ -19,7 +19,9 @@ Reproduced claims (shape):
 * two weight sets hold high throughput over the entire range -- without
   the arbiters ever being told the blend ratio.
 
-Runtime: several minutes.
+Runtime: a couple of minutes (points fanned across processes by
+``repro.sim.sweep``; set ``REPRO_SWEEP_WORKERS=1`` for the serial
+reference loop).
 """
 
 import pytest
@@ -28,6 +30,7 @@ from repro.analysis.report import format_series
 from repro.analysis.throughput import blend_sweep
 from repro.core.machine import Machine, MachineConfig
 from repro.core.routing import RouteComputer
+from repro.sim.sweep import default_workers
 from repro.traffic.patterns import ReverseTornado, Tornado
 
 SHAPE = (8, 2, 2)
@@ -48,6 +51,7 @@ def run_experiment():
         batch_size=BATCH,
         cores_per_chip=CORES,
         seed=5,
+        max_workers=default_workers(),
     )
 
 

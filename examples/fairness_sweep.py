@@ -9,11 +9,14 @@ load. This example blends tornado with reverse tornado and measures four
 arbiter-weight configurations, like the paper's Figure 10 but at demo
 scale.
 
-Run:  python examples/fairness_sweep.py          (~2-4 minutes)
+Run:  python examples/fairness_sweep.py          (~1-2 minutes; the
+twelve points are fanned across processes by repro.sim.sweep -- set
+REPRO_SWEEP_WORKERS=1 to force the serial reference loop)
 """
 
 from repro import Machine, MachineConfig, ReverseTornado, RouteComputer, Tornado
 from repro.analysis import blend_sweep, format_series
+from repro.sim.sweep import default_workers
 
 
 def main() -> None:
@@ -22,15 +25,18 @@ def main() -> None:
     routes = RouteComputer(machine)
     forward = Tornado(config.shape)
     reverse = ReverseTornado(config.shape)
+    workers = default_workers()
     print(machine.describe())
     print(f"tornado offset: {forward.offset} (X rings of 8)")
-    print("running blend sweep (fractions 1.0 / 0.5 / 0.0, batch 128)...")
+    print(f"running blend sweep (fractions 1.0 / 0.5 / 0.0, batch 128, "
+          f"{workers} workers)...")
 
     points = blend_sweep(
         machine, routes, forward, reverse,
         fractions=(1.0, 0.5, 0.0),
         batch_size=128,
         cores_per_chip=4,
+        max_workers=workers,
     )
     series = {}
     for point in points:

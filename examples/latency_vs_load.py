@@ -25,7 +25,7 @@ def main() -> None:
     print(machine.describe())
     print(f"predicted saturation rate: {rate:.3f} packets/cycle/source "
           f"(busiest torus channel load {table.max_torus_load(machine):.2f} "
-          f"x {config.torus_cycles_per_flit:.2f} cycles/flit)")
+          f"x {float(config.torus_cycles_per_flit):.2f} cycles/flit)")
     print()
     points = latency_vs_load(
         machine, routes, pattern,

@@ -4,17 +4,25 @@ These wrap the simulator into the paper's measurement methodology:
 normalized batch throughput versus batch size for different arbitration
 policies (Figure 9), and versus blend fraction for different arbiter
 weight sets (Figure 10).
+
+Every measured point is an independent simulation, so the sweeps fan
+points across cores through :mod:`repro.sim.sweep`: a point is described
+by a picklable :class:`BatchPoint` spec, worker processes rebuild the
+machine from its config (cached per process) and run
+:func:`measure_batch_point`. The engine's exact fixed-point timing makes
+the parallel results bitwise-identical to a serial loop.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.machine import Machine
+from repro.core.machine import Machine, MachineConfig
 from repro.core.routing import RouteComputer
 from repro.sim.simulator import make_vc_weight_tables, make_weight_tables, run_batch
+from repro.sim.sweep import SweepPoint, run_sweep, shared_machine
 from repro.traffic.batch import BatchSpec
 from repro.traffic.loads import LoadTable, compute_loads, ideal_batch_cycles
 from repro.traffic.patterns import Blend, TrafficPattern
@@ -99,6 +107,118 @@ def measure_batch(
     )
 
 
+@dataclasses.dataclass(frozen=True)
+class BatchPoint:
+    """Picklable spec of one batch-throughput simulation point.
+
+    Carries the machine *config* rather than the machine: workers rebuild
+    (and cache) the elaborated machine per process via
+    :func:`repro.sim.sweep.shared_machine`. ``weight_patterns`` names the
+    patterns whose analytic loads program the inverse-weight tables for
+    ``arbitration="iw"`` (empty means: the measured pattern itself).
+    """
+
+    config: MachineConfig
+    pattern: TrafficPattern
+    batch_size: int
+    cores_per_chip: int
+    arbitration: str
+    weight_patterns: Tuple[TrafficPattern, ...] = ()
+    seed: int = 0
+    label: Optional[str] = None
+    #: Override for the reported pattern name (e.g. the blend fraction).
+    pattern_label: Optional[str] = None
+
+
+#: Per-process caches of analytic loads and programmed weight tables,
+#: keyed by (config, pattern names, cores): each worker computes a given
+#: table set once per sweep, mirroring the serial harness's reuse.
+_LOADS_CACHE: Dict[tuple, LoadTable] = {}
+_TABLES_CACHE: Dict[tuple, tuple] = {}
+
+
+def _loads_for(machine, route_computer, pattern, cores_per_chip) -> LoadTable:
+    key = (machine.config, pattern.name, cores_per_chip)
+    table = _LOADS_CACHE.get(key)
+    if table is None:
+        table = compute_loads(machine, route_computer, pattern, cores_per_chip)
+        _LOADS_CACHE[key] = table
+    return table
+
+
+def _weight_tables_for(machine, route_computer, patterns, cores_per_chip):
+    key = (machine.config, tuple(p.name for p in patterns), cores_per_chip)
+    tables = _TABLES_CACHE.get(key)
+    if tables is None:
+        load_tables = [
+            _loads_for(machine, route_computer, pattern, cores_per_chip)
+            for pattern in patterns
+        ]
+        tables = (
+            make_weight_tables(
+                machine, route_computer, patterns, cores_per_chip,
+                load_tables=load_tables,
+            ),
+            make_vc_weight_tables(
+                machine, route_computer, patterns, cores_per_chip,
+                load_tables=load_tables,
+            ),
+        )
+        _TABLES_CACHE[key] = tables
+    return tables
+
+
+def measure_batch_point(point: BatchPoint) -> ThroughputPoint:
+    """Run one :class:`BatchPoint` (the sweep-runner work function)."""
+    machine, route_computer = shared_machine(point.config)
+    load_table = _loads_for(
+        machine, route_computer, point.pattern, point.cores_per_chip
+    )
+    weight_tables = vc_weight_tables = None
+    if point.arbitration == "iw":
+        weight_tables, vc_weight_tables = _weight_tables_for(
+            machine,
+            route_computer,
+            point.weight_patterns or (point.pattern,),
+            point.cores_per_chip,
+        )
+    result = measure_batch(
+        machine,
+        route_computer,
+        point.pattern,
+        point.batch_size,
+        point.cores_per_chip,
+        point.arbitration,
+        load_table=load_table,
+        weight_tables=weight_tables,
+        vc_weight_tables=vc_weight_tables,
+        seed=point.seed,
+        label=point.label,
+    )
+    if point.pattern_label is not None:
+        result.pattern = point.pattern_label
+    return result
+
+
+def run_batch_points(
+    points: Sequence[BatchPoint], max_workers: Optional[int] = None
+) -> List[ThroughputPoint]:
+    """Fan a list of batch points across cores; results in input order."""
+    results = run_sweep(
+        [
+            SweepPoint(
+                label=f"{p.pattern_label or p.pattern.name}/"
+                f"{p.label or p.arbitration}/b{p.batch_size}",
+                fn=measure_batch_point,
+                kwargs={"point": p},
+            )
+            for p in points
+        ],
+        max_workers=max_workers,
+    )
+    return [r.value for r in results]
+
+
 def throughput_vs_batch_size(
     machine: Machine,
     route_computer: RouteComputer,
@@ -108,53 +228,32 @@ def throughput_vs_batch_size(
     weight_pattern: Optional[TrafficPattern] = None,
     arbitrations: Sequence[str] = ("rr", "iw"),
     seed: int = 0,
+    max_workers: Optional[int] = 1,
 ) -> List[ThroughputPoint]:
     """The Figure 9 experiment.
 
     A *single* set of inverse weights -- computed from ``weight_pattern``
     (default: the first pattern, matching the paper's use of
     uniform-derived weights for all traffic) -- is used for every
-    measured pattern.
+    measured pattern. ``max_workers`` > 1 fans the points across
+    processes; results are identical to serial execution (the default).
     """
     weight_pattern = weight_pattern or patterns[0]
-    weight_tables = None
-    vc_weight_tables = None
-    if "iw" in arbitrations:
-        weight_loads = compute_loads(
-            machine, route_computer, weight_pattern, cores_per_chip
+    points = [
+        BatchPoint(
+            config=machine.config,
+            pattern=pattern,
+            batch_size=batch_size,
+            cores_per_chip=cores_per_chip,
+            arbitration=arbitration,
+            weight_patterns=(weight_pattern,),
+            seed=seed,
         )
-        weight_tables = make_weight_tables(
-            machine, route_computer, [weight_pattern], cores_per_chip,
-            load_tables=[weight_loads],
-        )
-        vc_weight_tables = make_vc_weight_tables(
-            machine, route_computer, [weight_pattern], cores_per_chip,
-            load_tables=[weight_loads],
-        )
-    points = []
-    for pattern in patterns:
-        load_table = compute_loads(
-            machine, route_computer, pattern, cores_per_chip
-        )
-        for batch_size in batch_sizes:
-            for arbitration in arbitrations:
-                points.append(
-                    measure_batch(
-                        machine,
-                        route_computer,
-                        pattern,
-                        batch_size,
-                        cores_per_chip,
-                        arbitration,
-                        load_table=load_table,
-                        weight_tables=weight_tables if arbitration == "iw" else None,
-                        vc_weight_tables=(
-                            vc_weight_tables if arbitration == "iw" else None
-                        ),
-                        seed=seed,
-                    )
-                )
-    return points
+        for pattern in patterns
+        for batch_size in batch_sizes
+        for arbitration in arbitrations
+    ]
+    return run_batch_points(points, max_workers=max_workers)
 
 
 def blend_sweep(
@@ -166,6 +265,7 @@ def blend_sweep(
     batch_size: int,
     cores_per_chip: int,
     seed: int = 0,
+    max_workers: Optional[int] = 1,
 ) -> List[ThroughputPoint]:
     """The Figure 10 experiment: blend two patterns, vary the fraction,
     and measure four arbiter configurations:
@@ -174,42 +274,29 @@ def blend_sweep(
     * ``forward`` -- inverse weights for ``pattern_a`` only;
     * ``reverse`` -- inverse weights for ``pattern_b`` only;
     * ``both`` -- two weight sets, packets labeled by component pattern.
+
+    ``max_workers`` > 1 fans the (fraction x arbiter-config) points across
+    processes; results are identical to serial execution (the default).
     """
-    loads_a = compute_loads(machine, route_computer, pattern_a, cores_per_chip)
-    loads_b = compute_loads(machine, route_computer, pattern_b, cores_per_chip)
-    table_loads = {
-        "forward": ([pattern_a], [loads_a]),
-        "reverse": ([pattern_b], [loads_b]),
-        "both": ([pattern_a, pattern_b], [loads_a, loads_b]),
+    label_weights = {
+        "none": (),
+        "forward": (pattern_a,),
+        "reverse": (pattern_b,),
+        "both": (pattern_a, pattern_b),
     }
-    tables = {}
-    vc_tables = {}
-    for label, (pats, loads) in table_loads.items():
-        tables[label] = make_weight_tables(
-            machine, route_computer, pats, cores_per_chip, load_tables=loads
+    points = [
+        BatchPoint(
+            config=machine.config,
+            pattern=Blend([pattern_a, pattern_b], [fraction, 1.0 - fraction]),
+            batch_size=batch_size,
+            cores_per_chip=cores_per_chip,
+            arbitration="rr" if label == "none" else "iw",
+            weight_patterns=label_weights[label],
+            seed=seed,
+            label=label,
+            pattern_label=f"{fraction:.2f} {pattern_a.name}",
         )
-        vc_tables[label] = make_vc_weight_tables(
-            machine, route_computer, pats, cores_per_chip, load_tables=loads
-        )
-    points = []
-    for fraction in fractions:
-        blend = Blend([pattern_a, pattern_b], [fraction, 1.0 - fraction])
-        load_table = compute_loads(machine, route_computer, blend, cores_per_chip)
-        for label in ("none", "forward", "reverse", "both"):
-            arbitration = "rr" if label == "none" else "iw"
-            point = measure_batch(
-                machine,
-                route_computer,
-                blend,
-                batch_size,
-                cores_per_chip,
-                arbitration,
-                load_table=load_table,
-                weight_tables=tables.get(label),
-                vc_weight_tables=vc_tables.get(label),
-                seed=seed,
-                label=label,
-            )
-            point.pattern = f"{fraction:.2f} {pattern_a.name}"
-            points.append(point)
-    return points
+        for fraction in fractions
+        for label in ("none", "forward", "reverse", "both")
+    ]
+    return run_batch_points(points, max_workers=max_workers)

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, Iterator, List, Optional, Tuple
+import math
+from fractions import Fraction
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from . import params
 from .chip import ChipFloorplan, default_floorplan
@@ -81,6 +83,25 @@ def group_of(kind: ChannelKind) -> ChannelGroup:
     return ChannelGroup.E
 
 
+def exact_cycles_per_flit(value: Union[int, float, Fraction]) -> Fraction:
+    """Coerce a cycles-per-flit value to an exact positive rational.
+
+    Floats are snapped to the nearest small-denominator rational, so a
+    caller writing ``3.2`` gets 16/5 rather than the 52-bit binary
+    approximation (whose denominator would explode the machine's global
+    tick; see :attr:`Machine.ticks_per_cycle`).
+    """
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(f"cycles_per_flit must be finite, got {value}")
+        value = Fraction(value).limit_denominator(10**6)
+    else:
+        value = Fraction(value)
+    if value <= 0:
+        raise ValueError("cycles_per_flit must be positive")
+    return value
+
+
 @dataclasses.dataclass(frozen=True)
 class Component:
     """One network component instance.
@@ -109,11 +130,14 @@ class Channel:
     """One directed channel between two components.
 
     ``cycles_per_flit`` expresses the channel's bandwidth relative to the
-    on-chip clock: mesh channels move one flit per cycle
-    (``cycles_per_flit = 1``); the effective torus-channel bandwidth is
-    89.6 Gb/s against the mesh's 288 Gb/s, i.e. about 3.2 cycles per
-    flit. This 1:3.2 ratio is what lets one mesh channel absorb two torus
-    channels of through traffic with headroom (Section 2.4).
+    on-chip clock as an *exact rational*: mesh channels move one flit per
+    cycle (``cycles_per_flit = 1``); the effective torus-channel bandwidth
+    is 89.6 Gb/s against the mesh's 288 Gb/s, i.e. exactly 45/14 cycles
+    per flit. This 1:3.2 ratio is what lets one mesh channel absorb two
+    torus channels of through traffic with headroom (Section 2.4). The
+    simulator carries channel occupancy in integer ticks (1 cycle =
+    :attr:`Machine.ticks_per_cycle` ticks), so the ratio being irrational
+    in binary floating point never leaks drift into timing.
     """
 
     cid: int
@@ -122,7 +146,7 @@ class Channel:
     kind: ChannelKind
     group: ChannelGroup
     latency: int
-    cycles_per_flit: float = 1.0
+    cycles_per_flit: Fraction = Fraction(1)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"ch{self.cid}[{self.kind.name}]"
@@ -162,11 +186,11 @@ class MachineConfig:
     #: credit round trip; cf. Table 2's queue-dominated channel adapters).
     torus_buffer_flits: int = 64
     #: Cycles a torus channel needs per flit: the mesh-to-effective-torus
-    #: bandwidth ratio 288 / 89.6. Setting this to 1.0 models an
-    #: (unrealistic) full-speed torus; tests use that to stress the mesh.
-    torus_cycles_per_flit: float = (
-        params.MESH_CHANNEL_GBPS / params.TORUS_CHANNEL_EFFECTIVE_GBPS
-    )
+    #: bandwidth ratio 288 / 89.6, exactly 45/14. Setting this to 1 models
+    #: an (unrealistic) full-speed torus; tests use that to stress the
+    #: mesh. Ints, floats, and Fractions are accepted and normalized to an
+    #: exact rational (floats via ``exact_cycles_per_flit``).
+    torus_cycles_per_flit: Fraction = params.TORUS_CYCLES_PER_FLIT
     #: Extra cycles a packet spends in a component's pipeline (RC, VA, ...)
     #: before it may arbitrate for an output. Zero keeps the fast
     #: one-cycle-per-hop abstraction used by the throughput experiments;
@@ -191,8 +215,12 @@ class MachineConfig:
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be at least 1")
-        if self.torus_cycles_per_flit <= 0:
-            raise ValueError("torus_cycles_per_flit must be positive")
+        # Normalize to an exact rational (frozen dataclass, hence setattr).
+        object.__setattr__(
+            self,
+            "torus_cycles_per_flit",
+            exact_cycles_per_flit(self.torus_cycles_per_flit),
+        )
         if self.router_pipeline_cycles < 0:
             raise ValueError("router_pipeline_cycles must be nonnegative")
 
@@ -252,6 +280,13 @@ class Machine:
         self.component_outputs: List[List[int]] = []
         #: input index of each channel at its destination component
         self.input_index: List[int] = []
+        #: Integer ticks per on-chip cycle: the LCM of the denominators of
+        #: every channel's ``cycles_per_flit``, so each channel's per-flit
+        #: occupancy is a whole number of ticks (45 ticks per flit on a
+        #: default torus channel, 14 on a mesh channel). The simulator
+        #: carries all channel timing in these ticks; see
+        #: :mod:`repro.sim.engine`.
+        self.ticks_per_cycle: int = 1
         self._build()
 
     # --- construction -----------------------------------------------------
@@ -264,7 +299,9 @@ class Machine:
     def _add_channel(self, src: int, dst: int, kind: ChannelKind, latency: int) -> int:
         cid = len(self.channels)
         cycles_per_flit = (
-            self.config.torus_cycles_per_flit if kind == ChannelKind.TORUS else 1.0
+            self.config.torus_cycles_per_flit
+            if kind == ChannelKind.TORUS
+            else Fraction(1)
         )
         channel = Channel(cid, src, dst, kind, group_of(kind), latency, cycles_per_flit)
         self.channels.append(channel)
@@ -351,6 +388,10 @@ class Machine:
             inputs.append(channel.cid)
             self.component_outputs[channel.src].append(channel.cid)
 
+        self.ticks_per_cycle = math.lcm(
+            *(channel.cycles_per_flit.denominator for channel in self.channels)
+        )
+
     # --- queries ------------------------------------------------------------
 
     def neighbor(self, chip: Coord3, direction: TorusDirection) -> Coord3:
@@ -380,6 +421,16 @@ class Machine:
         if channel.kind == ChannelKind.TORUS:
             return self.config.torus_buffer_flits
         return self.config.onchip_buffer_flits
+
+    def occupancy_ticks_for_channel(self, channel: Channel) -> int:
+        """Exact channel occupancy per flit, in integer ticks.
+
+        ``ticks_per_cycle`` is the LCM of all channel denominators, so the
+        product is integral by construction.
+        """
+        occupancy = channel.cycles_per_flit * self.ticks_per_cycle
+        assert occupancy.denominator == 1
+        return occupancy.numerator
 
     def endpoints(self) -> Iterator[Component]:
         """All endpoint adapters, chip-major then index order."""

@@ -9,6 +9,7 @@ the paper's derived numbers (e.g., 2.15 Tb/s of effective I/O per ASIC).
 from __future__ import annotations
 
 import dataclasses
+import fractions
 
 # --- Torus (inter-node) channels -------------------------------------------
 
@@ -24,6 +25,12 @@ TORUS_CHANNEL_RAW_GBPS = SERDES_PER_CHANNEL * SERDES_GBPS
 #: Effective bandwidth of one torus channel per direction after framing,
 #: error checking, and go-back-N retransmission overheads, in Gb/s.
 TORUS_CHANNEL_EFFECTIVE_GBPS = 89.6
+
+#: The same effective bandwidth as an exact rational (89.6 = 448/5 Gb/s).
+#: Timing-critical code must use the exact form: the binary float 89.6
+#: carries a representation error that, divided into the mesh bandwidth,
+#: would leak into every serialization interval of the simulator.
+TORUS_CHANNEL_EFFECTIVE_GBPS_EXACT = fractions.Fraction(896, 10)
 
 #: Number of torus-channel slices (the torus is channel-sliced).
 NUM_SLICES = 2
@@ -52,6 +59,15 @@ MESH_CLOCK_GHZ = 1.5
 
 #: Bandwidth of one mesh channel per direction, in Gb/s (192 b x 1.5 GHz).
 MESH_CHANNEL_GBPS = MESH_CHANNEL_BITS * MESH_CLOCK_GHZ
+
+#: Mesh channel bandwidth as an exact rational (192 x 3/2 = 288 Gb/s).
+MESH_CHANNEL_GBPS_EXACT = fractions.Fraction(MESH_CHANNEL_BITS * 3, 2)
+
+#: Cycles a torus channel needs per flit, exactly: the mesh-to-effective-
+#: torus bandwidth ratio 288 / 89.6 reduces to 45/14. The denominator is
+#: what fixes the simulator's global tick (1 cycle = 14 ticks on a default
+#: machine), so million-cycle saturation runs accumulate zero drift.
+TORUS_CYCLES_PER_FLIT = MESH_CHANNEL_GBPS_EXACT / TORUS_CHANNEL_EFFECTIVE_GBPS_EXACT
 
 #: Cycle time of the on-chip network, in nanoseconds.
 CYCLE_NS = 1.0 / MESH_CLOCK_GHZ

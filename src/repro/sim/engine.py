@@ -17,6 +17,15 @@ arrive in the downstream buffer after the channel latency. Credits return
 to the upstream arbitration point one channel latency after a packet
 departs a buffer.
 
+**Timing is exact fixed point.** Channel occupancy is carried in integer
+*ticks*: one cycle is :attr:`~repro.core.machine.Machine.ticks_per_cycle`
+ticks (the LCM of every channel's ``cycles_per_flit`` denominator -- 14 on
+a default machine, where torus channels cost exactly 45/14 cycles per
+flit). Serialization start/end times and the channel-free horizon are
+plain integer arithmetic, so sub-cycle torus bandwidth is modeled without
+quantization *and* without floating-point drift: a million-cycle
+saturation run ends on exactly the tick the rational arithmetic predicts.
+
 Endpoint adapters inject from an unbounded source queue (the Section 4.1
 batch methodology: every core has a batch of packets ready at time zero)
 and consume delivered packets at arrival.
@@ -64,6 +73,38 @@ _EV_CREDIT = 1
 _EV_WAKE = 2
 
 
+def serialization_end_ticks(
+    free_at_ticks: int, now_ticks: int, size_flits: int, occupancy_ticks: int
+) -> int:
+    """Tick at which a packet's last flit clears the channel.
+
+    Serialization begins when the previous packet's last flit clears the
+    channel (``free_at_ticks``, which may be mid-cycle on slow torus
+    channels) or now, whichever is later; back-to-back packets therefore
+    serialize gaplessly at the channel's exact rational bandwidth.
+    """
+    start = free_at_ticks if free_at_ticks > now_ticks else now_ticks
+    return start + size_flits * occupancy_ticks
+
+
+def arrival_cycle(end_ticks: int, ticks_per_cycle: int, latency: int) -> int:
+    """Cycle at which a packet is fully received downstream.
+
+    The channel-latency pipeline is counted from the last whole cycle the
+    packet's serialization has begun by the time it ends: ``latency``
+    cycles after ``floor(end) - 1``, with a serialization ending exactly
+    on a cycle boundary attributed to the cycle it closes (the ``- 1``
+    inside the floor division). The calibrated channel latencies (the
+    Figure 11/12 fits) include the final partial serialization cycle, so
+    this matches the engine's original float expression
+    ``-int(-(end - 1e-6)) - 1`` -- a *floor* with an epsilon guard, since
+    Python's ``int()`` truncates toward zero -- exactly, for every value
+    the float code computed correctly: the epsilon forgave upward float
+    drift at integer boundaries, which exact ticks render impossible.
+    """
+    return (end_ticks - 1) // ticks_per_cycle - 1 + latency
+
+
 class Engine:
     """Cycle-level simulator over a :class:`~repro.core.machine.Machine`."""
 
@@ -86,13 +127,21 @@ class Engine:
         self._buffers: List[List[List[Packet]]] = []
         #: Per-channel, per-VC credits available to the channel's source.
         self._credits: List[List[int]] = []
-        self._channel_free_at: List[float] = [0.0] * len(channels)
+        #: Integer ticks per cycle; all channel timing below is in ticks.
+        self._ticks_per_cycle: int = machine.ticks_per_cycle
+        #: Tick at which each channel's staging buffer drains (the last
+        #: flit of the previous packet clears the channel).
+        self._channel_free_at: List[int] = [0] * len(channels)
         self._input_free_at: List[int] = [0] * len(channels)
         self._latency: List[int] = [c.latency for c in channels]
-        #: Cycles of channel occupancy per flit (> 1 on torus channels,
-        #: whose effective bandwidth is below one flit per on-chip cycle).
-        self._occupancy: List[float] = [c.cycles_per_flit for c in channels]
+        #: Ticks of channel occupancy per flit (45 vs the mesh's 14 on a
+        #: default machine: torus effective bandwidth is below one flit
+        #: per on-chip cycle, by exactly 45/14).
+        self._occupancy_ticks: List[int] = [
+            machine.occupancy_ticks_for_channel(c) for c in channels
+        ]
         self._pipeline = machine.config.router_pipeline_cycles
+        self.stats.ticks_per_cycle = self._ticks_per_cycle
         for channel in channels:
             vcs = machine.vcs_for_channel(channel)
             depth = machine.buffer_depth_for_channel(channel)
@@ -169,6 +218,11 @@ class Engine:
         Returns early if all traffic drains first. Useful for observing
         mid-run state (e.g. arbiter service shares while the network is
         still saturated); call again or call :meth:`run` to finish.
+
+        Like :meth:`run`, raises :class:`DeadlockError` if no packet moves
+        for ``watchdog_cycles`` while packets are in the network -- a
+        genuinely wedged configuration must not silently burn the caller's
+        whole cycle budget.
         """
         target = self.cycle + cycles
         events = self._events
@@ -178,6 +232,14 @@ class Engine:
             self._process_events()
             if self._active:
                 self._step()
+            if (
+                self._in_network
+                and self.cycle - self._last_progress > self.watchdog_cycles
+            ):
+                raise DeadlockError(
+                    f"no progress for {self.watchdog_cycles} cycles at cycle "
+                    f"{self.cycle}; {self._in_network} packets stuck in the network"
+                )
             self.cycle += 1
         return self.stats
 
@@ -277,6 +339,12 @@ class Engine:
         input_free_at = self._input_free_at
         channel_free_at = self._channel_free_at
         credits = self._credits
+        #: First tick of the next cycle: a channel accepts a new packet in
+        #: any cycle in which its staging buffer drains (free_at strictly
+        #: before this horizon). A drain exactly on a cycle boundary keeps
+        #: the channel busy through the drain cycle -- the whole-cycle
+        #: convention the original integer-vs-float comparison expressed.
+        horizon_ticks = (now + 1) * self._ticks_per_cycle
         has_packets = False
         # SA1: each input port nominates one VC's head packet among the
         # *eligible* ones (next channel accepting, credits available). The
@@ -303,10 +371,11 @@ class Engine:
                     continue
                 oc, ovc = packet.route.hops[packet.hop_index]
                 # A channel accepts a new packet in any cycle in which its
-                # staging buffer drains (free_at < now + 1); fractional
-                # occupancy carries over so sub-cycle bandwidth (the 3.2
-                # cycles/flit torus channels) is not quantized away.
-                if channel_free_at[oc] >= now + 1:
+                # staging buffer drains (free_at < now + 1, in ticks);
+                # fractional occupancy carries over so sub-cycle bandwidth
+                # (the 45/14 cycles/flit torus channels) is not quantized
+                # away.
+                if channel_free_at[oc] >= horizon_ticks:
                     continue
                 if credits[oc][ovc] < packet.size_flits:
                     continue
@@ -349,7 +418,7 @@ class Engine:
             # Head not released yet; a wake event will re-activate us.
             return False
         oc, ovc = packet.route.hops[0]
-        if self._channel_free_at[oc] > now:
+        if self._channel_free_at[oc] > now * self._ticks_per_cycle:
             return True
         if self._credits[oc][ovc] < packet.size_flits:
             return True
@@ -374,16 +443,16 @@ class Engine:
         now: int,
     ) -> None:
         size = packet.size_flits
-        serialization = size * self._occupancy[oc]
-        # Serialization begins when the previous packet's last flit clears
-        # the channel (which may be mid-cycle on slow torus channels).
-        start = self._channel_free_at[oc]
-        if start < now:
-            start = now
-        serialization_end = start + serialization
-        self._channel_free_at[oc] = serialization_end
+        busy_ticks = size * self._occupancy_ticks[oc]
+        end_ticks = serialization_end_ticks(
+            self._channel_free_at[oc],
+            now * self._ticks_per_cycle,
+            size,
+            self._occupancy_ticks[oc],
+        )
+        self._channel_free_at[oc] = end_ticks
         self._credits[oc][ovc] -= size
-        self.stats.record_channel_use(oc, size)
+        self.stats.record_channel_use(oc, size, busy_ticks)
         self._last_progress = now
         if from_channel is not None:
             self._input_free_at[from_channel] = now + size
@@ -396,9 +465,9 @@ class Engine:
                 size,
             )
         packet.hop_index += 1
-        # The packet is fully received downstream one latency after its
-        # last flit finishes serializing onto the channel.
-        arrival = -int(-(serialization_end - 0.000001)) - 1 + self._latency[oc]
+        # The packet is fully received downstream one latency after the
+        # cycle in which its last flit finishes serializing.
+        arrival = arrival_cycle(end_ticks, self._ticks_per_cycle, self._latency[oc])
         if arrival <= now:  # pragma: no cover - latency >= 1 prevents this
             arrival = now + 1
         self._push_event(arrival, _EV_ARRIVAL, packet, oc, None)

@@ -27,6 +27,10 @@ class SimStats:
     last_delivery_cycle: int = 0
     #: Cycle the simulation stopped at.
     end_cycle: int = 0
+    #: Integer ticks per cycle of the engine that produced these stats
+    #: (the machine's exact fixed-point timebase); busy-tick counts below
+    #: are denominated in it.
+    ticks_per_cycle: int = 1
     #: Delivered packets per source endpoint component id.
     delivered_per_source: Dict[int, int] = dataclasses.field(
         default_factory=lambda: defaultdict(int)
@@ -39,6 +43,13 @@ class SimStats:
     )
     #: Flits carried per channel id.
     channel_flits: Dict[int, int] = dataclasses.field(
+        default_factory=lambda: defaultdict(int)
+    )
+    #: Exact serialization ticks occupied per channel id. Unlike flit
+    #: counts, this weighs each flit by the channel's rational occupancy
+    #: (45 ticks on a derated torus channel vs 14 on a mesh channel at 14
+    #: ticks/cycle), so utilization is exact integer accounting.
+    channel_busy_ticks: Dict[int, int] = dataclasses.field(
         default_factory=lambda: defaultdict(int)
     )
     #: Sum and count of release-to-delivery latencies.
@@ -63,8 +74,25 @@ class SimStats:
         if keep_latency:
             self.packet_latencies.append(packet.network_latency)
 
-    def record_channel_use(self, channel_id: int, flits: int) -> None:
+    def record_channel_use(
+        self, channel_id: int, flits: int, busy_ticks: int = 0
+    ) -> None:
         self.channel_flits[channel_id] += flits
+        self.channel_busy_ticks[channel_id] += busy_ticks
+
+    def channel_utilization(self, channel_id: int) -> float:
+        """Fraction of the run a channel spent serializing flits.
+
+        Computed from exact busy-tick counts over the run's cycle span
+        (``end_cycle``, falling back to the last delivery for a run whose
+        engine never finalized ``end_cycle``).
+        """
+        cycles = self.end_cycle or self.last_delivery_cycle
+        if cycles == 0:
+            return 0.0
+        return self.channel_busy_ticks[channel_id] / (
+            cycles * self.ticks_per_cycle
+        )
 
     @property
     def mean_latency(self) -> float:

@@ -1,0 +1,205 @@
+"""Parallel sweep runner for independent simulation points.
+
+The throughput experiments (Figures 9 and 10, and the weight-robustness
+ablation) are embarrassingly parallel: every measured point -- a (machine
+config, traffic pattern, batch size, arbiter config, seed) tuple -- is an
+independent cycle-level simulation. With the engine's exact fixed-point
+timing, a point's result is a pure function of its spec, so fanning points
+across a :class:`~concurrent.futures.ProcessPoolExecutor` returns results
+bitwise-identical to a serial loop, just wall-clock faster.
+
+Workers rebuild machines from their (hashable) configs via
+:func:`shared_machine`, a per-process cache, instead of pickling the fully
+elaborated component/channel graph into every task.
+
+Run ``python -m repro.sim.sweep`` for a self-checking smoke sweep (two
+Figure 9-style points executed serially and in parallel, results
+compared); CI uses it as the parallel-runner gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation point of a sweep.
+
+    ``fn`` must be a module-level (picklable) callable; it is invoked as
+    ``fn(**kwargs)``. ``seed``, when given, is merged into ``kwargs`` --
+    making per-point seeding explicit in sweep construction rather than
+    buried in each point's argument dict.
+    """
+
+    label: str
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def call_kwargs(self) -> Dict[str, Any]:
+        kwargs = dict(self.kwargs)
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return kwargs
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Structured result of one executed sweep point."""
+
+    label: str
+    index: int
+    value: Any
+    wall_seconds: float
+    #: PID of the worker process that ran the point (the parent's own PID
+    #: for serial execution) -- makes work distribution inspectable.
+    worker_pid: int
+
+
+def _execute_point(point: SweepPoint, index: int) -> SweepResult:
+    start = time.perf_counter()
+    value = point.fn(**point.call_kwargs())
+    return SweepResult(
+        label=point.label,
+        index=index,
+        value=value,
+        wall_seconds=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+    )
+
+
+def default_workers() -> int:
+    """Worker count for benchmark sweeps.
+
+    Honors ``REPRO_SWEEP_WORKERS`` (0 or 1 forces serial execution);
+    otherwise uses up to four cores -- the benchmarks' sweeps have about a
+    dozen points, so wider pools mostly add startup cost.
+    """
+    env = os.environ.get("REPRO_SWEEP_WORKERS")
+    if env is not None:
+        return max(1, int(env))
+    return min(4, os.cpu_count() or 1)
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    max_workers: Optional[int] = None,
+) -> List[SweepResult]:
+    """Execute every point and return results in sweep order.
+
+    ``max_workers=1`` (or a single point) runs serially in-process --
+    useful under profilers and as the reference for determinism checks;
+    ``None`` uses :func:`default_workers`. Results are returned in input
+    order regardless of completion order, so serial and parallel runs are
+    directly comparable element by element.
+    """
+    if max_workers is None:
+        max_workers = default_workers()
+    if max_workers <= 1 or len(points) <= 1:
+        return [_execute_point(point, i) for i, point in enumerate(points)]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [
+            pool.submit(_execute_point, point, i)
+            for i, point in enumerate(points)
+        ]
+        results = [future.result() for future in futures]
+    return results
+
+
+# --- per-process machine cache ------------------------------------------------
+
+_MACHINE_CACHE: Dict[MachineConfig, Tuple[Machine, RouteComputer]] = {}
+
+
+def shared_machine(config: MachineConfig) -> Tuple[Machine, RouteComputer]:
+    """The (machine, route computer) pair for a config, cached per process.
+
+    Machine elaboration is deterministic, so a rebuilt machine is
+    behaviorally identical to the caller's instance; caching means each
+    worker process elaborates a given config once per sweep, not once per
+    point.
+    """
+    cached = _MACHINE_CACHE.get(config)
+    if cached is None:
+        machine = Machine(config)
+        cached = (machine, RouteComputer(machine))
+        _MACHINE_CACHE[config] = cached
+    return cached
+
+
+# --- smoke sweep (CLI / CI gate) ----------------------------------------------
+
+
+def _smoke_points() -> List[SweepPoint]:
+    # Imported here: analysis.throughput imports this module.
+    from repro.analysis.throughput import BatchPoint, measure_batch_point
+    from repro.traffic.patterns import UniformRandom
+
+    config = MachineConfig(shape=(2, 2, 2), endpoints_per_chip=2)
+    pattern = UniformRandom(config.shape)
+    return [
+        SweepPoint(
+            label=f"uniform/{arbitration}/batch32",
+            fn=measure_batch_point,
+            kwargs={
+                "point": BatchPoint(
+                    config=config,
+                    pattern=pattern,
+                    batch_size=32,
+                    cores_per_chip=2,
+                    arbitration=arbitration,
+                    seed=7,
+                )
+            },
+        )
+        for arbitration in ("rr", "iw")
+    ]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Self-checking smoke sweep: serial and parallel runs must agree."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Run a smoke sweep through the parallel sweep runner "
+        "and verify parallel results match serial execution."
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="process-pool width for the parallel leg (default: 2)",
+    )
+    args = parser.parse_args(argv)
+
+    serial = run_sweep(_smoke_points(), max_workers=1)
+    parallel = run_sweep(_smoke_points(), max_workers=args.workers)
+    status = 0
+    for s, p in zip(serial, parallel):
+        match = (
+            s.value.normalized_throughput == p.value.normalized_throughput
+            and s.value.completion_cycles == p.value.completion_cycles
+            and s.value.finish_spread == p.value.finish_spread
+        )
+        if not match:
+            status = 1
+        print(
+            f"{s.label:24s} throughput={p.value.normalized_throughput:.3f} "
+            f"cycles={p.value.completion_cycles} "
+            f"worker={p.worker_pid} "
+            f"{'OK' if match else 'MISMATCH vs serial'}"
+        )
+    print("smoke sweep:", "PASS" if status == 0 else "FAIL")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(main())

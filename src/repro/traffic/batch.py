@@ -23,6 +23,74 @@ from .loads import active_endpoints
 from .patterns import Blend, TrafficPattern
 
 
+class _RouteSampler:
+    """Destination/route sampling shared by the batch and open-loop
+    generators.
+
+    Both generators draw, per packet: a destination chip (blend-aware), a
+    destination endpoint index (``dst_endpoint_mode``), and a randomized
+    route choice -- in that RNG order, which seeded workloads depend on.
+    Centralizing the draw keeps blend handling and endpoint-mode handling
+    from drifting apart between the two generators.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        route_computer: RouteComputer,
+        pattern: TrafficPattern,
+        cores_per_chip: int,
+        dst_endpoint_mode: str,
+        size_flits: int,
+        traffic_class: int,
+    ) -> None:
+        if dst_endpoint_mode not in ("same_index", "uniform"):
+            raise ValueError(f"unknown dst_endpoint_mode {dst_endpoint_mode!r}")
+        if pattern.shape != machine.config.shape:
+            raise ValueError("pattern shape does not match the machine")
+        self.machine = machine
+        self.route_computer = route_computer
+        self.pattern = pattern
+        self.cores_per_chip = cores_per_chip
+        self.dst_endpoint_mode = dst_endpoint_mode
+        self.size_flits = size_flits
+        self.traffic_class = traffic_class
+        self.is_blend = isinstance(pattern, Blend)
+
+    def draw(
+        self,
+        rng: random.Random,
+        src_chip,
+        src_index: int,
+        pid: int,
+        release_cycle: int,
+    ) -> Packet:
+        """Draw one packet for a source endpoint."""
+        if self.is_blend:
+            dst_chip, pattern_id = self.pattern.sample_with_pattern(rng, src_chip)
+        else:
+            dst_chip = self.pattern.sample(rng, src_chip)
+            pattern_id = 0
+        if self.dst_endpoint_mode == "same_index":
+            dst_index = src_index
+        else:
+            dst_index = rng.randrange(self.cores_per_chip)
+        dst_ep = self.machine.ep_id[(dst_chip, dst_index)]
+        choice = self.route_computer.random_choice(rng, src_chip, dst_chip)
+        src_ep = self.machine.ep_id[(src_chip, src_index)]
+        route = self.route_computer.compute(
+            src_ep, dst_ep, choice, self.traffic_class
+        )
+        return Packet(
+            pid,
+            route,
+            size_flits=self.size_flits,
+            pattern=pattern_id,
+            traffic_class=self.traffic_class,
+            release_cycle=release_cycle,
+        )
+
+
 @dataclasses.dataclass(frozen=True)
 class BatchSpec:
     """Parameters of one batch workload."""
@@ -53,41 +121,23 @@ def generate_batch(
     carry the index of their component pattern in the ``pattern`` header
     field.
     """
-    if spec.pattern.shape != machine.config.shape:
-        raise ValueError("pattern shape does not match the machine")
+    sampler = _RouteSampler(
+        machine,
+        route_computer,
+        spec.pattern,
+        spec.cores_per_chip,
+        spec.dst_endpoint_mode,
+        spec.size_flits,
+        spec.traffic_class,
+    )
     rng = random.Random(spec.seed)
-    sources = active_endpoints(machine, spec.cores_per_chip)
     packets: List[Packet] = []
     pid = 0
-    is_blend = isinstance(spec.pattern, Blend)
-    for src_ep in sources:
+    for src_ep in active_endpoints(machine, spec.cores_per_chip):
         src_comp = machine.components[src_ep]
-        src_chip = src_comp.chip
-        src_index = src_comp.detail
         for _ in range(spec.packets_per_source):
-            if is_blend:
-                dst_chip, pattern_id = spec.pattern.sample_with_pattern(rng, src_chip)
-            else:
-                dst_chip = spec.pattern.sample(rng, src_chip)
-                pattern_id = 0
-            if spec.dst_endpoint_mode == "same_index":
-                dst_index = src_index
-            else:
-                dst_index = rng.randrange(spec.cores_per_chip)
-            dst_ep = machine.ep_id[(dst_chip, dst_index)]
-            choice = route_computer.random_choice(rng, src_chip, dst_chip)
-            route = route_computer.compute(
-                src_ep, dst_ep, choice, spec.traffic_class
-            )
             packets.append(
-                Packet(
-                    pid,
-                    route,
-                    size_flits=spec.size_flits,
-                    pattern=pattern_id,
-                    traffic_class=spec.traffic_class,
-                    release_cycle=0,
-                )
+                sampler.draw(rng, src_comp.chip, src_comp.detail, pid, 0)
             )
             pid += 1
     return packets
@@ -109,39 +159,25 @@ def generate_open_loop(
     source per cycle, for latency-versus-load style experiments."""
     if not 0 < injection_rate <= 1:
         raise ValueError(f"injection_rate must be in (0, 1], got {injection_rate}")
+    sampler = _RouteSampler(
+        machine,
+        route_computer,
+        pattern,
+        cores_per_chip,
+        dst_endpoint_mode,
+        size_flits,
+        traffic_class,
+    )
     rng = random.Random(seed)
-    sources = active_endpoints(machine, cores_per_chip)
     packets: List[Packet] = []
     pid = 0
-    is_blend = isinstance(pattern, Blend)
-    for src_ep in sources:
+    for src_ep in active_endpoints(machine, cores_per_chip):
         src_comp = machine.components[src_ep]
-        src_chip = src_comp.chip
-        src_index = src_comp.detail
         for cycle in range(duration_cycles):
             if rng.random() >= injection_rate:
                 continue
-            if is_blend:
-                dst_chip, pattern_id = pattern.sample_with_pattern(rng, src_chip)
-            else:
-                dst_chip = pattern.sample(rng, src_chip)
-                pattern_id = 0
-            if dst_endpoint_mode == "same_index":
-                dst_index = src_index
-            else:
-                dst_index = rng.randrange(cores_per_chip)
-            dst_ep = machine.ep_id[(dst_chip, dst_index)]
-            choice = route_computer.random_choice(rng, src_chip, dst_chip)
-            route = route_computer.compute(src_ep, dst_ep, choice, traffic_class)
             packets.append(
-                Packet(
-                    pid,
-                    route,
-                    size_flits=size_flits,
-                    pattern=pattern_id,
-                    traffic_class=traffic_class,
-                    release_cycle=cycle,
-                )
+                sampler.draw(rng, src_comp.chip, src_comp.detail, pid, cycle)
             )
             pid += 1
     return packets

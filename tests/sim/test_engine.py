@@ -228,6 +228,20 @@ class TestGuards:
         with pytest.raises(DeadlockError):
             engine.run()
 
+    def test_run_for_deadlock_watchdog_fires_on_unsafe_vcs(self):
+        # run_for must not silently burn the caller's whole cycle budget
+        # on a wedged network: same watchdog as run().
+        engine = self._ring_jam_engine("unsafe-single")
+        with pytest.raises(DeadlockError):
+            engine.run_for(1_000_000)
+        # The watchdog fired within its window, not at the budget.
+        assert engine.cycle < 100_000
+
+    def test_run_for_completes_workload_with_anton_vcs(self):
+        engine = self._ring_jam_engine("anton")
+        stats = engine.run_for(1_000_000)
+        assert stats.delivered == stats.injected == 8 * 50
+
     def test_anton_vcs_complete_same_workload(self):
         engine = self._ring_jam_engine("anton")
         stats = engine.run()

@@ -1,0 +1,116 @@
+"""Tests for the parallel sweep runner.
+
+The load-bearing property is that parallel execution is a pure
+performance optimization: fanning points across a process pool must
+return results identical to the serial loop, in input order.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.analysis.throughput import BatchPoint, measure_batch_point
+from repro.core.machine import MachineConfig
+from repro.sim.sweep import (
+    SweepPoint,
+    default_workers,
+    run_sweep,
+    shared_machine,
+)
+from repro.traffic.patterns import UniformRandom
+
+
+def _points(seeds=(3, 4)):
+    config = MachineConfig(shape=(2, 2, 2), endpoints_per_chip=2)
+    pattern = UniformRandom(config.shape)
+    return [
+        SweepPoint(
+            label=f"uniform/rr/seed{seed}",
+            fn=measure_batch_point,
+            kwargs={
+                "point": BatchPoint(
+                    config=config,
+                    pattern=pattern,
+                    batch_size=16,
+                    cores_per_chip=2,
+                    arbitration="rr",
+                    seed=seed,
+                )
+            },
+        )
+        for seed in seeds
+    ]
+
+
+class TestRunSweep:
+    def test_serial_matches_parallel(self):
+        serial = run_sweep(_points(), max_workers=1)
+        parallel = run_sweep(_points(), max_workers=2)
+        assert [r.label for r in serial] == [r.label for r in parallel]
+        for s, p in zip(serial, parallel):
+            # Every measured field must be bitwise-identical; only the
+            # wall-clock timing of the measurement itself may differ.
+            measured_s = dataclasses.asdict(s.value)
+            measured_p = dataclasses.asdict(p.value)
+            measured_s.pop("wall_seconds")
+            measured_p.pop("wall_seconds")
+            assert measured_s == measured_p
+
+    def test_results_in_input_order(self):
+        results = run_sweep(_points(seeds=(9, 8, 7)), max_workers=2)
+        assert [r.label for r in results] == [
+            "uniform/rr/seed9",
+            "uniform/rr/seed8",
+            "uniform/rr/seed7",
+        ]
+        assert [r.index for r in results] == [0, 1, 2]
+
+    def test_serial_runs_in_process(self):
+        (result,) = run_sweep(_points(seeds=(1,)), max_workers=1)
+        assert result.worker_pid == os.getpid()
+        assert result.wall_seconds >= 0
+
+    def test_single_point_skips_pool(self):
+        # One point never pays pool startup, whatever max_workers says.
+        (result,) = run_sweep(_points(seeds=(2,)), max_workers=8)
+        assert result.worker_pid == os.getpid()
+
+
+class TestSweepPoint:
+    def test_seed_merged_into_kwargs(self):
+        point = SweepPoint(label="x", fn=dict, kwargs={"a": 1}, seed=42)
+        assert point.call_kwargs() == {"a": 1, "seed": 42}
+
+    def test_kwargs_not_mutated(self):
+        kwargs = {"a": 1}
+        point = SweepPoint(label="x", fn=dict, kwargs=kwargs, seed=7)
+        point.call_kwargs()
+        assert kwargs == {"a": 1}
+
+    def test_no_seed_leaves_kwargs_alone(self):
+        point = SweepPoint(label="x", fn=dict, kwargs={"a": 1})
+        assert point.call_kwargs() == {"a": 1}
+
+
+class TestDefaultWorkers:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_zero_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "0")
+        assert default_workers() == 1
+
+    def test_default_capped(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        assert 1 <= default_workers() <= 4
+
+
+class TestSharedMachine:
+    def test_cached_per_config(self):
+        config = MachineConfig(shape=(2, 2, 2), endpoints_per_chip=2)
+        first = shared_machine(config)
+        second = shared_machine(MachineConfig(shape=(2, 2, 2), endpoints_per_chip=2))
+        assert first[0] is second[0]
+        assert first[1] is second[1]
