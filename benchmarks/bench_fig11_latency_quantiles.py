@@ -1,0 +1,83 @@
+"""Figure 11/12-style latency *distributions* versus offered load.
+
+The paper reports latency means; its distributions (and the queueing
+blow-up that drives the Figure 9 saturation story) live in the tails.
+This benchmark sweeps open-loop load fractions and reports the streamed
+p50/p95/p99 latency quantiles from the engine's deterministic
+:class:`~repro.sim.metrics.StreamingQuantile` estimator -- no per-packet
+latency lists are retained, so the measurement scales to arbitrarily
+long runs.
+
+Reproduced claims (shape):
+
+* at low load all quantiles sit near the zero-load latency and the
+  distribution is tight (p99 within a few hops of p50);
+* approaching saturation the tail detaches: p99 grows much faster than
+  p50, the classic queueing-delay signature.
+"""
+
+from repro.analysis.latency_load import latency_vs_load
+from repro.analysis.report import format_table
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.traffic.patterns import UniformRandom
+
+SHAPE = (4, 2, 2)
+CORES = 2
+FRACTIONS = (0.2, 0.5, 0.8, 0.95)
+
+
+def run_experiment():
+    machine = Machine(MachineConfig(shape=SHAPE, endpoints_per_chip=CORES))
+    routes = RouteComputer(machine)
+    return latency_vs_load(
+        machine,
+        routes,
+        UniformRandom(SHAPE),
+        cores_per_chip=CORES,
+        fractions_of_saturation=FRACTIONS,
+        duration_cycles=2500,
+        seed=11,
+    )
+
+
+def test_fig11_latency_quantiles(benchmark, report):
+    points = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    for point in points:
+        # Quantiles are a nondecreasing function of rank, and the mean
+        # sits inside the distribution's bulk.
+        assert point.p50_latency_cycles <= point.p95_latency_cycles
+        assert point.p95_latency_cycles <= point.p99_latency_cycles
+        assert point.p50_latency_cycles <= point.mean_latency_cycles * 1.5
+    low, high = points[0], points[-1]
+    # The tail detaches near saturation: p99 grows by more than p50 does.
+    assert (high.p99_latency_cycles - low.p99_latency_cycles) > (
+        high.p50_latency_cycles - low.p50_latency_cycles
+    )
+    # Low-load distribution is tight; near-saturation it is not.
+    low_spread = low.p99_latency_cycles - low.p50_latency_cycles
+    high_spread = high.p99_latency_cycles - high.p50_latency_cycles
+    assert high_spread > 2 * low_spread
+
+    rows = [
+        [
+            f"{p.offered_load:.2f}",
+            round(p.mean_latency_cycles, 1),
+            round(p.p50_latency_cycles, 1),
+            round(p.p95_latency_cycles, 1),
+            round(p.p99_latency_cycles, 1),
+            p.delivered,
+        ]
+        for p in points
+    ]
+    report(
+        "fig11_latency_quantiles",
+        format_table(
+            ["fraction of saturation", "mean (cycles)", "p50", "p95", "p99",
+             "packets"],
+            rows,
+            title="Latency quantiles vs. offered load "
+            "(uniform random, round-robin, streamed estimator)",
+        ),
+    )

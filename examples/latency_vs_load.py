@@ -37,14 +37,16 @@ def main() -> None:
         [
             f"{p.offered_load:.2f}",
             round(p.mean_latency_cycles, 1),
+            round(p.p50_latency_cycles, 1),
+            round(p.p95_latency_cycles, 1),
             round(p.p99_latency_cycles, 1),
             p.delivered,
         ]
         for p in points
     ]
     print(format_table(
-        ["fraction of saturation", "mean latency (cycles)",
-         "p99 latency (cycles)", "packets"],
+        ["fraction of saturation", "mean (cycles)", "p50", "p95", "p99",
+         "packets"],
         rows,
         title="Latency vs. offered load (uniform random, round-robin)",
     ))

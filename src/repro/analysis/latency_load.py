@@ -27,10 +27,17 @@ from repro.traffic.patterns import TrafficPattern
 
 @dataclasses.dataclass
 class LatencyLoadPoint:
-    """One point of the latency-load curve."""
+    """One point of the latency-load curve.
+
+    Quantiles come from the engine's deterministic streaming estimator
+    (:class:`repro.sim.metrics.StreamingQuantile`), so the curve no
+    longer requires retaining every packet's latency in memory.
+    """
 
     offered_load: float
     mean_latency_cycles: float
+    p50_latency_cycles: float
+    p95_latency_cycles: float
     p99_latency_cycles: float
     delivered: int
 
@@ -55,11 +62,14 @@ def latency_vs_load(
     seed: int = 0,
     load_table: Optional[LoadTable] = None,
 ) -> List[LatencyLoadPoint]:
-    """Measure mean/p99 packet latency at fractions of the saturation rate.
+    """Measure mean/p50/p95/p99 packet latency at fractions of the
+    saturation rate.
 
     Open-loop injection: sources emit Bernoulli packet streams for
     ``duration_cycles`` and the network drains completely, so every
-    latency (including queueing at the source) is observed.
+    latency (including queueing at the source) is observed. Quantiles are
+    streamed (nearest-rank, exact at these run sizes) rather than
+    computed from a retained per-packet latency list.
     """
     if load_table is None:
         load_table = compute_loads(machine, route_computer, pattern, cores_per_chip)
@@ -78,19 +88,19 @@ def latency_vs_load(
         )
         builder = arbiter_builder_for(arbitration)
         engine = Engine(
-            machine, arbiter_builder=builder, keep_packet_latencies=True
+            machine, arbiter_builder=builder, latency_quantiles=True
         )
         for packet in packets:
             engine.enqueue(packet)
         stats = engine.run()
-        latencies = sorted(stats.packet_latencies)
-        mean = sum(latencies) / len(latencies)
-        p99 = latencies[min(len(latencies) - 1, int(0.99 * len(latencies)))]
+        quantiles = stats.latency_quantiles((0.5, 0.95, 0.99))
         points.append(
             LatencyLoadPoint(
                 offered_load=fraction,
-                mean_latency_cycles=mean,
-                p99_latency_cycles=float(p99),
+                mean_latency_cycles=stats.mean_network_latency,
+                p50_latency_cycles=float(quantiles[0.5]),
+                p95_latency_cycles=float(quantiles[0.95]),
+                p99_latency_cycles=float(quantiles[0.99]),
                 delivered=stats.delivered,
             )
         )

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.machine import Machine, MachineConfig
 from repro.core.routing import RouteComputer
+from repro.sim.metrics import MetricsCollector, MetricsSummary
 from repro.sim.simulator import make_vc_weight_tables, make_weight_tables, run_batch
 from repro.sim.sweep import SweepPoint, run_sweep, shared_machine
 from repro.traffic.batch import BatchSpec
@@ -39,6 +40,9 @@ class ThroughputPoint:
     finish_spread: float
     completion_cycles: int
     wall_seconds: float
+    #: Streaming metric summary (latency quantiles, busy windows, VC
+    #: occupancy) when the point was measured with ``collect_metrics``.
+    metrics: Optional[MetricsSummary] = None
 
 
 def measure_batch(
@@ -53,12 +57,15 @@ def measure_batch(
     vc_weight_tables: Optional[Dict] = None,
     seed: int = 0,
     label: Optional[str] = None,
+    collector: Optional[MetricsCollector] = None,
 ) -> ThroughputPoint:
     """Run one batch and normalize its completion time.
 
     Normalization follows Section 4.1: a throughput of 1 means the
     busiest torus channel (under the pattern's expected loads) was never
-    idle.
+    idle. A :class:`~repro.sim.metrics.MetricsCollector` may be attached
+    to also stream per-channel and latency metrics out of the run; its
+    summary rides along on the returned point.
     """
     if load_table is None:
         load_table = compute_loads(machine, route_computer, pattern, cores_per_chip)
@@ -93,6 +100,7 @@ def measure_batch(
         arbitration=arbitration,
         weight_tables=weight_tables,
         vc_weight_tables=vc_weight_tables,
+        trace=collector,
     )
     wall = time.perf_counter() - start
     ideal = ideal_batch_cycles(machine, load_table, batch_size)
@@ -104,6 +112,9 @@ def measure_batch(
         finish_spread=stats.finish_spread() or 0.0,
         completion_cycles=stats.last_delivery_cycle,
         wall_seconds=wall,
+        metrics=(
+            None if collector is None else collector.summary(stats.end_cycle)
+        ),
     )
 
 
@@ -128,6 +139,12 @@ class BatchPoint:
     label: Optional[str] = None
     #: Override for the reported pattern name (e.g. the blend fraction).
     pattern_label: Optional[str] = None
+    #: Attach a streaming :class:`~repro.sim.metrics.MetricsCollector`
+    #: to the run; the point comes back with a picklable
+    #: :class:`~repro.sim.metrics.MetricsSummary` in ``metrics``.
+    collect_metrics: bool = False
+    #: Busy-tick window grain (cycles) for collected metrics.
+    metrics_window: int = 256
 
 
 #: Per-process caches of analytic loads and programmed weight tables,
@@ -182,6 +199,11 @@ def measure_batch_point(point: BatchPoint) -> ThroughputPoint:
             point.weight_patterns or (point.pattern,),
             point.cores_per_chip,
         )
+    collector = (
+        MetricsCollector(window_cycles=point.metrics_window)
+        if point.collect_metrics
+        else None
+    )
     result = measure_batch(
         machine,
         route_computer,
@@ -194,6 +216,7 @@ def measure_batch_point(point: BatchPoint) -> ThroughputPoint:
         vc_weight_tables=vc_weight_tables,
         seed=point.seed,
         label=point.label,
+        collector=collector,
     )
     if point.pattern_label is not None:
         result.pattern = point.pattern_label

@@ -7,6 +7,8 @@ Commands map onto the reproduction's main entry points:
 * ``search``     -- the Section 2.4 direction-order routing search
 * ``deadlock``   -- the Section 2.5 dependency-graph verification
 * ``throughput`` -- one batch-throughput measurement point
+* ``trace``      -- run one batch with structured event tracing, writing
+  a JSONL trace (also regenerates the golden conformance traces)
 * ``latency``    -- the Figure 11/12 latency model
 * ``area``       -- Tables 1 and 2 from the area model
 * ``energy``     -- the Figure 13 energy curves
@@ -158,6 +160,104 @@ def cmd_throughput(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    import contextlib
+
+    from repro.sim.goldens import GOLDEN_NAMES, write_golden
+    from repro.sim.metrics import MetricsCollector
+    from repro.sim.simulator import run_batch
+    from repro.sim.trace import JsonlTraceWriter, Tee
+    from repro.traffic.batch import BatchSpec
+    from repro.traffic.patterns import (
+        NHopNeighbor,
+        ReverseTornado,
+        Tornado,
+        UniformRandom,
+    )
+
+    @contextlib.contextmanager
+    def output_stream():
+        if args.out == "-":
+            yield sys.stdout
+        else:
+            with open(args.out, "w") as stream:
+                yield stream
+
+    if args.list_goldens:
+        for name in GOLDEN_NAMES:
+            print(name)
+        return 0
+    if args.golden is not None:
+        if args.golden not in GOLDEN_NAMES:
+            print(
+                f"unknown golden trace {args.golden!r}; "
+                f"known: {', '.join(GOLDEN_NAMES)}",
+                file=sys.stderr,
+            )
+            return 2
+        with output_stream() as stream:
+            events = write_golden(args.golden, stream)
+        if args.out != "-":
+            print(f"{args.golden}: {events} events -> {args.out}", file=sys.stderr)
+        return 0
+
+    machine = _machine(args)
+    routes = RouteComputer(machine)
+    patterns = {
+        "uniform": lambda: UniformRandom(args.shape),
+        "2hop": lambda: NHopNeighbor(args.shape, 2),
+        "1hop": lambda: NHopNeighbor(args.shape, 1),
+        "tornado": lambda: Tornado(args.shape),
+        "reverse-tornado": lambda: ReverseTornado(args.shape),
+    }
+    pattern = patterns[args.pattern]()
+    collector = MetricsCollector(window_cycles=args.window)
+    with output_stream() as stream:
+        writer = JsonlTraceWriter(
+            stream,
+            meta={
+                "shape": list(args.shape),
+                "endpoints": args.endpoints,
+                "tpc": machine.ticks_per_cycle,
+                "workload": f"batch {pattern.name} x{args.batch} "
+                f"{args.arbitration} seed{args.seed}",
+            },
+        )
+        spec = BatchSpec(
+            pattern,
+            packets_per_source=args.batch,
+            cores_per_chip=args.cores,
+            seed=args.seed,
+        )
+        stats = run_batch(
+            machine,
+            routes,
+            spec,
+            arbitration=args.arbitration,
+            weight_patterns=[pattern] if args.arbitration == "iw" else None,
+            trace=Tee(writer, collector),
+        )
+        writer.write_record(
+            {
+                "ev": "end",
+                "cyc": stats.end_cycle,
+                "injected": stats.injected,
+                "delivered": stats.delivered,
+                "events": writer.events_written,
+            }
+        )
+    summary = collector.summary(stats.end_cycle)
+    quantiles = summary.latency_quantiles
+    print(
+        f"{pattern.name} / {args.arbitration}: {writer.events_written} events, "
+        f"{stats.delivered} packets in {stats.end_cycle} cycles; "
+        f"latency p50={quantiles[0.5]} p95={quantiles[0.95]} "
+        f"p99={quantiles[0.99]} cycles",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_latency(args) -> int:
     from repro.models.latency import (
         LatencyModel,
@@ -257,6 +357,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arbitration", default="iw", choices=["rr", "age", "iw"])
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_throughput)
+
+    p = sub.add_parser(
+        "trace", help="write a structured JSONL event trace of one batch run"
+    )
+    add_machine_args(p, endpoints=2)
+    p.add_argument(
+        "--pattern",
+        default="uniform",
+        choices=["uniform", "1hop", "2hop", "tornado", "reverse-tornado"],
+    )
+    p.add_argument("--batch", type=int, default=4)
+    p.add_argument("--cores", type=int, default=2)
+    p.add_argument("--arbitration", default="rr", choices=["rr", "age", "iw"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--window", type=int, default=256,
+                   help="busy-tick window grain in cycles (default: 256)")
+    p.add_argument("--out", default="-",
+                   help="output JSONL path ('-' for stdout)")
+    p.add_argument("--golden", default=None,
+                   help="regenerate one canonical golden trace by name")
+    p.add_argument("--list-goldens", action="store_true",
+                   help="list canonical golden trace names and exit")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("latency", help="Figure 11/12 latency model")
     add_machine_args(p, endpoints=2)

@@ -7,6 +7,13 @@ from .endpoints import (
     measure_one_way_latency,
 )
 from .engine import ArbiterBuilder, DeadlockError, Engine, round_robin_builder
+from .metrics import (
+    ChannelBusyWindows,
+    MetricsCollector,
+    MetricsSummary,
+    StreamingQuantile,
+    VcOccupancyHistogram,
+)
 from .packet import Packet
 from .simulator import (
     DEFAULT_WEIGHT_BITS,
@@ -17,21 +24,32 @@ from .simulator import (
     run_single_packet,
 )
 from .stats import SimStats
+from .trace import JsonlTraceWriter, ListSink, Tee, TraceEvent, read_trace
 
 __all__ = [
     "ArbiterBuilder",
+    "ChannelBusyWindows",
     "CountedWriteCounter",
     "DEFAULT_WEIGHT_BITS",
     "DeadlockError",
     "Engine",
+    "JsonlTraceWriter",
+    "ListSink",
+    "MetricsCollector",
+    "MetricsSummary",
     "Packet",
     "PingPongDriver",
     "PingPongResult",
     "SimStats",
+    "StreamingQuantile",
+    "Tee",
+    "TraceEvent",
+    "VcOccupancyHistogram",
     "arbiter_builder_for",
     "make_vc_weight_tables",
     "make_weight_tables",
     "measure_one_way_latency",
+    "read_trace",
     "round_robin_builder",
     "run_batch",
     "run_single_packet",

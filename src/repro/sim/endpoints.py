@@ -80,6 +80,7 @@ class PingPongDriver:
         rounds: int = 16,
         software_overhead_cycles: int = 20,
         choice: Optional[RouteChoice] = None,
+        trace=None,
     ) -> None:
         if rounds < 1:
             raise ValueError("at least one round trip is required")
@@ -90,7 +91,7 @@ class PingPongDriver:
         self.rounds = rounds
         self.software_overhead = software_overhead_cycles
         self.choice = choice or RouteChoice()
-        self._engine = Engine(machine)
+        self._engine = Engine(machine, trace=trace)
         self._engine.on_delivery = self._handle_delivery
         self._counters: Dict[int, CountedWriteCounter] = {}
         self._round_starts: List[int] = []
@@ -132,6 +133,8 @@ class PingPongDriver:
     def run(self) -> PingPongResult:
         self._start_round(0)
         self._engine.run()
+        if self._engine.trace is not None:
+            self._engine.trace.flush()
         if len(self._round_ends) != self.rounds:  # pragma: no cover
             raise RuntimeError("ping-pong did not complete")
         durations = [

@@ -46,8 +46,10 @@ from repro.arbiters.base import Arbiter
 from repro.arbiters.round_robin import RoundRobinArbiter
 from repro.core.machine import ComponentKind, Machine
 
+from .metrics import StreamingQuantile
 from .packet import Packet
 from .stats import SimStats
+from .trace import TraceEvent
 
 
 class DeadlockError(RuntimeError):
@@ -115,12 +117,22 @@ class Engine:
         vc_arbiter_builder: VcArbiterBuilder = round_robin_builder,
         watchdog_cycles: int = 20_000,
         keep_packet_latencies: bool = False,
+        trace=None,
+        latency_quantiles: bool = False,
     ) -> None:
         self.machine = machine
         self.stats = SimStats()
         self.cycle = 0
         self.watchdog_cycles = watchdog_cycles
         self.keep_packet_latencies = keep_packet_latencies
+        #: Optional structured-event sink (see :mod:`repro.sim.trace`).
+        #: ``None`` keeps tracing zero-overhead: one attribute check per
+        #: emission site, no event construction.
+        self.trace = trace
+        if latency_quantiles:
+            # Streaming p50/p95/p99 without retaining per-packet latency
+            # lists (see :mod:`repro.sim.metrics`).
+            self.stats.latency_estimator = StreamingQuantile()
 
         channels = machine.channels
         #: Per-channel, per-VC buffers at the channel's destination.
@@ -236,10 +248,7 @@ class Engine:
                 self._in_network
                 and self.cycle - self._last_progress > self.watchdog_cycles
             ):
-                raise DeadlockError(
-                    f"no progress for {self.watchdog_cycles} cycles at cycle "
-                    f"{self.cycle}; {self._in_network} packets stuck in the network"
-                )
+                self._raise_deadlock()
             self.cycle += 1
         return self.stats
 
@@ -262,15 +271,22 @@ class Engine:
                 self._in_network
                 and self.cycle - self._last_progress > self.watchdog_cycles
             ):
-                raise DeadlockError(
-                    f"no progress for {self.watchdog_cycles} cycles at cycle "
-                    f"{self.cycle}; {self._in_network} packets stuck in the network"
-                )
+                self._raise_deadlock()
             self.cycle += 1
         self.stats.end_cycle = self.cycle
         return self.stats
 
     # --- internals ----------------------------------------------------------------
+
+    def _raise_deadlock(self) -> None:
+        # Flush any partial trace first: a wedged run's events up to the
+        # jam are exactly the evidence a deadlock post-mortem needs.
+        if self.trace is not None:
+            self.trace.flush()
+        raise DeadlockError(
+            f"no progress for {self.watchdog_cycles} cycles at cycle "
+            f"{self.cycle}; {self._in_network} packets stuck in the network"
+        )
 
     def _push_event(self, cycle: int, kind: int, a, b, c) -> None:
         self._event_seq += 1
@@ -299,6 +315,21 @@ class Engine:
             self._in_network -= 1
             self._last_progress = self.cycle
             vc = packet.route.hops[-1][1]
+            if self.trace is not None:
+                self.trace.emit(
+                    TraceEvent(
+                        "deliver",
+                        self.cycle,
+                        self.cycle * self._ticks_per_cycle,
+                        packet.pid,
+                        channel_id,
+                        vc,
+                        (
+                            ("lat", packet.network_latency),
+                            ("qlat", packet.latency),
+                        ),
+                    )
+                )
             self._push_event(
                 self.cycle + channel.latency,
                 _EV_CREDIT,
@@ -314,6 +345,17 @@ class Engine:
         self._buffers[channel_id][vc].append(packet)
         self._buffered_count[channel_id] += 1
         self._active.add(channel.dst)
+        if self.trace is not None:
+            self.trace.emit(
+                TraceEvent(
+                    "arrive",
+                    self.cycle,
+                    self.cycle * self._ticks_per_cycle,
+                    packet.pid,
+                    channel_id,
+                    vc,
+                )
+            )
 
     def _step(self) -> None:
         now = self.cycle
@@ -400,6 +442,18 @@ class Engine:
                 continue
             packet, ic, vc, ovc = slots[winner]
             self.vc_arbiters[ic].commit(vc, packet)
+            if self.trace is not None:
+                self.trace.emit(
+                    TraceEvent(
+                        "grant",
+                        now,
+                        now * self._ticks_per_cycle,
+                        packet.pid,
+                        oc,
+                        ovc,
+                        (("in_ch", ic), ("in_vc", vc)),
+                    )
+                )
             self._depart(packet, ic, vc, oc, ovc, now)
         return has_packets
 
@@ -430,6 +484,22 @@ class Engine:
         self._in_network += 1
         packet.inject_cycle = now
         self.stats.record_injection(packet)
+        if self.trace is not None:
+            self.trace.emit(
+                TraceEvent(
+                    "inject",
+                    now,
+                    now * self._ticks_per_cycle,
+                    packet.pid,
+                    oc,
+                    ovc,
+                    (
+                        ("src", comp_id),
+                        ("dst", packet.dst),
+                        ("flits", packet.size_flits),
+                    ),
+                )
+            )
         self._depart(packet, None, 0, oc, ovc, now)
         return True
 
@@ -454,6 +524,33 @@ class Engine:
         self._credits[oc][ovc] -= size
         self.stats.record_channel_use(oc, size, busy_ticks)
         self._last_progress = now
+        if self.trace is not None:
+            now_ticks = now * self._ticks_per_cycle
+            self.trace.emit(
+                TraceEvent(
+                    "depart",
+                    now,
+                    now_ticks,
+                    packet.pid,
+                    oc,
+                    ovc,
+                    (("flits", size), ("busy", busy_ticks), ("end", end_ticks)),
+                )
+            )
+            if from_channel is not None and ovc != from_vc:
+                # Dateline / dimension-completion VC promotion: the hop
+                # carried the packet onto a higher VC (Section 2.5).
+                self.trace.emit(
+                    TraceEvent(
+                        "promote",
+                        now,
+                        now_ticks,
+                        packet.pid,
+                        oc,
+                        ovc,
+                        (("from_vc", from_vc),),
+                    )
+                )
         if from_channel is not None:
             self._input_free_at[from_channel] = now + size
             self._pop_head(from_channel, from_vc)

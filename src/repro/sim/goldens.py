@@ -1,0 +1,209 @@
+"""Canonical golden-trace runs: the engine-semantics conformance suite.
+
+Each run here is small, deterministic, and chosen to cover a distinct
+slice of engine behavior:
+
+* ``uniform_2x2x2`` -- uniform random batch on the smallest full machine
+  with round-robin arbitration: exercises both slices, VC promotion at
+  datelines, and multi-hop contention;
+* ``tornado_4x1x1`` -- tornado on a radix-4 X ring with inverse-weighted
+  arbitration at both stages: exercises the weight-table path and
+  sustained torus serialization at the exact 45/14 rate;
+* ``pingpong_2x2x2`` -- the Section 4.3 counted-write ping-pong:
+  exercises the delivery hook, reply injection, and an idle network's
+  pure pipeline latency.
+
+With the exact fixed-point timebase a run's trace is a pure function of
+its spec, so the JSONL rendering of these runs is committed under
+``tests/golden/`` and *byte*-compared on every CI run. Any change to
+arbitration order, credit return, serialization timing, or the trace
+schema shows up as a readable JSONL diff instead of a silent drift in
+downstream figures. Regenerate after an intentional semantics change
+with::
+
+    python -m repro trace --golden <name> --out tests/golden/<name>.jsonl
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+from typing import IO, Dict
+
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+
+from .endpoints import PingPongDriver
+from .simulator import run_batch
+from .trace import JsonlTraceWriter
+
+#: Repo-relative directory holding the committed golden artifacts.
+GOLDEN_DIR = (
+    pathlib.Path(__file__).resolve().parents[3] / "tests" / "golden"
+)
+
+
+def _batch_golden(
+    writer: JsonlTraceWriter,
+    shape,
+    endpoints: int,
+    pattern,
+    batch_size: int,
+    arbitration: str,
+    seed: int,
+) -> None:
+    from repro.traffic.batch import BatchSpec
+
+    machine = Machine(MachineConfig(shape=shape, endpoints_per_chip=endpoints))
+    routes = RouteComputer(machine)
+    spec = BatchSpec(
+        pattern,
+        packets_per_source=batch_size,
+        cores_per_chip=endpoints,
+        seed=seed,
+    )
+    stats = run_batch(
+        machine,
+        routes,
+        spec,
+        arbitration=arbitration,
+        weight_patterns=[pattern] if arbitration == "iw" else None,
+        trace=writer,
+    )
+    writer.write_record(
+        {
+            "ev": "end",
+            "cyc": stats.end_cycle,
+            "injected": stats.injected,
+            "delivered": stats.delivered,
+            "events": writer.events_written,
+        }
+    )
+
+
+def _run_uniform_2x2x2(writer: JsonlTraceWriter) -> None:
+    from repro.traffic.patterns import UniformRandom
+
+    _batch_golden(
+        writer,
+        shape=(2, 2, 2),
+        endpoints=2,
+        pattern=UniformRandom((2, 2, 2)),
+        batch_size=2,
+        arbitration="rr",
+        seed=5,
+    )
+
+
+def _run_tornado_4x1x1(writer: JsonlTraceWriter) -> None:
+    from repro.traffic.patterns import Tornado
+
+    _batch_golden(
+        writer,
+        shape=(4, 1, 1),
+        endpoints=1,
+        pattern=Tornado((4, 1, 1)),
+        batch_size=4,
+        arbitration="iw",
+        seed=3,
+    )
+
+
+def _run_pingpong_2x2x2(writer: JsonlTraceWriter) -> None:
+    machine = Machine(MachineConfig(shape=(2, 2, 2), endpoints_per_chip=1))
+    routes = RouteComputer(machine)
+    driver = PingPongDriver(
+        machine,
+        routes,
+        endpoint_a=machine.ep_id[((0, 0, 0), 0)],
+        endpoint_b=machine.ep_id[((1, 1, 1), 0)],
+        rounds=3,
+        software_overhead_cycles=20,
+        trace=writer,
+    )
+    result = driver.run()
+    writer.write_record(
+        {
+            "ev": "end",
+            "round_trips": result.round_trips,
+            "total_cycles": result.total_cycles,
+            "events": writer.events_written,
+        }
+    )
+
+
+#: Name -> (runner, header metadata). Metadata pins the run spec in the
+#: trace header so a golden file is self-describing.
+_GOLDEN_RUNS = {
+    "uniform_2x2x2": (
+        _run_uniform_2x2x2,
+        {
+            "name": "uniform_2x2x2",
+            "shape": [2, 2, 2],
+            "endpoints": 2,
+            "workload": "batch uniform x2 rr seed5",
+        },
+    ),
+    "tornado_4x1x1": (
+        _run_tornado_4x1x1,
+        {
+            "name": "tornado_4x1x1",
+            "shape": [4, 1, 1],
+            "endpoints": 1,
+            "workload": "batch tornado x4 iw seed3",
+        },
+    ),
+    "pingpong_2x2x2": (
+        _run_pingpong_2x2x2,
+        {
+            "name": "pingpong_2x2x2",
+            "shape": [2, 2, 2],
+            "endpoints": 1,
+            "workload": "pingpong corner-to-corner rounds3 overhead20",
+        },
+    ),
+}
+
+GOLDEN_NAMES = tuple(_GOLDEN_RUNS)
+
+
+def write_golden(name: str, stream: IO[str]) -> int:
+    """Run one canonical spec, streaming its JSONL trace; returns the
+    number of events written."""
+    try:
+        runner, meta = _GOLDEN_RUNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown golden trace {name!r}; known: {', '.join(GOLDEN_NAMES)}"
+        )
+    machine_meta = dict(meta)
+    shape = tuple(machine_meta["shape"])
+    machine_meta["tpc"] = Machine(
+        MachineConfig(shape=shape, endpoints_per_chip=machine_meta["endpoints"])
+    ).ticks_per_cycle
+    writer = JsonlTraceWriter(stream, meta=machine_meta)
+    runner(writer)
+    writer.flush()
+    return writer.events_written
+
+
+def render_golden(name: str) -> str:
+    """One canonical run's full JSONL text (for byte comparison)."""
+    buffer = io.StringIO()
+    write_golden(name, buffer)
+    return buffer.getvalue()
+
+
+def committed_golden_path(name: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"{name}.jsonl"
+
+
+def check_goldens() -> Dict[str, bool]:
+    """Regenerate every golden and compare against the committed bytes."""
+    results: Dict[str, bool] = {}
+    for name in GOLDEN_NAMES:
+        path = committed_golden_path(name)
+        results[name] = (
+            path.exists() and path.read_text() == render_golden(name)
+        )
+    return results

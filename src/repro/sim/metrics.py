@@ -1,0 +1,309 @@
+"""Streaming metric reducers over the engine's structured event stream.
+
+These turn the :mod:`repro.sim.trace` event stream into the paper's
+measurement quantities without retaining per-packet state:
+
+* :class:`StreamingQuantile` -- a deterministic streaming quantile
+  estimator over integer samples (release/injection-to-delivery latencies
+  are integer cycles), used for the Figure 11/12-style p50/p95/p99
+  columns. Exact while the sample spread is small; degrades to
+  power-of-two-width bins under a hard memory bound, with a final state
+  that depends only on the *multiset* of samples (not their order or
+  chunking) -- so parallel sweeps and serial loops report identical
+  quantiles.
+* :class:`ChannelBusyWindows` -- per-channel busy-tick time series in
+  fixed cycle windows (channel occupancy vs time, Figure 9's saturation
+  behavior made observable).
+* :class:`VcOccupancyHistogram` -- cycles spent at each buffer occupancy
+  level per (channel, VC): the VC-residency view behind the dateline/
+  promotion analysis.
+* :class:`MetricsCollector` -- a trace sink that feeds all of the above
+  and renders a picklable :class:`MetricsSummary` for sweep results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .trace import TraceEvent
+
+#: The quantiles reported by default everywhere (p50/p95/p99).
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class StreamingQuantile:
+    """Deterministic streaming quantiles over integer samples.
+
+    Samples are counted in bins of width ``2**k`` (``k`` starts at 0:
+    exact). When the number of occupied bins exceeds ``max_bins`` the
+    width doubles (re-binning in place) until it fits, so memory is
+    bounded by ``max_bins`` regardless of sample count. The width only
+    grows when the *seen* multiset requires it, which makes the final
+    state a pure function of the multiset: feeding the same samples in
+    any order, any chunking, or via :meth:`merge` yields bit-identical
+    quantiles. While the width is 1 (spread below ``max_bins``), reported
+    quantiles are exact order statistics.
+
+    ``quantile(q)`` uses the nearest-rank definition: the smallest sample
+    value v such that at least ``ceil(q * n)`` samples are <= v (the bin's
+    lower edge once widened) -- monotone in q by construction.
+    """
+
+    def __init__(self, max_bins: int = 4096) -> None:
+        if max_bins < 2:
+            raise ValueError("max_bins must be at least 2")
+        self.max_bins = max_bins
+        self.width = 1
+        self.count = 0
+        self._bins: Dict[int, int] = {}
+
+    def add(self, value: int) -> None:
+        """Count one integer sample."""
+        value = int(value)
+        start = value - value % self.width
+        bins = self._bins
+        bins[start] = bins.get(start, 0) + 1
+        self.count += 1
+        if len(bins) > self.max_bins:
+            self._compact()
+
+    def add_many(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _compact(self) -> None:
+        while len(self._bins) > self.max_bins:
+            self.width *= 2
+            merged: Dict[int, int] = {}
+            for start, count in self._bins.items():
+                wide = start - start % self.width
+                merged[wide] = merged.get(wide, 0) + count
+            self._bins = merged
+
+    def merge(self, other: "StreamingQuantile") -> None:
+        """Fold another estimator's samples into this one.
+
+        Equivalent to having added the other estimator's samples here
+        (at its recorded resolution), so merge order does not matter.
+        """
+        if other.width > self.width:
+            # Re-bin our finer bins at the coarser width.
+            self.width = other.width
+            merged: Dict[int, int] = {}
+            for start, count in self._bins.items():
+                wide = start - start % self.width
+                merged[wide] = merged.get(wide, 0) + count
+            self._bins = merged
+        bins = self._bins
+        for start, count in other._bins.items():
+            wide = start - start % self.width
+            bins[wide] = bins.get(wide, 0) + count
+        self.count += other.count
+        if len(bins) > self.max_bins:
+            self._compact()
+
+    def quantile(self, q: float) -> int:
+        """Nearest-rank quantile; exact while the bin width is 1."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError("no samples recorded")
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for start in sorted(self._bins):
+            cumulative += self._bins[start]
+            if cumulative >= rank:
+                return start
+        raise AssertionError("rank exceeded total count")  # pragma: no cover
+
+    def quantiles(
+        self, qs: Sequence[float] = DEFAULT_QUANTILES
+    ) -> Dict[float, int]:
+        return {q: self.quantile(q) for q in qs}
+
+    def state(self) -> dict:
+        """JSON-safe serialized state (see :meth:`from_state`)."""
+        return {
+            "max_bins": self.max_bins,
+            "width": self.width,
+            "count": self.count,
+            "bins": {str(start): n for start, n in self._bins.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingQuantile":
+        est = cls(max_bins=state["max_bins"])
+        est.width = state["width"]
+        est.count = state["count"]
+        est._bins = {int(start): n for start, n in state["bins"].items()}
+        return est
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, StreamingQuantile):
+            return NotImplemented
+        return (
+            self.max_bins == other.max_bins
+            and self.width == other.width
+            and self.count == other.count
+            and self._bins == other._bins
+        )
+
+
+class ChannelBusyWindows:
+    """Per-channel busy-tick time series in fixed cycle windows.
+
+    Consumes ``depart`` events: a departure's exact occupancy ticks are
+    attributed to the window containing the cycle serialization was
+    granted (windows are an observability grain, not a timing model, so
+    spill across a window edge is not split).
+    """
+
+    def __init__(self, window_cycles: int = 256) -> None:
+        if window_cycles < 1:
+            raise ValueError("window must be at least one cycle")
+        self.window_cycles = window_cycles
+        self._windows: Dict[int, Dict[int, int]] = {}
+
+    def on_depart(self, event: TraceEvent) -> None:
+        window = event.cycle // self.window_cycles
+        per_channel = self._windows.setdefault(event.channel, {})
+        per_channel[window] = per_channel.get(window, 0) + event.get("busy")
+
+    def series(self, channel: int) -> List[int]:
+        """Busy ticks per window for one channel, zero-filled, from t=0."""
+        per_channel = self._windows.get(channel)
+        if not per_channel:
+            return []
+        out = [0] * (max(per_channel) + 1)
+        for window, ticks in per_channel.items():
+            out[window] = ticks
+        return out
+
+    def totals(self) -> Dict[int, int]:
+        """Total busy ticks per channel (matches SimStats accounting)."""
+        return {
+            channel: sum(per_channel.values())
+            for channel, per_channel in sorted(self._windows.items())
+        }
+
+
+class VcOccupancyHistogram:
+    """Cycles spent at each occupancy level per (channel, VC) buffer.
+
+    ``arrive`` events raise a buffer's occupancy; ``grant`` events (whose
+    ``in_ch``/``in_vc`` name the buffer a packet is leaving) lower it.
+    Each transition charges the elapsed cycles to the level the buffer
+    was at; call :meth:`finalize` (idempotent per end cycle) to charge
+    the tail through the end of the run.
+    """
+
+    def __init__(self) -> None:
+        self._occupancy: Dict[Tuple[int, int], int] = {}
+        self._since: Dict[Tuple[int, int], int] = {}
+        self._hist: Dict[Tuple[int, int], Dict[int, int]] = {}
+
+    def _charge(self, key: Tuple[int, int], now: int) -> None:
+        level = self._occupancy.get(key, 0)
+        elapsed = now - self._since.get(key, 0)
+        if elapsed:
+            hist = self._hist.setdefault(key, {})
+            hist[level] = hist.get(level, 0) + elapsed
+        self._since[key] = now
+
+    def on_arrive(self, event: TraceEvent) -> None:
+        key = (event.channel, event.vc)
+        self._charge(key, event.cycle)
+        self._occupancy[key] = self._occupancy.get(key, 0) + 1
+
+    def on_grant(self, event: TraceEvent) -> None:
+        key = (event.get("in_ch"), event.get("in_vc"))
+        self._charge(key, event.cycle)
+        self._occupancy[key] = self._occupancy.get(key, 0) - 1
+
+    def finalize(self, end_cycle: int) -> None:
+        for key in list(self._since):
+            self._charge(key, end_cycle)
+
+    def histogram(self, channel: int, vc: int) -> Dict[int, int]:
+        """``{occupancy level: cycles}`` for one buffer."""
+        return dict(self._hist.get((channel, vc), {}))
+
+    def histograms(self) -> Dict[Tuple[int, int], Dict[int, int]]:
+        return {key: dict(hist) for key, hist in sorted(self._hist.items())}
+
+
+@dataclasses.dataclass
+class MetricsSummary:
+    """Picklable end-of-run rendering of one collector (sweep results)."""
+
+    delivered: int
+    window_cycles: int
+    #: Injection-to-delivery latency quantiles, keyed by q (p50/p95/p99).
+    latency_quantiles: Dict[float, int]
+    #: Total busy ticks per channel id (trace-derived; must equal the
+    #: engine's ``SimStats.channel_busy_ticks`` accounting).
+    channel_busy_ticks: Dict[int, int]
+    #: Busy-tick series per channel id, one entry per window.
+    busy_windows: Dict[int, List[int]]
+    #: ``{(channel, vc): {occupancy: cycles}}`` buffer residency.
+    vc_occupancy: Dict[Tuple[int, int], Dict[int, int]]
+
+
+class MetricsCollector:
+    """Trace sink feeding the streaming reducers.
+
+    Attach directly as ``Engine(trace=collector)`` or fan out alongside a
+    JSONL writer via :class:`repro.sim.trace.Tee`.
+    """
+
+    def __init__(
+        self,
+        window_cycles: int = 256,
+        max_bins: int = 4096,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ) -> None:
+        self.latency = StreamingQuantile(max_bins=max_bins)
+        self.busy = ChannelBusyWindows(window_cycles=window_cycles)
+        self.occupancy = VcOccupancyHistogram()
+        self.delivered = 0
+        self.last_cycle = 0
+        self._quantiles = tuple(quantiles)
+
+    def emit(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if event.cycle > self.last_cycle:
+            self.last_cycle = event.cycle
+        if kind == "depart":
+            self.busy.on_depart(event)
+        elif kind == "arrive":
+            self.occupancy.on_arrive(event)
+        elif kind == "grant":
+            self.occupancy.on_grant(event)
+        elif kind == "deliver":
+            self.delivered += 1
+            self.latency.add(event.get("lat"))
+
+    def flush(self) -> None:
+        pass
+
+    def summary(self, end_cycle: Optional[int] = None) -> MetricsSummary:
+        """Render the picklable summary (finalizes occupancy residency)."""
+        self.occupancy.finalize(
+            self.last_cycle if end_cycle is None else end_cycle
+        )
+        quantiles = (
+            self.latency.quantiles(self._quantiles) if self.delivered else {}
+        )
+        return MetricsSummary(
+            delivered=self.delivered,
+            window_cycles=self.busy.window_cycles,
+            latency_quantiles=quantiles,
+            channel_busy_ticks=self.busy.totals(),
+            busy_windows={
+                channel: self.busy.series(channel)
+                for channel in self.busy.totals()
+            },
+            vc_occupancy=self.occupancy.histograms(),
+        )

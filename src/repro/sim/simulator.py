@@ -148,6 +148,8 @@ def run_batch(
     weight_bits: int = DEFAULT_WEIGHT_BITS,
     max_cycles: int = 10_000_000,
     keep_packet_latencies: bool = False,
+    trace=None,
+    latency_quantiles: bool = False,
 ) -> SimStats:
     """Run one batch experiment and return its statistics.
 
@@ -155,6 +157,11 @@ def run_batch(
     (pre-programmed) or ``weight_patterns`` (programmed here from analytic
     loads) must be given. Inverse weighting is applied at both
     arbitration stages (output ports and per-input VC selection).
+
+    ``trace`` attaches a structured-event sink (:mod:`repro.sim.trace`);
+    ``latency_quantiles`` enables the streaming p50/p95/p99 estimator on
+    the returned stats (:mod:`repro.sim.metrics`). Both are pure
+    observers: results are bitwise-identical with or without them.
     """
     from repro.traffic.batch import generate_batch
     from repro.traffic.loads import compute_loads
@@ -208,10 +215,15 @@ def run_batch(
         arbiter_builder=builder,
         vc_arbiter_builder=vc_builder,
         keep_packet_latencies=keep_packet_latencies,
+        trace=trace,
+        latency_quantiles=latency_quantiles,
     )
     for packet in generate_batch(machine, route_computer, spec):
         engine.enqueue(packet)
-    return engine.run(max_cycles=max_cycles)
+    stats = engine.run(max_cycles=max_cycles)
+    if trace is not None:
+        trace.flush()
+    return stats
 
 
 def run_single_packet(

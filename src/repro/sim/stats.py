@@ -10,9 +10,14 @@ from __future__ import annotations
 
 import dataclasses
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from .metrics import DEFAULT_QUANTILES, StreamingQuantile
 from .packet import Packet
+
+#: SimStats fields whose dicts count per-id quantities and must default
+#: missing ids to zero (restored as defaultdicts by :meth:`SimStats.from_dict`).
+_COUNTER_DICT_FIELDS = ("delivered_per_source", "channel_flits", "channel_busy_ticks")
 
 
 @dataclasses.dataclass
@@ -59,6 +64,10 @@ class SimStats:
     #: Retained per-packet latencies when ``keep_packet_latencies`` is set
     #: on the engine (used by the latency-vs-hops experiment).
     packet_latencies: List[int] = dataclasses.field(default_factory=list)
+    #: Streaming injection-to-delivery latency quantile estimator,
+    #: attached by ``Engine(latency_quantiles=True)``: p50/p95/p99 without
+    #: retaining every packet's latency.
+    latency_estimator: Optional[StreamingQuantile] = None
 
     def record_injection(self, packet: Packet) -> None:
         self.injected += 1
@@ -73,6 +82,8 @@ class SimStats:
         self.network_latency_sum += packet.network_latency
         if keep_latency:
             self.packet_latencies.append(packet.network_latency)
+        if self.latency_estimator is not None:
+            self.latency_estimator.add(packet.network_latency)
 
     def record_channel_use(
         self, channel_id: int, flits: int, busy_ticks: int = 0
@@ -129,6 +140,116 @@ class SimStats:
         if not counts or counts[-1] == 0:
             return None
         return counts[0] / counts[-1]
+
+    def latency_quantiles(
+        self, qs: Sequence[float] = DEFAULT_QUANTILES
+    ) -> Dict[float, int]:
+        """Network-latency quantiles from the streaming estimator.
+
+        Requires the engine to have been built with
+        ``latency_quantiles=True``; raises ``ValueError`` otherwise (or
+        when nothing was delivered).
+        """
+        if self.latency_estimator is None:
+            raise ValueError(
+                "no latency estimator attached; build the engine with "
+                "latency_quantiles=True"
+            )
+        return self.latency_estimator.quantiles(qs)
+
+    # --- serialization / aggregation --------------------------------------------
+
+    def asdict(self) -> dict:
+        """JSON-safe plain-dict form; inverse of :meth:`from_dict`.
+
+        Unlike raw ``dataclasses.asdict``, the streaming estimator is
+        rendered as its serialized state, so the result survives JSON (or
+        pickling across the sweep runner's process boundary) losslessly.
+        """
+        out = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+            if field.name != "latency_estimator"
+        }
+        for name in _COUNTER_DICT_FIELDS + ("source_finish_cycle",):
+            out[name] = dict(out[name])
+        out["packet_latencies"] = list(out["packet_latencies"])
+        out["latency_estimator"] = (
+            None if self.latency_estimator is None
+            else self.latency_estimator.state()
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        """Rebuild stats from :meth:`asdict` output (or its JSON round-trip).
+
+        Normalizes what generic reconstruction loses: the per-id counter
+        dicts come back as *defaultdicts* again (so ``channel_flits[cid]``
+        on an unused channel is 0, not a ``KeyError``), keys stringified
+        by JSON are restored to ints, and the quantile estimator is
+        revived from its serialized state.
+        """
+        kwargs = dict(data)
+        estimator_state = kwargs.pop("latency_estimator", None)
+        for name in _COUNTER_DICT_FIELDS:
+            restored = defaultdict(int)
+            for key, value in kwargs.get(name, {}).items():
+                restored[int(key)] = value
+            kwargs[name] = restored
+        kwargs["source_finish_cycle"] = {
+            int(key): value
+            for key, value in kwargs.get("source_finish_cycle", {}).items()
+        }
+        stats = cls(**kwargs)
+        if estimator_state is not None:
+            if isinstance(estimator_state, StreamingQuantile):
+                stats.latency_estimator = estimator_state
+            else:
+                stats.latency_estimator = StreamingQuantile.from_state(
+                    estimator_state
+                )
+        return stats
+
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Fold another run's (or shard's) stats into this one, in place.
+
+        Counters add, per-id dicts add id-wise, completion cycles take the
+        max, and per-source finishes keep the latest. Both sides must
+        share a timebase (``ticks_per_cycle``).
+        """
+        if self.ticks_per_cycle != other.ticks_per_cycle:
+            raise ValueError(
+                f"cannot merge stats across timebases "
+                f"({self.ticks_per_cycle} vs {other.ticks_per_cycle} ticks/cycle)"
+            )
+        self.injected += other.injected
+        self.delivered += other.delivered
+        self.last_delivery_cycle = max(
+            self.last_delivery_cycle, other.last_delivery_cycle
+        )
+        self.end_cycle = max(self.end_cycle, other.end_cycle)
+        for src, count in other.delivered_per_source.items():
+            self.delivered_per_source[src] += count
+        for src, cycle in other.source_finish_cycle.items():
+            existing = self.source_finish_cycle.get(src)
+            if existing is None or cycle > existing:
+                self.source_finish_cycle[src] = cycle
+        for cid, flits in other.channel_flits.items():
+            self.channel_flits[cid] += flits
+        for cid, ticks in other.channel_busy_ticks.items():
+            self.channel_busy_ticks[cid] += ticks
+        self.latency_sum += other.latency_sum
+        self.network_latency_sum += other.network_latency_sum
+        self.packet_latencies.extend(other.packet_latencies)
+        if other.latency_estimator is not None:
+            if self.latency_estimator is None:
+                self.latency_estimator = StreamingQuantile.from_state(
+                    other.latency_estimator.state()
+                )
+            else:
+                self.latency_estimator.merge(other.latency_estimator)
+        return self
 
     def finish_spread(self) -> Optional[float]:
         """Relative spread of per-source batch finish times.

@@ -157,6 +157,7 @@ def _smoke_points() -> List[SweepPoint]:
                     cores_per_chip=2,
                     arbitration=arbitration,
                     seed=7,
+                    collect_metrics=True,
                 )
             },
         )
@@ -184,16 +185,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parallel = run_sweep(_smoke_points(), max_workers=args.workers)
     status = 0
     for s, p in zip(serial, parallel):
+        # Every measured field -- including the streaming metric summary
+        # that crossed the process boundary -- must be bitwise-identical.
         match = (
             s.value.normalized_throughput == p.value.normalized_throughput
             and s.value.completion_cycles == p.value.completion_cycles
             and s.value.finish_spread == p.value.finish_spread
+            and s.value.metrics == p.value.metrics
         )
         if not match:
             status = 1
+        quantiles = p.value.metrics.latency_quantiles
         print(
             f"{s.label:24s} throughput={p.value.normalized_throughput:.3f} "
             f"cycles={p.value.completion_cycles} "
+            f"p50={quantiles[0.5]} p99={quantiles[0.99]} "
             f"worker={p.worker_pid} "
             f"{'OK' if match else 'MISMATCH vs serial'}"
         )

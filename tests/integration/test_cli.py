@@ -94,3 +94,69 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "random" in out
         assert "pJ/flit" in out
+
+
+class TestTraceCommand:
+    def test_list_goldens(self, capsys):
+        from repro.sim.goldens import GOLDEN_NAMES
+
+        assert main(["trace", "--list-goldens"]) == 0
+        out = capsys.readouterr().out
+        for name in GOLDEN_NAMES:
+            assert name in out
+
+    def test_golden_matches_committed_artifact(self, tmp_path):
+        from repro.sim.goldens import committed_golden_path
+
+        out_path = tmp_path / "golden.jsonl"
+        code = main(
+            ["trace", "--golden", "pingpong_2x2x2", "--out", str(out_path)]
+        )
+        assert code == 0
+        assert (
+            out_path.read_text()
+            == committed_golden_path("pingpong_2x2x2").read_text()
+        )
+
+    def test_unknown_golden_rejected(self, tmp_path, capsys):
+        code = main(["trace", "--golden", "nonesuch",
+                     "--out", str(tmp_path / "x.jsonl")])
+        assert code == 2
+        assert "unknown golden trace" in capsys.readouterr().err
+        assert not (tmp_path / "x.jsonl").exists()
+
+    def test_generic_run_writes_parseable_trace(self, tmp_path, capsys):
+        from repro.sim.trace import read_trace
+
+        out_path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "trace", "--shape", "2x2x2", "--endpoints", "2",
+                "--cores", "2", "--pattern", "uniform", "--batch", "2",
+                "--seed", "5", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        records, events = read_trace(out_path.read_text().splitlines())
+        assert records[0]["ev"] == "trace"
+        assert records[-1]["ev"] == "end"
+        kinds = {e.kind for e in events}
+        assert "inject" in kinds and "deliver" in kinds
+        # The human-readable summary goes to stderr, not into the trace.
+        err = capsys.readouterr().err
+        assert "p50" in err and "p99" in err
+
+    def test_stdout_trace(self, capsys):
+        code = main(
+            [
+                "trace", "--shape", "2x2x2", "--endpoints", "1",
+                "--cores", "1", "--pattern", "1hop", "--batch", "1",
+                "--out", "-",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        import json
+
+        for line in out.splitlines():
+            json.loads(line)

@@ -1,0 +1,106 @@
+"""Property tests for the deterministic streaming quantile estimator."""
+
+import json
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.metrics import StreamingQuantile
+
+samples_st = st.lists(
+    st.integers(min_value=0, max_value=100_000), min_size=1, max_size=300
+)
+quantile_st = st.floats(
+    min_value=0.01, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def nearest_rank(samples, q):
+    ordered = sorted(samples)
+    return ordered[max(1, math.ceil(q * len(ordered))) - 1]
+
+
+@given(samples=st.lists(st.integers(min_value=0, max_value=500),
+                        min_size=1, max_size=300),
+       q=quantile_st)
+def test_exact_while_uncompacted(samples, q):
+    """With values spanning fewer than max_bins distinct integers the bin
+    width stays 1 and the estimator IS the nearest-rank order statistic."""
+    est = StreamingQuantile()
+    est.add_many(samples)
+    assert est.width == 1
+    assert est.quantile(q) == nearest_rank(samples, q)
+
+
+@given(samples=samples_st, qs=st.tuples(quantile_st, quantile_st))
+def test_monotone_in_rank(samples, qs):
+    est = StreamingQuantile(max_bins=32)
+    est.add_many(samples)
+    lo, hi = sorted(qs)
+    assert est.quantile(lo) <= est.quantile(hi)
+
+
+@given(samples=samples_st, q=quantile_st)
+def test_estimate_bounded_by_true_value(samples, q):
+    """Even after compaction the estimate (a bin's lower edge) never
+    exceeds the true order statistic, and lands within one bin width."""
+    est = StreamingQuantile(max_bins=16)
+    est.add_many(samples)
+    exact = nearest_rank(samples, q)
+    approx = est.quantile(q)
+    assert approx <= exact < approx + est.width
+
+
+@given(samples=samples_st,
+       split=st.integers(min_value=0, max_value=300),
+       data=st.data())
+def test_deterministic_across_chunk_splits(samples, split, data):
+    """Feeding the same multiset in any chunking or order yields an
+    identical final state -- the determinism the golden traces rely on."""
+    split = min(split, len(samples))
+    chunked = StreamingQuantile(max_bins=16)
+    chunked.add_many(samples[:split])
+    chunked.add_many(samples[split:])
+
+    shuffled = data.draw(st.permutations(samples))
+    reordered = StreamingQuantile(max_bins=16)
+    for value in shuffled:
+        reordered.add(value)
+
+    assert chunked == reordered
+    assert chunked.quantiles() == reordered.quantiles()
+
+
+@given(samples=samples_st, split=st.integers(min_value=0, max_value=300))
+def test_merge_equals_single_stream(samples, split):
+    split = min(split, len(samples))
+    left, right = StreamingQuantile(max_bins=16), StreamingQuantile(max_bins=16)
+    left.add_many(samples[:split])
+    right.add_many(samples[split:])
+    left.merge(right)
+
+    single = StreamingQuantile(max_bins=16)
+    single.add_many(samples)
+    assert left == single
+
+
+@given(samples=samples_st)
+def test_count_and_extremes_preserved(samples):
+    est = StreamingQuantile(max_bins=16)
+    est.add_many(samples)
+    assert est.count == len(samples)
+    # p~0 and p=1.0 bracket the data to within one bin width.
+    assert est.quantile(1.0) <= max(samples) < est.quantile(1.0) + est.width
+    low = est.quantile(1.0 / len(samples))
+    assert low <= min(samples) < low + est.width
+
+
+@given(samples=samples_st)
+def test_state_round_trip_property(samples):
+    est = StreamingQuantile(max_bins=16)
+    est.add_many(samples)
+    via_json = StreamingQuantile.from_state(
+        json.loads(json.dumps(est.state()))
+    )
+    assert via_json == est

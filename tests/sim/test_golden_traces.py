@@ -1,0 +1,86 @@
+"""Golden-trace conformance: canonical runs byte-compared to committed
+JSONL artifacts under ``tests/golden/``.
+
+These pin the engine's observable semantics — arbitration order, VC
+promotion, serialization timing, trace schema. A diff here means either
+a bug or an intentional semantics change; regenerate with::
+
+    python -m repro trace --golden <name> --out tests/golden/<name>.jsonl
+"""
+
+import json
+
+import pytest
+
+from repro.sim.goldens import (
+    GOLDEN_NAMES,
+    committed_golden_path,
+    render_golden,
+)
+from repro.sim.trace import TRACE_SCHEMA_VERSION, read_trace
+
+
+class TestCommittedArtifacts:
+    """Fast structural checks on the files as committed (no simulation)."""
+
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_committed_file_is_valid_trace(self, name):
+        path = committed_golden_path(name)
+        assert path.exists(), f"missing golden artifact {path}"
+        lines = path.read_text().splitlines()
+        records, events = read_trace(lines)
+        header = records[0]
+        assert header["ev"] == "trace"
+        assert header["schema"] == TRACE_SCHEMA_VERSION
+        assert header["name"] == name
+        assert records[-1]["ev"] == "end"
+        assert records[-1]["events"] == len(events)
+        # Canonical serialization: every line round-trips byte-exactly.
+        for line in lines:
+            parsed = json.loads(line)
+            if parsed["ev"] in ("trace", "end"):
+                assert json.dumps(
+                    parsed, sort_keys=True, separators=(",", ":")
+                ) == line
+
+    def test_no_stray_files_in_golden_dir(self):
+        from repro.sim.goldens import GOLDEN_DIR
+
+        committed = sorted(p.name for p in GOLDEN_DIR.glob("*.jsonl"))
+        assert committed == sorted(f"{n}.jsonl" for n in GOLDEN_NAMES)
+
+
+def test_pingpong_regeneration_matches(tmp_path):
+    """Fast smoke: the cheapest golden regenerates byte-identically."""
+    name = "pingpong_2x2x2"
+    assert render_golden(name) == committed_golden_path(name).read_text()
+
+
+@pytest.mark.slow
+class TestGoldenConformance:
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_regeneration_is_byte_identical(self, name):
+        committed = committed_golden_path(name).read_text()
+        regenerated = render_golden(name)
+        if committed != regenerated:
+            committed_lines = committed.splitlines()
+            regenerated_lines = regenerated.splitlines()
+            for i, (old, new) in enumerate(
+                zip(committed_lines, regenerated_lines)
+            ):
+                assert old == new, (
+                    f"{name} diverges at line {i + 1}:\n"
+                    f"  committed:   {old}\n"
+                    f"  regenerated: {new}"
+                )
+            pytest.fail(
+                f"{name}: line counts differ "
+                f"({len(committed_lines)} committed, "
+                f"{len(regenerated_lines)} regenerated)"
+            )
+
+    def test_regeneration_is_stable_across_repeats(self):
+        # Two renders in one process share interned objects and caches;
+        # identical output rules out hidden mutable state in the runners.
+        name = GOLDEN_NAMES[0]
+        assert render_golden(name) == render_golden(name)

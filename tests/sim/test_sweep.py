@@ -21,7 +21,7 @@ from repro.sim.sweep import (
 from repro.traffic.patterns import UniformRandom
 
 
-def _points(seeds=(3, 4)):
+def _points(seeds=(3, 4), **batch_kwargs):
     config = MachineConfig(shape=(2, 2, 2), endpoints_per_chip=2)
     pattern = UniformRandom(config.shape)
     return [
@@ -36,6 +36,7 @@ def _points(seeds=(3, 4)):
                     cores_per_chip=2,
                     arbitration="rr",
                     seed=seed,
+                    **batch_kwargs,
                 )
             },
         )
@@ -75,6 +76,37 @@ class TestRunSweep:
         # One point never pays pool startup, whatever max_workers says.
         (result,) = run_sweep(_points(seeds=(2,)), max_workers=8)
         assert result.worker_pid == os.getpid()
+
+
+class TestMetricsThroughSweep:
+    """Metric summaries must survive the process-pool boundary and match
+    the serial path exactly -- they ride inside the pickled result."""
+
+    def test_metrics_collected_per_point_in_order(self):
+        points = _points(seeds=(5, 6), collect_metrics=True, metrics_window=64)
+        results = run_sweep(points, max_workers=2)
+        assert [r.label for r in results] == [p.label for p in points]
+        for result in results:
+            summary = result.value.metrics
+            assert summary is not None
+            # Whole batch delivered: 8 chips x 2 cores x 16 packets.
+            assert summary.delivered == 256
+            assert summary.window_cycles == 64
+            assert set(summary.latency_quantiles) == {0.5, 0.95, 0.99}
+
+    def test_parallel_metrics_match_serial(self):
+        serial = run_sweep(
+            _points(seeds=(5, 6), collect_metrics=True), max_workers=1
+        )
+        parallel = run_sweep(
+            _points(seeds=(5, 6), collect_metrics=True), max_workers=2
+        )
+        for s, p in zip(serial, parallel):
+            assert s.value.metrics == p.value.metrics
+
+    def test_metrics_off_by_default(self):
+        (result,) = run_sweep(_points(seeds=(5,)), max_workers=1)
+        assert result.value.metrics is None
 
 
 class TestSweepPoint:
