@@ -1,0 +1,106 @@
+"""Degraded-topology resilience: throughput and fairness vs failed links.
+
+The paper's machine keeps running when torus links fail -- the oblivious
+router's slice and dimension-order freedom leaves alternate single-phase
+routes past any single failure, and two-phase detours cover the rest.
+This benchmark quantifies the cost on a downscaled machine (4x4x2 torus,
+2 cores per chip): sweep 0..4 randomly failed torus links (seeded, so
+the sweep is reproducible), re-program the inverse-weighted arbiters
+from the *degraded* analytic loads, and measure one uniform-random batch
+per degraded machine.
+
+Checked claims:
+
+* every degraded machine still delivers the full batch -- no drops and
+  no unroutable pairs up to 4 simultaneous failed torus links;
+* throughput normalized to the degraded ideal bound stays high: the
+  simulator keeps extracting most of what the surviving topology
+  offers (graceful degradation, not collapse);
+* equality of service survives degradation: the finish-time Jain index
+  stays near 1 even with 4 failed links.
+
+Runtime: a couple of minutes (the per-point degraded load computation
+cannot use translation symmetry; the points are fanned across processes
+by ``repro.sim.sweep`` -- set ``REPRO_SWEEP_WORKERS=1`` to force the
+serial reference loop).
+"""
+
+from repro.analysis.degradation import degradation_sweep
+from repro.analysis.report import format_series
+from repro.core.machine import Machine, MachineConfig
+from repro.sim.sweep import default_workers
+from repro.traffic.patterns import UniformRandom
+
+SHAPE = (4, 4, 2)
+CORES = 2
+BATCH = 64
+MAX_FAILED = 4
+
+
+def run_experiment():
+    machine = Machine(MachineConfig(shape=SHAPE, endpoints_per_chip=CORES))
+    return degradation_sweep(
+        machine,
+        UniformRandom(SHAPE),
+        batch_size=BATCH,
+        cores_per_chip=CORES,
+        max_failed=MAX_FAILED,
+        arbitration="iw",
+        fault_seed=11,
+        seed=7,
+        max_workers=default_workers(),
+    )
+
+
+def test_degraded_throughput(benchmark, report):
+    points = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    healthy = points[0]
+    assert healthy.failed_links == 0
+    for point in points:
+        # Full delivery on every degraded machine: nothing dropped,
+        # nothing unroutable, no mid-run faults (all failures are
+        # present from cycle 0, so routes avoid them from injection).
+        assert point.delivered == healthy.delivered
+        assert point.dropped == 0
+        assert point.unroutable == 0
+        # Graceful degradation: most of the surviving topology's ideal
+        # bound is still extracted...
+        assert point.normalized_throughput > 0.5 * healthy.normalized_throughput
+        # ...and equality of service survives the detours.
+        assert point.finish_jain > 0.95
+
+    throughput = {
+        "vs degraded ideal": {
+            p.failed_links: round(p.normalized_throughput, 3) for p in points
+        },
+        "vs healthy ideal": {
+            p.failed_links: round(p.throughput_vs_healthy_ideal, 3)
+            for p in points
+        },
+    }
+    fairness = {
+        "finish spread": {
+            p.failed_links: round(p.finish_spread, 3) for p in points
+        },
+        "finish Jain": {
+            p.failed_links: round(p.finish_jain, 4) for p in points
+        },
+    }
+    text = "\n".join(
+        [
+            "Degraded-topology resilience -- throughput vs failed torus links",
+            f"(torus {SHAPE[0]}x{SHAPE[1]}x{SHAPE[2]}, {CORES} cores/chip, "
+            f"batch {BATCH}, iw weights re-programmed from degraded loads)",
+            "",
+            format_series(throughput, x_label="failed links"),
+            "",
+            "equality of service (spread 0 / Jain 1 = perfectly fair):",
+            format_series(fairness, x_label="failed links"),
+            "",
+            "every point delivered the full batch: the fault-aware resolver",
+            "found single-phase routes past every sampled failure set, and",
+            "the re-programmed weights kept service near-equal.",
+        ]
+    )
+    report("degraded_throughput", text)

@@ -1,5 +1,11 @@
 """Experiment harnesses, fairness metrics, and reporting."""
 
+from .degradation import (
+    DegradedPoint,
+    DegradedThroughputPoint,
+    degradation_sweep,
+    measure_degraded_point,
+)
 from .fairness import (
     expected_shares,
     figure5_loads,
@@ -18,8 +24,12 @@ from .throughput import (
 )
 
 __all__ = [
+    "DegradedPoint",
+    "DegradedThroughputPoint",
     "LatencyLoadPoint",
     "ThroughputPoint",
+    "degradation_sweep",
+    "measure_degraded_point",
     "ascii_bar_chart",
     "blend_sweep",
     "expected_shares",

@@ -1,0 +1,244 @@
+"""Degraded-machine throughput and fairness analysis.
+
+A fault set turns the healthy Anton 2 machine into a *degraded* one:
+fewer torus channels carrying the same traffic, over detoured routes.
+This module measures what that costs, using the same methodology as the
+healthy-throughput experiments (Section 4.1 normalization) so the two
+are directly comparable:
+
+* expected channel and arbiter loads are recomputed over the
+  *fault-aware* routes (``use_symmetry=False`` -- faults break the
+  translation symmetry the fast load path exploits);
+* for inverse-weighted arbitration, weight tables are programmed from
+  those degraded loads, mirroring how the offline flow of Section 3.2
+  would re-program a machine after reconfiguring around a failure;
+* normalized throughput uses the degraded ideal bound, so a value near 1
+  means the simulator extracts nearly all the bandwidth the surviving
+  topology offers.
+
+Every measured point is an independent simulation described by a
+picklable :class:`DegradedPoint` (the fault set rides along as its
+canonical JSON string), so sweeps fan across cores through
+:mod:`repro.sim.sweep` exactly like the healthy Figure 9 harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List, Optional, Sequence
+
+from repro.core.machine import ChannelKind, Machine, MachineConfig
+from repro.faults.model import FaultSet, sample_link_faults
+from repro.faults.runtime import FaultPolicy, FaultRuntime
+from repro.sim.simulator import make_vc_weight_tables, make_weight_tables, run_batch
+from repro.sim.sweep import SweepPoint, run_sweep, shared_machine
+from repro.traffic.batch import BatchSpec
+from repro.traffic.loads import compute_loads, ideal_batch_cycles
+from repro.traffic.patterns import TrafficPattern
+
+from .fairness import jain_index
+
+
+@dataclasses.dataclass
+class DegradedThroughputPoint:
+    """One measured point of a degradation experiment."""
+
+    pattern: str
+    arbitration: str
+    policy: str
+    #: Number of fault specs in the applied fault set (0 = healthy).
+    failed_links: int
+    #: Throughput normalized to the *degraded* ideal bound: the busiest
+    #: surviving torus channel under the fault-aware routes.
+    normalized_throughput: float
+    #: The same completion time normalized to the *healthy* machine's
+    #: ideal bound -- the end-to-end cost of the failures.
+    throughput_vs_healthy_ideal: float
+    finish_spread: float
+    #: Jain index of per-source batch finish times (1 = perfectly fair).
+    finish_jain: float
+    completion_cycles: int
+    delivered: int
+    dropped: int
+    rerouted: int
+    retried: int
+    unroutable: int
+    wall_seconds: float
+    #: The applied fault set, canonical JSON (reproduces the run).
+    fault_json: str
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradedPoint:
+    """Picklable spec of one degraded-batch simulation point.
+
+    Like :class:`repro.analysis.throughput.BatchPoint`, this carries the
+    machine *config* (workers rebuild and cache the machine per process)
+    -- plus the fault set as its canonical JSON string, which is both
+    picklable and the reproducibility artifact for the run.
+    """
+
+    config: MachineConfig
+    pattern: TrafficPattern
+    batch_size: int
+    cores_per_chip: int
+    fault_json: str
+    arbitration: str = "iw"
+    #: Stranded-packet policy for mid-run faults (reroute/drop/retry).
+    policy_mode: str = "reroute"
+    max_retries: int = 4
+    seed: int = 0
+
+
+def measure_degraded_point(point: DegradedPoint) -> DegradedThroughputPoint:
+    """Run one :class:`DegradedPoint` (the sweep-runner work function)."""
+    machine, healthy_routes = shared_machine(point.config)
+    fault_set = FaultSet.from_json(point.fault_json)
+    runtime = FaultRuntime(
+        machine,
+        fault_set,
+        policy=FaultPolicy(mode=point.policy_mode, max_retries=point.max_retries),
+    )
+    routes = runtime.route_computer
+    # Degraded loads over the fault-aware routes. Faults break the
+    # translation symmetry compute_loads exploits by default, so force
+    # the exhaustive path (also correct, just slower, for zero faults).
+    load_table = compute_loads(
+        machine,
+        routes,
+        point.pattern,
+        point.cores_per_chip,
+        use_symmetry=False,
+    )
+    weight_tables = vc_weight_tables = None
+    if point.arbitration == "iw":
+        weight_tables = make_weight_tables(
+            machine, routes, [point.pattern], point.cores_per_chip,
+            load_tables=[load_table],
+        )
+        vc_weight_tables = make_vc_weight_tables(
+            machine, routes, [point.pattern], point.cores_per_chip,
+            load_tables=[load_table],
+        )
+    spec = BatchSpec(
+        point.pattern,
+        packets_per_source=point.batch_size,
+        cores_per_chip=point.cores_per_chip,
+        seed=point.seed,
+    )
+    start = time.perf_counter()
+    stats = run_batch(
+        machine,
+        routes,
+        spec,
+        arbitration=point.arbitration,
+        weight_tables=weight_tables,
+        vc_weight_tables=vc_weight_tables,
+        faults=runtime,
+    )
+    wall = time.perf_counter() - start
+    ideal = ideal_batch_cycles(machine, load_table, point.batch_size)
+    healthy_table = compute_loads(
+        machine, healthy_routes, point.pattern, point.cores_per_chip
+    )
+    healthy_ideal = ideal_batch_cycles(machine, healthy_table, point.batch_size)
+    finishes = list(stats.source_finish_cycle.values())
+    return DegradedThroughputPoint(
+        pattern=point.pattern.name,
+        arbitration=point.arbitration,
+        policy=point.policy_mode,
+        failed_links=len(fault_set),
+        normalized_throughput=ideal / stats.last_delivery_cycle,
+        throughput_vs_healthy_ideal=healthy_ideal / stats.last_delivery_cycle,
+        finish_spread=stats.finish_spread() or 0.0,
+        finish_jain=jain_index(finishes) if finishes else 1.0,
+        completion_cycles=stats.last_delivery_cycle,
+        delivered=stats.delivered,
+        dropped=stats.dropped,
+        rerouted=stats.rerouted,
+        retried=stats.retried,
+        unroutable=stats.unroutable,
+        wall_seconds=wall,
+        fault_json=point.fault_json,
+    )
+
+
+def degradation_sweep(
+    machine: Machine,
+    pattern: TrafficPattern,
+    batch_size: int,
+    cores_per_chip: int,
+    max_failed: int,
+    arbitration: str = "iw",
+    policy_mode: str = "reroute",
+    kinds: Sequence[ChannelKind] = (ChannelKind.TORUS,),
+    fault_seed: int = 0,
+    seed: int = 0,
+    max_workers: Optional[int] = 1,
+) -> List[DegradedThroughputPoint]:
+    """Throughput and fairness versus number of failed links.
+
+    For each ``k`` in ``0..max_failed``, draws ``k`` random link
+    failures (seeded: the sweep is reproducible), reroutes around them,
+    reprograms arbiter weights from the degraded loads, and measures one
+    batch. ``k=0`` is the healthy baseline: its point runs through the
+    identical degraded pipeline, so any fault-handling overhead would
+    show up as a baseline shift. ``max_workers`` > 1 fans the points
+    across processes; results are identical to serial execution.
+    """
+    points = [
+        DegradedPoint(
+            config=machine.config,
+            pattern=pattern,
+            batch_size=batch_size,
+            cores_per_chip=cores_per_chip,
+            fault_json=sample_link_faults(
+                machine, k, seed=fault_seed, kinds=kinds,
+                note=f"degradation sweep k={k}",
+            ).to_json(),
+            arbitration=arbitration,
+            policy_mode=policy_mode,
+            seed=seed,
+        )
+        for k in range(max_failed + 1)
+    ]
+    results = run_sweep(
+        [
+            SweepPoint(
+                label=f"{pattern.name}/{arbitration}/faults{k}",
+                fn=measure_degraded_point,
+                kwargs={"point": p},
+            )
+            for k, p in enumerate(points)
+        ],
+        max_workers=max_workers,
+    )
+    return [r.value for r in results]
+
+
+def verify_degraded_routes(
+    machine: Machine,
+    fault_set: FaultSet,
+    endpoints_per_chip: Optional[int] = None,
+) -> "DeadlockReport":
+    """Convenience re-export: full degraded route-set deadlock check.
+
+    Thin wrapper over :func:`repro.faults.verify.degraded_report` so the
+    analysis layer offers the whole degraded workflow (sample, verify,
+    measure) from one module.
+    """
+    from repro.faults.verify import degraded_report
+
+    return degraded_report(
+        machine, fault_set, endpoints_per_chip=endpoints_per_chip
+    )
+
+
+__all__ = [
+    "DegradedPoint",
+    "DegradedThroughputPoint",
+    "degradation_sweep",
+    "measure_degraded_point",
+    "verify_degraded_routes",
+]

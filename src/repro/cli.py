@@ -9,9 +9,16 @@ Commands map onto the reproduction's main entry points:
 * ``throughput`` -- one batch-throughput measurement point
 * ``trace``      -- run one batch with structured event tracing, writing
   a JSONL trace (also regenerates the golden conformance traces)
+* ``faults``     -- sample, validate, and run fault sets (degraded
+  topologies): ``faults sample`` / ``faults validate`` / ``faults run``
 * ``latency``    -- the Figure 11/12 latency model
 * ``area``       -- Tables 1 and 2 from the area model
 * ``energy``     -- the Figure 13 energy curves
+
+Every command exits 0 on success; operational failures (bad arguments
+reaching a model, unroutable requests, invalid fault files) print a
+one-line error to stderr and exit 1 rather than dumping a traceback
+(argparse usage errors keep their conventional exit code 2).
 """
 
 from __future__ import annotations
@@ -56,6 +63,26 @@ def _machine(args) -> Machine:
     return Machine(
         MachineConfig(shape=args.shape, endpoints_per_chip=args.endpoints)
     )
+
+
+def _pattern_factories(shape):
+    from repro.traffic.patterns import (
+        NHopNeighbor,
+        ReverseTornado,
+        Tornado,
+        UniformRandom,
+    )
+
+    return {
+        "uniform": lambda: UniformRandom(shape),
+        "2hop": lambda: NHopNeighbor(shape, 2),
+        "1hop": lambda: NHopNeighbor(shape, 1),
+        "tornado": lambda: Tornado(shape),
+        "reverse-tornado": lambda: ReverseTornado(shape),
+    }
+
+
+PATTERN_CHOICES = ("uniform", "1hop", "2hop", "tornado", "reverse-tornado")
 
 
 def cmd_info(args) -> int:
@@ -258,6 +285,205 @@ def cmd_trace(args) -> int:
     return 0
 
 
+#: CLI names for failable channel kinds (``repro faults sample --kinds``).
+FAULT_KIND_NAMES = ("torus", "mesh", "skip", "rca", "car")
+
+
+def _fault_kinds(names):
+    from repro.core.machine import ChannelKind
+
+    mapping = {
+        "torus": ChannelKind.TORUS,
+        "mesh": ChannelKind.MESH,
+        "skip": ChannelKind.SKIP,
+        "rca": ChannelKind.ROUTER_TO_CA,
+        "car": ChannelKind.CA_TO_ROUTER,
+    }
+    return tuple(mapping[name] for name in names)
+
+
+def _load_fault_set(args):
+    """Read a fault-set JSON file and build the machine it applies to.
+
+    The machine shape/endpoints come from the command line; when the
+    fault file pins a shape (``sample`` always records one) and the user
+    did not override it, the file's shape wins -- a fault set is bound to
+    the machine it was drawn for.
+    """
+    import pathlib
+
+    from repro.faults import FaultSet
+
+    text = pathlib.Path(args.fault_file).read_text()
+    fault_set = FaultSet.from_json(text)
+    shape = args.shape or fault_set.shape
+    if shape is None:
+        raise ValueError(
+            f"{args.fault_file} records no machine shape; pass --shape"
+        )
+    machine = Machine(
+        MachineConfig(shape=tuple(shape), endpoints_per_chip=args.endpoints)
+    )
+    fault_set.validate(machine)
+    return machine, fault_set
+
+
+def cmd_faults_sample(args) -> int:
+    from repro.faults import sample_link_faults
+
+    machine = _machine(args)
+    fault_set = sample_link_faults(
+        machine,
+        args.k,
+        seed=args.seed,
+        kinds=_fault_kinds(args.kinds),
+        down_cycle=args.down,
+        up_cycle=args.up,
+        note=args.note,
+    )
+    text = fault_set.to_json(indent=2)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as stream:
+            stream.write(text + "\n")
+        print(
+            f"{len(fault_set)} link fault(s) on {'x'.join(map(str, args.shape))} "
+            f"(seed {args.seed}) -> {args.out}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_faults_validate(args) -> int:
+    from repro.faults import FaultAwareRouteComputer, degraded_report
+
+    machine, fault_set = _load_fault_set(args)
+    failed = fault_set.all_channels(machine)
+    print(
+        f"{len(fault_set)} fault spec(s), {len(failed)} distinct failed "
+        f"channel(s) on shape {'x'.join(map(str, machine.config.shape))}: valid"
+    )
+    status = 0
+    if args.check_routes:
+        from repro.core.deadlock import enumerate_routes
+
+        computer = FaultAwareRouteComputer(machine)
+        computer.set_failed(failed)
+        list(enumerate_routes(machine, computer, skip_unroutable=True))
+        stages = ", ".join(
+            f"{stage}={count}"
+            for stage, count in sorted(computer.resolution_counts.items())
+        )
+        unroutable = computer.resolution_counts.get("unroutable", 0)
+        print(f"route resolution: {stages or 'all primary'}")
+        if unroutable:
+            print(f"error: {unroutable} route request(s) unroutable",
+                  file=sys.stderr)
+            status = 1
+    if args.check_deadlock:
+        report = degraded_report(machine, fault_set)
+        print(
+            f"degraded dependency graph: "
+            f"{'acyclic (deadlock-free)' if report.deadlock_free else 'CYCLIC'} "
+            f"over {report.routes} routes"
+        )
+        if not report.deadlock_free:
+            status = 1
+    return status
+
+
+def cmd_faults_run(args) -> int:
+    import contextlib
+
+    from repro.faults import FaultPolicy, FaultRuntime
+    from repro.sim.simulator import make_vc_weight_tables, make_weight_tables, run_batch
+    from repro.sim.trace import JsonlTraceWriter
+    from repro.traffic.batch import BatchSpec
+    from repro.traffic.loads import compute_loads
+
+    machine, fault_set = _load_fault_set(args)
+    runtime = FaultRuntime(
+        machine,
+        fault_set,
+        policy=FaultPolicy(mode=args.policy, max_retries=args.retries),
+    )
+    routes = runtime.route_computer
+    pattern = _pattern_factories(machine.config.shape)[args.pattern]()
+    weight_tables = vc_weight_tables = None
+    if args.arbitration == "iw":
+        # Degraded loads: faults break translation symmetry, so force
+        # the exhaustive path when programming the arbiter weights.
+        load_tables = [
+            compute_loads(
+                machine, routes, pattern, args.cores, use_symmetry=False
+            )
+        ]
+        weight_tables = make_weight_tables(
+            machine, routes, [pattern], args.cores, load_tables=load_tables
+        )
+        vc_weight_tables = make_vc_weight_tables(
+            machine, routes, [pattern], args.cores, load_tables=load_tables
+        )
+    spec = BatchSpec(
+        pattern,
+        packets_per_source=args.batch,
+        cores_per_chip=args.cores,
+        seed=args.seed,
+    )
+
+    @contextlib.contextmanager
+    def trace_writer():
+        if args.trace is None:
+            yield None
+        elif args.trace == "-":
+            yield JsonlTraceWriter(sys.stdout, meta=trace_meta)
+        else:
+            with open(args.trace, "w") as stream:
+                yield JsonlTraceWriter(stream, meta=trace_meta)
+
+    trace_meta = {
+        "shape": list(machine.config.shape),
+        "endpoints": args.endpoints,
+        "tpc": machine.ticks_per_cycle,
+        "workload": f"batch {pattern.name} x{args.batch} "
+        f"{args.arbitration} seed{args.seed}",
+        "faults": len(fault_set),
+        "policy": args.policy,
+    }
+    with trace_writer() as writer:
+        stats = run_batch(
+            machine,
+            routes,
+            spec,
+            arbitration=args.arbitration,
+            weight_tables=weight_tables,
+            vc_weight_tables=vc_weight_tables,
+            trace=writer,
+            faults=runtime,
+        )
+        if writer is not None:
+            writer.write_record(
+                {
+                    "ev": "end",
+                    "cyc": stats.end_cycle,
+                    "injected": stats.injected,
+                    "delivered": stats.delivered,
+                    "dropped": stats.dropped,
+                    "events": writer.events_written,
+                }
+            )
+    out = sys.stderr if args.trace == "-" else sys.stdout
+    print(
+        f"{pattern.name} / {args.arbitration} / policy={args.policy}: "
+        f"{stats.delivered} delivered, {stats.dropped} dropped, "
+        f"{stats.rerouted} rerouted, {stats.retried} retried "
+        f"({stats.fault_events} fault events) in {stats.end_cycle} cycles",
+        file=out,
+    )
+    return 0
+
+
 def cmd_latency(args) -> int:
     from repro.models.latency import (
         LatencyModel,
@@ -313,9 +539,14 @@ def cmd_energy(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Anton 2 unified-network reproduction (ISCA 2014)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -381,6 +612,62 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list canonical golden trace names and exit")
     p.set_defaults(func=cmd_trace)
 
+    p = sub.add_parser(
+        "faults", help="sample, validate, and run degraded-topology fault sets"
+    )
+    fsub = p.add_subparsers(dest="faults_command", required=True)
+
+    fp = fsub.add_parser("sample", help="draw a seeded random fault set")
+    add_machine_args(fp, endpoints=2)
+    fp.add_argument("-k", type=int, default=1, help="number of link faults")
+    fp.add_argument("--seed", type=int, default=0)
+    fp.add_argument(
+        "--kinds",
+        nargs="+",
+        default=["torus"],
+        choices=FAULT_KIND_NAMES,
+        help="channel kinds eligible to fail (default: torus)",
+    )
+    fp.add_argument("--down", type=int, default=0,
+                    help="cycle the links fail (0: before the run)")
+    fp.add_argument("--up", type=int, default=None,
+                    help="cycle the links recover (default: never)")
+    fp.add_argument("--note", default="", help="free-form note stored in the set")
+    fp.add_argument("--out", default="-",
+                    help="output JSON path ('-' for stdout)")
+    fp.set_defaults(func=cmd_faults_sample)
+
+    fp = fsub.add_parser("validate", help="check a fault set against a machine")
+    fp.add_argument("fault_file", help="fault-set JSON file")
+    fp.add_argument("--shape", type=parse_shape, default=None,
+                    help="override the machine shape (default: the file's)")
+    fp.add_argument("--endpoints", type=int, default=2)
+    fp.add_argument("--check-routes", action="store_true",
+                    help="resolve every degraded route; fail on unroutable")
+    fp.add_argument("--check-deadlock", action="store_true",
+                    help="verify the degraded dependency graph is acyclic")
+    fp.set_defaults(func=cmd_faults_validate)
+
+    fp = fsub.add_parser("run", help="run one batch on the degraded machine")
+    fp.add_argument("fault_file", help="fault-set JSON file")
+    fp.add_argument("--shape", type=parse_shape, default=None,
+                    help="override the machine shape (default: the file's)")
+    fp.add_argument("--endpoints", type=int, default=2)
+    fp.add_argument(
+        "--pattern", default="uniform", choices=list(PATTERN_CHOICES)
+    )
+    fp.add_argument("--batch", type=int, default=8)
+    fp.add_argument("--cores", type=int, default=2)
+    fp.add_argument("--arbitration", default="rr", choices=["rr", "age", "iw"])
+    fp.add_argument("--policy", default="reroute",
+                    choices=["reroute", "drop", "retry"])
+    fp.add_argument("--retries", type=int, default=4,
+                    help="retry budget for --policy retry (default: 4)")
+    fp.add_argument("--seed", type=int, default=0)
+    fp.add_argument("--trace", default=None,
+                    help="also write a JSONL event trace ('-' for stdout)")
+    fp.set_defaults(func=cmd_faults_run)
+
     p = sub.add_parser("latency", help="Figure 11/12 latency model")
     add_machine_args(p, endpoints=2)
     p.set_defaults(func=cmd_latency)
@@ -397,7 +684,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError, OSError, RuntimeError) as exc:
+        # Operational failures (bad fault files, unroutable requests,
+        # missing paths) become a one-line diagnostic and exit code 1;
+        # anything else is a genuine bug and keeps its traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import networkx as nx
 
 from .machine import ChannelGroup, Machine
-from .routing import RouteComputer
+from .routing import Route, RouteComputer, Unroutable
 from .geometry import all_coords
 
 
@@ -59,13 +59,17 @@ def enumerate_routes(
     machine: Machine,
     route_computer: RouteComputer,
     endpoints_per_chip: Optional[int] = None,
+    skip_unroutable: bool = False,
 ):
     """Yield every legal route between the selected endpoints.
 
     ``endpoints_per_chip`` limits the endpoints considered per chip
     (default: all of them). Every dimension order, slice, and minimal
     tie-break combination is enumerated via
-    :meth:`RouteComputer.all_choices`.
+    :meth:`RouteComputer.all_choices`. With a fault-aware route computer
+    each yielded route is the degraded machine's resolution of that
+    choice; ``skip_unroutable`` silently omits pairs the degraded machine
+    cannot connect (otherwise :class:`Unroutable` propagates).
     """
     count = endpoints_per_chip or machine.config.endpoints_per_chip
     chips = list(all_coords(machine.config.shape))
@@ -80,7 +84,52 @@ def enumerate_routes(
                     for choice, _prob in route_computer.all_choices(
                         src_chip, dst_chip
                     ):
-                        yield route_computer.compute(src_ep, dst_ep, choice)
+                        try:
+                            yield route_computer.compute(src_ep, dst_ep, choice)
+                        except Unroutable:
+                            if not skip_unroutable:
+                                raise
+
+
+def route_dependency_edges(
+    machine: Machine, route: Route
+) -> List[Tuple[Tuple[int, int], Tuple[int, int]]]:
+    """The (channel, VC) dependency edges contributed by one route.
+
+    Edges through endpoint-adapter links are skipped (sources and sinks
+    cannot deadlock).
+    """
+    channels = machine.channels
+    edges: List[Tuple[Tuple[int, int], Tuple[int, int]]] = []
+    prev = None
+    for channel_id, vc in route.hops:
+        if channels[channel_id].group == ChannelGroup.E:
+            prev = None
+            continue
+        node = (channel_id, vc)
+        if prev is not None:
+            edges.append((prev, node))
+        prev = node
+    return edges
+
+
+def build_dependency_graph_from_routes(
+    machine: Machine, routes
+) -> Tuple[nx.DiGraph, int]:
+    """The (channel, VC) dependency graph over an explicit route set.
+
+    Returns the graph and the number of routes consumed. Used both by the
+    healthy-machine analysis and by the fault subsystem, which passes the
+    degraded machine's resolved route set.
+    """
+    graph = nx.DiGraph()
+    edges: Set[Tuple[Tuple[int, int], Tuple[int, int]]] = set()
+    count = 0
+    for route in routes:
+        count += 1
+        edges.update(route_dependency_edges(machine, route))
+    graph.add_edges_from(edges)
+    return graph, count
 
 
 def build_dependency_graph(
@@ -88,28 +137,16 @@ def build_dependency_graph(
     route_computer: RouteComputer,
     endpoints_per_chip: Optional[int] = None,
 ) -> Tuple[nx.DiGraph, int]:
-    """The (channel, VC) dependency graph over all enumerated routes.
+    """The (channel, VC) dependency graph over all enumerated routes."""
+    return build_dependency_graph_from_routes(
+        machine, enumerate_routes(machine, route_computer, endpoints_per_chip)
+    )
 
-    Returns the graph and the number of routes enumerated. Edges through
-    endpoint-adapter links are skipped (sources and sinks cannot deadlock).
-    """
-    graph = nx.DiGraph()
-    edges: Set[Tuple[Tuple[int, int], Tuple[int, int]]] = set()
-    channels = machine.channels
-    routes = 0
-    for route in enumerate_routes(machine, route_computer, endpoints_per_chip):
-        routes += 1
-        prev = None
-        for channel_id, vc in route.hops:
-            if channels[channel_id].group == ChannelGroup.E:
-                prev = None
-                continue
-            node = (channel_id, vc)
-            if prev is not None:
-                edges.add((prev, node))
-            prev = node
-    graph.add_edges_from(edges)
-    return graph, routes
+
+def analyze_routes(machine: Machine, routes) -> DeadlockReport:
+    """Deadlock analysis over an explicit (possibly degraded) route set."""
+    graph, count = build_dependency_graph_from_routes(machine, routes)
+    return _report_from_graph(machine, graph, count)
 
 
 def analyze(
@@ -121,6 +158,12 @@ def analyze(
     graph, routes = build_dependency_graph(
         machine, route_computer, endpoints_per_chip
     )
+    return _report_from_graph(machine, graph, routes)
+
+
+def _report_from_graph(
+    machine: Machine, graph: nx.DiGraph, routes: int
+) -> DeadlockReport:
     cycle: Optional[List[Tuple[int, int]]] = None
     try:
         raw_cycle = nx.find_cycle(graph)

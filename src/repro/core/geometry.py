@@ -139,6 +139,23 @@ def minimal_deltas(src: int, dst: int, radix: int) -> Tuple[int, ...]:
     return (delta, delta - radix)
 
 
+def ring_deltas(src: int, dst: int, radix: int) -> Tuple[int, ...]:
+    """All *monotone* signed displacements from ``src`` to ``dst`` on a ring.
+
+    Unlike :func:`minimal_deltas` this includes the non-minimal way around
+    the ring (length ``radix - |minimal|``). A monotone displacement never
+    reverses direction, so it crosses the dateline at most once and the
+    Section 2.5 VC-promotion argument applies to it unchanged; fault-aware
+    routing uses these as its non-minimal fallback. Shorter displacements
+    come first; ties break toward ``+`` to match :func:`torus_delta`.
+    """
+    delta = (dst - src) % radix
+    if delta == 0:
+        return (0,)
+    options = {delta, delta - radix}
+    return tuple(sorted(options, key=lambda d: (abs(d), -d)))
+
+
 def torus_hops(src: Coord3, dst: Coord3, shape: Coord3) -> int:
     """Minimal inter-node hop count between two torus coordinates."""
     return sum(

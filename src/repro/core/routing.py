@@ -29,6 +29,7 @@ from .geometry import (
     Dim,
     TorusDirection,
     minimal_deltas,
+    ring_deltas,
     torus_delta,
 )
 from .machine import Channel, ChannelGroup, ComponentKind, Machine
@@ -63,17 +64,39 @@ class RouteChoice:
 
 @dataclasses.dataclass(frozen=True)
 class Route:
-    """A complete route: the exact (channel id, VC index) hop sequence."""
+    """A complete route: the exact (channel id, VC index) hop sequence.
+
+    ``via`` is the intermediate chip of a two-phase detour route (fault
+    avoidance), or ``None`` for ordinary single-phase routes.
+    """
 
     src: int
     dst: int
     choice: RouteChoice
     hops: Tuple[Tuple[int, int], ...]
     internode_hops: int
+    via: Optional[Coord3] = None
 
     def channels(self) -> Tuple[int, ...]:
         """The channel ids along the route, in order."""
         return tuple(channel for channel, _vc in self.hops)
+
+
+class Unroutable(RuntimeError):
+    """No legal route exists between two components on this (degraded) machine.
+
+    Raised by fault-aware routing when every dimension order, slice,
+    non-minimal displacement, and two-phase detour is blocked by failed
+    channels.
+    """
+
+    def __init__(self, src: int, dst: int, detail: str = "") -> None:
+        message = f"no route from component {src} to component {dst}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
 
 
 class RouteComputer:
@@ -83,10 +106,16 @@ class RouteComputer:
         self,
         machine: Machine,
         direction_order: Sequence = ANTON_DIRECTION_ORDER,
+        allow_nonminimal: bool = False,
     ) -> None:
         self.machine = machine
         self.direction_order = validate_direction_order(direction_order)
+        #: Accept monotone non-minimal displacements (``|delta| <= radix-1``,
+        #: the other way around a ring). Off by default: healthy-machine
+        #: routing is strictly minimal; fault-aware routing enables it.
+        self.allow_nonminimal = allow_nonminimal
         self._cache: Dict[Tuple[int, int, RouteChoice, int], Route] = {}
+        self._plan_cache: Dict[Tuple, Route] = {}
 
     # --- route-choice helpers ------------------------------------------------
 
@@ -162,6 +191,54 @@ class RouteComputer:
             )
         return traffic_class * per_class + within_class_vc
 
+    def compute_plan(
+        self,
+        start: int,
+        dst_endpoint: int,
+        legs: Sequence[Tuple[Coord3, RouteChoice]],
+        traffic_class: int = 0,
+    ) -> Route:
+        """A route from any component through a sequence of torus legs.
+
+        ``start`` may be an endpoint adapter, a router, or a channel
+        adapter (the latter two are used when re-routing an in-flight
+        packet around a mid-run fault); ``legs`` is a sequence of
+        ``(target chip, choice)`` pairs, each traveled with a fresh VC
+        allocator so the Section 2.5 promotion invariants hold per leg.
+        The final leg's target must be the destination endpoint's chip.
+        Routes are cached; callers must treat the result as immutable.
+        """
+        legs = tuple(legs)
+        key = (start, dst_endpoint, legs, traffic_class)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
+        route = self._build_plan(start, dst_endpoint, legs, traffic_class)
+        self._plan_cache[key] = route
+        return route
+
+    def _leg_deltas(
+        self, cur_chip: Coord3, target_chip: Coord3, choice: RouteChoice
+    ) -> Coord3:
+        """Validate (or derive) the signed displacements for one torus leg."""
+        shape = self.machine.config.shape
+        deltas = choice.deltas
+        if deltas is None:
+            return tuple(
+                torus_delta(cur_chip[d], target_chip[d], shape[d]) for d in range(3)
+            )
+        for d in range(3):
+            legal = (
+                ring_deltas(cur_chip[d], target_chip[d], shape[d])
+                if self.allow_nonminimal
+                else minimal_deltas(cur_chip[d], target_chip[d], shape[d])
+            )
+            if deltas[d] not in legal:
+                raise ValueError(
+                    f"delta {deltas[d]} is not legal for dimension {Dim(d)}"
+                )
+        return deltas
+
     def _build(
         self,
         src_endpoint: int,
@@ -170,31 +247,39 @@ class RouteComputer:
         traffic_class: int,
     ) -> Route:
         machine = self.machine
-        plan = machine.floorplan
-        cfg = machine.config
         src = machine.components[src_endpoint]
         dst = machine.components[dst_endpoint]
         if src.kind != ComponentKind.ENDPOINT or dst.kind != ComponentKind.ENDPOINT:
             raise ValueError("routes connect endpoint adapters")
+        return self._build_plan(
+            src_endpoint, dst_endpoint, ((dst.chip, choice),), traffic_class
+        )
+
+    def _build_plan(
+        self,
+        start: int,
+        dst_endpoint: int,
+        legs: Tuple[Tuple[Coord3, RouteChoice], ...],
+        traffic_class: int,
+    ) -> Route:
+        machine = self.machine
+        plan = machine.floorplan
+        cfg = machine.config
+        dst = machine.components[dst_endpoint]
+        if dst.kind != ComponentKind.ENDPOINT:
+            raise ValueError("routes end at endpoint adapters")
+        if not legs:
+            raise ValueError("route plan needs at least one leg")
+        if legs[-1][0] != dst.chip:
+            raise ValueError(
+                f"final leg targets {legs[-1][0]}, destination is on {dst.chip}"
+            )
 
         shape = cfg.shape
-        deltas = choice.deltas
-        if deltas is None:
-            deltas = tuple(
-                torus_delta(src.chip[d], dst.chip[d], shape[d]) for d in range(3)
-            )
-        else:
-            for d in range(3):
-                if deltas[d] not in minimal_deltas(src.chip[d], dst.chip[d], shape[d]):
-                    raise ValueError(
-                        f"delta {deltas[d]} is not minimal for dimension {Dim(d)}"
-                    )
-
-        alloc = make_allocator(cfg.vc_scheme)
         hops: List[Tuple[int, int]] = []
         internode_hops = 0
 
-        def emit(src_cid: int, dst_cid: int, vc_kind: str) -> None:
+        def emit(alloc, src_cid: int, dst_cid: int, vc_kind: str) -> None:
             channel = machine.channel(src_cid, dst_cid)
             if vc_kind == "m":
                 vc = self._vc_index(channel, alloc.m_vc(), traffic_class)
@@ -204,97 +289,127 @@ class RouteComputer:
                 vc = self._vc_index(channel, 0, traffic_class)
             hops.append((channel.cid, vc))
 
-        def emit_mesh_path(chip: Coord3, src_coord, dst_coord) -> None:
+        def emit_mesh_path(alloc, chip: Coord3, src_coord, dst_coord) -> None:
             cur = src_coord
             for nxt in mesh_route_coords(src_coord, dst_coord, self.direction_order):
                 emit(
+                    alloc,
                     machine.router_id[(chip, cur)],
                     machine.router_id[(chip, nxt)],
                     "m",
                 )
                 cur = nxt
 
-        cur_chip = src.chip
-        cur_router = plan.endpoint_router[src.detail]
-        emit(src_endpoint, machine.router_id[(cur_chip, cur_router)], "e")
+        allocs = [make_allocator(cfg.vc_scheme) for _ in legs]
 
-        dims_to_travel = [d for d in choice.dim_order if deltas[d] != 0]
-        for dim in dims_to_travel:
-            delta = deltas[dim]
-            direction = TorusDirection(Dim(dim), 1 if delta > 0 else -1)
-            slice_index = choice.slice_index
-            radix = shape[dim]
-            departure_coord = plan.channel_adapter_router[(direction, slice_index)]
-            arrival_coord = plan.channel_adapter_router[(direction.opposite, slice_index)]
+        # Starting position: endpoints and channel adapters first hop onto
+        # their attached router; a router start begins on the mesh directly.
+        origin = machine.components[start]
+        cur_chip = origin.chip
+        if origin.kind == ComponentKind.ENDPOINT:
+            cur_router = plan.endpoint_router[origin.detail]
+            emit(allocs[0], start, machine.router_id[(cur_chip, cur_router)], "e")
+        elif origin.kind == ComponentKind.ROUTER:
+            cur_router = origin.detail
+        elif origin.kind == ComponentKind.CHANNEL_ADAPTER:
+            direction, slice_index = origin.detail
+            cur_router = plan.channel_adapter_router[(direction, slice_index)]
+            emit(allocs[0], start, machine.router_id[(cur_chip, cur_router)], "t")
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"cannot start a route at {origin}")
 
-            # On-chip route to the departure channel adapter's router, then
-            # into the T-group via the router -> adapter link.
-            emit_mesh_path(cur_chip, cur_router, departure_coord)
-            cur_router = departure_coord
-            alloc.start_dimension()
-            departure_ca = machine.ca_id[(cur_chip, direction, slice_index)]
-            emit(machine.router_id[(cur_chip, cur_router)], departure_ca, "t")
-
-            coord = cur_chip[dim]
-            steps = abs(delta)
-            for step in range(steps):
-                next_coord = (coord + direction.sign) % radix
-                crossing = (coord == radix - 1 and next_coord == 0) or (
-                    coord == 0 and next_coord == radix - 1
-                )
-                if crossing:
-                    # The dateline channel itself is used at the promoted VC.
-                    alloc.cross_dateline()
-                next_chip = machine.neighbor(cur_chip, direction)
-                arrival_ca = machine.ca_id[
-                    (next_chip, direction.opposite, slice_index)
+        for (target_chip, choice), alloc in zip(legs, allocs):
+            deltas = self._leg_deltas(cur_chip, target_chip, choice)
+            dims_to_travel = [d for d in choice.dim_order if deltas[d] != 0]
+            for dim in dims_to_travel:
+                delta = deltas[dim]
+                direction = TorusDirection(Dim(dim), 1 if delta > 0 else -1)
+                slice_index = choice.slice_index
+                radix = shape[dim]
+                departure_coord = plan.channel_adapter_router[(direction, slice_index)]
+                arrival_coord = plan.channel_adapter_router[
+                    (direction.opposite, slice_index)
                 ]
-                emit(machine.ca_id[(cur_chip, direction, slice_index)], arrival_ca, "t")
-                internode_hops += 1
-                cur_chip = next_chip
-                coord = next_coord
-                if step < steps - 1:
-                    # Through route at an intermediate chip: adapter ->
-                    # router, (skip channel for X), router -> adapter. All
-                    # these links are T-group.
-                    arrival_router = machine.router_id[(cur_chip, arrival_coord)]
-                    emit(arrival_ca, arrival_router, "t")
-                    if arrival_coord != departure_coord:
-                        if not plan.skip_for(arrival_coord, departure_coord):
-                            raise AssertionError(
-                                f"no skip channel between {arrival_coord} and "
-                                f"{departure_coord} for {direction} through traffic"
-                            )
-                        departure_router = machine.router_id[(cur_chip, departure_coord)]
-                        emit(arrival_router, departure_router, "t")
-                        arrival_router = departure_router
+
+                # On-chip route to the departure channel adapter's router,
+                # then into the T-group via the router -> adapter link.
+                emit_mesh_path(alloc, cur_chip, cur_router, departure_coord)
+                cur_router = departure_coord
+                alloc.start_dimension()
+                departure_ca = machine.ca_id[(cur_chip, direction, slice_index)]
+                emit(alloc, machine.router_id[(cur_chip, cur_router)], departure_ca, "t")
+
+                coord = cur_chip[dim]
+                steps = abs(delta)
+                for step in range(steps):
+                    next_coord = (coord + direction.sign) % radix
+                    crossing = (coord == radix - 1 and next_coord == 0) or (
+                        coord == 0 and next_coord == radix - 1
+                    )
+                    if crossing:
+                        # The dateline channel itself is used at the promoted VC.
+                        alloc.cross_dateline()
+                    next_chip = machine.neighbor(cur_chip, direction)
+                    arrival_ca = machine.ca_id[
+                        (next_chip, direction.opposite, slice_index)
+                    ]
                     emit(
-                        arrival_router,
+                        alloc,
                         machine.ca_id[(cur_chip, direction, slice_index)],
+                        arrival_ca,
                         "t",
                     )
-            # Last chip of this dimension: leave the T-group. The final
-            # adapter -> router link still belongs to this dimension's
-            # T-group visit (old VC); the promotion applies afterwards.
-            final_ca = machine.ca_id[(cur_chip, direction.opposite, slice_index)]
-            emit(final_ca, machine.router_id[(cur_chip, arrival_coord)], "t")
-            alloc.finish_dimension()
-            cur_router = arrival_coord
+                    internode_hops += 1
+                    cur_chip = next_chip
+                    coord = next_coord
+                    if step < steps - 1:
+                        # Through route at an intermediate chip: adapter ->
+                        # router, (skip channel for X), router -> adapter. All
+                        # these links are T-group.
+                        arrival_router = machine.router_id[(cur_chip, arrival_coord)]
+                        emit(alloc, arrival_ca, arrival_router, "t")
+                        if arrival_coord != departure_coord:
+                            if not plan.skip_for(arrival_coord, departure_coord):
+                                raise AssertionError(
+                                    f"no skip channel between {arrival_coord} and "
+                                    f"{departure_coord} for {direction} through traffic"
+                                )
+                            departure_router = machine.router_id[
+                                (cur_chip, departure_coord)
+                            ]
+                            emit(alloc, arrival_router, departure_router, "t")
+                            arrival_router = departure_router
+                        emit(
+                            alloc,
+                            arrival_router,
+                            machine.ca_id[(cur_chip, direction, slice_index)],
+                            "t",
+                        )
+                # Last chip of this dimension: leave the T-group. The final
+                # adapter -> router link still belongs to this dimension's
+                # T-group visit (old VC); the promotion applies afterwards.
+                final_ca = machine.ca_id[(cur_chip, direction.opposite, slice_index)]
+                emit(alloc, final_ca, machine.router_id[(cur_chip, arrival_coord)], "t")
+                alloc.finish_dimension()
+                cur_router = arrival_coord
+            if cur_chip != target_chip:  # pragma: no cover - defensive
+                raise AssertionError(
+                    f"leg ended at {cur_chip}, expected {target_chip}"
+                )
 
-        # Destination chip: on-chip route to the destination endpoint.
+        # Destination chip: on-chip route to the destination endpoint, still
+        # under the last leg's allocator.
         dst_router = plan.endpoint_router[dst.detail]
-        emit_mesh_path(cur_chip, cur_router, dst_router)
-        emit(machine.router_id[(cur_chip, dst_router)], dst_endpoint, "e")
-
-        if cur_chip != dst.chip:  # pragma: no cover - defensive
-            raise AssertionError(f"route ended at {cur_chip}, expected {dst.chip}")
+        emit_mesh_path(allocs[-1], cur_chip, cur_router, dst_router)
+        emit(allocs[-1], machine.router_id[(cur_chip, dst_router)], dst_endpoint, "e")
 
         return Route(
-            src=src_endpoint,
+            src=start,
             dst=dst_endpoint,
-            choice=choice,
+            choice=legs[0][1],
             hops=tuple(hops),
             internode_hops=internode_hops,
+            via=legs[0][0] if len(legs) > 1 else None,
         )
 
 

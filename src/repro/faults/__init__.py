@@ -1,0 +1,44 @@
+"""Fault injection and degraded-topology resilience.
+
+Everything needed to run any study on a broken machine: a declarative,
+JSON-round-trippable fault model (:mod:`~repro.faults.model`),
+fault-aware route resolution preserving the Section 2.5 VC invariants
+(:mod:`~repro.faults.routing`), the engine-facing policy/schedule bundle
+(:mod:`~repro.faults.runtime`), and mechanical deadlock re-verification
+of degraded route sets (:mod:`~repro.faults.verify`).
+"""
+
+from ..core.routing import Unroutable
+from .model import (
+    FAILABLE_KINDS,
+    FAULT_SCHEMA_VERSION,
+    FaultSet,
+    FaultSpec,
+    failable_channels,
+    sample_link_faults,
+)
+from .routing import RESOLUTION_STAGES, FaultAwareRouteComputer
+from .runtime import POLICY_MODES, FaultPolicy, FaultRuntime
+from .verify import (
+    SingleFailureReport,
+    degraded_report,
+    verify_single_link_failures,
+)
+
+__all__ = [
+    "FAILABLE_KINDS",
+    "FAULT_SCHEMA_VERSION",
+    "FaultAwareRouteComputer",
+    "FaultPolicy",
+    "FaultRuntime",
+    "FaultSet",
+    "FaultSpec",
+    "POLICY_MODES",
+    "RESOLUTION_STAGES",
+    "SingleFailureReport",
+    "Unroutable",
+    "degraded_report",
+    "failable_channels",
+    "sample_link_faults",
+    "verify_single_link_failures",
+]

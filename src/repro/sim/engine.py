@@ -45,6 +45,7 @@ from typing import Callable, Dict, List, Optional
 from repro.arbiters.base import Arbiter
 from repro.arbiters.round_robin import RoundRobinArbiter
 from repro.core.machine import ComponentKind, Machine
+from repro.core.routing import Route, Unroutable
 
 from .metrics import StreamingQuantile
 from .packet import Packet
@@ -73,6 +74,7 @@ VcArbiterBuilder = Callable[[int, int], Arbiter]
 _EV_ARRIVAL = 0
 _EV_CREDIT = 1
 _EV_WAKE = 2
+_EV_FAULT = 3
 
 
 def serialization_end_ticks(
@@ -119,6 +121,7 @@ class Engine:
         keep_packet_latencies: bool = False,
         trace=None,
         latency_quantiles: bool = False,
+        faults=None,
     ) -> None:
         self.machine = machine
         self.stats = SimStats()
@@ -200,6 +203,20 @@ class Engine:
         #: endpoint's counted-write handler dispatch [Grossman 2013].
         self.on_delivery: Optional[Callable[[Packet, int], None]] = None
 
+        #: Optional fault state (see :mod:`repro.faults`). ``None`` keeps
+        #: the fault path zero-overhead: ``_failed_channels`` stays None,
+        #: so every gate below is a single falsy check -- the same
+        #: standard as tracing.
+        self._fault_runtime = faults
+        self._failed_channels: Optional[set] = None
+        self._fault_routes = None
+        if faults is not None:
+            self._fault_routes = faults.route_computer
+            self._failed_channels = set(faults.initial_failed)
+            self._fault_routes.set_failed(self._failed_channels)
+            for fault_cycle, cid, is_down in faults.timeline:
+                self._push_event(fault_cycle, _EV_FAULT, cid, is_down, None)
+
     # --- public API -------------------------------------------------------------
 
     def enqueue(self, packet: Packet) -> None:
@@ -213,6 +230,13 @@ class Engine:
         component = self.machine.components[src]
         if component.kind != ComponentKind.ENDPOINT:
             raise ValueError(f"packet source {src} is not an endpoint adapter")
+        if self._failed_channels:
+            # The machine is currently degraded: resolve the route against
+            # the failed set before it enters the queue (replies enqueued
+            # by on_delivery handlers may carry stale healthy routes).
+            packet = self._screen_source_packet(packet)
+            if packet is None:
+                return
         queue = self._source_queues.setdefault(src, [])
         if queue and queue[-1].release_cycle > packet.release_cycle:
             raise ValueError("packets must be enqueued in release order")
@@ -302,12 +326,30 @@ class Engine:
             elif kind == _EV_CREDIT:
                 self._credits[a][b] += c
                 self._active.add(self.machine.channels[a].src)
-            else:  # wake
+            elif kind == _EV_WAKE:
                 self._active.add(a)
+            else:  # fault
+                self._apply_fault(a, b)
 
     def _handle_arrival(self, packet: Packet, channel_id: int) -> None:
         machine = self.machine
         channel = machine.channels[channel_id]
+        if packet.drop_on_arrival:
+            # A mid-run fault condemned this copy while it was in flight
+            # (drop policy, retry re-injection, or unroutable stranding);
+            # discard it and return its buffer credits. Accounting was
+            # done when the fault was applied.
+            self._in_network -= 1
+            self._last_progress = self.cycle
+            vc = packet.route.hops[packet.hop_index - 1][1]
+            self._push_event(
+                self.cycle + channel.latency,
+                _EV_CREDIT,
+                channel_id,
+                vc,
+                packet.size_flits,
+            )
+            return
         if packet.hop_index >= len(packet.route.hops):
             # Final hop: consume at the destination endpoint.
             packet.deliver_cycle = self.cycle
@@ -381,6 +423,7 @@ class Engine:
         input_free_at = self._input_free_at
         channel_free_at = self._channel_free_at
         credits = self._credits
+        failed = self._failed_channels
         #: First tick of the next cycle: a channel accepts a new packet in
         #: any cycle in which its staging buffer drains (free_at strictly
         #: before this horizon). A drain exactly on a cycle boundary keeps
@@ -412,6 +455,11 @@ class Engine:
                 if packet.ready_cycle > now:
                     continue
                 oc, ovc = packet.route.hops[packet.hop_index]
+                # Frozen channels grant nothing. (The fault sweep re-routes
+                # every stranded packet, so this only fires in the window
+                # before a re-resolved packet's next arbitration.)
+                if failed and oc in failed:
+                    continue
                 # A channel accepts a new packet in any cycle in which its
                 # staging buffer drains (free_at < now + 1, in ticks);
                 # fractional occupancy carries over so sub-cycle bandwidth
@@ -578,6 +626,361 @@ class Engine:
         if heads[vc] > 32 and heads[vc] * 2 >= len(queue):
             del queue[: heads[vc]]
             heads[vc] = 0
+
+    # --- fault handling ----------------------------------------------------------
+    #
+    # Semantics of a link-down event at cycle C: the transfer currently in
+    # flight on the channel completes (it is already committed on the
+    # wire), but the channel grants nothing from cycle C on. Every packet
+    # whose *remaining* route crosses a failed channel is immediately
+    # re-dispositioned per the policy: re-routed in place, dropped, or
+    # re-injected at its source with backoff. A link-up event only makes
+    # the channel available to future route resolutions.
+
+    def _route_clear_from(self, route: Route, from_hop: int) -> bool:
+        failed = self._failed_channels
+        for cid, _vc in route.hops[from_hop:]:
+            if cid in failed:
+                return False
+        return True
+
+    def _first_blocked(self, route: Route, from_hop: int) -> int:
+        failed = self._failed_channels
+        for cid, _vc in route.hops[from_hop:]:
+            if cid in failed:
+                return cid
+        return -1
+
+    def _apply_fault(self, channel_id: int, is_down: bool) -> None:
+        now = self.cycle
+        if is_down:
+            self._failed_channels.add(channel_id)
+        else:
+            self._failed_channels.discard(channel_id)
+        self._fault_routes.set_failed(self._failed_channels)
+        self.stats.fault_events += 1
+        # Applying a fault is progress for watchdog purposes: the drops
+        # and re-routes below change the network state.
+        self._last_progress = now
+        if self.trace is not None:
+            self.trace.emit(
+                TraceEvent(
+                    "fault",
+                    now,
+                    now * self._ticks_per_cycle,
+                    -1,
+                    channel_id,
+                    0,
+                    (("down", int(is_down)),),
+                )
+            )
+        if not is_down:
+            # Recovery strands nothing; wake sources so resolutions that
+            # can now use the channel are re-attempted promptly.
+            for src in self._source_queues:
+                self._active.add(src)
+            return
+        self._sweep_source_queues(now)
+        self._sweep_buffers(now)
+        self._sweep_inflight(now)
+
+    def _screen_source_packet(self, packet: Packet) -> Optional[Packet]:
+        """Resolve a not-yet-injected packet against the failed set.
+
+        Returns the packet (possibly with a re-resolved route) or None if
+        it was dropped. Callers own the ``_queued`` accounting.
+        """
+        blocked = self._first_blocked(packet.route, 0)
+        if blocked < 0:
+            return packet
+        now = self.cycle
+        mode = self._fault_runtime.policy.mode
+        if mode != "drop":
+            try:
+                packet.route = self._fault_routes.compute(
+                    packet.route.src,
+                    packet.route.dst,
+                    packet.route.choice,
+                    packet.traffic_class,
+                )
+            except Unroutable:
+                self.stats.unroutable += 1
+            else:
+                self.stats.rerouted += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        TraceEvent(
+                            "reroute",
+                            now,
+                            now * self._ticks_per_cycle,
+                            packet.pid,
+                            blocked,
+                            0,
+                            (("hops", len(packet.route.hops)),),
+                        )
+                    )
+                return packet
+        self.stats.dropped += 1
+        if self.trace is not None:
+            self.trace.emit(
+                TraceEvent(
+                    "drop",
+                    now,
+                    now * self._ticks_per_cycle,
+                    packet.pid,
+                    blocked,
+                    0,
+                )
+            )
+        return None
+
+    def _sweep_source_queues(self, now: int) -> None:
+        for src in list(self._source_queues):
+            queue = self._source_queues[src]
+            head = self._source_heads[src]
+            survivors = []
+            dropped = 0
+            for packet in queue[head:]:
+                kept = self._screen_source_packet(packet)
+                if kept is None:
+                    dropped += 1
+                else:
+                    survivors.append(kept)
+            if not dropped and not head:
+                continue
+            self._queued -= dropped
+            if survivors:
+                self._source_queues[src] = survivors
+                self._source_heads[src] = 0
+            else:
+                del self._source_queues[src]
+                del self._source_heads[src]
+
+    def _sweep_buffers(self, now: int) -> None:
+        machine = self.machine
+        for ic in range(len(self._buffers)):
+            if not self._buffered_count[ic]:
+                continue
+            bufs = self._buffers[ic]
+            heads = self._buffer_heads[ic]
+            for vc in range(len(bufs)):
+                queue = bufs[vc]
+                head = heads[vc]
+                if head >= len(queue):
+                    continue
+                kept = []
+                removed = 0
+                for packet in queue[head:]:
+                    if self._route_clear_from(packet.route, packet.hop_index):
+                        kept.append(packet)
+                    elif self._handle_blocked_buffered(packet, ic, vc, now):
+                        kept.append(packet)
+                    else:
+                        removed += 1
+                        self._buffered_count[ic] -= 1
+                        self._in_network -= 1
+                        self._push_event(
+                            now + self._latency[ic],
+                            _EV_CREDIT,
+                            ic,
+                            vc,
+                            packet.size_flits,
+                        )
+                if removed or head:
+                    bufs[vc] = kept
+                    heads[vc] = 0
+                if kept:
+                    self._active.add(machine.channels[ic].dst)
+
+    def _handle_blocked_buffered(
+        self, packet: Packet, ic: int, vc: int, now: int
+    ) -> bool:
+        """Disposition a buffered packet whose remaining route is blocked.
+
+        Returns True to keep the packet in its buffer (re-routed in
+        place), False to remove it (dropped or re-injected at source).
+        """
+        policy = self._fault_runtime.policy
+        if policy.mode == "reroute":
+            holder = self.machine.channels[ic].dst
+            try:
+                tail = self._fault_routes.compute_reroute(
+                    holder, packet.route.dst, packet.traffic_class
+                )
+            except Unroutable:
+                self.stats.unroutable += 1
+            else:
+                self._splice_route(packet, ic, vc, tail)
+                self.stats.rerouted += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        TraceEvent(
+                            "reroute",
+                            now,
+                            now * self._ticks_per_cycle,
+                            packet.pid,
+                            ic,
+                            vc,
+                            (("hops", len(packet.route.hops) - 1),),
+                        )
+                    )
+                return True
+        elif policy.mode == "retry" and packet.retries < policy.max_retries:
+            self._schedule_retry(packet, ic, now)
+            return False
+        self.stats.dropped += 1
+        if self.trace is not None:
+            self.trace.emit(
+                TraceEvent(
+                    "drop",
+                    now,
+                    now * self._ticks_per_cycle,
+                    packet.pid,
+                    ic,
+                    vc,
+                )
+            )
+        return False
+
+    def _sweep_inflight(self, now: int) -> None:
+        machine = self.machine
+        policy = self._fault_runtime.policy
+        # Snapshot: retry dispositions push wake events into the heap
+        # while we scan it.
+        for event in list(self._events):
+            if event[2] != _EV_ARRIVAL:
+                continue
+            packet = event[3]
+            if packet.drop_on_arrival:
+                continue
+            hop_index = packet.hop_index
+            if hop_index >= len(packet.route.hops):
+                continue  # final delivery hop; endpoint links cannot fail
+            if self._route_clear_from(packet.route, hop_index):
+                continue
+            oc = event[4]
+            vc = packet.route.hops[hop_index - 1][1]
+            if policy.mode == "reroute":
+                holder = machine.channels[oc].dst
+                try:
+                    tail = self._fault_routes.compute_reroute(
+                        holder, packet.route.dst, packet.traffic_class
+                    )
+                except Unroutable:
+                    self.stats.unroutable += 1
+                else:
+                    self._splice_route(packet, oc, vc, tail)
+                    self.stats.rerouted += 1
+                    if self.trace is not None:
+                        self.trace.emit(
+                            TraceEvent(
+                                "reroute",
+                                now,
+                                now * self._ticks_per_cycle,
+                                packet.pid,
+                                oc,
+                                vc,
+                                (("hops", len(packet.route.hops) - 1),),
+                            )
+                        )
+                    continue
+            elif policy.mode == "retry" and packet.retries < policy.max_retries:
+                packet.drop_on_arrival = True
+                self._schedule_retry(packet, oc, now)
+                continue
+            packet.drop_on_arrival = True
+            self.stats.dropped += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    TraceEvent(
+                        "drop",
+                        now,
+                        now * self._ticks_per_cycle,
+                        packet.pid,
+                        oc,
+                        vc,
+                    )
+                )
+
+    def _splice_route(
+        self, packet: Packet, holding_channel: int, holding_vc: int, tail: Route
+    ) -> None:
+        """Replace a packet's remaining route with a freshly resolved tail.
+
+        The packet keeps its identity (pid, source, destination) and its
+        current position: the new route's hop 0 is the channel currently
+        holding (or delivering) it, so the engine's ``hops[hop_index - 1]``
+        buffer-VC lookups stay valid with ``hop_index = 1``.
+        """
+        old = packet.route
+        packet.route = Route(
+            src=old.src,
+            dst=old.dst,
+            choice=old.choice,
+            hops=((holding_channel, holding_vc),) + tail.hops,
+            internode_hops=tail.internode_hops,
+            via=tail.via,
+        )
+        packet.hop_index = 1
+
+    def _schedule_retry(self, packet: Packet, where: int, now: int) -> None:
+        """Re-inject a stranded packet at its source with backoff.
+
+        The in-network copy is discarded by the caller; a fresh copy with
+        a fault-aware route enters the source queue ``backoff(attempt)``
+        cycles from now (or is dropped once retries are exhausted or the
+        pair is unroutable).
+        """
+        policy = self._fault_runtime.policy
+        attempt = packet.retries + 1
+        release = now + policy.backoff(attempt)
+        old = packet.route
+        try:
+            route = self._fault_routes.compute(
+                old.src, old.dst, old.choice, packet.traffic_class
+            )
+        except Unroutable:
+            self.stats.unroutable += 1
+            self.stats.dropped += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    TraceEvent(
+                        "drop",
+                        now,
+                        now * self._ticks_per_cycle,
+                        packet.pid,
+                        where,
+                        0,
+                    )
+                )
+            return
+        queue = self._source_queues.get(old.src)
+        if queue and queue[-1].release_cycle > release:
+            # Keep the per-source release order invariant.
+            release = queue[-1].release_cycle
+        clone = Packet(
+            packet.pid,
+            route,
+            size_flits=packet.size_flits,
+            pattern=packet.pattern,
+            traffic_class=packet.traffic_class,
+            release_cycle=release,
+        )
+        clone.retries = attempt
+        self.stats.retried += 1
+        if self.trace is not None:
+            self.trace.emit(
+                TraceEvent(
+                    "retry",
+                    now,
+                    now * self._ticks_per_cycle,
+                    packet.pid,
+                    where,
+                    0,
+                    (("attempt", attempt), ("rel", release)),
+                )
+            )
+        self.enqueue(clone)
 
     # --- introspection (used by tests) ------------------------------------------
 

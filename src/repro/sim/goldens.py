@@ -9,6 +9,10 @@ slice of engine behavior:
 * ``tornado_4x1x1`` -- tornado on a radix-4 X ring with inverse-weighted
   arbitration at both stages: exercises the weight-table path and
   sustained torus serialization at the exact 45/14 rate;
+* ``faulted_2x2x2`` -- uniform batch with two scheduled mid-run
+  torus-link failures (one recovering) under the reroute policy:
+  exercises the fault sweep, in-place rerouting, and the fault/reroute
+  trace events;
 * ``pingpong_2x2x2`` -- the Section 4.3 counted-write ping-pong:
   exercises the delivery hook, reply injection, and an idle network's
   pure pipeline latency.
@@ -109,6 +113,55 @@ def _run_tornado_4x1x1(writer: JsonlTraceWriter) -> None:
     )
 
 
+def _run_faulted_2x2x2(writer: JsonlTraceWriter) -> None:
+    """Mid-run fault golden: two scheduled torus-link failures (one of
+    which recovers) under the reroute policy, pinning the fault sweep's
+    re-disposition semantics -- fault/reroute event ordering, credit
+    return for swept buffers, and the deterministic fault timeline."""
+    from repro.faults import FaultRuntime, FaultSet, FaultSpec
+    from repro.faults.model import failable_channels
+    from repro.traffic.batch import BatchSpec
+    from repro.traffic.patterns import UniformRandom
+
+    machine = Machine(MachineConfig(shape=(2, 2, 2), endpoints_per_chip=2))
+    torus = failable_channels(machine)
+    fault_set = FaultSet(
+        specs=(
+            FaultSpec(kind="link", channel=torus[0], down_cycle=12),
+            FaultSpec(
+                kind="link",
+                channel=torus[len(torus) // 2],
+                down_cycle=20,
+                up_cycle=40,
+            ),
+        ),
+        shape=(2, 2, 2),
+        note="golden faulted run",
+    )
+    runtime = FaultRuntime(machine, fault_set)
+    routes = runtime.route_computer
+    spec = BatchSpec(
+        UniformRandom((2, 2, 2)),
+        packets_per_source=4,
+        cores_per_chip=2,
+        seed=5,
+    )
+    stats = run_batch(
+        machine, routes, spec, arbitration="rr", trace=writer, faults=runtime
+    )
+    writer.write_record(
+        {
+            "ev": "end",
+            "cyc": stats.end_cycle,
+            "injected": stats.injected,
+            "delivered": stats.delivered,
+            "dropped": stats.dropped,
+            "rerouted": stats.rerouted,
+            "events": writer.events_written,
+        }
+    )
+
+
 def _run_pingpong_2x2x2(writer: JsonlTraceWriter) -> None:
     machine = Machine(MachineConfig(shape=(2, 2, 2), endpoints_per_chip=1))
     routes = RouteComputer(machine)
@@ -151,6 +204,15 @@ _GOLDEN_RUNS = {
             "shape": [4, 1, 1],
             "endpoints": 1,
             "workload": "batch tornado x4 iw seed3",
+        },
+    ),
+    "faulted_2x2x2": (
+        _run_faulted_2x2x2,
+        {
+            "name": "faulted_2x2x2",
+            "shape": [2, 2, 2],
+            "endpoints": 2,
+            "workload": "batch uniform x4 rr seed5 faults2 reroute",
         },
     ),
     "pingpong_2x2x2": (

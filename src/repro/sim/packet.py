@@ -38,6 +38,8 @@ class Packet:
         "deliver_cycle",
         "hop_index",
         "ready_cycle",
+        "retries",
+        "drop_on_arrival",
     )
 
     def __init__(
@@ -68,6 +70,12 @@ class Packet:
         #: Cycle at which the packet clears the current component's
         #: pipeline and may arbitrate (set by the engine on arrival).
         self.ready_cycle = release_cycle
+        #: Source re-injections performed so far (fault retry policy).
+        self.retries = 0
+        #: Set when a mid-run fault condemned this in-flight copy: the
+        #: engine discards it (returning its credits) on arrival instead
+        #: of buffering it.
+        self.drop_on_arrival = False
 
     @property
     def src(self) -> int:

@@ -150,6 +150,7 @@ def run_batch(
     keep_packet_latencies: bool = False,
     trace=None,
     latency_quantiles: bool = False,
+    faults=None,
 ) -> SimStats:
     """Run one batch experiment and return its statistics.
 
@@ -162,6 +163,11 @@ def run_batch(
     ``latency_quantiles`` enables the streaming p50/p95/p99 estimator on
     the returned stats (:mod:`repro.sim.metrics`). Both are pure
     observers: results are bitwise-identical with or without them.
+
+    ``faults`` attaches a :class:`repro.faults.FaultRuntime` (failed
+    channels, mid-run schedule, stranded-packet policy). Pass its
+    fault-aware computer as ``route_computer`` too so generated routes
+    avoid the initially failed channels.
     """
     from repro.traffic.batch import generate_batch
     from repro.traffic.loads import compute_loads
@@ -217,6 +223,7 @@ def run_batch(
         keep_packet_latencies=keep_packet_latencies,
         trace=trace,
         latency_quantiles=latency_quantiles,
+        faults=faults,
     )
     for packet in generate_batch(machine, route_computer, spec):
         engine.enqueue(packet)

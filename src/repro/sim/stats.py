@@ -61,6 +61,16 @@ class SimStats:
     latency_sum: int = 0
     #: Sum of injection-to-delivery (network) latencies.
     network_latency_sum: int = 0
+    #: Packets dropped by the fault policy (zero on healthy runs).
+    dropped: int = 0
+    #: Packets re-routed in place around a failed channel.
+    rerouted: int = 0
+    #: Source re-injections performed by the retry policy.
+    retried: int = 0
+    #: Route requests that found no path on the degraded machine.
+    unroutable: int = 0
+    #: Link-down/link-up events applied mid-run.
+    fault_events: int = 0
     #: Retained per-packet latencies when ``keep_packet_latencies`` is set
     #: on the engine (used by the latency-vs-hops experiment).
     packet_latencies: List[int] = dataclasses.field(default_factory=list)
@@ -241,6 +251,11 @@ class SimStats:
             self.channel_busy_ticks[cid] += ticks
         self.latency_sum += other.latency_sum
         self.network_latency_sum += other.network_latency_sum
+        self.dropped += other.dropped
+        self.rerouted += other.rerouted
+        self.retried += other.retried
+        self.unroutable += other.unroutable
+        self.fault_events += other.fault_events
         self.packet_latencies.extend(other.packet_latencies)
         if other.latency_estimator is not None:
             if self.latency_estimator is None:

@@ -22,11 +22,31 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.machine import Machine, MachineConfig
 from repro.core.routing import RouteComputer
+
+
+class SweepPointError(RuntimeError):
+    """One or more sweep points failed.
+
+    Raised by :func:`run_sweep` *after* every point has executed, so a
+    single bad point does not forfeit the rest of an expensive sweep:
+    ``results`` holds the full result list (failed points carry
+    ``value=None`` and an ``error`` traceback), and the message names
+    each failing point with its parameters.
+    """
+
+    def __init__(self, message: str, results: List["SweepResult"]) -> None:
+        super().__init__(message)
+        self.results = results
+
+    @property
+    def failures(self) -> List["SweepResult"]:
+        return [result for result in self.results if result.error is not None]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -62,17 +82,32 @@ class SweepResult:
     #: PID of the worker process that ran the point (the parent's own PID
     #: for serial execution) -- makes work distribution inspectable.
     worker_pid: int
+    #: Formatted traceback when the point's ``fn`` raised; ``None`` on
+    #: success. Failed points carry ``value=None``.
+    error: Optional[str] = None
 
 
 def _execute_point(point: SweepPoint, index: int) -> SweepResult:
     start = time.perf_counter()
-    value = point.fn(**point.call_kwargs())
+    value = None
+    error = None
+    try:
+        value = point.fn(**point.call_kwargs())
+    except Exception:
+        # Capture the failure with the point's parameters instead of
+        # letting a bare pool traceback kill the whole sweep; the parent
+        # reports all failures together once every point has run.
+        error = (
+            f"sweep point {point.label!r} (index {index}) failed with "
+            f"kwargs {point.call_kwargs()!r}:\n{traceback.format_exc()}"
+        )
     return SweepResult(
         label=point.label,
         index=index,
         value=value,
         wall_seconds=time.perf_counter() - start,
         worker_pid=os.getpid(),
+        error=error,
     )
 
 
@@ -92,6 +127,7 @@ def default_workers() -> int:
 def run_sweep(
     points: Sequence[SweepPoint],
     max_workers: Optional[int] = None,
+    on_error: str = "raise",
 ) -> List[SweepResult]:
     """Execute every point and return results in sweep order.
 
@@ -100,17 +136,38 @@ def run_sweep(
     ``None`` uses :func:`default_workers`. Results are returned in input
     order regardless of completion order, so serial and parallel runs are
     directly comparable element by element.
+
+    A point whose ``fn`` raises does not abort the sweep: every other
+    point still runs, and the failure is recorded on its
+    :class:`SweepResult` (``value=None``, ``error`` holding the point's
+    parameters and traceback). Afterwards, ``on_error="raise"`` (the
+    default) raises :class:`SweepPointError` summarizing every failed
+    point, with the partial results attached as ``.results``;
+    ``on_error="return"`` returns the result list and leaves failure
+    handling to the caller.
     """
+    if on_error not in ("raise", "return"):
+        raise ValueError(f"unknown on_error mode {on_error!r}")
     if max_workers is None:
         max_workers = default_workers()
     if max_workers <= 1 or len(points) <= 1:
-        return [_execute_point(point, i) for i, point in enumerate(points)]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = [
-            pool.submit(_execute_point, point, i)
-            for i, point in enumerate(points)
-        ]
-        results = [future.result() for future in futures]
+        results = [_execute_point(point, i) for i, point in enumerate(points)]
+    else:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(_execute_point, point, i)
+                for i, point in enumerate(points)
+            ]
+            results = [future.result() for future in futures]
+    if on_error == "raise":
+        failures = [result for result in results if result.error is not None]
+        if failures:
+            summary = "\n".join(failure.error.rstrip() for failure in failures)
+            raise SweepPointError(
+                f"{len(failures)} of {len(results)} sweep points failed:\n"
+                f"{summary}",
+                results,
+            )
     return results
 
 

@@ -29,7 +29,18 @@ kind       meaning (extra fields)
 ``arrive``  packet fully received into the VC buffer at ``ch``'s destination
 ``deliver`` packet consumed at its destination endpoint (``lat``: injection-
             to-delivery cycles, ``qlat``: release-to-delivery cycles)
+``fault``   channel ``ch`` failed or recovered mid-run (``down``: 1 on
+            failure, 0 on recovery; ``pid`` is -1 -- no packet involved)
+``reroute`` a fault stranded the packet and it was re-routed in place from
+            the component holding it (``hops``: new remaining hop count)
+``drop``    a fault stranded the packet and the policy dropped it
+``retry``   a fault stranded the packet and the retry policy re-injected it
+            at its source (``attempt``, ``rel``: the re-release cycle)
 ========== =====================================================================
+
+The fault kinds were added in PR 3 as a purely additive extension: a
+trace containing no faults serializes byte-identically to one produced
+before they existed, so the schema version is unchanged.
 
 Within a cycle, events appear in causal order (``grant`` before the
 ``depart`` it caused, ``depart`` before any ``promote`` it carried).
@@ -55,8 +66,19 @@ from typing import IO, Iterable, List, NamedTuple, Tuple
 #: Version of the serialized trace schema; bump on any field change.
 TRACE_SCHEMA_VERSION = 1
 
-#: The six event kinds, in the order documented above.
-EVENT_KINDS = ("inject", "grant", "depart", "promote", "arrive", "deliver")
+#: The event kinds, in the order documented above.
+EVENT_KINDS = (
+    "inject",
+    "grant",
+    "depart",
+    "promote",
+    "arrive",
+    "deliver",
+    "fault",
+    "reroute",
+    "drop",
+    "retry",
+)
 
 
 class TraceEvent(NamedTuple):

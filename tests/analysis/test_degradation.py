@@ -1,0 +1,111 @@
+"""Tests for the degraded-machine throughput/fairness harness."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.degradation import (
+    DegradedPoint,
+    degradation_sweep,
+    measure_degraded_point,
+)
+from repro.faults import FaultSet, sample_link_faults
+from repro.traffic.patterns import UniformRandom
+
+
+def _point(machine, k, seed=3, **kwargs):
+    fault_json = sample_link_faults(machine, k, seed=seed).to_json()
+    defaults = dict(
+        config=machine.config,
+        pattern=UniformRandom(machine.config.shape),
+        batch_size=8,
+        cores_per_chip=2,
+        fault_json=fault_json,
+        arbitration="rr",
+        seed=7,
+    )
+    defaults.update(kwargs)
+    return DegradedPoint(**defaults)
+
+
+class TestMeasureDegradedPoint:
+    def test_healthy_point_full_delivery(self, tiny_machine):
+        result = measure_degraded_point(_point(tiny_machine, 0))
+        assert result.failed_links == 0
+        assert result.delivered == 8 * 8 * 2  # chips x batch x cores
+        assert result.dropped == 0
+        assert result.unroutable == 0
+        assert result.normalized_throughput > 0
+        # With zero faults the degraded and healthy ideal bounds agree
+        # (up to float summation order: the degraded path accumulates
+        # loads exhaustively, the healthy one by translation symmetry).
+        assert result.normalized_throughput == pytest.approx(
+            result.throughput_vs_healthy_ideal
+        )
+
+    def test_degraded_point_delivers_batch(self, tiny_machine):
+        result = measure_degraded_point(_point(tiny_machine, 2))
+        assert result.failed_links == 2
+        assert result.delivered == 8 * 8 * 2
+        assert result.dropped == 0
+        # Fewer surviving channels -> the degraded ideal bound is never
+        # tighter than the healthy one.
+        assert (
+            result.normalized_throughput >= result.throughput_vs_healthy_ideal
+        )
+
+    def test_fault_json_round_trips_through_result(self, tiny_machine):
+        point = _point(tiny_machine, 1)
+        result = measure_degraded_point(point)
+        assert result.fault_json == point.fault_json
+        assert len(FaultSet.from_json(result.fault_json)) == 1
+
+    def test_point_is_picklable(self, tiny_machine):
+        point = _point(tiny_machine, 1)
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone.config == point.config
+        assert clone.fault_json == point.fault_json
+        assert clone.pattern.name == point.pattern.name
+        assert clone.policy_mode == point.policy_mode
+
+    def test_measurement_is_deterministic(self, tiny_machine):
+        point = _point(tiny_machine, 2, arbitration="iw")
+        a = measure_degraded_point(point)
+        b = measure_degraded_point(point)
+        assert a.completion_cycles == b.completion_cycles
+        assert a.normalized_throughput == b.normalized_throughput
+        assert a.finish_spread == b.finish_spread
+
+
+class TestDegradationSweep:
+    def test_sweep_spans_zero_to_max(self, tiny_machine):
+        points = degradation_sweep(
+            tiny_machine,
+            UniformRandom((2, 2, 2)),
+            batch_size=8,
+            cores_per_chip=2,
+            max_failed=2,
+            arbitration="rr",
+            fault_seed=3,
+            seed=7,
+        )
+        assert [p.failed_links for p in points] == [0, 1, 2]
+        for p in points:
+            assert p.delivered == 8 * 8 * 2
+            assert p.policy == "reroute"
+
+    def test_sweep_reproducible(self, tiny_machine):
+        kwargs = dict(
+            batch_size=8,
+            cores_per_chip=2,
+            max_failed=1,
+            arbitration="rr",
+            fault_seed=3,
+            seed=7,
+        )
+        a = degradation_sweep(tiny_machine, UniformRandom((2, 2, 2)), **kwargs)
+        b = degradation_sweep(tiny_machine, UniformRandom((2, 2, 2)), **kwargs)
+        assert [p.fault_json for p in a] == [p.fault_json for p in b]
+        assert [p.completion_cycles for p in a] == [
+            p.completion_cycles for p in b
+        ]

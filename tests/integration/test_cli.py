@@ -160,3 +160,123 @@ class TestTraceCommand:
 
         for line in out.splitlines():
             json.loads(line)
+
+
+class TestVersionAndErrors:
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_operational_error_exits_one_not_traceback(self, capsys):
+        # A missing fault file is an operational failure: one line on
+        # stderr, exit code 1, no traceback.
+        code = main(["faults", "validate", "/nonexistent/faults.json"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_invalid_fault_json_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 999, "faults": []}')
+        code = main(["faults", "validate", str(bad)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "version" in err
+
+
+class TestFaultsCommand:
+    def _sample(self, tmp_path, capsys, k="2", shape="2x2x2", seed="3",
+                down=None):
+        path = tmp_path / "faults.json"
+        argv = [
+            "faults", "sample", "--shape", shape, "--endpoints", "2",
+            "-k", k, "--seed", seed, "--out", str(path),
+        ]
+        if down is not None:
+            argv += ["--down", down]
+        assert main(argv) == 0
+        capsys.readouterr()  # discard the summary line
+        return path
+
+    def test_sample_writes_valid_json(self, tmp_path, capsys):
+        import json
+
+        path = self._sample(tmp_path, capsys)
+        payload = json.loads(path.read_text())
+        assert len(payload["faults"]) == 2
+        assert payload["shape"] == [2, 2, 2]
+
+    def test_sample_to_stdout(self, capsys):
+        import json
+
+        code = main(
+            [
+                "faults", "sample", "--shape", "2x2x2", "--endpoints", "2",
+                "-k", "1", "--seed", "3", "--out", "-",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["faults"]) == 1
+
+    def test_validate_sampled_set(self, tmp_path, capsys):
+        path = self._sample(tmp_path, capsys)
+        code = main(
+            [
+                "faults", "validate", str(path),
+                "--check-routes", "--check-deadlock",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "valid" in out
+        assert "route resolution:" in out
+        assert "acyclic (deadlock-free)" in out
+
+    def test_validate_shape_comes_from_file(self, tmp_path, capsys):
+        # `sample` records the shape, so `validate` needs no --shape.
+        path = self._sample(tmp_path, capsys, shape="3x3x3")
+        assert main(["faults", "validate", str(path)]) == 0
+        assert "3x3x3" in capsys.readouterr().out
+
+    def test_run_round_trip_reproduces_identical_trace(self, tmp_path, capsys):
+        """The acceptance property at the CLI level: a sampled fault set
+        round-tripped through JSON reproduces the byte-identical
+        degraded-run trace."""
+        # Mid-run failures (cycle 20) so the trace carries fault events.
+        fault_path = self._sample(tmp_path, capsys, down="20")
+        traces = []
+        for name in ("a.jsonl", "b.jsonl"):
+            trace_path = tmp_path / name
+            code = main(
+                [
+                    "faults", "run", str(fault_path),
+                    "--pattern", "uniform", "--batch", "4", "--cores", "2",
+                    "--seed", "5", "--trace", str(trace_path),
+                ]
+            )
+            assert code == 0
+            traces.append(trace_path.read_bytes())
+        assert traces[0] == traces[1]
+        assert b'"ev": "fault"' in traces[0] or b'"ev":"fault"' in traces[0]
+        capsys.readouterr()
+
+    def test_run_summary_reports_outcomes(self, tmp_path, capsys):
+        fault_path = self._sample(tmp_path, capsys, down="20")
+        code = main(
+            [
+                "faults", "run", str(fault_path),
+                "--pattern", "uniform", "--batch", "4", "--cores", "2",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delivered" in out
+        assert "(2 fault events)" in out

@@ -59,6 +59,14 @@ class TestExamples:
         assert "linear fit" in output
         assert "99" in output
 
+    def test_degraded_throughput(self):
+        output = run_example("degraded_throughput.py", timeout=360)
+        assert "failed torus links" in output
+        assert "vs healthy" in output
+        # The sweep spans the healthy baseline through 4 failed links.
+        for k in range(5):
+            assert f"\n{k:>5d} " in output
+
     @pytest.mark.slow
     def test_fairness_sweep(self):
         output = run_example("fairness_sweep.py", timeout=1800)

@@ -14,6 +14,7 @@ from repro.analysis.throughput import BatchPoint, measure_batch_point
 from repro.core.machine import MachineConfig
 from repro.sim.sweep import (
     SweepPoint,
+    SweepPointError,
     default_workers,
     run_sweep,
     shared_machine,
@@ -107,6 +108,67 @@ class TestMetricsThroughSweep:
     def test_metrics_off_by_default(self):
         (result,) = run_sweep(_points(seeds=(5,)), max_workers=1)
         assert result.value.metrics is None
+
+
+def _boom(seed=0, detail="kaboom"):
+    raise ValueError(f"simulated point failure: {detail}")
+
+
+def _mixed_points():
+    """Two good points around one that raises -- order must be preserved."""
+    good = _points(seeds=(3, 4))
+    bad = SweepPoint(
+        label="uniform/rr/broken",
+        fn=_boom,
+        kwargs={"detail": "bad-spec"},
+        seed=11,
+    )
+    return [good[0], bad, good[1]]
+
+
+class TestSweepFailures:
+    """A worker exception must not forfeit the rest of the sweep: the
+    failing point's parameters are reported and the other points still
+    complete (partial results ride on the raised error)."""
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_failure_reports_point_and_keeps_partial_results(self, max_workers):
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(_mixed_points(), max_workers=max_workers)
+        err = excinfo.value
+        # The summary names the failing point, its parameters, and the
+        # original exception.
+        assert "1 of 3 sweep points failed" in str(err)
+        assert "uniform/rr/broken" in str(err)
+        assert "'detail': 'bad-spec'" in str(err)
+        assert "'seed': 11" in str(err)
+        assert "simulated point failure: bad-spec" in str(err)
+        # All three points executed; the good ones carry real values.
+        assert [r.label for r in err.results] == [
+            "uniform/rr/seed3",
+            "uniform/rr/broken",
+            "uniform/rr/seed4",
+        ]
+        assert [f.label for f in err.failures] == ["uniform/rr/broken"]
+        assert err.results[1].value is None
+        assert "ValueError" in err.results[1].error
+        for good in (err.results[0], err.results[2]):
+            assert good.error is None
+            assert good.value.normalized_throughput > 0
+
+    def test_on_error_return_yields_partial_results(self):
+        results = run_sweep(_mixed_points(), max_workers=2, on_error="return")
+        assert [r.error is None for r in results] == [True, False, True]
+        assert results[0].value.normalized_throughput > 0
+        assert results[2].value.normalized_throughput > 0
+
+    def test_on_error_mode_validated(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_sweep(_points(seeds=(1,)), on_error="ignore")
+
+    def test_green_path_has_no_errors(self):
+        for result in run_sweep(_points(), max_workers=2):
+            assert result.error is None
 
 
 class TestSweepPoint:
