@@ -1,0 +1,316 @@
+"""Engine-throughput microbenchmark: the repo's perf-regression anchor.
+
+Measures the cycle-level engine's raw scheduling throughput -- simulated
+cycles per wall-clock second, scheduler events per second, and delivered
+packets per second -- on three canonical configurations chosen to pin the
+three hot paths:
+
+* ``uniform_4x4x2_sat`` -- uniform random batch at saturation with
+  round-robin arbitration: the SA1/SA2 arbitration scan and the
+  credit/arrival event path (the acceptance config for engine perf work);
+* ``tornado_4x4x1_iw`` -- tornado with inverse-weighted arbitration at
+  both stages: the weight-table arbiter path under sustained torus
+  serialization;
+* ``faulted_4x4x2_reroute`` -- uniform batch with two scheduled mid-run
+  link faults under the reroute policy: the fault gates on the hot path
+  plus the sweep/re-route machinery.
+
+Because the engine is bit-deterministic, every run of a config simulates
+*exactly* the same cycles and events; only the wall time varies. Each
+config is run ``--repeat`` times and the fastest run is kept (the usual
+microbenchmark convention: minimum wall time has the least scheduler
+noise).
+
+Usage::
+
+    python benchmarks/bench_engine_throughput.py --out BENCH_engine.json
+    python benchmarks/bench_engine_throughput.py --check BENCH_engine.json
+
+``--check`` re-measures and soft-gates against a committed baseline:
+exit status 2 (and a GitHub-annotation-formatted warning) if any config's
+cycles/sec fell more than ``--tolerance`` (default 30%) below the
+baseline. CI runs this as a non-blocking perf-smoke job.
+
+"events" counts scheduler work items: every departure schedules one
+arrival and (directly or at delivery) one credit return, so a run
+processes ``2 * total_departs`` timing-wheel events, where
+``total_departs = sum(channel_flits) / size_flits``. The count is derived
+from the (deterministic) run statistics rather than a hot-loop counter,
+so measuring it costs nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.sim.engine import Engine
+from repro.sim.simulator import arbiter_builder_for, make_vc_weight_tables, make_weight_tables
+from repro.sim.stats import SimStats
+from repro.traffic.batch import BatchSpec, generate_batch
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Default committed-baseline location (repo root).
+DEFAULT_BASELINE = "BENCH_engine.json"
+
+
+def _uniform_4x4x2_sat() -> Tuple[Callable[[], Engine], List]:
+    from repro.traffic.patterns import UniformRandom
+
+    machine = Machine(MachineConfig(shape=(4, 4, 2), endpoints_per_chip=2))
+    routes = RouteComputer(machine)
+    spec = BatchSpec(
+        UniformRandom((4, 4, 2)), packets_per_source=64, cores_per_chip=2, seed=1
+    )
+    packets = generate_batch(machine, routes, spec)
+    return (lambda: Engine(machine)), packets
+
+
+def _tornado_4x4x1_iw() -> Tuple[Callable[[], Engine], List]:
+    from repro.traffic.patterns import Tornado
+
+    machine = Machine(MachineConfig(shape=(4, 4, 1), endpoints_per_chip=2))
+    routes = RouteComputer(machine)
+    pattern = Tornado((4, 4, 1))
+    spec = BatchSpec(pattern, packets_per_source=64, cores_per_chip=2, seed=2)
+    packets = generate_batch(machine, routes, spec)
+    weight_tables = make_weight_tables(machine, routes, [pattern], 2)
+    vc_weight_tables = make_vc_weight_tables(machine, routes, [pattern], 2)
+    builder = arbiter_builder_for("iw", weight_tables)
+    vc_builder = arbiter_builder_for("iw", vc_weight_tables)
+    return (
+        lambda: Engine(machine, arbiter_builder=builder, vc_arbiter_builder=vc_builder)
+    ), packets
+
+
+def _faulted_4x4x2_reroute() -> Tuple[Callable[[], Engine], List]:
+    from repro.faults import FaultRuntime, FaultSet, FaultSpec
+    from repro.faults.model import failable_channels
+    from repro.traffic.patterns import UniformRandom
+
+    machine = Machine(MachineConfig(shape=(4, 4, 2), endpoints_per_chip=2))
+    torus = failable_channels(machine)
+    fault_set = FaultSet(
+        specs=(
+            FaultSpec(kind="link", channel=torus[3], down_cycle=40),
+            FaultSpec(
+                kind="link",
+                channel=torus[len(torus) // 2],
+                down_cycle=80,
+                up_cycle=160,
+            ),
+        ),
+        shape=(4, 4, 2),
+        note="engine-throughput bench",
+    )
+
+    def build() -> Engine:
+        # The runtime holds mutable per-run state (the fault-aware route
+        # cache), so each repetition gets a fresh one.
+        runtime = FaultRuntime(machine, fault_set)
+        return Engine(machine, faults=runtime)
+
+    probe = FaultRuntime(machine, fault_set)
+    routes = probe.route_computer
+    spec = BatchSpec(
+        UniformRandom((4, 4, 2)), packets_per_source=48, cores_per_chip=2, seed=3
+    )
+    packets = generate_batch(machine, routes, spec)
+    return build, packets
+
+
+#: name -> (workload factory, human description). Factories are called
+#: once; each repetition re-clones packets into a fresh engine.
+CONFIGS: Dict[str, Tuple[Callable, str]] = {
+    "uniform_4x4x2_sat": (
+        _uniform_4x4x2_sat,
+        "uniform batch x64, 4x4x2, rr (saturation; the acceptance config)",
+    ),
+    "tornado_4x4x1_iw": (
+        _tornado_4x4x1_iw,
+        "tornado batch x64, 4x4x1, inverse-weighted both stages",
+    ),
+    "faulted_4x4x2_reroute": (
+        _faulted_4x4x2_reroute,
+        "uniform batch x48, 4x4x2, 2 scheduled link faults, reroute policy",
+    ),
+}
+
+
+def _clone_packets(packets: List) -> List:
+    """Fresh Packet objects for one repetition (engines mutate packets)."""
+    from repro.sim.packet import Packet
+
+    clones = []
+    for p in packets:
+        clone = Packet(
+            p.pid,
+            p.route,
+            size_flits=p.size_flits,
+            pattern=p.pattern,
+            traffic_class=p.traffic_class,
+            release_cycle=p.release_cycle,
+        )
+        clones.append(clone)
+    return clones
+
+
+def _scheduler_events(stats: SimStats, size_flits: int = 1) -> int:
+    total_departs = sum(stats.channel_flits.values()) // size_flits
+    return 2 * total_departs
+
+
+def run_config(name: str, repeat: int = 3) -> dict:
+    """Measure one config; returns its result record (deterministic
+    counts, minimum wall time over ``repeat`` runs)."""
+    factory, description = CONFIGS[name]
+    make_engine, packets = factory()
+    best_wall: Optional[float] = None
+    stats: Optional[SimStats] = None
+    for _ in range(repeat):
+        engine = make_engine()
+        batch = _clone_packets(packets)
+        start = time.perf_counter()
+        for packet in batch:
+            engine.enqueue(packet)
+        run_stats = engine.run()
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+        stats = run_stats
+    assert stats is not None and best_wall is not None
+    events = _scheduler_events(stats)
+    return {
+        "description": description,
+        "cycles": stats.end_cycle,
+        "delivered": stats.delivered,
+        "events": events,
+        "wall_s": round(best_wall, 6),
+        "cycles_per_s": round(stats.end_cycle / best_wall, 1),
+        "events_per_s": round(events / best_wall, 1),
+        "packets_per_s": round(stats.delivered / best_wall, 1),
+    }
+
+
+def run_all(repeat: int = 3, configs: Optional[List[str]] = None) -> dict:
+    names = configs or list(CONFIGS)
+    results = {name: run_config(name, repeat) for name in names}
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "repeat": repeat,
+        "configs": results,
+    }
+
+
+def check_against(baseline: dict, fresh: dict, tolerance: float) -> List[str]:
+    """Compare a fresh measurement against a committed baseline.
+
+    Returns a list of regression messages (empty = within tolerance).
+    Configs present in only one of the two are ignored: adding a config
+    must not fail the gate retroactively.
+    """
+    problems = []
+    for name, base in baseline.get("configs", {}).items():
+        new = fresh.get("configs", {}).get(name)
+        if new is None:
+            continue
+        base_rate = base["cycles_per_s"]
+        new_rate = new["cycles_per_s"]
+        if new_rate < (1.0 - tolerance) * base_rate:
+            problems.append(
+                f"{name}: {new_rate:,.0f} cycles/s is "
+                f"{100 * (1 - new_rate / base_rate):.0f}% below the "
+                f"baseline {base_rate:,.0f} cycles/s "
+                f"(tolerance {100 * tolerance:.0f}%)"
+            )
+    return problems
+
+
+def _format_table(result: dict) -> str:
+    lines = [
+        f"{'config':26s} {'cycles':>8s} {'wall_s':>8s} "
+        f"{'cycles/s':>10s} {'events/s':>10s} {'packets/s':>10s}"
+    ]
+    for name, rec in result["configs"].items():
+        lines.append(
+            f"{name:26s} {rec['cycles']:8d} {rec['wall_s']:8.3f} "
+            f"{rec['cycles_per_s']:10,.0f} {rec['events_per_s']:10,.0f} "
+            f"{rec['packets_per_s']:10,.0f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write results JSON here")
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="soft-gate against a committed baseline JSON (exit 2 on regression)",
+    )
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--configs", nargs="+", choices=list(CONFIGS), default=None
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional cycles/sec drop before the gate trips",
+    )
+    parser.add_argument(
+        "--soft",
+        action="store_true",
+        help="report regressions (warnings) but always exit 0 -- for CI "
+        "runners whose wall-clock noise exceeds the tolerance",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_all(repeat=args.repeat, configs=args.configs)
+    print(_format_table(result))
+
+    if args.out:
+        with open(args.out, "w") as stream:
+            json.dump(result, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.check:
+        with open(args.check) as stream:
+            baseline = json.load(stream)
+        problems = check_against(baseline, result, args.tolerance)
+        if problems:
+            for problem in problems:
+                # GitHub Actions annotation format; harmless elsewhere.
+                print(f"::warning title=perf regression::{problem}")
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 0 if args.soft else 2
+        print(f"within {100 * args.tolerance:.0f}% of {args.check}: ok")
+    return 0
+
+
+# --- pytest entry point (smoke: one fast config, sanity thresholds) ----------
+
+
+def test_engine_throughput_smoke(report):
+    result = run_all(repeat=1, configs=["uniform_4x4x2_sat"])
+    rec = result["configs"]["uniform_4x4x2_sat"]
+    # Deterministic counts: the run always simulates the same cycles.
+    assert rec["delivered"] == 4096
+    assert rec["cycles"] > 0 and rec["events"] > 0
+    report("engine_throughput_smoke", _format_table(result))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

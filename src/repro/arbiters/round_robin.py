@@ -38,14 +38,22 @@ class RoundRobinArbiter(Arbiter):
         self._pointer = 0
 
     def peek(self, requests: Sequence[Optional[Request]]) -> Optional[int]:
-        for index in rr_order(self._pointer, self.num_inputs):
+        # Allocation-free rr_order(): peek runs in the engine's SA1/SA2
+        # inner loop, so the preference order is enumerated in place
+        # instead of materializing the list each call.
+        num_inputs = self.num_inputs
+        pointer = self._pointer
+        for offset in range(num_inputs):
+            index = (pointer - 1 - offset) % num_inputs
             if requests[index] is not None:
                 return index
         return None
 
     def commit(self, index: int, request: Request) -> None:
         self._pointer = index
-        self.record_grant(index)
+        # record_grant(), inlined: commit runs once per SA1 and once per
+        # SA2 grant, every departure.
+        self.grants[index] += 1
 
 
 class FixedPriorityArbiter(Arbiter):

@@ -11,6 +11,8 @@ Commands map onto the reproduction's main entry points:
   a JSONL trace (also regenerates the golden conformance traces)
 * ``faults``     -- sample, validate, and run fault sets (degraded
   topologies): ``faults sample`` / ``faults validate`` / ``faults run``
+* ``profile``    -- cProfile the engine hot path over one seeded batch,
+  printing a deterministic top-N call-count table
 * ``latency``    -- the Figure 11/12 latency model
 * ``area``       -- Tables 1 and 2 from the area model
 * ``energy``     -- the Figure 13 energy curves
@@ -484,6 +486,71 @@ def cmd_faults_run(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Profile the engine hot path over one seeded batch run.
+
+    The table is deterministic for a given workload: rows are call
+    counts (a pure function of the seeded simulation, not of machine
+    speed), sorted by descending count then name. Wall-clock and
+    per-function times go to the trailing summary line only, so output
+    can be diffed across runs and machines.
+    """
+    import cProfile
+    import pstats
+
+    from repro.sim.simulator import run_batch
+    from repro.traffic.batch import BatchSpec
+
+    machine = _machine(args)
+    routes = RouteComputer(machine)
+    pattern = _pattern_factories(args.shape)[args.pattern]()
+    spec = BatchSpec(
+        pattern,
+        packets_per_source=args.batch,
+        cores_per_chip=args.cores,
+        seed=args.seed,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    stats = run_batch(machine, routes, spec, arbitration=args.arbitration)
+    profiler.disable()
+
+    pstats_obj = pstats.Stats(profiler)
+    rows = []
+    total_calls = 0
+    for (filename, _lineno, funcname), (
+        _cc,
+        ncalls,
+        tottime,
+        _cumtime,
+        _callers,
+    ) in pstats_obj.stats.items():
+        total_calls += ncalls
+        # Qualify by the last two path components: 'sim/engine.py'
+        # disambiguates the repo's several routing.py / __init__.py.
+        parts = filename.replace("\\", "/").rsplit("/", 2)
+        where = "/".join(parts[-2:]) if len(parts) > 1 else filename
+        if where == "~" or where.startswith("<"):
+            where = "<builtin>"
+        rows.append((ncalls, f"{where}:{funcname}", tottime))
+    rows.sort(key=lambda row: (-row[0], row[1]))
+
+    print(
+        f"profiled {pattern.name} batch x{args.batch} on "
+        f"{'x'.join(str(r) for r in args.shape)} / {args.arbitration}: "
+        f"{stats.delivered} packets, {stats.end_cycle} cycles"
+    )
+    print(f"{'ncalls':>12}  function")
+    for ncalls, name, _tottime in rows[: args.top]:
+        print(f"{ncalls:>12,}  {name}")
+    print(f"-- {total_calls:,} calls across {len(rows)} functions")
+    # Wall time varies run to run; keep it off stdout so the table can
+    # be diffed byte-for-byte.
+    wall = sum(tottime for _n, _f, tottime in rows)
+    print(f"({wall:.2f}s profiled time)", file=sys.stderr)
+    return 0
+
+
 def cmd_latency(args) -> int:
     from repro.models.latency import (
         LatencyModel,
@@ -667,6 +734,23 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--trace", default=None,
                     help="also write a JSONL event trace ('-' for stdout)")
     fp.set_defaults(func=cmd_faults_run)
+
+    p = sub.add_parser(
+        "profile", help="profile the engine hot path over one seeded batch"
+    )
+    add_machine_args(p)
+    p.add_argument(
+        "--pattern",
+        default="uniform",
+        choices=["uniform", "1hop", "2hop", "tornado", "reverse-tornado"],
+    )
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--arbitration", default="rr", choices=["rr", "age", "iw"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=25,
+                   help="rows in the hot-function table (default: 25)")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("latency", help="Figure 11/12 latency model")
     add_machine_args(p, endpoints=2)

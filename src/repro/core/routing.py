@@ -116,13 +116,47 @@ class RouteComputer:
         self.allow_nonminimal = allow_nonminimal
         self._cache: Dict[Tuple[int, int, RouteChoice, int], Route] = {}
         self._plan_cache: Dict[Tuple, Route] = {}
+        #: Interned :class:`RouteChoice` flyweights keyed by their field
+        #: tuple. Sampling draws the same few hundred distinct choices
+        #: over and over (6 orders x 2 slices x tie-breaks), so reusing
+        #: one frozen instance per distinct choice keeps the route cache
+        #: key-space small and skips dataclass construction + validation
+        #: on every draw. Shared by everything holding this computer --
+        #: the traffic samplers and the fault-aware subclass alike.
+        self._choice_cache: Dict[Tuple, RouteChoice] = {}
 
     # --- route-choice helpers ------------------------------------------------
+
+    def intern_choice(
+        self,
+        dim_order: Tuple[Dim, Dim, Dim],
+        slice_index: int,
+        deltas: Optional[Coord3],
+    ) -> RouteChoice:
+        """The canonical :class:`RouteChoice` for a field combination.
+
+        Equal field tuples always return the *same* object (validated
+        once, on first construction); equality and hashing semantics are
+        unchanged, identity is a bonus for cache lookups.
+        """
+        key = (dim_order, slice_index, deltas)
+        choice = self._choice_cache.get(key)
+        if choice is None:
+            choice = RouteChoice(
+                dim_order=dim_order, slice_index=slice_index, deltas=deltas
+            )
+            self._choice_cache[key] = choice
+        return choice
 
     def random_choice(
         self, rng: random.Random, src_chip: Coord3, dst_chip: Coord3
     ) -> RouteChoice:
-        """Draw a uniformly randomized route choice (order, slice, ties)."""
+        """Draw a uniformly randomized route choice (order, slice, ties).
+
+        The RNG draw sequence (order, slice, then one tie-break per
+        dimension) is part of the engine's bit-reproducibility contract;
+        interning happens after the draws and never consumes randomness.
+        """
         dim_order = ALL_DIM_ORDERS[rng.randrange(len(ALL_DIM_ORDERS))]
         slice_index = rng.randrange(params.NUM_SLICES)
         shape = self.machine.config.shape
@@ -130,7 +164,7 @@ class RouteComputer:
             rng.choice(minimal_deltas(src_chip[d], dst_chip[d], shape[d]))
             for d in range(3)
         )
-        return RouteChoice(dim_order=dim_order, slice_index=slice_index, deltas=deltas)
+        return self.intern_choice(dim_order, slice_index, deltas)
 
     def all_choices(self, src_chip: Coord3, dst_chip: Coord3):
         """Every (dim order, slice, tie-break) choice with its probability.
@@ -151,7 +185,7 @@ class RouteComputer:
             for slice_index in range(params.NUM_SLICES):
                 for deltas in itertools.product(*delta_options):
                     yield (
-                        RouteChoice(dim_order, slice_index, tuple(deltas)),
+                        self.intern_choice(dim_order, slice_index, tuple(deltas)),
                         prob,
                     )
 

@@ -234,7 +234,7 @@ class FaultAwareRouteComputer(RouteComputer):
         for slice_index in ordered:
             for dim_order in ALL_DIM_ORDERS:
                 for deltas in itertools.product(*delta_options):
-                    cand = RouteChoice(dim_order, slice_index, tuple(deltas))
+                    cand = self.intern_choice(dim_order, slice_index, tuple(deltas))
                     if requested is not None and cand == requested:
                         continue
                     yield cand
@@ -262,7 +262,7 @@ class FaultAwareRouteComputer(RouteComputer):
                 continue  # covered by the re-pick stage
             for slice_index in ordered_slices:
                 for dim_order in ALL_DIM_ORDERS:
-                    yield RouteChoice(dim_order, slice_index, combo)
+                    yield self.intern_choice(dim_order, slice_index, combo)
 
     def _detour_plans(
         self, src_chip: Coord3, dst_chip: Coord3, preferred_slice: int
@@ -284,6 +284,6 @@ class FaultAwareRouteComputer(RouteComputer):
                 for order_a in ALL_DIM_ORDERS:
                     for order_b in ALL_DIM_ORDERS:
                         yield (
-                            (via, RouteChoice(order_a, slice_index)),
-                            (dst_chip, RouteChoice(order_b, slice_index)),
+                            (via, self.intern_choice(order_a, slice_index, None)),
+                            (dst_chip, self.intern_choice(order_b, slice_index, None)),
                         )

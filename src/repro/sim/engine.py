@@ -26,6 +26,16 @@ plain integer arithmetic, so sub-cycle torus bandwidth is modeled without
 quantization *and* without floating-point drift: a million-cycle
 saturation run ends on exactly the tick the rational arithmetic predicts.
 
+**Scheduling is a bucketed timing wheel.** Arrivals, credit returns,
+source wakes, and fault transitions are ordered by ``(cycle, seq)`` where
+``seq`` is push order; since channel latencies are small bounded
+integers, almost every event lands within a few cycles and is an O(1)
+FIFO append into :class:`~repro.sim.wheel.TimingWheel` rather than an
+O(log n) heap push (far-future events -- fault timelines, open-loop
+release wakes -- overflow into a small heap). The wheel reproduces the
+previous global-heap event order *exactly*; see :mod:`repro.sim.wheel`
+for the determinism argument and DESIGN.md section 9 for measurements.
+
 Endpoint adapters inject from an unbounded source queue (the Section 4.1
 batch methodology: every core has a batch of packets ready at time zero)
 and consume delivered packets at arrival.
@@ -39,7 +49,7 @@ no datelines) really do deadlock.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional
 
 from repro.arbiters.base import Arbiter
@@ -51,6 +61,7 @@ from .metrics import StreamingQuantile
 from .packet import Packet
 from .stats import SimStats
 from .trace import TraceEvent
+from .wheel import TimingWheel
 
 
 class DeadlockError(RuntimeError):
@@ -107,6 +118,18 @@ def arrival_cycle(end_ticks: int, ticks_per_cycle: int, latency: int) -> int:
     drift at integer boundaries, which exact ticks render impossible.
     """
     return (end_ticks - 1) // ticks_per_cycle - 1 + latency
+
+
+def arrival_vc(packet: Packet) -> int:
+    """VC the packet occupies at the end of its most recent hop.
+
+    The hop that carried a packet to its current arbitration point is
+    ``route.hops[hop_index - 1]``; its VC component is the buffer the
+    packet sits in (or, on the final hop, the VC whose credit is returned
+    at delivery). Every arrival disposition -- buffer, deliver, and
+    fault-drop -- shares this one lookup.
+    """
+    return packet.route.hops[packet.hop_index - 1][1]
 
 
 class Engine:
@@ -170,6 +193,22 @@ class Engine:
         #: Packets buffered per channel (all VCs); lets the hot loop skip
         #: empty inputs without scanning their VC queues.
         self._buffered_count: List[int] = [0] * len(channels)
+        # Flat per-channel endpoint lookups, hoisted out of the hot loop
+        # (attribute chains through Machine/Channel cost more than the
+        # work they guard).
+        self._channel_src: List[int] = [c.src for c in channels]
+        self._channel_dst: List[int] = [c.dst for c in channels]
+        self._is_endpoint: List[bool] = [
+            comp.kind == ComponentKind.ENDPOINT for comp in machine.components
+        ]
+        self._component_inputs: List[tuple] = [
+            tuple(ics) for ics in machine.component_inputs
+        ]
+        # Hot-path aliases into the stats counter dicts (defaultdicts):
+        # ``_depart`` increments these directly instead of calling
+        # ``stats.record_channel_use`` tens of thousands of times.
+        self._stat_channel_flits = self.stats.channel_flits
+        self._stat_channel_busy = self.stats.channel_busy_ticks
 
         #: Output (SA2) arbiters keyed by output channel id.
         self.arbiters: Dict[int, Arbiter] = {}
@@ -191,8 +230,10 @@ class Engine:
         #: Injection queues per endpoint component id.
         self._source_queues: Dict[int, List[Packet]] = {}
         self._source_heads: Dict[int, int] = {}
-        self._events: List[tuple] = []
-        self._event_seq = 0
+        #: The event core: a bucketed timing wheel sized so every
+        #: credit/arrival push (bounded by channel latency plus a couple
+        #: of serialization cycles) takes the O(1) bucket path.
+        self._events = TimingWheel(2 * max(self._latency, default=1) + 16)
         self._active: set = set()
         self._queued = 0
         self._in_network = 0
@@ -210,7 +251,14 @@ class Engine:
         self._fault_runtime = faults
         self._failed_channels: Optional[set] = None
         self._fault_routes = None
+        #: In-flight arrivals (packet -> output channel), maintained only
+        #: when faults are configured: the fault sweep needs to find
+        #: packets committed to the wire, and the timing wheel (unlike the
+        #: old global heap) has no cheap scan for them. Insertion order is
+        #: push order, matching the event-seq order the sweep re-routes in.
+        self._inflight: Optional[Dict[Packet, int]] = None
         if faults is not None:
+            self._inflight = {}
             self._fault_routes = faults.route_computer
             self._failed_channels = set(faults.initial_failed)
             self._fault_routes.set_failed(self._failed_channels)
@@ -254,6 +302,8 @@ class Engine:
         Returns early if all traffic drains first. Useful for observing
         mid-run state (e.g. arbiter service shares while the network is
         still saturated); call again or call :meth:`run` to finish.
+        ``stats.end_cycle`` is updated on every return, so mid-run
+        snapshots (utilization, trace footers) see the true cycle span.
 
         Like :meth:`run`, raises :class:`DeadlockError` if no packet moves
         for ``watchdog_cycles`` while packets are in the network -- a
@@ -262,38 +312,61 @@ class Engine:
         """
         target = self.cycle + cycles
         events = self._events
-        while (self._queued or self._in_network or events) and self.cycle < target:
-            if not self._active and events:
-                self.cycle = min(target, max(self.cycle, events[0][0]))
-            self._process_events()
-            if self._active:
-                self._step()
+        active = self._active
+        process_events = self._process_events
+        step = self._step
+        watchdog = self.watchdog_cycles
+        while (self._queued or self._in_network or events.pending) and (
+            self.cycle < target
+        ):
+            if not active and events.pending:
+                # Nothing can move; jump to the next event. If no event
+                # lands before the budget boundary, consume the rest of
+                # the budget and stop -- running the loop body at
+                # ``target`` would overshoot to ``target + 1``, making a
+                # split run drift one cycle per call past a single run.
+                nxt = events.next_cycle(self.cycle)
+                if nxt >= target:
+                    self.cycle = target
+                    break
+                if nxt > self.cycle:
+                    self.cycle = nxt
+            process_events()
+            if active:
+                step()
             if (
                 self._in_network
-                and self.cycle - self._last_progress > self.watchdog_cycles
+                and self.cycle - self._last_progress > watchdog
             ):
                 self._raise_deadlock()
             self.cycle += 1
+        self.stats.end_cycle = self.cycle
         return self.stats
 
     def run(self, max_cycles: int = 10_000_000) -> SimStats:
         """Run until all enqueued packets are delivered (or ``max_cycles``)."""
         events = self._events
-        while self._queued or self._in_network or events:
+        active = self._active
+        process_events = self._process_events
+        step = self._step
+        watchdog = self.watchdog_cycles
+        while self._queued or self._in_network or events.pending:
             if self.cycle >= max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles with "
                     f"{self._queued + self._in_network} packets outstanding"
                 )
-            if not self._active and events:
+            if not active and events.pending:
                 # Nothing can move; jump to the next event.
-                self.cycle = max(self.cycle, events[0][0])
-            self._process_events()
-            if self._active:
-                self._step()
+                nxt = events.next_cycle(self.cycle)
+                if nxt > self.cycle:
+                    self.cycle = nxt
+            process_events()
+            if active:
+                step()
             if (
                 self._in_network
-                and self.cycle - self._last_progress > self.watchdog_cycles
+                and self.cycle - self._last_progress > watchdog
             ):
                 self._raise_deadlock()
             self.cycle += 1
@@ -313,56 +386,94 @@ class Engine:
         )
 
     def _push_event(self, cycle: int, kind: int, a, b, c) -> None:
-        self._event_seq += 1
-        heapq.heappush(self._events, (cycle, self._event_seq, kind, a, b, c))
+        self._events.push(cycle, self.cycle, (kind, a, b, c))
 
     def _process_events(self) -> None:
         events = self._events
         now = self.cycle
-        while events and events[0][0] <= now:
-            _cycle, _seq, kind, a, b, c = heapq.heappop(events)
+        overflow = events.overflow
+        # Overdue overflow events (far-future pushes whose cycle has come,
+        # idle-jump targets) were all pushed at least a full wheel turn
+        # before anything in today's bucket, so they drain first -- the
+        # global (cycle, seq) order.
+        if overflow and overflow[0][0] <= now:
+            self._drain_overflow(now)
+        bucket = events.buckets[now & events.mask]
+        if bucket:
+            credits = self._credits
+            active = self._active
+            channel_src = self._channel_src
+            handle_arrival = self._handle_arrival
+            for kind, a, b, c in bucket:
+                if kind == _EV_ARRIVAL:
+                    handle_arrival(a, b)
+                elif kind == _EV_CREDIT:
+                    credits[a][b] += c
+                    active.add(channel_src[a])
+                elif kind == _EV_WAKE:
+                    active.add(a)
+                else:  # fault
+                    self._apply_fault(a, b)
+            # Handlers never append to *this* bucket: a same-cycle push has
+            # delta == 0 and a push one wheel turn out has delta == size,
+            # both of which overflow. The count is therefore stable.
+            events.pending -= len(bucket)
+            del bucket[:]
+        # A handler that scheduled new work for this very cycle (none do
+        # today) would have overflowed it with the cycle's largest seq;
+        # drain last to keep even that hypothetical in order.
+        if overflow and overflow[0][0] <= now:
+            self._drain_overflow(now)
+
+    def _drain_overflow(self, now: int) -> None:
+        events = self._events
+        overflow = events.overflow
+        while overflow and overflow[0][0] <= now:
+            kind, a, b, c = heappop(overflow)[2]
+            events.pending -= 1
             if kind == _EV_ARRIVAL:
                 self._handle_arrival(a, b)
             elif kind == _EV_CREDIT:
                 self._credits[a][b] += c
-                self._active.add(self.machine.channels[a].src)
+                self._active.add(self._channel_src[a])
             elif kind == _EV_WAKE:
                 self._active.add(a)
             else:  # fault
                 self._apply_fault(a, b)
 
     def _handle_arrival(self, packet: Packet, channel_id: int) -> None:
-        machine = self.machine
-        channel = machine.channels[channel_id]
+        now = self.cycle
+        inflight = self._inflight
+        if inflight is not None:
+            inflight.pop(packet, None)
         if packet.drop_on_arrival:
             # A mid-run fault condemned this copy while it was in flight
             # (drop policy, retry re-injection, or unroutable stranding);
             # discard it and return its buffer credits. Accounting was
             # done when the fault was applied.
             self._in_network -= 1
-            self._last_progress = self.cycle
-            vc = packet.route.hops[packet.hop_index - 1][1]
+            self._last_progress = now
             self._push_event(
-                self.cycle + channel.latency,
+                now + self._latency[channel_id],
                 _EV_CREDIT,
                 channel_id,
-                vc,
+                arrival_vc(packet),
                 packet.size_flits,
             )
             return
-        if packet.hop_index >= len(packet.route.hops):
+        if packet.next_hop is None:
             # Final hop: consume at the destination endpoint.
-            packet.deliver_cycle = self.cycle
+            packet.deliver_cycle = now
             self.stats.record_delivery(packet, self.keep_packet_latencies)
             self._in_network -= 1
-            self._last_progress = self.cycle
-            vc = packet.route.hops[-1][1]
+            self._last_progress = now
+            vc = arrival_vc(packet)
             if self.trace is not None:
                 self.trace.emit(
                     TraceEvent(
                         "deliver",
-                        self.cycle,
-                        self.cycle * self._ticks_per_cycle,
+                        now,
+                        now * self._ticks_per_cycle,
                         packet.pid,
                         channel_id,
                         vc,
@@ -373,26 +484,26 @@ class Engine:
                     )
                 )
             self._push_event(
-                self.cycle + channel.latency,
+                now + self._latency[channel_id],
                 _EV_CREDIT,
                 channel_id,
                 vc,
                 packet.size_flits,
             )
             if self.on_delivery is not None:
-                self.on_delivery(packet, self.cycle)
+                self.on_delivery(packet, now)
             return
-        vc = packet.route.hops[packet.hop_index - 1][1]
-        packet.ready_cycle = self.cycle + self._pipeline
+        vc = arrival_vc(packet)
+        packet.ready_cycle = now + self._pipeline
         self._buffers[channel_id][vc].append(packet)
         self._buffered_count[channel_id] += 1
-        self._active.add(channel.dst)
+        self._active.add(self._channel_dst[channel_id])
         if self.trace is not None:
             self.trace.emit(
                 TraceEvent(
                     "arrive",
-                    self.cycle,
-                    self.cycle * self._ticks_per_cycle,
+                    now,
+                    now * self._ticks_per_cycle,
                     packet.pid,
                     channel_id,
                     vc,
@@ -400,110 +511,162 @@ class Engine:
             )
 
     def _step(self) -> None:
+        """One SA1+SA2 allocation pass over every active component.
+
+        This is the hottest loop in the repository, so the per-component
+        arbitration body lives inline here (rather than in a helper
+        called ~500 times per saturated cycle): every engine attribute it
+        touches is hoisted to a local exactly once per cycle.
+        """
         now = self.cycle
-        idle: List[int] = []
-        for comp_id in list(self._active):
-            if not self._arbitrate_component(comp_id, now):
-                idle.append(comp_id)
-        for comp_id in idle:
-            self._active.discard(comp_id)
-
-    def _arbitrate_component(self, comp_id: int, now: int) -> bool:
-        """One SA1+SA2 pass at a component. Returns False when the
-        component holds no packets at all (and may be deactivated)."""
-        machine = self.machine
-        component = machine.components[comp_id]
-        if component.kind == ComponentKind.ENDPOINT:
-            return self._inject_endpoint(comp_id, now)
-
-        inputs = machine.component_inputs[comp_id]
+        active = self._active
+        is_endpoint = self._is_endpoint
+        component_inputs = self._component_inputs
         buffers = self._buffers
         heads = self._buffer_heads
         buffered_count = self._buffered_count
         input_free_at = self._input_free_at
         channel_free_at = self._channel_free_at
         credits = self._credits
+        vc_arbiters = self.vc_arbiters
+        arbiters = self.arbiters
         failed = self._failed_channels
-        #: First tick of the next cycle: a channel accepts a new packet in
-        #: any cycle in which its staging buffer drains (free_at strictly
-        #: before this horizon). A drain exactly on a cycle boundary keeps
-        #: the channel busy through the drain cycle -- the whole-cycle
-        #: convention the original integer-vs-float comparison expressed.
+        trace = self.trace
+        inject = self._inject_endpoint
+        depart = self._depart
+        # First tick of the next cycle: a channel accepts a new packet in
+        # any cycle in which its staging buffer drains (free_at strictly
+        # before this horizon). A drain exactly on a cycle boundary keeps
+        # the channel busy through the drain cycle -- the whole-cycle
+        # convention the original integer-vs-float comparison expressed.
         horizon_ticks = (now + 1) * self._ticks_per_cycle
-        has_packets = False
-        # SA1: each input port nominates one VC's head packet among the
-        # *eligible* ones (next channel accepting, credits available). The
-        # SA1 arbiter state is only committed if the packet also wins SA2.
-        candidates: Dict[int, List] = {}
-        for input_idx, ic in enumerate(inputs):
-            if not buffered_count[ic]:
+        idle: List[int] = []
+        for comp_id in list(active):
+            if is_endpoint[comp_id]:
+                if not inject(comp_id, now):
+                    idle.append(comp_id)
                 continue
-            has_packets = True
-            if input_free_at[ic] > now:
-                continue
-            bufs = buffers[ic]
-            hds = heads[ic]
-            nvc = len(bufs)
-            vc_requests: List = [None] * nvc
-            any_request = False
-            for vc in range(nvc):
-                queue = bufs[vc]
-                head = hds[vc]
-                if head >= len(queue):
+            inputs = component_inputs[comp_id]
+            has_packets = False
+            # SA1: each input port nominates one VC's head packet among
+            # the *eligible* ones (next channel accepting, credits
+            # available). The SA1 arbiter state is only committed if the
+            # packet also wins SA2. ``candidates`` maps oc -> one
+            # nomination tuple, widened to a list of them only under
+            # output contention, so the common uncontended case allocates
+            # nothing per output.
+            candidates: Optional[Dict[int, object]] = None
+            for input_idx, ic in enumerate(inputs):
+                if not buffered_count[ic]:
                     continue
-                packet = queue[head]
-                if packet.ready_cycle > now:
+                has_packets = True
+                if input_free_at[ic] > now:
                     continue
-                oc, ovc = packet.route.hops[packet.hop_index]
-                # Frozen channels grant nothing. (The fault sweep re-routes
-                # every stranded packet, so this only fires in the window
-                # before a re-resolved packet's next arbitration.)
-                if failed and oc in failed:
+                bufs = buffers[ic]
+                hds = heads[ic]
+                # The request vector is materialized lazily: inputs whose
+                # scan yields a single eligible VC (the common case)
+                # never build it.
+                vc_requests: Optional[List] = None
+                first_vc = -1
+                first_packet = None
+                for vc, queue in enumerate(bufs):
+                    head = hds[vc]
+                    if head >= len(queue):
+                        continue
+                    packet = queue[head]
+                    if packet.ready_cycle > now:
+                        continue
+                    oc, ovc = packet.next_hop
+                    # Frozen channels grant nothing. (The fault sweep
+                    # re-routes every stranded packet, so this only fires
+                    # in the window before a re-resolved packet's next
+                    # arbitration.)
+                    if failed and oc in failed:
+                        continue
+                    # A channel accepts a new packet in any cycle in
+                    # which its staging buffer drains (free_at < now + 1,
+                    # in ticks); fractional occupancy carries over so
+                    # sub-cycle bandwidth (the 45/14 cycles/flit torus
+                    # channels) is not quantized away.
+                    if channel_free_at[oc] >= horizon_ticks:
+                        continue
+                    if credits[oc][ovc] < packet.size_flits:
+                        continue
+                    if first_packet is None:
+                        first_vc = vc
+                        first_packet = packet
+                        continue
+                    if vc_requests is None:
+                        vc_requests = [None] * len(bufs)
+                        vc_requests[first_vc] = first_packet
+                    vc_requests[vc] = packet
+                if first_packet is None:
                     continue
-                # A channel accepts a new packet in any cycle in which its
-                # staging buffer drains (free_at < now + 1, in ticks);
-                # fractional occupancy carries over so sub-cycle bandwidth
-                # (the 45/14 cycles/flit torus channels) is not quantized
-                # away.
-                if channel_free_at[oc] >= horizon_ticks:
-                    continue
-                if credits[oc][ovc] < packet.size_flits:
-                    continue
-                vc_requests[vc] = packet
-                any_request = True
-            if not any_request:
-                continue
-            vc = self.vc_arbiters[ic].peek(vc_requests)
-            packet = vc_requests[vc]
-            oc, ovc = packet.route.hops[packet.hop_index]
-            candidates.setdefault(oc, [None] * len(inputs))[input_idx] = (
-                packet,
-                ic,
-                vc,
-                ovc,
-            )
-        # SA2: arbitrate each requested output channel.
-        for oc, slots in candidates.items():
-            requests = [slot[0] if slot is not None else None for slot in slots]
-            winner = self.arbiters[oc].arbitrate(requests)
-            if winner is None:  # pragma: no cover - slots is never all-None
-                continue
-            packet, ic, vc, ovc = slots[winner]
-            self.vc_arbiters[ic].commit(vc, packet)
-            if self.trace is not None:
-                self.trace.emit(
-                    TraceEvent(
-                        "grant",
-                        now,
-                        now * self._ticks_per_cycle,
-                        packet.pid,
-                        oc,
-                        ovc,
-                        (("in_ch", ic), ("in_vc", vc)),
-                    )
-                )
-            self._depart(packet, ic, vc, oc, ovc, now)
-        return has_packets
+                if vc_requests is None:
+                    # A sole eligible VC needs no SA1 arbitration: every
+                    # policy's ``peek`` returns the index of the only
+                    # non-None request, so skipping the call is
+                    # bit-identical (``commit`` still runs on an SA2 win,
+                    # keeping arbiter state in lockstep).
+                    vc = first_vc
+                    packet = first_packet
+                else:
+                    vc = vc_arbiters[ic].peek(vc_requests)
+                    packet = vc_requests[vc]
+                oc = packet.next_hop[0]
+                entry = (input_idx, packet, ic, vc)
+                if candidates is None:
+                    candidates = {oc: entry}
+                else:
+                    prev = candidates.get(oc)
+                    if prev is None:
+                        candidates[oc] = entry
+                    elif type(prev) is list:
+                        prev.append(entry)
+                    else:
+                        candidates[oc] = [prev, entry]
+            if candidates is not None:
+                # SA2: arbitrate each requested output channel.
+                for oc, entry in candidates.items():
+                    if type(entry) is not list:
+                        # Sole nominator: every policy's ``peek`` over a
+                        # request vector with one non-None slot returns
+                        # that slot, so the grant is unconditional --
+                        # commit directly (the same state update
+                        # ``arbitrate`` would have applied).
+                        input_idx, packet, ic, vc = entry
+                        arbiters[oc].commit(input_idx, packet)
+                    else:
+                        requests: List = [None] * len(inputs)
+                        for slot in entry:
+                            requests[slot[0]] = slot[1]
+                        winner = arbiters[oc].arbitrate(requests)
+                        if winner is None:  # pragma: no cover
+                            continue
+                        for slot in entry:
+                            if slot[0] == winner:
+                                break
+                        input_idx, packet, ic, vc = slot
+                    ovc = packet.next_hop[1]
+                    vc_arbiters[ic].commit(vc, packet)
+                    if trace is not None:
+                        trace.emit(
+                            TraceEvent(
+                                "grant",
+                                now,
+                                now * self._ticks_per_cycle,
+                                packet.pid,
+                                oc,
+                                ovc,
+                                (("in_ch", ic), ("in_vc", vc)),
+                            )
+                        )
+                    depart(packet, ic, vc, oc, ovc, now)
+            if not has_packets:
+                idle.append(comp_id)
+        for comp_id in idle:
+            active.discard(comp_id)
 
     def _inject_endpoint(self, comp_id: int, now: int) -> bool:
         queue = self._source_queues.get(comp_id)
@@ -519,7 +682,7 @@ class Engine:
         if packet.release_cycle > now:
             # Head not released yet; a wake event will re-activate us.
             return False
-        oc, ovc = packet.route.hops[0]
+        oc, ovc = packet.next_hop
         if self._channel_free_at[oc] > now * self._ticks_per_cycle:
             return True
         if self._credits[oc][ovc] < packet.size_flits:
@@ -562,19 +725,22 @@ class Engine:
     ) -> None:
         size = packet.size_flits
         busy_ticks = size * self._occupancy_ticks[oc]
-        end_ticks = serialization_end_ticks(
-            self._channel_free_at[oc],
-            now * self._ticks_per_cycle,
-            size,
-            self._occupancy_ticks[oc],
-        )
-        self._channel_free_at[oc] = end_ticks
+        tpc = self._ticks_per_cycle
+        latency = self._latency
+        # serialization_end_ticks(), inlined: departs dominate the profile.
+        channel_free_at = self._channel_free_at
+        free_at = channel_free_at[oc]
+        now_ticks = now * tpc
+        start = free_at if free_at > now_ticks else now_ticks
+        end_ticks = start + busy_ticks
+        channel_free_at[oc] = end_ticks
         self._credits[oc][ovc] -= size
-        self.stats.record_channel_use(oc, size, busy_ticks)
+        self._stat_channel_flits[oc] += size
+        self._stat_channel_busy[oc] += busy_ticks
         self._last_progress = now
-        if self.trace is not None:
-            now_ticks = now * self._ticks_per_cycle
-            self.trace.emit(
+        trace = self.trace
+        if trace is not None:
+            trace.emit(
                 TraceEvent(
                     "depart",
                     now,
@@ -588,7 +754,7 @@ class Engine:
             if from_channel is not None and ovc != from_vc:
                 # Dateline / dimension-completion VC promotion: the hop
                 # carried the packet onto a higher VC (Section 2.5).
-                self.trace.emit(
+                trace.emit(
                     TraceEvent(
                         "promote",
                         now,
@@ -599,33 +765,64 @@ class Engine:
                         (("from_vc", from_vc),),
                     )
                 )
+        events = self._events
+        wheel_size = events.size
+        buckets = events.buckets
+        mask = events.mask
         if from_channel is not None:
             self._input_free_at[from_channel] = now + size
-            self._pop_head(from_channel, from_vc)
-            self._push_event(
-                now + self._latency[from_channel],
-                _EV_CREDIT,
-                from_channel,
-                from_vc,
-                size,
-            )
-        packet.hop_index += 1
+            # _pop_head(), inlined: advance the FIFO head index and
+            # compact once the dead prefix dominates (amortized O(1)).
+            hds = self._buffer_heads[from_channel]
+            head = hds[from_vc] + 1
+            hds[from_vc] = head
+            self._buffered_count[from_channel] -= 1
+            if head > 32:
+                queue = self._buffers[from_channel][from_vc]
+                if head * 2 >= len(queue):
+                    del queue[:head]
+                    hds[from_vc] = 0
+            # Credit-return push, inlined timing-wheel fast path (the
+            # credit precedes this packet's own arrival in seq order,
+            # exactly as the old global heap pushed them).
+            credit_cycle = now + latency[from_channel]
+            if 0 < credit_cycle - now < wheel_size:
+                buckets[credit_cycle & mask].append(
+                    (_EV_CREDIT, from_channel, from_vc, size)
+                )
+            else:
+                events.seq += 1
+                heappush(
+                    events.overflow,
+                    (
+                        credit_cycle,
+                        events.seq,
+                        (_EV_CREDIT, from_channel, from_vc, size),
+                    ),
+                )
+            events.pending += 1
+        hop_index = packet.hop_index + 1
+        packet.hop_index = hop_index
+        hops = packet.route.hops
+        packet.next_hop = hops[hop_index] if hop_index < len(hops) else None
         # The packet is fully received downstream one latency after the
-        # cycle in which its last flit finishes serializing.
-        arrival = arrival_cycle(end_ticks, self._ticks_per_cycle, self._latency[oc])
+        # cycle in which its last flit finishes serializing
+        # (arrival_cycle(), inlined).
+        arrival = (end_ticks - 1) // tpc - 1 + latency[oc]
         if arrival <= now:  # pragma: no cover - latency >= 1 prevents this
             arrival = now + 1
-        self._push_event(arrival, _EV_ARRIVAL, packet, oc, None)
-
-    def _pop_head(self, channel_id: int, vc: int) -> None:
-        heads = self._buffer_heads[channel_id]
-        queue = self._buffers[channel_id][vc]
-        heads[vc] += 1
-        self._buffered_count[channel_id] -= 1
-        # Compact once the dead prefix dominates, keeping amortized O(1).
-        if heads[vc] > 32 and heads[vc] * 2 >= len(queue):
-            del queue[: heads[vc]]
-            heads[vc] = 0
+        if 0 < arrival - now < wheel_size:
+            buckets[arrival & mask].append((_EV_ARRIVAL, packet, oc, None))
+        else:
+            events.seq += 1
+            heappush(
+                events.overflow,
+                (arrival, events.seq, (_EV_ARRIVAL, packet, oc, None)),
+            )
+        events.pending += 1
+        inflight = self._inflight
+        if inflight is not None:
+            inflight[packet] = oc
 
     # --- fault handling ----------------------------------------------------------
     #
@@ -706,6 +903,7 @@ class Engine:
             except Unroutable:
                 self.stats.unroutable += 1
             else:
+                packet.next_hop = packet.route.hops[0]
                 self.stats.rerouted += 1
                 if self.trace is not None:
                     self.trace.emit(
@@ -845,12 +1043,10 @@ class Engine:
     def _sweep_inflight(self, now: int) -> None:
         machine = self.machine
         policy = self._fault_runtime.policy
-        # Snapshot: retry dispositions push wake events into the heap
-        # while we scan it.
-        for event in list(self._events):
-            if event[2] != _EV_ARRIVAL:
-                continue
-            packet = event[3]
+        # Snapshot: retry dispositions mutate engine state while we scan.
+        # ``_inflight`` iterates in insertion (event-seq) order, matching
+        # the order the old heap scan re-dispositioned packets in.
+        for packet, oc in list(self._inflight.items()):
             if packet.drop_on_arrival:
                 continue
             hop_index = packet.hop_index
@@ -858,8 +1054,7 @@ class Engine:
                 continue  # final delivery hop; endpoint links cannot fail
             if self._route_clear_from(packet.route, hop_index):
                 continue
-            oc = event[4]
-            vc = packet.route.hops[hop_index - 1][1]
+            vc = arrival_vc(packet)
             if policy.mode == "reroute":
                 holder = machine.channels[oc].dst
                 try:
@@ -922,6 +1117,7 @@ class Engine:
             via=tail.via,
         )
         packet.hop_index = 1
+        packet.next_hop = packet.route.hops[1]
 
     def _schedule_retry(self, packet: Packet, where: int, now: int) -> None:
         """Re-inject a stranded packet at its source with backoff.

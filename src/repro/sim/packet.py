@@ -37,6 +37,7 @@ class Packet:
         "inject_cycle",
         "deliver_cycle",
         "hop_index",
+        "next_hop",
         "ready_cycle",
         "retries",
         "drop_on_arrival",
@@ -67,6 +68,12 @@ class Packet:
         self.deliver_cycle: Optional[int] = None
         #: Index of the next hop in ``route.hops`` to be taken.
         self.hop_index = 0
+        #: The ``(channel, vc)`` pair at ``hop_index``, or None past the
+        #: last hop -- cached so the engine's eligibility scan skips the
+        #: route indexing chain. Kept in sync by everything that moves
+        #: ``hop_index`` or replaces ``route`` (the engine's depart,
+        #: splice, and source-screening paths).
+        self.next_hop = route.hops[0] if route.hops else None
         #: Cycle at which the packet clears the current component's
         #: pipeline and may arbitrate (set by the engine on arrival).
         self.ready_cycle = release_cycle

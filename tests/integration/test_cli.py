@@ -162,6 +162,28 @@ class TestTraceCommand:
             json.loads(line)
 
 
+class TestProfileCommand:
+    ARGS = [
+        "profile", "--shape", "2x2x2", "--endpoints", "2",
+        "--cores", "2", "--batch", "8", "--top", "12",
+    ]
+
+    def test_prints_hot_function_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "ncalls" in out
+        assert "sim/engine.py" in out
+        # Preamble + header row + 12 table rows + summary line.
+        assert len(out.strip().splitlines()) == 15
+
+    def test_stdout_is_deterministic(self, capsys):
+        assert main(self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+
 class TestVersionAndErrors:
     def test_version(self, capsys):
         from repro import __version__

@@ -1,0 +1,164 @@
+"""Property tests pinning the timing-wheel scheduler's contracts.
+
+Random small configurations -- shape, load, faults on/off, tracing
+on/off -- exercising the invariants the wheel must preserve over the
+heap it replaced:
+
+* trace events are emitted in chronological order (non-decreasing
+  cycle; within a cycle, emission order is the documented causal order);
+* credits are conserved: a drained healthy run leaves zero credits
+  outstanding on every (channel, VC);
+* scheduling is pause-resistant: ``run_for(n)`` then ``run_for(m)``
+  is bitwise identical to ``run_for(n + m)``.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import all_coords
+from repro.core.machine import ChannelKind, Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.faults import FaultPolicy, FaultRuntime, FaultSet, FaultSpec
+from repro.sim.engine import Engine
+from repro.sim.packet import Packet
+from repro.sim.simulator import run_batch
+from repro.sim.trace import ListSink
+from repro.traffic.batch import BatchSpec
+from repro.traffic.patterns import UniformRandom
+
+_CACHE = {}
+
+
+def setup_for(shape):
+    if shape not in _CACHE:
+        machine = Machine(MachineConfig(shape=shape, endpoints_per_chip=2))
+        _CACHE[shape] = (machine, RouteComputer(machine))
+    return _CACHE[shape]
+
+
+@st.composite
+def scheduler_case(draw):
+    shape = draw(st.sampled_from([(2, 2, 1), (2, 2, 2), (3, 2, 1)]))
+    batch = draw(st.integers(min_value=1, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    tracing = draw(st.booleans())
+    faulted = draw(st.booleans())
+    fault_pick = draw(st.integers(min_value=0, max_value=2**16))
+    down_cycle = draw(st.integers(min_value=1, max_value=40))
+    policy = draw(st.sampled_from(["drop", "reroute"]))
+    return shape, batch, seed, tracing, faulted, fault_pick, down_cycle, policy
+
+
+def run_case(case):
+    shape, batch, seed, tracing, faulted, fault_pick, down_cycle, policy = case
+    machine, routes = setup_for(shape)
+    sink = ListSink() if tracing else None
+    spec = BatchSpec(
+        UniformRandom(shape), batch, cores_per_chip=2, seed=seed
+    )
+    runtime = None
+    if faulted:
+        torus = [
+            c.cid for c in machine.channels if c.kind == ChannelKind.TORUS
+        ]
+        cid = torus[fault_pick % len(torus)]
+        fault_set = FaultSet(
+            specs=(
+                FaultSpec(kind="link", channel=cid, down_cycle=down_cycle),
+            ),
+            shape=shape,
+        )
+        runtime = FaultRuntime(
+            machine, fault_set, policy=FaultPolicy(mode=policy)
+        )
+    stats = run_batch(
+        machine,
+        runtime.route_computer if runtime else routes,
+        spec,
+        trace=sink,
+        faults=runtime,
+        max_cycles=10_000_000,
+    )
+    return machine, stats, sink
+
+
+@st.composite
+def split_case(draw):
+    shape = draw(st.sampled_from([(2, 2, 1), (2, 2, 2)]))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    count = draw(st.integers(min_value=4, max_value=40))
+    n = draw(st.integers(min_value=1, max_value=30))
+    m = draw(st.integers(min_value=1, max_value=300))
+    return shape, seed, count, n, m
+
+
+def fill_engine(machine, routes, seed, count, trace):
+    rng = random.Random(seed)
+    chips = list(all_coords(machine.config.shape))
+    engine = Engine(machine, keep_packet_latencies=True, trace=trace)
+    per_source_release = {}
+    for pid in range(count):
+        src_chip = rng.choice(chips)
+        dst_chip = rng.choice(chips)
+        src = machine.ep_id[(src_chip, rng.randrange(2))]
+        dst = machine.ep_id[(dst_chip, rng.randrange(2))]
+        if src == dst:
+            continue
+        choice = routes.random_choice(rng, src_chip, dst_chip)
+        route = routes.compute(src, dst, choice)
+        release = per_source_release.get(src, 0) + rng.randrange(4)
+        per_source_release[src] = release
+        engine.enqueue(Packet(pid, route, release_cycle=release))
+    return engine
+
+
+class TestSchedulerInvariants:
+    @given(scheduler_case())
+    @settings(max_examples=25)
+    def test_trace_chronological_and_credits_conserved(self, case):
+        machine, stats, sink = run_case(case)
+        faulted = case[4]
+        generated = case[1] * 2 * machine.config.num_chips
+        if faulted:
+            # Every generated packet has exactly one terminal outcome.
+            assert stats.delivered + stats.dropped == generated
+        else:
+            assert stats.delivered == generated
+        if sink is not None:
+            cycles = [event.cycle for event in sink.events]
+            assert cycles == sorted(cycles)
+        if not faulted:
+            assert stats.injected == stats.delivered
+
+    @given(split_case())
+    @settings(max_examples=20)
+    def test_drained_run_conserves_credits(self, case):
+        shape, seed, count, _n, _m = case
+        machine, routes = setup_for(shape)
+        engine = fill_engine(machine, routes, seed, count, None)
+        stats = engine.run()
+        assert stats.delivered == stats.injected
+        assert engine.buffered_packets() == 0
+        for channel in machine.channels:
+            for vc in range(machine.vcs_for_channel(channel)):
+                assert engine.credits_outstanding(channel.cid, vc) == 0
+
+
+class TestSplitRunEquivalence:
+    @given(split_case())
+    @settings(max_examples=20)
+    def test_run_for_split_is_bitwise_identical(self, case):
+        shape, seed, count, n, m = case
+        machine, routes = setup_for(shape)
+        sink_a, sink_b = ListSink(), ListSink()
+        split = fill_engine(machine, routes, seed, count, sink_a)
+        single = fill_engine(machine, routes, seed, count, sink_b)
+        split.run_for(n)
+        split.run_for(m)
+        single.run_for(n + m)
+        assert split.cycle == single.cycle
+        assert split.stats == single.stats
+        assert sink_a.events == sink_b.events
+        assert split.buffered_packets() == single.buffered_packets()

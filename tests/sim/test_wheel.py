@@ -1,0 +1,154 @@
+"""Unit tests for the engine's bucketed timing wheel.
+
+The wheel's contract is *ordering equivalence* with the heap it
+replaced: draining events cycle by cycle (overflow pre-drain, bucket
+FIFO, overflow post-drain -- the engine's discipline) must yield
+exactly the ``(cycle, push order)`` sequence a global heap would.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.wheel import _MIN_SIZE, TimingWheel
+
+
+def drain_cycle(wheel, now):
+    """Pop every event for ``now``, in the engine's drain order."""
+    out = []
+    overflow = wheel.overflow
+    while overflow and overflow[0][0] <= now:
+        out.append(heapq.heappop(overflow)[2])
+        wheel.pending -= 1
+    bucket = wheel.buckets[now & wheel.mask]
+    out.extend(bucket)
+    wheel.pending -= len(bucket)
+    del bucket[:]
+    while overflow and overflow[0][0] <= now:
+        out.append(heapq.heappop(overflow)[2])
+        wheel.pending -= 1
+    return out
+
+
+class TestSizing:
+    def test_minimum_size(self):
+        assert TimingWheel(1).size == _MIN_SIZE
+        assert TimingWheel(0).size == _MIN_SIZE
+
+    def test_power_of_two_at_least_horizon(self):
+        for horizon in (63, 64, 65, 100, 129, 1000):
+            wheel = TimingWheel(horizon)
+            assert wheel.size >= max(horizon, _MIN_SIZE)
+            assert wheel.size & (wheel.size - 1) == 0
+            assert wheel.mask == wheel.size - 1
+
+    def test_exact_power_of_two_not_doubled(self):
+        assert TimingWheel(128).size == 128
+
+
+class TestPushPlacement:
+    def test_near_future_lands_in_bucket(self):
+        wheel = TimingWheel(16)
+        wheel.push(5, 0, ("a",))
+        assert wheel.buckets[5 & wheel.mask] == [("a",)]
+        assert not wheel.overflow
+        assert wheel.pending == 1
+
+    def test_far_future_lands_in_overflow(self):
+        wheel = TimingWheel(16)
+        far = wheel.size + 3
+        wheel.push(far, 0, ("b",))
+        assert wheel.overflow == [(far, 1, ("b",))]
+        assert all(not bucket for bucket in wheel.buckets)
+        assert wheel.pending == 1
+
+    def test_same_cycle_push_lands_in_overflow(self):
+        # delta == 0: a handler pushing for the cycle being processed
+        # must not land in the bucket under the iterator's feet.
+        wheel = TimingWheel(16)
+        wheel.push(7, 7, ("c",))
+        assert wheel.overflow == [(7, 1, ("c",))]
+
+    def test_len_and_bool_track_pending(self):
+        wheel = TimingWheel(16)
+        assert not wheel and len(wheel) == 0
+        wheel.push(3, 0, ("x",))
+        wheel.push(wheel.size * 2, 0, ("y",))
+        assert wheel and len(wheel) == 2
+        drain_cycle(wheel, 3)
+        assert len(wheel) == 1
+
+
+class TestNextCycle:
+    def test_empty_wheel(self):
+        assert TimingWheel(16).next_cycle(0) is None
+
+    def test_bucket_event_found(self):
+        wheel = TimingWheel(16)
+        wheel.push(9, 2, ("a",))
+        assert wheel.next_cycle(2) == 9
+        assert wheel.next_cycle(9) == 9
+
+    def test_overflow_event_found(self):
+        wheel = TimingWheel(16)
+        far = wheel.size + 40
+        wheel.push(far, 0, ("a",))
+        assert wheel.next_cycle(0) == far
+
+    def test_earliest_of_bucket_and_overflow(self):
+        wheel = TimingWheel(16)
+        wheel.push(10, 0, ("bucket",))
+        wheel.push(wheel.size + 5, 0, ("over",))
+        assert wheel.next_cycle(0) == 10
+
+    def test_overflow_earlier_than_bucket(self):
+        wheel = TimingWheel(16)
+        wheel.push(10, 0, ("bucket",))
+        wheel.push(3, 3, ("over",))  # same-cycle push -> overflow
+        assert wheel.next_cycle(3) == 3
+
+
+class TestHeapEquivalence:
+    """Random push/drain schedules against a (cycle, seq) reference heap."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_drain_order_matches_reference_heap(self, seed):
+        rng = random.Random(seed)
+        wheel = TimingWheel(rng.choice([1, 40, 64, 200]))
+        reference = []
+        seq = 0
+        now = 0
+        drained = []
+        expected = []
+        for _ in range(60):
+            # A burst of pushes at the current cycle, spanning both the
+            # wheel horizon and the far-future overflow range.
+            for _ in range(rng.randrange(6)):
+                delta = rng.choice([1, 2, 3, wheel.size - 1, wheel.size + 10, 500])
+                cycle = now + delta
+                seq += 1
+                payload = (seq,)
+                wheel.push(cycle, now, payload)
+                heapq.heappush(reference, (cycle, seq, payload))
+            # Advance like the engine: either step one cycle or jump
+            # idle gaps to the next pending event.
+            if rng.random() < 0.3 and wheel.pending:
+                nxt = wheel.next_cycle(now)
+                assert nxt == reference[0][0]
+                now = max(now + 1, nxt)
+            else:
+                now += 1
+            drained.extend(drain_cycle(wheel, now))
+            while reference and reference[0][0] <= now:
+                expected.append(heapq.heappop(reference)[2])
+            assert drained == expected
+            assert wheel.pending == len(reference)
+        # Drain the tail so every pushed event is accounted for.
+        while wheel.pending:
+            now = wheel.next_cycle(now)
+            drained.extend(drain_cycle(wheel, now))
+            while reference and reference[0][0] <= now:
+                expected.append(heapq.heappop(reference)[2])
+            assert drained == expected
+        assert len(drained) == seq
