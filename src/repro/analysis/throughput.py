@@ -58,6 +58,8 @@ def measure_batch(
     seed: int = 0,
     label: Optional[str] = None,
     collector: Optional[MetricsCollector] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
 ) -> ThroughputPoint:
     """Run one batch and normalize its completion time.
 
@@ -66,6 +68,11 @@ def measure_batch(
     idle. A :class:`~repro.sim.metrics.MetricsCollector` may be attached
     to also stream per-channel and latency metrics out of the run; its
     summary rides along on the returned point.
+
+    ``checkpoint_path`` + ``checkpoint_every`` enable the periodic
+    checkpoint/resume behavior of :func:`repro.sim.simulator.run_batch`:
+    an interrupted point resumes mid-run and its measured result is
+    bitwise-identical to a never-interrupted execution.
     """
     if load_table is None:
         load_table = compute_loads(machine, route_computer, pattern, cores_per_chip)
@@ -101,6 +108,8 @@ def measure_batch(
         weight_tables=weight_tables,
         vc_weight_tables=vc_weight_tables,
         trace=collector,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
     )
     wall = time.perf_counter() - start
     ideal = ideal_batch_cycles(machine, load_table, batch_size)
@@ -145,6 +154,12 @@ class BatchPoint:
     collect_metrics: bool = False
     #: Busy-tick window grain (cycles) for collected metrics.
     metrics_window: int = 256
+    #: Mid-run checkpoint file for this point (see
+    #: :mod:`repro.sim.checkpoint`): written every ``checkpoint_every``
+    #: cycles, removed on completion, resumed from when present -- so a
+    #: killed sweep finishes its interrupted point bitwise-identically.
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 0
 
 
 #: Per-process caches of analytic loads and programmed weight tables,
@@ -217,6 +232,8 @@ def measure_batch_point(point: BatchPoint) -> ThroughputPoint:
         seed=point.seed,
         label=point.label,
         collector=collector,
+        checkpoint_path=point.checkpoint_path,
+        checkpoint_every=point.checkpoint_every,
     )
     if point.pattern_label is not None:
         result.pattern = point.pattern_label
@@ -224,9 +241,18 @@ def measure_batch_point(point: BatchPoint) -> ThroughputPoint:
 
 
 def run_batch_points(
-    points: Sequence[BatchPoint], max_workers: Optional[int] = None
+    points: Sequence[BatchPoint],
+    max_workers: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> List[ThroughputPoint]:
-    """Fan a list of batch points across cores; results in input order."""
+    """Fan a list of batch points across cores; results in input order.
+
+    ``checkpoint_dir``/``resume`` enable the sweep runner's crash-resume
+    persistence (see :func:`repro.sim.sweep.run_sweep`); pair it with
+    per-point ``checkpoint_path`` on the :class:`BatchPoint` specs to
+    also resume the interrupted point mid-run.
+    """
     results = run_sweep(
         [
             SweepPoint(
@@ -238,6 +264,8 @@ def run_batch_points(
             for p in points
         ],
         max_workers=max_workers,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     return [r.value for r in results]
 

@@ -40,3 +40,12 @@ class AgeBasedArbiter(Arbiter):
     def commit(self, index: int, request: Request) -> None:
         self._pointer = index
         self.record_grant(index)
+
+    def state(self) -> dict:
+        out = super().state()
+        out["pointer"] = self._pointer
+        return out
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self._pointer = state["pointer"]

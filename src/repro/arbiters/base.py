@@ -93,6 +93,29 @@ class Arbiter(abc.ABC):
         """Clear the service history without touching policy state."""
         self.grants = [0] * self.num_inputs
 
+    # --- checkpoint support -----------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-safe snapshot of all mutable arbiter state.
+
+        Subclasses with policy state (pointers, accumulators) extend the
+        dict; :meth:`restore` is the exact inverse. The contract -- pinned
+        by the checkpoint round-trip tests -- is observational: an arbiter
+        restored from ``state()`` grants identically to the original on
+        every future request sequence.
+        """
+        return {"grants": list(self.grants)}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`state` snapshot (same-shape arbiter only)."""
+        grants = list(state["grants"])
+        if len(grants) != self.num_inputs:
+            raise ValueError(
+                f"arbiter state has {len(grants)} inputs, expected "
+                f"{self.num_inputs}"
+            )
+        self.grants = grants
+
 
 class ArbiterFactory(Protocol):
     """Callable that builds an arbiter for an output port.

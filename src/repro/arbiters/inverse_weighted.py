@@ -108,6 +108,30 @@ class InverseWeightedArbiter(Arbiter):
         self._pointer = index
         self.record_grant(index)
 
+    def state(self) -> dict:
+        out = super().state()
+        out["pointer"] = self._pointer
+        out["bit_exact"] = self.bit_exact
+        # The full weight configuration rides along so a checkpoint can
+        # rebuild the arbiter without re-deriving weight tables from the
+        # original traffic patterns.
+        out["weight_bits"] = self.bank.weight_bits
+        out["weights"] = [list(row) for row in self.bank._weights]
+        out["accumulators"] = list(self.bank.accumulators)
+        return out
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self._pointer = state["pointer"]
+        self.bit_exact = bool(state["bit_exact"])
+        accumulators = list(state["accumulators"])
+        if len(accumulators) != self.bank.num_inputs:
+            raise ValueError(
+                f"accumulator state has {len(accumulators)} inputs, "
+                f"expected {self.bank.num_inputs}"
+            )
+        self.bank.accumulators = accumulators
+
     @property
     def accumulators(self) -> Sequence[int]:
         """Current accumulator values (for inspection and tests)."""

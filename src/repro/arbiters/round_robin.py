@@ -55,6 +55,15 @@ class RoundRobinArbiter(Arbiter):
         # SA2 grant, every departure.
         self.grants[index] += 1
 
+    def state(self) -> dict:
+        out = super().state()
+        out["pointer"] = self._pointer
+        return out
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self._pointer = state["pointer"]
+
 
 class FixedPriorityArbiter(Arbiter):
     """Fixed-priority arbiter: the highest index always wins.

@@ -87,6 +87,68 @@ def _pattern_factories(shape):
 PATTERN_CHOICES = ("uniform", "1hop", "2hop", "tornado", "reverse-tornado")
 
 
+def _batch_trace_meta(machine, args, pattern) -> dict:
+    """Trace-header metadata for one batch workload.
+
+    Shared by ``repro trace``, ``repro checkpoint save``, and ``repro
+    faults run`` so a checkpointed-and-resumed trace is byte-identical to
+    an uninterrupted one: same header record, same key order.
+    """
+    return {
+        "shape": list(machine.config.shape),
+        "endpoints": args.endpoints,
+        "tpc": machine.ticks_per_cycle,
+        "workload": f"batch {pattern.name} x{args.batch} "
+        f"{args.arbitration} seed{args.seed}",
+    }
+
+
+def _batch_end_record(stats, events_written: int, faulted: bool) -> dict:
+    """The trailing ``"ev":"end"`` summary record of a batch trace.
+
+    Faulted runs carry the extra ``dropped`` counter (the ``repro faults
+    run`` format); healthy runs match ``repro trace``.
+    """
+    record = {
+        "ev": "end",
+        "cyc": stats.end_cycle,
+        "injected": stats.injected,
+        "delivered": stats.delivered,
+    }
+    if faulted:
+        record["dropped"] = stats.dropped
+    record["events"] = events_written
+    return record
+
+
+def _resume_trace_writer(trace_path: str, checkpoint_data: dict):
+    """Reopen a trace file for resume: truncate to the checkpoint, append.
+
+    A crashed run may have written events past its last checkpoint;
+    truncating the file back to the checkpoint's recorded byte offset and
+    appending with a header-free writer makes the final file byte-
+    identical to a never-interrupted run's.
+    """
+    from repro.sim.checkpoint import CheckpointError
+    from repro.sim.trace import JsonlTraceWriter
+
+    events_written = checkpoint_data["trace"]["events_written"]
+    bytes_written = checkpoint_data["trace"]["bytes_written"]
+    if events_written is None or bytes_written is None:
+        raise CheckpointError(
+            "checkpoint was saved without a JSONL trace writer attached; "
+            "cannot resume its trace file"
+        )
+    with open(trace_path, "r+b") as handle:
+        handle.truncate(bytes_written)
+    stream = open(trace_path, "a")
+    return JsonlTraceWriter(
+        stream,
+        header=False,
+        resume_counts=(events_written, bytes_written),
+    )
+
+
 def cmd_info(args) -> int:
     machine = _machine(args)
     print(machine.describe())
@@ -243,14 +305,7 @@ def cmd_trace(args) -> int:
     collector = MetricsCollector(window_cycles=args.window)
     with output_stream() as stream:
         writer = JsonlTraceWriter(
-            stream,
-            meta={
-                "shape": list(args.shape),
-                "endpoints": args.endpoints,
-                "tpc": machine.ticks_per_cycle,
-                "workload": f"batch {pattern.name} x{args.batch} "
-                f"{args.arbitration} seed{args.seed}",
-            },
+            stream, meta=_batch_trace_meta(machine, args, pattern)
         )
         spec = BatchSpec(
             pattern,
@@ -267,13 +322,7 @@ def cmd_trace(args) -> int:
             trace=Tee(writer, collector),
         )
         writer.write_record(
-            {
-                "ev": "end",
-                "cyc": stats.end_cycle,
-                "injected": stats.injected,
-                "delivered": stats.delivered,
-                "events": writer.events_written,
-            }
+            _batch_end_record(stats, writer.events_written, faulted=False)
         )
     summary = collector.summary(stats.end_cycle)
     quantiles = summary.latency_quantiles
@@ -397,6 +446,7 @@ def cmd_faults_validate(args) -> int:
 
 def cmd_faults_run(args) -> int:
     import contextlib
+    import os
 
     from repro.faults import FaultPolicy, FaultRuntime
     from repro.sim.simulator import make_vc_weight_tables, make_weight_tables, run_batch
@@ -434,25 +484,43 @@ def cmd_faults_run(args) -> int:
         seed=args.seed,
     )
 
+    checkpointing = args.checkpoint is not None
+    resuming = (
+        checkpointing and args.resume and os.path.exists(args.checkpoint)
+    )
+    if checkpointing and not resuming and os.path.exists(args.checkpoint):
+        # Without --resume an existing snapshot is stale state from some
+        # earlier run, not an interruption to pick up; start clean.
+        os.unlink(args.checkpoint)
+    checkpoint_data = None
+    if resuming:
+        from repro.sim.checkpoint import load_checkpoint
+
+        if args.trace == "-":
+            raise ValueError(
+                "--resume cannot rewind a stdout trace; use a file path"
+            )
+        checkpoint_data = load_checkpoint(args.checkpoint)
+
     @contextlib.contextmanager
     def trace_writer():
         if args.trace is None:
             yield None
+        elif resuming:
+            writer = _resume_trace_writer(args.trace, checkpoint_data)
+            try:
+                yield writer
+            finally:
+                writer.stream.close()
         elif args.trace == "-":
             yield JsonlTraceWriter(sys.stdout, meta=trace_meta)
         else:
             with open(args.trace, "w") as stream:
                 yield JsonlTraceWriter(stream, meta=trace_meta)
 
-    trace_meta = {
-        "shape": list(machine.config.shape),
-        "endpoints": args.endpoints,
-        "tpc": machine.ticks_per_cycle,
-        "workload": f"batch {pattern.name} x{args.batch} "
-        f"{args.arbitration} seed{args.seed}",
-        "faults": len(fault_set),
-        "policy": args.policy,
-    }
+    trace_meta = _batch_trace_meta(machine, args, pattern)
+    trace_meta["faults"] = len(fault_set)
+    trace_meta["policy"] = args.policy
     with trace_writer() as writer:
         stats = run_batch(
             machine,
@@ -463,17 +531,12 @@ def cmd_faults_run(args) -> int:
             vc_weight_tables=vc_weight_tables,
             trace=writer,
             faults=runtime,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every if checkpointing else 0,
         )
         if writer is not None:
             writer.write_record(
-                {
-                    "ev": "end",
-                    "cyc": stats.end_cycle,
-                    "injected": stats.injected,
-                    "delivered": stats.delivered,
-                    "dropped": stats.dropped,
-                    "events": writer.events_written,
-                }
+                _batch_end_record(stats, writer.events_written, faulted=True)
             )
     out = sys.stderr if args.trace == "-" else sys.stdout
     print(
@@ -483,6 +546,94 @@ def cmd_faults_run(args) -> int:
         f"({stats.fault_events} fault events) in {stats.end_cycle} cycles",
         file=out,
     )
+    return 0
+
+
+def cmd_checkpoint_save(args) -> int:
+    import contextlib
+
+    from repro.sim.checkpoint import save_checkpoint
+    from repro.sim.simulator import build_batch_engine
+    from repro.sim.trace import JsonlTraceWriter
+    from repro.traffic.batch import BatchSpec
+
+    machine = _machine(args)
+    routes = RouteComputer(machine)
+    pattern = _pattern_factories(machine.config.shape)[args.pattern]()
+    spec = BatchSpec(
+        pattern,
+        packets_per_source=args.batch,
+        cores_per_chip=args.cores,
+        seed=args.seed,
+    )
+
+    @contextlib.contextmanager
+    def trace_writer():
+        if args.trace is None:
+            yield None
+        else:
+            with open(args.trace, "w") as stream:
+                yield JsonlTraceWriter(
+                    stream, meta=_batch_trace_meta(machine, args, pattern)
+                )
+
+    with trace_writer() as writer:
+        engine = build_batch_engine(
+            machine,
+            routes,
+            spec,
+            arbitration=args.arbitration,
+            weight_patterns=[pattern] if args.arbitration == "iw" else None,
+            trace=writer,
+        )
+        engine.run_for(args.cycles)
+        if writer is not None:
+            writer.flush()
+        save_checkpoint(engine, args.out)
+    print(
+        f"checkpoint at cycle {engine.cycle}: {engine.stats.delivered} of "
+        f"{engine.stats.injected} injected packets delivered -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_checkpoint_restore(args) -> int:
+    from repro.sim.checkpoint import load_checkpoint, restore_engine
+
+    data = load_checkpoint(args.checkpoint_file)
+    writer = None
+    if args.trace is not None:
+        writer = _resume_trace_writer(args.trace, data)
+    try:
+        engine = restore_engine(data, trace=writer)
+        stats = engine.run()
+        if writer is not None:
+            writer.write_record(
+                _batch_end_record(
+                    stats,
+                    writer.events_written,
+                    faulted=data.get("faults") is not None,
+                )
+            )
+            writer.flush()
+    finally:
+        if writer is not None:
+            writer.stream.close()
+    print(
+        f"resumed from cycle {data.get('cycle')}: {stats.delivered} "
+        f"delivered in {stats.end_cycle} cycles",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_checkpoint_info(args) -> int:
+    from repro.sim.checkpoint import checkpoint_info, load_checkpoint
+
+    info = checkpoint_info(load_checkpoint(args.checkpoint_file))
+    for key, value in info.items():
+        print(f"{key}: {value}")
     return 0
 
 
@@ -733,7 +884,45 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--seed", type=int, default=0)
     fp.add_argument("--trace", default=None,
                     help="also write a JSONL event trace ('-' for stdout)")
+    fp.add_argument("--checkpoint", default=None,
+                    help="periodic engine snapshot file (crash resumable)")
+    fp.add_argument("--checkpoint-every", type=int, default=64,
+                    help="cycles between snapshots (default: 64)")
+    fp.add_argument("--resume", action="store_true",
+                    help="resume an interrupted run from --checkpoint")
     fp.set_defaults(func=cmd_faults_run)
+
+    p = sub.add_parser(
+        "checkpoint", help="save, resume, and inspect engine snapshots"
+    )
+    csub = p.add_subparsers(dest="checkpoint_command", required=True)
+
+    cp = csub.add_parser("save", help="run a batch N cycles, then snapshot")
+    add_machine_args(cp, endpoints=2)
+    cp.add_argument(
+        "--pattern", default="uniform", choices=list(PATTERN_CHOICES)
+    )
+    cp.add_argument("--batch", type=int, default=4)
+    cp.add_argument("--cores", type=int, default=2)
+    cp.add_argument("--arbitration", default="rr", choices=["rr", "age", "iw"])
+    cp.add_argument("--seed", type=int, default=0)
+    cp.add_argument("--cycles", type=int, required=True,
+                    help="cycles to run before snapshotting")
+    cp.add_argument("--trace", default=None,
+                    help="also write the partial JSONL event trace")
+    cp.add_argument("--out", default="checkpoint.json",
+                    help="snapshot output path (default: checkpoint.json)")
+    cp.set_defaults(func=cmd_checkpoint_save)
+
+    cp = csub.add_parser("restore", help="resume a snapshot to completion")
+    cp.add_argument("checkpoint_file", help="snapshot written by 'save'")
+    cp.add_argument("--trace", default=None,
+                    help="trace file to truncate to the snapshot and extend")
+    cp.set_defaults(func=cmd_checkpoint_restore)
+
+    cp = csub.add_parser("info", help="print a snapshot summary")
+    cp.add_argument("checkpoint_file", help="snapshot written by 'save'")
+    cp.set_defaults(func=cmd_checkpoint_info)
 
     p = sub.add_parser(
         "profile", help="profile the engine hot path over one seeded batch"

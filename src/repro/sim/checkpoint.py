@@ -1,0 +1,708 @@
+"""Deterministic engine checkpoint/restart.
+
+A checkpoint is a complete, versioned, canonical-JSON snapshot of one
+:class:`~repro.sim.engine.Engine`: every piece of mutable state that can
+influence a future cycle is captured, so that
+
+    ``run(n)`` -> :func:`snapshot_engine` -> :func:`restore_engine` -> ``run(m)``
+
+is *byte-identical* -- trace JSONL, stats dict, arbiter grants, event
+schedule -- to the uninterrupted ``run(n + m)``. The guarantee is pinned
+by the resume-equivalence property suite
+(``tests/properties/test_checkpoint_props.py``) and the golden checkpoint
+fixture.
+
+What makes the engine checkpointable at all is that its state is already
+exact and discrete (PR 1's integer-tick timebase) and its event order is
+fully determined by serializable data:
+
+* the timing wheel's bucket FIFOs and its ``(cycle, seq)``-keyed overflow
+  heap reconstruct the exact drain order (bucket cycles are recovered
+  from the index via ``now + ((i - now) & mask)``, valid because every
+  pending event satisfies ``now <= cycle < now + size`` between cycles);
+* ``Engine._active`` is an insertion-ordered dict precisely so its
+  iteration order -- which decides same-cycle grant order -- serializes
+  as a plain list;
+* packets are tracked by *identity* (pids are reused by fault-retry
+  clones), via an index table built in one canonical traversal order, so
+  the restored ``_inflight`` keys and wheel arrivals are the same
+  objects.
+
+Serialization is canonical: compact separators, **insertion-ordered**
+keys (``sort_keys`` would scramble the stats counter dicts, whose
+insertion order is delivery order and therefore part of the bitwise
+contract). ``json.loads`` preserves object key order, so a
+save/load/save round trip is byte-stable (double-checkpoint idempotence,
+also pinned by tests).
+
+FIFO queues (VC buffers, source queues) are serialized *compacted* --
+dead prefixes before the head index dropped, heads zeroed -- which is
+observationally invisible and keeps snapshots minimal and canonical.
+
+Failure is explicit: any malformed, truncated, corrupted, or
+future-versioned payload raises :class:`CheckpointError` (the CLI maps
+it to a one-line error and exit code 1).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from repro.arbiters.age_based import AgeBasedArbiter
+from repro.arbiters.base import Arbiter
+from repro.arbiters.inverse_weighted import InverseWeightedArbiter
+from repro.arbiters.round_robin import FixedPriorityArbiter, RoundRobinArbiter
+from repro.core.geometry import Dim
+from repro.core.machine import Fraction, Machine, MachineConfig
+from repro.core.routing import Route, RouteChoice
+
+from .engine import Engine
+from .metrics import MetricsCollector
+from .packet import Packet
+from .stats import SimStats
+from .trace import JsonlTraceWriter, Tee
+
+#: Version of the checkpoint payload schema; bump on any layout change.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+#: Environment variable naming a cycle at which
+#: :func:`run_with_checkpoints` simulates a crash (raises
+#: ``KeyboardInterrupt`` *without* saving). Deterministic stand-in for
+#: kill-at-random-time in the crash-resume tests; inherited by sweep
+#: worker processes.
+CRASH_ENV_VAR = "REPRO_CRASH_AT_CYCLE"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint payload is invalid, unsupported, or unserializable."""
+
+
+# --- arbiter registry -------------------------------------------------------------
+
+#: isinstance-dispatch order matters: subclasses before bases.
+_ARBITER_TAGS: Tuple[Tuple[type, str], ...] = (
+    (InverseWeightedArbiter, "iw"),
+    (AgeBasedArbiter, "age"),
+    (RoundRobinArbiter, "rr"),
+    (FixedPriorityArbiter, "fixed"),
+)
+
+
+def _dump_arbiter(arbiter: Arbiter) -> dict:
+    for cls, tag in _ARBITER_TAGS:
+        if type(arbiter) is cls:
+            return {"type": tag, "state": arbiter.state()}
+    raise CheckpointError(
+        f"cannot checkpoint arbiter of type {type(arbiter).__name__}; "
+        f"supported: {', '.join(tag for _, tag in _ARBITER_TAGS)}"
+    )
+
+
+def _build_arbiter(spec: dict) -> Arbiter:
+    tag = spec["type"]
+    state = spec["state"]
+    num_inputs = len(state["grants"])
+    if tag == "iw":
+        arbiter: Arbiter = InverseWeightedArbiter(
+            [list(row) for row in state["weights"]],
+            state["weight_bits"],
+            bit_exact=bool(state["bit_exact"]),
+        )
+    elif tag == "age":
+        arbiter = AgeBasedArbiter(num_inputs)
+    elif tag == "rr":
+        arbiter = RoundRobinArbiter(num_inputs)
+    elif tag == "fixed":
+        arbiter = FixedPriorityArbiter(num_inputs)
+    else:
+        raise CheckpointError(f"unknown arbiter type {tag!r} in checkpoint")
+    arbiter.restore(state)
+    return arbiter
+
+
+# --- RNG state helpers ------------------------------------------------------------
+
+
+def rng_state_to_json(rng: random.Random) -> list:
+    """JSON-safe form of a ``random.Random`` state (Mersenne Twister)."""
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def rng_state_from_json(state: list) -> random.Random:
+    """Rebuild a ``random.Random`` mid-stream from its serialized state."""
+    rng = random.Random()
+    version, internal, gauss_next = state
+    rng.setstate((version, tuple(internal), gauss_next))
+    return rng
+
+
+# --- snapshot ---------------------------------------------------------------------
+
+
+def _machine_to_json(machine: Machine) -> dict:
+    cfg = machine.config
+    tcf = cfg.torus_cycles_per_flit
+    return {
+        "shape": list(cfg.shape),
+        "endpoints_per_chip": cfg.endpoints_per_chip,
+        "vc_scheme": cfg.vc_scheme,
+        "num_classes": cfg.num_classes,
+        "mesh_latency": cfg.mesh_latency,
+        "skip_latency": cfg.skip_latency,
+        "adapter_link_latency": cfg.adapter_link_latency,
+        "torus_latency": cfg.torus_latency,
+        "onchip_buffer_flits": cfg.onchip_buffer_flits,
+        "torus_buffer_flits": cfg.torus_buffer_flits,
+        "torus_cycles_per_flit": [tcf.numerator, tcf.denominator],
+        "router_pipeline_cycles": cfg.router_pipeline_cycles,
+    }
+
+
+def _machine_from_json(data: dict) -> Machine:
+    num, den = data["torus_cycles_per_flit"]
+    config = MachineConfig(
+        shape=tuple(data["shape"]),
+        endpoints_per_chip=data["endpoints_per_chip"],
+        vc_scheme=data["vc_scheme"],
+        num_classes=data["num_classes"],
+        mesh_latency=data["mesh_latency"],
+        skip_latency=data["skip_latency"],
+        adapter_link_latency=data["adapter_link_latency"],
+        torus_latency=data["torus_latency"],
+        onchip_buffer_flits=data["onchip_buffer_flits"],
+        torus_buffer_flits=data["torus_buffer_flits"],
+        torus_cycles_per_flit=Fraction(num, den),
+        router_pipeline_cycles=data["router_pipeline_cycles"],
+    )
+    return Machine(config)
+
+
+def _route_to_json(route: Route) -> dict:
+    choice = route.choice
+    return {
+        "src": route.src,
+        "dst": route.dst,
+        "choice": {
+            "order": [int(d) for d in choice.dim_order],
+            "slice": choice.slice_index,
+            "deltas": None if choice.deltas is None else list(choice.deltas),
+        },
+        "hops": [[channel, vc] for channel, vc in route.hops],
+        "internode": route.internode_hops,
+        "via": None if route.via is None else list(route.via),
+    }
+
+
+def _packet_to_json(packet: Packet) -> dict:
+    return {
+        "pid": packet.pid,
+        "route": _route_to_json(packet.route),
+        "size_flits": packet.size_flits,
+        "pattern": packet.pattern,
+        "traffic_class": packet.traffic_class,
+        "release_cycle": packet.release_cycle,
+        "inject_cycle": packet.inject_cycle,
+        "deliver_cycle": packet.deliver_cycle,
+        "hop_index": packet.hop_index,
+        "ready_cycle": packet.ready_cycle,
+        "retries": packet.retries,
+        "drop": packet.drop_on_arrival,
+    }
+
+
+def _packet_from_json(data: dict, choice_cache: Dict[tuple, RouteChoice]) -> Packet:
+    rdata = data["route"]
+    cdata = rdata["choice"]
+    deltas = cdata["deltas"]
+    key = (tuple(cdata["order"]), cdata["slice"], None if deltas is None else tuple(deltas))
+    choice = choice_cache.get(key)
+    if choice is None:
+        choice = RouteChoice(
+            dim_order=tuple(Dim(d) for d in cdata["order"]),
+            slice_index=cdata["slice"],
+            deltas=None if deltas is None else tuple(deltas),
+        )
+        choice_cache[key] = choice
+    via = rdata["via"]
+    route = Route(
+        src=rdata["src"],
+        dst=rdata["dst"],
+        choice=choice,
+        hops=tuple((channel, vc) for channel, vc in rdata["hops"]),
+        internode_hops=rdata["internode"],
+        via=None if via is None else tuple(via),
+    )
+    packet = Packet(
+        data["pid"],
+        route,
+        size_flits=data["size_flits"],
+        pattern=data["pattern"],
+        traffic_class=data["traffic_class"],
+        release_cycle=data["release_cycle"],
+    )
+    packet.inject_cycle = data["inject_cycle"]
+    packet.deliver_cycle = data["deliver_cycle"]
+    packet.hop_index = data["hop_index"]
+    packet.ready_cycle = data["ready_cycle"]
+    packet.retries = data["retries"]
+    packet.drop_on_arrival = data["drop"]
+    # ``next_hop`` is an invariant of (route, hop_index) at checkpoint
+    # boundaries, so it is derived rather than stored.
+    hops = route.hops
+    packet.next_hop = hops[packet.hop_index] if packet.hop_index < len(hops) else None
+    return packet
+
+
+# Event kind constants mirrored from the engine (module-private there).
+_EV_ARRIVAL = 0
+
+
+class _PacketIndex:
+    """Identity-keyed packet index table.
+
+    Pids are *not* unique (a retry clone shares its pid with the
+    condemned in-flight copy it replaces), so packets are indexed by
+    object identity in one canonical traversal order: source queues,
+    then VC buffers, then wheel events. The restored engine shares one
+    object per index, exactly as the live engine does.
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[int, int] = {}
+        self.packets: List[Packet] = []
+
+    def index(self, packet: Packet) -> int:
+        idx = self._ids.get(id(packet))
+        if idx is None:
+            idx = len(self.packets)
+            self._ids[id(packet)] = idx
+            self.packets.append(packet)
+        return idx
+
+
+def _wheel_to_json(wheel, now: int, encode=list) -> dict:
+    """Serialize the timing wheel preserving exact (cycle, seq) drain order.
+
+    Buckets are scanned in cycle order from ``now``: between cycles every
+    pending bucket event satisfies ``now <= cycle < now + size``, so the
+    bucket at index ``i`` holds exactly the events for cycle
+    ``now + ((i - now) & mask)``. The overflow heap's internal array
+    layout depends on push history, so it is serialized *sorted*; a
+    re-heapified sorted list pops identically because the ``(cycle,
+    seq)`` keys are distinct and fully determine the order. ``encode``
+    maps each payload tuple to a JSON-safe list (the engine path swaps
+    packet objects for index-table entries).
+    """
+    buckets = []
+    for delta in range(wheel.size):
+        cycle = now + delta
+        bucket = wheel.buckets[cycle & wheel.mask]
+        if bucket:
+            buckets.append([cycle, [encode(payload) for payload in bucket]])
+    overflow = [
+        [cycle, seq, encode(payload)]
+        for cycle, seq, payload in sorted(wheel.overflow)
+    ]
+    return {
+        "seq": wheel.seq,
+        "pending": wheel.pending,
+        "buckets": buckets,
+        "overflow": overflow,
+    }
+
+
+def _trace_section(engine: Engine) -> dict:
+    """Record enough about the attached sink(s) to resume byte-identically.
+
+    For a :class:`JsonlTraceWriter` (directly or inside a
+    :class:`~repro.sim.trace.Tee`) the event and byte counters are
+    recorded so a resume can truncate a crashed run's trace file back to
+    this checkpoint and append header-free. A
+    :class:`~repro.sim.metrics.MetricsCollector` is captured wholesale.
+    """
+    section: dict = {"events_written": None, "bytes_written": None, "collector": None}
+
+    def visit(sink) -> None:
+        if sink is None:
+            return
+        if isinstance(sink, Tee):
+            for sub in sink.sinks:
+                visit(sub)
+        elif isinstance(sink, JsonlTraceWriter):
+            section["events_written"] = sink.events_written
+            section["bytes_written"] = sink.bytes_written
+        elif isinstance(sink, MetricsCollector):
+            section["collector"] = sink.state()
+        # Other sinks (ListSink, ad-hoc test sinks) carry no state a
+        # resume needs: the caller re-attaches whatever it wants.
+
+    visit(engine.trace)
+    return section
+
+
+def snapshot_engine(engine: Engine) -> dict:
+    """Full mutable-state snapshot of a quiescent engine (between cycles).
+
+    The engine is not modified. Raises :class:`CheckpointError` for state
+    that cannot be serialized (an ``on_delivery`` hook -- arbitrary
+    callables do not survive serialization -- or an unregistered arbiter
+    type).
+    """
+    if engine.on_delivery is not None:
+        raise CheckpointError(
+            "engine has an on_delivery hook attached; callable hooks are "
+            "not checkpointable"
+        )
+    pindex = _PacketIndex()
+
+    source_queues = []
+    for src, queue in engine._source_queues.items():
+        head = engine._source_heads[src]
+        source_queues.append([src, [pindex.index(p) for p in queue[head:]]])
+
+    buffers = []
+    for cid, bufs in enumerate(engine._buffers):
+        heads = engine._buffer_heads[cid]
+        buffers.append(
+            [[pindex.index(p) for p in queue[heads[vc]:]] for vc, queue in enumerate(bufs)]
+        )
+
+    def encode(payload: tuple) -> list:
+        kind, a, b, c = payload
+        if kind == _EV_ARRIVAL:
+            a = pindex.index(a)
+        return [kind, a, b, c]
+
+    wheel = _wheel_to_json(engine._events, engine.cycle, encode)
+
+    faults = None
+    if engine._fault_runtime is not None:
+        # Deferred import: repro.faults imports the engine module.
+        from repro.faults.routing import RESOLUTION_STAGES
+
+        runtime = engine._fault_runtime
+        policy = runtime.policy
+        faults = {
+            "fault_set": json.loads(runtime.fault_set.to_json()),
+            "policy": {
+                "mode": policy.mode,
+                "max_retries": policy.max_retries,
+                "backoff_base_cycles": policy.backoff_base_cycles,
+                "backoff_cap_cycles": policy.backoff_cap_cycles,
+            },
+            "failed": sorted(engine._failed_channels or ()),
+            "inflight": [
+                [pindex.index(packet), oc]
+                for packet, oc in engine._inflight.items()
+            ],
+            # Diagnostic escalation-stage counts, in canonical stage
+            # order. The route computer's resolution *caches* are pure
+            # memoization (recomputation is deterministic and
+            # value-equal) and deliberately restart cold; the counts are
+            # observable state and must survive.
+            "resolution": [
+                [stage, runtime.route_computer.resolution_counts[stage]]
+                for stage in RESOLUTION_STAGES
+                if runtime.route_computer.resolution_counts[stage]
+            ],
+        }
+
+    return {
+        "kind": "engine-checkpoint",
+        "schema": CHECKPOINT_SCHEMA_VERSION,
+        "cycle": engine.cycle,
+        "machine": _machine_to_json(engine.machine),
+        "watchdog_cycles": engine.watchdog_cycles,
+        "keep_packet_latencies": engine.keep_packet_latencies,
+        "packets": [_packet_to_json(p) for p in pindex.packets],
+        "source_queues": source_queues,
+        "buffers": buffers,
+        "credits": [list(vcs) for vcs in engine._credits],
+        "channel_free_at": list(engine._channel_free_at),
+        "input_free_at": list(engine._input_free_at),
+        "arbiters": [
+            [oc, _dump_arbiter(arb)] for oc, arb in engine.arbiters.items()
+        ],
+        "vc_arbiters": [
+            [cid, _dump_arbiter(arb)]
+            for cid, arb in enumerate(engine.vc_arbiters)
+            if arb is not None
+        ],
+        "wheel": wheel,
+        "active": list(engine._active),
+        "queued": engine._queued,
+        "in_network": engine._in_network,
+        "last_progress": engine._last_progress,
+        "stats": engine.stats.asdict(),
+        "trace": _trace_section(engine),
+        "faults": faults,
+    }
+
+
+# --- restore ----------------------------------------------------------------------
+
+
+def _wheel_from_json(wheel, data: dict, decode=tuple) -> None:
+    """Reinstate a :func:`_wheel_to_json` snapshot into ``wheel`` in place.
+
+    ``decode`` maps each encoded payload list back to its event tuple
+    (the engine path swaps packet indices for the shared objects). The
+    sorted (cycle, seq)-keyed overflow tuples are already a valid heap;
+    no heapify is needed, and pop order is fully determined by the keys.
+    """
+    for bucket in wheel.buckets:
+        del bucket[:]
+    for cycle, encoded in data["buckets"]:
+        wheel.buckets[cycle & wheel.mask].extend(decode(e) for e in encoded)
+    wheel.overflow = [
+        (cycle, seq, decode(enc)) for cycle, seq, enc in data["overflow"]
+    ]
+    wheel.seq = data["seq"]
+    wheel.pending = data["pending"]
+
+
+def _restore_into(engine: Engine, data: dict, packets: List[Packet]) -> None:
+    engine.cycle = data["cycle"]
+
+    engine._source_queues = {}
+    engine._source_heads = {}
+    for src, indices in data["source_queues"]:
+        engine._source_queues[src] = [packets[i] for i in indices]
+        engine._source_heads[src] = 0
+
+    for cid, bufs in enumerate(data["buffers"]):
+        engine._buffers[cid] = [[packets[i] for i in queue] for queue in bufs]
+        engine._buffer_heads[cid] = [0] * len(bufs)
+        engine._buffered_count[cid] = sum(len(queue) for queue in bufs)
+
+    engine._credits = [list(vcs) for vcs in data["credits"]]
+    engine._channel_free_at = list(data["channel_free_at"])
+    engine._input_free_at = list(data["input_free_at"])
+
+    for oc, spec in data["arbiters"]:
+        engine.arbiters[oc] = _build_arbiter(spec)
+    for cid, spec in data["vc_arbiters"]:
+        engine.vc_arbiters[cid] = _build_arbiter(spec)
+
+    def decode(enc: list) -> tuple:
+        kind, a, b, c = enc
+        if kind == _EV_ARRIVAL:
+            a = packets[a]
+        return (kind, a, b, c)
+
+    _wheel_from_json(engine._events, data["wheel"], decode)
+
+    engine._active = dict.fromkeys(data["active"])
+    engine._queued = data["queued"]
+    engine._in_network = data["in_network"]
+    engine._last_progress = data["last_progress"]
+
+    engine.stats = SimStats.from_dict(data["stats"])
+    # The depart fast path increments these aliases directly; re-point
+    # them at the restored stats object's dicts.
+    engine._stat_channel_flits = engine.stats.channel_flits
+    engine._stat_channel_busy = engine.stats.channel_busy_ticks
+
+    if data["faults"] is not None:
+        # Deferred import: repro.faults imports the engine module.
+        from repro.faults.model import FaultSet
+        from repro.faults.runtime import FaultPolicy, FaultRuntime
+
+        fdata = data["faults"]
+        fault_set = FaultSet.from_json(json.dumps(fdata["fault_set"]))
+        policy = FaultPolicy(**fdata["policy"])
+        # The runtime is rebuilt *after* engine construction so the
+        # constructor's timeline pushes do not run: the restored wheel
+        # already holds every pending fault event.
+        runtime = FaultRuntime(engine.machine, fault_set, policy=policy)
+        engine._fault_runtime = runtime
+        engine._fault_routes = runtime.route_computer
+        engine._failed_channels = set(fdata["failed"])
+        runtime.route_computer.set_failed(engine._failed_channels)
+        runtime.route_computer.resolution_counts.update(
+            {stage: count for stage, count in fdata["resolution"]}
+        )
+        engine._inflight = {packets[i]: oc for i, oc in fdata["inflight"]}
+
+
+def restore_engine(data: dict, machine: Optional[Machine] = None, trace=None) -> Engine:
+    """Rebuild a running engine from :func:`snapshot_engine` output.
+
+    ``machine`` may supply an already-elaborated machine (it must have
+    been built from the same configuration); by default the machine is
+    rebuilt from the embedded config. ``trace`` attaches a sink to the
+    restored engine; when omitted and the checkpoint captured a
+    :class:`~repro.sim.metrics.MetricsCollector`, the collector is
+    revived and attached.
+
+    Raises :class:`CheckpointError` on any structural defect.
+    """
+    _validate_header(data)
+    try:
+        if machine is None:
+            machine = _machine_from_json(data["machine"])
+        if trace is None and data["trace"]["collector"] is not None:
+            trace = MetricsCollector.from_state(data["trace"]["collector"])
+        engine = Engine(
+            machine,
+            watchdog_cycles=data["watchdog_cycles"],
+            keep_packet_latencies=data["keep_packet_latencies"],
+            trace=trace,
+        )
+        choice_cache: Dict[tuple, RouteChoice] = {}
+        packets = [_packet_from_json(p, choice_cache) for p in data["packets"]]
+        _restore_into(engine, data, packets)
+    except CheckpointError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError, AttributeError) as exc:
+        raise CheckpointError(f"truncated or corrupted checkpoint: {exc!r}") from exc
+    return engine
+
+
+def _validate_header(data) -> None:
+    if not isinstance(data, dict) or data.get("kind") != "engine-checkpoint":
+        raise CheckpointError(
+            "not an engine checkpoint (missing kind='engine-checkpoint')"
+        )
+    schema = data.get("schema")
+    if schema != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint schema version {schema!r}; this build "
+            f"reads version {CHECKPOINT_SCHEMA_VERSION}"
+        )
+
+
+# --- canonical serialization ------------------------------------------------------
+
+
+def dumps(data: dict) -> str:
+    """Canonical text form: compact, insertion-ordered, one trailing newline.
+
+    Insertion order *is* the canonical order (``sort_keys`` would destroy
+    the stats counter dicts' delivery order, which the bitwise stats
+    contract depends on), so equal snapshots are equal bytes.
+    """
+    return json.dumps(data, separators=(",", ":")) + "\n"
+
+
+def loads(text: str) -> dict:
+    """Parse and header-validate checkpoint text."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"checkpoint is not valid JSON: {exc}") from exc
+    _validate_header(data)
+    return data
+
+
+def save_checkpoint(engine: Engine, path: str) -> dict:
+    """Snapshot ``engine`` and atomically write it to ``path``.
+
+    The payload lands via a same-directory temp file and ``os.replace``,
+    so a crash mid-save leaves the previous checkpoint intact -- the
+    invariant the sweep runner's resume path relies on. Returns the
+    snapshot dict.
+    """
+    data = snapshot_engine(engine)
+    text = dumps(data)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return data
+
+
+def load_checkpoint(path: str) -> dict:
+    """Read and validate a checkpoint file (see :func:`loads`)."""
+    try:
+        with open(path, "r") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    return loads(text)
+
+
+def checkpoint_info(data: dict) -> dict:
+    """Human-oriented summary of a validated checkpoint payload."""
+    stats = data["stats"]
+    return {
+        "schema": data["schema"],
+        "cycle": data["cycle"],
+        "shape": tuple(data["machine"]["shape"]),
+        "queued": data["queued"],
+        "in_network": data["in_network"],
+        "events_pending": data["wheel"]["pending"],
+        "injected": stats["injected"],
+        "delivered": stats["delivered"],
+        "faulted": data["faults"] is not None,
+        "trace_events": data["trace"]["events_written"],
+        "trace_bytes": data["trace"]["bytes_written"],
+    }
+
+
+# --- periodic checkpointing driver ------------------------------------------------
+
+
+def run_with_checkpoints(
+    engine: Engine,
+    path: str,
+    every: int,
+    max_cycles: int = 10_000_000,
+) -> SimStats:
+    """Run to completion, saving a checkpoint every ``every`` cycles.
+
+    Behaviorally identical to ``engine.run(max_cycles)`` -- the chunked
+    ``run_for`` loop reaches the same end state (pinned by the engine's
+    split-run property tests) -- with a checkpoint written after each
+    chunk that leaves work outstanding. The attached trace sink is
+    flushed before each save so the bytes on disk cover at least the
+    recorded ``bytes_written``.
+
+    When the :data:`CRASH_ENV_VAR` environment variable names a cycle,
+    the run raises ``KeyboardInterrupt`` upon reaching it *without*
+    saving -- a deterministic crash for the resume tests, leaving the
+    last periodic checkpoint (and possibly further trace bytes past it)
+    on disk exactly as a real mid-run kill would.
+    """
+    if every < 1:
+        raise ValueError(f"checkpoint interval must be >= 1 cycle, got {every}")
+    crash_env = os.environ.get(CRASH_ENV_VAR)
+    crash_cycle = int(crash_env) if crash_env else None
+    while engine._queued or engine._in_network or engine._events.pending:
+        if engine.cycle >= max_cycles:
+            raise RuntimeError(
+                f"simulation exceeded {max_cycles} cycles with "
+                f"{engine._queued + engine._in_network} packets outstanding"
+            )
+        budget = every
+        crashing = crash_cycle is not None and engine.cycle + budget >= crash_cycle
+        if crashing:
+            budget = crash_cycle - engine.cycle
+        if budget > 0:
+            engine.run_for(budget)
+        if crashing and (
+            engine._queued or engine._in_network or engine._events.pending
+        ):
+            # A run that drains before the crash cycle "exits" normally,
+            # like a real process finishing before the kill lands.
+            raise KeyboardInterrupt(
+                f"simulated crash at cycle {engine.cycle} "
+                f"({CRASH_ENV_VAR}={crash_cycle})"
+            )
+        if engine._queued or engine._in_network or engine._events.pending:
+            if engine.trace is not None:
+                engine.trace.flush()
+            save_checkpoint(engine, path)
+    engine.stats.end_cycle = engine.cycle
+    return engine.stats

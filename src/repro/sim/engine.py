@@ -234,7 +234,16 @@ class Engine:
         #: credit/arrival push (bounded by channel latency plus a couple
         #: of serialization cycles) takes the O(1) bucket path.
         self._events = TimingWheel(2 * max(self._latency, default=1) + 16)
-        self._active: set = set()
+        #: Components with (potentially) arbitrable work, as an
+        #: insertion-ordered dict used as an ordered set: ``_step``
+        #: iterates it, and that iteration order decides the order in
+        #: which same-cycle grants push their arrival/credit events --
+        #: i.e. it is semantically load-bearing for the bit-reproducible
+        #: event schedule. A plain ``set`` iterates in a hash-table order
+        #: that depends on the table's resize history and therefore
+        #: cannot be reconstructed from its contents; dict insertion
+        #: order costs nothing and serializes exactly (checkpoint.py).
+        self._active: Dict[int, None] = {}
         self._queued = 0
         self._in_network = 0
         self._last_progress = 0
@@ -292,7 +301,7 @@ class Engine:
         self._source_heads.setdefault(src, 0)
         self._queued += 1
         if packet.release_cycle <= self.cycle:
-            self._active.add(src)
+            self._active[src] = None
         else:
             self._push_event(packet.release_cycle, _EV_WAKE, src, 0, None)
 
@@ -373,6 +382,26 @@ class Engine:
         self.stats.end_cycle = self.cycle
         return self.stats
 
+    # --- checkpoint/restart -------------------------------------------------------
+
+    def save_checkpoint(self, path: str) -> dict:
+        """Write a full state snapshot to ``path`` (atomic replace).
+
+        See :mod:`repro.sim.checkpoint` for the format and the bitwise
+        resume-equivalence guarantee. Returns the snapshot dict.
+        """
+        from .checkpoint import save_checkpoint
+
+        return save_checkpoint(self, path)
+
+    @classmethod
+    def from_checkpoint(cls, path: str, machine=None, trace=None) -> "Engine":
+        """Rebuild an engine from a checkpoint file written by
+        :meth:`save_checkpoint`."""
+        from .checkpoint import load_checkpoint, restore_engine
+
+        return restore_engine(load_checkpoint(path), machine=machine, trace=trace)
+
     # --- internals ----------------------------------------------------------------
 
     def _raise_deadlock(self) -> None:
@@ -409,9 +438,9 @@ class Engine:
                     handle_arrival(a, b)
                 elif kind == _EV_CREDIT:
                     credits[a][b] += c
-                    active.add(channel_src[a])
+                    active[channel_src[a]] = None
                 elif kind == _EV_WAKE:
-                    active.add(a)
+                    active[a] = None
                 else:  # fault
                     self._apply_fault(a, b)
             # Handlers never append to *this* bucket: a same-cycle push has
@@ -435,9 +464,9 @@ class Engine:
                 self._handle_arrival(a, b)
             elif kind == _EV_CREDIT:
                 self._credits[a][b] += c
-                self._active.add(self._channel_src[a])
+                self._active[self._channel_src[a]] = None
             elif kind == _EV_WAKE:
-                self._active.add(a)
+                self._active[a] = None
             else:  # fault
                 self._apply_fault(a, b)
 
@@ -497,7 +526,7 @@ class Engine:
         packet.ready_cycle = now + self._pipeline
         self._buffers[channel_id][vc].append(packet)
         self._buffered_count[channel_id] += 1
-        self._active.add(self._channel_dst[channel_id])
+        self._active[self._channel_dst[channel_id]] = None
         if self.trace is not None:
             self.trace.emit(
                 TraceEvent(
@@ -666,7 +695,7 @@ class Engine:
             if not has_packets:
                 idle.append(comp_id)
         for comp_id in idle:
-            active.discard(comp_id)
+            active.pop(comp_id, None)
 
     def _inject_endpoint(self, comp_id: int, now: int) -> bool:
         queue = self._source_queues.get(comp_id)
@@ -875,7 +904,7 @@ class Engine:
             # Recovery strands nothing; wake sources so resolutions that
             # can now use the channel are re-attempted promptly.
             for src in self._source_queues:
-                self._active.add(src)
+                self._active[src] = None
             return
         self._sweep_source_queues(now)
         self._sweep_buffers(now)
@@ -988,7 +1017,7 @@ class Engine:
                     bufs[vc] = kept
                     heads[vc] = 0
                 if kept:
-                    self._active.add(machine.channels[ic].dst)
+                    self._active[machine.channels[ic].dst] = None
 
     def _handle_blocked_buffered(
         self, packet: Packet, ic: int, vc: int, now: int

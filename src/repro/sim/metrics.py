@@ -188,6 +188,25 @@ class ChannelBusyWindows:
             for channel, per_channel in sorted(self._windows.items())
         }
 
+    def state(self) -> dict:
+        """JSON-safe serialized state (insertion order preserved)."""
+        return {
+            "window_cycles": self.window_cycles,
+            "windows": [
+                [channel, list(per_channel.items())]
+                for channel, per_channel in self._windows.items()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ChannelBusyWindows":
+        out = cls(window_cycles=state["window_cycles"])
+        out._windows = {
+            channel: {window: ticks for window, ticks in pairs}
+            for channel, pairs in state["windows"]
+        }
+        return out
+
 
 class VcOccupancyHistogram:
     """Cycles spent at each occupancy level per (channel, VC) buffer.
@@ -232,6 +251,32 @@ class VcOccupancyHistogram:
 
     def histograms(self) -> Dict[Tuple[int, int], Dict[int, int]]:
         return {key: dict(hist) for key, hist in sorted(self._hist.items())}
+
+    def state(self) -> dict:
+        """JSON-safe serialized state ((channel, vc) keys as pairs)."""
+        return {
+            "occupancy": [
+                [list(key), level] for key, level in self._occupancy.items()
+            ],
+            "since": [
+                [list(key), cycle] for key, cycle in self._since.items()
+            ],
+            "hist": [
+                [list(key), list(hist.items())]
+                for key, hist in self._hist.items()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "VcOccupancyHistogram":
+        out = cls()
+        out._occupancy = {tuple(key): level for key, level in state["occupancy"]}
+        out._since = {tuple(key): cycle for key, cycle in state["since"]}
+        out._hist = {
+            tuple(key): {level: cycles for level, cycles in pairs}
+            for key, pairs in state["hist"]
+        }
+        return out
 
 
 @dataclasses.dataclass
@@ -287,6 +332,40 @@ class MetricsCollector:
 
     def flush(self) -> None:
         pass
+
+    def state(self) -> dict:
+        """JSON-safe serialized state of every reducer (checkpointing)."""
+        return {
+            "latency": self.latency.state(),
+            "busy": self.busy.state(),
+            "occupancy": self.occupancy.state(),
+            "delivered": self.delivered,
+            "last_cycle": self.last_cycle,
+            "quantiles": list(self._quantiles),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstate a :meth:`state` snapshot in place.
+
+        In-place so a resumed run can revive the checkpointed reducer
+        contents into the collector object the caller already holds (the
+        sweep harness summarizes the collector it constructed).
+        """
+        self.latency = StreamingQuantile.from_state(state["latency"])
+        self.busy = ChannelBusyWindows.from_state(state["busy"])
+        self.occupancy = VcOccupancyHistogram.from_state(state["occupancy"])
+        self.delivered = state["delivered"]
+        self.last_cycle = state["last_cycle"]
+        self._quantiles = tuple(state["quantiles"])
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MetricsCollector":
+        out = cls(
+            window_cycles=state["busy"]["window_cycles"],
+            max_bins=state["latency"]["max_bins"],
+        )
+        out.restore_state(state)
+        return out
 
     def summary(self, end_cycle: Optional[int] = None) -> MetricsSummary:
         """Render the picklable summary (finalizes occupancy residency)."""

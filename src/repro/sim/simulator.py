@@ -19,6 +19,7 @@ adapter output:
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.arbiters.age_based import AgeBasedArbiter
@@ -137,7 +138,7 @@ def arbiter_builder_for(
     raise ValueError(f"unknown arbitration policy {arbitration!r}")
 
 
-def run_batch(
+def build_batch_engine(
     machine: Machine,
     route_computer: RouteComputer,
     spec: "BatchSpec",
@@ -146,28 +147,17 @@ def run_batch(
     weight_tables: Optional[Dict[int, WeightTable]] = None,
     vc_weight_tables: Optional[Dict[int, WeightTable]] = None,
     weight_bits: int = DEFAULT_WEIGHT_BITS,
-    max_cycles: int = 10_000_000,
     keep_packet_latencies: bool = False,
     trace=None,
     latency_quantiles: bool = False,
     faults=None,
-) -> SimStats:
-    """Run one batch experiment and return its statistics.
+) -> Engine:
+    """Construct a cycle-0 engine with a full batch enqueued.
 
-    For ``arbitration="iw"``, either ``weight_tables``/``vc_weight_tables``
-    (pre-programmed) or ``weight_patterns`` (programmed here from analytic
-    loads) must be given. Inverse weighting is applied at both
-    arbitration stages (output ports and per-input VC selection).
-
-    ``trace`` attaches a structured-event sink (:mod:`repro.sim.trace`);
-    ``latency_quantiles`` enables the streaming p50/p95/p99 estimator on
-    the returned stats (:mod:`repro.sim.metrics`). Both are pure
-    observers: results are bitwise-identical with or without them.
-
-    ``faults`` attaches a :class:`repro.faults.FaultRuntime` (failed
-    channels, mid-run schedule, stranded-packet policy). Pass its
-    fault-aware computer as ``route_computer`` too so generated routes
-    avoid the initially failed channels.
+    This is :func:`run_batch` minus the run: arbiters programmed, sinks
+    attached, every generated packet in its source queue. Exposed so the
+    checkpoint tooling (``repro checkpoint save``, the crash-resume
+    tests) can build the exact engine a batch experiment would run.
     """
     from repro.traffic.batch import generate_batch
     from repro.traffic.loads import compute_loads
@@ -227,7 +217,101 @@ def run_batch(
     )
     for packet in generate_batch(machine, route_computer, spec):
         engine.enqueue(packet)
-    stats = engine.run(max_cycles=max_cycles)
+    return engine
+
+
+def run_batch(
+    machine: Machine,
+    route_computer: RouteComputer,
+    spec: "BatchSpec",
+    arbitration: str = "rr",
+    weight_patterns: Optional[Sequence["TrafficPattern"]] = None,
+    weight_tables: Optional[Dict[int, WeightTable]] = None,
+    vc_weight_tables: Optional[Dict[int, WeightTable]] = None,
+    weight_bits: int = DEFAULT_WEIGHT_BITS,
+    max_cycles: int = 10_000_000,
+    keep_packet_latencies: bool = False,
+    trace=None,
+    latency_quantiles: bool = False,
+    faults=None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
+) -> SimStats:
+    """Run one batch experiment and return its statistics.
+
+    For ``arbitration="iw"``, either ``weight_tables``/``vc_weight_tables``
+    (pre-programmed) or ``weight_patterns`` (programmed here from analytic
+    loads) must be given. Inverse weighting is applied at both
+    arbitration stages (output ports and per-input VC selection).
+
+    ``trace`` attaches a structured-event sink (:mod:`repro.sim.trace`);
+    ``latency_quantiles`` enables the streaming p50/p95/p99 estimator on
+    the returned stats (:mod:`repro.sim.metrics`). Both are pure
+    observers: results are bitwise-identical with or without them.
+
+    ``faults`` attaches a :class:`repro.faults.FaultRuntime` (failed
+    channels, mid-run schedule, stranded-packet policy). Pass its
+    fault-aware computer as ``route_computer`` too so generated routes
+    avoid the initially failed channels.
+
+    ``checkpoint_path`` with ``checkpoint_every > 0`` enables periodic
+    checkpointing (:mod:`repro.sim.checkpoint`): a snapshot is written
+    every ``checkpoint_every`` cycles and removed on completion, so an
+    *existing* file always marks an interrupted run and is resumed from
+    -- the results are bitwise-identical to a never-interrupted run.
+    When ``trace`` is a :class:`~repro.sim.metrics.MetricsCollector`, the
+    checkpointed collector contents are revived into it on resume.
+    """
+    if checkpoint_path and checkpoint_every > 0:
+        from .checkpoint import (
+            load_checkpoint,
+            restore_engine,
+            run_with_checkpoints,
+        )
+        from .metrics import MetricsCollector
+
+        if os.path.exists(checkpoint_path):
+            data = load_checkpoint(checkpoint_path)
+            engine = restore_engine(data, machine=machine, trace=trace)
+            collector_state = data["trace"]["collector"]
+            if collector_state is not None and isinstance(trace, MetricsCollector):
+                trace.restore_state(collector_state)
+        else:
+            engine = build_batch_engine(
+                machine,
+                route_computer,
+                spec,
+                arbitration=arbitration,
+                weight_patterns=weight_patterns,
+                weight_tables=weight_tables,
+                vc_weight_tables=vc_weight_tables,
+                weight_bits=weight_bits,
+                keep_packet_latencies=keep_packet_latencies,
+                trace=trace,
+                latency_quantiles=latency_quantiles,
+                faults=faults,
+            )
+        stats = run_with_checkpoints(
+            engine, checkpoint_path, checkpoint_every, max_cycles=max_cycles
+        )
+        if os.path.exists(checkpoint_path):
+            os.unlink(checkpoint_path)
+    else:
+        engine = build_batch_engine(
+            machine,
+            route_computer,
+            spec,
+            arbitration=arbitration,
+            weight_patterns=weight_patterns,
+            weight_tables=weight_tables,
+            vc_weight_tables=vc_weight_tables,
+            weight_bits=weight_bits,
+            keep_packet_latencies=keep_packet_latencies,
+            trace=trace,
+            latency_quantiles=latency_quantiles,
+            faults=faults,
+        )
+        stats = engine.run(max_cycles=max_cycles)
     if trace is not None:
         trace.flush()
     return stats

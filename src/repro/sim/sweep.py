@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import pickle
+import tempfile
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -87,7 +89,39 @@ class SweepResult:
     error: Optional[str] = None
 
 
-def _execute_point(point: SweepPoint, index: int) -> SweepResult:
+def _result_path(checkpoint_dir: str, index: int) -> str:
+    return os.path.join(checkpoint_dir, f"point_{index:04d}.result.pkl")
+
+
+def _persist_result(result: SweepResult, path: str) -> None:
+    """Atomically pickle one completed point result (crash-consistent)."""
+    fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(result, handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def _load_result(path: str) -> Optional[SweepResult]:
+    """A previously persisted result, or None if absent/unreadable.
+
+    A truncated pickle (crash mid-write of a pre-atomic-rename tool, or
+    disk corruption) is treated as not-done: the point simply re-runs.
+    """
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None
+
+
+def _execute_point(
+    point: SweepPoint, index: int, result_path: Optional[str] = None
+) -> SweepResult:
     start = time.perf_counter()
     value = None
     error = None
@@ -97,11 +131,14 @@ def _execute_point(point: SweepPoint, index: int) -> SweepResult:
         # Capture the failure with the point's parameters instead of
         # letting a bare pool traceback kill the whole sweep; the parent
         # reports all failures together once every point has run.
+        # KeyboardInterrupt deliberately escapes: a kill mid-sweep must
+        # abort the run (persisted results make it resumable), not be
+        # recorded as a point failure.
         error = (
             f"sweep point {point.label!r} (index {index}) failed with "
             f"kwargs {point.call_kwargs()!r}:\n{traceback.format_exc()}"
         )
-    return SweepResult(
+    result = SweepResult(
         label=point.label,
         index=index,
         value=value,
@@ -109,6 +146,10 @@ def _execute_point(point: SweepPoint, index: int) -> SweepResult:
         worker_pid=os.getpid(),
         error=error,
     )
+    if result_path is not None and error is None:
+        # Only successes persist; failed points re-run on resume.
+        _persist_result(result, result_path)
+    return result
 
 
 def default_workers() -> int:
@@ -128,6 +169,8 @@ def run_sweep(
     points: Sequence[SweepPoint],
     max_workers: Optional[int] = None,
     on_error: str = "raise",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> List[SweepResult]:
     """Execute every point and return results in sweep order.
 
@@ -145,20 +188,46 @@ def run_sweep(
     point, with the partial results attached as ``.results``;
     ``on_error="return"`` returns the result list and leaves failure
     handling to the caller.
+
+    ``checkpoint_dir`` makes the sweep crash-resumable: each point's
+    result is pickled (atomically, as it completes) into the directory,
+    and ``resume=True`` loads completed points instead of re-running them
+    -- a killed sweep restarted with ``resume`` finishes the remaining
+    points and returns results identical to an uninterrupted run. The
+    per-point pickles compose with mid-run engine checkpoints (a
+    :class:`~repro.analysis.throughput.BatchPoint` with
+    ``checkpoint_path`` set), so even the interrupted point resumes from
+    its last engine snapshot rather than from cycle 0.
     """
     if on_error not in ("raise", "return"):
         raise ValueError(f"unknown on_error mode {on_error!r}")
     if max_workers is None:
         max_workers = default_workers()
-    if max_workers <= 1 or len(points) <= 1:
-        results = [_execute_point(point, i) for i, point in enumerate(points)]
+    result_paths: List[Optional[str]] = [None] * len(points)
+    done: Dict[int, SweepResult] = {}
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        result_paths = [
+            _result_path(checkpoint_dir, i) for i in range(len(points))
+        ]
+        if resume:
+            for i, path in enumerate(result_paths):
+                loaded = _load_result(path)
+                if loaded is not None and loaded.error is None:
+                    done[i] = loaded
+    todo = [i for i in range(len(points)) if i not in done]
+    if max_workers <= 1 or len(todo) <= 1:
+        for i in todo:
+            done[i] = _execute_point(points[i], i, result_paths[i])
     else:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                pool.submit(_execute_point, point, i)
-                for i, point in enumerate(points)
-            ]
-            results = [future.result() for future in futures]
+            futures = {
+                i: pool.submit(_execute_point, points[i], i, result_paths[i])
+                for i in todo
+            }
+            for i, future in futures.items():
+                done[i] = future.result()
+    results = [done[i] for i in range(len(points))]
     if on_error == "raise":
         failures = [result for result in results if result.error is not None]
         if failures:
@@ -236,10 +305,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=2,
         help="process-pool width for the parallel leg (default: 2)",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist per-point results (parallel leg) for crash resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already completed in --checkpoint-dir",
+    )
     args = parser.parse_args(argv)
 
     serial = run_sweep(_smoke_points(), max_workers=1)
-    parallel = run_sweep(_smoke_points(), max_workers=args.workers)
+    parallel = run_sweep(
+        _smoke_points(),
+        max_workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
     status = 0
     for s, p in zip(serial, parallel):
         # Every measured field -- including the streaming metric summary

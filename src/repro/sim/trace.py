@@ -170,26 +170,44 @@ class JsonlTraceWriter:
     via :meth:`write_record`. All records use sorted keys and compact
     separators, so a trace's byte representation is a pure function of
     its events -- the property the golden-trace suite pins.
+
+    ``header=False`` suppresses the header record: a checkpoint-resumed
+    run appends its events to the first phase's trace file, which already
+    carries the header. Together with ``resume_counts`` -- the
+    ``(events_written, bytes_written)`` pair recorded in the checkpoint --
+    the concatenated file is byte-identical to the uninterrupted run's,
+    end-record event count included. ``bytes_written`` counts UTF-8 bytes
+    of everything written (header and records too), so a crashed run's
+    trace can be truncated back to its last checkpoint before resuming.
     """
 
-    def __init__(self, stream: IO[str], meta: dict = None) -> None:
+    def __init__(
+        self,
+        stream: IO[str],
+        meta: dict = None,
+        header: bool = True,
+        resume_counts: Tuple[int, int] = (0, 0),
+    ) -> None:
         self.stream = stream
-        self.events_written = 0
-        header = {"ev": "trace", "schema": TRACE_SCHEMA_VERSION}
-        header.update(meta or {})
-        self.write_record(header)
+        self.events_written, self.bytes_written = resume_counts
+        if header:
+            hdr = {"ev": "trace", "schema": TRACE_SCHEMA_VERSION}
+            hdr.update(meta or {})
+            self.write_record(hdr)
 
     def emit(self, event: TraceEvent) -> None:
-        self.stream.write(event.to_json())
+        line = event.to_json()
+        self.stream.write(line)
         self.stream.write("\n")
         self.events_written += 1
+        self.bytes_written += len(line.encode("utf-8")) + 1
 
     def write_record(self, record: dict) -> None:
         """Write one non-event metadata record (header, end summary)."""
-        self.stream.write(
-            json.dumps(record, sort_keys=True, separators=(",", ":"))
-        )
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self.stream.write(line)
         self.stream.write("\n")
+        self.bytes_written += len(line.encode("utf-8")) + 1
 
     def flush(self) -> None:
         self.stream.flush()

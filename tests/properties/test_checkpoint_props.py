@@ -1,0 +1,207 @@
+"""Bitwise resume-equivalence of checkpointed simulations.
+
+The checkpoint contract (:mod:`repro.sim.checkpoint`): for any workload
+and any checkpoint cycle, ``run(n) -> save -> restore -> run(m)`` is
+byte-identical to the uninterrupted ``run(n + m)`` -- the JSONL trace
+bytes and the serialized stats dict, not merely the summary numbers.
+Hypothesis drives the workload (pattern, arbitration policy, seed,
+healthy or faulted machine) and, crucially, the checkpoint cycle: the
+split point is drawn as a fraction of the uninterrupted run's length, so
+checkpoints land in warm-up, saturation, and drain phases alike.
+"""
+
+import io
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.faults import FaultPolicy, FaultRuntime, FaultSet, FaultSpec
+from repro.sim.checkpoint import dumps, loads, restore_engine, snapshot_engine
+from repro.sim.simulator import build_batch_engine
+from repro.sim.trace import JsonlTraceWriter
+from repro.traffic.batch import BatchSpec
+from repro.traffic.patterns import Tornado, UniformRandom
+
+SHAPE = (2, 2, 2)
+
+_MACHINE_CACHE = {}
+
+
+def shared_machine():
+    # One elaborated machine per process: engines never mutate it.
+    if "m" not in _MACHINE_CACHE:
+        machine = Machine(MachineConfig(shape=SHAPE, endpoints_per_chip=2))
+        _MACHINE_CACHE["m"] = (machine, RouteComputer(machine))
+    return _MACHINE_CACHE["m"]
+
+
+def build(pattern_kind, arbitration, seed, batch, faulted, policy, writer):
+    machine, healthy_routes = shared_machine()
+    pattern = (
+        UniformRandom(SHAPE) if pattern_kind == "uniform" else Tornado(SHAPE)
+    )
+    runtime = None
+    routes = healthy_routes
+    if faulted:
+        fault_set = FaultSet(
+            specs=(
+                FaultSpec(kind="link", channel=640, down_cycle=0, up_cycle=45),
+                FaultSpec(kind="link", channel=656, down_cycle=12, up_cycle=None),
+            ),
+            shape=SHAPE,
+        )
+        runtime = FaultRuntime(
+            machine,
+            fault_set,
+            policy=FaultPolicy(mode=policy, max_retries=3),
+        )
+        routes = runtime.route_computer
+    spec = BatchSpec(
+        pattern, packets_per_source=batch, cores_per_chip=2, seed=seed
+    )
+    return build_batch_engine(
+        machine,
+        routes,
+        spec,
+        arbitration=arbitration,
+        weight_patterns=[pattern] if arbitration == "iw" else None,
+        faults=runtime,
+        trace=writer,
+    )
+
+
+def run_uninterrupted(params):
+    stream = io.StringIO()
+    writer = JsonlTraceWriter(stream, meta={"run": "prop"})
+    engine = build(*params, writer)
+    stats = engine.run()
+    writer.flush()
+    return stream.getvalue(), json.dumps(stats.asdict())
+
+
+def run_split(params, split_cycle):
+    # Phase 1: run to the checkpoint cycle and snapshot through the full
+    # canonical text round trip.
+    stream = io.StringIO()
+    writer = JsonlTraceWriter(stream, meta={"run": "prop"})
+    engine = build(*params, writer)
+    engine.run_for(split_cycle)
+    writer.flush()
+    data = loads(dumps(snapshot_engine(engine)))
+    head = stream.getvalue()
+    assert len(head.encode("utf-8")) == data["trace"]["bytes_written"]
+    # Phase 2: restore into a fresh engine ("new process") with a
+    # header-free resumed writer and run to completion.
+    tail_stream = io.StringIO()
+    resumed = JsonlTraceWriter(
+        tail_stream,
+        header=False,
+        resume_counts=(
+            data["trace"]["events_written"],
+            data["trace"]["bytes_written"],
+        ),
+    )
+    restored = restore_engine(data, trace=resumed)
+    stats = restored.run()
+    resumed.flush()
+    return head + tail_stream.getvalue(), json.dumps(stats.asdict())
+
+
+@st.composite
+def checkpoint_case(draw):
+    pattern = draw(st.sampled_from(["uniform", "tornado"]))
+    arbitration = draw(st.sampled_from(["rr", "age", "iw"]))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    batch = draw(st.integers(min_value=2, max_value=10))
+    faulted = draw(st.booleans())
+    policy = draw(st.sampled_from(["reroute", "retry", "drop"]))
+    split_fraction = draw(st.floats(min_value=0.05, max_value=0.95))
+    return (pattern, arbitration, seed, batch, faulted, policy), split_fraction
+
+
+class TestResumeEquivalence:
+    @given(checkpoint_case())
+    @settings(max_examples=20, deadline=None)
+    def test_checkpoint_resume_is_bitwise(self, case):
+        params, split_fraction = case
+        full_trace, full_stats = run_uninterrupted(params)
+        end_cycle = json.loads(full_stats)["end_cycle"]
+        # At least one cycle before the end so the resumed engine has
+        # real work left; at least cycle 1 so phase 1 does something.
+        split_cycle = min(
+            max(1, int(split_fraction * end_cycle)), end_cycle - 1
+        )
+        split_trace, split_stats = run_split(params, split_cycle)
+        assert split_trace == full_trace
+        assert split_stats == full_stats
+
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.sampled_from(["reroute", "retry"]),
+        st.integers(min_value=5, max_value=40),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_faulted_split_with_retries_in_flight(self, seed, policy, split):
+        # Deterministic faulted workload, checkpointed inside the outage
+        # window where retries/reroutes are live in the wheel.
+        params = ("uniform", "rr", seed, 8, True, policy)
+        full_trace, full_stats = run_uninterrupted(params)
+        end_cycle = json.loads(full_stats)["end_cycle"]
+        split_cycle = min(split, end_cycle - 1)
+        split_trace, split_stats = run_split(params, split_cycle)
+        assert split_trace == full_trace
+        assert split_stats == full_stats
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_double_split_is_bitwise(self, seed):
+        # Two checkpoints in one run: save at n, resume, save again at
+        # n + k from the *restored* engine, resume again.
+        params = ("uniform", "iw", seed, 6, False, "reroute")
+        full_trace, full_stats = run_uninterrupted(params)
+        end_cycle = json.loads(full_stats)["end_cycle"]
+        first = max(1, end_cycle // 3)
+        second = max(first + 1, 2 * end_cycle // 3)
+
+        stream = io.StringIO()
+        writer = JsonlTraceWriter(stream, meta={"run": "prop"})
+        engine = build(*params, writer)
+        engine.run_for(first)
+        writer.flush()
+        data = loads(dumps(snapshot_engine(engine)))
+        text = stream.getvalue()
+
+        mid_stream = io.StringIO()
+        mid_writer = JsonlTraceWriter(
+            mid_stream,
+            header=False,
+            resume_counts=(
+                data["trace"]["events_written"],
+                data["trace"]["bytes_written"],
+            ),
+        )
+        restored = restore_engine(data, trace=mid_writer)
+        restored.run_for(second - first)
+        mid_writer.flush()
+        data2 = loads(dumps(snapshot_engine(restored)))
+        text += mid_stream.getvalue()
+
+        tail_stream = io.StringIO()
+        tail_writer = JsonlTraceWriter(
+            tail_stream,
+            header=False,
+            resume_counts=(
+                data2["trace"]["events_written"],
+                data2["trace"]["bytes_written"],
+            ),
+        )
+        final = restore_engine(data2, trace=tail_writer)
+        stats = final.run()
+        tail_writer.flush()
+        text += tail_stream.getvalue()
+
+        assert text == full_trace
+        assert json.dumps(stats.asdict()) == full_stats

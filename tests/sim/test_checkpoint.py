@@ -1,0 +1,467 @@
+"""Per-component checkpoint round-trips and payload validation.
+
+Each mutable component the engine checkpoint captures is exercised in
+isolation: ``restore(save(x))`` must be *observationally* equal to ``x``
+-- continuing both with an identical stimulus stream produces identical
+outputs -- and a second snapshot of the restored object must be
+byte-identical to the first (double-checkpoint idempotence). The
+end-to-end bitwise guarantee lives in
+``tests/properties/test_checkpoint_props.py``; these tests localize a
+failure to the component that lost state.
+"""
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.arbiters.age_based import AgeBasedArbiter
+from repro.arbiters.base import SimpleRequest
+from repro.arbiters.inverse_weighted import InverseWeightedArbiter
+from repro.arbiters.round_robin import FixedPriorityArbiter, RoundRobinArbiter
+from repro.core.machine import Machine, MachineConfig
+from repro.faults import FaultPolicy, FaultRuntime, FaultSet, FaultSpec
+from repro.sim.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    _build_arbiter,
+    _dump_arbiter,
+    _wheel_from_json,
+    _wheel_to_json,
+    dumps,
+    load_checkpoint,
+    loads,
+    restore_engine,
+    rng_state_from_json,
+    rng_state_to_json,
+    save_checkpoint,
+    snapshot_engine,
+)
+from repro.sim.metrics import MetricsCollector, StreamingQuantile
+from repro.sim.simulator import build_batch_engine
+from repro.sim.trace import JsonlTraceWriter
+from repro.sim.wheel import TimingWheel
+from repro.traffic.batch import BatchSpec
+from repro.traffic.patterns import UniformRandom
+
+SHAPE = (2, 2, 2)
+
+
+def make_machine():
+    return Machine(MachineConfig(shape=SHAPE, endpoints_per_chip=2))
+
+
+def make_engine(machine, seed=11, batch=8, arbitration="rr", faults=None,
+                trace=None):
+    from repro.core.routing import RouteComputer
+
+    routes = (
+        faults.route_computer if faults is not None else RouteComputer(machine)
+    )
+    pattern = UniformRandom(SHAPE)
+    spec = BatchSpec(
+        pattern, packets_per_source=batch, cores_per_chip=2, seed=seed
+    )
+    return build_batch_engine(
+        machine,
+        routes,
+        spec,
+        arbitration=arbitration,
+        weight_patterns=[pattern] if arbitration == "iw" else None,
+        faults=faults,
+        trace=trace,
+    )
+
+
+def roundtrip(engine, trace=None):
+    """Snapshot -> canonical text -> parse -> restore (the full path)."""
+    return restore_engine(loads(dumps(snapshot_engine(engine))), trace=trace)
+
+
+# --- timing wheel -----------------------------------------------------------------
+
+
+def drain(wheel: TimingWheel, now: int):
+    """Full drain in engine order: overflow-due, bucket FIFO, overflow."""
+    import heapq
+
+    out = []
+    while wheel.pending:
+        cycle = wheel.next_cycle(now)
+        assert cycle is not None
+        now = max(now, cycle)
+        overflow = wheel.overflow
+        while overflow and overflow[0][0] <= now:
+            out.append((now, heapq.heappop(overflow)[2]))
+            wheel.pending -= 1
+        bucket = wheel.buckets[now & wheel.mask]
+        for payload in bucket:
+            out.append((now, payload))
+            wheel.pending -= 1
+        del bucket[:]
+        while overflow and overflow[0][0] <= now:
+            out.append((now, heapq.heappop(overflow)[2]))
+            wheel.pending -= 1
+    return out
+
+
+class TestTimingWheelRoundTrip:
+    def build(self):
+        wheel = TimingWheel(32)
+        now = 100
+        rng = random.Random(5)
+        for i in range(40):
+            # Near events (bucket fast path) and far events (overflow),
+            # interleaved, plus some at the same target cycle to pin
+            # FIFO order within a bucket.
+            delta = rng.choice([1, 2, 3, 3, 7, 40, 63, 64, 200, 500])
+            wheel.push(now + delta, now, (0, i, delta, None))
+        return wheel, now
+
+    def test_drain_order_preserved(self):
+        original, now = self.build()
+        data = _wheel_to_json(original, now)
+        restored = TimingWheel(32)
+        _wheel_from_json(restored, data, decode=tuple)
+        assert restored.pending == original.pending
+        assert restored.seq == original.seq
+        assert drain(restored, now) == drain(original, now)
+
+    def test_snapshot_is_idempotent(self):
+        original, now = self.build()
+        data = _wheel_to_json(original, now)
+        restored = TimingWheel(32)
+        _wheel_from_json(restored, data, decode=tuple)
+        again = _wheel_to_json(restored, now)
+        # decode=tuple turns payload lists into tuples; re-encoding with
+        # the default list encoder must reproduce the exact payload.
+        assert json.dumps(again) == json.dumps(data)
+
+    def test_overflow_serialized_sorted(self):
+        wheel = TimingWheel(32)
+        now = 0
+        # Push far-future events out of cycle order: the overflow heap's
+        # array layout now differs from sorted order.
+        for cycle in (900, 300, 700, 100, 500):
+            wheel.push(cycle, now, (0, cycle, None, None))
+        data = _wheel_to_json(wheel, now)
+        cycles = [entry[0] for entry in data["overflow"]]
+        assert cycles == sorted(cycles)
+        restored = TimingWheel(32)
+        _wheel_from_json(restored, data, decode=tuple)
+        assert drain(restored, now) == drain(wheel, now)
+
+
+# --- arbiters ---------------------------------------------------------------------
+
+
+def arbiter_cases():
+    return [
+        ("rr", RoundRobinArbiter(4)),
+        ("fixed", FixedPriorityArbiter(4)),
+        ("age", AgeBasedArbiter(4)),
+        (
+            "iw",
+            InverseWeightedArbiter(
+                [[31], [16], [8], [4]], 5, bit_exact=False
+            ),
+        ),
+        (
+            "iw-exact",
+            InverseWeightedArbiter(
+                [[31], [16], [8], [4]], 5, bit_exact=True
+            ),
+        ),
+    ]
+
+
+def drive(arbiter, seed, rounds=40):
+    """Deterministic pseudo-random request stream; returns grant list."""
+    rng = random.Random(seed)
+    grants = []
+    for cycle in range(rounds):
+        requests = [
+            SimpleRequest(inject_cycle=cycle) if rng.random() < 0.7 else None
+            for _ in range(4)
+        ]
+        if not any(requests):
+            requests[0] = SimpleRequest(inject_cycle=cycle)
+        grants.append(arbiter.arbitrate(requests))
+    return grants
+
+
+class TestArbiterRoundTrip:
+    @pytest.mark.parametrize("name,arbiter", arbiter_cases())
+    def test_resume_equals_uninterrupted(self, name, arbiter):
+        # Warm the arbiter (pointer/accumulator state away from reset),
+        # snapshot, and check both copies grant identically afterwards.
+        drive(arbiter, seed=1)
+        spec = json.loads(json.dumps(_dump_arbiter(arbiter)))
+        restored = _build_arbiter(spec)
+        assert type(restored) is type(arbiter)
+        assert restored.state() == arbiter.state()
+        assert drive(restored, seed=2) == drive(arbiter, seed=2)
+
+    @pytest.mark.parametrize("name,arbiter", arbiter_cases())
+    def test_double_checkpoint_idempotent(self, name, arbiter):
+        drive(arbiter, seed=3)
+        first = _dump_arbiter(arbiter)
+        second = _dump_arbiter(_build_arbiter(first))
+        assert json.dumps(second) == json.dumps(first)
+
+    def test_unknown_arbiter_type_rejected(self):
+        with pytest.raises(CheckpointError):
+            _build_arbiter({"type": "mystery", "state": {"grants": [0]}})
+
+    def test_iw_accumulators_survive(self):
+        arbiter = InverseWeightedArbiter([[31], [8], [16]], 5)
+        for cycle in range(7):
+            arbiter.arbitrate([SimpleRequest(inject_cycle=cycle)] * 3)
+        state = arbiter.state()
+        assert any(state["accumulators"])
+        restored = _build_arbiter(_dump_arbiter(arbiter))
+        assert restored.state()["accumulators"] == state["accumulators"]
+
+
+# --- RNG streams ------------------------------------------------------------------
+
+
+class TestRngStreamRoundTrip:
+    def test_mid_stream_resume(self):
+        rng = random.Random(1234)
+        [rng.random() for _ in range(100)]
+        rng.gauss(0.0, 1.0)  # leaves a cached second gaussian in-state
+        state = json.loads(json.dumps(rng_state_to_json(rng)))
+        resumed = rng_state_from_json(state)
+        tail = [rng.random() for _ in range(50)] + [rng.gauss(0.0, 1.0)]
+        assert [resumed.random() for _ in range(50)] + [
+            resumed.gauss(0.0, 1.0)
+        ] == tail
+
+    def test_state_is_json_safe(self):
+        rng = random.Random(7)
+        rng.randrange(1000)
+        text = json.dumps(rng_state_to_json(rng))
+        assert rng_state_from_json(json.loads(text)).getstate() == rng.getstate()
+
+
+# --- streaming quantile -----------------------------------------------------------
+
+
+class TestStreamingQuantileRoundTrip:
+    def test_resume_equals_uninterrupted(self):
+        full = StreamingQuantile(max_bins=16)
+        half = StreamingQuantile(max_bins=16)
+        samples = [random.Random(9).randrange(10_000) for _ in range(500)]
+        for value in samples[:250]:
+            full.add(value)
+            half.add(value)
+        resumed = StreamingQuantile.from_state(
+            json.loads(json.dumps(half.state()))
+        )
+        for value in samples[250:]:
+            full.add(value)
+            resumed.add(value)
+        assert resumed == full
+        assert resumed.quantiles() == full.quantiles()
+
+    def test_state_idempotent(self):
+        est = StreamingQuantile(max_bins=8)
+        est.add_many(range(100))  # forces re-binning past 8 bins
+        state = est.state()
+        assert StreamingQuantile.from_state(state).state() == state
+
+
+# --- fault runtime ----------------------------------------------------------------
+
+
+def faulted_engine(policy="retry", down=0, up=40, seed=11):
+    machine = make_machine()
+    fault_set = FaultSet(
+        specs=(
+            FaultSpec(kind="link", channel=640, down_cycle=down, up_cycle=up),
+            FaultSpec(kind="link", channel=656, down_cycle=10, up_cycle=None),
+        ),
+        shape=SHAPE,
+    )
+    runtime = FaultRuntime(
+        machine,
+        fault_set,
+        policy=FaultPolicy(mode=policy, max_retries=3),
+    )
+    return make_engine(machine, seed=seed, faults=runtime), runtime
+
+
+class TestFaultRuntimeRoundTrip:
+    def test_runtime_state_survives(self):
+        engine, runtime = faulted_engine()
+        engine.run_for(25)
+        restored = roundtrip(engine)
+        r2 = restored._fault_runtime
+        assert r2 is not None
+        assert r2.policy.mode == runtime.policy.mode
+        assert r2.policy.max_retries == runtime.policy.max_retries
+        assert r2.fault_set.to_json() == runtime.fault_set.to_json()
+        assert restored._failed_channels == engine._failed_channels
+        assert restored.cycle == engine.cycle
+        # In-flight retry bookkeeping maps onto the restored packet
+        # objects with identical output channels.
+        assert sorted(restored._inflight.values()) == sorted(
+            engine._inflight.values()
+        )
+        assert len(restored._inflight) == len(engine._inflight)
+
+    def test_resolution_counts_survive(self):
+        # Regression: the fault-aware route computer's escalation-stage
+        # counters are observable diagnostics and were not captured by
+        # an early version of the snapshot (its caches restart cold --
+        # pure memoization -- but the counts must not).
+        engine, runtime = faulted_engine(policy="reroute")
+        engine.run_for(25)
+        counts = dict(runtime.route_computer.resolution_counts)
+        assert counts  # faults are down from cycle 0: stages were used
+        restored = roundtrip(engine)
+        assert (
+            dict(restored._fault_runtime.route_computer.resolution_counts)
+            == counts
+        )
+
+    def test_faulted_resume_is_bitwise(self):
+        engine, _ = faulted_engine(policy="retry")
+        engine.run_for(30)
+        restored = roundtrip(engine)
+        engine.run()
+        restored.run()
+        assert json.dumps(engine.stats.asdict()) == json.dumps(
+            restored.stats.asdict()
+        )
+
+
+# --- stats bookkeeping ------------------------------------------------------------
+
+
+class TestStatsBookkeeping:
+    def test_end_cycle_restored_at_checkpoint(self):
+        engine = make_engine(make_machine())
+        engine.run_for(20)
+        assert engine.stats.end_cycle == 20
+        restored = roundtrip(engine)
+        assert restored.stats.end_cycle == 20
+
+    def test_end_cycle_after_resume_matches(self):
+        reference = make_engine(make_machine())
+        reference.run()
+        engine = make_engine(make_machine())
+        engine.run_for(20)
+        restored = roundtrip(engine)
+        restored.run()
+        assert restored.stats.end_cycle == reference.stats.end_cycle
+        assert json.dumps(restored.stats.asdict()) == json.dumps(
+            reference.stats.asdict()
+        )
+
+
+# --- whole-engine double-checkpoint idempotence ----------------------------------
+
+
+class TestDoubleCheckpointIdempotence:
+    def test_without_trace(self):
+        engine = make_engine(make_machine(), arbitration="iw")
+        engine.run_for(25)
+        first = dumps(snapshot_engine(engine))
+        second = dumps(snapshot_engine(restore_engine(loads(first))))
+        assert second == first
+
+    def test_with_trace_writer(self):
+        stream = io.StringIO()
+        engine = make_engine(
+            make_machine(), trace=JsonlTraceWriter(stream, meta={"t": 1})
+        )
+        engine.run_for(25)
+        first = snapshot_engine(engine)
+        # An equivalent resumed writer (header-free, counters carried
+        # over) must make the second snapshot byte-identical.
+        resumed = JsonlTraceWriter(
+            io.StringIO(),
+            header=False,
+            resume_counts=(
+                first["trace"]["events_written"],
+                first["trace"]["bytes_written"],
+            ),
+        )
+        restored = restore_engine(loads(dumps(first)), trace=resumed)
+        assert dumps(snapshot_engine(restored)) == dumps(first)
+
+    def test_with_collector(self):
+        engine = make_engine(make_machine(), trace=MetricsCollector())
+        engine.run_for(25)
+        first = dumps(snapshot_engine(engine))
+        # restore_engine revives the captured collector automatically.
+        second = dumps(snapshot_engine(restore_engine(loads(first))))
+        assert second == first
+
+    def test_faulted(self):
+        engine, _ = faulted_engine(policy="retry")
+        engine.run_for(30)
+        first = dumps(snapshot_engine(engine))
+        second = dumps(snapshot_engine(restore_engine(loads(first))))
+        assert second == first
+
+
+# --- payload validation -----------------------------------------------------------
+
+
+class TestPayloadValidation:
+    def snapshot(self):
+        engine = make_engine(make_machine())
+        engine.run_for(10)
+        return snapshot_engine(engine)
+
+    def test_future_schema_rejected(self):
+        data = self.snapshot()
+        data["schema"] = CHECKPOINT_SCHEMA_VERSION + 1
+        with pytest.raises(CheckpointError, match="schema version"):
+            loads(dumps(data))
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(CheckpointError, match="not an engine checkpoint"):
+            loads('{"schema": 1}\n')
+
+    def test_non_object_rejected(self):
+        with pytest.raises(CheckpointError):
+            loads("[1, 2, 3]\n")
+
+    def test_truncated_text_rejected(self):
+        text = dumps(self.snapshot())
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            loads(text[: len(text) // 2])
+
+    def test_corrupted_section_rejected(self):
+        data = self.snapshot()
+        del data["wheel"]
+        with pytest.raises(CheckpointError, match="truncated or corrupted"):
+            restore_engine(json.loads(dumps(data)))
+
+    def test_mangled_packet_index_rejected(self):
+        data = self.snapshot()
+        data["source_queues"] = [[0, [10_000_000]]]
+        with pytest.raises(CheckpointError, match="truncated or corrupted"):
+            restore_engine(json.loads(dumps(data)))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(str(tmp_path / "nope.json"))
+
+    def test_on_delivery_hook_rejected(self):
+        engine = make_engine(make_machine())
+        engine.on_delivery = lambda packet: None
+        with pytest.raises(CheckpointError, match="on_delivery"):
+            snapshot_engine(engine)
+
+    def test_save_load_round_trip(self, tmp_path):
+        engine = make_engine(make_machine())
+        engine.run_for(10)
+        path = str(tmp_path / "ck.json")
+        written = save_checkpoint(engine, path)
+        assert dumps(load_checkpoint(path)) == dumps(written)

@@ -1,0 +1,155 @@
+"""Golden checkpoint conformance: the committed snapshot under
+``tests/golden/`` pins the checkpoint schema and canonical serialization.
+
+A diff here means either a bug or an intentional schema change; bump
+``CHECKPOINT_SCHEMA_VERSION`` and regenerate with::
+
+    python -m repro checkpoint save --shape 2x2x2 --endpoints 2 \
+        --pattern uniform --batch 8 --cores 2 --arbitration rr \
+        --seed 3 --cycles 40 --out tests/golden/checkpoint_uniform_2x2x2.json
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.sim.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    checkpoint_info,
+    dumps,
+    load_checkpoint,
+    restore_engine,
+    snapshot_engine,
+)
+from repro.sim.goldens import GOLDEN_DIR
+from repro.sim.simulator import build_batch_engine
+from repro.traffic.batch import BatchSpec
+from repro.traffic.patterns import UniformRandom
+
+FIXTURE = GOLDEN_DIR / "checkpoint_uniform_2x2x2.json"
+
+# The exact recipe the fixture was generated with (see module docstring).
+SHAPE = (2, 2, 2)
+SEED = 3
+BATCH = 8
+CYCLES = 40
+
+
+def build_fixture_engine():
+    machine = Machine(MachineConfig(shape=SHAPE, endpoints_per_chip=2))
+    routes = RouteComputer(machine)
+    spec = BatchSpec(
+        UniformRandom(SHAPE), packets_per_source=BATCH,
+        cores_per_chip=2, seed=SEED,
+    )
+    return build_batch_engine(machine, routes, spec, arbitration="rr")
+
+
+class TestCommittedFixture:
+    def test_fixture_is_valid_and_current_schema(self):
+        assert FIXTURE.exists(), f"missing golden checkpoint {FIXTURE}"
+        data = load_checkpoint(str(FIXTURE))
+        assert data["schema"] == CHECKPOINT_SCHEMA_VERSION
+        info = checkpoint_info(data)
+        assert info["cycle"] == CYCLES
+        assert info["shape"] == SHAPE
+        assert info["injected"] == 128
+        assert not info["faulted"]
+
+    def test_fixture_is_canonical_serialization(self):
+        # One line of compact JSON plus a trailing newline, and loading
+        # then re-dumping reproduces the committed bytes exactly.
+        text = FIXTURE.read_text()
+        assert text.endswith("\n")
+        assert "\n" not in text[:-1]
+        assert dumps(json.loads(text)) == text
+
+    def test_regeneration_is_byte_identical(self):
+        engine = build_fixture_engine()
+        engine.run_for(CYCLES)
+        assert dumps(snapshot_engine(engine)) == FIXTURE.read_text()
+
+    def test_fixture_restores_and_finishes_bitwise(self):
+        # Resuming the committed snapshot must land on the same final
+        # stats as running the recipe uninterrupted today.
+        uninterrupted = build_fixture_engine()
+        full_stats = json.dumps(uninterrupted.run().asdict())
+
+        restored = restore_engine(load_checkpoint(str(FIXTURE)))
+        resumed_stats = json.dumps(restored.run().asdict())
+        assert resumed_stats == full_stats
+
+
+class TestRejectionViaCli:
+    """Unknown/future versions and damaged payloads fail with exit code 1
+    and a one-line ``error:`` diagnostic -- never a traceback."""
+
+    def _assert_rejected(self, capsys, argv, needle=None):
+        code = main(argv)
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+        if needle is not None:
+            assert needle in err
+
+    def test_info_rejects_future_schema(self, tmp_path, capsys):
+        data = json.loads(FIXTURE.read_text())
+        data["schema"] = CHECKPOINT_SCHEMA_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(dumps(data))
+        self._assert_rejected(
+            capsys, ["checkpoint", "info", str(path)], "schema version"
+        )
+
+    def test_restore_rejects_future_schema(self, tmp_path, capsys):
+        data = json.loads(FIXTURE.read_text())
+        data["schema"] = CHECKPOINT_SCHEMA_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(dumps(data))
+        self._assert_rejected(
+            capsys, ["checkpoint", "restore", str(path)], "schema version"
+        )
+
+    def test_info_rejects_truncated_payload(self, tmp_path, capsys):
+        path = tmp_path / "truncated.json"
+        path.write_text(FIXTURE.read_text()[: len(FIXTURE.read_text()) // 2])
+        self._assert_rejected(capsys, ["checkpoint", "info", str(path)])
+
+    def test_restore_rejects_corrupted_payload(self, tmp_path, capsys):
+        data = json.loads(FIXTURE.read_text())
+        del data["wheel"]
+        path = tmp_path / "corrupt.json"
+        path.write_text(dumps(data))
+        self._assert_rejected(capsys, ["checkpoint", "restore", str(path)])
+
+    def test_restore_rejects_wrong_kind(self, tmp_path, capsys):
+        path = tmp_path / "notckpt.json"
+        path.write_text('{"kind": "something-else", "schema": 1}\n')
+        self._assert_rejected(capsys, ["checkpoint", "restore", str(path)])
+
+    def test_info_rejects_missing_file(self, capsys):
+        self._assert_rejected(
+            capsys, ["checkpoint", "info", "/nonexistent/ck.json"]
+        )
+
+    @pytest.mark.slow
+    def test_subprocess_exit_one_no_traceback(self, tmp_path):
+        # End-to-end through the real interpreter: a corrupt file must
+        # not escape as an uncaught exception.
+        path = tmp_path / "garbage.json"
+        path.write_text("not json at all\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "checkpoint", "info", str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert proc.stderr.startswith("error:")
+        assert "Traceback" not in proc.stderr
+        assert proc.stdout == ""
