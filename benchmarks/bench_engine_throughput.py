@@ -13,7 +13,19 @@ three hot paths:
   serialization;
 * ``faulted_4x4x2_reroute`` -- uniform batch with two scheduled mid-run
   link faults under the reroute policy: the fault gates on the hot path
-  plus the sweep/re-route machinery.
+  plus the sweep/re-route machinery;
+* ``uniform_8x8x8_sat`` -- the same saturation workload at full Anton 2
+  machine scale (512 nodes): the configuration where the vectorized
+  fast path's per-cycle wins are largest.
+
+The benchmark honours ``REPRO_FASTPATH=1``: the engines it builds then
+run the SoA fast path (:mod:`repro.sim.fastpath`) where eligible, the
+result JSON carries a top-level ``"fastpath": true`` marker, and
+``--check`` compares against the baseline's ``configs_fastpath`` section
+instead of ``configs``. The committed ``BENCH_engine.json`` holds both
+sections (the fastpath section is merged in by hand from a
+``REPRO_FASTPATH=1`` run). The faulted config is unaffected either way:
+fault runtimes are scalar-only, so it measures the same path twice.
 
 Because the engine is bit-deterministic, every run of a config simulates
 *exactly* the same cycles and events; only the wall time varies. Each
@@ -43,6 +55,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -126,6 +139,18 @@ def _faulted_4x4x2_reroute() -> Tuple[Callable[[], Engine], List]:
     return build, packets
 
 
+def _uniform_8x8x8_sat() -> Tuple[Callable[[], Engine], List]:
+    from repro.traffic.patterns import UniformRandom
+
+    machine = Machine(MachineConfig(shape=(8, 8, 8), endpoints_per_chip=2))
+    routes = RouteComputer(machine)
+    spec = BatchSpec(
+        UniformRandom((8, 8, 8)), packets_per_source=8, cores_per_chip=2, seed=4
+    )
+    packets = generate_batch(machine, routes, spec)
+    return (lambda: Engine(machine)), packets
+
+
 #: name -> (workload factory, human description). Factories are called
 #: once; each repetition re-clones packets into a fresh engine.
 CONFIGS: Dict[str, Tuple[Callable, str]] = {
@@ -141,7 +166,16 @@ CONFIGS: Dict[str, Tuple[Callable, str]] = {
         _faulted_4x4x2_reroute,
         "uniform batch x48, 4x4x2, 2 scheduled link faults, reroute policy",
     ),
+    "uniform_8x8x8_sat": (
+        _uniform_8x8x8_sat,
+        "uniform batch x8, 8x8x8 (512 nodes), rr (full machine scale)",
+    ),
 }
+
+
+def fastpath_active() -> bool:
+    """Whether engines built by this benchmark will use the SoA fast path."""
+    return os.environ.get("REPRO_FASTPATH", "") not in ("", "0")
 
 
 def _clone_packets(packets: List) -> List:
@@ -208,6 +242,7 @@ def run_all(repeat: int = 3, configs: Optional[List[str]] = None) -> dict:
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
         "repeat": repeat,
+        "fastpath": fastpath_active(),
         "configs": results,
     }
 
@@ -217,10 +252,13 @@ def check_against(baseline: dict, fresh: dict, tolerance: float) -> List[str]:
 
     Returns a list of regression messages (empty = within tolerance).
     Configs present in only one of the two are ignored: adding a config
-    must not fail the gate retroactively.
+    must not fail the gate retroactively. A fresh result measured with
+    the fast path enabled is compared against the baseline's
+    ``configs_fastpath`` section, never against the scalar numbers.
     """
+    section = "configs_fastpath" if fresh.get("fastpath") else "configs"
     problems = []
-    for name, base in baseline.get("configs", {}).items():
+    for name, base in baseline.get(section, {}).items():
         new = fresh.get("configs", {}).get(name)
         if new is None:
             continue

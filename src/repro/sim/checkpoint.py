@@ -358,6 +358,12 @@ def snapshot_engine(engine: Engine) -> dict:
             "engine has an on_delivery hook attached; callable hooks are "
             "not checkpointable"
         )
+    if engine._fastpath is not None:
+        # Publish mirrored arbiter pointers/grants and deferred channel
+        # stats into the Python objects serialized below. The mirrors
+        # themselves are never serialized: a fast-path checkpoint is
+        # byte-identical to the scalar engine's at the same cycle.
+        engine._fastpath.flush()
     pindex = _PacketIndex()
 
     source_queues = []
@@ -376,6 +382,11 @@ def snapshot_engine(engine: Engine) -> dict:
         kind, a, b, c = payload
         if kind == _EV_ARRIVAL:
             a = pindex.index(a)
+            # The fast path caches the arrival VC in the otherwise-unused
+            # payload slot; the canonical serialized form keeps None (the
+            # VC is derivable from the packet's traversed hop), so scalar
+            # and fast engines write identical bytes.
+            c = None
         return [kind, a, b, c]
 
     wheel = _wheel_to_json(engine._events, engine.cycle, encode)
@@ -480,9 +491,17 @@ def _restore_into(engine: Engine, data: dict, packets: List[Packet]) -> None:
         engine._buffer_heads[cid] = [0] * len(bufs)
         engine._buffered_count[cid] = sum(len(queue) for queue in bufs)
 
-    engine._credits = [list(vcs) for vcs in data["credits"]]
-    engine._channel_free_at = list(data["channel_free_at"])
-    engine._input_free_at = list(data["input_free_at"])
+    # Written element-wise: the engine's credit rows are views into one
+    # flat typed array (and the free-at vectors are typed arrays) that
+    # the vectorized fast path reads through numpy views -- rebinding to
+    # fresh lists would silently decouple scalar state from those views.
+    for row, values in zip(engine._credits, data["credits"]):
+        for vc, value in enumerate(values):
+            row[vc] = value
+    for cid, value in enumerate(data["channel_free_at"]):
+        engine._channel_free_at[cid] = value
+    for cid, value in enumerate(data["input_free_at"]):
+        engine._input_free_at[cid] = value
 
     for oc, spec in data["arbiters"]:
         engine.arbiters[oc] = _build_arbiter(spec)
@@ -493,6 +512,10 @@ def _restore_into(engine: Engine, data: dict, packets: List[Packet]) -> None:
         kind, a, b, c = enc
         if kind == _EV_ARRIVAL:
             a = packets[a]
+            # Rehydrate the arrival-VC payload cache the fast path's
+            # handlers read (the canonical form stores None; the VC is
+            # derivable from the in-flight packet's traversed hop).
+            c = a.route.hops[a.hop_index - 1][1]
         return (kind, a, b, c)
 
     _wheel_from_json(engine._events, data["wheel"], decode)
@@ -529,8 +552,19 @@ def _restore_into(engine: Engine, data: dict, packets: List[Packet]) -> None:
         )
         engine._inflight = {packets[i]: oc for i, oc in fdata["inflight"]}
 
+    if engine._fastpath is not None:
+        # Buffers, arbiters, the active dict, and the stats object were
+        # just rebound; every mirror is invalid until the next step
+        # rebuilds from the restored state.
+        engine._fastpath.stale = True
 
-def restore_engine(data: dict, machine: Optional[Machine] = None, trace=None) -> Engine:
+
+def restore_engine(
+    data: dict,
+    machine: Optional[Machine] = None,
+    trace=None,
+    use_fastpath: Optional[bool] = None,
+) -> Engine:
     """Rebuild a running engine from :func:`snapshot_engine` output.
 
     ``machine`` may supply an already-elaborated machine (it must have
@@ -538,7 +572,10 @@ def restore_engine(data: dict, machine: Optional[Machine] = None, trace=None) ->
     rebuilt from the embedded config. ``trace`` attaches a sink to the
     restored engine; when omitted and the checkpoint captured a
     :class:`~repro.sim.metrics.MetricsCollector`, the collector is
-    revived and attached.
+    revived and attached. ``use_fastpath`` selects the vectorized
+    allocation core exactly as the :class:`Engine` constructor argument
+    does (checkpoints are path-agnostic: either path resumes any
+    checkpoint bitwise).
 
     Raises :class:`CheckpointError` on any structural defect.
     """
@@ -553,6 +590,7 @@ def restore_engine(data: dict, machine: Optional[Machine] = None, trace=None) ->
             watchdog_cycles=data["watchdog_cycles"],
             keep_packet_latencies=data["keep_packet_latencies"],
             trace=trace,
+            use_fastpath=use_fastpath,
         )
         choice_cache: Dict[tuple, RouteChoice] = {}
         packets = [_packet_from_json(p, choice_cache) for p in data["packets"]]

@@ -49,6 +49,8 @@ no datelines) really do deadlock.
 
 from __future__ import annotations
 
+import os
+from array import array
 from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional
 
@@ -145,6 +147,7 @@ class Engine:
         trace=None,
         latency_quantiles: bool = False,
         faults=None,
+        use_fastpath: Optional[bool] = None,
     ) -> None:
         self.machine = machine
         self.stats = SimStats()
@@ -163,14 +166,18 @@ class Engine:
         channels = machine.channels
         #: Per-channel, per-VC buffers at the channel's destination.
         self._buffers: List[List[List[Packet]]] = []
-        #: Per-channel, per-VC credits available to the channel's source.
-        self._credits: List[List[int]] = []
         #: Integer ticks per cycle; all channel timing below is in ticks.
         self._ticks_per_cycle: int = machine.ticks_per_cycle
+        # The per-cycle hot state lives in typed ``array('q')`` storage so
+        # the vectorized fast path (repro/sim/fastpath.py) can view the
+        # *same* memory as numpy arrays via ``np.frombuffer`` -- scalar
+        # writes are immediately visible to vector reads and vice versa,
+        # with no mirror copies to keep coherent. Scalar indexing
+        # semantics are unchanged (Python ints in, Python ints out).
         #: Tick at which each channel's staging buffer drains (the last
         #: flit of the previous packet clears the channel).
-        self._channel_free_at: List[int] = [0] * len(channels)
-        self._input_free_at: List[int] = [0] * len(channels)
+        self._channel_free_at = array("q", bytes(8 * len(channels)))
+        self._input_free_at = array("q", bytes(8 * len(channels)))
         self._latency: List[int] = [c.latency for c in channels]
         #: Ticks of channel occupancy per flit (45 vs the mesh's 14 on a
         #: default machine: torus effective bandwidth is below one flit
@@ -180,19 +187,38 @@ class Engine:
         ]
         self._pipeline = machine.config.router_pipeline_cycles
         self.stats.ticks_per_cycle = self._ticks_per_cycle
-        for channel in channels:
-            vcs = machine.vcs_for_channel(channel)
+        channel_vcs = [machine.vcs_for_channel(c) for c in channels]
+        #: Bits of the VC field in a flat ``(channel << vbits) | vc`` slot
+        #: id -- the indexing scheme shared with the fast path.
+        self._vbits: int = max(
+            (vcs - 1).bit_length() for vcs in channel_vcs
+        ) if channel_vcs else 0
+        stride = 1 << self._vbits
+        #: Flat per-(channel, VC) credit store, indexed by slot id; the
+        #: rows below are writable views into it.
+        self._credits_flat = array("q", bytes(8 * len(channels) * stride))
+        flat_view = memoryview(self._credits_flat)
+        #: Per-channel, per-VC credits available to the channel's source;
+        #: ``_credits[cid][vc]`` is a view into ``_credits_flat``.
+        self._credits: List[memoryview] = []
+        for channel, vcs in zip(channels, channel_vcs):
             depth = machine.buffer_depth_for_channel(channel)
             self._buffers.append([[] for _ in range(vcs)])
-            self._credits.append([depth] * vcs)
+            base = channel.cid << self._vbits
+            row = flat_view[base : base + vcs]
+            for vc in range(vcs):
+                row[vc] = depth
+            self._credits.append(row)
         # Buffers are plain lists used as FIFOs with an explicit head index
         # to avoid O(n) pops; heads are compacted periodically.
         self._buffer_heads: List[List[int]] = [
             [0] * len(bufs) for bufs in self._buffers
         ]
         #: Packets buffered per channel (all VCs); lets the hot loop skip
-        #: empty inputs without scanning their VC queues.
-        self._buffered_count: List[int] = [0] * len(channels)
+        #: empty inputs without scanning their VC queues. Typed storage
+        #: like the timing state above: the fast path sums it per
+        #: component in one ``np.add.reduceat``.
+        self._buffered_count = array("q", bytes(8 * len(channels)))
         # Flat per-channel endpoint lookups, hoisted out of the hot loop
         # (attribute chains through Machine/Channel cost more than the
         # work they guard).
@@ -274,6 +300,24 @@ class Engine:
             for fault_cycle, cid, is_down in faults.timeline:
                 self._push_event(fault_cycle, _EV_FAULT, cid, is_down, None)
 
+        #: Optional vectorized allocation core (repro/sim/fastpath.py).
+        #: ``use_fastpath=None`` defers to the ``REPRO_FASTPATH``
+        #: environment variable. Only constructed when its preconditions
+        #: hold -- numpy importable, no tracing, no fault injection (both
+        #: emit from scalar-only sites); it may still disable *itself*
+        #: mid-run (oversized packet, unknown arbiter type), after which
+        #: the run continues bit-identically on the scalar path.
+        self._fastpath = None
+        if use_fastpath is None:
+            use_fastpath = os.environ.get(
+                "REPRO_FASTPATH", ""
+            ).strip() not in ("", "0")
+        if use_fastpath and trace is None and faults is None:
+            from .fastpath import FastPath, numpy_available
+
+            if numpy_available():
+                self._fastpath = FastPath(self)
+
     # --- public API -------------------------------------------------------------
 
     def enqueue(self, packet: Packet) -> None:
@@ -304,6 +348,9 @@ class Engine:
             self._active[src] = None
         else:
             self._push_event(packet.release_cycle, _EV_WAKE, src, 0, None)
+        fastpath = self._fastpath
+        if fastpath is not None:
+            fastpath.note_enqueue(packet, src)
 
     def run_for(self, cycles: int) -> SimStats:
         """Advance the simulation by at most ``cycles`` cycles.
@@ -324,6 +371,12 @@ class Engine:
         active = self._active
         process_events = self._process_events
         step = self._step
+        fastpath = self._fastpath
+        if fastpath is not None and fastpath.enabled:
+            # Both entry points re-check ``enabled`` per call and delegate
+            # to the scalar methods after a mid-run fallback.
+            process_events = fastpath.process_events
+            step = fastpath.step
         watchdog = self.watchdog_cycles
         while (self._queued or self._in_network or events.pending) and (
             self.cycle < target
@@ -349,6 +402,10 @@ class Engine:
             ):
                 self._raise_deadlock()
             self.cycle += 1
+        if fastpath is not None:
+            # Publish mirrored arbiter/stats deltas: the caller may read
+            # grants, service shares, or channel stats between runs.
+            fastpath.flush()
         self.stats.end_cycle = self.cycle
         return self.stats
 
@@ -358,9 +415,15 @@ class Engine:
         active = self._active
         process_events = self._process_events
         step = self._step
+        fastpath = self._fastpath
+        if fastpath is not None and fastpath.enabled:
+            process_events = fastpath.process_events
+            step = fastpath.step
         watchdog = self.watchdog_cycles
         while self._queued or self._in_network or events.pending:
             if self.cycle >= max_cycles:
+                if fastpath is not None:
+                    fastpath.flush()
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles with "
                     f"{self._queued + self._in_network} packets outstanding"
@@ -379,6 +442,8 @@ class Engine:
             ):
                 self._raise_deadlock()
             self.cycle += 1
+        if fastpath is not None:
+            fastpath.flush()
         self.stats.end_cycle = self.cycle
         return self.stats
 
@@ -395,12 +460,19 @@ class Engine:
         return save_checkpoint(self, path)
 
     @classmethod
-    def from_checkpoint(cls, path: str, machine=None, trace=None) -> "Engine":
+    def from_checkpoint(
+        cls, path: str, machine=None, trace=None, use_fastpath=None
+    ) -> "Engine":
         """Rebuild an engine from a checkpoint file written by
         :meth:`save_checkpoint`."""
         from .checkpoint import load_checkpoint, restore_engine
 
-        return restore_engine(load_checkpoint(path), machine=machine, trace=trace)
+        return restore_engine(
+            load_checkpoint(path),
+            machine=machine,
+            trace=trace,
+            use_fastpath=use_fastpath,
+        )
 
     # --- internals ----------------------------------------------------------------
 
@@ -409,6 +481,10 @@ class Engine:
         # jam are exactly the evidence a deadlock post-mortem needs.
         if self.trace is not None:
             self.trace.flush()
+        if self._fastpath is not None:
+            # Likewise the mirrored arbiter/stats state: the post-mortem
+            # (and the deadlock tests) read grants and channel counters.
+            self._fastpath.flush()
         raise DeadlockError(
             f"no progress for {self.watchdog_cycles} cycles at cycle "
             f"{self.cycle}; {self._in_network} packets stuck in the network"

@@ -1,0 +1,1194 @@
+"""Vectorized structure-of-arrays fast path for the per-cycle hot loop.
+
+The scalar engine's ``_step`` walks every active component and, per input
+channel, scans VC head packets in Python to decide eligibility (packet
+ready, input port free, output channel accepting, credits available).
+At saturation that scan -- plus the per-grant departure bookkeeping and
+the event drain -- is essentially all of the runtime. This module
+replaces those passes with numpy sweeps over flat int64 arrays while
+producing the *bit-identical* simulation: same grants in the same order,
+same event schedule, same stats dicts (including key insertion order),
+same checkpoint bytes.
+
+Storage model
+-------------
+
+The engine's own hot state (``_channel_free_at``, ``_input_free_at``,
+``_credits_flat``, ``_buffered_count``) is ``array('q')``; the fast path
+views that memory through ``np.frombuffer`` so scalar writes and vector
+reads always see one coherent store -- nothing is mirrored twice. On top
+of that the fast path owns true *mirrors* of per-(channel, VC) head
+state, keyed by the flat slot id ``(cid << vbits) | vc``:
+
+* ``head_ready[slot]`` -- head packet's ready cycle (``_BIG`` when empty),
+* ``head_pack[slot]``  -- ``(oslot << 3) | size_flits`` of the head's next
+  hop (sizes above 7 flits disable the fast path at enqueue/rebuild),
+* ``head_age[slot]``   -- head packet's inject cycle (age-based SA2/SA1),
+* ``head_pkt[slot]``   -- the Python packet object itself,
+
+plus per-endpoint source-queue mirrors (``src_release``, ``src_pack``)
+and an ``active_mask`` byte per component shadowing the engine's
+insertion-ordered ``_active`` dict. Mirrors are updated incrementally at
+the three mutation points (arrival append, head pop, source enqueue /
+inject) and rebuilt wholesale after a checkpoint restore (``stale``);
+they are never serialized -- a checkpoint written mid-run is
+byte-identical to the scalar engine's.
+
+Bit-exactness argument
+----------------------
+
+Every eligibility input (ready cycles, input/channel free horizons,
+credits) is a *cycle-start* value: each output channel and input port is
+owned by exactly one component, a component's SA1 scan completes before
+any of its SA2 grants mutate state, and arrivals/credits land only in
+the event drain that precedes ``_step``. So evaluating all components'
+eligibility in one vector pass is exact, not approximate. Order-bearing
+decisions (grant emission order, event push order, ``_active`` dict
+insertion order, stats-dict key order) are preserved by walking the
+``_active`` dict in its own order, pushing credit-before-arrival per
+grant exactly as the scalar departure does, and recording first-use
+order of stats keys. Arbiter policy state lives in flat mirrors
+(pointers, grant-count deltas) for the three closed-form policies
+(round-robin, age-based, fixed-priority) -- their ``peek`` is a pure key
+extremum, computed vectorized below and proven equal by the property
+tests in ``tests/properties/test_fastpath_peek.py`` -- and stays in the
+arbiter objects for the inverse-weighted policy, whose accumulator
+update is delegated to the object's own ``commit``. Mirrored state is
+flushed back into the arbiter objects and stats dicts at every sync
+point (run-loop exit, checkpoint snapshot, disable).
+
+Fallback
+--------
+
+``Engine`` only constructs a ``FastPath`` when tracing and fault
+injection are off (their emission points are scattered through the
+scalar code and are exercised by the goldens against the scalar engine).
+At runtime the fast path disables itself -- after flushing -- when it
+sees a packet larger than 7 flits or an arbiter type it has no vector
+model for; the engine then continues on the scalar path mid-run.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import List, Optional
+
+try:  # pragma: no cover - exercised only on numpy-less installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from repro.arbiters.age_based import AgeBasedArbiter
+from repro.arbiters.inverse_weighted import InverseWeightedArbiter
+from repro.arbiters.round_robin import FixedPriorityArbiter, RoundRobinArbiter
+from repro.core.machine import ComponentKind
+
+__all__ = [
+    "FastPath",
+    "numpy_available",
+    "rr_peek_vec",
+    "age_peek_vec",
+    "fixed_peek_vec",
+    "iw_peek_vec",
+]
+
+#: Sentinel "no head packet" ready cycle -- larger than any real cycle.
+_BIG = 1 << 60
+
+#: Largest packet size the 3-bit field of ``head_pack`` can carry. Real
+#: Anton 2 packets are at most a few flits; anything larger falls back.
+MAX_FAST_FLITS = 7
+
+_KIND_RR = 0
+_KIND_AGE = 1
+_KIND_IW = 2
+_KIND_FIXED = 3
+
+_INJECT = object()  # work-table sentinel: endpoint injection this cycle
+
+
+def numpy_available() -> bool:
+    """True when the vectorized fast path can run at all."""
+    return _np is not None
+
+
+# --- vectorized peeks over request masks -----------------------------------
+#
+# Each function computes the same winner as the corresponding arbiter's
+# scalar ``peek`` over a boolean request mask, as one key extremum:
+#
+# * round-robin: winner minimizes the descending-from-pointer rank
+#   ``(pointer - 1 - i) % k`` (the first requester in ``rr_order``);
+# * age-based: ``peek`` keeps a strictly-smaller age while iterating
+#   ``rr_order``, i.e. the winner minimizes the pair ``(age, rank)`` --
+#   packed as ``age * k + rank`` (rank < k keeps the packing exact);
+# * fixed-priority: highest requesting index;
+# * inverse-weighted (behavioural model): winner maximizes
+#   ``level * k + i`` with ``level = (acc[i] < window) + (i < pointer)``.
+#
+# Keys are distinct across inputs by construction (each embeds the input
+# index), so the extremum is unique and ties cannot arise. These are the
+# reference forms the engine-side SA1/SA2 vector passes use; the property
+# tests pin them against the scalar arbiters input-by-input.
+
+
+def rr_peek_vec(pointer: int, requests) -> Optional[int]:
+    """Vectorized ``RoundRobinArbiter.peek`` over a boolean request mask."""
+    np = _np
+    mask = np.asarray(requests, dtype=bool)
+    idx = np.nonzero(mask)[0]
+    if not idx.size:
+        return None
+    rank = (pointer - 1 - idx) % mask.size
+    return int(idx[np.argmin(rank)])
+
+
+def age_peek_vec(pointer: int, ages, requests) -> Optional[int]:
+    """Vectorized ``AgeBasedArbiter.peek``: min ``(age, rr rank)``."""
+    np = _np
+    mask = np.asarray(requests, dtype=bool)
+    idx = np.nonzero(mask)[0]
+    if not idx.size:
+        return None
+    k = mask.size
+    rank = (pointer - 1 - idx) % k
+    key = np.asarray(ages, dtype=np.int64)[idx] * k + rank
+    return int(idx[np.argmin(key)])
+
+
+def fixed_peek_vec(requests) -> Optional[int]:
+    """Vectorized ``FixedPriorityArbiter.peek``: highest requester."""
+    np = _np
+    mask = np.asarray(requests, dtype=bool)
+    idx = np.nonzero(mask)[0]
+    if not idx.size:
+        return None
+    return int(idx[-1])
+
+
+def iw_peek_vec(pointer: int, accumulators, window: int, requests) -> Optional[int]:
+    """Vectorized ``InverseWeightedArbiter._grant_fast``."""
+    np = _np
+    mask = np.asarray(requests, dtype=bool)
+    idx = np.nonzero(mask)[0]
+    if not idx.size:
+        return None
+    k = mask.size
+    acc = np.asarray(accumulators, dtype=np.int64)[idx]
+    level = (acc < window).astype(np.int64) + (idx < pointer)
+    key = level * k + idx
+    return int(idx[np.argmax(key)])
+
+
+class FastPath:
+    """Structure-of-arrays accelerator bound to one :class:`Engine`.
+
+    Lifecycle: constructed by the engine (``use_fastpath``), ``stale``
+    until the first :meth:`step` rebuilds the mirrors, then incremental.
+    A checkpoint restore marks it stale again; a non-representable
+    configuration (oversized packet, unknown arbiter type) flushes and
+    permanently disables it, dropping the engine back to the scalar path.
+    """
+
+    def __init__(self, engine) -> None:
+        if _np is None:  # pragma: no cover - engine gates on numpy_available
+            raise RuntimeError("numpy is required for the fast path")
+        self.engine = engine
+        self.enabled = True
+        self.stale = True
+        np = _np
+
+        machine = engine.machine
+        channels = machine.channels
+        ncomps = len(machine.components)
+        C = len(channels)
+        vbits = engine._vbits
+        self.vbits = vbits
+        self.vmask = (1 << vbits) - 1
+        S = C << vbits
+        self.S = S
+
+        # Static per-channel geometry (int64 for gathers, lists for the walk).
+        self.nvcs: List[int] = [machine.vcs_for_channel(c) for c in channels]
+        self.np_nvcs = np.array(self.nvcs, dtype=np.int64)
+        self.np_chan_dst = np.array(engine._channel_dst, dtype=np.int64)
+        self.np_latency = np.array(engine._latency, dtype=np.int64)
+        self.np_occupancy = np.array(engine._occupancy_ticks, dtype=np.int64)
+        component_inputs = engine._component_inputs
+        input_pos = [0] * C
+        for inputs in component_inputs:
+            for pos, ic in enumerate(inputs):
+                input_pos[ic] = pos
+        self.np_input_pos = np.array(input_pos, dtype=np.int64)
+        self.input_pos = input_pos
+        #: SA2 request-vector width per output channel = input count of
+        #: the component that owns (sources) the channel.
+        self.num_in: List[int] = [
+            len(component_inputs[c.src]) for c in channels
+        ]
+        ibits = max(
+            (n - 1).bit_length() for n in self.num_in
+        ) if self.num_in else 0
+        self.ibits = ibits
+        self.imask = (1 << ibits) - 1
+
+        # Router components with inputs, flattened for one reduceat that
+        # yields per-component buffered-packet totals (the scalar
+        # ``has_packets`` test, evaluated for every component at once).
+        perm: List[int] = []
+        starts: List[int] = []
+        red_comps: List[int] = []
+        no_input_routers: List[int] = []
+        is_ep = engine._is_endpoint
+        for comp in machine.components:
+            if comp.kind == ComponentKind.ENDPOINT:
+                continue
+            inputs = component_inputs[comp.cid]
+            if not inputs:
+                no_input_routers.append(comp.cid)
+                continue
+            starts.append(len(perm))
+            perm.extend(inputs)
+            red_comps.append(comp.cid)
+        self.np_red_perm = np.array(perm, dtype=np.intp)
+        self.np_red_starts = np.array(starts, dtype=np.intp)
+        self.np_red_comps = np.array(red_comps, dtype=np.int64)
+        self.no_input_routers = no_input_routers
+        self.np_is_ep = np.array(is_ep, dtype=bool)
+
+        # Zero-copy views of the engine's canonical array('q') hot state.
+        self.np_credits = np.frombuffer(engine._credits_flat, dtype=np.int64)
+        self.np_chan_free = np.frombuffer(
+            engine._channel_free_at, dtype=np.int64
+        )
+        self.np_input_free = np.frombuffer(
+            engine._input_free_at, dtype=np.int64
+        )
+        self.np_buffered = np.frombuffer(
+            engine._buffered_count, dtype=np.int64
+        )
+
+        # Head-of-queue mirrors (owned; array('q') canonical, numpy view).
+        from array import array
+
+        self.head_ready = array("q", bytes(8 * S))
+        self.head_pack = array("q", bytes(8 * S))
+        self.head_age = array("q", bytes(8 * S))
+        self.head_pkt: List[Optional[object]] = [None] * S
+        self.np_head_ready = np.frombuffer(self.head_ready, dtype=np.int64)
+        self.np_head_pack = np.frombuffer(self.head_pack, dtype=np.int64)
+        self.np_head_age = np.frombuffer(self.head_age, dtype=np.int64)
+
+        # Arbiter policy mirrors.
+        self.sa1_kind: List[int] = [-1] * C
+        self.sa2_kind: List[int] = [-1] * C
+        self.np_sa1_kind = np.full(C, -1, dtype=np.int64)
+        self.np_sa2_kind = np.full(C, -1, dtype=np.int64)
+        self.sa1_ptr = array("q", bytes(8 * C))
+        self.sa2_ptr = array("q", bytes(8 * C))
+        self.np_sa1_ptr = np.frombuffer(self.sa1_ptr, dtype=np.int64)
+        self.np_sa2_ptr = np.frombuffer(self.sa2_ptr, dtype=np.int64)
+        self.sa1_grants = array("q", bytes(8 * S))
+        self.sa2_grants = array("q", bytes(8 * (C << ibits)))
+        self.np_sa1_grants = np.frombuffer(self.sa1_grants, dtype=np.int64)
+        self.np_sa2_grants = np.frombuffer(self.sa2_grants, dtype=np.int64)
+
+        # Endpoint source-queue mirrors and the active-set shadow.
+        self.src_release = array("q", bytes(8 * ncomps))
+        self.src_pack = array("q", bytes(8 * ncomps))
+        self.np_src_release = np.frombuffer(self.src_release, dtype=np.int64)
+        self.np_src_pack = np.frombuffer(self.src_pack, dtype=np.int64)
+        self.active_mask = array("b", bytes(ncomps))
+        self.np_active = np.frombuffer(self.active_mask, dtype=np.int8)
+
+        # Deferred stats accumulation (flushed into the stats dicts in
+        # first-use key order at sync points).
+        self.flits_acc = array("q", bytes(8 * C))
+        self.busy_acc = array("q", bytes(8 * C))
+        self.np_flits_acc = np.frombuffer(self.flits_acc, dtype=np.int64)
+        self.np_busy_acc = np.frombuffer(self.busy_acc, dtype=np.int64)
+        self.stat_seen = array("b", bytes(C))
+        self.np_stat_seen = np.frombuffer(self.stat_seen, dtype=np.int8)
+        self.stat_new: List[int] = []
+
+        #: Per-component work table for the ordered walk: ``None`` (no
+        #: work), a nomination index, a list of them, or ``_INJECT``.
+        #: Persistent and reset during the walk itself.
+        self.work: List[object] = [None] * ncomps
+        #: True when any arbiter site is inverse-weighted (set by
+        #: rebuild); lets the grant hot path skip the per-site kind
+        #: probes entirely on machines without IW arbitration.
+        self.iw_present = True
+
+    # --- lifecycle ----------------------------------------------------------
+
+    def disable(self) -> None:
+        """Flush mirrored state and fall back to the scalar path for good."""
+        self.flush()
+        self.enabled = False
+
+    @staticmethod
+    def _classify(arb) -> int:
+        t = type(arb)
+        if t is RoundRobinArbiter:
+            return _KIND_RR
+        if t is AgeBasedArbiter:
+            return _KIND_AGE
+        if t is InverseWeightedArbiter:
+            return _KIND_IW
+        if t is FixedPriorityArbiter:
+            return _KIND_FIXED
+        return -1
+
+    def rebuild(self) -> None:
+        """Reconstruct every mirror from engine state (post-restore, or
+        first use). Disables the fast path instead if the configuration
+        is not representable."""
+        e = self.engine
+        vbits = self.vbits
+
+        # Arbiter classification and pointer snapshots.
+        sa1_kind = self.sa1_kind
+        sa2_kind = self.sa2_kind
+        for ic, arb in enumerate(e.vc_arbiters):
+            if arb is None:
+                kind = -1
+            else:
+                kind = self._classify(arb)
+                if kind < 0:
+                    self.enabled = False
+                    return
+                if kind == _KIND_RR or kind == _KIND_AGE:
+                    self.sa1_ptr[ic] = arb._pointer
+            sa1_kind[ic] = kind
+            self.np_sa1_kind[ic] = kind
+        for ic in range(len(sa2_kind)):
+            sa2_kind[ic] = -1
+        self.np_sa2_kind[:] = -1
+        for oc, arb in e.arbiters.items():
+            kind = self._classify(arb)
+            if kind < 0:
+                self.enabled = False
+                return
+            sa2_kind[oc] = kind
+            self.np_sa2_kind[oc] = kind
+            if kind == _KIND_RR or kind == _KIND_AGE:
+                self.sa2_ptr[oc] = arb._pointer
+        self.np_sa1_grants[:] = 0
+        self.np_sa2_grants[:] = 0
+        self.iw_present = _KIND_IW in sa1_kind or _KIND_IW in sa2_kind
+
+        # Head mirrors from the buffers (and the size guard over every
+        # packet that can ever become a head without passing through the
+        # arrival handler or the enqueue hook).
+        self.np_head_ready[:] = _BIG
+        head_pkt = self.head_pkt
+        for slot in range(self.S):
+            head_pkt[slot] = None
+        for cid, bufs in enumerate(e._buffers):
+            hds = e._buffer_heads[cid]
+            for vc, queue in enumerate(bufs):
+                h = hds[vc]
+                n = len(queue)
+                if h >= n:
+                    continue
+                for pkt in queue[h:]:
+                    if pkt.size_flits > MAX_FAST_FLITS:
+                        self.enabled = False
+                        return
+                pkt = queue[h]
+                slot = (cid << vbits) | vc
+                self.head_ready[slot] = pkt.ready_cycle
+                nh = pkt.next_hop
+                self.head_pack[slot] = (
+                    (((nh[0] << vbits) | nh[1]) << 3) | pkt.size_flits
+                )
+                self.head_age[slot] = pkt.inject_cycle
+                head_pkt[slot] = pkt
+
+        # Source-queue mirrors.
+        self.np_src_release[:] = _BIG
+        for src, queue in e._source_queues.items():
+            h = e._source_heads[src]
+            for pkt in queue[h:]:
+                if pkt.size_flits > MAX_FAST_FLITS:
+                    self.enabled = False
+                    return
+            if h < len(queue):
+                pkt = queue[h]
+                self.src_release[src] = pkt.release_cycle
+                nh = pkt.next_hop
+                self.src_pack[src] = (
+                    (((nh[0] << vbits) | nh[1]) << 3) | pkt.size_flits
+                )
+
+        # In-flight packets only surface through the arrival handler,
+        # which assumes the size guard already ran.
+        for bucket in e._events.buckets:
+            for ev in bucket:
+                if ev[0] == 0 and ev[1].size_flits > MAX_FAST_FLITS:
+                    self.enabled = False
+                    return
+        for _cycle, _seq, ev in e._events.overflow:
+            if ev[0] == 0 and ev[1].size_flits > MAX_FAST_FLITS:
+                self.enabled = False
+                return
+
+        # Active-set shadow.
+        self.np_active[:] = 0
+        amask = self.active_mask
+        for comp in e._active:
+            amask[comp] = 1
+
+        # Stats key order: existing keys keep their dict positions; only
+        # channels granted for the first time ever get appended.
+        self.np_stat_seen[:] = 0
+        seen = self.stat_seen
+        for cid in e.stats.channel_flits:
+            seen[cid] = 1
+        self.stat_new.clear()
+        self.np_flits_acc[:] = 0
+        self.np_busy_acc[:] = 0
+
+        self.stale = False
+
+    def flush(self) -> None:
+        """Publish mirrored deltas into the engine's Python objects.
+
+        Called at every synchronization point: run-loop exit, checkpoint
+        snapshot, deadlock report, disable. Idempotent; a no-op while
+        stale (nothing mirrored is pending).
+        """
+        if self.stale:
+            return
+        e = self.engine
+        np = _np
+        # Stats: create first-ever keys in first-grant order, then add
+        # the accumulated counts (existing keys keep their positions, so
+        # bulk order is irrelevant).
+        flits = e._stat_channel_flits
+        busy = e._stat_channel_busy
+        new = self.stat_new
+        if new:
+            for cid in new:
+                flits[cid] += 0
+                busy[cid] += 0
+            new.clear()
+        nz = np.nonzero(self.np_flits_acc)[0]
+        if nz.size:
+            flits_acc = self.flits_acc
+            busy_acc = self.busy_acc
+            for cid in nz.tolist():
+                flits[cid] += flits_acc[cid]
+                busy[cid] += busy_acc[cid]
+            self.np_flits_acc[:] = 0
+            self.np_busy_acc[:] = 0
+        # Arbiter service counts (deltas) and pointers.
+        nz = np.nonzero(self.np_sa1_grants)[0]
+        if nz.size:
+            vbits = self.vbits
+            vmask = self.vmask
+            sa1_grants = self.sa1_grants
+            vc_arbiters = e.vc_arbiters
+            for slot in nz.tolist():
+                vc_arbiters[slot >> vbits].grants[slot & vmask] += sa1_grants[
+                    slot
+                ]
+            self.np_sa1_grants[:] = 0
+        nz = np.nonzero(self.np_sa2_grants)[0]
+        if nz.size:
+            ibits = self.ibits
+            imask = self.imask
+            sa2_grants = self.sa2_grants
+            arbiters = e.arbiters
+            for idx in nz.tolist():
+                arbiters[idx >> ibits].grants[idx & imask] += sa2_grants[idx]
+            self.np_sa2_grants[:] = 0
+        sa1_kind = self.sa1_kind
+        sa1_ptr = self.sa1_ptr
+        for ic, arb in enumerate(e.vc_arbiters):
+            if arb is not None and sa1_kind[ic] <= _KIND_AGE:
+                arb._pointer = sa1_ptr[ic]
+        sa2_kind = self.sa2_kind
+        sa2_ptr = self.sa2_ptr
+        for oc, arb in e.arbiters.items():
+            if sa2_kind[oc] <= _KIND_AGE:
+                arb._pointer = sa2_ptr[oc]
+
+    def note_enqueue(self, packet, src: int) -> None:
+        """Engine hook: ``packet`` just entered ``src``'s source queue.
+
+        Keeps the source-head and active-set mirrors coherent for
+        mid-run enqueues (``on_delivery`` reply traffic); while stale the
+        next rebuild observes everything, so nothing to do.
+        """
+        if not self.enabled or self.stale:
+            return
+        if packet.size_flits > MAX_FAST_FLITS:
+            self.disable()
+            return
+        e = self.engine
+        queue = e._source_queues[src]
+        if e._source_heads[src] == len(queue) - 1:
+            self.src_release[src] = packet.release_cycle
+            nh = packet.next_hop
+            self.src_pack[src] = (
+                (((nh[0] << self.vbits) | nh[1]) << 3) | packet.size_flits
+            )
+        if packet.release_cycle <= e.cycle:
+            self.active_mask[src] = 1
+
+    # --- event drain --------------------------------------------------------
+
+    def process_events(self) -> None:
+        """Drain this cycle's events, maintaining the mirrors.
+
+        Replicates ``Engine._process_events`` exactly: overdue overflow,
+        then the bucket in FIFO (= seq) order, then overflow again. The
+        arrival/credit/wake handler bodies are inlined (this runs for
+        every arrival at saturation); keep them in sync with
+        :meth:`_arrival`, the out-of-line copy the overflow drain uses.
+        """
+        e = self.engine
+        if not self.enabled:
+            e._process_events()
+            return
+        events = e._events
+        now = e.cycle
+        overflow = events.overflow
+        if overflow and overflow[0][0] <= now:
+            self._drain_overflow(now)
+        bucket = events.take_due(now)
+        if bucket:
+            vbits = self.vbits
+            credits_flat = e._credits_flat
+            active = e._active
+            amask = self.active_mask
+            channel_src = e._channel_src
+            channel_dst = e._channel_dst
+            buffers = e._buffers
+            bc = e._buffered_count
+            latency = e._latency
+            pipeline = e._pipeline
+            head_ready = self.head_ready
+            head_pack = self.head_pack
+            head_age = self.head_age
+            head_pkt = self.head_pkt
+            stats = e.stats
+            keep = e.keep_packet_latencies
+            plat = stats.packet_latencies
+            dps = stats.delivered_per_source
+            sfc = stats.source_finish_cycle
+            est = stats.latency_estimator
+            est_add = est.add if est is not None else None
+            wsize = events.size
+            wmask = events.mask
+            wbuckets = events.buckets
+            on_delivery = e.on_delivery
+            # Deliveries within one bucket all land at `now`; their
+            # scalar-count stats (delivered, latency sums, _in_network)
+            # are commutative adds, accumulated locally and published
+            # once after the loop -- unless an on_delivery callback may
+            # observe them mid-drain, in which case the exact scalar
+            # per-packet sequence runs instead.
+            nfin = 0
+            lat_acc = 0
+            nlat_acc = 0
+            for kind, a, b, c in bucket:
+                if kind == 0:  # arrival of packet `a` on channel `b`
+                    if a.next_hop is None:
+                        # Final hop: consume at the destination endpoint
+                        # (`c` carries the arrival VC; see _depart/grant).
+                        a.deliver_cycle = now
+                        if on_delivery is None:
+                            nfin += 1
+                            src = a.route.src
+                            dps[src] += 1
+                            sfc[src] = now
+                            lat_acc += now - a.release_cycle
+                            nlat = now - a.inject_cycle
+                            nlat_acc += nlat
+                            if keep:
+                                plat.append(nlat)
+                            if est_add is not None:
+                                est_add(nlat)
+                        else:
+                            stats.record_delivery(a, keep)
+                            e._in_network -= 1
+                            e._last_progress = now
+                        cr = now + latency[b]
+                        if 0 < cr - now < wsize:
+                            wbuckets[cr & wmask].append(
+                                (1, b, c, a.size_flits)
+                            )
+                        else:
+                            events.seq += 1
+                            heappush(
+                                overflow,
+                                (cr, events.seq, (1, b, c, a.size_flits)),
+                            )
+                        if on_delivery is not None:
+                            events.pending += 1
+                            on_delivery(a, now)
+                    else:
+                        a.ready_cycle = ready = now + pipeline
+                        buffers[b][c].append(a)
+                        bc[b] += 1
+                        comp = channel_dst[b]
+                        active[comp] = None
+                        amask[comp] = 1
+                        slot = (b << vbits) | c
+                        if head_pkt[slot] is None:
+                            # Queue had no live head: this packet is it.
+                            head_ready[slot] = ready
+                            nh = a.next_hop
+                            head_pack[slot] = (
+                                (((nh[0] << vbits) | nh[1]) << 3)
+                                | a.size_flits
+                            )
+                            head_age[slot] = a.inject_cycle
+                            head_pkt[slot] = a
+                elif kind == 1:  # credit return on channel `a`, vc `b`
+                    credits_flat[(a << vbits) | b] += c
+                    comp = channel_src[a]
+                    active[comp] = None
+                    amask[comp] = 1
+                else:  # wake of endpoint `a` (faults never reach here)
+                    active[a] = None
+                    amask[a] = 1
+            if nfin:
+                stats.delivered += nfin
+                if now > stats.last_delivery_cycle:
+                    stats.last_delivery_cycle = now
+                stats.latency_sum += lat_acc
+                stats.network_latency_sum += nlat_acc
+                e._in_network -= nfin
+                e._last_progress = now
+                events.pending += nfin  # one credit push per delivery
+        if overflow and overflow[0][0] <= now:
+            self._drain_overflow(now)
+
+    def _drain_overflow(self, now: int) -> None:
+        e = self.engine
+        events = e._events
+        overflow = events.overflow
+        amask = self.active_mask
+        while overflow and overflow[0][0] <= now:
+            kind, a, b, c = heappop(overflow)[2]
+            events.pending -= 1
+            if kind == 0:
+                self._arrival(a, b, c, now)
+            elif kind == 1:
+                e._credits_flat[(a << self.vbits) | b] += c
+                comp = e._channel_src[a]
+                e._active[comp] = None
+                amask[comp] = 1
+            elif kind == 2:
+                e._active[a] = None
+                amask[a] = 1
+            else:  # pragma: no cover - faults disable the fast path
+                e._apply_fault(a, b)
+
+    def _arrival(self, packet, cid: int, vc: int, now: int) -> None:
+        """Out-of-line arrival handler for the (rare) overflow drain.
+
+        ``vc`` is the arrival VC carried in the event payload. Must stay
+        behaviorally identical to the inlined arrival case in
+        :meth:`process_events`.
+        """
+        e = self.engine
+        events = e._events
+        if packet.next_hop is None:
+            packet.deliver_cycle = now
+            e.stats.record_delivery(packet, e.keep_packet_latencies)
+            e._in_network -= 1
+            e._last_progress = now
+            events.push(
+                now + e._latency[cid], now, (1, cid, vc, packet.size_flits)
+            )
+            if e.on_delivery is not None:
+                e.on_delivery(packet, now)
+            return
+        packet.ready_cycle = ready = now + e._pipeline
+        queue = e._buffers[cid][vc]
+        queue.append(packet)
+        e._buffered_count[cid] += 1
+        comp = e._channel_dst[cid]
+        e._active[comp] = None
+        self.active_mask[comp] = 1
+        if e._buffer_heads[cid][vc] == len(queue) - 1:
+            vbits = self.vbits
+            slot = (cid << vbits) | vc
+            self.head_ready[slot] = ready
+            nh = packet.next_hop
+            self.head_pack[slot] = (
+                (((nh[0] << vbits) | nh[1]) << 3) | packet.size_flits
+            )
+            self.head_age[slot] = packet.inject_cycle
+            self.head_pkt[slot] = packet
+
+    # --- the per-cycle allocation pass --------------------------------------
+
+    def step(self) -> None:
+        """One vectorized SA1+SA2 allocation pass (see module docstring)."""
+        e = self.engine
+        if not self.enabled:
+            e._step()
+            return
+        if self.stale:
+            self.rebuild()
+            if not self.enabled:
+                e._step()
+                return
+        np = _np
+        now = e.cycle
+        tpc = e._ticks_per_cycle
+        now_ticks = now * tpc
+        horizon = now_ticks + tpc
+        vbits = self.vbits
+        vmask = self.vmask
+        work = self.work
+
+        # ---- Phase A: vectorized eligibility + SA1 over all slots ----
+        #
+        # Every comparison below is against cycle-start state, which the
+        # scalar engine's incremental scan also observes (see module
+        # docstring), so the candidate set is exact.
+        cand = np.nonzero(self.np_head_ready <= now)[0]
+        if cand.size:
+            ics = cand >> vbits
+            keep = self.np_input_free[ics] <= now
+            if not keep.all():
+                cand = cand[keep]
+                ics = ics[keep]
+        if cand.size:
+            pack = self.np_head_pack[cand]
+            oslot_all = pack >> 3
+            size_all = pack & 7
+            keep = (self.np_chan_free[oslot_all >> vbits] < horizon) & (
+                self.np_credits[oslot_all] >= size_all
+            )
+            if not keep.all():
+                cand = cand[keep]
+                ics = ics[keep]
+                pack = pack[keep]
+        nset = 0
+        if cand.size:
+            # Group eligible slots by input channel (cand ascending keeps
+            # ics nondecreasing) and pick each group's SA1 winner as a key
+            # minimum; a sole eligible VC wins without consulting policy
+            # state, exactly like the scalar skip-peek path.
+            boundary = np.empty(ics.size, dtype=bool)
+            boundary[0] = True
+            np.not_equal(ics[1:], ics[:-1], out=boundary[1:])
+            starts = np.nonzero(boundary)[0]
+            if starts.size == ics.size:
+                n_slot = cand
+                n_ic = ics
+            else:
+                kinds = self.np_sa1_kind[ics]
+                nv = self.np_nvcs[ics]
+                ptr = self.np_sa1_ptr[ics]
+                vcn = cand & vmask
+                key = (ptr - 1 - vcn) % nv  # round-robin rank
+                agem = kinds == _KIND_AGE
+                if agem.any():
+                    key = np.where(
+                        agem, self.np_head_age[cand] * nv + key, key
+                    )
+                fixm = kinds == _KIND_FIXED
+                if fixm.any():
+                    key = np.where(fixm, nv - 1 - vcn, key)
+                ends = np.empty_like(starts)
+                ends[:-1] = starts[1:]
+                ends[-1] = ics.size
+                gmin = np.minimum.reduceat(key, starts)
+                sel = np.nonzero(key == np.repeat(gmin, ends - starts))[0]
+                n_slot = cand[sel]
+                n_ic = ics[starts]
+                # Inverse-weighted SA1 sites under real contention keep
+                # their accumulator state in the arbiter object; ask it.
+                iw_multi = np.nonzero(
+                    (kinds[starts] == _KIND_IW) & (ends - starts > 1)
+                )[0]
+                if iw_multi.size:
+                    n_slot = n_slot.copy()
+                    vc_arbiters = e.vc_arbiters
+                    head_pkt = self.head_pkt
+                    nvcs = self.nvcs
+                    for g in iw_multi.tolist():
+                        ic = int(n_ic[g])
+                        reqs: List[Optional[object]] = [None] * nvcs[ic]
+                        for s in cand[starts[g] : ends[g]].tolist():
+                            reqs[s & vmask] = head_pkt[s]
+                        winner = vc_arbiters[ic].peek(reqs)
+                        n_slot[g] = (ic << vbits) | winner
+            # Nomination attributes and departure timing, batched. Losers
+            # simply never apply theirs.
+            if n_slot is cand:
+                n_pack = pack
+            else:
+                n_pack = pack[sel]
+                if iw_multi.size:
+                    # Object-resolved winners replaced the key minimum;
+                    # re-read just those heads.
+                    n_pack[iw_multi] = self.np_head_pack[n_slot[iw_multi]]
+            n_oslot = n_pack >> 3
+            n_size = n_pack & 7
+            n_oc = n_oslot >> vbits
+            n_pos = self.np_input_pos[n_ic]
+            n_busy = n_size * self.np_occupancy[n_oc]
+            end_t = np.maximum(self.np_chan_free[n_oc], now_ticks) + n_busy
+            arr_c = np.maximum(
+                (end_t - 1) // tpc - 1 + self.np_latency[n_oc], now + 1
+            )
+            l_slot = n_slot.tolist()
+            l_ic = n_ic.tolist()
+            l_pos = n_pos.tolist()
+            l_oc = n_oc.tolist()
+            l_size = n_size.tolist()
+            # One tuple per nomination: the walk's grant body unpacks it
+            # in a single indexed load instead of six list subscripts.
+            noms = list(
+                zip(
+                    l_slot,
+                    l_ic,
+                    l_pos,
+                    l_oc,
+                    (n_oslot & vmask).tolist(),
+                    l_size,
+                    (now + self.np_latency[n_ic]).tolist(),
+                    arr_c.tolist(),
+                )
+            )
+            l_comp = self.np_chan_dst[n_ic].tolist()
+            for j, comp in enumerate(l_comp):
+                w = work[comp]
+                if w is None:
+                    work[comp] = j
+                    nset += 1
+                elif type(w) is int:
+                    work[comp] = [w, j]
+                else:
+                    w.append(j)
+        else:
+            l_comp = ()
+
+        # ---- Endpoint injection eligibility, vectorized ----
+        inj_list: Optional[List[int]] = None
+        rel = self.np_src_release
+        np_active = self.np_active
+        ready_eps = np.nonzero((rel <= now) & (np_active != 0))[0]
+        if ready_eps.size:
+            pk = self.np_src_pack[ready_eps]
+            osl = pk >> 3
+            sz = pk & 7
+            ok = (self.np_chan_free[osl >> vbits] <= now_ticks) & (
+                self.np_credits[osl] >= sz
+            )
+            inj = ready_eps[ok]
+            if inj.size:
+                inj_list = inj.tolist()
+                for comp in inj_list:
+                    work[comp] = _INJECT
+                    nset += 1
+
+        # ---- Removal set (cycle-start state, applied after the walk,
+        # matching the scalar idle collection) ----
+        if self.np_red_starts.size:
+            comp_buf = np.add.reduceat(
+                self.np_buffered[self.np_red_perm], self.np_red_starts
+            )
+            rm_r = self.np_red_comps[
+                (comp_buf == 0) & (np_active[self.np_red_comps] != 0)
+            ]
+        else:  # pragma: no cover - machines always have routers
+            rm_r = self.np_red_comps
+        rm_e = np.nonzero((rel > now) & (np_active != 0) & self.np_is_ep)[0]
+
+        # ---- Phase B: ordered walk over the active dict ----
+        nreset = 0
+        granted: List[int] = []
+        if nset:
+            events = e._events
+            active = e._active
+            overflow = events.overflow
+            wsize = events.size
+            wmask = events.mask
+            wbuckets = events.buckets
+            head_ready = self.head_ready
+            head_pack = self.head_pack
+            head_age = self.head_age
+            head_pkt = self.head_pkt
+            sa1_kind = self.sa1_kind
+            sa2_kind = self.sa2_kind
+            sa2_ptr = self.sa2_ptr
+            ibits = self.ibits
+            num_in = self.num_in
+            buffers = e._buffers
+            heads = e._buffer_heads
+            bc = e._buffered_count
+            vc_arbiters = e.vc_arbiters
+            arbiters = e.arbiters
+            source_queues = e._source_queues
+            source_heads = e._source_heads
+            src_release = self.src_release
+            src_pack = self.src_pack
+            stats = e.stats
+            occupancy = e._occupancy_ticks
+            latency = e._latency
+            channel_free = e._channel_free_at
+            credits_flat = e._credits_flat
+            flits_acc = self.flits_acc
+            busy_acc = self.busy_acc
+            seen = self.stat_seen
+            stat_new = self.stat_new
+            granted_append = granted.append
+
+            iw_present = self.iw_present
+
+            def grant(j: int) -> None:
+                # One departure: head pop + mirror update, route advance,
+                # and the credit-then-arrival event pushes -- the exact
+                # scalar ``_depart`` order. Timing was batched in Phase
+                # A; arbiter pointer/grant-count mirrors, free-at,
+                # credit, and input-port scatters all land vectorized
+                # after the walk (each input, output, and slot grants at
+                # most once per cycle and nothing re-reads them within
+                # it) -- only the inverse-weighted policy's opaque
+                # accumulator commit stays with the object here.
+                slot, ic, pos, oc, ovc, size, cc, ac = noms[j]
+                vc = slot & vmask
+                pkt = head_pkt[slot]
+                if iw_present:
+                    if sa1_kind[ic] == _KIND_IW:
+                        vc_arbiters[ic].commit(vc, pkt)
+                    if sa2_kind[oc] == _KIND_IW:
+                        arbiters[oc].commit(pos, pkt)
+                hds = heads[ic]
+                h = hds[vc] + 1
+                hds[vc] = h
+                bc[ic] -= 1
+                queue = buffers[ic][vc]
+                if h > 32 and h * 2 >= len(queue):
+                    del queue[:h]
+                    hds[vc] = h = 0
+                if h < len(queue):
+                    nxt = queue[h]
+                    head_ready[slot] = nxt.ready_cycle
+                    nh = nxt.next_hop
+                    head_pack[slot] = (
+                        (((nh[0] << vbits) | nh[1]) << 3) | nxt.size_flits
+                    )
+                    head_age[slot] = nxt.inject_cycle
+                    head_pkt[slot] = nxt
+                else:
+                    head_ready[slot] = _BIG
+                    head_pkt[slot] = None
+                hi = pkt.hop_index + 1
+                pkt.hop_index = hi
+                hops = pkt.route.hops
+                pkt.next_hop = hops[hi] if hi < len(hops) else None
+                if 0 < cc - now < wsize:
+                    wbuckets[cc & wmask].append((1, ic, vc, size))
+                else:
+                    events.seq += 1
+                    heappush(overflow, (cc, events.seq, (1, ic, vc, size)))
+                if 0 < ac - now < wsize:
+                    wbuckets[ac & wmask].append((0, pkt, oc, ovc))
+                else:
+                    events.seq += 1
+                    heappush(overflow, (ac, events.seq, (0, pkt, oc, ovc)))
+                granted_append(j)
+
+            for comp in active:
+                w = work[comp]
+                if w is None:
+                    continue
+                work[comp] = None
+                nreset += 1
+                if type(w) is int:
+                    # Sole nominating input of this component: its output
+                    # is uncontended by construction, grant directly.
+                    grant(w)
+                elif w is _INJECT:
+                    queue = source_queues[comp]
+                    h = source_heads[comp]
+                    pkt = queue[h]
+                    h += 1
+                    if h >= len(queue):
+                        del source_queues[comp]
+                        del source_heads[comp]
+                        src_release[comp] = _BIG
+                    else:
+                        source_heads[comp] = h
+                        nxt = queue[h]
+                        src_release[comp] = nxt.release_cycle
+                        nh = nxt.next_hop
+                        src_pack[comp] = (
+                            (((nh[0] << vbits) | nh[1]) << 3) | nxt.size_flits
+                        )
+                    e._queued -= 1
+                    e._in_network += 1
+                    pkt.inject_cycle = now
+                    stats.injected += 1
+                    # Departure from an endpoint adapter: no input port,
+                    # no SA1/SA2, and its output channel is touched by no
+                    # router grant this cycle, so the direct reads below
+                    # still see cycle-start values.
+                    nh = pkt.next_hop
+                    oc = nh[0]
+                    size = pkt.size_flits
+                    busy_t = size * occupancy[oc]
+                    free = channel_free[oc]
+                    endt = (free if free > now_ticks else now_ticks) + busy_t
+                    channel_free[oc] = endt
+                    credits_flat[(oc << vbits) | nh[1]] -= size
+                    flits_acc[oc] += size
+                    busy_acc[oc] += busy_t
+                    if not seen[oc]:
+                        seen[oc] = 1
+                        stat_new.append(oc)
+                    e._last_progress = now
+                    pkt.hop_index = 1
+                    hops = pkt.route.hops
+                    pkt.next_hop = hops[1] if len(hops) > 1 else None
+                    ac = (endt - 1) // tpc - 1 + latency[oc]
+                    if ac <= now:  # pragma: no cover - latency >= 1
+                        ac = now + 1
+                    if 0 < ac - now < wsize:
+                        wbuckets[ac & wmask].append((0, pkt, oc, nh[1]))
+                    else:
+                        events.seq += 1
+                        heappush(
+                            overflow, (ac, events.seq, (0, pkt, oc, nh[1]))
+                        )
+                    events.pending += 1
+                else:
+                    # Multiple nominating inputs: group by output channel
+                    # in input-index order (the scalar candidates-dict
+                    # insertion order), then resolve each output.
+                    w.sort(key=l_pos.__getitem__)
+                    occand: dict = {}
+                    for j in w:
+                        oc = l_oc[j]
+                        prev = occand.get(oc)
+                        if prev is None:
+                            occand[oc] = j
+                        elif type(prev) is list:
+                            prev.append(j)
+                        else:
+                            occand[oc] = [prev, j]
+                    for oc, entry in occand.items():
+                        if type(entry) is int:
+                            grant(entry)
+                            continue
+                        k = sa2_kind[oc]
+                        if k == _KIND_RR:
+                            p = sa2_ptr[oc]
+                            ni = num_in[oc]
+                            best = entry[0]
+                            bestk = (p - 1 - l_pos[best]) % ni
+                            for j in entry[1:]:
+                                r = (p - 1 - l_pos[j]) % ni
+                                if r < bestk:
+                                    bestk = r
+                                    best = j
+                        elif k == _KIND_AGE:
+                            p = sa2_ptr[oc]
+                            ni = num_in[oc]
+                            best = entry[0]
+                            bestk = (
+                                head_age[l_slot[best]],
+                                (p - 1 - l_pos[best]) % ni,
+                            )
+                            for j in entry[1:]:
+                                kk = (
+                                    head_age[l_slot[j]],
+                                    (p - 1 - l_pos[j]) % ni,
+                                )
+                                if kk < bestk:
+                                    bestk = kk
+                                    best = j
+                        elif k == _KIND_FIXED:
+                            best = entry[0]
+                            for j in entry[1:]:
+                                if l_pos[j] > l_pos[best]:
+                                    best = j
+                        else:  # inverse-weighted: the object decides
+                            reqs = [None] * num_in[oc]
+                            for j in entry:
+                                reqs[l_pos[j]] = head_pkt[l_slot[j]]
+                            winner = arbiters[oc].peek(reqs)
+                            best = entry[0]
+                            for j in entry:
+                                if l_pos[j] == winner:
+                                    best = j
+                                    break
+                        grant(best)
+            if nreset != nset:
+                # A component held work but was missing from the active
+                # dict: the buffered=>active invariant the vector pass
+                # relies on has been violated. State may be partially
+                # applied; fail loudly rather than diverge silently.
+                raise RuntimeError(
+                    "fastpath: active-set invariant violated "
+                    f"({nset} work entries, {nreset} walked)"
+                )
+            if granted:
+                g = np.fromiter(granted, dtype=np.intp, count=len(granted))
+                goc = n_oc[g]
+                gic = n_ic[g]
+                gslot = n_slot[g]
+                gsize = n_size[g]
+                self.np_chan_free[goc] = end_t[g]
+                self.np_credits[n_oslot[g]] -= gsize
+                self.np_input_free[gic] = now + gsize
+                self.np_flits_acc[goc] += gsize
+                self.np_busy_acc[goc] += n_busy[g]
+                # Arbiter commit scatters. Pointer mirrors are written
+                # unconditionally -- fixed-priority and inverse-weighted
+                # entries are never read back (flush and rebuild both key
+                # on kind) -- while grant-count deltas must skip
+                # inverse-weighted sites, whose object commit in the walk
+                # already counted the grant.
+                self.np_sa1_ptr[gic] = gslot & vmask
+                gpos = n_pos[g]
+                self.np_sa2_ptr[goc] = gpos
+                m = self.np_sa1_kind[gic] != _KIND_IW
+                if m.all():
+                    self.np_sa1_grants[gslot] += 1
+                else:
+                    self.np_sa1_grants[gslot[m]] += 1
+                gout = (goc << ibits) | gpos
+                m = self.np_sa2_kind[goc] != _KIND_IW
+                if m.all():
+                    self.np_sa2_grants[gout] += 1
+                else:
+                    self.np_sa2_grants[gout[m]] += 1
+                fresh = goc[self.np_stat_seen[goc] == 0]
+                if fresh.size:
+                    seen = self.stat_seen
+                    stat_new = self.stat_new
+                    for oc in fresh.tolist():
+                        seen[oc] = 1
+                        stat_new.append(oc)
+                events.pending += 2 * len(granted)
+                e._last_progress = now
+
+        # ---- Apply removals (scalar pops its idle list after the walk) ----
+        active = e._active
+        amask = self.active_mask
+        if rm_r.size:
+            for comp in rm_r.tolist():
+                active.pop(comp, None)
+                amask[comp] = 0
+        if rm_e.size:
+            for comp in rm_e.tolist():
+                active.pop(comp, None)
+                amask[comp] = 0
+        if self.no_input_routers:  # pragma: no cover - not in any topology
+            for comp in self.no_input_routers:
+                if amask[comp]:
+                    active.pop(comp, None)
+                    amask[comp] = 0

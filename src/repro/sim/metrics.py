@@ -121,6 +121,16 @@ class StreamingQuantile:
     def quantiles(
         self, qs: Sequence[float] = DEFAULT_QUANTILES
     ) -> Dict[float, int]:
+        """Quantile dict for ``qs``; empty when no samples were recorded.
+
+        The empty-dict convention (rather than :meth:`quantile`'s
+        ``ValueError``) lets zero-delivery runs -- e.g. a faulted run
+        whose drop policy discards every packet -- summarize as a
+        legitimately degraded result instead of crashing the reporting
+        path.
+        """
+        if self.count == 0:
+            return {}
         return {q: self.quantile(q) for q in qs}
 
     def state(self) -> dict:

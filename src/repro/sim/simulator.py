@@ -151,6 +151,7 @@ def build_batch_engine(
     trace=None,
     latency_quantiles: bool = False,
     faults=None,
+    use_fastpath: Optional[bool] = None,
 ) -> Engine:
     """Construct a cycle-0 engine with a full batch enqueued.
 
@@ -214,6 +215,7 @@ def build_batch_engine(
         trace=trace,
         latency_quantiles=latency_quantiles,
         faults=faults,
+        use_fastpath=use_fastpath,
     )
     for packet in generate_batch(machine, route_computer, spec):
         engine.enqueue(packet)
@@ -236,6 +238,7 @@ def run_batch(
     faults=None,
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 0,
+    use_fastpath: Optional[bool] = None,
 ) -> SimStats:
     """Run one batch experiment and return its statistics.
 
@@ -272,7 +275,9 @@ def run_batch(
 
         if os.path.exists(checkpoint_path):
             data = load_checkpoint(checkpoint_path)
-            engine = restore_engine(data, machine=machine, trace=trace)
+            engine = restore_engine(
+                data, machine=machine, trace=trace, use_fastpath=use_fastpath
+            )
             collector_state = data["trace"]["collector"]
             if collector_state is not None and isinstance(trace, MetricsCollector):
                 trace.restore_state(collector_state)
@@ -290,6 +295,7 @@ def run_batch(
                 trace=trace,
                 latency_quantiles=latency_quantiles,
                 faults=faults,
+                use_fastpath=use_fastpath,
             )
         stats = run_with_checkpoints(
             engine, checkpoint_path, checkpoint_every, max_cycles=max_cycles
@@ -310,6 +316,7 @@ def run_batch(
             trace=trace,
             latency_quantiles=latency_quantiles,
             faults=faults,
+            use_fastpath=use_fastpath,
         )
         stats = engine.run(max_cycles=max_cycles)
     if trace is not None:

@@ -157,8 +157,9 @@ class SimStats:
         """Network-latency quantiles from the streaming estimator.
 
         Requires the engine to have been built with
-        ``latency_quantiles=True``; raises ``ValueError`` otherwise (or
-        when nothing was delivered).
+        ``latency_quantiles=True``; raises ``ValueError`` otherwise.
+        A run that delivered nothing (every packet dropped by a fault
+        policy) reports an empty dict rather than raising.
         """
         if self.latency_estimator is None:
             raise ValueError(

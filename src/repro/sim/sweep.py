@@ -87,6 +87,66 @@ class SweepResult:
     #: Formatted traceback when the point's ``fn`` raised; ``None`` on
     #: success. Failed points carry ``value=None``.
     error: Optional[str] = None
+    #: Identity fingerprint of the point that produced this result (see
+    #: :func:`point_fingerprint`); ``resume`` only reuses a persisted
+    #: result whose fingerprint matches the point at the same index.
+    fingerprint: Optional[str] = None
+
+
+def _canonical(value: Any) -> str:
+    """A value repr stable across processes and interpreter runs.
+
+    ``repr`` alone is not an identity: objects without a custom
+    ``__repr__`` (e.g. traffic patterns) render their memory address,
+    which would make every resume look stale. Containers and dataclasses
+    recurse; plain objects render as ``module.Class(sorted vars)``; sets
+    sort their elements so hash randomization cannot reorder them.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        fields = ", ".join(
+            f"{f.name}={_canonical(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{cls.__module__}.{cls.__qualname__}({fields})"
+    if isinstance(value, dict):
+        items = sorted(
+            (_canonical(k), _canonical(v)) for k, v in value.items()
+        )
+        return "{" + ", ".join(f"{k}: {v}" for k, v in items) + "}"
+    if isinstance(value, (list, tuple)):
+        inner = ", ".join(_canonical(v) for v in value)
+        return f"[{inner}]" if isinstance(value, list) else f"({inner})"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ", ".join(sorted(_canonical(v) for v in value)) + "}"
+    if callable(value) and hasattr(value, "__qualname__"):
+        return f"{getattr(value, '__module__', '?')}.{value.__qualname__}"
+    if type(value).__repr__ is object.__repr__:
+        cls = type(value)
+        state = ", ".join(
+            f"{name}={_canonical(val)}"
+            for name, val in sorted(getattr(value, "__dict__", {}).items())
+        )
+        return f"{cls.__module__}.{cls.__qualname__}({state})"
+    return repr(value)
+
+
+def point_fingerprint(point: SweepPoint) -> str:
+    """Canonical identity of a sweep point for resume validation.
+
+    Combines the label, the fully qualified ``fn`` name, and a canonical
+    rendering of the effective kwargs (seed merged, keys sorted). Two
+    points with the same fingerprint run the same computation, so a
+    persisted result may stand in for a re-run; a mismatch means the
+    checkpoint dir belongs to a different sweep (or the point list was
+    edited/reordered) and the point must re-run rather than silently
+    returning another point's result.
+    """
+    kwargs = point.call_kwargs()
+    canonical = ", ".join(
+        f"{key}={_canonical(kwargs[key])}" for key in sorted(kwargs)
+    )
+    return f"{point.label}|{_canonical(point.fn)}|{canonical}"
 
 
 def _result_path(checkpoint_dir: str, index: int) -> str:
@@ -145,6 +205,7 @@ def _execute_point(
         wall_seconds=time.perf_counter() - start,
         worker_pid=os.getpid(),
         error=error,
+        fingerprint=point_fingerprint(point),
     )
     if result_path is not None and error is None:
         # Only successes persist; failed points re-run on resume.
@@ -213,7 +274,14 @@ def run_sweep(
         if resume:
             for i, path in enumerate(result_paths):
                 loaded = _load_result(path)
-                if loaded is not None and loaded.error is None:
+                if (
+                    loaded is not None
+                    and loaded.error is None
+                    and loaded.fingerprint == point_fingerprint(points[i])
+                ):
+                    # Results persisted by an older schema (no
+                    # fingerprint) or by a *different* sweep sharing the
+                    # directory fail the identity check and re-run.
                     done[i] = loaded
     todo = [i for i in range(len(points)) if i not in done]
     if max_workers <= 1 or len(todo) <= 1:
@@ -226,7 +294,34 @@ def run_sweep(
                 for i in todo
             }
             for i, future in futures.items():
-                done[i] = future.result()
+                try:
+                    done[i] = future.result()
+                except KeyboardInterrupt:
+                    # A kill mid-sweep aborts (persisted results make it
+                    # resumable), exactly as in the serial path.
+                    raise
+                except BaseException:
+                    # A pool-level failure (e.g. BrokenProcessPool from an
+                    # OOM-killed worker) reaches the parent through
+                    # ``future.result()`` without a SweepResult. Recording
+                    # it as a per-point failure preserves the documented
+                    # partial-results contract: every other point's result
+                    # survives, and on_error="raise" reports this point
+                    # alongside ordinary fn failures.
+                    done[i] = SweepResult(
+                        label=points[i].label,
+                        index=i,
+                        value=None,
+                        wall_seconds=0.0,
+                        worker_pid=os.getpid(),
+                        error=(
+                            f"sweep point {points[i].label!r} (index {i}) "
+                            f"lost to a worker-pool failure with kwargs "
+                            f"{points[i].call_kwargs()!r}:\n"
+                            f"{traceback.format_exc()}"
+                        ),
+                        fingerprint=point_fingerprint(points[i]),
+                    )
     results = [done[i] for i in range(len(points))]
     if on_error == "raise":
         failures = [result for result in results if result.error is not None]

@@ -88,6 +88,24 @@ class TimingWheel:
             heapq.heappush(self.overflow, (cycle, self.seq, payload))
         self.pending += 1
 
+    def take_due(self, now: int) -> list:
+        """Detach and return cycle ``now``'s bucket (batched drain).
+
+        The returned list is the bucket's payloads in push (= seq) order;
+        a fresh list is swapped in and ``pending`` is decremented up
+        front, so the caller may process the batch without touching the
+        wheel again -- and a handler that pushes new events never mutates
+        the list being iterated. Overflow events are not touched; drain
+        them around the batch exactly as :meth:`push` ordering requires.
+        """
+        index = now & self.mask
+        bucket = self.buckets[index]
+        if not bucket:
+            return bucket
+        self.buckets[index] = []
+        self.pending -= len(bucket)
+        return bucket
+
     def next_cycle(self, now: int) -> Optional[int]:
         """Earliest cycle holding a pending event, or None when empty.
 

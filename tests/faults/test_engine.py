@@ -16,7 +16,7 @@ from collections import Counter
 
 import pytest
 
-from repro.core.machine import ChannelKind, Machine, MachineConfig
+from repro.core.machine import ChannelGroup, ChannelKind, Machine, MachineConfig
 from repro.faults import (
     FaultPolicy,
     FaultRuntime,
@@ -27,7 +27,7 @@ from repro.faults import (
 from repro.sim.simulator import run_batch
 from repro.sim.trace import ListSink
 from repro.traffic.batch import BatchSpec
-from repro.traffic.patterns import UniformRandom
+from repro.traffic.patterns import BitComplement, UniformRandom
 
 
 def _busiest_torus_channels(machine, count=2):
@@ -146,6 +146,52 @@ class TestPolicies:
             assert event.pid == -1
             assert event.channel in failed
             assert event.get("down") == 1
+
+
+class TestZeroDelivery:
+    def test_total_loss_reports_empty_quantiles(self, tiny_machine, tiny_routes):
+        """A run that delivers nothing must still report a result.
+
+        Every network channel is down from cycle 0 and the pattern sends
+        no same-chip traffic, so under the drop policy every packet is
+        condemned at its source queue: delivered == 0. The quantile
+        reporters -- both the SimStats estimator and the trace-fed
+        collector summary -- must carry empty dicts, not crash."""
+        from repro.sim.metrics import MetricsCollector
+
+        down = tuple(
+            FaultSpec(kind="link", channel=channel.cid)
+            for channel in tiny_machine.channels
+            if channel.group != ChannelGroup.E
+        )
+        fault_set = FaultSet(specs=down, shape=tiny_machine.config.shape)
+        runtime = FaultRuntime(
+            tiny_machine, fault_set, policy=FaultPolicy(mode="drop")
+        )
+        collector = MetricsCollector(window_cycles=16)
+        spec = BatchSpec(
+            BitComplement(tiny_machine.config.shape),
+            packets_per_source=4,
+            cores_per_chip=tiny_machine.config.endpoints_per_chip,
+            seed=7,
+        )
+        # Routes are generated against the healthy machine (as a real
+        # workload's would be); the engine screens them at enqueue.
+        stats = run_batch(
+            tiny_machine,
+            tiny_routes,
+            spec,
+            trace=collector,
+            faults=runtime,
+            latency_quantiles=True,
+        )
+        assert stats.delivered == 0
+        assert stats.dropped == _generated(tiny_machine, 4)
+        assert stats.latency_quantiles() == {}
+        assert stats.throughput_packets_per_cycle() == 0.0
+        summary = collector.summary(stats.end_cycle)
+        assert summary.delivered == 0
+        assert summary.latency_quantiles == {}
 
 
 class TestRecovery:

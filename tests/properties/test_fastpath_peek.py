@@ -1,0 +1,157 @@
+"""The vectorized peek helpers equal the scalar arbiters' ``peek``.
+
+The SoA fast path (:mod:`repro.sim.fastpath`) never calls the arbiter
+objects on its hot path for RR / age / fixed-priority policies; it
+recomputes their grants from mirrored pointer/age arrays with the
+``*_peek_vec`` helpers. Bit-exactness of the whole fast path therefore
+rests on these helpers returning *exactly* what the corresponding
+scalar ``peek`` would have, for every pointer value and request mask --
+which is what this module pins down.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.arbiters.age_based import AgeBasedArbiter
+from repro.arbiters.base import SimpleRequest
+from repro.arbiters.inverse_weighted import InverseWeightedArbiter
+from repro.arbiters.round_robin import FixedPriorityArbiter, RoundRobinArbiter
+from repro.sim.fastpath import (
+    age_peek_vec,
+    fixed_peek_vec,
+    iw_peek_vec,
+    rr_peek_vec,
+)
+
+
+def as_requests(mask, ages=None):
+    """Boolean mask -> the ``Optional[Request]`` list the arbiters take."""
+    if ages is None:
+        ages = [0] * len(mask)
+    return [
+        SimpleRequest(inject_cycle=age) if present else None
+        for present, age in zip(mask, ages)
+    ]
+
+
+@st.composite
+def masked_case(draw, with_ages=False):
+    k = draw(st.integers(min_value=1, max_value=12))
+    mask = draw(st.lists(st.booleans(), min_size=k, max_size=k))
+    pointer = draw(st.integers(min_value=0, max_value=k - 1))
+    if not with_ages:
+        return k, pointer, mask
+    ages = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 20), min_size=k, max_size=k
+        )
+    )
+    return k, pointer, mask, ages
+
+
+class TestRoundRobinPeek:
+    @given(masked_case())
+    def test_matches_scalar(self, case):
+        k, pointer, mask = case
+        arb = RoundRobinArbiter(k)
+        arb._pointer = pointer
+        assert rr_peek_vec(pointer, mask) == arb.peek(as_requests(mask))
+
+    @given(masked_case())
+    def test_after_commit(self, case):
+        """Pointer values produced by real commits agree too."""
+        k, pointer, mask = case
+        arb = RoundRobinArbiter(k)
+        arb._pointer = pointer
+        winner = arb.arbitrate(as_requests(mask))
+        if winner is not None:
+            assert arb._pointer == winner
+        assert rr_peek_vec(arb._pointer, mask) == arb.peek(as_requests(mask))
+
+
+class TestAgeBasedPeek:
+    @given(masked_case(with_ages=True))
+    def test_matches_scalar(self, case):
+        k, pointer, mask, ages = case
+        arb = AgeBasedArbiter(k)
+        arb._pointer = pointer
+        assert age_peek_vec(pointer, ages, mask) == arb.peek(
+            as_requests(mask, ages)
+        )
+
+    @given(masked_case(with_ages=True))
+    def test_ties_break_by_rr_rank(self, case):
+        """Equal ages reduce the policy to plain round-robin."""
+        k, pointer, mask, _ = case
+        flat = [7] * k
+        arb = AgeBasedArbiter(k)
+        arb._pointer = pointer
+        assert age_peek_vec(pointer, flat, mask) == rr_peek_vec(pointer, mask)
+        assert age_peek_vec(pointer, flat, mask) == arb.peek(
+            as_requests(mask, flat)
+        )
+
+
+class TestFixedPriorityPeek:
+    @given(masked_case())
+    def test_matches_scalar(self, case):
+        k, _, mask = case
+        arb = FixedPriorityArbiter(k)
+        assert fixed_peek_vec(mask) == arb.peek(as_requests(mask))
+
+
+@st.composite
+def iw_case(draw):
+    k = draw(st.integers(min_value=1, max_value=10))
+    mask = draw(st.lists(st.booleans(), min_size=k, max_size=k))
+    pointer = draw(st.integers(min_value=0, max_value=k - 1))
+    weight_bits = draw(st.integers(min_value=1, max_value=8))
+    # Accumulators occupy weight_bits + 1 bits.
+    accumulators = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << (weight_bits + 1)) - 1),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return k, pointer, weight_bits, accumulators, mask
+
+
+class TestInverseWeightedPeek:
+    @given(iw_case())
+    def test_matches_grant_fast(self, case):
+        k, pointer, weight_bits, accumulators, mask = case
+        arb = InverseWeightedArbiter([[1]] * k, weight_bits=weight_bits)
+        arb._pointer = pointer
+        arb.bank.accumulators = list(accumulators)
+        window = arb.bank.window
+        assert iw_peek_vec(pointer, accumulators, window, mask) == arb.peek(
+            as_requests(mask)
+        )
+
+    @given(iw_case())
+    def test_matches_bit_exact_model(self, case):
+        """And therefore also the Figure 8 bit-level model."""
+        k, pointer, weight_bits, accumulators, mask = case
+        arb = InverseWeightedArbiter(
+            [[1]] * k, weight_bits=weight_bits, bit_exact=True
+        )
+        arb._pointer = pointer
+        arb.bank.accumulators = list(accumulators)
+        window = arb.bank.window
+        assert iw_peek_vec(pointer, accumulators, window, mask) == arb.peek(
+            as_requests(mask)
+        )
+
+
+class TestEmptyMask:
+    @given(st.integers(min_value=1, max_value=8))
+    def test_all_return_none(self, k):
+        mask = [False] * k
+        assert rr_peek_vec(0, mask) is None
+        assert age_peek_vec(0, [0] * k, mask) is None
+        assert fixed_peek_vec(mask) is None
+        assert iw_peek_vec(0, [0] * k, 4, mask) is None

@@ -33,6 +33,12 @@ class TestStreamingQuantile:
         with pytest.raises(ValueError):
             StreamingQuantile().quantile(0.5)
 
+    def test_empty_estimator_reports_no_quantiles(self):
+        # A zero-sample estimator (a faulted run that delivered nothing)
+        # reports an empty dict; only the singular accessor raises.
+        assert StreamingQuantile().quantiles() == {}
+        assert StreamingQuantile().quantiles((0.5, 0.99)) == {}
+
     def test_invalid_q_rejected(self):
         est = StreamingQuantile()
         est.add(1)

@@ -7,6 +7,7 @@ return results identical to the serial loop, in input order.
 
 import dataclasses
 import os
+import signal
 
 import pytest
 
@@ -16,6 +17,7 @@ from repro.sim.sweep import (
     SweepPoint,
     SweepPointError,
     default_workers,
+    point_fingerprint,
     run_sweep,
     shared_machine,
 )
@@ -169,6 +171,104 @@ class TestSweepFailures:
     def test_green_path_has_no_errors(self):
         for result in run_sweep(_points(), max_workers=2):
             assert result.error is None
+
+
+class TestResumeFingerprint:
+    """``resume=True`` must only reuse a persisted result whose identity
+    matches the point now at that index: a checkpoint dir left over from
+    a *different* sweep (or an edited point list) re-runs instead of
+    silently returning the other sweep's result."""
+
+    def _strip_wall(self, result):
+        fields = dataclasses.asdict(result.value)
+        fields.pop("wall_seconds")
+        return fields
+
+    def test_dir_reused_across_different_sweeps_reruns(self, tmp_path):
+        sweep_dir = str(tmp_path / "sweep")
+        run_sweep(_points(seeds=(3, 4)), max_workers=1, checkpoint_dir=sweep_dir)
+        reference = run_sweep(_points(seeds=(8, 9)), max_workers=1)
+        resumed = run_sweep(
+            _points(seeds=(8, 9)),
+            max_workers=1,
+            checkpoint_dir=sweep_dir,
+            resume=True,
+        )
+        assert [r.label for r in resumed] == [r.label for r in reference]
+        for got, want in zip(resumed, reference):
+            assert self._strip_wall(got) == self._strip_wall(want)
+
+    def test_same_labels_different_kwargs_rerun(self, tmp_path):
+        # Labels alone are not identity: the same sweep with one kwarg
+        # changed must not resume from the stale results.
+        sweep_dir = str(tmp_path / "sweep")
+        first = run_sweep(_points(), max_workers=1, checkpoint_dir=sweep_dir)
+        assert all(r.value.metrics is None for r in first)
+        resumed = run_sweep(
+            _points(collect_metrics=True),
+            max_workers=1,
+            checkpoint_dir=sweep_dir,
+            resume=True,
+        )
+        assert all(r.value.metrics is not None for r in resumed)
+
+    def test_results_carry_fingerprints(self):
+        points = _points(seeds=(3,))
+        (result,) = run_sweep(points, max_workers=1)
+        assert result.fingerprint == point_fingerprint(points[0])
+        assert points[0].label in result.fingerprint
+
+
+def _kill_worker(seed=0):
+    # Simulates an OOM-killed worker: the process dies without raising a
+    # Python exception, so the parent sees BrokenProcessPool (a pool-level
+    # failure, not a point failure) out of future.result().
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+@pytest.mark.skipif(os.name != "posix", reason="needs SIGKILL")
+class TestPoolFailure:
+    """A dead worker must degrade into per-point errors under the
+    documented partial-results contract, not propagate raw and discard
+    every completed point."""
+
+    def _kill_points(self, count=2):
+        return [
+            SweepPoint(label=f"pool/kill{i}", fn=_kill_worker, seed=i)
+            for i in range(count)
+        ]
+
+    def test_pool_failure_becomes_per_point_errors(self):
+        results = run_sweep(
+            self._kill_points(), max_workers=2, on_error="return"
+        )
+        assert [r.label for r in results] == ["pool/kill0", "pool/kill1"]
+        for result in results:
+            assert result.value is None
+            assert "worker-pool failure" in result.error
+            assert result.fingerprint is not None
+
+    def test_pool_failure_raises_sweep_point_error(self):
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(self._kill_points(), max_workers=2)
+        assert "2 of 2 sweep points failed" in str(excinfo.value)
+        assert "worker-pool failure" in str(excinfo.value)
+
+    def test_completed_points_survive_pool_failure(self):
+        # Mid-sweep kill: whether the good point finishes before the pool
+        # breaks is timing-dependent, but either way it gets a structured
+        # result and the dead points report their loss -- nothing
+        # propagates raw out of run_sweep.
+        points = _points(seeds=(3,)) + self._kill_points()
+        results = run_sweep(points, max_workers=2, on_error="return")
+        assert [r.index for r in results] == [0, 1, 2]
+        good = results[0]
+        assert (good.error is None and good.value is not None) or (
+            "worker-pool failure" in good.error
+        )
+        for result in results[1:]:
+            assert result.value is None
+            assert "worker-pool failure" in result.error
 
 
 class TestSweepPoint:
