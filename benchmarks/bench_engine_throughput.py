@@ -16,7 +16,11 @@ three hot paths:
   plus the sweep/re-route machinery;
 * ``uniform_8x8x8_sat`` -- the same saturation workload at full Anton 2
   machine scale (512 nodes): the configuration where the vectorized
-  fast path's per-cycle wins are largest.
+  fast path's per-cycle wins are largest;
+* ``demand_4x4x2_hotspot`` -- an open-loop two-epoch hotspot demand
+  matrix: staggered release cycles keep the source queues live across
+  the whole run, exercising the wake/injection path the all-at-cycle-0
+  batch configs never stress.
 
 The benchmark honours ``REPRO_FASTPATH=1``: the engines it builds then
 run the SoA fast path (:mod:`repro.sim.fastpath`) where eligible, the
@@ -151,6 +155,34 @@ def _uniform_8x8x8_sat() -> Tuple[Callable[[], Engine], List]:
     return (lambda: Engine(machine)), packets
 
 
+def _demand_4x4x2_hotspot() -> Tuple[Callable[[], Engine], List]:
+    from repro.traffic.demand import (
+        DemandMatrix,
+        DemandSchedule,
+        DemandSpec,
+        generate_demand,
+    )
+
+    machine = Machine(MachineConfig(shape=(4, 4, 2), endpoints_per_chip=2))
+    routes = RouteComputer(machine)
+    matrices = [
+        DemandMatrix.hotspot(
+            (4, 4, 2), rate=0.6, hotspots=2, hot_fraction=0.6, seed=k
+        )
+        for k in range(2)
+    ]
+    spec = DemandSpec(
+        demand=DemandSchedule.from_matrices(matrices, 64),
+        cores_per_chip=2,
+        mode="open",
+        duration_cycles=128,
+        injection="bernoulli",
+        seed=5,
+    )
+    packets = generate_demand(machine, routes, spec)
+    return (lambda: Engine(machine)), packets
+
+
 #: name -> (workload factory, human description). Factories are called
 #: once; each repetition re-clones packets into a fresh engine.
 CONFIGS: Dict[str, Tuple[Callable, str]] = {
@@ -169,6 +201,10 @@ CONFIGS: Dict[str, Tuple[Callable, str]] = {
     "uniform_8x8x8_sat": (
         _uniform_8x8x8_sat,
         "uniform batch x8, 8x8x8 (512 nodes), rr (full machine scale)",
+    ),
+    "demand_4x4x2_hotspot": (
+        _demand_4x4x2_hotspot,
+        "open-loop hotspot demand r0.6, 2 epochs x64 cycles, 4x4x2, rr",
     ),
 }
 

@@ -9,6 +9,11 @@ Commands map onto the reproduction's main entry points:
 * ``throughput`` -- one batch-throughput measurement point
 * ``trace``      -- run one batch with structured event tracing, writing
   a JSONL trace (also regenerates the golden conformance traces)
+* ``demand``     -- run a demand-matrix workload (seeded hotspot/skew/
+  permutation/adversarial generators, multi-epoch rate evolution,
+  open- or closed-loop injection)
+* ``replay``     -- re-simulate a recorded JSONL trace; a faithful
+  replay is byte-identical to the input (``--verify`` enforces it)
 * ``faults``     -- sample, validate, and run fault sets (degraded
   topologies): ``faults sample`` / ``faults validate`` / ``faults run``
 * ``profile``    -- cProfile the engine hot path over one seeded batch,
@@ -93,11 +98,21 @@ def _batch_trace_meta(machine, args, pattern) -> dict:
     Shared by ``repro trace``, ``repro checkpoint save``, and ``repro
     faults run`` so a checkpointed-and-resumed trace is byte-identical to
     an uninterrupted one: same header record, same key order.
+
+    The machine-readable spec fields (``arb``, ``cores``, ``pattern``,
+    ``batch``, ``seed``) make the trace self-describing: ``repro replay``
+    reads them to reconstruct the engine configuration -- in particular
+    the ``iw`` weight tables -- from the trace alone.
     """
     return {
         "shape": list(machine.config.shape),
         "endpoints": args.endpoints,
         "tpc": machine.ticks_per_cycle,
+        "arb": args.arbitration,
+        "cores": args.cores,
+        "pattern": args.pattern,
+        "batch": args.batch,
+        "seed": args.seed,
         "workload": f"batch {pattern.name} x{args.batch} "
         f"{args.arbitration} seed{args.seed}",
     }
@@ -333,6 +348,232 @@ def cmd_trace(args) -> int:
         f"p99={quantiles[0.99]} cycles",
         file=sys.stderr,
     )
+    return 0
+
+
+def cmd_demand(args) -> int:
+    import contextlib
+    import os
+    import pathlib
+
+    from repro.sim.trace import JsonlTraceWriter
+    from repro.traffic.demand import (
+        DemandMatrix,
+        DemandSchedule,
+        DemandSpec,
+        as_schedule,
+        run_demand,
+    )
+
+    if args.epochs < 1:
+        raise ValueError(f"--epochs must be >= 1, got {args.epochs}")
+    machine = _machine(args)
+    routes = RouteComputer(machine)
+    faults = None
+    fault_set = None
+    if args.fault_file is not None:
+        from repro.faults import FaultPolicy, FaultRuntime, FaultSet
+
+        fault_set = FaultSet.from_json(
+            pathlib.Path(args.fault_file).read_text()
+        )
+        fault_set.validate(machine)
+        faults = FaultRuntime(
+            machine,
+            fault_set,
+            policy=FaultPolicy(mode=args.policy, max_retries=args.retries),
+        )
+        routes = faults.route_computer
+
+    def make_matrix(epoch: int) -> DemandMatrix:
+        # Epoch k draws its matrix from --matrix-seed + k, so multi-epoch
+        # runs evolve while staying a pure function of the CLI arguments.
+        seed = args.matrix_seed + epoch
+        if args.generator == "uniform":
+            return DemandMatrix.uniform(args.shape, args.rate)
+        if args.generator == "hotspot":
+            return DemandMatrix.hotspot(
+                args.shape,
+                args.rate,
+                hotspots=args.hotspots,
+                hot_fraction=args.hot_fraction,
+                seed=seed,
+            )
+        if args.generator == "skew":
+            return DemandMatrix.skewed(
+                args.shape, args.rate, exponent=args.skew_exponent, seed=seed
+            )
+        if args.generator == "permutation":
+            return DemandMatrix.permutation(
+                args.shape, rate=args.rate, seed=seed
+            )
+        if args.generator == "adversarial":
+            from repro.traffic.adversarial import search_worst_permutation
+
+            result = search_worst_permutation(
+                machine,
+                routes,
+                seed=seed,
+                restarts=args.restarts,
+                steps=args.steps,
+                cores_per_chip=args.cores,
+                include_lp_bound=False,
+            )
+            return result.demand.scaled(
+                args.rate, name=f"{result.demand.name}-r{args.rate:g}"
+            )
+        if args.matrix_file is None:
+            raise ValueError("--generator file needs --matrix-file")
+        return DemandMatrix.from_json(
+            pathlib.Path(args.matrix_file).read_text()
+        )
+
+    matrices = [make_matrix(k) for k in range(args.epochs)]
+    demand = (
+        matrices[0]
+        if len(matrices) == 1
+        else DemandSchedule.from_matrices(matrices, args.epoch_length)
+    )
+    spec = DemandSpec(
+        demand=demand,
+        cores_per_chip=args.cores,
+        mode=args.mode,
+        duration_cycles=args.duration if args.mode == "open" else 0,
+        packets_scale=args.scale,
+        injection=args.injection,
+        seed=args.seed,
+    )
+    schedule = as_schedule(demand)
+    trace_meta = {
+        "shape": list(machine.config.shape),
+        "endpoints": args.endpoints,
+        "tpc": machine.ticks_per_cycle,
+        "arb": args.arbitration,
+        "cores": args.cores,
+        "workload": (
+            f"demand {schedule.name} {args.mode} "
+            f"{args.injection} seed{args.seed}"
+        ),
+    }
+    if faults is not None:
+        trace_meta["faults"] = len(fault_set)
+        trace_meta["policy"] = args.policy
+
+    checkpointing = args.checkpoint is not None
+    resuming = (
+        checkpointing and args.resume and os.path.exists(args.checkpoint)
+    )
+    if checkpointing and not resuming and os.path.exists(args.checkpoint):
+        os.unlink(args.checkpoint)
+    checkpoint_data = None
+    if resuming:
+        from repro.sim.checkpoint import load_checkpoint
+
+        if args.trace == "-":
+            raise ValueError(
+                "--resume cannot rewind a stdout trace; use a file path"
+            )
+        checkpoint_data = load_checkpoint(args.checkpoint)
+
+    @contextlib.contextmanager
+    def trace_writer():
+        if args.trace is None:
+            yield None
+        elif resuming:
+            writer = _resume_trace_writer(args.trace, checkpoint_data)
+            try:
+                yield writer
+            finally:
+                writer.stream.close()
+        elif args.trace == "-":
+            yield JsonlTraceWriter(sys.stdout, meta=trace_meta)
+        else:
+            with open(args.trace, "w") as stream:
+                yield JsonlTraceWriter(stream, meta=trace_meta)
+
+    with trace_writer() as writer:
+        stats = run_demand(
+            machine,
+            routes,
+            spec,
+            arbitration=args.arbitration,
+            trace=writer,
+            faults=faults,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every if checkpointing else 0,
+        )
+        if writer is not None:
+            writer.write_record(
+                _batch_end_record(
+                    stats, writer.events_written, faulted=faults is not None
+                )
+            )
+    out = sys.stderr if args.trace == "-" else sys.stdout
+    dropped = f", {stats.dropped} dropped" if faults is not None else ""
+    print(
+        f"{schedule.name} / {args.arbitration} ({args.mode}): "
+        f"{stats.injected} injected, {stats.delivered} delivered{dropped} "
+        f"in {stats.end_cycle} cycles",
+        file=out,
+    )
+    return 0
+
+
+def cmd_replay(args) -> int:
+    import io
+    import pathlib
+
+    from repro.traffic.replay import load_replay, replay_trace
+
+    text = pathlib.Path(args.trace_file).read_text()
+    if text and not text.endswith("\n"):
+        text += "\n"
+    lines = text.splitlines()
+    workload = load_replay(lines)
+    policy = args.arbitration or workload.arbitration or "rr"
+    weight_patterns = None
+    if policy == "iw":
+        if workload.pattern is None:
+            raise ValueError(
+                "trace header records no 'pattern'; cannot rebuild the iw "
+                "weight tables (override with --arbitration rr or age)"
+            )
+        factories = _pattern_factories(workload.shape)
+        if workload.pattern not in factories:
+            raise ValueError(
+                f"trace header pattern {workload.pattern!r} is not a CLI "
+                f"pattern; replay via the API with explicit weight_patterns"
+            )
+        weight_patterns = [factories[workload.pattern]()]
+
+    buffer = io.StringIO()
+    stats, workload, events = replay_trace(
+        lines,
+        out_stream=buffer,
+        arbitration=args.arbitration,
+        weight_patterns=weight_patterns,
+    )
+    replayed = buffer.getvalue()
+    if args.trace is not None:
+        if args.trace == "-":
+            sys.stdout.write(replayed)
+        else:
+            with open(args.trace, "w") as stream:
+                stream.write(replayed)
+    identical = replayed == text
+    out = sys.stderr if args.trace == "-" else sys.stdout
+    print(
+        f"replayed {events} events / {stats.delivered} packets in "
+        f"{stats.end_cycle} cycles ({policy}); round-trip "
+        f"{'byte-identical' if identical else 'DIVERGED'}",
+        file=out,
+    )
+    if args.verify and not identical:
+        print(
+            "error: replay is not byte-identical to the input",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -829,6 +1070,80 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-goldens", action="store_true",
                    help="list canonical golden trace names and exit")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "demand",
+        help="run a demand-matrix workload (seeded generators, rate epochs)",
+    )
+    add_machine_args(p, endpoints=2)
+    p.add_argument(
+        "--generator",
+        default="hotspot",
+        choices=[
+            "uniform", "hotspot", "skew", "permutation", "adversarial", "file",
+        ],
+        help="demand-matrix generator (default: hotspot)",
+    )
+    p.add_argument("--rate", type=float, default=0.25,
+                   help="per-source row-sum rate in packets/cycle "
+                        "(default: 0.25)")
+    p.add_argument("--hotspots", type=int, default=1,
+                   help="hot node count for --generator hotspot")
+    p.add_argument("--hot-fraction", type=float, default=0.5,
+                   help="rate fraction aimed at the hot nodes")
+    p.add_argument("--skew-exponent", type=float, default=1.0,
+                   help="Zipf exponent for --generator skew")
+    p.add_argument("--matrix-seed", type=int, default=0,
+                   help="matrix-generation seed (epoch k uses seed + k)")
+    p.add_argument("--matrix-file", default=None,
+                   help="demand-matrix JSON file for --generator file")
+    p.add_argument("--restarts", type=int, default=3,
+                   help="adversarial search restarts (default: 3)")
+    p.add_argument("--steps", type=int, default=60,
+                   help="adversarial hill-climb steps per restart")
+    p.add_argument("--epochs", type=int, default=1,
+                   help="number of piecewise-constant rate epochs")
+    p.add_argument("--epoch-length", type=int, default=64,
+                   help="cycles per epoch when --epochs > 1 (default: 64)")
+    p.add_argument("--mode", default="open", choices=["open", "closed"])
+    p.add_argument("--duration", type=int, default=256,
+                   help="open-loop injection window in cycles (default: 256)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="closed-loop packets per unit row sum (default: 1)")
+    p.add_argument("--injection", default="bernoulli",
+                   choices=["bernoulli", "paced"])
+    p.add_argument("--cores", type=int, default=2)
+    p.add_argument("--arbitration", default="rr", choices=["rr", "age", "iw"])
+    p.add_argument("--seed", type=int, default=0,
+                   help="injection/route sampling seed")
+    p.add_argument("--trace", default=None,
+                   help="write a JSONL event trace ('-' for stdout)")
+    p.add_argument("--checkpoint", default=None,
+                   help="periodic engine snapshot file (crash resumable)")
+    p.add_argument("--checkpoint-every", type=int, default=64,
+                   help="cycles between snapshots (default: 64)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume an interrupted run from --checkpoint")
+    p.add_argument("--fault-file", default=None,
+                   help="fault-set JSON file to run degraded")
+    p.add_argument("--policy", default="reroute",
+                   choices=["reroute", "drop", "retry"])
+    p.add_argument("--retries", type=int, default=4,
+                   help="retry budget for --policy retry (default: 4)")
+    p.set_defaults(func=cmd_demand)
+
+    p = sub.add_parser(
+        "replay", help="re-simulate a recorded JSONL trace byte-for-byte"
+    )
+    p.add_argument("trace_file", help="JSONL trace to replay")
+    p.add_argument("--trace", default=None,
+                   help="write the replayed trace ('-' for stdout)")
+    p.add_argument("--arbitration", default=None,
+                   choices=["rr", "age", "iw"],
+                   help="override the trace header's arbitration policy")
+    p.add_argument("--verify", action="store_true",
+                   help="exit 1 unless the replay is byte-identical")
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
         "faults", help="sample, validate, and run degraded-topology fault sets"

@@ -999,6 +999,13 @@ class FastPath:
                 else:
                     events.seq += 1
                     heappush(overflow, (ac, events.seq, (0, pkt, oc, ovc)))
+                # First-ever grant on this output channel: claim its
+                # stats-dict position here, in walk order, so router
+                # grants interleave with endpoint injections exactly as
+                # the scalar engine's single pass records them.
+                if not seen[oc]:
+                    seen[oc] = 1
+                    stat_new.append(oc)
                 granted_append(j)
 
             for comp in active:
@@ -1166,13 +1173,6 @@ class FastPath:
                     self.np_sa2_grants[gout] += 1
                 else:
                     self.np_sa2_grants[gout[m]] += 1
-                fresh = goc[self.np_stat_seen[goc] == 0]
-                if fresh.size:
-                    seen = self.stat_seen
-                    stat_new = self.stat_new
-                    for oc in fresh.tolist():
-                        seen[oc] = 1
-                        stat_new.append(oc)
                 events.pending += 2 * len(granted)
                 e._last_progress = now
 

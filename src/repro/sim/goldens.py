@@ -15,7 +15,15 @@ slice of engine behavior:
   trace events;
 * ``pingpong_2x2x2`` -- the Section 4.3 counted-write ping-pong:
   exercises the delivery hook, reply injection, and an idle network's
-  pure pipeline latency.
+  pure pipeline latency;
+* ``demand_2x2x2`` -- an open-loop seeded-hotspot demand matrix whose
+  rates shift at an epoch boundary mid-run: exercises the demand-matrix
+  workload generator, paced Bernoulli injection, and piecewise-constant
+  rate evolution.
+
+Golden headers carry machine-readable run metadata (``arb``, ``cores``,
+and for batch runs ``pattern``/``batch``/``seed``) so ``repro replay``
+can reconstruct the engine configuration from the trace alone.
 
 With the exact fixed-point timebase a run's trace is a pure function of
 its spec, so the JSONL rendering of these runs is committed under
@@ -162,6 +170,45 @@ def _run_faulted_2x2x2(writer: JsonlTraceWriter) -> None:
     )
 
 
+def _run_demand_2x2x2(writer: JsonlTraceWriter) -> None:
+    """Open-loop demand-matrix golden: a seeded hotspot matrix whose
+    rates, hotspot count, and skew all shift at the cycle-32 epoch
+    boundary, pinning the paced-injection schedule and the epoch
+    hand-off semantics."""
+    from repro.traffic.demand import (
+        DemandMatrix,
+        DemandSchedule,
+        DemandSpec,
+        run_demand,
+    )
+
+    machine = Machine(MachineConfig(shape=(2, 2, 2), endpoints_per_chip=2))
+    routes = RouteComputer(machine)
+    base = DemandMatrix.hotspot(
+        (2, 2, 2), rate=0.25, hotspots=1, hot_fraction=0.6, seed=11
+    )
+    shifted = DemandMatrix.hotspot(
+        (2, 2, 2), rate=0.35, hotspots=2, hot_fraction=0.5, seed=12
+    )
+    spec = DemandSpec(
+        demand=DemandSchedule(epochs=((0, base), (32, shifted))),
+        cores_per_chip=2,
+        mode="open",
+        duration_cycles=64,
+        seed=7,
+    )
+    stats = run_demand(machine, routes, spec, arbitration="rr", trace=writer)
+    writer.write_record(
+        {
+            "ev": "end",
+            "cyc": stats.end_cycle,
+            "injected": stats.injected,
+            "delivered": stats.delivered,
+            "events": writer.events_written,
+        }
+    )
+
+
 def _run_pingpong_2x2x2(writer: JsonlTraceWriter) -> None:
     machine = Machine(MachineConfig(shape=(2, 2, 2), endpoints_per_chip=1))
     routes = RouteComputer(machine)
@@ -194,6 +241,11 @@ _GOLDEN_RUNS = {
             "name": "uniform_2x2x2",
             "shape": [2, 2, 2],
             "endpoints": 2,
+            "arb": "rr",
+            "cores": 2,
+            "pattern": "uniform",
+            "batch": 2,
+            "seed": 5,
             "workload": "batch uniform x2 rr seed5",
         },
     ),
@@ -203,6 +255,11 @@ _GOLDEN_RUNS = {
             "name": "tornado_4x1x1",
             "shape": [4, 1, 1],
             "endpoints": 1,
+            "arb": "iw",
+            "cores": 1,
+            "pattern": "tornado",
+            "batch": 4,
+            "seed": 3,
             "workload": "batch tornado x4 iw seed3",
         },
     ),
@@ -212,6 +269,11 @@ _GOLDEN_RUNS = {
             "name": "faulted_2x2x2",
             "shape": [2, 2, 2],
             "endpoints": 2,
+            "arb": "rr",
+            "cores": 2,
+            "pattern": "uniform",
+            "batch": 4,
+            "seed": 5,
             "workload": "batch uniform x4 rr seed5 faults2 reroute",
         },
     ),
@@ -221,7 +283,20 @@ _GOLDEN_RUNS = {
             "name": "pingpong_2x2x2",
             "shape": [2, 2, 2],
             "endpoints": 1,
+            "arb": "rr",
+            "cores": 1,
             "workload": "pingpong corner-to-corner rounds3 overhead20",
+        },
+    ),
+    "demand_2x2x2": (
+        _run_demand_2x2x2,
+        {
+            "name": "demand_2x2x2",
+            "shape": [2, 2, 2],
+            "endpoints": 2,
+            "arb": "rr",
+            "cores": 2,
+            "workload": "demand hotspot 2-epoch open dur64 seed7",
         },
     ),
 }

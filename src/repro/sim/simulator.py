@@ -265,6 +265,52 @@ def run_batch(
     When ``trace`` is a :class:`~repro.sim.metrics.MetricsCollector`, the
     checkpointed collector contents are revived into it on resume.
     """
+    def build() -> Engine:
+        return build_batch_engine(
+            machine,
+            route_computer,
+            spec,
+            arbitration=arbitration,
+            weight_patterns=weight_patterns,
+            weight_tables=weight_tables,
+            vc_weight_tables=vc_weight_tables,
+            weight_bits=weight_bits,
+            keep_packet_latencies=keep_packet_latencies,
+            trace=trace,
+            latency_quantiles=latency_quantiles,
+            faults=faults,
+            use_fastpath=use_fastpath,
+        )
+
+    return run_engine(
+        build,
+        trace=trace,
+        max_cycles=max_cycles,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        use_fastpath=use_fastpath,
+        machine=machine,
+    )
+
+
+def run_engine(
+    build_engine_fn,
+    trace=None,
+    max_cycles: int = 10_000_000,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
+    use_fastpath: Optional[bool] = None,
+    machine: Optional[Machine] = None,
+) -> SimStats:
+    """Run a freshly built (or checkpoint-resumed) engine to completion.
+
+    The workload-agnostic core of :func:`run_batch`, shared with the
+    demand-matrix runner (:func:`repro.traffic.demand.run_demand`):
+    ``build_engine_fn`` constructs the cycle-0 engine, and the
+    checkpoint/resume contract is identical -- an existing
+    ``checkpoint_path`` marks an interrupted run and is resumed for a
+    result bitwise-identical to a never-interrupted run.
+    """
     if checkpoint_path and checkpoint_every > 0:
         from .checkpoint import (
             load_checkpoint,
@@ -282,42 +328,14 @@ def run_batch(
             if collector_state is not None and isinstance(trace, MetricsCollector):
                 trace.restore_state(collector_state)
         else:
-            engine = build_batch_engine(
-                machine,
-                route_computer,
-                spec,
-                arbitration=arbitration,
-                weight_patterns=weight_patterns,
-                weight_tables=weight_tables,
-                vc_weight_tables=vc_weight_tables,
-                weight_bits=weight_bits,
-                keep_packet_latencies=keep_packet_latencies,
-                trace=trace,
-                latency_quantiles=latency_quantiles,
-                faults=faults,
-                use_fastpath=use_fastpath,
-            )
+            engine = build_engine_fn()
         stats = run_with_checkpoints(
             engine, checkpoint_path, checkpoint_every, max_cycles=max_cycles
         )
         if os.path.exists(checkpoint_path):
             os.unlink(checkpoint_path)
     else:
-        engine = build_batch_engine(
-            machine,
-            route_computer,
-            spec,
-            arbitration=arbitration,
-            weight_patterns=weight_patterns,
-            weight_tables=weight_tables,
-            vc_weight_tables=vc_weight_tables,
-            weight_bits=weight_bits,
-            keep_packet_latencies=keep_packet_latencies,
-            trace=trace,
-            latency_quantiles=latency_quantiles,
-            faults=faults,
-            use_fastpath=use_fastpath,
-        )
+        engine = build_engine_fn()
         stats = engine.run(max_cycles=max_cycles)
     if trace is not None:
         trace.flush()

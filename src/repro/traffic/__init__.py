@@ -1,6 +1,20 @@
 """Traffic patterns, workload generators, and analytic load computation."""
 
+from .adversarial import AdversarialResult, score_permutation, search_worst_permutation
 from .batch import BatchSpec, generate_batch, generate_open_loop
+from .demand import (
+    DemandMatrix,
+    DemandMatrixPattern,
+    DemandPoint,
+    DemandRunResult,
+    DemandSchedule,
+    DemandSpec,
+    as_schedule,
+    build_demand_engine,
+    generate_demand,
+    measure_demand_point,
+    run_demand,
+)
 from .md import MdMulticastWorkload, import_region, random_particle_destinations
 from .loads import (
     LoadTable,
@@ -19,10 +33,26 @@ from .patterns import (
     TrafficPattern,
     UniformRandom,
 )
+from .replay import (
+    ReplayError,
+    ReplayWorkload,
+    build_replay_engine,
+    load_replay,
+    replay_trace,
+)
 
 __all__ = [
+    "AdversarialResult",
     "BatchSpec",
+    "DemandMatrix",
+    "DemandMatrixPattern",
+    "DemandPoint",
+    "DemandRunResult",
+    "DemandSchedule",
+    "DemandSpec",
     "MdMulticastWorkload",
+    "ReplayError",
+    "ReplayWorkload",
     "import_region",
     "random_particle_destinations",
     "BitComplement",
@@ -35,9 +65,19 @@ __all__ = [
     "TrafficPattern",
     "UniformRandom",
     "active_endpoints",
+    "as_schedule",
+    "build_demand_engine",
+    "build_replay_engine",
     "compute_loads",
     "generate_batch",
+    "generate_demand",
     "generate_open_loop",
     "ideal_batch_cycles",
+    "load_replay",
+    "measure_demand_point",
     "merge_arbiter_loads",
+    "replay_trace",
+    "run_demand",
+    "score_permutation",
+    "search_worst_permutation",
 ]

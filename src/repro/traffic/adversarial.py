@@ -1,0 +1,162 @@
+"""Adversarial workload search: worst-case permutations (Section 2.4).
+
+Section 2.4 evaluates routing algorithms by maximizing a channel's load
+over the doubly substochastic demand polytope; the LP's optimum lies at
+an extreme point, and for that polytope the extreme points are the
+(sub)permutation matrices (:mod:`repro.core.worstcase_lp`). That is the
+license for this module's search: to find a worst-case *workload* it is
+sufficient to search node permutations.
+
+The search is a seeded multi-restart hill climb: start from random
+derangements, propose destination swaps between source pairs, and keep
+any swap that does not lower the score. A candidate's score is its exact
+expected peak torus-channel load per injected packet, from the analytic
+load enumeration (:func:`repro.traffic.loads.compute_loads`) -- the same
+oracle the inverse-weighted arbiter weights are programmed from. The
+winner is emitted as a :class:`~repro.traffic.demand.DemandMatrix` (and
+its :class:`~repro.traffic.patterns.FixedPermutation`), ready to drive
+the demand-workload generators, sweeps, or the CLI.
+
+For context the result also carries the Section 2.4 LP optimum for the
+on-chip mesh (``lp_bound``) -- the worst-case *per-router* load the
+paper's direction-order search minimizes. It is a different granularity
+(mesh channels under unit per-direction demands vs. machine torus
+channels under a node permutation), so it is reported, not compared.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.core.geometry import Coord3, all_coords
+from repro.core.machine import Machine
+from repro.core.routing import RouteComputer
+
+from .demand import DemandMatrix
+from .loads import compute_loads
+from .patterns import FixedPermutation
+
+
+@dataclasses.dataclass
+class AdversarialResult:
+    """Outcome of one worst-permutation search."""
+
+    #: The worst node permutation found.
+    mapping: Dict[Coord3, Coord3]
+    #: The same permutation as a rate-1 demand matrix.
+    demand: DemandMatrix
+    #: ...and as a traffic pattern.
+    pattern: FixedPermutation
+    #: Peak torus-channel load per injected packet (the score maximized).
+    score: float
+    #: Candidate permutations scored during the search.
+    evaluated: int
+    #: Best score after each restart, in order.
+    restart_scores: Tuple[float, ...]
+    #: Section 2.4 LP worst-case mesh load (None if scipy is missing).
+    lp_bound: Optional[float]
+
+
+def score_permutation(
+    machine: Machine,
+    route_computer: RouteComputer,
+    mapping: Dict[Coord3, Coord3],
+    cores_per_chip: int = 1,
+) -> float:
+    """Exact peak torus-channel load of a node permutation, per packet
+    injected by every active source."""
+    pattern = FixedPermutation(machine.config.shape, mapping)
+    table = compute_loads(machine, route_computer, pattern, cores_per_chip)
+    return table.max_torus_load(machine)
+
+
+def mesh_lp_bound() -> Optional[float]:
+    """The Section 2.4 LP worst-case on-chip mesh load for the paper's
+    direction order, or None when scipy is unavailable."""
+    try:
+        from repro.core.worstcase_lp import worst_case_lp
+    except ImportError:  # pragma: no cover - scipy is normally present
+        return None
+    return worst_case_lp().worst_load
+
+
+def _random_derangement(rng: random.Random, n: int) -> list:
+    targets = list(range(n))
+    while True:
+        rng.shuffle(targets)
+        if all(targets[i] != i for i in range(n)):
+            return targets
+
+
+def search_worst_permutation(
+    machine: Machine,
+    route_computer: RouteComputer,
+    seed: int = 0,
+    restarts: int = 3,
+    steps: int = 60,
+    cores_per_chip: int = 1,
+    include_lp_bound: bool = True,
+) -> AdversarialResult:
+    """Seeded search for the permutation maximizing peak torus load.
+
+    Deterministic for a given ``(seed, restarts, steps)``: every restart
+    climbs from a fresh random derangement via pairwise destination
+    swaps, keeping swaps that do not lower the exact analytic score.
+    """
+    nodes = list(all_coords(machine.config.shape))
+    n = len(nodes)
+    if n < 2:
+        raise ValueError("adversarial search needs at least 2 nodes")
+    rng = random.Random(seed)
+    evaluated = 0
+    best_targets = None
+    best_score = -1.0
+    restart_scores = []
+
+    def score_of(targets) -> float:
+        mapping = {nodes[i]: nodes[targets[i]] for i in range(n)}
+        return score_permutation(
+            machine, route_computer, mapping, cores_per_chip
+        )
+
+    for _restart in range(restarts):
+        targets = _random_derangement(rng, n)
+        current = score_of(targets)
+        evaluated += 1
+        for _step in range(steps):
+            i = rng.randrange(n)
+            j = rng.randrange(n)
+            if i == j:
+                continue
+            targets[i], targets[j] = targets[j], targets[i]
+            if targets[i] == i or targets[j] == j:
+                # Keep the candidate a derangement: self-traffic is not a
+                # workload the injection harness models.
+                targets[i], targets[j] = targets[j], targets[i]
+                continue
+            candidate = score_of(targets)
+            evaluated += 1
+            if candidate >= current:
+                current = candidate
+            else:
+                targets[i], targets[j] = targets[j], targets[i]
+        restart_scores.append(current)
+        if current > best_score:
+            best_score = current
+            best_targets = list(targets)
+
+    mapping = {nodes[i]: nodes[best_targets[i]] for i in range(n)}
+    name = f"demand-adversarial-s{seed}"
+    return AdversarialResult(
+        mapping=mapping,
+        demand=DemandMatrix.from_mapping(
+            machine.config.shape, mapping, rate=1.0, name=name
+        ),
+        pattern=FixedPermutation(machine.config.shape, mapping, name=name),
+        score=best_score,
+        evaluated=evaluated,
+        restart_scores=tuple(restart_scores),
+        lp_bound=mesh_lp_bound() if include_lp_bound else None,
+    )

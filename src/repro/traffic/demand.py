@@ -1,0 +1,772 @@
+"""Demand-matrix workloads: arbitrary N x N rate matrices over the torus.
+
+The paper's evaluation drives the network with a handful of analytic
+patterns (Sections 4.1-4.2), but design-space exploration needs
+*arbitrary* communication demands: hotspots, skewed popularity, explicit
+permutations, and demands that change over time. This module represents
+such a workload as a :class:`DemandMatrix` -- an N x N matrix of
+injection rates (packets per source endpoint per cycle), rows indexed by
+source node, columns by destination node, nodes in
+:func:`repro.core.geometry.all_coords` order -- in the style of the
+demand-matrix-driven switch simulators (e.g. rotorsim).
+
+Time-varying workloads are piecewise constant: a :class:`DemandSchedule`
+holds ``(start_cycle, DemandMatrix)`` epochs, and the generator resolves
+the schedule into concrete release cycles up front. Because packets are
+fully pre-generated (like :func:`repro.traffic.batch.generate_batch`),
+demand workloads are automatically compatible with the engine checkpoint
+schema: the workload state *is* the serialized source queues, so
+split-run resume is bitwise-identical with no schema change.
+
+Injection modes
+---------------
+
+* ``mode="closed"`` -- batch-style: each source sends
+  ``round(packets_scale * row_sum)`` packets as fast as the network
+  accepts them (all released at cycle 0);
+* ``mode="open"`` with ``injection="bernoulli"`` -- one biased coin per
+  source per cycle at rate ``min(1, row_sum)``;
+* ``mode="open"`` with ``injection="paced"`` -- a deterministic rate
+  accumulator (credit/Bresenham style): per cycle the source banks
+  ``min(1, row_sum)`` packets and emits whenever the bank reaches one.
+  Paced injection makes "offered load never exceeds the matrix row sum"
+  a *hard* per-source invariant, not a statistical one, which is what
+  the conservation-law tests pin.
+
+RNG draw order (seeded workloads depend on it): sources are visited in
+:func:`~repro.traffic.loads.active_endpoints` order; for each source,
+cycles (open) or packet slots (closed) in increasing order; each emitted
+packet draws through :class:`repro.traffic.batch._RouteSampler` --
+destination, endpoint index (uniform mode only), then route choice.
+Bernoulli injection draws one ``rng.random()`` per (source, cycle) of
+every epoch whose row rate is positive; zero-rate spans draw nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.geometry import Coord3, all_coords
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.sim.packet import Packet
+from repro.sim.stats import SimStats
+
+from .batch import _RouteSampler
+from .loads import active_endpoints
+from .patterns import TrafficPattern
+
+
+def _num_nodes(shape: Coord3) -> int:
+    return shape[0] * shape[1] * shape[2]
+
+
+@dataclasses.dataclass(frozen=True)
+class DemandMatrix:
+    """An N x N injection-rate matrix over the nodes of one torus shape.
+
+    ``rates[i][j]`` is the rate (packets per source endpoint per cycle)
+    at which sources on node ``i`` send to node ``j``; node indices
+    follow :func:`~repro.core.geometry.all_coords` order. Every endpoint
+    participating on a chip injects at that chip's row rates, so the
+    chip-level offered load scales with ``cores_per_chip``.
+    """
+
+    shape: Coord3
+    rates: Tuple[Tuple[float, ...], ...]
+    name: str = "demand"
+
+    def __post_init__(self) -> None:
+        n = _num_nodes(self.shape)
+        object.__setattr__(
+            self, "rates", tuple(tuple(float(v) for v in row) for row in self.rates)
+        )
+        if len(self.rates) != n or any(len(row) != n for row in self.rates):
+            raise ValueError(
+                f"rates must be {n}x{n} for shape {self.shape}, got "
+                f"{len(self.rates)} row(s)"
+            )
+        for row in self.rates:
+            for value in row:
+                if not math.isfinite(value) or value < 0:
+                    raise ValueError(f"rates must be finite and >= 0, got {value}")
+
+    # -- node bookkeeping ------------------------------------------------
+
+    def nodes(self) -> List[Coord3]:
+        return list(all_coords(self.shape))
+
+    def node_index(self) -> Dict[Coord3, int]:
+        return {node: i for i, node in enumerate(all_coords(self.shape))}
+
+    def row(self, index: int) -> Tuple[float, ...]:
+        return self.rates[index]
+
+    def row_sum(self, index: int) -> float:
+        return sum(self.rates[index])
+
+    def row_sums(self) -> List[float]:
+        return [sum(row) for row in self.rates]
+
+    def max_row_sum(self) -> float:
+        return max(self.row_sums())
+
+    def total_rate(self) -> float:
+        return sum(self.row_sums())
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "DemandMatrix":
+        if factor < 0:
+            raise ValueError("scale factor must be >= 0")
+        return DemandMatrix(
+            shape=self.shape,
+            rates=tuple(tuple(v * factor for v in row) for row in self.rates),
+            name=name if name is not None else self.name,
+        )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(
+            {
+                "shape": list(self.shape),
+                "name": self.name,
+                "rates": [list(row) for row in self.rates],
+            },
+            sort_keys=True,
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DemandMatrix":
+        obj = json.loads(text)
+        try:
+            shape = tuple(obj["shape"])
+            rates = obj["rates"]
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"demand matrix JSON missing field: {exc}")
+        if len(shape) != 3:
+            raise ValueError(f"shape must have 3 dimensions, got {shape}")
+        return cls(shape=shape, rates=rates, name=obj.get("name", "demand"))
+
+    # -- seeded generators ----------------------------------------------
+
+    @classmethod
+    def uniform(cls, shape: Coord3, rate: float) -> "DemandMatrix":
+        """Every source spreads ``rate`` evenly over all other nodes."""
+        n = _num_nodes(shape)
+        if n < 2:
+            raise ValueError("uniform demand needs at least 2 nodes")
+        share = rate / (n - 1)
+        rates = tuple(
+            tuple(0.0 if i == j else share for j in range(n)) for i in range(n)
+        )
+        return cls(shape=shape, rates=rates, name=f"demand-uniform-r{rate:g}")
+
+    @classmethod
+    def hotspot(
+        cls,
+        shape: Coord3,
+        rate: float,
+        hotspots: int = 1,
+        hot_fraction: float = 0.5,
+        seed: int = 0,
+    ) -> "DemandMatrix":
+        """Seeded hotspot demand: each source sends ``hot_fraction`` of
+        its ``rate`` to ``hotspots`` randomly chosen hot nodes and the
+        rest uniformly elsewhere. A source that is itself hot redirects
+        its self-share to the remaining hot nodes (or to the background
+        if it is the only one)."""
+        n = _num_nodes(shape)
+        if n < 2:
+            raise ValueError("hotspot demand needs at least 2 nodes")
+        if not 1 <= hotspots < n:
+            raise ValueError(f"hotspots must be in [1, {n - 1}], got {hotspots}")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+        rng = random.Random(seed)
+        hot = sorted(rng.sample(range(n), hotspots))
+        hot_set = set(hot)
+        rows = []
+        for i in range(n):
+            row = [0.0] * n
+            targets = [j for j in hot if j != i]
+            cold = [j for j in range(n) if j != i and j not in hot_set]
+            hot_share = rate * hot_fraction
+            cold_share = rate - hot_share
+            if not targets:
+                # The lone hot node sends everything to the background.
+                cold_share = rate
+                hot_share = 0.0
+            if not cold:
+                hot_share += cold_share
+                cold_share = 0.0
+            for j in targets:
+                row[j] += hot_share / len(targets)
+            for j in cold:
+                row[j] += cold_share / len(cold)
+            rows.append(tuple(row))
+        return cls(
+            shape=shape,
+            rates=tuple(rows),
+            name=(
+                f"demand-hotspot-r{rate:g}-h{hotspots}"
+                f"-f{hot_fraction:g}-s{seed}"
+            ),
+        )
+
+    @classmethod
+    def skewed(
+        cls,
+        shape: Coord3,
+        rate: float,
+        exponent: float = 1.0,
+        seed: int = 0,
+    ) -> "DemandMatrix":
+        """Zipf-skewed destination popularity: node popularity follows
+        ``1 / (rank + 1) ** exponent`` with a seeded random assignment of
+        ranks to nodes; each row spreads ``rate`` over the other nodes in
+        proportion to their popularity."""
+        n = _num_nodes(shape)
+        if n < 2:
+            raise ValueError("skewed demand needs at least 2 nodes")
+        if exponent < 0:
+            raise ValueError(f"exponent must be >= 0, got {exponent}")
+        rng = random.Random(seed)
+        ranks = list(range(n))
+        rng.shuffle(ranks)
+        weights = [1.0 / (ranks[j] + 1) ** exponent for j in range(n)]
+        rows = []
+        for i in range(n):
+            others = [(j, weights[j]) for j in range(n) if j != i]
+            total = sum(w for _j, w in others)
+            row = [0.0] * n
+            for j, w in others:
+                row[j] = rate * w / total
+            rows.append(tuple(row))
+        return cls(
+            shape=shape,
+            rates=tuple(rows),
+            name=f"demand-skew-r{rate:g}-e{exponent:g}-s{seed}",
+        )
+
+    @classmethod
+    def permutation(
+        cls, shape: Coord3, rate: float = 1.0, seed: int = 0
+    ) -> "DemandMatrix":
+        """A seeded random permutation demand (no fixed points): each
+        source sends its whole ``rate`` to exactly one distinct node."""
+        n = _num_nodes(shape)
+        if n < 2:
+            raise ValueError("permutation demand needs at least 2 nodes")
+        rng = random.Random(seed)
+        targets = list(range(n))
+        while True:
+            rng.shuffle(targets)
+            if all(targets[i] != i for i in range(n)):
+                break
+        rows = []
+        for i in range(n):
+            row = [0.0] * n
+            row[targets[i]] = rate
+            rows.append(tuple(row))
+        return cls(
+            shape=shape,
+            rates=tuple(rows),
+            name=f"demand-perm-r{rate:g}-s{seed}",
+        )
+
+    @classmethod
+    def from_mapping(
+        cls,
+        shape: Coord3,
+        mapping: Dict[Coord3, Coord3],
+        rate: float = 1.0,
+        name: str = "demand-perm",
+    ) -> "DemandMatrix":
+        """The demand matrix of an explicit node permutation (the form
+        the adversarial search emits)."""
+        index = {node: i for i, node in enumerate(all_coords(shape))}
+        n = _num_nodes(shape)
+        if set(mapping) != set(index) or set(mapping.values()) != set(index):
+            raise ValueError("mapping must be a permutation of all nodes")
+        rows = [[0.0] * n for _ in range(n)]
+        for src, dst in mapping.items():
+            rows[index[src]][index[dst]] = rate
+        return cls(
+            shape=shape, rates=tuple(tuple(r) for r in rows), name=name
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DemandSchedule:
+    """A piecewise-constant sequence of demand matrices over cycles.
+
+    ``epochs`` is a tuple of ``(start_cycle, DemandMatrix)`` pairs; the
+    first epoch must start at cycle 0 and starts must strictly increase.
+    Each epoch's matrix applies from its start up to the next epoch's
+    start (the last epoch extends to the end of the run).
+    """
+
+    epochs: Tuple[Tuple[int, DemandMatrix], ...]
+
+    def __post_init__(self) -> None:
+        epochs = tuple((int(start), matrix) for start, matrix in self.epochs)
+        object.__setattr__(self, "epochs", epochs)
+        if not epochs:
+            raise ValueError("schedule needs at least one epoch")
+        if epochs[0][0] != 0:
+            raise ValueError(
+                f"first epoch must start at cycle 0, got {epochs[0][0]}"
+            )
+        starts = [start for start, _m in epochs]
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ValueError(f"epoch starts must strictly increase: {starts}")
+        shapes = {matrix.shape for _s, matrix in epochs}
+        if len(shapes) != 1:
+            raise ValueError(f"all epochs must share one shape, got {shapes}")
+
+    @property
+    def shape(self) -> Coord3:
+        return self.epochs[0][1].shape
+
+    @property
+    def name(self) -> str:
+        if len(self.epochs) == 1:
+            return self.epochs[0][1].name
+        return f"schedule[{len(self.epochs)}]({self.epochs[0][1].name},...)"
+
+    @classmethod
+    def from_matrices(
+        cls, matrices: Sequence[DemandMatrix], epoch_length: int
+    ) -> "DemandSchedule":
+        """Equal-length epochs: matrix ``k`` applies from cycle
+        ``k * epoch_length``."""
+        if epoch_length < 1:
+            raise ValueError("epoch_length must be at least 1")
+        return cls(
+            epochs=tuple(
+                (k * epoch_length, matrix) for k, matrix in enumerate(matrices)
+            )
+        )
+
+    def matrix_at(self, cycle: int) -> DemandMatrix:
+        """The matrix in force at ``cycle``."""
+        current = self.epochs[0][1]
+        for start, matrix in self.epochs:
+            if start > cycle:
+                break
+            current = matrix
+        return current
+
+    def spans(self, duration_cycles: int) -> List[Tuple[int, int, int]]:
+        """Concrete ``(start, end, epoch_index)`` half-open spans covering
+        ``[0, duration_cycles)``."""
+        spans = []
+        for k, (start, _matrix) in enumerate(self.epochs):
+            end = (
+                self.epochs[k + 1][0]
+                if k + 1 < len(self.epochs)
+                else duration_cycles
+            )
+            end = min(end, duration_cycles)
+            if start >= end:
+                continue
+            spans.append((start, end, k))
+        return spans
+
+
+Demand = Union[DemandMatrix, DemandSchedule]
+
+
+def as_schedule(demand: Demand) -> DemandSchedule:
+    """Normalize a bare matrix into a one-epoch schedule."""
+    if isinstance(demand, DemandSchedule):
+        return demand
+    if isinstance(demand, DemandMatrix):
+        return DemandSchedule(epochs=((0, demand),))
+    raise TypeError(f"expected DemandMatrix or DemandSchedule, got {type(demand)!r}")
+
+
+class DemandMatrixPattern(TrafficPattern):
+    """One demand matrix viewed as a :class:`TrafficPattern`.
+
+    The destination distribution of a source node is its matrix row,
+    normalized -- which is exactly what the analytic load computation and
+    the shared :class:`~repro.traffic.batch._RouteSampler` consume. The
+    *rate* information (row sums) lives in the generators below; the
+    pattern carries only the conditional where-to distribution.
+    """
+
+    node_symmetric = False
+
+    def __init__(self, matrix: DemandMatrix) -> None:
+        super().__init__(matrix.shape)
+        self.matrix = matrix
+        index = matrix.node_index()
+        nodes = matrix.nodes()
+        self._dests: Dict[Coord3, List[Tuple[Coord3, float]]] = {}
+        self._cdf: Dict[Coord3, List[Tuple[float, Coord3]]] = {}
+        for src in nodes:
+            row = matrix.row(index[src])
+            total = sum(row)
+            dests = []
+            cdf = []
+            if total > 0:
+                acc = 0.0
+                for j, value in enumerate(row):
+                    if value <= 0:
+                        continue
+                    prob = value / total
+                    dests.append((nodes[j], prob))
+                    acc += prob
+                    cdf.append((acc, nodes[j]))
+            self._dests[src] = dests
+            self._cdf[src] = cdf
+
+    @property
+    def name(self) -> str:
+        return self.matrix.name
+
+    def destinations(self, src: Coord3) -> List[Tuple[Coord3, float]]:
+        return list(self._dests[src])
+
+    def sample(self, rng: random.Random, src: Coord3) -> Coord3:
+        cdf = self._cdf[src]
+        if not cdf:
+            raise ValueError(f"source {src} has zero demand; nothing to sample")
+        roll = rng.random()
+        for acc, dst in cdf:
+            if roll < acc:
+                return dst
+        return cdf[-1][1]
+
+
+@dataclasses.dataclass(frozen=True)
+class DemandSpec:
+    """Parameters of one demand-matrix workload.
+
+    ``demand`` is a :class:`DemandMatrix` or :class:`DemandSchedule`
+    (closed-loop runs use the cycle-0 matrix). Open-loop runs emit over
+    ``duration_cycles``; closed-loop runs emit
+    ``round(packets_scale * row_sum)`` packets per source, all at
+    cycle 0.
+    """
+
+    demand: Demand
+    cores_per_chip: int
+    mode: str = "open"
+    duration_cycles: int = 0
+    packets_scale: float = 1.0
+    injection: str = "bernoulli"
+    dst_endpoint_mode: str = "same_index"
+    size_flits: int = 1
+    traffic_class: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        as_schedule(self.demand)  # validates the type
+        if self.mode not in ("open", "closed"):
+            raise ValueError(f"mode must be 'open' or 'closed', got {self.mode!r}")
+        if self.injection not in ("bernoulli", "paced"):
+            raise ValueError(
+                f"injection must be 'bernoulli' or 'paced', got {self.injection!r}"
+            )
+        if self.mode == "open" and self.duration_cycles < 1:
+            raise ValueError("open-loop demand needs duration_cycles >= 1")
+        if self.mode == "closed" and self.packets_scale <= 0:
+            raise ValueError("closed-loop demand needs packets_scale > 0")
+        if self.dst_endpoint_mode not in ("same_index", "uniform"):
+            raise ValueError(
+                f"unknown dst_endpoint_mode {self.dst_endpoint_mode!r}"
+            )
+
+    @property
+    def schedule(self) -> DemandSchedule:
+        return as_schedule(self.demand)
+
+
+def generate_demand(
+    machine: Machine, route_computer: RouteComputer, spec: DemandSpec
+) -> List[Packet]:
+    """Generate the packets of a demand workload (see the module
+    docstring for the injection modes and the RNG draw order).
+
+    All packets are pre-generated with concrete release cycles, so the
+    resulting engine state checkpoints with the existing schema and the
+    fast path sees an ordinary batch.
+    """
+    schedule = spec.schedule
+    if schedule.shape != machine.config.shape:
+        raise ValueError(
+            f"demand shape {schedule.shape} does not match machine shape "
+            f"{machine.config.shape}"
+        )
+    samplers = [
+        _RouteSampler(
+            machine,
+            route_computer,
+            DemandMatrixPattern(matrix),
+            spec.cores_per_chip,
+            spec.dst_endpoint_mode,
+            spec.size_flits,
+            spec.traffic_class,
+        )
+        for _start, matrix in schedule.epochs
+    ]
+    node_index = schedule.epochs[0][1].node_index()
+    rng = random.Random(spec.seed)
+    packets: List[Packet] = []
+    pid = 0
+
+    if spec.mode == "closed":
+        matrix = schedule.epochs[0][1]
+        sampler = samplers[0]
+        for src_ep in active_endpoints(machine, spec.cores_per_chip):
+            src_comp = machine.components[src_ep]
+            row_sum = matrix.row_sum(node_index[src_comp.chip])
+            count = int(round(spec.packets_scale * row_sum))
+            for _ in range(count):
+                packets.append(
+                    sampler.draw(rng, src_comp.chip, src_comp.detail, pid, 0)
+                )
+                pid += 1
+        return packets
+
+    spans = schedule.spans(spec.duration_cycles)
+    for src_ep in active_endpoints(machine, spec.cores_per_chip):
+        src_comp = machine.components[src_ep]
+        row_index = node_index[src_comp.chip]
+        bank = 0.0  # paced-injection accumulator, carried across epochs
+        for start, end, k in spans:
+            matrix = schedule.epochs[k][1]
+            sampler = samplers[k]
+            rate = min(1.0, matrix.row_sum(row_index))
+            if rate <= 0.0:
+                continue
+            for cycle in range(start, end):
+                if spec.injection == "bernoulli":
+                    if rng.random() >= rate:
+                        continue
+                    emit = 1
+                else:
+                    bank += rate
+                    emit = int(bank)
+                    bank -= emit
+                for _ in range(emit):
+                    packets.append(
+                        sampler.draw(
+                            rng, src_comp.chip, src_comp.detail, pid, cycle
+                        )
+                    )
+                    pid += 1
+    return packets
+
+
+def build_demand_engine(
+    machine: Machine,
+    route_computer: RouteComputer,
+    spec: DemandSpec,
+    arbitration: str = "rr",
+    weight_patterns: Optional[Sequence[TrafficPattern]] = None,
+    weight_tables=None,
+    vc_weight_tables=None,
+    weight_bits: Optional[int] = None,
+    keep_packet_latencies: bool = False,
+    trace=None,
+    latency_quantiles: bool = False,
+    faults=None,
+    use_fastpath: Optional[bool] = None,
+):
+    """Construct a cycle-0 engine with a full demand workload enqueued.
+
+    The demand analogue of
+    :func:`repro.sim.simulator.build_batch_engine`. For
+    ``arbitration="iw"`` without explicit tables, the weights are
+    programmed from the cycle-0 matrix's conditional distribution
+    (:class:`DemandMatrixPattern`) -- demand matrices are generally not
+    translation symmetric, so the exhaustive load path is used.
+    """
+    from repro.sim.engine import Engine
+    from repro.sim.simulator import (
+        DEFAULT_WEIGHT_BITS,
+        arbiter_builder_for,
+        make_vc_weight_tables,
+        make_weight_tables,
+    )
+    from repro.traffic.loads import compute_loads
+
+    if weight_bits is None:
+        weight_bits = DEFAULT_WEIGHT_BITS
+    num_patterns = 1
+    if arbitration == "iw":
+        if weight_tables is None or vc_weight_tables is None:
+            if weight_patterns is None:
+                weight_patterns = [
+                    DemandMatrixPattern(spec.schedule.epochs[0][1])
+                ]
+            load_tables = [
+                compute_loads(
+                    machine,
+                    route_computer,
+                    pattern,
+                    spec.cores_per_chip,
+                    spec.dst_endpoint_mode,
+                )
+                for pattern in weight_patterns
+            ]
+            if weight_tables is None:
+                weight_tables = make_weight_tables(
+                    machine,
+                    route_computer,
+                    weight_patterns,
+                    spec.cores_per_chip,
+                    spec.dst_endpoint_mode,
+                    weight_bits,
+                    load_tables=load_tables,
+                )
+            if vc_weight_tables is None:
+                vc_weight_tables = make_vc_weight_tables(
+                    machine,
+                    route_computer,
+                    weight_patterns,
+                    spec.cores_per_chip,
+                    spec.dst_endpoint_mode,
+                    weight_bits,
+                    load_tables=load_tables,
+                )
+        for table in weight_tables.values():
+            num_patterns = table.num_patterns
+            break
+    builder = arbiter_builder_for(arbitration, weight_tables, num_patterns, weight_bits)
+    vc_builder = arbiter_builder_for(
+        arbitration, vc_weight_tables, num_patterns, weight_bits
+    )
+    engine = Engine(
+        machine,
+        arbiter_builder=builder,
+        vc_arbiter_builder=vc_builder,
+        keep_packet_latencies=keep_packet_latencies,
+        trace=trace,
+        latency_quantiles=latency_quantiles,
+        faults=faults,
+        use_fastpath=use_fastpath,
+    )
+    for packet in generate_demand(machine, route_computer, spec):
+        engine.enqueue(packet)
+    return engine
+
+
+def run_demand(
+    machine: Machine,
+    route_computer: RouteComputer,
+    spec: DemandSpec,
+    arbitration: str = "rr",
+    weight_patterns: Optional[Sequence[TrafficPattern]] = None,
+    weight_tables=None,
+    vc_weight_tables=None,
+    max_cycles: int = 10_000_000,
+    keep_packet_latencies: bool = False,
+    trace=None,
+    latency_quantiles: bool = False,
+    faults=None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
+    use_fastpath: Optional[bool] = None,
+) -> SimStats:
+    """Run one demand-matrix experiment and return its statistics.
+
+    Mirrors :func:`repro.sim.simulator.run_batch`, including the
+    checkpoint/resume contract: an existing ``checkpoint_path`` marks an
+    interrupted run and is resumed bitwise-identically (workload state
+    needs no extra serialization because packets are pre-generated into
+    the checkpointed source queues).
+    """
+    from repro.sim.simulator import run_engine
+
+    def build():
+        return build_demand_engine(
+            machine,
+            route_computer,
+            spec,
+            arbitration=arbitration,
+            weight_patterns=weight_patterns,
+            weight_tables=weight_tables,
+            vc_weight_tables=vc_weight_tables,
+            keep_packet_latencies=keep_packet_latencies,
+            trace=trace,
+            latency_quantiles=latency_quantiles,
+            faults=faults,
+            use_fastpath=use_fastpath,
+        )
+
+    return run_engine(
+        build,
+        trace=trace,
+        max_cycles=max_cycles,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        use_fastpath=use_fastpath,
+        machine=machine,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class DemandPoint:
+    """One demand workload as a sweep point (picklable, fingerprintable).
+
+    Pairs with :func:`measure_demand_point` for
+    :class:`repro.sim.sweep.SweepPoint` fan-out: both the point and the
+    measure function are module-level, so process pools and the sweep
+    fingerprint cache handle them like any batch point.
+    """
+
+    config: MachineConfig
+    spec: DemandSpec
+    arbitration: str = "rr"
+    label: str = ""
+
+
+@dataclasses.dataclass
+class DemandRunResult:
+    """Aggregate outcome of one demand sweep point."""
+
+    label: str
+    generated: int
+    delivered: int
+    dropped: int
+    end_cycle: int
+    #: Offered packets per source per cycle (open-loop; 0 for closed).
+    offered_rate: float
+    #: Delivered packets per source per cycle over the full run.
+    achieved_rate: float
+
+
+def measure_demand_point(point: DemandPoint) -> DemandRunResult:
+    """Build the machine, run the demand workload, reduce to a result."""
+    machine = Machine(point.config)
+    routes = RouteComputer(machine)
+    stats = run_demand(
+        machine, routes, point.spec, arbitration=point.arbitration
+    )
+    num_sources = len(active_endpoints(machine, point.spec.cores_per_chip))
+    offered = 0.0
+    if point.spec.mode == "open" and point.spec.duration_cycles > 0:
+        offered = stats.injected / (num_sources * point.spec.duration_cycles)
+    achieved = (
+        stats.delivered / (num_sources * stats.end_cycle)
+        if stats.end_cycle
+        else 0.0
+    )
+    return DemandRunResult(
+        label=point.label or point.spec.schedule.name,
+        generated=stats.injected,
+        delivered=stats.delivered,
+        dropped=stats.dropped,
+        end_cycle=stats.end_cycle,
+        offered_rate=offered,
+        achieved_rate=achieved,
+    )

@@ -1,0 +1,354 @@
+"""Trace replay: re-issue a recorded JSONL trace as a workload.
+
+A committed trace (:mod:`repro.sim.trace`) records everything needed to
+reconstruct the workload that produced it:
+
+* each packet's ``inject`` event carries its source and destination
+  endpoint component ids and its flit count;
+* its ordered ``depart`` events enumerate the exact ``(channel, vc)``
+  hop sequence it traversed -- the :class:`~repro.core.routing.Route`
+  hops, VC promotions included;
+* its ``deliver`` event carries ``qlat`` (release-to-delivery cycles),
+  so ``release_cycle = deliver_cycle - qlat`` recovers the original
+  injection schedule exactly.
+
+Replay rebuilds those packets and *re-simulates* them: the engine is
+bit-deterministic given (packets, arbiters), so replaying a run's own
+trace regenerates its event stream byte-for-byte -- the conformance
+property pinned by the replay test layer and the CI round-trip job. The
+header and end records are passed through verbatim (they are provenance,
+not simulation output), so the full output file is byte-identical to the
+input when -- and only when -- the re-simulation is faithful.
+
+Two reconstruction subtleties the contract depends on:
+
+* **Enqueue order.** Same-cycle timing-wheel events are processed in
+  push order, and the pre-run enqueue loop pushes every future release's
+  wake event, so the generator's source iteration order is observable.
+  Replay therefore enqueues per-source packet blocks in
+  :func:`~repro.traffic.loads.active_endpoints` order (the order every
+  generator in :mod:`repro.traffic` uses), with each source's packets in
+  trace order (= its FIFO queue order).
+* **Faulted traces are not replayable.** Reroute/drop/retry dispositions
+  overwrite routes mid-flight, so a trace with fault events does not
+  contain the original injection schedule; :func:`load_replay` rejects
+  such traces with a clear error rather than replaying them wrong.
+
+Arbitration is not recorded per event; traces written by current tooling
+carry it in the header (``"arb"``), and ``repro replay`` reconstructs
+weight tables for ``iw`` traces from the header's pattern metadata.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.geometry import all_coords
+from repro.core.machine import ChannelKind, ComponentKind, Machine, MachineConfig
+from repro.core.routing import Route, RouteChoice
+from repro.sim.packet import Packet
+from repro.sim.trace import EVENT_KINDS, TraceEvent, read_trace
+
+#: Event kinds whose presence makes a trace non-replayable.
+FAULT_KINDS = ("fault", "reroute", "drop", "retry")
+
+
+class ReplayError(ValueError):
+    """The trace cannot be replayed (malformed, truncated, or faulted)."""
+
+
+@dataclasses.dataclass
+class ReplayWorkload:
+    """A parsed trace, reconstructed into an injectable workload."""
+
+    shape: Tuple[int, int, int]
+    endpoints_per_chip: int
+    header: dict
+    #: Raw metadata record lines before the first event, verbatim.
+    prologue: List[str]
+    #: Raw metadata record lines after the last event, verbatim.
+    epilogue: List[str]
+    #: Reconstructed packets: per-source blocks in endpoint-rank order,
+    #: each block in trace (= queue) order.
+    packets: List[Packet]
+    #: Events in the source trace (the regenerated count must match).
+    num_events: int
+    #: Arbitration policy from the header, or None if absent.
+    arbitration: Optional[str]
+    #: Optional workload hints from the header (for iw reconstruction).
+    pattern: Optional[str]
+    cores: Optional[int]
+
+
+def _reconstruct_packets(
+    machine: Machine, events: Sequence[TraceEvent]
+) -> List[Packet]:
+    """Rebuild every injected packet from its inject/depart/deliver events."""
+    injects: Dict[int, TraceEvent] = {}
+    hops: Dict[int, List[Tuple[int, int]]] = {}
+    release: Dict[int, int] = {}
+    order: List[int] = []
+    for event in events:
+        if event.kind == "inject":
+            if event.pid in injects:
+                raise ReplayError(
+                    f"pid {event.pid} injected twice; retries are not replayable"
+                )
+            injects[event.pid] = event
+            hops[event.pid] = []
+            order.append(event.pid)
+        elif event.kind == "depart":
+            if event.pid in hops:
+                hops[event.pid].append((event.channel, event.vc))
+        elif event.kind == "deliver":
+            if event.pid not in injects:
+                raise ReplayError(
+                    f"pid {event.pid} delivered without an inject event"
+                )
+            release[event.pid] = event.cycle - event.get("qlat")
+
+    missing = [pid for pid in order if pid not in release]
+    if missing:
+        raise ReplayError(
+            f"{len(missing)} injected packet(s) never delivered (e.g. pid "
+            f"{missing[0]}); the trace is truncated or faulted"
+        )
+
+    packets: Dict[int, List[Packet]] = {}
+    for pid in order:
+        inject = injects[pid]
+        src = inject.get("src")
+        dst = inject.get("dst")
+        hop_list = hops[pid]
+        if not hop_list:
+            raise ReplayError(f"pid {pid} has no depart events")
+        if hop_list[0][0] != inject.channel:
+            raise ReplayError(
+                f"pid {pid}: first depart channel {hop_list[0][0]} does not "
+                f"match its inject channel {inject.channel}"
+            )
+        for comp_id, role in ((src, "source"), (dst, "destination")):
+            if (
+                not 0 <= comp_id < len(machine.components)
+                or machine.components[comp_id].kind != ComponentKind.ENDPOINT
+            ):
+                raise ReplayError(
+                    f"pid {pid}: {role} component {comp_id} is not an "
+                    f"endpoint of this machine"
+                )
+        internode = sum(
+            1
+            for channel_id, _vc in hop_list
+            if machine.channels[channel_id].kind == ChannelKind.TORUS
+        )
+        route = Route(
+            src=src,
+            dst=dst,
+            choice=RouteChoice(),
+            hops=tuple(hop_list),
+            internode_hops=internode,
+        )
+        packet = Packet(
+            pid,
+            route,
+            size_flits=inject.get("flits", 1),
+            release_cycle=release[pid],
+        )
+        block = packets.setdefault(src, [])
+        if block and block[-1].release_cycle > packet.release_cycle:
+            raise ReplayError(
+                f"source {src}: pid {pid} released at {packet.release_cycle} "
+                f"after pid {block[-1].pid} at {block[-1].release_cycle}; "
+                f"the trace's injection order is not a queue order"
+            )
+        block.append(packet)
+
+    # Per-source blocks in generator (active_endpoints) order, so the
+    # pre-run wake-event push order matches the original run's.
+    rank: Dict[int, int] = {}
+    for chip in all_coords(machine.config.shape):
+        for index in range(machine.config.endpoints_per_chip):
+            rank[machine.ep_id[(chip, index)]] = len(rank)
+    ordered: List[Packet] = []
+    for src in sorted(packets, key=rank.__getitem__):
+        ordered.extend(packets[src])
+    return ordered
+
+
+def load_replay(lines) -> ReplayWorkload:
+    """Parse raw JSONL trace lines into a :class:`ReplayWorkload`.
+
+    ``lines`` is any iterable of lines (an open file, a splitlines()
+    list). Raises :class:`ReplayError` on traces that cannot round-trip:
+    missing machine metadata, fault events, truncation, or metadata
+    records interleaved with events.
+    """
+    import json
+
+    raw = [line.rstrip("\n") for line in lines if line.strip()]
+    if not raw:
+        raise ReplayError("empty trace")
+    kinds = []
+    for line in raw:
+        obj = json.loads(line)
+        kinds.append(obj.get("ev") in EVENT_KINDS)
+    first_event = kinds.index(True) if any(kinds) else len(raw)
+    last_event = len(kinds) - 1 - kinds[::-1].index(True) if any(kinds) else -1
+    if not all(kinds[first_event : last_event + 1]):
+        raise ReplayError(
+            "metadata records interleaved with events; cannot replay verbatim"
+        )
+    prologue = raw[:first_event]
+    epilogue = raw[last_event + 1 :]
+    records, events = read_trace(raw)
+
+    header = records[0] if records else {}
+    if header.get("ev") != "trace":
+        raise ReplayError("trace has no header record ('ev': 'trace')")
+    schema = header.get("schema")
+    if schema != 1:
+        raise ReplayError(f"unsupported trace schema {schema!r}")
+    shape = header.get("shape")
+    endpoints = header.get("endpoints")
+    if shape is None or endpoints is None:
+        raise ReplayError(
+            "trace header lacks 'shape'/'endpoints'; cannot rebuild the machine"
+        )
+    shape = tuple(shape)
+
+    faulted = sorted({e.kind for e in events if e.kind in FAULT_KINDS})
+    if faulted:
+        raise ReplayError(
+            f"trace contains {'/'.join(faulted)} events; fault dispositions "
+            f"are policy decisions the trace does not record, so faulted "
+            f"traces are not bitwise-replayable"
+        )
+    if not events:
+        raise ReplayError("trace contains no events")
+
+    machine = Machine(
+        MachineConfig(shape=shape, endpoints_per_chip=int(endpoints))
+    )
+    tpc = header.get("tpc")
+    if tpc is not None and tpc != machine.ticks_per_cycle:
+        raise ReplayError(
+            f"trace timebase tpc={tpc} does not match the machine's "
+            f"{machine.ticks_per_cycle}"
+        )
+    return ReplayWorkload(
+        shape=shape,
+        endpoints_per_chip=int(endpoints),
+        header=header,
+        prologue=prologue,
+        epilogue=epilogue,
+        packets=_reconstruct_packets(machine, events),
+        num_events=len(events),
+        arbitration=header.get("arb"),
+        pattern=header.get("pattern"),
+        cores=header.get("cores"),
+    )
+
+
+def build_replay_engine(
+    machine: Machine,
+    workload: ReplayWorkload,
+    arbitration: Optional[str] = None,
+    weight_patterns=None,
+    trace=None,
+    use_fastpath: Optional[bool] = None,
+):
+    """An engine at cycle 0 with the replay workload enqueued.
+
+    ``arbitration`` defaults to the trace header's ``arb`` field (falling
+    back to round-robin). ``iw`` needs ``weight_patterns`` to reprogram
+    the weight tables -- the CLI reconstructs them from the header's
+    ``pattern``/``cores`` fields.
+    """
+    from repro.core.routing import RouteComputer
+    from repro.sim.engine import Engine
+    from repro.sim.simulator import (
+        arbiter_builder_for,
+        make_vc_weight_tables,
+        make_weight_tables,
+    )
+
+    if machine.config.shape != workload.shape or (
+        machine.config.endpoints_per_chip != workload.endpoints_per_chip
+    ):
+        raise ReplayError("machine does not match the trace header")
+    policy = arbitration or workload.arbitration or "rr"
+    weight_tables = vc_weight_tables = None
+    if policy == "iw":
+        if weight_patterns is None:
+            raise ReplayError(
+                "replaying an inverse-weighted trace needs weight_patterns "
+                "(reconstructed from the trace header's pattern metadata)"
+            )
+        routes = RouteComputer(machine)
+        cores = workload.cores or machine.config.endpoints_per_chip
+        weight_tables = make_weight_tables(machine, routes, weight_patterns, cores)
+        vc_weight_tables = make_vc_weight_tables(
+            machine, routes, weight_patterns, cores
+        )
+    builder = arbiter_builder_for(policy, weight_tables)
+    vc_builder = arbiter_builder_for(policy, vc_weight_tables)
+    engine = Engine(
+        machine,
+        arbiter_builder=builder,
+        vc_arbiter_builder=vc_builder,
+        trace=trace,
+        use_fastpath=use_fastpath,
+    )
+    for packet in workload.packets:
+        engine.enqueue(packet)
+    return engine
+
+
+def replay_trace(
+    lines,
+    out_stream=None,
+    arbitration: Optional[str] = None,
+    weight_patterns=None,
+    use_fastpath: Optional[bool] = None,
+    max_cycles: int = 10_000_000,
+):
+    """Replay a trace end to end; returns ``(stats, workload, events)``.
+
+    When ``out_stream`` is given, the replayed trace is written to it:
+    the original metadata records verbatim, the regenerated events in
+    between. For a faithful replay the output is byte-identical to the
+    input.
+    """
+    from repro.sim.trace import JsonlTraceWriter
+
+    workload = load_replay(lines)
+    machine = Machine(
+        MachineConfig(
+            shape=workload.shape,
+            endpoints_per_chip=workload.endpoints_per_chip,
+        )
+    )
+    writer = None
+    if out_stream is not None:
+        for line in workload.prologue:
+            out_stream.write(line)
+            out_stream.write("\n")
+        writer = JsonlTraceWriter(out_stream, header=False)
+    engine = build_replay_engine(
+        machine,
+        workload,
+        arbitration=arbitration,
+        weight_patterns=weight_patterns,
+        trace=writer,
+        use_fastpath=use_fastpath,
+    )
+    stats = engine.run(max_cycles=max_cycles)
+    events_written = 0
+    if writer is not None:
+        writer.flush()
+        events_written = writer.events_written
+        for line in workload.epilogue:
+            out_stream.write(line)
+            out_stream.write("\n")
+    return stats, workload, events_written

@@ -23,6 +23,12 @@ from repro.sim.checkpoint import dumps, loads, restore_engine, snapshot_engine
 from repro.sim.simulator import build_batch_engine
 from repro.sim.trace import JsonlTraceWriter
 from repro.traffic.batch import BatchSpec
+from repro.traffic.demand import (
+    DemandMatrix,
+    DemandSchedule,
+    DemandSpec,
+    build_demand_engine,
+)
 from repro.traffic.patterns import Tornado, UniformRandom
 
 SHAPE = (2, 2, 2)
@@ -73,21 +79,45 @@ def build(pattern_kind, arbitration, seed, batch, faulted, policy, writer):
     )
 
 
-def run_uninterrupted(params):
+def build_demand_case(seed, mseed, injection, arbitration, writer):
+    # Three hotspot epochs with shifting hot nodes: any split past cycle
+    # 20 has at least one epoch boundary behind it and (before cycle 40)
+    # one still ahead in the pre-generated schedule.
+    machine, routes = shared_machine()
+    matrices = [
+        DemandMatrix.hotspot(
+            SHAPE, rate=0.35, hotspots=1, hot_fraction=0.6, seed=mseed + k
+        )
+        for k in range(3)
+    ]
+    spec = DemandSpec(
+        demand=DemandSchedule.from_matrices(matrices, 20),
+        cores_per_chip=2,
+        mode="open",
+        duration_cycles=60,
+        injection=injection,
+        seed=seed,
+    )
+    return build_demand_engine(
+        machine, routes, spec, arbitration=arbitration, trace=writer
+    )
+
+
+def run_uninterrupted(params, build_fn=build):
     stream = io.StringIO()
     writer = JsonlTraceWriter(stream, meta={"run": "prop"})
-    engine = build(*params, writer)
+    engine = build_fn(*params, writer)
     stats = engine.run()
     writer.flush()
     return stream.getvalue(), json.dumps(stats.asdict())
 
 
-def run_split(params, split_cycle):
+def run_split(params, split_cycle, build_fn=build):
     # Phase 1: run to the checkpoint cycle and snapshot through the full
     # canonical text round trip.
     stream = io.StringIO()
     writer = JsonlTraceWriter(stream, meta={"run": "prop"})
-    engine = build(*params, writer)
+    engine = build_fn(*params, writer)
     engine.run_for(split_cycle)
     writer.flush()
     data = loads(dumps(snapshot_engine(engine)))
@@ -205,3 +235,50 @@ class TestResumeEquivalence:
 
         assert text == full_trace
         assert json.dumps(stats.asdict()) == full_stats
+
+
+class TestDemandResumeEquivalence:
+    """Evolving demand-matrix workloads hold the same bitwise resume
+    contract: the pre-generated schedule lives entirely in the
+    checkpointed source queues, so no extra workload state is needed."""
+
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=50),
+        st.sampled_from(["bernoulli", "paced"]),
+        st.sampled_from(["rr", "iw"]),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_evolving_demand_split_is_bitwise(
+        self, seed, mseed, injection, arbitration, frac
+    ):
+        params = (seed, mseed, injection, arbitration)
+        full_trace, full_stats = run_uninterrupted(
+            params, build_fn=build_demand_case
+        )
+        end_cycle = json.loads(full_stats)["end_cycle"]
+        split_cycle = min(max(1, int(frac * end_cycle)), end_cycle - 1)
+        split_trace, split_stats = run_split(
+            params, split_cycle, build_fn=build_demand_case
+        )
+        assert split_trace == full_trace
+        assert split_stats == full_stats
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_split_inside_second_epoch(self, seed):
+        # Pin the checkpoint inside the middle epoch (cycles 20-39): the
+        # resume then crosses the remaining epoch boundary at cycle 40,
+        # the exact hand-off the schedule resolution must preserve.
+        params = (seed, 7, "bernoulli", "rr")
+        full_trace, full_stats = run_uninterrupted(
+            params, build_fn=build_demand_case
+        )
+        end_cycle = json.loads(full_stats)["end_cycle"]
+        split_cycle = min(25, end_cycle - 1)
+        split_trace, split_stats = run_split(
+            params, split_cycle, build_fn=build_demand_case
+        )
+        assert split_trace == full_trace
+        assert split_stats == full_stats

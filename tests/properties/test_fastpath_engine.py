@@ -10,6 +10,7 @@ serialized state, so any divergence (a reordered stats key, an off-by-one
 pointer mirror, a mis-sequenced wheel event) fails loudly.
 """
 
+import io
 import json
 
 import pytest
@@ -23,8 +24,17 @@ from repro.core.machine import Machine, MachineConfig
 from repro.core.routing import RouteComputer
 from repro.sim.checkpoint import dumps, restore_engine, snapshot_engine
 from repro.sim.simulator import build_batch_engine
+from repro.sim.trace import JsonlTraceWriter
 from repro.traffic.batch import BatchSpec
+from repro.traffic.demand import (
+    DemandMatrix,
+    DemandMatrixPattern,
+    DemandSchedule,
+    DemandSpec,
+    build_demand_engine,
+)
 from repro.traffic.patterns import BitComplement, Tornado, UniformRandom
+from repro.traffic.replay import build_replay_engine, load_replay
 
 _CACHE = {}
 
@@ -32,6 +42,13 @@ PATTERNS = {
     "uniform": UniformRandom,
     "tornado": Tornado,
     "bitcomp": BitComplement,
+    # A demand matrix viewed as a pattern: closed-loop demand through the
+    # ordinary batch machinery must hold the same bit-exactness contract.
+    "demand": lambda shape: DemandMatrixPattern(
+        DemandMatrix.hotspot(
+            shape, rate=0.5, hotspots=1, hot_fraction=0.6, seed=9
+        )
+    ),
 }
 
 
@@ -81,7 +98,9 @@ def stats_blob(engine):
 def workload(draw):
     shape, eps = draw(st.sampled_from([((2, 2, 2), 2), ((3, 2, 2), 1)]))
     policy = draw(st.sampled_from(["rr", "age", "iw", "fixed"]))
-    pattern = draw(st.sampled_from(["uniform", "tornado", "bitcomp"]))
+    pattern = draw(
+        st.sampled_from(["uniform", "tornado", "bitcomp", "demand"])
+    )
     batch = draw(st.integers(min_value=1, max_value=24))
     seed = draw(st.integers(min_value=0, max_value=2**31))
     return shape, eps, policy, pattern, batch, seed
@@ -140,3 +159,107 @@ class TestCrossPathRestore:
             assert dumps(snapshot_engine(resumed)) == oracle, (
                 f"resume with use_fastpath={resume_fast} diverged"
             )
+
+
+@st.composite
+def demand_case(draw):
+    shape, eps = draw(st.sampled_from([((2, 2, 2), 2), ((3, 2, 2), 1)]))
+    mode = draw(st.sampled_from(["open", "closed"]))
+    injection = draw(st.sampled_from(["bernoulli", "paced"]))
+    epochs = draw(st.integers(min_value=1, max_value=3))
+    rate = draw(st.sampled_from([0.1, 0.3, 0.6]))
+    mseed = draw(st.integers(min_value=0, max_value=100))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    policy = draw(st.sampled_from(["rr", "age", "iw"]))
+    return shape, eps, mode, injection, epochs, rate, mseed, seed, policy
+
+
+def build_demand(point, fast, trace=None):
+    shape, eps, mode, injection, epochs, rate, mseed, seed, policy = point
+    machine, routes = setup_for(shape, eps)
+    matrices = [
+        DemandMatrix.hotspot(
+            shape, rate=rate, hotspots=1, hot_fraction=0.6, seed=mseed + k
+        )
+        for k in range(epochs)
+    ]
+    spec = DemandSpec(
+        demand=DemandSchedule.from_matrices(matrices, 24),
+        cores_per_chip=min(2, eps),
+        mode=mode,
+        duration_cycles=24 * epochs if mode == "open" else 0,
+        packets_scale=8.0,
+        injection=injection,
+        seed=seed,
+    )
+    return build_demand_engine(
+        machine,
+        routes,
+        spec,
+        arbitration=policy,
+        use_fastpath=fast,
+        trace=trace,
+    )
+
+
+class TestWorkloadFastScalarEquivalence:
+    """Demand-matrix and trace-replay workloads hold the same bit-exact
+    fast==scalar contract as the batch workloads above."""
+
+    @given(demand_case())
+    @settings(max_examples=10, deadline=None)
+    def test_demand_fast_equals_scalar(self, point):
+        scalar = build_demand(point, fast=False)
+        fast = build_demand(point, fast=True)
+        assert fast._fastpath is not None
+        scalar.run(max_cycles=100_000)
+        fast.run(max_cycles=100_000)
+        assert fast._fastpath.enabled and not fast._fastpath.stale
+        assert stats_blob(fast) == stats_blob(scalar)
+        assert dumps(snapshot_engine(fast)) == dumps(snapshot_engine(scalar))
+
+    @given(demand_case())
+    @settings(max_examples=10, deadline=None)
+    def test_replay_fast_equals_scalar(self, point):
+        shape, eps = point[0], point[1]
+        policy = point[8]
+        machine, _routes = setup_for(shape, eps)
+        stream = io.StringIO()
+        writer = JsonlTraceWriter(
+            stream,
+            meta={
+                "shape": list(shape),
+                "endpoints": eps,
+                "tpc": machine.ticks_per_cycle,
+                "arb": policy,
+            },
+        )
+        source = build_demand(point, fast=False, trace=writer)
+        source.run(max_cycles=100_000)
+        writer.flush()
+        lines = stream.getvalue().splitlines()
+
+        # Reload per engine: engines mutate the enqueued Packet objects.
+        weights = (
+            [PATTERNS["demand"](shape)] if policy == "iw" else None
+        )
+        engines = []
+        for fast in (False, True):
+            engine = build_replay_engine(
+                machine,
+                load_replay(lines),
+                arbitration=policy,
+                weight_patterns=weights,
+                use_fastpath=fast,
+            )
+            engine.run(max_cycles=100_000)
+            engines.append(engine)
+        scalar, fast_engine = engines
+        assert fast_engine._fastpath is not None
+        assert (
+            fast_engine._fastpath.enabled and not fast_engine._fastpath.stale
+        )
+        assert stats_blob(fast_engine) == stats_blob(scalar)
+        assert dumps(snapshot_engine(fast_engine)) == dumps(
+            snapshot_engine(scalar)
+        )

@@ -1,0 +1,121 @@
+"""Adversarial worst-permutation search (Section 2.4 extreme points).
+
+The search's guarantees: seeded determinism, the result is always a
+derangement of the node set, its score is the exact analytic peak
+torus-channel load of that permutation, hill climbing never returns
+less than its restart starting points, and the emitted DemandMatrix /
+FixedPermutation agree with the mapping.
+"""
+
+import math
+
+import pytest
+
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.traffic.adversarial import (
+    mesh_lp_bound,
+    score_permutation,
+    search_worst_permutation,
+)
+from repro.traffic.patterns import Tornado
+
+_CACHE = {}
+
+
+def setup(shape=(2, 2, 2)):
+    if shape not in _CACHE:
+        machine = Machine(MachineConfig(shape=shape, endpoints_per_chip=1))
+        _CACHE[shape] = (machine, RouteComputer(machine))
+    return _CACHE[shape]
+
+
+def search(shape=(2, 2, 2), **kwargs):
+    machine, routes = setup(shape)
+    kwargs.setdefault("include_lp_bound", False)
+    return search_worst_permutation(machine, routes, **kwargs)
+
+
+class TestSearch:
+    def test_seed_determinism(self):
+        a = search(seed=5, restarts=2, steps=30)
+        b = search(seed=5, restarts=2, steps=30)
+        assert a.mapping == b.mapping
+        assert a.score == b.score
+        assert a.restart_scores == b.restart_scores
+        assert a.evaluated == b.evaluated
+
+    def test_different_seeds_explore_differently(self):
+        a = search(seed=1, restarts=1, steps=10)
+        b = search(seed=2, restarts=1, steps=10)
+        # Scores may tie, but the search trajectories must differ.
+        assert a.mapping != b.mapping or a.restart_scores != b.restart_scores
+
+    def test_result_is_a_derangement(self):
+        result = search(seed=3, restarts=2, steps=40)
+        nodes = sorted(result.mapping)
+        assert sorted(result.mapping.values()) == nodes
+        assert all(src != dst for src, dst in result.mapping.items())
+
+    def test_score_matches_exact_oracle(self):
+        machine, routes = setup()
+        result = search(seed=4, restarts=2, steps=30)
+        assert result.score == score_permutation(
+            machine, routes, result.mapping
+        )
+
+    def test_score_is_best_restart(self):
+        result = search(seed=6, restarts=3, steps=25)
+        assert len(result.restart_scores) == 3
+        assert result.score == max(result.restart_scores)
+        assert result.evaluated >= 3
+
+    def test_beats_or_ties_tornado_on_a_ring(self):
+        # On a 4x1x1 ring, tornado (dst = src + 2 in x) is the canonical
+        # bad permutation; the search must find something at least as hot.
+        machine, routes = setup((4, 1, 1))
+        tornado = Tornado((4, 1, 1))
+        mapping = {
+            src: tornado.sample(None, src)
+            for src in result_nodes(machine)
+        }
+        baseline = score_permutation(machine, routes, mapping)
+        result = search((4, 1, 1), seed=0, restarts=3, steps=60)
+        assert result.score >= baseline - 1e-12
+
+    def test_tiny_machine_rejected(self):
+        machine = Machine(MachineConfig(shape=(1, 1, 1), endpoints_per_chip=1))
+        with pytest.raises(ValueError, match="at least 2 nodes"):
+            search_worst_permutation(machine, RouteComputer(machine))
+
+
+def result_nodes(machine):
+    from repro.core.geometry import all_coords
+
+    return list(all_coords(machine.config.shape))
+
+
+class TestEmittedWorkload:
+    def test_demand_matrix_is_one_hot_permutation(self):
+        result = search(seed=7, restarts=2, steps=30)
+        matrix = result.demand
+        index = matrix.node_index()
+        for src, dst in result.mapping.items():
+            row = matrix.rates[index[src]]
+            assert row[index[dst]] == 1.0
+            assert math.isclose(sum(row), 1.0)
+
+    def test_pattern_agrees_with_mapping(self):
+        result = search(seed=8, restarts=1, steps=20)
+        for src, dst in result.mapping.items():
+            assert result.pattern.sample(None, src) == dst
+
+    def test_lp_bound_reporting(self):
+        assert search(seed=9, restarts=1, steps=5).lp_bound is None
+        pytest.importorskip("scipy")
+        machine, routes = setup()
+        result = search_worst_permutation(
+            machine, routes, seed=9, restarts=1, steps=5
+        )
+        assert result.lp_bound == pytest.approx(mesh_lp_bound())
+        assert result.lp_bound > 0
