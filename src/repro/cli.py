@@ -73,22 +73,13 @@ def _machine(args) -> Machine:
 
 
 def _pattern_factories(shape):
-    from repro.traffic.patterns import (
-        NHopNeighbor,
-        ReverseTornado,
-        Tornado,
-        UniformRandom,
-    )
+    from repro.traffic.patterns import pattern_factories
 
-    return {
-        "uniform": lambda: UniformRandom(shape),
-        "2hop": lambda: NHopNeighbor(shape, 2),
-        "1hop": lambda: NHopNeighbor(shape, 1),
-        "tornado": lambda: Tornado(shape),
-        "reverse-tornado": lambda: ReverseTornado(shape),
-    }
+    return pattern_factories(shape)
 
 
+#: Literal mirror of :data:`repro.traffic.patterns.PATTERN_NAMES` --
+#: keeping the parser import-free costs a tuple; a test pins the sync.
 PATTERN_CHOICES = ("uniform", "1hop", "2hop", "tornado", "reverse-tornado")
 
 
@@ -162,6 +153,73 @@ def _resume_trace_writer(trace_path: str, checkpoint_data: dict):
         header=False,
         resume_counts=(events_written, bytes_written),
     )
+
+
+def _checkpointed_trace_writer(args, trace_meta):
+    """Shared auto-resume + trace-sink plumbing of checkpointed runs.
+
+    ``repro demand`` and ``repro faults run`` share one contract: an
+    existing ``--checkpoint`` file under ``--resume`` marks an
+    interrupted run to pick up (rewinding the trace file to the
+    checkpoint's recorded byte count); without ``--resume`` it is stale
+    state from an earlier run and is cleared. This context manager owns
+    that detection plus the four-way trace-sink selection (no trace /
+    resumed file / stdout / fresh file) both commands used to duplicate.
+
+    Yields a namespace with ``writer`` (a sink or None), ``resuming``,
+    and ``checkpoint_every`` (0 when checkpointing is off) -- ready to
+    hand to :func:`~repro.sim.simulator.run_batch` /
+    :func:`~repro.traffic.demand.run_demand`.
+    """
+    import contextlib
+    import os
+    from types import SimpleNamespace
+
+    from repro.sim.trace import JsonlTraceWriter
+
+    @contextlib.contextmanager
+    def manager():
+        checkpointing = args.checkpoint is not None
+        resuming = (
+            checkpointing and args.resume and os.path.exists(args.checkpoint)
+        )
+        if checkpointing and not resuming and os.path.exists(args.checkpoint):
+            # Without --resume an existing snapshot is stale state from
+            # some earlier run, not an interruption to pick up; start
+            # clean.
+            os.unlink(args.checkpoint)
+        every = args.checkpoint_every if checkpointing else 0
+
+        def result(writer):
+            return SimpleNamespace(
+                writer=writer, resuming=resuming, checkpoint_every=every
+            )
+
+        if resuming:
+            from repro.sim.checkpoint import load_checkpoint
+
+            if args.trace == "-":
+                raise ValueError(
+                    "--resume cannot rewind a stdout trace; use a file path"
+                )
+            checkpoint_data = load_checkpoint(args.checkpoint)
+            if args.trace is None:
+                yield result(None)
+                return
+            writer = _resume_trace_writer(args.trace, checkpoint_data)
+            try:
+                yield result(writer)
+            finally:
+                writer.stream.close()
+        elif args.trace is None:
+            yield result(None)
+        elif args.trace == "-":
+            yield result(JsonlTraceWriter(sys.stdout, meta=trace_meta))
+        else:
+            with open(args.trace, "w") as stream:
+                yield result(JsonlTraceWriter(stream, meta=trace_meta))
+
+    return manager()
 
 
 def cmd_info(args) -> int:
@@ -352,16 +410,14 @@ def cmd_trace(args) -> int:
 
 
 def cmd_demand(args) -> int:
-    import contextlib
-    import os
     import pathlib
 
-    from repro.sim.trace import JsonlTraceWriter
     from repro.traffic.demand import (
         DemandMatrix,
         DemandSchedule,
         DemandSpec,
         as_schedule,
+        matrix_from_params,
         run_demand,
     )
 
@@ -385,47 +441,33 @@ def cmd_demand(args) -> int:
         )
         routes = faults.route_computer
 
+    matrix_json = (
+        pathlib.Path(args.matrix_file).read_text()
+        if args.matrix_file is not None
+        else None
+    )
+
     def make_matrix(epoch: int) -> DemandMatrix:
         # Epoch k draws its matrix from --matrix-seed + k, so multi-epoch
         # runs evolve while staying a pure function of the CLI arguments.
-        seed = args.matrix_seed + epoch
-        if args.generator == "uniform":
-            return DemandMatrix.uniform(args.shape, args.rate)
-        if args.generator == "hotspot":
-            return DemandMatrix.hotspot(
-                args.shape,
-                args.rate,
-                hotspots=args.hotspots,
-                hot_fraction=args.hot_fraction,
-                seed=seed,
-            )
-        if args.generator == "skew":
-            return DemandMatrix.skewed(
-                args.shape, args.rate, exponent=args.skew_exponent, seed=seed
-            )
-        if args.generator == "permutation":
-            return DemandMatrix.permutation(
-                args.shape, rate=args.rate, seed=seed
-            )
-        if args.generator == "adversarial":
-            from repro.traffic.adversarial import search_worst_permutation
-
-            result = search_worst_permutation(
-                machine,
-                routes,
-                seed=seed,
-                restarts=args.restarts,
-                steps=args.steps,
-                cores_per_chip=args.cores,
-                include_lp_bound=False,
-            )
-            return result.demand.scaled(
-                args.rate, name=f"{result.demand.name}-r{args.rate:g}"
-            )
-        if args.matrix_file is None:
-            raise ValueError("--generator file needs --matrix-file")
-        return DemandMatrix.from_json(
-            pathlib.Path(args.matrix_file).read_text()
+        # The parameters-to-matrix mapping itself lives in
+        # matrix_from_params, shared with the serve protocol's demand
+        # specs, so "--generator hotspot" means the same matrix on every
+        # surface.
+        return matrix_from_params(
+            args.shape,
+            args.generator,
+            args.rate,
+            seed=args.matrix_seed + epoch,
+            hotspots=args.hotspots,
+            hot_fraction=args.hot_fraction,
+            skew_exponent=args.skew_exponent,
+            matrix_json=matrix_json,
+            restarts=args.restarts,
+            steps=args.steps,
+            cores_per_chip=args.cores,
+            machine=machine,
+            route_computer=routes,
         )
 
     matrices = [make_matrix(k) for k in range(args.epochs)]
@@ -459,53 +501,23 @@ def cmd_demand(args) -> int:
         trace_meta["faults"] = len(fault_set)
         trace_meta["policy"] = args.policy
 
-    checkpointing = args.checkpoint is not None
-    resuming = (
-        checkpointing and args.resume and os.path.exists(args.checkpoint)
-    )
-    if checkpointing and not resuming and os.path.exists(args.checkpoint):
-        os.unlink(args.checkpoint)
-    checkpoint_data = None
-    if resuming:
-        from repro.sim.checkpoint import load_checkpoint
-
-        if args.trace == "-":
-            raise ValueError(
-                "--resume cannot rewind a stdout trace; use a file path"
-            )
-        checkpoint_data = load_checkpoint(args.checkpoint)
-
-    @contextlib.contextmanager
-    def trace_writer():
-        if args.trace is None:
-            yield None
-        elif resuming:
-            writer = _resume_trace_writer(args.trace, checkpoint_data)
-            try:
-                yield writer
-            finally:
-                writer.stream.close()
-        elif args.trace == "-":
-            yield JsonlTraceWriter(sys.stdout, meta=trace_meta)
-        else:
-            with open(args.trace, "w") as stream:
-                yield JsonlTraceWriter(stream, meta=trace_meta)
-
-    with trace_writer() as writer:
+    with _checkpointed_trace_writer(args, trace_meta) as run:
         stats = run_demand(
             machine,
             routes,
             spec,
             arbitration=args.arbitration,
-            trace=writer,
+            trace=run.writer,
             faults=faults,
             checkpoint_path=args.checkpoint,
-            checkpoint_every=args.checkpoint_every if checkpointing else 0,
+            checkpoint_every=run.checkpoint_every,
         )
-        if writer is not None:
-            writer.write_record(
+        if run.writer is not None:
+            run.writer.write_record(
                 _batch_end_record(
-                    stats, writer.events_written, faulted=faults is not None
+                    stats,
+                    run.writer.events_written,
+                    faulted=faults is not None,
                 )
             )
     out = sys.stderr if args.trace == "-" else sys.stdout
@@ -686,12 +698,8 @@ def cmd_faults_validate(args) -> int:
 
 
 def cmd_faults_run(args) -> int:
-    import contextlib
-    import os
-
     from repro.faults import FaultPolicy, FaultRuntime
     from repro.sim.simulator import make_vc_weight_tables, make_weight_tables, run_batch
-    from repro.sim.trace import JsonlTraceWriter
     from repro.traffic.batch import BatchSpec
     from repro.traffic.loads import compute_loads
 
@@ -725,44 +733,10 @@ def cmd_faults_run(args) -> int:
         seed=args.seed,
     )
 
-    checkpointing = args.checkpoint is not None
-    resuming = (
-        checkpointing and args.resume and os.path.exists(args.checkpoint)
-    )
-    if checkpointing and not resuming and os.path.exists(args.checkpoint):
-        # Without --resume an existing snapshot is stale state from some
-        # earlier run, not an interruption to pick up; start clean.
-        os.unlink(args.checkpoint)
-    checkpoint_data = None
-    if resuming:
-        from repro.sim.checkpoint import load_checkpoint
-
-        if args.trace == "-":
-            raise ValueError(
-                "--resume cannot rewind a stdout trace; use a file path"
-            )
-        checkpoint_data = load_checkpoint(args.checkpoint)
-
-    @contextlib.contextmanager
-    def trace_writer():
-        if args.trace is None:
-            yield None
-        elif resuming:
-            writer = _resume_trace_writer(args.trace, checkpoint_data)
-            try:
-                yield writer
-            finally:
-                writer.stream.close()
-        elif args.trace == "-":
-            yield JsonlTraceWriter(sys.stdout, meta=trace_meta)
-        else:
-            with open(args.trace, "w") as stream:
-                yield JsonlTraceWriter(stream, meta=trace_meta)
-
     trace_meta = _batch_trace_meta(machine, args, pattern)
     trace_meta["faults"] = len(fault_set)
     trace_meta["policy"] = args.policy
-    with trace_writer() as writer:
+    with _checkpointed_trace_writer(args, trace_meta) as run:
         stats = run_batch(
             machine,
             routes,
@@ -770,14 +744,16 @@ def cmd_faults_run(args) -> int:
             arbitration=args.arbitration,
             weight_tables=weight_tables,
             vc_weight_tables=vc_weight_tables,
-            trace=writer,
+            trace=run.writer,
             faults=runtime,
             checkpoint_path=args.checkpoint,
-            checkpoint_every=args.checkpoint_every if checkpointing else 0,
+            checkpoint_every=run.checkpoint_every,
         )
-        if writer is not None:
-            writer.write_record(
-                _batch_end_record(stats, writer.events_written, faulted=True)
+        if run.writer is not None:
+            run.writer.write_record(
+                _batch_end_record(
+                    stats, run.writer.events_written, faulted=True
+                )
             )
     out = sys.stderr if args.trace == "-" else sys.stdout
     print(
@@ -788,6 +764,102 @@ def cmd_faults_run(args) -> int:
         file=out,
     )
     return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import PROTOCOL_VERSION, SessionConfig, SimServer
+
+    config = SessionConfig(
+        quantum_cycles=args.quantum,
+        backpressure=args.backpressure,
+        metrics_every=args.metrics_every,
+    )
+
+    async def main() -> None:
+        server = SimServer(
+            host=args.host,
+            port=args.port,
+            spool_dir=args.spool_dir,
+            max_sessions=args.max_sessions,
+            session_config=config,
+        )
+        await server.start()
+        print(
+            f"repro-serve listening on {server.host}:{server.port} "
+            f"(proto {PROTOCOL_VERSION}, max {args.max_sessions} sessions, "
+            f"spool {args.spool_dir or 'off'})",
+            flush=True,
+        )
+        if server.counters["recovered"]:
+            print(
+                f"recovered {server.counters['recovered']} spooled "
+                f"session(s) from {args.spool_dir}",
+                flush=True,
+            )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def cmd_loadtest(args) -> int:
+    import asyncio
+    import json
+    import pathlib
+
+    from repro.serve import LoadTestSpec, check_report, run_loadtest
+
+    spec = LoadTestSpec(
+        sessions=args.sessions,
+        connections=args.connections,
+        steps=args.steps,
+        step_cycles=args.step_cycles,
+        arrival_spread_s=args.spread,
+        seed=args.seed,
+    )
+    report = asyncio.run(run_loadtest(spec, host=args.host, port=args.port))
+
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    client_q = report["client_latency_us"]
+    server_q = report["server"]["latency_us"]
+    print(
+        f"{report['completed']}/{report['sessions']} sessions completed "
+        f"({report['failed']} failed), peak {report['peak_live_sessions']} "
+        f"live, {report['requests']} requests in {report['duration_s']}s "
+        f"({report['requests_per_s']}/s)"
+    )
+    print(
+        f"latency us  client p50/p95/p99 {client_q['p50']}/{client_q['p95']}"
+        f"/{client_q['p99']}  server p50/p95/p99 {server_q['p50']}"
+        f"/{server_q['p95']}/{server_q['p99']}"
+    )
+    if report.get("first_error"):
+        print(f"first error: {report['first_error']}", file=sys.stderr)
+
+    if args.check:
+        baseline = json.loads(pathlib.Path(args.check).read_text())
+        problems = check_report(report, baseline, factor=args.tolerance)
+        if problems:
+            for problem in problems:
+                # GitHub Actions annotation format; harmless elsewhere.
+                print(f"::warning title=serve regression::{problem}")
+                print(f"SERVE REGRESSION: {problem}", file=sys.stderr)
+            return 0 if args.soft else 2
+        print(f"within {args.tolerance:g}x of {args.check}: ok")
+    return 1 if report["failed"] else 0
 
 
 def cmd_checkpoint_save(args) -> int:
@@ -1144,6 +1216,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="exit 1 unless the replay is byte-identical")
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve concurrent simulation sessions over NDJSON/TCP",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7777,
+                   help="TCP port (0 picks an ephemeral port; default 7777)")
+    p.add_argument("--spool-dir", default=None,
+                   help="checkpoint spool directory (enables LRU eviction "
+                        "and crash recovery)")
+    p.add_argument("--max-sessions", type=int, default=1024,
+                   help="live-session table size (default: 1024)")
+    p.add_argument("--quantum", type=int, default=256,
+                   help="cycles per session scheduling quantum (default: 256)")
+    p.add_argument("--backpressure", default="drop-oldest",
+                   choices=["drop-oldest", "pause"],
+                   help="policy when a subscriber's outbound queue fills")
+    p.add_argument("--metrics-every", type=int, default=0,
+                   help="default metrics-stream cadence in cycles "
+                        "(0: only per-subscriber cadences)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="drive many concurrent sessions; report latency quantiles",
+    )
+    p.add_argument("--host", default=None,
+                   help="external server host (default: in-process server)")
+    p.add_argument("--port", type=int, default=None,
+                   help="external server port")
+    p.add_argument("--sessions", type=int, default=500)
+    p.add_argument("--connections", type=int, default=16,
+                   help="pooled client connections (default: 16)")
+    p.add_argument("--steps", type=int, default=2,
+                   help="step requests per session (default: 2)")
+    p.add_argument("--step-cycles", type=int, default=64)
+    p.add_argument("--spread", type=float, default=0.25,
+                   help="seeded arrival spread in seconds (default: 0.25)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None,
+                   help="write the BENCH_serve.json report here")
+    p.add_argument("--check", default=None,
+                   help="soft-gate against a committed baseline report")
+    p.add_argument("--tolerance", type=float, default=5.0,
+                   help="allowed p99 latency factor vs baseline (default: 5)")
+    p.add_argument("--soft", action="store_true",
+                   help="report regressions as warnings but exit 0")
+    p.set_defaults(func=cmd_loadtest)
 
     p = sub.add_parser(
         "faults", help="sample, validate, and run degraded-topology fault sets"

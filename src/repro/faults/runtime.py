@@ -85,3 +85,20 @@ class FaultRuntime:
         #: Scheduled mid-run (cycle, channel, is_down) events.
         self.timeline: List[Tuple[int, int, bool]] = fault_set.timeline(machine)
         self.route_computer.set_failed(self.initial_failed)
+
+    def extend(self, fault_set: FaultSet) -> List[Tuple[int, int, bool]]:
+        """Merge additional (already validated) specs into the bound set.
+
+        Supports live fault injection (``repro serve``'s ``inject_fault``
+        request): the merged set is what a checkpoint of the engine
+        serializes, so an evict/thaw cycle after an injection restores
+        the same fault schedule bitwise. Returns the timeline events of
+        just the *new* specs, for the caller to push onto the engine's
+        wheel; ``initial_failed`` is deliberately untouched -- a running
+        engine's failed-set lives on the engine, not here.
+        """
+        self.fault_set = dataclasses.replace(
+            self.fault_set, specs=self.fault_set.specs + fault_set.specs
+        )
+        self.timeline = self.fault_set.timeline(self.machine)
+        return fault_set.timeline(self.machine)

@@ -1,0 +1,43 @@
+"""Simulation-as-a-service: sessions over newline-delimited JSON on TCP.
+
+The serving layer over the deterministic engine stack: many concurrent
+simulation sessions multiplexed on one asyncio loop, each advancing in
+bounded quanta, observable over versioned NDJSON frames, and evictable
+to checkpoint files without a client being able to tell. See
+:mod:`repro.serve.protocol` for the wire format,
+:mod:`repro.serve.session` for the determinism argument, and
+:mod:`repro.serve.server` for the table/eviction/recovery machinery.
+"""
+
+from .client import ServeClient, ServeError
+from .loadtest import LoadTestSpec, check_report, run_loadtest
+from .protocol import PROTOCOL_VERSION, ProtocolError
+from .server import SimServer, run_server
+from .session import (
+    BACKPRESSURE_MODES,
+    MachineCache,
+    Session,
+    SessionConfig,
+    SessionError,
+    Subscriber,
+    TraceStreamBuffer,
+)
+
+__all__ = [
+    "BACKPRESSURE_MODES",
+    "LoadTestSpec",
+    "MachineCache",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "Session",
+    "SessionConfig",
+    "SessionError",
+    "SimServer",
+    "Subscriber",
+    "TraceStreamBuffer",
+    "check_report",
+    "run_loadtest",
+    "run_server",
+]

@@ -1,0 +1,706 @@
+"""One served simulation session: an engine, its streams, its budget.
+
+A :class:`Session` wraps exactly the engine a direct
+:func:`~repro.sim.simulator.run_batch` / :func:`~repro.traffic.demand.run_demand`
+call would build -- same builders, same arbiter programming, same seeds --
+and advances it in bounded quanta on the server's event loop. That makes
+the direct runner the *oracle* for the server, the same way the scalar
+engine is the oracle for the fast path: the conformance tests drive a
+workload over the wire and byte-compare stats and checkpoint text against
+the serial run.
+
+Determinism argument
+--------------------
+
+* **Slicing.** ``run_for(q)`` chunks compose bitwise into ``run()``
+  (pinned since PR 1 by the split-run property tests), so cooperative
+  time-slicing is invisible in the results.
+* **Observation.** The session traces through ``Tee(collector, buffer)``.
+  The checkpoint module's trace section records the
+  :class:`~repro.sim.metrics.MetricsCollector` and *ignores* sinks it
+  does not recognize, so the extra :class:`TraceStreamBuffer` leaves
+  checkpoint bytes identical to an engine traced by the collector alone.
+  The buffer itself is a pure observer; metrics pushes use the
+  non-mutating :meth:`~repro.sim.metrics.MetricsCollector.snapshot`.
+* **Eviction.** :meth:`spool_payload` embeds a
+  :func:`~repro.sim.checkpoint.snapshot_engine` snapshot; :meth:`thaw`
+  restores it with a revived collector. Checkpoint/restore is bitwise
+  resume-equivalent (PR 5), so an evict/thaw cycle cannot change a
+  single byte of the final stats.
+
+Backpressure
+------------
+
+Stream frames flow into each subscriber's bounded outbound queue. When a
+queue is full the session applies its configured policy: ``drop-oldest``
+discards the oldest queued frame (counted in ``trace_frames_dropped``)
+and keeps simulating; ``pause`` awaits queue space (counted in
+``backpressure_pauses``), letting one slow consumer throttle its
+session -- but only its session, since every other session keeps its own
+quantum turn on the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.sim.checkpoint import dumps as checkpoint_dumps
+from repro.sim.checkpoint import snapshot_engine
+from repro.sim.engine import Engine
+from repro.sim.metrics import MetricsCollector
+from repro.sim.trace import Tee
+
+from .protocol import (
+    STREAM_NAMES,
+    encode_frame,
+    metrics_event_frame,
+    trace_event_frame,
+)
+
+#: Version of the spool-file schema (the eviction payload wrapping an
+#: engine checkpoint); bump on any shape change.
+SPOOL_SCHEMA_VERSION = 1
+
+#: Outbound-queue overflow policies (see the module docstring).
+BACKPRESSURE_MODES = ("drop-oldest", "pause")
+
+#: Workload kinds a ``create`` request may name.
+WORKLOAD_KINDS = ("batch", "demand", "idle")
+
+
+class SessionError(ValueError):
+    """A request is invalid against this session's current state."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionConfig:
+    """Scheduling and streaming knobs of one session.
+
+    ``quantum_cycles`` bounds how long a session may hold the event loop
+    per turn -- one hot session cannot starve the rest. ``max_cycles``
+    mirrors the direct runners' budget and turns a wedged workload into
+    an error reply instead of an unbounded spin.
+    """
+
+    quantum_cycles: int = 256
+    backpressure: str = "drop-oldest"
+    #: Trace lines per pushed ``trace`` event frame.
+    trace_batch: int = 256
+    #: Default cadence (cycles) of pushed ``metrics`` frames; 0 disables
+    #: unless a subscriber asks for its own cadence.
+    metrics_every: int = 0
+    #: Window of the per-session MetricsCollector.
+    window_cycles: int = 256
+    max_cycles: int = 10_000_000
+
+    def __post_init__(self) -> None:
+        if self.quantum_cycles < 1:
+            raise ValueError("quantum_cycles must be >= 1")
+        if self.backpressure not in BACKPRESSURE_MODES:
+            raise ValueError(
+                f"backpressure must be one of {BACKPRESSURE_MODES}, "
+                f"got {self.backpressure!r}"
+            )
+        if self.trace_batch < 1:
+            raise ValueError("trace_batch must be >= 1")
+        if self.metrics_every < 0 or self.window_cycles < 1:
+            raise ValueError("metrics_every must be >= 0, window_cycles >= 1")
+        if self.max_cycles < 1:
+            raise ValueError("max_cycles must be >= 1")
+
+
+class MachineCache:
+    """Shares elaborated :class:`Machine` objects across sessions.
+
+    Machine elaboration dominates session-creation cost, and a loadtest
+    creates hundreds of sessions over the same few shapes. Engines never
+    mutate their machine, so sharing is safe.
+    """
+
+    def __init__(self) -> None:
+        self._machines: Dict[Any, Machine] = {}
+
+    def get(self, key, build) -> Machine:
+        machine = self._machines.get(key)
+        if machine is None:
+            machine = self._machines[key] = build()
+        return machine
+
+    def __len__(self) -> int:
+        return len(self._machines)
+
+
+class TraceStreamBuffer:
+    """Trace sink that batches canonical event lines for streaming.
+
+    Sits behind a :class:`~repro.sim.trace.Tee` next to the session's
+    collector. Disabled (the default, until a ``trace`` subscriber
+    attaches) it discards events, so an unobserved long run does not
+    accumulate memory; enabled, it buffers exactly the single-line JSON a
+    :class:`~repro.sim.trace.JsonlTraceWriter` would emit. The checkpoint
+    trace section ignores this sink entirely -- see the module docstring.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.lines: List[str] = []
+
+    def emit(self, event) -> None:
+        if self.enabled:
+            self.lines.append(event.to_json())
+
+    def flush(self) -> None:
+        pass
+
+    def take(self) -> List[str]:
+        """Drain and return the buffered lines."""
+        lines, self.lines = self.lines, []
+        return lines
+
+
+class Subscriber:
+    """One connection's attachment to a session's event streams."""
+
+    __slots__ = ("queue", "streams", "metrics_every", "next_metrics_cycle")
+
+    def __init__(
+        self,
+        queue: "asyncio.Queue",
+        streams,
+        metrics_every: int = 0,
+    ) -> None:
+        unknown = set(streams) - set(STREAM_NAMES)
+        if unknown:
+            raise SessionError(
+                f"unknown streams {sorted(unknown)}; known: {STREAM_NAMES}"
+            )
+        if metrics_every < 0:
+            raise SessionError("metrics_every must be >= 0")
+        self.queue = queue
+        self.streams = frozenset(streams)
+        self.metrics_every = metrics_every
+        self.next_metrics_cycle = 0
+
+
+class Session:
+    """A workload-bearing engine plus its serving state."""
+
+    def __init__(
+        self,
+        session_id: str,
+        engine: Engine,
+        collector: MetricsCollector,
+        buffer: TraceStreamBuffer,
+        config: SessionConfig,
+        workload: dict,
+        routes: RouteComputer,
+        counters: Optional[dict] = None,
+    ) -> None:
+        self.session_id = session_id
+        self.engine = engine
+        self.machine = engine.machine
+        self.collector = collector
+        self.buffer = buffer
+        self.config = config
+        #: The creating workload spec, verbatim -- respooled on eviction
+        #: so a thawed session still knows what it is running.
+        self.workload = workload
+        #: Route computer used for post-create workload generation
+        #: (``submit_demand``); the fault-aware one on faulted sessions.
+        self.routes = routes
+        self.subscribers: List[Subscriber] = []
+        #: True while a step/run quantum loop holds the engine.
+        self.busy = False
+        counters = counters or {}
+        self.cycles_run = int(counters.get("cycles_run", 0))
+        self.quanta = int(counters.get("quanta", 0))
+        self.trace_events_streamed = int(
+            counters.get("trace_events_streamed", 0)
+        )
+        self.trace_frames_dropped = int(
+            counters.get("trace_frames_dropped", 0)
+        )
+        self.backpressure_pauses = int(counters.get("backpressure_pauses", 0))
+        self.demands_submitted = int(counters.get("demands_submitted", 0))
+        self.faults_injected = int(counters.get("faults_injected", 0))
+        self.thaws = int(counters.get("thaws", 0))
+
+    # --- construction -----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        session_id: str,
+        workload: dict,
+        config: Optional[SessionConfig] = None,
+        machines: Optional[MachineCache] = None,
+    ) -> "Session":
+        """Build a session from a workload spec dict.
+
+        The spec mirrors the CLI surfaces: ``kind`` picks the generator
+        (``batch``/``demand``/``idle``), ``shape``/``endpoints``/``cores``
+        the machine, ``arbitration``/``seed`` the engine programming.
+        ``batch`` kinds take ``pattern`` (a name from
+        :data:`repro.traffic.patterns.PATTERN_NAMES`) and ``batch``
+        (packets per source); ``demand`` kinds take a ``demand`` sub-dict
+        (see :meth:`_demand_spec`); ``idle`` builds an empty engine for
+        later ``submit_demand`` requests. A ``faults``/``policy`` pair
+        attaches a fault runtime (``faults`` may be omitted for an empty
+        set that only enables live ``inject_fault``).
+        """
+        config = config or SessionConfig()
+        if not isinstance(workload, dict):
+            raise SessionError("workload must be a JSON object")
+        kind = workload.get("kind", "idle")
+        if kind not in WORKLOAD_KINDS:
+            raise SessionError(
+                f"unknown workload kind {kind!r}; known: {WORKLOAD_KINDS}"
+            )
+        shape = tuple(int(x) for x in workload.get("shape", (2, 2, 2)))
+        if len(shape) != 3 or any(x < 1 for x in shape):
+            raise SessionError(f"shape must be 3 positive ints, got {shape}")
+        endpoints = int(workload.get("endpoints", 2))
+        cores = int(workload.get("cores", 2))
+        arbitration = workload.get("arbitration", "rr")
+        if arbitration not in ("rr", "age", "iw"):
+            raise SessionError(
+                f"arbitration must be rr, age, or iw, got {arbitration!r}"
+            )
+        seed = int(workload.get("seed", 0))
+
+        def build_machine() -> Machine:
+            return Machine(
+                MachineConfig(shape=shape, endpoints_per_chip=endpoints)
+            )
+
+        if machines is not None:
+            machine = machines.get(("config", shape, endpoints), build_machine)
+        else:
+            machine = build_machine()
+        routes: RouteComputer = RouteComputer(machine)
+
+        faults = None
+        if workload.get("faults") is not None or "policy" in workload:
+            from repro.faults import FaultPolicy, FaultRuntime, FaultSet
+
+            if workload.get("faults") is not None:
+                fault_set = FaultSet.from_json(json.dumps(workload["faults"]))
+            else:
+                fault_set = FaultSet(shape=shape)
+            fault_set.validate(machine)
+            pol = workload.get("policy") or {}
+            policy = FaultPolicy(
+                mode=pol.get("mode", "reroute"),
+                max_retries=int(pol.get("retries", 4)),
+            )
+            faults = FaultRuntime(machine, fault_set, policy=policy)
+            # Same sharing as ``repro demand --fault-file``: workload
+            # generation resolves routes through the fault-aware computer.
+            routes = faults.route_computer
+
+        collector = MetricsCollector(window_cycles=config.window_cycles)
+        buffer = TraceStreamBuffer()
+        trace = Tee(collector, buffer)
+
+        if kind == "batch":
+            from repro.sim.simulator import build_batch_engine
+            from repro.traffic.batch import BatchSpec
+            from repro.traffic.patterns import pattern_factories
+
+            factories = pattern_factories(shape)
+            name = workload.get("pattern", "uniform")
+            if name not in factories:
+                raise SessionError(
+                    f"unknown pattern {name!r}; known: "
+                    f"{', '.join(sorted(factories))}"
+                )
+            pattern = factories[name]()
+            spec = BatchSpec(
+                pattern=pattern,
+                packets_per_source=int(workload.get("batch", 8)),
+                cores_per_chip=cores,
+                seed=seed,
+            )
+            engine = build_batch_engine(
+                machine,
+                routes,
+                spec,
+                arbitration=arbitration,
+                weight_patterns=[pattern] if arbitration == "iw" else None,
+                trace=trace,
+                faults=faults,
+            )
+        elif kind == "demand":
+            from repro.traffic.demand import build_demand_engine
+
+            spec = cls._demand_spec(
+                workload.get("demand") or {}, shape, cores, seed,
+                machine, routes,
+            )
+            engine = build_demand_engine(
+                machine,
+                routes,
+                spec,
+                arbitration=arbitration,
+                trace=trace,
+                faults=faults,
+            )
+        else:  # idle
+            if arbitration != "rr":
+                raise SessionError(
+                    "idle sessions use rr arbitration; create a demand or "
+                    "batch session for age/iw programming"
+                )
+            engine = Engine(machine, trace=trace, faults=faults)
+
+        return cls(
+            session_id, engine, collector, buffer, config, workload, routes
+        )
+
+    @staticmethod
+    def _demand_spec(d: dict, shape, cores: int, seed: int, machine, routes):
+        """Build a :class:`~repro.traffic.demand.DemandSpec` from a
+        ``demand`` sub-dict.
+
+        Keys mirror ``repro demand``: ``generator``/``rate``/
+        ``matrix_seed`` (+ generator-specific ``hotspots``,
+        ``hot_fraction``, ``skew_exponent``, ``restarts``, ``steps``, or
+        an inline ``matrix`` object for ``generator="file"``) choose the
+        matrix per epoch (epoch ``k`` draws from ``matrix_seed + k``,
+        exactly the CLI's rule); ``epochs``/``epoch_length`` build a
+        schedule; ``mode``/``duration``/``scale``/``injection``/``seed``
+        parameterize emission.
+        """
+        from repro.traffic.demand import (
+            DemandSchedule,
+            DemandSpec,
+            matrix_from_params,
+        )
+
+        if not isinstance(d, dict):
+            raise SessionError("'demand' must be a JSON object")
+        generator = d.get("generator", "uniform")
+        rate = float(d.get("rate", 0.1))
+        matrix_seed = int(d.get("matrix_seed", 0))
+        epochs = int(d.get("epochs", 1))
+        if epochs < 1:
+            raise SessionError("epochs must be >= 1")
+        matrix_json = (
+            json.dumps(d["matrix"]) if d.get("matrix") is not None else None
+        )
+        matrices = [
+            matrix_from_params(
+                shape,
+                generator,
+                rate,
+                seed=matrix_seed + k,
+                hotspots=int(d.get("hotspots", 1)),
+                hot_fraction=float(d.get("hot_fraction", 0.5)),
+                skew_exponent=float(d.get("skew_exponent", 1.0)),
+                matrix_json=matrix_json,
+                restarts=int(d.get("restarts", 3)),
+                steps=int(d.get("steps", 60)),
+                cores_per_chip=cores,
+                machine=machine,
+                route_computer=routes,
+            )
+            for k in range(epochs)
+        ]
+        demand = (
+            matrices[0]
+            if epochs == 1
+            else DemandSchedule.from_matrices(
+                matrices, int(d.get("epoch_length", 64))
+            )
+        )
+        mode = d.get("mode", "open")
+        return DemandSpec(
+            demand=demand,
+            cores_per_chip=cores,
+            mode=mode,
+            duration_cycles=int(d.get("duration", 256)) if mode == "open" else 0,
+            packets_scale=float(d.get("scale", 1.0)),
+            injection=d.get("injection", "bernoulli"),
+            seed=int(d.get("seed", seed)),
+        )
+
+    # --- advancing --------------------------------------------------------------
+
+    @property
+    def drained(self) -> bool:
+        return self.engine.drained
+
+    def _require_idle(self, what: str) -> None:
+        if self.busy:
+            raise SessionError(
+                f"session {self.session_id!r} is busy; {what} needs an idle "
+                "session (stats is valid mid-run)"
+            )
+
+    async def advance(self, cycles: Optional[int] = None) -> dict:
+        """Advance until drained, or by at most ``cycles``.
+
+        Runs the engine in ``quantum_cycles`` slices, publishing stream
+        frames and yielding the event loop between slices. ``None``
+        means run-to-drain (the ``run`` request); an integer bounds the
+        advance (the ``step`` request -- a no-op on a drained session,
+        mirroring ``run_for``).
+        """
+        self._require_idle("step/run")
+        self.busy = True
+        engine = self.engine
+        start_cycle = engine.cycle
+        delivered_before = engine.stats.delivered
+        remaining = cycles
+        try:
+            while not engine.drained:
+                if remaining is not None and remaining <= 0:
+                    break
+                if engine.cycle >= self.config.max_cycles:
+                    raise SessionError(
+                        f"session exceeded max_cycles="
+                        f"{self.config.max_cycles} with traffic outstanding"
+                    )
+                quantum = self.config.quantum_cycles
+                if remaining is not None:
+                    quantum = min(quantum, remaining)
+                quantum = min(quantum, self.config.max_cycles - engine.cycle)
+                before = engine.cycle
+                engine.run_for(quantum)
+                self.quanta += 1
+                advanced = engine.cycle - before
+                self.cycles_run += advanced
+                if remaining is not None:
+                    # ``run_for`` can return early on drain; charge at
+                    # least one cycle so a stuck budget still terminates.
+                    remaining -= max(advanced, 1)
+                await self._publish()
+                await asyncio.sleep(0)
+        finally:
+            self.busy = False
+        return {
+            "session": self.session_id,
+            "cycle": engine.cycle,
+            "advanced": engine.cycle - start_cycle,
+            "delivered": engine.stats.delivered - delivered_before,
+            "drained": engine.drained,
+        }
+
+    # --- streams ----------------------------------------------------------------
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        self.subscribers.append(subscriber)
+        if "trace" in subscriber.streams:
+            self.buffer.enabled = True
+        # First metrics frame fires at the first publish past this point.
+        subscriber.next_metrics_cycle = self.engine.cycle
+
+    def unsubscribe_queue(self, queue: "asyncio.Queue") -> None:
+        """Detach every subscription feeding ``queue`` (connection drop)."""
+        self.subscribers = [
+            s for s in self.subscribers if s.queue is not queue
+        ]
+        if not any("trace" in s.streams for s in self.subscribers):
+            self.buffer.enabled = False
+            self.buffer.take()
+
+    async def _publish(self) -> None:
+        """Push buffered trace lines and due metrics frames."""
+        lines = self.buffer.take()
+        if lines:
+            trace_subs = [
+                s for s in self.subscribers if "trace" in s.streams
+            ]
+            batch_size = self.config.trace_batch
+            for i in range(0, len(lines), batch_size):
+                data = encode_frame(
+                    trace_event_frame(
+                        self.session_id, lines[i : i + batch_size]
+                    )
+                )
+                for sub in trace_subs:
+                    await self._offer(sub, data)
+            self.trace_events_streamed += len(lines)
+        cycle = self.engine.cycle
+        data = None
+        for sub in self.subscribers:
+            if "metrics" not in sub.streams:
+                continue
+            every = sub.metrics_every or self.config.metrics_every
+            if not every or cycle < sub.next_metrics_cycle:
+                continue
+            if data is None:
+                data = encode_frame(
+                    metrics_event_frame(
+                        self.session_id, cycle, self.collector.snapshot()
+                    )
+                )
+            await self._offer(sub, data)
+            sub.next_metrics_cycle = cycle + every
+
+    async def _offer(self, sub: Subscriber, data: bytes) -> None:
+        """Enqueue one frame under the session's backpressure policy."""
+        queue = sub.queue
+        if self.config.backpressure == "pause":
+            if queue.full():
+                self.backpressure_pauses += 1
+            await queue.put(data)
+            return
+        while queue.full():
+            try:
+                queue.get_nowait()
+                self.trace_frames_dropped += 1
+            except asyncio.QueueEmpty:  # pragma: no cover - racy full()
+                break
+        try:
+            queue.put_nowait(data)
+        except asyncio.QueueFull:  # pragma: no cover - maxsize 0 excluded
+            self.trace_frames_dropped += 1
+
+    # --- requests against a quiescent engine ------------------------------------
+
+    def submit_demand(self, demand_cfg: dict) -> dict:
+        """Generate a demand workload and enqueue it at the current cycle.
+
+        Uses the same generator as ``run_demand`` (so a submission into a
+        fresh session is oracle-identical), with every packet's timing
+        shifted by the session's current cycle. Packet ids restart at 0
+        per submission -- the engine tracks packets by identity (pids are
+        already reused by fault retries), so only trace readers see it.
+        """
+        self._require_idle("submit_demand")
+        from repro.traffic.demand import generate_demand
+
+        spec = self._demand_spec(
+            demand_cfg or {},
+            self.machine.config.shape,
+            int((demand_cfg or {}).get("cores", 2)),
+            0,
+            self.machine,
+            self.routes,
+        )
+        offset = self.engine.cycle
+        packets = generate_demand(self.machine, self.routes, spec)
+        for packet in packets:
+            if offset:
+                packet.release_cycle += offset
+                packet.inject_cycle += offset
+                packet.ready_cycle += offset
+            self.engine.enqueue(packet)
+        self.demands_submitted += 1
+        return {
+            "session": self.session_id,
+            "enqueued": len(packets),
+            "at_cycle": offset,
+        }
+
+    def inject_faults(self, faults_obj: dict) -> dict:
+        """Schedule future link faults (requires a faulted session)."""
+        self._require_idle("inject_fault")
+        from repro.faults import FaultSet
+
+        fault_set = FaultSet.from_json(json.dumps(faults_obj))
+        scheduled = self.engine.schedule_faults(fault_set)
+        self.faults_injected += scheduled
+        return {
+            "session": self.session_id,
+            "scheduled": scheduled,
+            "at_cycle": self.engine.cycle,
+        }
+
+    # --- observation ------------------------------------------------------------
+
+    def counters(self) -> dict:
+        return {
+            "cycles_run": self.cycles_run,
+            "quanta": self.quanta,
+            "trace_events_streamed": self.trace_events_streamed,
+            "trace_frames_dropped": self.trace_frames_dropped,
+            "backpressure_pauses": self.backpressure_pauses,
+            "demands_submitted": self.demands_submitted,
+            "faults_injected": self.faults_injected,
+            "thaws": self.thaws,
+        }
+
+    def stats_payload(self) -> dict:
+        """The ``stats`` reply: engine stats + metrics + serving counters.
+
+        Valid mid-run (every reducer read here is non-mutating), and
+        canonical: dict insertion order follows delivery order, so equal
+        histories serialize to equal bytes.
+        """
+        return {
+            "session": self.session_id,
+            "cycle": self.engine.cycle,
+            "busy": self.busy,
+            "drained": self.drained,
+            "stats": self.engine.stats.asdict(),
+            "metrics": self.collector.snapshot(),
+            "counters": self.counters(),
+        }
+
+    def snapshot_text(self) -> str:
+        """Canonical engine-checkpoint text (the ``snapshot`` reply)."""
+        self._require_idle("snapshot")
+        return checkpoint_dumps(snapshot_engine(self.engine))
+
+    # --- eviction ---------------------------------------------------------------
+
+    def spool_payload(self) -> dict:
+        """The eviction record: serving metadata around a full checkpoint."""
+        self._require_idle("evict")
+        return {
+            "kind": "serve-session",
+            "schema": SPOOL_SCHEMA_VERSION,
+            "session": self.session_id,
+            "workload": self.workload,
+            "config": dataclasses.asdict(self.config),
+            "counters": self.counters(),
+            "engine": snapshot_engine(self.engine),
+        }
+
+    @classmethod
+    def thaw(cls, payload: dict) -> "Session":
+        """Rebuild a session from a :meth:`spool_payload` record."""
+        if (
+            not isinstance(payload, dict)
+            or payload.get("kind") != "serve-session"
+        ):
+            raise SessionError("not a serve-session spool record")
+        if payload.get("schema") != SPOOL_SCHEMA_VERSION:
+            raise SessionError(
+                f"spool schema {payload.get('schema')!r} is not "
+                f"{SPOOL_SCHEMA_VERSION}"
+            )
+        from repro.sim.checkpoint import restore_engine
+
+        config = SessionConfig(**payload["config"])
+        engine_data = payload["engine"]
+        captured = (engine_data.get("trace") or {}).get("collector")
+        if captured is not None:
+            collector = MetricsCollector.from_state(captured)
+        else:
+            collector = MetricsCollector(window_cycles=config.window_cycles)
+        buffer = TraceStreamBuffer()
+        engine = restore_engine(engine_data, trace=Tee(collector, buffer))
+        # Faulted engines re-route through the runtime's computer, like
+        # create(); healthy ones get a fresh (cache-cold but value-equal)
+        # computer.
+        routes = engine._fault_routes or RouteComputer(engine.machine)
+        session = cls(
+            str(payload["session"]),
+            engine,
+            collector,
+            buffer,
+            config,
+            payload.get("workload") or {},
+            routes,
+            counters=payload.get("counters"),
+        )
+        session.thaws += 1
+        return session

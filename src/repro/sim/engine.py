@@ -352,6 +352,52 @@ class Engine:
         if fastpath is not None:
             fastpath.note_enqueue(packet, src)
 
+    @property
+    def drained(self) -> bool:
+        """True when no queued, in-flight, or scheduled work remains.
+
+        The public form of the run loops' continuation condition, for
+        callers advancing the engine in slices (``repro serve`` sessions,
+        tests): ``run_for`` on a drained engine is a no-op.
+        """
+        return not (self._queued or self._in_network or self._events.pending)
+
+    def schedule_faults(self, fault_set) -> int:
+        """Merge additional *future* faults into a faulted engine mid-run.
+
+        The live-injection entry point (``repro serve``'s
+        ``inject_fault``): validates the :class:`~repro.faults.model.FaultSet`
+        against this machine, requires every down/up cycle to lie strictly
+        in the future (cycle-0 faults only make sense at construction),
+        merges the specs into the attached runtime's set -- so checkpoints
+        taken later serialize the full schedule -- and pushes the new
+        timeline events onto the wheel exactly as the constructor would
+        have. Returns the number of scheduled events. Raises
+        :class:`ValueError` if the engine was built without fault support
+        (the fault sweep state only exists when ``faults=`` was passed).
+        """
+        if self._fault_runtime is None:
+            raise ValueError(
+                "engine was built without fault support; construct it with "
+                "faults= (an empty FaultSet is fine) to inject faults later"
+            )
+        fault_set.validate(self.machine)
+        for spec in fault_set.specs:
+            if spec.down_cycle <= self.cycle:
+                raise ValueError(
+                    f"fault down_cycle {spec.down_cycle} is not in the "
+                    f"future (engine is at cycle {self.cycle})"
+                )
+            if spec.up_cycle is not None and spec.up_cycle <= self.cycle:
+                raise ValueError(
+                    f"fault up_cycle {spec.up_cycle} is not in the future "
+                    f"(engine is at cycle {self.cycle})"
+                )
+        events = self._fault_runtime.extend(fault_set)
+        for fault_cycle, cid, is_down in events:
+            self._push_event(fault_cycle, _EV_FAULT, cid, is_down, None)
+        return len(events)
+
     def run_for(self, cycles: int) -> SimStats:
         """Advance the simulation by at most ``cycles`` cycles.
 

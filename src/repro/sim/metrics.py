@@ -377,6 +377,28 @@ class MetricsCollector:
         out.restore_state(state)
         return out
 
+    def snapshot(self) -> dict:
+        """Non-mutating mid-run observation of every reducer.
+
+        Returns a canonical JSON-safe dict -- :meth:`state` (all freshly
+        built containers, no internal references) plus the current
+        latency quantiles keyed by their string form. Unlike
+        :meth:`summary`, nothing is finalized or modified: snapshotting
+        mid-run and continuing is bitwise-indistinguishable from an
+        uninterrupted run, which is what lets the serve package's metrics
+        stream observe live sessions without perturbing determinism.
+        """
+        snap = self.state()
+        snap["latency_quantiles"] = (
+            {
+                str(q): value
+                for q, value in self.latency.quantiles(self._quantiles).items()
+            }
+            if self.delivered
+            else {}
+        )
+        return snap
+
     def summary(self, end_cycle: Optional[int] = None) -> MetricsSummary:
         """Render the picklable summary (finalizes occupancy residency)."""
         self.occupancy.finalize(

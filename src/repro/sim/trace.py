@@ -179,6 +179,15 @@ class JsonlTraceWriter:
     end-record event count included. ``bytes_written`` counts UTF-8 bytes
     of everything written (header and records too), so a crashed run's
     trace can be truncated back to its last checkpoint before resuming.
+
+    ``flush_every`` is an opt-in liveness mode for *live* consumers (the
+    serve package's trace stream, ``tail -f`` on a trace file): every
+    ``flush_every``-th event flushes the underlying stream, so a reader
+    sees events promptly instead of at Python's buffer granularity
+    (``flush_every=1`` flushes line by line). The default ``0`` keeps the
+    historical buffering behavior; the serialized bytes are identical
+    either way -- flushing changes *when* bytes land, never what they are
+    -- so the golden-trace contract is untouched.
     """
 
     def __init__(
@@ -187,8 +196,12 @@ class JsonlTraceWriter:
         meta: dict = None,
         header: bool = True,
         resume_counts: Tuple[int, int] = (0, 0),
+        flush_every: int = 0,
     ) -> None:
+        if flush_every < 0:
+            raise ValueError(f"flush_every must be >= 0, got {flush_every}")
         self.stream = stream
+        self.flush_every = flush_every
         self.events_written, self.bytes_written = resume_counts
         if header:
             hdr = {"ev": "trace", "schema": TRACE_SCHEMA_VERSION}
@@ -201,6 +214,8 @@ class JsonlTraceWriter:
         self.stream.write("\n")
         self.events_written += 1
         self.bytes_written += len(line.encode("utf-8")) + 1
+        if self.flush_every and self.events_written % self.flush_every == 0:
+            self.stream.flush()
 
     def write_record(self, record: dict) -> None:
         """Write one non-event metadata record (header, end summary)."""

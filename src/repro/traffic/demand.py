@@ -391,6 +391,77 @@ def as_schedule(demand: Demand) -> DemandSchedule:
     raise TypeError(f"expected DemandMatrix or DemandSchedule, got {type(demand)!r}")
 
 
+#: Generator names accepted by :func:`matrix_from_params` (and therefore
+#: by ``repro demand --generator`` and serve-protocol demand specs).
+GENERATOR_NAMES = (
+    "uniform", "hotspot", "skew", "permutation", "adversarial", "file",
+)
+
+
+def matrix_from_params(
+    shape: Coord3,
+    generator: str,
+    rate: float,
+    seed: int = 0,
+    hotspots: int = 1,
+    hot_fraction: float = 0.5,
+    skew_exponent: float = 1.0,
+    matrix_json: Optional[str] = None,
+    restarts: int = 3,
+    steps: int = 60,
+    cores_per_chip: int = 2,
+    machine: Optional[Machine] = None,
+    route_computer: Optional[RouteComputer] = None,
+) -> DemandMatrix:
+    """Build one demand matrix from named generator parameters.
+
+    The single authority behind every surface that accepts generator
+    parameters -- ``repro demand --generator ...`` epoch construction and
+    the serve protocol's ``create``/``submit_demand`` demand specs -- so
+    the same parameters always denote the same matrix. ``seed`` drives
+    the seeded generators; the adversarial search additionally needs an
+    elaborated machine and route computer (built on demand when omitted).
+    """
+    if generator == "uniform":
+        return DemandMatrix.uniform(shape, rate)
+    if generator == "hotspot":
+        return DemandMatrix.hotspot(
+            shape,
+            rate,
+            hotspots=hotspots,
+            hot_fraction=hot_fraction,
+            seed=seed,
+        )
+    if generator == "skew":
+        return DemandMatrix.skewed(shape, rate, exponent=skew_exponent, seed=seed)
+    if generator == "permutation":
+        return DemandMatrix.permutation(shape, rate=rate, seed=seed)
+    if generator == "adversarial":
+        from .adversarial import search_worst_permutation
+
+        if machine is None:
+            machine = Machine(MachineConfig(shape=shape, endpoints_per_chip=2))
+        if route_computer is None:
+            route_computer = RouteComputer(machine)
+        result = search_worst_permutation(
+            machine,
+            route_computer,
+            seed=seed,
+            restarts=restarts,
+            steps=steps,
+            cores_per_chip=cores_per_chip,
+            include_lp_bound=False,
+        )
+        return result.demand.scaled(rate, name=f"{result.demand.name}-r{rate:g}")
+    if generator == "file":
+        if matrix_json is None:
+            raise ValueError("generator 'file' needs the matrix JSON text")
+        return DemandMatrix.from_json(matrix_json)
+    raise ValueError(
+        f"unknown demand generator {generator!r}; known: {', '.join(GENERATOR_NAMES)}"
+    )
+
+
 class DemandMatrixPattern(TrafficPattern):
     """One demand matrix viewed as a :class:`TrafficPattern`.
 

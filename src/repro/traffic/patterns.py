@@ -298,3 +298,23 @@ class Blend(TrafficPattern):
 
     def sample(self, rng: random.Random, src: Coord3) -> Coord3:
         return self.sample_with_pattern(rng, src)[0]
+
+
+#: CLI/protocol names of the analytic patterns, in canonical order.
+PATTERN_NAMES = ("uniform", "1hop", "2hop", "tornado", "reverse-tornado")
+
+
+def pattern_factories(shape: Coord3):
+    """Named zero-argument constructors for the analytic patterns.
+
+    One registry shared by the CLI subcommands, trace replay, and the
+    serve package's workload specs, so a pattern name written into a
+    trace header or a protocol frame resolves identically everywhere.
+    """
+    return {
+        "uniform": lambda: UniformRandom(shape),
+        "1hop": lambda: NHopNeighbor(shape, 1),
+        "2hop": lambda: NHopNeighbor(shape, 2),
+        "tornado": lambda: Tornado(shape),
+        "reverse-tornado": lambda: ReverseTornado(shape),
+    }

@@ -1,0 +1,1 @@
+"""Tests for the simulation-as-a-service layer (repro.serve)."""

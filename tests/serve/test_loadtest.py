@@ -1,0 +1,116 @@
+"""Tests for the loadtest harness and its regression gate."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.loadtest import (
+    LOADTEST_SCHEMA_VERSION,
+    LoadTestSpec,
+    check_report,
+    default_workload,
+    run_loadtest,
+)
+
+
+class TestSpec:
+    def test_defaults_target_hundreds_of_sessions(self):
+        spec = LoadTestSpec()
+        assert spec.sessions >= 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadTestSpec(sessions=0)
+        with pytest.raises(ValueError):
+            LoadTestSpec(connections=0)
+        with pytest.raises(ValueError):
+            LoadTestSpec(step_cycles=0)
+        with pytest.raises(ValueError):
+            LoadTestSpec(arrival_spread_s=-0.1)
+
+    def test_default_workload_varies_per_session(self):
+        a = default_workload(0, seed=7)
+        b = default_workload(1, seed=7)
+        assert a["seed"] != b["seed"]
+        assert a["kind"] == "batch"
+
+
+class TestRun:
+    def test_small_fleet_completes_with_measured_concurrency(self):
+        spec = LoadTestSpec(
+            sessions=40,
+            connections=4,
+            steps=2,
+            step_cycles=32,
+            arrival_spread_s=0.01,
+            seed=3,
+        )
+        report = asyncio.run(run_loadtest(spec))
+        assert report["kind"] == "serve-loadtest"
+        assert report["schema"] == LOADTEST_SCHEMA_VERSION
+        assert report["completed"] == 40
+        assert report["failed"] == 0
+        assert "first_error" not in report
+        # The barrier holds every session resident while the coordinator
+        # samples the server, so this is a measurement, not a hope.
+        assert report["peak_live_sessions"] == 40
+        assert report["in_process_server"] is True
+        assert report["cycles_simulated"] > 0
+        assert report["duration_s"] > 0
+        # create + steps + stats + close per session.
+        per_session = 1 + spec.steps + 2
+        assert report["requests"] == 40 * per_session
+        assert report["client_latency_us"]["count"] == report["requests"]
+        assert report["server"]["created"] == 40
+        assert report["server"]["closed"] == 40
+        assert report["server"]["sessions"]["live"] == 0
+
+    def test_external_server_needs_a_port(self):
+        spec = LoadTestSpec(sessions=1)
+        with pytest.raises(ValueError, match="port"):
+            asyncio.run(run_loadtest(spec, host="127.0.0.1"))
+
+
+class TestCheckReport:
+    BASELINE = {
+        "peak_live_sessions": 500,
+        "client_latency_us": {"p99": 1000},
+        "server": {"latency_us": {"p99": 400}},
+    }
+
+    def _report(self, **overrides):
+        report = {
+            "failed": 0,
+            "peak_live_sessions": 500,
+            "client_latency_us": {"p99": 1200},
+            "server": {"latency_us": {"p99": 500}},
+        }
+        report.update(overrides)
+        return report
+
+    def test_clean_report_passes(self):
+        assert check_report(self._report(), self.BASELINE) == []
+
+    def test_failed_sessions_are_a_hard_floor(self):
+        problems = check_report(self._report(failed=3), self.BASELINE)
+        assert any("3 sessions failed" in p for p in problems)
+
+    def test_lost_concurrency_is_a_hard_floor(self):
+        problems = check_report(
+            self._report(peak_live_sessions=20), self.BASELINE
+        )
+        assert any("peak_live_sessions" in p for p in problems)
+
+    def test_latency_regression_beyond_factor_flags(self):
+        report = self._report(client_latency_us={"p99": 5001})
+        assert check_report(report, self.BASELINE, factor=5.0)
+        report = self._report(client_latency_us={"p99": 4999})
+        assert check_report(report, self.BASELINE, factor=5.0) == []
+
+    def test_server_latency_checked_too(self):
+        report = self._report(server={"latency_us": {"p99": 2001}})
+        problems = check_report(report, self.BASELINE, factor=5.0)
+        assert any("server p99" in p for p in problems)
+
+    def test_missing_baseline_quantiles_do_not_flag(self):
+        assert check_report(self._report(), {}) == []

@@ -1,0 +1,145 @@
+"""Frame-level tests for the serve wire protocol."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    REQUEST_TYPES,
+    SESSION_REQUEST_TYPES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    hello_frame,
+    metrics_event_frame,
+    parse_request,
+    reply_error,
+    reply_ok,
+    trace_event_frame,
+)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        frame = {"type": "ping", "id": 7}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_canonical_bytes_are_compact_and_newline_terminated(self):
+        line = encode_frame({"type": "ping", "id": 1})
+        assert line == b'{"type":"ping","id":1}\n'
+
+    def test_insertion_order_is_preserved_not_sorted(self):
+        # Embedded stats dicts carry meaning in key order; the codec must
+        # never canonicalize by sorting.
+        line = encode_frame({"type": "x", "zeta": 1, "alpha": 2})
+        assert line.index(b"zeta") < line.index(b"alpha")
+
+    def test_encode_rejects_non_dict_and_missing_type(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(["type", "ping"])
+        with pytest.raises(ProtocolError):
+            encode_frame({"id": 1})
+
+    def test_encode_rejects_oversized_frame(self):
+        blob = "x" * MAX_FRAME_BYTES
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"type": "x", "blob": blob})
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_frame(b"not json\n")
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(b"[1,2,3]\n")
+        with pytest.raises(ProtocolError, match="'type'"):
+            decode_frame(b'{"id":1}\n')
+        with pytest.raises(ProtocolError, match="'type'"):
+            decode_frame(b'{"type":5}\n')
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            decode_frame(b'\xff\xfe{"type":"x"}\n')
+
+    def test_decode_rejects_oversized_line(self):
+        line = b'{"type":"x"}' + b" " * MAX_FRAME_BYTES
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(line)
+
+    def test_decode_accepts_str_input(self):
+        assert decode_frame('{"type":"ping","id":1}') == {
+            "type": "ping",
+            "id": 1,
+        }
+
+
+class TestParseRequest:
+    def test_every_declared_type_parses(self):
+        for rtype in REQUEST_TYPES:
+            frame = {"type": rtype, "id": 1}
+            if rtype in SESSION_REQUEST_TYPES:
+                frame["session"] = "s0"
+            parsed = parse_request(frame)
+            assert parsed[0] == rtype and parsed[1] == 1
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request type"):
+            parse_request({"type": "reboot", "id": 1})
+
+    def test_id_must_be_a_real_integer(self):
+        with pytest.raises(ProtocolError, match="integer 'id'"):
+            parse_request({"type": "ping"})
+        with pytest.raises(ProtocolError, match="integer 'id'"):
+            parse_request({"type": "ping", "id": "1"})
+        # bool is an int subclass but not a valid correlation id.
+        with pytest.raises(ProtocolError, match="integer 'id'"):
+            parse_request({"type": "ping", "id": True})
+
+    def test_session_scoped_types_need_a_session(self):
+        for rtype in sorted(SESSION_REQUEST_TYPES):
+            with pytest.raises(ProtocolError, match="'session'"):
+                parse_request({"type": rtype, "id": 1})
+            with pytest.raises(ProtocolError, match="'session'"):
+                parse_request({"type": rtype, "id": 1, "session": ""})
+
+    def test_create_session_is_optional_but_must_be_string(self):
+        assert parse_request({"type": "create", "id": 1}) == ("create", 1, None)
+        assert parse_request(
+            {"type": "create", "id": 1, "session": "mine"}
+        ) == ("create", 1, "mine")
+        with pytest.raises(ProtocolError, match="must be a string"):
+            parse_request({"type": "create", "id": 1, "session": 5})
+
+
+class TestFrameBuilders:
+    def test_hello_carries_protocol_version(self):
+        hello = hello_frame()
+        assert hello["type"] == "hello"
+        assert hello["proto"] == PROTOCOL_VERSION
+
+    def test_reply_shapes(self):
+        ok = reply_ok(3, {"pong": True})
+        assert (ok["type"], ok["id"], ok["ok"]) == ("reply", 3, True)
+        assert ok["result"] == {"pong": True}
+        err = reply_error(4, "boom")
+        assert (err["type"], err["id"], err["ok"]) == ("reply", 4, False)
+        assert err["error"] == "boom"
+
+    def test_event_frames(self):
+        trace = trace_event_frame("s1", ['{"ev":"deliver"}'])
+        assert trace["type"] == "event" and trace["stream"] == "trace"
+        assert trace["session"] == "s1"
+        assert trace["events"] == ['{"ev":"deliver"}']
+        metrics = metrics_event_frame("s1", 128, {"delivered": 5})
+        assert metrics["stream"] == "metrics" and metrics["cycle"] == 128
+        assert metrics["snapshot"] == {"delivered": 5}
+
+    def test_frames_survive_the_codec(self):
+        for frame in (
+            hello_frame(),
+            reply_ok(1, {"a": 1}),
+            reply_error(2, "no"),
+            trace_event_frame("s", ["x"]),
+            metrics_event_frame("s", 1, {}),
+        ):
+            assert decode_frame(encode_frame(frame)) == json.loads(
+                json.dumps(frame)
+            )

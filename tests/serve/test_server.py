@@ -1,0 +1,381 @@
+"""Wire-level conformance and table-management tests for SimServer.
+
+The headline test drives K interleaved sessions over real TCP -- one of
+them force-evicted to the spool and transparently thawed mid-run -- and
+byte-compares every session's stats, metrics, and checkpoint text
+against its serial oracle. A second test kills a server after an
+eviction and proves a fresh server on the same spool directory picks the
+session up and still matches the oracle.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import PROTOCOL_VERSION, encode_frame
+from repro.serve.server import SimServer
+from repro.serve.session import SessionConfig
+
+from tests.serve.oracle import canon, oracle_artifacts
+
+WORKLOADS = {
+    "alpha": {
+        "kind": "batch",
+        "shape": [2, 2, 2],
+        "endpoints": 2,
+        "cores": 2,
+        "pattern": "uniform",
+        "batch": 6,
+        "seed": 21,
+    },
+    "bravo": {
+        "kind": "batch",
+        "shape": [2, 2, 2],
+        "endpoints": 2,
+        "cores": 2,
+        "pattern": "tornado",
+        "batch": 5,
+        "arbitration": "iw",
+        "seed": 8,
+    },
+    "charlie": {
+        "kind": "demand",
+        "shape": [2, 2, 2],
+        "endpoints": 2,
+        "cores": 2,
+        "arbitration": "age",
+        "seed": 4,
+        "demand": {
+            "generator": "hotspot",
+            "rate": 0.08,
+            "matrix_seed": 5,
+            "epochs": 2,
+            "epoch_length": 32,
+            "duration": 96,
+        },
+    },
+    "delta": {
+        "kind": "demand",
+        "shape": [2, 2, 2],
+        "endpoints": 2,
+        "cores": 2,
+        "seed": 13,
+        "policy": {"mode": "reroute", "retries": 4},
+        "demand": {
+            "generator": "skew",
+            "rate": 0.06,
+            "matrix_seed": 1,
+            "duration": 80,
+        },
+    },
+}
+
+
+async def _wire_artifacts(client, sid):
+    stats = await client.stats(sid)
+    snapshot = await client.snapshot(sid)
+    return {
+        "stats": canon(stats["stats"]),
+        "metrics": canon(stats["metrics"]),
+        "checkpoint": snapshot["checkpoint"],
+    }
+
+
+def test_interleaved_wire_sessions_match_serial_oracles(tmp_path):
+    """K concurrent sessions, stepped round-robin over TCP, one of them
+    evicted to the spool and thawed mid-run: every one must end
+    byte-identical to its uninterrupted serial run."""
+
+    async def scenario():
+        server = SimServer(
+            spool_dir=str(tmp_path / "spool"),
+            session_config=SessionConfig(quantum_cycles=16),
+        )
+        await server.start()
+        try:
+            client = await ServeClient.connect(*server.address)
+            for sid, workload in WORKLOADS.items():
+                created = await client.create(workload, session=sid)
+                assert created["session"] == sid
+                assert created["cycle"] == 0
+
+            # Freeze one session mid-run; the next step request must
+            # thaw it without the client doing anything.
+            result = await client.step("bravo", 4)
+            assert not result["drained"]
+            result = await client.evict("bravo")
+            assert result["evicted"]
+
+            done = set()
+            while len(done) < len(WORKLOADS):
+                for sid in WORKLOADS:
+                    if sid in done:
+                        continue
+                    result = await client.step(sid, 16)
+                    if result["drained"]:
+                        done.add(sid)
+
+            wire = {
+                sid: await _wire_artifacts(client, sid) for sid in WORKLOADS
+            }
+            stats = await client.server_stats()
+            assert stats["evictions"] == 1
+            assert stats["thaws"] == 1
+            await client.close()
+            return wire
+        finally:
+            await server.close()
+
+    wire = asyncio.run(scenario())
+    for sid, workload in WORKLOADS.items():
+        assert wire[sid] == oracle_artifacts(workload), sid
+
+
+def test_killed_server_recovers_spooled_sessions(tmp_path):
+    """A server dying after an eviction loses nothing: a fresh server on
+    the same spool directory re-indexes the record, and the session
+    still completes byte-identical to its oracle."""
+    spool = str(tmp_path / "spool")
+    workload = WORKLOADS["charlie"]
+
+    async def first_life():
+        server = SimServer(
+            spool_dir=spool,
+            session_config=SessionConfig(quantum_cycles=16),
+        )
+        await server.start()
+        try:
+            client = await ServeClient.connect(*server.address)
+            await client.create(workload, session="survivor")
+            result = await client.step("survivor", 48)
+            assert not result["drained"]
+            await client.evict("survivor")
+            await client.close()
+        finally:
+            # No graceful shutdown of the session table: everything not
+            # already spooled dies with the process.
+            await server.close()
+
+    async def second_life():
+        server = SimServer(spool_dir=spool)
+        await server.start()
+        try:
+            assert server.counters["recovered"] == 1
+            assert "survivor" in server.spooled
+            client = await ServeClient.connect(*server.address)
+            result = await client.run("survivor")
+            assert result["drained"]
+            artifacts = await _wire_artifacts(client, "survivor")
+            stats = await client.server_stats()
+            assert stats["thaws"] == 1
+            await client.close()
+            return artifacts
+        finally:
+            await server.close()
+
+    asyncio.run(first_life())
+    artifacts = asyncio.run(second_life())
+    assert artifacts == oracle_artifacts(workload)
+
+
+def test_lru_eviction_makes_room_and_thaw_is_transparent(tmp_path):
+    async def scenario():
+        server = SimServer(spool_dir=str(tmp_path / "spool"), max_sessions=2)
+        await server.start()
+        try:
+            client = await ServeClient.connect(*server.address)
+            for sid in ("one", "two", "three"):
+                await client.create(WORKLOADS["alpha"], session=sid)
+            # "one" was coldest when "three" arrived.
+            stats = await client.server_stats()
+            assert stats["sessions"] == {"live": 2, "spooled": 1, "max": 2}
+            assert set(server.spooled) == {"one"}
+            # Addressing "one" thaws it, which in turn evicts the new
+            # coldest ("two") to make room.
+            payload = await client.stats("one")
+            assert payload["session"] == "one"
+            assert set(server.spooled) == {"two"}
+            assert server.counters["evictions"] == 2
+            assert server.counters["thaws"] == 1
+            await client.close()
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_eviction_without_spool_dir_is_an_error():
+    async def scenario():
+        server = SimServer(max_sessions=16)
+        await server.start()
+        try:
+            client = await ServeClient.connect(*server.address)
+            await client.create(WORKLOADS["alpha"], session="s")
+            with pytest.raises(ServeError, match="spool"):
+                await client.evict("s")
+            await client.close()
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_raw_wire_protocol_errors(tmp_path):
+    """Drive the socket by hand: hello first, malformed lines get error
+    replies (id -1 when unknowable), and the connection survives."""
+
+    async def scenario():
+        server = SimServer()
+        await server.start()
+        try:
+            reader, writer = await asyncio.open_connection(*server.address)
+            hello = json.loads(await reader.readline())
+            assert hello["type"] == "hello"
+            assert hello["proto"] == PROTOCOL_VERSION
+
+            async def roundtrip(raw):
+                writer.write(raw)
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            reply = await roundtrip(b"this is not json\n")
+            assert reply["ok"] is False and reply["id"] == -1
+
+            reply = await roundtrip(encode_frame({"type": "reboot", "id": 5}))
+            assert reply["ok"] is False and reply["id"] == 5
+            assert "unknown request type" in reply["error"]
+
+            reply = await roundtrip(encode_frame({"type": "stats", "id": 6}))
+            assert reply["ok"] is False and "session" in reply["error"]
+
+            reply = await roundtrip(
+                encode_frame({"type": "stats", "id": 7, "session": "ghost"})
+            )
+            assert reply["ok"] is False
+            assert "unknown session" in reply["error"]
+
+            # The connection is still usable after every error above.
+            reply = await roundtrip(encode_frame({"type": "ping", "id": 8}))
+            assert reply["ok"] is True and reply["result"]["pong"] is True
+
+            writer.close()
+            await writer.wait_closed()
+            assert server.counters["protocol_errors"] == 3
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_create_validation_and_close(tmp_path):
+    async def scenario():
+        server = SimServer()
+        await server.start()
+        try:
+            client = await ServeClient.connect(*server.address)
+
+            # Generated ids when the client does not pick one.
+            sid = (await client.create(WORKLOADS["alpha"]))["session"]
+            assert sid == "s0"
+
+            with pytest.raises(ServeError, match="session ids"):
+                await client.create(WORKLOADS["alpha"], session="../escape")
+            with pytest.raises(ServeError, match="already exists"):
+                await client.create(WORKLOADS["alpha"], session="s0")
+            with pytest.raises(ServeError, match="unknown config keys"):
+                await client.create(
+                    WORKLOADS["alpha"], config={"quantum": 8}
+                )
+            with pytest.raises(ServeError, match="unknown workload kind"):
+                await client.create({"kind": "fuzz"})
+
+            # Per-session config overrides apply.
+            await client.create(
+                WORKLOADS["alpha"],
+                config={"quantum_cycles": 4},
+                session="tuned",
+            )
+            assert server.sessions["tuned"].config.quantum_cycles == 4
+
+            result = await client.run("s0")
+            assert result["drained"]
+            closed = await client.close_session("s0")
+            assert closed["closed"] is True
+            assert closed["final"]["stats"]["delivered"] > 0
+            with pytest.raises(ServeError, match="unknown session"):
+                await client.stats("s0")
+            await client.close()
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_subscribe_over_the_wire_streams_events():
+    async def scenario():
+        server = SimServer(session_config=SessionConfig(quantum_cycles=16))
+        await server.start()
+        try:
+            client = await ServeClient.connect(*server.address)
+            await client.create(WORKLOADS["alpha"], session="s")
+            sub = await client.subscribe(
+                "s", streams=["trace", "metrics"], metrics_every=32
+            )
+            assert sub["streams"] == ["metrics", "trace"]
+            with pytest.raises(ServeError, match="unknown streams"):
+                await client.subscribe("s", streams=["video"])
+            await client.run("s")
+            await client.close_session("s")
+            seen = {"trace": 0, "metrics": 0}
+            while not client.events.empty():
+                frame = client.events.get_nowait()
+                if frame is None:
+                    break
+                assert frame["session"] == "s"
+                seen[frame["stream"]] += (
+                    len(frame.get("events", [])) or 1
+                )
+            await client.close()
+            return seen
+        finally:
+            await server.close()
+
+    seen = asyncio.run(scenario())
+    assert seen["trace"] > 0
+    assert seen["metrics"] > 0
+
+
+def test_server_stats_shape_and_counters():
+    async def scenario():
+        server = SimServer()
+        await server.start()
+        try:
+            client = await ServeClient.connect(*server.address)
+            await client.ping()
+            await client.create(WORKLOADS["alpha"], session="s")
+            await client.run("s")
+            stats = await client.server_stats()
+            await client.close()
+            return stats
+        finally:
+            await server.close()
+
+    stats = asyncio.run(scenario())
+    assert stats["proto"] == PROTOCOL_VERSION
+    assert stats["sessions"]["live"] == 1
+    assert stats["connections"] == 1
+    assert stats["created"] == 1
+    # ping + create + run were counted; the server_stats request itself
+    # is timed after its payload is built.
+    assert stats["requests"] == 3
+    assert stats["latency_us"]["count"] == stats["requests"]
+    assert stats["latency_us"]["p99"] >= stats["latency_us"]["p50"] >= 0
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="max_sessions"):
+        SimServer(max_sessions=0)
+    with pytest.raises(ValueError, match="outbound_limit"):
+        SimServer(outbound_limit=0)

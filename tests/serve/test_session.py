@@ -1,0 +1,497 @@
+"""Session conformance: quantum-sliced serving vs the serial oracle.
+
+The load-bearing claims: advancing a session in bounded quanta (with
+stream publishing interleaved) is bitwise-invisible next to one
+uninterrupted ``run()``; so is an evict/thaw cycle, including after a
+mid-run fault injection; and the trace stream carries exactly the lines
+a :class:`~repro.sim.trace.JsonlTraceWriter` would have written.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.protocol import decode_frame
+from repro.serve.session import (
+    MachineCache,
+    Session,
+    SessionConfig,
+    SessionError,
+    Subscriber,
+    TraceStreamBuffer,
+)
+from repro.sim.metrics import MetricsCollector
+
+from tests.serve.oracle import canon, oracle_artifacts, session_artifacts
+
+BATCH_RR = {
+    "kind": "batch",
+    "shape": [2, 2, 2],
+    "endpoints": 2,
+    "cores": 2,
+    "pattern": "uniform",
+    "batch": 6,
+    "seed": 11,
+}
+
+BATCH_IW = {
+    "kind": "batch",
+    "shape": [2, 2, 2],
+    "endpoints": 2,
+    "cores": 2,
+    "pattern": "tornado",
+    "batch": 5,
+    "arbitration": "iw",
+    "seed": 3,
+}
+
+DEMAND_AGE = {
+    "kind": "demand",
+    "shape": [2, 2, 2],
+    "endpoints": 2,
+    "cores": 2,
+    "arbitration": "age",
+    "seed": 5,
+    "demand": {
+        "generator": "hotspot",
+        "rate": 0.08,
+        "matrix_seed": 9,
+        "epochs": 2,
+        "epoch_length": 32,
+        "duration": 96,
+    },
+}
+
+
+def drive(session, cycles=None):
+    return asyncio.run(session.advance(cycles))
+
+
+async def _drain_in_steps(session, step):
+    while True:
+        result = await session.advance(step)
+        if result["drained"]:
+            return result
+
+
+class TestConfigAndWorkloadValidation:
+    def test_config_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SessionConfig(quantum_cycles=0)
+        with pytest.raises(ValueError, match="backpressure"):
+            SessionConfig(backpressure="spill")
+        with pytest.raises(ValueError):
+            SessionConfig(trace_batch=0)
+        with pytest.raises(ValueError):
+            SessionConfig(metrics_every=-1)
+        with pytest.raises(ValueError):
+            SessionConfig(max_cycles=0)
+
+    def test_workload_rejects_bad_specs(self):
+        with pytest.raises(SessionError, match="JSON object"):
+            Session.create("s", ["batch"])
+        with pytest.raises(SessionError, match="unknown workload kind"):
+            Session.create("s", {"kind": "fuzz"})
+        with pytest.raises(SessionError, match="shape"):
+            Session.create("s", {"kind": "batch", "shape": [2, 2]})
+        with pytest.raises(SessionError, match="arbitration"):
+            Session.create("s", {"kind": "batch", "arbitration": "lotto"})
+        with pytest.raises(SessionError, match="unknown pattern"):
+            Session.create("s", {"kind": "batch", "pattern": "zigzag"})
+        with pytest.raises(SessionError, match="idle sessions use rr"):
+            Session.create("s", {"kind": "idle", "arbitration": "iw"})
+
+    def test_machine_cache_shares_elaborations(self):
+        cache = MachineCache()
+        a = Session.create("a", dict(BATCH_RR), machines=cache)
+        b = Session.create("b", dict(BATCH_RR), machines=cache)
+        assert a.engine.machine is b.engine.machine
+        assert len(cache) == 1
+
+
+class TestOracleEquality:
+    @pytest.mark.parametrize(
+        "workload", [BATCH_RR, BATCH_IW, DEMAND_AGE], ids=["rr", "iw", "age"]
+    )
+    def test_run_matches_serial_oracle(self, workload):
+        session = Session.create(
+            "s", dict(workload), SessionConfig(quantum_cycles=17)
+        )
+        result = drive(session)
+        assert result["drained"]
+        assert session_artifacts(session) == oracle_artifacts(workload)
+
+    def test_batch_stats_match_run_batch_itself(self):
+        # Belt and braces on the oracle builder: the engine it constructs
+        # reproduces run_batch() exactly for the same spec.
+        from repro.core.machine import Machine, MachineConfig
+        from repro.core.routing import RouteComputer
+        from repro.sim.simulator import run_batch
+        from repro.traffic.batch import BatchSpec
+        from repro.traffic.patterns import pattern_factories
+
+        shape = tuple(BATCH_RR["shape"])
+        machine = Machine(MachineConfig(shape=shape, endpoints_per_chip=2))
+        stats = run_batch(
+            machine,
+            RouteComputer(machine),
+            BatchSpec(
+                pattern=pattern_factories(shape)["uniform"](),
+                packets_per_source=BATCH_RR["batch"],
+                cores_per_chip=BATCH_RR["cores"],
+                seed=BATCH_RR["seed"],
+            ),
+        )
+        session = Session.create("s", dict(BATCH_RR))
+        drive(session)
+        assert canon(session.stats_payload()["stats"]) == canon(
+            stats.asdict()
+        )
+
+    def test_step_granularity_is_invisible(self):
+        coarse = Session.create(
+            "a", dict(DEMAND_AGE), SessionConfig(quantum_cycles=64)
+        )
+        fine = Session.create(
+            "b", dict(DEMAND_AGE), SessionConfig(quantum_cycles=5)
+        )
+        drive(coarse)
+        asyncio.run(_drain_in_steps(fine, 13))
+        assert session_artifacts(fine) == session_artifacts(coarse)
+
+    def test_step_on_drained_session_is_a_noop(self):
+        session = Session.create("s", dict(BATCH_RR))
+        drive(session)
+        cycle = session.engine.cycle
+        result = drive(session, 64)
+        assert result["advanced"] == 0 and result["cycle"] == cycle
+
+    def test_max_cycles_turns_wedge_into_error(self):
+        session = Session.create(
+            "s", dict(BATCH_RR), SessionConfig(max_cycles=4)
+        )
+        with pytest.raises(SessionError, match="max_cycles"):
+            drive(session)
+        assert not session.busy  # guard is released on the error path
+
+
+class TestSpoolThaw:
+    def test_evict_thaw_midrun_is_bitwise_invisible(self):
+        session = Session.create(
+            "s", dict(DEMAND_AGE), SessionConfig(quantum_cycles=16)
+        )
+        drive(session, 48)
+        assert not session.drained  # the cut lands mid-run
+        spooled = json.loads(canon(session.spool_payload()))
+        thawed = Session.thaw(spooled)
+        drive(thawed)
+        assert thawed.thaws == 1
+        assert session_artifacts(thawed) == oracle_artifacts(DEMAND_AGE)
+
+    def test_thaw_preserves_serving_counters(self):
+        session = Session.create(
+            "s", dict(BATCH_RR), SessionConfig(quantum_cycles=8)
+        )
+        drive(session, 24)
+        before = session.counters()
+        thawed = Session.thaw(json.loads(canon(session.spool_payload())))
+        after = thawed.counters()
+        assert after["cycles_run"] == before["cycles_run"]
+        assert after["quanta"] == before["quanta"]
+        assert after["thaws"] == before["thaws"] + 1
+
+    def test_thaw_rejects_foreign_payloads(self):
+        with pytest.raises(SessionError, match="spool record"):
+            Session.thaw({"kind": "checkpoint"})
+        session = Session.create("s", dict(BATCH_RR))
+        payload = session.spool_payload()
+        payload["schema"] = 99
+        with pytest.raises(SessionError, match="schema"):
+            Session.thaw(payload)
+
+
+class TestSubmitDemand:
+    DEMAND = {
+        "generator": "skew",
+        "rate": 0.05,
+        "matrix_seed": 2,
+        "duration": 64,
+        "seed": 7,
+    }
+
+    def test_submission_into_idle_matches_run_demand_oracle(self):
+        session = Session.create(
+            "s",
+            {"kind": "idle", "shape": [2, 2, 2], "endpoints": 2},
+            SessionConfig(quantum_cycles=9),
+        )
+        result = session.submit_demand(dict(self.DEMAND))
+        assert result["enqueued"] > 0 and result["at_cycle"] == 0
+        drive(session)
+        oracle = oracle_artifacts(
+            {
+                "kind": "demand",
+                "shape": [2, 2, 2],
+                "endpoints": 2,
+                "cores": 2,
+                "seed": 0,
+                "demand": dict(self.DEMAND),
+            }
+        )
+        assert session_artifacts(session) == oracle
+
+    def test_midrun_submission_shifts_release_cycles(self):
+        session = Session.create("s", dict(BATCH_RR))
+        drive(session)
+        at = session.engine.cycle
+        assert at > 0
+        delivered = session.engine.stats.delivered
+        result = session.submit_demand(dict(self.DEMAND))
+        assert result["at_cycle"] == at and result["enqueued"] > 0
+        final = drive(session)
+        assert final["drained"]
+        assert session.engine.stats.delivered > delivered
+        assert session.demands_submitted == 1
+
+
+class TestFaultInjection:
+    def _fault_obj(self, session, down, up=None):
+        from repro.faults import FAULT_SCHEMA_VERSION, failable_channels
+
+        spec = {
+            "kind": "link",
+            "channel": failable_channels(session.engine.machine)[0],
+            "down": down,
+        }
+        if up is not None:
+            spec["up"] = up
+        return {
+            "version": FAULT_SCHEMA_VERSION,
+            "shape": list(session.engine.machine.config.shape),
+            "faults": [spec],
+        }
+
+    def _faulted_workload(self):
+        workload = dict(DEMAND_AGE)
+        workload["arbitration"] = "rr"
+        workload["policy"] = {"mode": "reroute", "retries": 4}
+        return workload
+
+    def test_injection_needs_a_fault_runtime(self):
+        session = Session.create("s", dict(BATCH_RR))
+        with pytest.raises(ValueError, match="without fault support"):
+            session.inject_faults(self._fault_obj(session, down=50))
+
+    def test_injection_rejects_past_cycles(self):
+        session = Session.create("s", self._faulted_workload())
+        drive(session, 40)
+        with pytest.raises(ValueError):
+            session.inject_faults(self._fault_obj(session, down=10))
+
+    def test_injection_schedules_and_survives_thaw_bitwise(self):
+        # Two identical sessions, the same injection; one is frozen and
+        # thawed after the injection but before the fault lands. Equal
+        # final bytes pin that injected schedules live in the checkpoint.
+        down, up = 64, 96
+        finals = []
+        for freeze in (False, True):
+            session = Session.create(
+                "s",
+                self._faulted_workload(),
+                SessionConfig(quantum_cycles=16),
+            )
+            drive(session, 32)
+            result = session.inject_faults(
+                self._fault_obj(session, down=down, up=up)
+            )
+            assert result["scheduled"] == 2  # down + up events
+            if freeze:
+                session = Session.thaw(
+                    json.loads(canon(session.spool_payload()))
+                )
+            drive(session)
+            assert session.faults_injected == 2
+            finals.append(session_artifacts(session))
+        assert finals[0] == finals[1]
+
+
+class TestStreams:
+    def test_trace_stream_carries_writer_identical_lines(self):
+        class CaptureSink:
+            def __init__(self):
+                self.lines = []
+
+            def emit(self, event):
+                self.lines.append(event.to_json())
+
+            def flush(self):
+                pass
+
+        async def scenario():
+            session = Session.create(
+                "s", dict(BATCH_RR), SessionConfig(quantum_cycles=16)
+            )
+            queue = asyncio.Queue()
+            session.subscribe(Subscriber(queue, ["trace"]))
+            await session.advance()
+            lines = []
+            while not queue.empty():
+                frame = decode_frame(queue.get_nowait())
+                assert frame["stream"] == "trace"
+                assert frame["session"] == "s"
+                lines.extend(frame["events"])
+            return lines, session.trace_events_streamed
+
+        streamed, counted = asyncio.run(scenario())
+
+        from repro.core.machine import Machine, MachineConfig
+        from repro.core.routing import RouteComputer
+        from repro.sim.simulator import build_batch_engine
+        from repro.sim.trace import Tee
+        from repro.traffic.batch import BatchSpec
+        from repro.traffic.patterns import pattern_factories
+
+        capture = CaptureSink()
+        shape = tuple(BATCH_RR["shape"])
+        machine = Machine(MachineConfig(shape=shape, endpoints_per_chip=2))
+        engine = build_batch_engine(
+            machine,
+            RouteComputer(machine),
+            BatchSpec(
+                pattern=pattern_factories(shape)["uniform"](),
+                packets_per_source=BATCH_RR["batch"],
+                cores_per_chip=BATCH_RR["cores"],
+                seed=BATCH_RR["seed"],
+            ),
+            trace=Tee(MetricsCollector(window_cycles=256), capture),
+        )
+        engine.run()
+        assert streamed == capture.lines
+        assert counted == len(capture.lines) > 0
+
+    def test_metrics_stream_honors_cadence(self):
+        async def scenario():
+            session = Session.create(
+                "s", dict(BATCH_RR), SessionConfig(quantum_cycles=8)
+            )
+            queue = asyncio.Queue()
+            session.subscribe(Subscriber(queue, ["metrics"], metrics_every=24))
+            await session.advance()
+            frames = []
+            while not queue.empty():
+                frames.append(decode_frame(queue.get_nowait()))
+            return frames
+
+        frames = asyncio.run(scenario())
+        assert frames, "expected at least one metrics push"
+        cycles = [f["cycle"] for f in frames]
+        assert cycles == sorted(cycles)
+        assert all(b - a >= 24 for a, b in zip(cycles, cycles[1:]))
+        assert all(f["stream"] == "metrics" for f in frames)
+        assert "delivered" in frames[-1]["snapshot"]
+
+    def test_subscriber_rejects_unknown_streams(self):
+        with pytest.raises(SessionError, match="unknown streams"):
+            Subscriber(asyncio.Queue(), ["trace", "video"])
+
+    def test_unsubscribe_disables_and_drains_the_buffer(self):
+        session = Session.create("s", dict(BATCH_RR))
+        queue = asyncio.Queue()
+        session.subscribe(Subscriber(queue, ["trace"]))
+        assert session.buffer.enabled
+        session.buffer.lines.append("pending")
+        session.unsubscribe_queue(queue)
+        assert not session.buffer.enabled
+        assert session.buffer.lines == []
+
+    def test_unobserved_sessions_buffer_nothing(self):
+        session = Session.create("s", dict(BATCH_RR))
+        drive(session)
+        assert session.buffer.lines == []
+        assert session.trace_events_streamed == 0
+
+
+class TestBackpressure:
+    def test_drop_oldest_counts_and_never_blocks(self):
+        async def scenario():
+            session = Session.create(
+                "s",
+                dict(BATCH_RR),
+                SessionConfig(
+                    quantum_cycles=8,
+                    trace_batch=1,
+                    backpressure="drop-oldest",
+                ),
+            )
+            queue = asyncio.Queue(maxsize=2)
+            session.subscribe(Subscriber(queue, ["trace"]))
+            result = await session.advance()
+            return session, result
+
+        session, result = asyncio.run(scenario())
+        assert result["drained"]
+        assert session.trace_frames_dropped > 0
+        # The observed run still matches the oracle: dropping frames
+        # must not perturb the simulation itself.
+        assert session_artifacts(session) == oracle_artifacts(BATCH_RR)
+
+    def test_pause_blocks_until_the_consumer_catches_up(self):
+        async def scenario():
+            session = Session.create(
+                "s",
+                dict(BATCH_RR),
+                SessionConfig(
+                    quantum_cycles=8, trace_batch=1, backpressure="pause"
+                ),
+            )
+            queue = asyncio.Queue(maxsize=2)
+            session.subscribe(Subscriber(queue, ["trace"]))
+            drained = 0
+
+            async def consumer():
+                nonlocal drained
+                while True:
+                    frame = await queue.get()
+                    if frame is None:
+                        return
+                    drained += 1
+
+            task = asyncio.ensure_future(consumer())
+            result = await session.advance()
+            await queue.put(None)
+            await task
+            return session, result, drained
+
+        session, result, drained = asyncio.run(scenario())
+        assert result["drained"]
+        assert session.backpressure_pauses > 0
+        assert session.trace_frames_dropped == 0
+        assert drained == session.trace_events_streamed > 0
+
+
+class TestBusyGuards:
+    def test_requests_against_a_running_session_are_rejected(self):
+        async def scenario():
+            session = Session.create(
+                "s", dict(DEMAND_AGE), SessionConfig(quantum_cycles=4)
+            )
+            task = asyncio.ensure_future(session.advance())
+            await asyncio.sleep(0)
+            assert session.busy
+            with pytest.raises(SessionError, match="busy"):
+                await session.advance(1)
+            with pytest.raises(SessionError, match="busy"):
+                session.snapshot_text()
+            with pytest.raises(SessionError, match="busy"):
+                session.submit_demand({})
+            with pytest.raises(SessionError, match="busy"):
+                session.spool_payload()
+            # stats stays valid mid-run -- the one observation that must
+            # not require quiescence.
+            payload = session.stats_payload()
+            assert payload["busy"] is True
+            await task
+            assert not session.busy
+
+        asyncio.run(scenario())

@@ -1,0 +1,78 @@
+"""Pins for MetricsCollector.snapshot(): non-mutating, mid-run safe.
+
+The serve package's metrics stream snapshots live collectors between
+quanta; the bitwise contract is that snapshotting and continuing is
+indistinguishable from never having observed at all.
+"""
+
+import json
+
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.sim.metrics import MetricsCollector
+from repro.sim.simulator import build_batch_engine
+from repro.traffic.batch import BatchSpec
+from repro.traffic.patterns import pattern_factories
+
+
+def _build(machine, collector):
+    shape = machine.config.shape
+    return build_batch_engine(
+        machine,
+        RouteComputer(machine),
+        BatchSpec(
+            pattern=pattern_factories(shape)["uniform"](),
+            packets_per_source=6,
+            cores_per_chip=2,
+            seed=5,
+        ),
+        trace=collector,
+    )
+
+
+def test_snapshot_then_continue_is_bitwise_invisible(tiny_machine):
+    observed = MetricsCollector(window_cycles=64)
+    blind = MetricsCollector(window_cycles=64)
+    engine_a = _build(tiny_machine, observed)
+    engine_b = _build(tiny_machine, blind)
+
+    # Drive A in chunks, snapshotting between every chunk; B runs once,
+    # unobserved.
+    while True:
+        engine_a.run_for(16)
+        observed.snapshot()
+        observed.snapshot()  # twice: repeated observation is free too
+        if not (
+            engine_a._queued or engine_a._in_network or engine_a._events.pending
+        ):
+            break
+    engine_b.run()
+
+    assert engine_a.stats.asdict() == engine_b.stats.asdict()
+    canon = lambda c: json.dumps(c.state(), sort_keys=True)  # noqa: E731
+    assert canon(observed) == canon(blind)
+    assert observed.snapshot() == blind.snapshot()
+
+
+def test_snapshot_is_state_plus_quantiles(tiny_machine):
+    collector = MetricsCollector(window_cycles=64)
+    engine = _build(tiny_machine, collector)
+    engine.run()
+    snap = collector.snapshot()
+    assert snap["delivered"] == engine.stats.delivered > 0
+    # state() keys are all present, plus the live quantile view.
+    for key in collector.state():
+        assert key in snap
+    assert set(snap["latency_quantiles"]) == {
+        str(q) for q in collector._quantiles
+    }
+    # The snapshot is detached: mutating it cannot reach the reducers.
+    snap["busy"]["window_cycles"] = -1
+    assert collector.busy.window_cycles == 64
+
+
+def test_snapshot_of_an_idle_collector_has_empty_quantiles():
+    collector = MetricsCollector()
+    snap = collector.snapshot()
+    assert snap["delivered"] == 0
+    assert snap["latency_quantiles"] == {}
