@@ -16,6 +16,7 @@ from .server import SimServer, run_server
 from .session import (
     BACKPRESSURE_MODES,
     MachineCache,
+    OutboundChannel,
     Session,
     SessionConfig,
     SessionError,
@@ -27,6 +28,7 @@ __all__ = [
     "BACKPRESSURE_MODES",
     "LoadTestSpec",
     "MachineCache",
+    "OutboundChannel",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ServeClient",

@@ -170,10 +170,10 @@ async def run_loadtest(
     clients = []
     t_start = time.perf_counter()
     try:
-        clients = [
-            await ServeClient.connect(host, port)
-            for _ in range(spec.connections)
-        ]
+        # Append as each connect succeeds so the finally block closes a
+        # partially built pool when a later connect fails.
+        for _ in range(spec.connections):
+            clients.append(await ServeClient.connect(host, port))
         tasks = [
             asyncio.ensure_future(
                 _session_task(

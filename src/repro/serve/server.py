@@ -23,11 +23,20 @@ Concurrency model
 One task per connection, reading requests strictly in order: a reply is
 written before the next request on that connection is read (replies are
 therefore in request order -- the protocol invariant). A second task per
-connection drains its bounded outbound queue to the socket; stream
-events and replies share that queue, so a session's backpressure policy
-sees the connection's true buffering. Long ``run`` requests yield the
-loop every quantum, so N connections advance N sessions concurrently
-with no thread in sight.
+connection drains its :class:`~repro.serve.session.OutboundChannel` to
+the socket. The channel carries two lanes through one FIFO: control
+frames (hello, replies) are never dropped, while stream event frames
+are bounded by ``outbound_limit`` and governed by each session's
+backpressure policy -- overload can discard events, never a reply. Long
+``run`` requests yield the loop every quantum, so N connections advance
+N sessions concurrently with no thread in sight.
+
+Eviction keeps live subscriptions: spool files cannot carry them (a
+subscriber is a handle on a live connection), so :meth:`SimServer._evict`
+parks a session's subscribers in server memory keyed by session id and
+thaw re-attaches them -- streams resume exactly where the frozen session
+does. A crash loses only those parked handles, whose connections died
+with the process anyway.
 """
 
 from __future__ import annotations
@@ -38,7 +47,7 @@ import os
 import pathlib
 import re
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.sim.metrics import StreamingQuantile
 
@@ -55,6 +64,7 @@ from .protocol import (
 )
 from .session import (
     MachineCache,
+    OutboundChannel,
     Session,
     SessionConfig,
     SessionError,
@@ -64,7 +74,8 @@ from .session import (
 #: Session ids must be filesystem-safe: they name spool files.
 _SESSION_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
-#: Default bound of each connection's outbound queue (frames).
+#: Default bound of each connection's outbound event lane (frames);
+#: control frames (replies, hello) are never bounded or dropped.
 DEFAULT_OUTBOUND_LIMIT = 1024
 
 
@@ -94,6 +105,9 @@ class SimServer:
         self.sessions: Dict[str, Session] = {}
         #: Spooled sessions: id -> spool file path.
         self.spooled: Dict[str, str] = {}
+        #: Subscribers of spooled sessions, parked until thaw re-attaches
+        #: them (spool files cannot carry live connection handles).
+        self._evicted_subs: Dict[str, List[Subscriber]] = {}
         self.machines = MachineCache()
         self._server: Optional[asyncio.AbstractServer] = None
         self._next_sid = 0
@@ -151,9 +165,9 @@ class SimServer:
 
     async def _handle_connection(self, reader, writer) -> None:
         self.counters["connections"] += 1
-        outbound: asyncio.Queue = asyncio.Queue(maxsize=self.outbound_limit)
+        outbound = OutboundChannel(self.outbound_limit)
         drain = asyncio.ensure_future(self._drain_outbound(outbound, writer))
-        await outbound.put(encode_frame(hello_frame()))
+        outbound.put_control(encode_frame(hello_frame()))
         try:
             while True:
                 try:
@@ -171,14 +185,12 @@ class SimServer:
                 if not line:
                     break
                 reply = await self._dispatch(line, outbound)
-                await outbound.put(encode_frame(reply))
+                outbound.put_control(encode_frame(reply))
         finally:
             for session in self.sessions.values():
-                session.unsubscribe_queue(outbound)
-            try:
-                outbound.put_nowait(None)  # sentinel: flush then stop
-            except asyncio.QueueFull:
-                drain.cancel()
+                session.unsubscribe_channel(outbound)
+            self._unpark_channel(outbound)
+            outbound.put_control(None)  # sentinel: flush then stop
             try:
                 await drain
             except (asyncio.CancelledError, ConnectionError, OSError):
@@ -191,8 +203,19 @@ class SimServer:
             except (asyncio.CancelledError, ConnectionError, OSError):
                 pass
 
+    def _unpark_channel(self, channel: OutboundChannel) -> None:
+        """Forget parked subscriptions of a closing connection."""
+        for sid in list(self._evicted_subs):
+            kept = [
+                s for s in self._evicted_subs[sid] if s.channel is not channel
+            ]
+            if kept:
+                self._evicted_subs[sid] = kept
+            else:
+                del self._evicted_subs[sid]
+
     @staticmethod
-    async def _drain_outbound(outbound: asyncio.Queue, writer) -> None:
+    async def _drain_outbound(outbound: OutboundChannel, writer) -> None:
         while True:
             data = await outbound.get()
             if data is None:
@@ -208,7 +231,7 @@ class SimServer:
                     if leftover is None:
                         return
 
-    async def _dispatch(self, line: bytes, outbound: asyncio.Queue) -> dict:
+    async def _dispatch(self, line: bytes, outbound: OutboundChannel) -> dict:
         """Decode, handle, and time one request; always returns a reply."""
         t0 = time.perf_counter_ns()
         rid = -1
@@ -351,10 +374,15 @@ class SimServer:
                 f"session {sid!r} is spooled but unreadable: {exc}"
             ) from exc
         session = Session.thaw(payload)
+        # Make room *before* forgetting the spool record: if the table is
+        # full of busy sessions this raises, and the session must still
+        # be reachable (spooled) for a later retry rather than lost.
+        self._make_room()
+        for sub in self._evicted_subs.pop(sid, []):
+            session.subscribe(sub)
+        self.sessions[sid] = session
         del self.spooled[sid]
         os.unlink(path)
-        self._make_room()
-        self.sessions[sid] = session
         self.counters["thaws"] += 1
         return session
 
@@ -371,7 +399,12 @@ class SimServer:
             self._evict(victim)
 
     def _evict(self, session: Session) -> str:
-        """Freeze one session to its spool file (atomic write)."""
+        """Freeze one session to its spool file (atomic write).
+
+        Live subscribers are parked server-side and re-attached on thaw,
+        so subscribed clients cannot observe the eviction either -- their
+        streams resume when the session does.
+        """
         if self.spool_dir is None:
             raise SessionError(
                 "eviction needs a spool directory (start the server with "
@@ -385,6 +418,8 @@ class SimServer:
             json.dump(payload, stream, separators=(",", ":"))
             stream.write("\n")
         os.replace(tmp, path)
+        if session.subscribers:
+            self._evicted_subs[sid] = session.subscribers
         del self.sessions[sid]
         self.spooled[sid] = path
         self.counters["evictions"] += 1

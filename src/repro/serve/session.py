@@ -31,21 +31,26 @@ Determinism argument
 Backpressure
 ------------
 
-Stream frames flow into each subscriber's bounded outbound queue. When a
-queue is full the session applies its configured policy: ``drop-oldest``
-discards the oldest queued frame (counted in ``trace_frames_dropped``)
-and keeps simulating; ``pause`` awaits queue space (counted in
-``backpressure_pauses``), letting one slow consumer throttle its
-session -- but only its session, since every other session keeps its own
-quantum turn on the loop.
+Stream frames flow into each subscriber connection's
+:class:`OutboundChannel`, which carries two lanes: *control* frames
+(hello, replies, the drain sentinel) are never dropped and never
+blocked, preserving the protocol's exactly-one-reply-per-request
+invariant under any load; *event* frames (trace/metrics pushes) are
+bounded, and when the event lane is full the session applies its
+configured policy: ``drop-oldest`` discards the oldest queued *event*
+frame (counted in ``trace_frames_dropped``) and keeps simulating;
+``pause`` awaits event-lane space (counted in ``backpressure_pauses``),
+letting one slow consumer throttle its session -- but only its session,
+since every other session keeps its own quantum turn on the loop.
 """
 
 from __future__ import annotations
 
 import asyncio
+import collections
 import dataclasses
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.core.machine import Machine, MachineConfig
 from repro.core.routing import RouteComputer
@@ -163,14 +168,115 @@ class TraceStreamBuffer:
         return lines
 
 
+class OutboundChannel:
+    """One connection's outbound frame channel, in two lanes.
+
+    *Control* frames -- the hello, request replies, the drain task's
+    ``None`` stop sentinel -- are enqueued with :meth:`put_control`:
+    never dropped, never blocked. *Event* frames (trace/metrics pushes)
+    are bounded by ``limit`` and subject to the owning session's
+    backpressure policy. Keeping the lanes in one FIFO preserves the
+    relative order frames were produced in, while guaranteeing overload
+    can only ever discard events -- a queued-but-unflushed reply
+    survives any drop storm, so the protocol's exactly-one-reply
+    invariant holds regardless of streaming load.
+
+    Control-lane depth is intrinsically bounded: the connection loop
+    reads one request at a time and enqueues its single reply before
+    reading the next, so at most a hello plus one reply (plus the stop
+    sentinel) are ever queued.
+    """
+
+    def __init__(self, limit: int = 0) -> None:
+        if limit < 0:
+            raise ValueError("limit must be >= 0 (0 means unbounded)")
+        self._limit = limit
+        #: FIFO of ``(is_event, frame-bytes-or-None)``.
+        self._items: Deque[Tuple[bool, Optional[bytes]]] = (
+            collections.deque()
+        )
+        self._events = 0
+        self._ready = asyncio.Event()
+        self._space = asyncio.Event()
+        self._space.set()
+
+    # --- producer side ---
+
+    def put_control(self, data: Optional[bytes]) -> None:
+        """Enqueue a control frame (or the ``None`` stop sentinel)."""
+        self._items.append((False, data))
+        self._ready.set()
+
+    def events_full(self) -> bool:
+        return bool(self._limit) and self._events >= self._limit
+
+    async def put_event(self, data: bytes) -> None:
+        """Enqueue an event frame, waiting for event-lane space."""
+        while self.events_full():
+            self._space.clear()
+            await self._space.wait()
+        self._items.append((True, data))
+        self._events += 1
+        self._ready.set()
+
+    def put_event_drop_oldest(self, data: bytes) -> int:
+        """Enqueue an event frame, dropping oldest events to make room.
+
+        Returns how many queued event frames were discarded; control
+        frames are always skipped.
+        """
+        dropped = 0
+        while self.events_full() and self._drop_oldest_event():
+            dropped += 1
+        self._items.append((True, data))
+        self._events += 1
+        self._ready.set()
+        return dropped
+
+    def _drop_oldest_event(self) -> bool:
+        for i, (is_event, _) in enumerate(self._items):
+            if is_event:
+                del self._items[i]
+                self._events -= 1
+                self._space.set()
+                return True
+        return False  # pragma: no cover - _events counts queued events
+
+    # --- consumer side ---
+
+    def empty(self) -> bool:
+        return not self._items
+
+    def qsize(self) -> int:
+        return len(self._items)
+
+    def get_nowait(self) -> Optional[bytes]:
+        if not self._items:
+            raise asyncio.QueueEmpty
+        return self._pop()
+
+    async def get(self) -> Optional[bytes]:
+        while not self._items:
+            self._ready.clear()
+            await self._ready.wait()
+        return self._pop()
+
+    def _pop(self) -> Optional[bytes]:
+        is_event, data = self._items.popleft()
+        if is_event:
+            self._events -= 1
+            self._space.set()
+        return data
+
+
 class Subscriber:
     """One connection's attachment to a session's event streams."""
 
-    __slots__ = ("queue", "streams", "metrics_every", "next_metrics_cycle")
+    __slots__ = ("channel", "streams", "metrics_every", "next_metrics_cycle")
 
     def __init__(
         self,
-        queue: "asyncio.Queue",
+        channel: OutboundChannel,
         streams,
         metrics_every: int = 0,
     ) -> None:
@@ -181,7 +287,7 @@ class Subscriber:
             )
         if metrics_every < 0:
             raise SessionError("metrics_every must be >= 0")
-        self.queue = queue
+        self.channel = channel
         self.streams = frozenset(streams)
         self.metrics_every = metrics_every
         self.next_metrics_cycle = 0
@@ -500,10 +606,10 @@ class Session:
         # First metrics frame fires at the first publish past this point.
         subscriber.next_metrics_cycle = self.engine.cycle
 
-    def unsubscribe_queue(self, queue: "asyncio.Queue") -> None:
-        """Detach every subscription feeding ``queue`` (connection drop)."""
+    def unsubscribe_channel(self, channel: OutboundChannel) -> None:
+        """Detach every subscription feeding ``channel`` (connection drop)."""
         self.subscribers = [
-            s for s in self.subscribers if s.queue is not queue
+            s for s in self.subscribers if s.channel is not channel
         ]
         if not any("trace" in s.streams for s in self.subscribers):
             self.buffer.enabled = False
@@ -544,23 +650,18 @@ class Session:
             sub.next_metrics_cycle = cycle + every
 
     async def _offer(self, sub: Subscriber, data: bytes) -> None:
-        """Enqueue one frame under the session's backpressure policy."""
-        queue = sub.queue
+        """Enqueue one event frame under the session's backpressure policy.
+
+        Both policies act on the channel's event lane only -- control
+        frames (replies, hello) are never dropped or displaced.
+        """
+        channel = sub.channel
         if self.config.backpressure == "pause":
-            if queue.full():
+            if channel.events_full():
                 self.backpressure_pauses += 1
-            await queue.put(data)
+            await channel.put_event(data)
             return
-        while queue.full():
-            try:
-                queue.get_nowait()
-                self.trace_frames_dropped += 1
-            except asyncio.QueueEmpty:  # pragma: no cover - racy full()
-                break
-        try:
-            queue.put_nowait(data)
-        except asyncio.QueueFull:  # pragma: no cover - maxsize 0 excluded
-            self.trace_frames_dropped += 1
+        self.trace_frames_dropped += channel.put_event_drop_oldest(data)
 
     # --- requests against a quiescent engine ------------------------------------
 
@@ -569,18 +670,25 @@ class Session:
 
         Uses the same generator as ``run_demand`` (so a submission into a
         fresh session is oracle-identical), with every packet's timing
-        shifted by the session's current cycle. Packet ids restart at 0
-        per submission -- the engine tracks packets by identity (pids are
-        already reused by fault retries), so only trace readers see it.
+        shifted by the session's current cycle. Seed and cores default to
+        the session's workload-level values -- the same defaults
+        :meth:`create` threads into :meth:`_demand_spec` -- so the same
+        ``demand`` dict denotes the same traffic on both surfaces; a
+        ``cores`` key in ``demand_cfg`` overrides per submission. Packet
+        ids restart at 0 per submission -- the engine tracks packets by
+        identity (pids are already reused by fault retries), so only
+        trace readers see it.
         """
         self._require_idle("submit_demand")
         from repro.traffic.demand import generate_demand
 
+        demand_cfg = demand_cfg or {}
+        workload = self.workload if isinstance(self.workload, dict) else {}
         spec = self._demand_spec(
-            demand_cfg or {},
+            demand_cfg,
             self.machine.config.shape,
-            int((demand_cfg or {}).get("cores", 2)),
-            0,
+            int(demand_cfg.get("cores", workload.get("cores", 2))),
+            int(workload.get("seed", 0)),
             self.machine,
             self.routes,
         )

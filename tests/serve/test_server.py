@@ -10,6 +10,7 @@ session up and still matches the oracle.
 
 import asyncio
 import json
+import pathlib
 
 import pytest
 
@@ -345,6 +346,83 @@ def test_subscribe_over_the_wire_streams_events():
     seen = asyncio.run(scenario())
     assert seen["trace"] > 0
     assert seen["metrics"] > 0
+
+
+def test_subscriptions_survive_evict_and_thaw(tmp_path):
+    """Eviction parks a session's subscribers server-side and thaw
+    re-attaches them: a subscribed client keeps receiving events after
+    its session bounced through the spool."""
+
+    async def scenario():
+        server = SimServer(
+            spool_dir=str(tmp_path / "spool"),
+            session_config=SessionConfig(quantum_cycles=16),
+        )
+        await server.start()
+        try:
+            client = await ServeClient.connect(*server.address)
+            await client.create(WORKLOADS["alpha"], session="s")
+            await client.subscribe("s", streams=["trace"])
+            await client.evict("s")
+            assert "s" in server._evicted_subs
+            result = await client.run("s")  # transparent thaw
+            assert result["drained"]
+            assert not server._evicted_subs
+            await client.close_session("s")
+            events = 0
+            while not client.events.empty():
+                frame = client.events.get_nowait()
+                if frame is None:
+                    break
+                assert frame["stream"] == "trace"
+                events += len(frame.get("events", []))
+            await client.close()
+            return events
+        finally:
+            await server.close()
+
+    assert asyncio.run(scenario()) > 0
+
+
+def test_full_table_of_busy_sessions_keeps_spooled_session_reachable(
+    tmp_path,
+):
+    """A thaw that cannot make room fails as an error reply, but the
+    session must stay spooled -- reachable once the table clears."""
+
+    async def scenario():
+        server = SimServer(
+            spool_dir=str(tmp_path / "spool"),
+            max_sessions=1,
+            session_config=SessionConfig(quantum_cycles=4),
+        )
+        await server.start()
+        try:
+            c1 = await ServeClient.connect(*server.address)
+            c2 = await ServeClient.connect(*server.address)
+            await c1.create(WORKLOADS["alpha"], session="a")
+            await c1.evict("a")
+            await c1.create(WORKLOADS["alpha"], session="b")
+            run_task = asyncio.ensure_future(c1.run("b"))
+            while not (
+                "b" in server.sessions and server.sessions["b"].busy
+            ):
+                await asyncio.sleep(0)
+            with pytest.raises(ServeError, match="busy"):
+                await c2.stats("a")
+            assert "a" in server.spooled
+            assert pathlib.Path(server.spooled["a"]).exists()
+            await run_task
+            # Retry succeeds now that "b" is idle (it gets evicted).
+            payload = await c2.stats("a")
+            assert payload["session"] == "a"
+            assert set(server.spooled) == {"b"}
+            await c1.close()
+            await c2.close()
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())
 
 
 def test_server_stats_shape_and_counters():

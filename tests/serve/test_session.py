@@ -15,6 +15,7 @@ import pytest
 from repro.serve.protocol import decode_frame
 from repro.serve.session import (
     MachineCache,
+    OutboundChannel,
     Session,
     SessionConfig,
     SessionError,
@@ -332,12 +333,12 @@ class TestStreams:
             session = Session.create(
                 "s", dict(BATCH_RR), SessionConfig(quantum_cycles=16)
             )
-            queue = asyncio.Queue()
-            session.subscribe(Subscriber(queue, ["trace"]))
+            channel = OutboundChannel()
+            session.subscribe(Subscriber(channel, ["trace"]))
             await session.advance()
             lines = []
-            while not queue.empty():
-                frame = decode_frame(queue.get_nowait())
+            while not channel.empty():
+                frame = decode_frame(channel.get_nowait())
                 assert frame["stream"] == "trace"
                 assert frame["session"] == "s"
                 lines.extend(frame["events"])
@@ -375,12 +376,12 @@ class TestStreams:
             session = Session.create(
                 "s", dict(BATCH_RR), SessionConfig(quantum_cycles=8)
             )
-            queue = asyncio.Queue()
-            session.subscribe(Subscriber(queue, ["metrics"], metrics_every=24))
+            channel = OutboundChannel()
+            session.subscribe(Subscriber(channel, ["metrics"], metrics_every=24))
             await session.advance()
             frames = []
-            while not queue.empty():
-                frames.append(decode_frame(queue.get_nowait()))
+            while not channel.empty():
+                frames.append(decode_frame(channel.get_nowait()))
             return frames
 
         frames = asyncio.run(scenario())
@@ -393,15 +394,15 @@ class TestStreams:
 
     def test_subscriber_rejects_unknown_streams(self):
         with pytest.raises(SessionError, match="unknown streams"):
-            Subscriber(asyncio.Queue(), ["trace", "video"])
+            Subscriber(OutboundChannel(), ["trace", "video"])
 
     def test_unsubscribe_disables_and_drains_the_buffer(self):
         session = Session.create("s", dict(BATCH_RR))
-        queue = asyncio.Queue()
-        session.subscribe(Subscriber(queue, ["trace"]))
+        channel = OutboundChannel()
+        session.subscribe(Subscriber(channel, ["trace"]))
         assert session.buffer.enabled
         session.buffer.lines.append("pending")
-        session.unsubscribe_queue(queue)
+        session.unsubscribe_channel(channel)
         assert not session.buffer.enabled
         assert session.buffer.lines == []
 
@@ -424,8 +425,8 @@ class TestBackpressure:
                     backpressure="drop-oldest",
                 ),
             )
-            queue = asyncio.Queue(maxsize=2)
-            session.subscribe(Subscriber(queue, ["trace"]))
+            channel = OutboundChannel(limit=2)
+            session.subscribe(Subscriber(channel, ["trace"]))
             result = await session.advance()
             return session, result
 
@@ -436,6 +437,38 @@ class TestBackpressure:
         # must not perturb the simulation itself.
         assert session_artifacts(session) == oracle_artifacts(BATCH_RR)
 
+    def test_drop_oldest_never_drops_control_frames(self):
+        """Overload may discard event frames, never a queued reply: the
+        exactly-one-reply-per-request invariant survives a drop storm."""
+
+        async def scenario():
+            session = Session.create(
+                "s",
+                dict(BATCH_RR),
+                SessionConfig(
+                    quantum_cycles=8,
+                    trace_batch=1,
+                    backpressure="drop-oldest",
+                ),
+            )
+            channel = OutboundChannel(limit=2)
+            channel.put_control(b"hello-frame")
+            session.subscribe(Subscriber(channel, ["trace"]))
+            await session.advance()
+            channel.put_control(b"reply-frame")
+            drained = []
+            while not channel.empty():
+                drained.append(channel.get_nowait())
+            return session, drained
+
+        session, drained = asyncio.run(scenario())
+        assert session.trace_frames_dropped > 0
+        # Both control frames survive, in order, around at most `limit`
+        # event frames.
+        assert drained[0] == b"hello-frame"
+        assert drained[-1] == b"reply-frame"
+        assert len(drained) <= 2 + 2
+
     def test_pause_blocks_until_the_consumer_catches_up(self):
         async def scenario():
             session = Session.create(
@@ -445,21 +478,21 @@ class TestBackpressure:
                     quantum_cycles=8, trace_batch=1, backpressure="pause"
                 ),
             )
-            queue = asyncio.Queue(maxsize=2)
-            session.subscribe(Subscriber(queue, ["trace"]))
+            channel = OutboundChannel(limit=2)
+            session.subscribe(Subscriber(channel, ["trace"]))
             drained = 0
 
             async def consumer():
                 nonlocal drained
                 while True:
-                    frame = await queue.get()
+                    frame = await channel.get()
                     if frame is None:
                         return
                     drained += 1
 
             task = asyncio.ensure_future(consumer())
             result = await session.advance()
-            await queue.put(None)
+            channel.put_control(None)
             await task
             return session, result, drained
 
