@@ -324,6 +324,60 @@ def cmd_throughput(args) -> int:
     return 0
 
 
+def cmd_run(args) -> int:
+    """One batch experiment, optionally sharded across worker processes."""
+    import pathlib
+    import time
+
+    from repro.sim.simulator import run_batch_sharded
+    from repro.traffic.batch import BatchSpec
+
+    machine = _machine(args)
+    pattern = _pattern_factories(args.shape)[args.pattern]()
+    spec = BatchSpec(
+        pattern,
+        packets_per_source=args.batch,
+        cores_per_chip=args.cores,
+        seed=args.seed,
+    )
+    fault_set = None
+    fault_policy = None
+    if args.fault_file is not None:
+        from repro.faults import FaultPolicy, FaultSet
+
+        fault_set = FaultSet.from_json(
+            pathlib.Path(args.fault_file).read_text()
+        )
+        fault_set.validate(machine)
+        fault_policy = FaultPolicy(mode=args.policy, max_retries=args.retries)
+    start = time.perf_counter()
+    stats = run_batch_sharded(
+        machine,
+        spec,
+        shards=args.shards,
+        arbitration=args.arbitration,
+        weight_patterns=[pattern] if args.arbitration == "iw" else None,
+        fault_set=fault_set,
+        fault_policy=fault_policy,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
+        transport=args.transport,
+    )
+    wall = time.perf_counter() - start
+    extra = (
+        f", {stats.dropped} dropped, {stats.rerouted} rerouted"
+        if fault_set is not None
+        else ""
+    )
+    print(
+        f"{pattern.name} / {args.arbitration} / shards={args.shards}: "
+        f"{stats.delivered} of {stats.injected} delivered{extra} in "
+        f"{stats.end_cycle} cycles "
+        f"({stats.end_cycle / wall:,.0f} cycles/s, {wall:.2f}s wall)"
+    )
+    return 0
+
+
 def cmd_trace(args) -> int:
     import contextlib
 
@@ -359,11 +413,18 @@ def cmd_trace(args) -> int:
                 file=sys.stderr,
             )
             return 2
-        with output_stream() as stream:
-            events = write_golden(args.golden, stream)
+        try:
+            with output_stream() as stream:
+                events = write_golden(args.golden, stream, shards=args.shards)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         if args.out != "-":
             print(f"{args.golden}: {events} events -> {args.out}", file=sys.stderr)
         return 0
+    if args.shards > 1:
+        print("--shards applies only to --golden regeneration", file=sys.stderr)
+        return 2
 
     machine = _machine(args)
     routes = RouteComputer(machine)
@@ -891,21 +952,46 @@ def cmd_checkpoint_save(args) -> int:
                 )
 
     with trace_writer() as writer:
-        engine = build_batch_engine(
-            machine,
-            routes,
-            spec,
-            arbitration=args.arbitration,
-            weight_patterns=[pattern] if args.arbitration == "iw" else None,
-            trace=writer,
-        )
-        engine.run_for(args.cycles)
-        if writer is not None:
-            writer.flush()
-        save_checkpoint(engine, args.out)
+        if args.shards > 1:
+            # Same bytes at args.out as the serial branch below; the
+            # extra .shard<i>/.manifest files ride along (they are what
+            # a sharded resume would consume).
+            from repro.sim.shard import ShardedRun, save_sharded_checkpoint
+
+            stats = save_sharded_checkpoint(
+                ShardedRun(
+                    config=machine.config,
+                    spec=spec,
+                    arbitration=args.arbitration,
+                    weight_patterns=(
+                        (pattern,) if args.arbitration == "iw" else ()
+                    ),
+                ),
+                args.shards,
+                args.cycles,
+                args.out,
+                machine=machine,
+                trace=writer,
+            )
+            cycle = args.cycles
+        else:
+            engine = build_batch_engine(
+                machine,
+                routes,
+                spec,
+                arbitration=args.arbitration,
+                weight_patterns=[pattern] if args.arbitration == "iw" else None,
+                trace=writer,
+            )
+            engine.run_for(args.cycles)
+            if writer is not None:
+                writer.flush()
+            save_checkpoint(engine, args.out)
+            stats = engine.stats
+            cycle = engine.cycle
     print(
-        f"checkpoint at cycle {engine.cycle}: {engine.stats.delivered} of "
-        f"{engine.stats.injected} injected packets delivered -> {args.out}",
+        f"checkpoint at cycle {cycle}: {stats.delivered} of "
+        f"{stats.injected} injected packets delivered -> {args.out}",
         file=sys.stderr,
     )
     return 0
@@ -950,6 +1036,42 @@ def cmd_checkpoint_info(args) -> int:
     return 0
 
 
+def _merged_profile_rows(profilers):
+    """Merge one or more cProfile profilers into deterministic rows.
+
+    Rows are ``(ncalls, 'dir/file.py:func', tottime)`` with call counts
+    summed across profilers per qualified function name, sorted by
+    descending count then name. Call counts are a pure function of the
+    seeded simulation, so the merged table is diffable across runs.
+    """
+    import pstats
+
+    merged = {}
+    for profiler in profilers:
+        for (filename, _lineno, funcname), (
+            _cc,
+            ncalls,
+            tottime,
+            _cumtime,
+            _callers,
+        ) in pstats.Stats(profiler).stats.items():
+            # Qualify by the last two path components: 'sim/engine.py'
+            # disambiguates the repo's several routing.py / __init__.py.
+            parts = filename.replace("\\", "/").rsplit("/", 2)
+            where = "/".join(parts[-2:]) if len(parts) > 1 else filename
+            if where == "~" or where.startswith("<"):
+                where = "<builtin>"
+            entry = merged.setdefault(f"{where}:{funcname}", [0, 0.0])
+            entry[0] += ncalls
+            entry[1] += tottime
+    rows = [
+        (ncalls, name, tottime)
+        for name, (ncalls, tottime) in merged.items()
+    ]
+    rows.sort(key=lambda row: (-row[0], row[1]))
+    return rows
+
+
 def cmd_profile(args) -> int:
     """Profile the engine hot path over one seeded batch run.
 
@@ -957,10 +1079,11 @@ def cmd_profile(args) -> int:
     counts (a pure function of the seeded simulation, not of machine
     speed), sorted by descending count then name. Wall-clock and
     per-function times go to the trailing summary line only, so output
-    can be diffed across runs and machines.
+    can be diffed across runs and machines. With ``--shards N`` each
+    shard worker is profiled separately (inline transport) and the
+    per-shard tables are merged by summing call counts per function.
     """
     import cProfile
-    import pstats
 
     from repro.sim.simulator import run_batch
     from repro.traffic.batch import BatchSpec
@@ -974,34 +1097,39 @@ def cmd_profile(args) -> int:
         cores_per_chip=args.cores,
         seed=args.seed,
     )
-    profiler = cProfile.Profile()
-    profiler.enable()
-    stats = run_batch(machine, routes, spec, arbitration=args.arbitration)
-    profiler.disable()
+    if args.shards > 1:
+        from repro.sim.shard import ShardedRun, run_sharded
 
-    pstats_obj = pstats.Stats(profiler)
-    rows = []
-    total_calls = 0
-    for (filename, _lineno, funcname), (
-        _cc,
-        ncalls,
-        tottime,
-        _cumtime,
-        _callers,
-    ) in pstats_obj.stats.items():
-        total_calls += ncalls
-        # Qualify by the last two path components: 'sim/engine.py'
-        # disambiguates the repo's several routing.py / __init__.py.
-        parts = filename.replace("\\", "/").rsplit("/", 2)
-        where = "/".join(parts[-2:]) if len(parts) > 1 else filename
-        if where == "~" or where.startswith("<"):
-            where = "<builtin>"
-        rows.append((ncalls, f"{where}:{funcname}", tottime))
-    rows.sort(key=lambda row: (-row[0], row[1]))
+        profilers: list = []
+        stats = run_sharded(
+            ShardedRun(
+                config=machine.config,
+                spec=spec,
+                arbitration=args.arbitration,
+                weight_patterns=(
+                    (pattern,) if args.arbitration == "iw" else ()
+                ),
+            ),
+            args.shards,
+            machine=machine,
+            transport="inline",
+            profiles=profilers,
+        )
+    else:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        stats = run_batch(machine, routes, spec, arbitration=args.arbitration)
+        profiler.disable()
+        profilers = [profiler]
 
+    rows = _merged_profile_rows(profilers)
+    total_calls = sum(row[0] for row in rows)
+
+    shard_note = f" / shards={args.shards}" if args.shards > 1 else ""
     print(
         f"profiled {pattern.name} batch x{args.batch} on "
-        f"{'x'.join(str(r) for r in args.shape)} / {args.arbitration}: "
+        f"{'x'.join(str(r) for r in args.shape)} / {args.arbitration}"
+        f"{shard_note}: "
         f"{stats.delivered} packets, {stats.end_cycle} cycles"
     )
     print(f"{'ncalls':>12}  function")
@@ -1121,6 +1249,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_throughput)
 
     p = sub.add_parser(
+        "run",
+        help="run one batch, optionally sharded across worker processes",
+    )
+    add_machine_args(p, endpoints=2)
+    p.add_argument(
+        "--pattern", default="uniform", choices=list(PATTERN_CHOICES)
+    )
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--cores", type=int, default=2)
+    p.add_argument("--arbitration", default="rr", choices=["rr", "age", "iw"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=1,
+                   help="spatial shard count (1, 2, 4, or 8; results are "
+                        "bit-identical across counts)")
+    p.add_argument("--transport", default="process",
+                   choices=["process", "inline"],
+                   help="worker transport: real processes or in-process "
+                        "(debug) workers")
+    p.add_argument("--fault-file", default=None,
+                   help="fault-set JSON file to run degraded")
+    p.add_argument("--policy", default="reroute",
+                   choices=["reroute", "drop"],
+                   help="fault policy (retry is serial-only)")
+    p.add_argument("--retries", type=int, default=4,
+                   help="retry budget (unused by the sharded policies)")
+    p.add_argument("--checkpoint", default=None,
+                   help="periodic crash-resumable snapshot file")
+    p.add_argument("--checkpoint-every", type=int, default=64,
+                   help="cycles between snapshots (default: 64)")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
         "trace", help="write a structured JSONL event trace of one batch run"
     )
     add_machine_args(p, endpoints=2)
@@ -1141,6 +1301,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="regenerate one canonical golden trace by name")
     p.add_argument("--list-goldens", action="store_true",
                    help="list canonical golden trace names and exit")
+    p.add_argument("--shards", type=int, default=1,
+                   help="regenerate a --golden trace via the sharded "
+                        "runner (bytes must not change)")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
@@ -1348,6 +1511,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also write the partial JSONL event trace")
     cp.add_argument("--out", default="checkpoint.json",
                     help="snapshot output path (default: checkpoint.json)")
+    cp.add_argument("--shards", type=int, default=1,
+                    help="snapshot via the sharded runner; --out bytes "
+                         "match the serial snapshot at the same cycle")
     cp.set_defaults(func=cmd_checkpoint_save)
 
     cp = csub.add_parser("restore", help="resume a snapshot to completion")
@@ -1375,6 +1541,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--top", type=int, default=25,
                    help="rows in the hot-function table (default: 25)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="profile shard workers and merge their tables "
+                        "(call counts summed per function)")
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("latency", help="Figure 11/12 latency model")

@@ -16,24 +16,28 @@ What makes the engine checkpointable at all is that its state is already
 exact and discrete (PR 1's integer-tick timebase) and its event order is
 fully determined by serializable data:
 
-* the timing wheel's bucket FIFOs and its ``(cycle, seq)``-keyed overflow
-  heap reconstruct the exact drain order (bucket cycles are recovered
-  from the index via ``now + ((i - now) & mask)``, valid because every
-  pending event satisfies ``now <= cycle < now + size`` between cycles);
-* ``Engine._active`` is an insertion-ordered dict precisely so its
-  iteration order -- which decides same-cycle grant order -- serializes
-  as a plain list;
+* the timing wheel's bucket FIFOs and its overflow heap reconstruct the
+  exact drain order (bucket cycles are recovered from the index via
+  ``now + ((i - now) & mask)``, valid because every pending event
+  satisfies ``now <= cycle < now + size`` between cycles), and each
+  cycle's events are serialized in the *canonical within-cycle order*
+  (:func:`~repro.sim.engine.event_sort_key`) the engine processes them
+  in -- so the serialized schedule is a function of simulation state,
+  identical whether it was produced serially or merged from shards;
+* ``Engine._active`` serializes as a sorted membership list (the engine
+  walks it in sorted order);
 * packets are tracked by *identity* (pids are reused by fault-retry
   clones), via an index table built in one canonical traversal order, so
   the restored ``_inflight`` keys and wheel arrivals are the same
   objects.
 
 Serialization is canonical: compact separators, **insertion-ordered**
-keys (``sort_keys`` would scramble the stats counter dicts, whose
-insertion order is delivery order and therefore part of the bitwise
-contract). ``json.loads`` preserves object key order, so a
-save/load/save round trip is byte-stable (double-checkpoint idempotence,
-also pinned by tests).
+keys, where every producer inserts in a canonical order -- dataclass
+field order for sections, and per-id stats dicts pre-sorted by key in
+``SimStats.asdict`` (a pure function of the counts, identical between a
+serial run and a shard-merged one). ``json.loads`` preserves object key
+order, so a save/load/save round trip is byte-stable (double-checkpoint
+idempotence, also pinned by tests).
 
 FIFO queues (VC buffers, source queues) are serialized *compacted* --
 dead prefixes before the head index dropped, heads zeroed -- which is
@@ -60,7 +64,7 @@ from repro.core.geometry import Dim
 from repro.core.machine import Fraction, Machine, MachineConfig
 from repro.core.routing import Route, RouteChoice
 
-from .engine import Engine
+from .engine import Engine, event_sort_key
 from .metrics import MetricsCollector
 from .packet import Packet
 from .stats import SimStats
@@ -286,30 +290,46 @@ class _PacketIndex:
 
 
 def _wheel_to_json(wheel, now: int, encode=list) -> dict:
-    """Serialize the timing wheel preserving exact (cycle, seq) drain order.
+    """Serialize the timing wheel in canonical drain order.
 
     Buckets are scanned in cycle order from ``now``: between cycles every
     pending bucket event satisfies ``now <= cycle < now + size``, so the
     bucket at index ``i`` holds exactly the events for cycle
-    ``now + ((i - now) & mask)``. The overflow heap's internal array
-    layout depends on push history, so it is serialized *sorted*; a
-    re-heapified sorted list pops identically because the ``(cycle,
-    seq)`` keys are distinct and fully determine the order. ``encode``
-    maps each payload tuple to a JSON-safe list (the engine path swaps
-    packet objects for index-table entries).
+    ``now + ((i - now) & mask)``. Each cycle's events -- bucket and
+    overflow alike -- are serialized in the canonical within-cycle order
+    (:func:`~repro.sim.engine.event_sort_key`), which is exactly the
+    order the engine processes them in, so the serialized schedule is a
+    pure function of simulation state: a sharded run's merged wheel
+    equals the serial engine's. Overflow sequence numbers are
+    *renumbered* ``0..k-1`` in that canonical order (with ``seq`` = k),
+    erasing push history while preserving pop order; the sorted tuples
+    are already a valid heap. ``encode`` maps each payload tuple to a
+    JSON-safe list (the engine path swaps packet objects for index-table
+    entries).
     """
     buckets = []
     for delta in range(wheel.size):
         cycle = now + delta
         bucket = wheel.buckets[cycle & wheel.mask]
         if bucket:
-            buckets.append([cycle, [encode(payload) for payload in bucket]])
+            ordered = (
+                sorted(bucket, key=event_sort_key) if len(bucket) > 1 else bucket
+            )
+            buckets.append([cycle, [encode(payload) for payload in ordered]])
+    # Final tie-break on the original seq: within one (cycle, sort-key)
+    # class only a single deterministic producer pushes, so push order is
+    # itself canonical -- but the heap's *array* layout is not, so it
+    # cannot serve as the stable-sort fallback.
+    ordered_overflow = sorted(
+        wheel.overflow,
+        key=lambda item: (item[0], event_sort_key(item[2]), item[1]),
+    )
     overflow = [
-        [cycle, seq, encode(payload)]
-        for cycle, seq, payload in sorted(wheel.overflow)
+        [cycle, new_seq, encode(payload)]
+        for new_seq, (cycle, _seq, payload) in enumerate(ordered_overflow)
     ]
     return {
-        "seq": wheel.seq,
+        "seq": len(overflow),
         "pending": wheel.pending,
         "buckets": buckets,
         "overflow": overflow,
@@ -367,7 +387,8 @@ def snapshot_engine(engine: Engine) -> dict:
     pindex = _PacketIndex()
 
     source_queues = []
-    for src, queue in engine._source_queues.items():
+    for src in sorted(engine._source_queues):
+        queue = engine._source_queues[src]
         head = engine._source_heads[src]
         source_queues.append([src, [pindex.index(p) for p in queue[head:]]])
 
@@ -407,10 +428,13 @@ def snapshot_engine(engine: Engine) -> dict:
                 "backoff_cap_cycles": policy.backoff_cap_cycles,
             },
             "failed": sorted(engine._failed_channels or ()),
-            "inflight": [
+            # Sorted by packet index: every in-network packet already has
+            # a pending wheel arrival, so its index was assigned by the
+            # canonical traversal above and the sort erases push history.
+            "inflight": sorted(
                 [pindex.index(packet), oc]
                 for packet, oc in engine._inflight.items()
-            ],
+            ),
             # Diagnostic escalation-stage counts, in canonical stage
             # order. The route computer's resolution *caches* are pure
             # memoization (recomputation is deterministic and
@@ -445,7 +469,7 @@ def snapshot_engine(engine: Engine) -> dict:
             if arb is not None
         ],
         "wheel": wheel,
-        "active": list(engine._active),
+        "active": sorted(engine._active),
         "queued": engine._queued,
         "in_network": engine._in_network,
         "last_progress": engine._last_progress,
@@ -545,6 +569,11 @@ def _restore_into(engine: Engine, data: dict, packets: List[Packet]) -> None:
         runtime = FaultRuntime(engine.machine, fault_set, policy=policy)
         engine._fault_runtime = runtime
         engine._fault_routes = runtime.route_computer
+        # The constructor's timeline pushes were skipped, so advance the
+        # canonical fault-index counter past the timeline the restored
+        # wheel already carries; later schedule_faults calls continue
+        # the sequence instead of reusing indices.
+        engine._fault_push_seq = len(runtime.timeline)
         engine._failed_channels = set(fdata["failed"])
         runtime.route_computer.set_failed(engine._failed_channels)
         runtime.route_computer.resolution_counts.update(
@@ -621,9 +650,10 @@ def _validate_header(data) -> None:
 def dumps(data: dict) -> str:
     """Canonical text form: compact, insertion-ordered, one trailing newline.
 
-    Insertion order *is* the canonical order (``sort_keys`` would destroy
-    the stats counter dicts' delivery order, which the bitwise stats
-    contract depends on), so equal snapshots are equal bytes.
+    Insertion order *is* the canonical order -- every producer inserts
+    canonically (``SimStats.asdict`` sorts its per-id dicts, sections
+    follow dataclass field order), so equal snapshots are equal bytes
+    without a global ``sort_keys`` pass.
     """
     return json.dumps(data, separators=(",", ":")) + "\n"
 

@@ -27,14 +27,18 @@ quantization *and* without floating-point drift: a million-cycle
 saturation run ends on exactly the tick the rational arithmetic predicts.
 
 **Scheduling is a bucketed timing wheel.** Arrivals, credit returns,
-source wakes, and fault transitions are ordered by ``(cycle, seq)`` where
-``seq`` is push order; since channel latencies are small bounded
-integers, almost every event lands within a few cycles and is an O(1)
-FIFO append into :class:`~repro.sim.wheel.TimingWheel` rather than an
-O(log n) heap push (far-future events -- fault timelines, open-loop
-release wakes -- overflow into a small heap). The wheel reproduces the
-previous global-heap event order *exactly*; see :mod:`repro.sim.wheel`
-for the determinism argument and DESIGN.md section 9 for measurements.
+source wakes, and fault transitions land in per-cycle FIFO buckets;
+since channel latencies are small bounded integers, almost every event
+lands within a few cycles and is an O(1) FIFO append into
+:class:`~repro.sim.wheel.TimingWheel` rather than an O(log n) heap push
+(far-future events -- fault timelines, open-loop release wakes --
+overflow into a small heap). Each cycle's batch is processed in the
+*canonical within-cycle order* (see :func:`event_sort_key`): a fixed
+rank over event kinds with state-derived tie keys, so the observable
+event stream is a pure function of simulation state rather than push
+history -- the property the sharded runner (:mod:`repro.sim.shard`)
+relies on to reproduce serial bytes from per-shard streams. See
+DESIGN.md sections 9 and 14.
 
 Endpoint adapters inject from an unbounded source queue (the Section 4.1
 batch methodology: every core has a batch of packets ready at time zero)
@@ -88,6 +92,37 @@ _EV_ARRIVAL = 0
 _EV_CREDIT = 1
 _EV_WAKE = 2
 _EV_FAULT = 3
+
+
+def event_sort_key(payload: tuple) -> tuple:
+    """Canonical within-cycle event order, shared by the engine, the
+    fast path, and checkpoint serialization.
+
+    Same-cycle events are processed in a fixed rank order -- faults (by
+    timeline index, carried in the payload's spare slot), source wakes
+    (by component id), credit returns (by channel then VC), arrivals
+    (by channel id) -- rather than in push order. Within one cycle the
+    physical state updates commute (a channel receives at most one
+    arrival per cycle, credits add, per-component grant state is
+    disjoint), so the rank order pins only the *observable* stream:
+    trace emission, stats dict fill order, and serialized wheel
+    contents become functions of simulation state, not push history.
+    That is what lets a spatially sharded run (repro/sim/shard.py)
+    reproduce the serial engine's bytes: each shard generates its own
+    events, and the union processed in (cycle, key) order equals the
+    serial schedule. Ties (several credits for one (channel, VC) swept
+    in the same cycle) fall back to push order via sort stability;
+    every tie class has a single producing component, so the order is
+    shard-invariant too.
+    """
+    kind, a, b, c = payload
+    if kind == _EV_ARRIVAL:
+        return (3, b, 0)
+    if kind == _EV_CREDIT:
+        return (2, a, b)
+    if kind == _EV_WAKE:
+        return (1, a, 0)
+    return (0, -1 if c is None else c, 0)
 
 
 def serialization_end_ticks(
@@ -261,14 +296,13 @@ class Engine:
         #: of serialization cycles) takes the O(1) bucket path.
         self._events = TimingWheel(2 * max(self._latency, default=1) + 16)
         #: Components with (potentially) arbitrable work, as an
-        #: insertion-ordered dict used as an ordered set: ``_step``
-        #: iterates it, and that iteration order decides the order in
-        #: which same-cycle grants push their arrival/credit events --
-        #: i.e. it is semantically load-bearing for the bit-reproducible
-        #: event schedule. A plain ``set`` iterates in a hash-table order
-        #: that depends on the table's resize history and therefore
-        #: cannot be reconstructed from its contents; dict insertion
-        #: order costs nothing and serializes exactly (checkpoint.py).
+        #: insertion-ordered dict used as an ordered set. ``_step``
+        #: walks it in *sorted* order -- part of the canonical
+        #: within-cycle order (see :func:`event_sort_key`) that makes
+        #: every observable stream a function of simulation state, so
+        #: only membership matters; a dict still beats a ``set`` for
+        #: the O(1) ordered-pop pattern and reproducible serialization
+        #: (checkpoint.py).
         self._active: Dict[int, None] = {}
         self._queued = 0
         self._in_network = 0
@@ -278,6 +312,36 @@ class Engine:
         #: call :meth:`enqueue` (e.g. to send a reply), which models the
         #: endpoint's counted-write handler dispatch [Grossman 2013].
         self.on_delivery: Optional[Callable[[Packet, int], None]] = None
+
+        #: Monotone count of fault events ever pushed onto the wheel --
+        #: the next canonical timeline index handed out by
+        #: :meth:`schedule_faults` (see :func:`event_sort_key`).
+        self._fault_push_seq = 0
+        #: Timeline index of the fault currently being applied (the
+        #: sweeps key their trace records by it).
+        self._fault_idx_now = -1
+        #: Canonical merge key for the event/phase currently emitting
+        #: trace records, maintained only while a trace sink is attached.
+        #: The sharded runner (repro/sim/shard.py) keys per-shard trace
+        #: streams by it to interleave them into the serial order.
+        self._trace_key: Optional[tuple] = None
+        # Shard-boundary hooks (repro/sim/shard.py). ``None`` on a
+        # serial engine keeps every gate below a single falsy check --
+        # the same zero-overhead standard as tracing and faults.
+        #: Channel ids whose destination lives in another shard: grants
+        #: divert their arrival record to ``_outbox`` instead of the
+        #: wheel.
+        self._remote_dst: Optional[frozenset] = None
+        #: Channel ids whose source lives in another shard: credit
+        #: returns divert to ``_outbox_credits``.
+        self._remote_src: Optional[frozenset] = None
+        #: Channel ids whose fault bookkeeping this shard owns (None =
+        #: all): ``stats.fault_events`` and 'fault' trace records are
+        #: emitted only by the owning shard so merged totals match the
+        #: serial engine's.
+        self._fault_owned: Optional[frozenset] = None
+        self._outbox: Optional[list] = None
+        self._outbox_credits: Optional[list] = None
 
         #: Optional fault state (see :mod:`repro.faults`). ``None`` keeps
         #: the fault path zero-overhead: ``_failed_channels`` stays None,
@@ -297,8 +361,12 @@ class Engine:
             self._fault_routes = faults.route_computer
             self._failed_channels = set(faults.initial_failed)
             self._fault_routes.set_failed(self._failed_channels)
-            for fault_cycle, cid, is_down in faults.timeline:
-                self._push_event(fault_cycle, _EV_FAULT, cid, is_down, None)
+            for idx, (fault_cycle, cid, is_down) in enumerate(faults.timeline):
+                # The timeline index rides in the payload's spare slot:
+                # it is the canonical same-cycle fault order (see
+                # event_sort_key) and survives checkpointing.
+                self._push_event(fault_cycle, _EV_FAULT, cid, is_down, idx)
+            self._fault_push_seq = len(faults.timeline)
 
         #: Optional vectorized allocation core (repro/sim/fastpath.py).
         #: ``use_fastpath=None`` defers to the ``REPRO_FASTPATH``
@@ -335,6 +403,8 @@ class Engine:
             # The machine is currently degraded: resolve the route against
             # the failed set before it enters the queue (replies enqueued
             # by on_delivery handlers may carry stale healthy routes).
+            if self.trace is not None:
+                self._trace_key = (0, packet.pid)
             packet = self._screen_source_packet(packet)
             if packet is None:
                 return
@@ -361,6 +431,41 @@ class Engine:
         tests): ``run_for`` on a drained engine is a no-op.
         """
         return not (self._queued or self._in_network or self._events.pending)
+
+    def feed_arrival(self, packet: Packet, oc: int, cycle: int) -> None:
+        """Materialize a cross-shard arrival (see :mod:`repro.sim.shard`).
+
+        The peer shard granted ``packet`` onto channel ``oc`` and its
+        barrier exchange delivered the transfer record here; schedule
+        the arrival exactly as the local ``_depart`` would have. The
+        payload's spare slot carries the arrival VC -- the fast path's
+        inlined arrival handler requires it (the scalar handler derives
+        it from the route and ignores the slot).
+        """
+        vc = packet.route.hops[packet.hop_index - 1][1]
+        self._feed_event(cycle, (_EV_ARRIVAL, packet, oc, vc))
+        self._in_network += 1
+        if self._inflight is not None:
+            self._inflight[packet] = oc
+
+    def feed_credit(self, cid: int, vc: int, size: int, cycle: int) -> None:
+        """Materialize a cross-shard credit return (barrier exchange)."""
+        self._feed_event(cycle, (_EV_CREDIT, cid, vc, size))
+
+    def _feed_event(self, cycle: int, payload: tuple) -> None:
+        # A fed event may land exactly on the current (barrier) cycle --
+        # its serial counterpart was pushed cycles earlier and sits in
+        # the wheel *bucket* for that cycle, so the delta == 0 case must
+        # take the bucket path too (``push`` would route it to the
+        # overflow heap, which serializes differently). Processing order
+        # is unaffected either way (the canonical within-cycle sort),
+        # only the serialized wheel bytes are.
+        events = self._events
+        if 0 <= cycle - self.cycle < events.size:
+            events.buckets[cycle & events.mask].append(payload)
+            events.pending += 1
+        else:
+            events.push(cycle, self.cycle, payload)
 
     def schedule_faults(self, fault_set) -> int:
         """Merge additional *future* faults into a faulted engine mid-run.
@@ -395,7 +500,10 @@ class Engine:
                 )
         events = self._fault_runtime.extend(fault_set)
         for fault_cycle, cid, is_down in events:
-            self._push_event(fault_cycle, _EV_FAULT, cid, is_down, None)
+            self._push_event(
+                fault_cycle, _EV_FAULT, cid, is_down, self._fault_push_seq
+            )
+            self._fault_push_seq += 1
         return len(events)
 
     def run_for(self, cycles: int) -> SimStats:
@@ -539,58 +647,59 @@ class Engine:
     def _push_event(self, cycle: int, kind: int, a, b, c) -> None:
         self._events.push(cycle, self.cycle, (kind, a, b, c))
 
+    def _push_credit(self, cycle: int, cid: int, vc: int, size: int) -> None:
+        remote_src = self._remote_src
+        if remote_src is not None and cid in remote_src:
+            # The channel's source arbitration point lives in another
+            # shard; the credit return crosses at the next barrier.
+            self._outbox_credits.append((cid, vc, size, cycle))
+        else:
+            self._events.push(cycle, self.cycle, (_EV_CREDIT, cid, vc, size))
+
     def _process_events(self) -> None:
         events = self._events
         now = self.cycle
         overflow = events.overflow
-        # Overdue overflow events (far-future pushes whose cycle has come,
-        # idle-jump targets) were all pushed at least a full wheel turn
-        # before anything in today's bucket, so they drain first -- the
-        # global (cycle, seq) order.
+        batch = None
         if overflow and overflow[0][0] <= now:
-            self._drain_overflow(now)
-        bucket = events.buckets[now & events.mask]
+            # Overdue overflow events (far-future pushes whose cycle has
+            # come, idle-jump targets) join the cycle's batch.
+            batch = []
+            while overflow and overflow[0][0] <= now:
+                batch.append(heappop(overflow)[2])
+            events.pending -= len(batch)
+        bucket = events.take_due(now)
         if bucket:
-            credits = self._credits
-            active = self._active
-            channel_src = self._channel_src
-            handle_arrival = self._handle_arrival
-            for kind, a, b, c in bucket:
-                if kind == _EV_ARRIVAL:
-                    handle_arrival(a, b)
-                elif kind == _EV_CREDIT:
-                    credits[a][b] += c
-                    active[channel_src[a]] = None
-                elif kind == _EV_WAKE:
-                    active[a] = None
-                else:  # fault
-                    self._apply_fault(a, b)
-            # Handlers never append to *this* bucket: a same-cycle push has
-            # delta == 0 and a push one wheel turn out has delta == size,
-            # both of which overflow. The count is therefore stable.
-            events.pending -= len(bucket)
-            del bucket[:]
-        # A handler that scheduled new work for this very cycle (none do
-        # today) would have overflowed it with the cycle's largest seq;
-        # drain last to keep even that hypothetical in order.
-        if overflow and overflow[0][0] <= now:
-            self._drain_overflow(now)
-
-    def _drain_overflow(self, now: int) -> None:
-        events = self._events
-        overflow = events.overflow
-        while overflow and overflow[0][0] <= now:
-            kind, a, b, c = heappop(overflow)[2]
-            events.pending -= 1
+            if batch is None:
+                batch = bucket
+            else:
+                batch.extend(bucket)
+        elif batch is None:
+            return
+        if len(batch) > 1:
+            # Canonical within-cycle order (see event_sort_key): the
+            # processing order -- and every observable stream derived
+            # from it -- is a function of simulation state, not of the
+            # push history. Handlers never schedule same-cycle work, so
+            # the batch is complete before it is sorted.
+            batch.sort(key=event_sort_key)
+        credits = self._credits
+        active = self._active
+        channel_src = self._channel_src
+        handle_arrival = self._handle_arrival
+        trace = self.trace
+        for kind, a, b, c in batch:
             if kind == _EV_ARRIVAL:
-                self._handle_arrival(a, b)
+                if trace is not None:
+                    self._trace_key = (2, b)
+                handle_arrival(a, b)
             elif kind == _EV_CREDIT:
-                self._credits[a][b] += c
-                self._active[self._channel_src[a]] = None
+                credits[a][b] += c
+                active[channel_src[a]] = None
             elif kind == _EV_WAKE:
-                self._active[a] = None
+                active[a] = None
             else:  # fault
-                self._apply_fault(a, b)
+                self._apply_fault(a, b, c)
 
     def _handle_arrival(self, packet: Packet, channel_id: int) -> None:
         now = self.cycle
@@ -604,9 +713,8 @@ class Engine:
             # done when the fault was applied.
             self._in_network -= 1
             self._last_progress = now
-            self._push_event(
+            self._push_credit(
                 now + self._latency[channel_id],
-                _EV_CREDIT,
                 channel_id,
                 arrival_vc(packet),
                 packet.size_flits,
@@ -634,9 +742,8 @@ class Engine:
                         ),
                     )
                 )
-            self._push_event(
+            self._push_credit(
                 now + self._latency[channel_id],
-                _EV_CREDIT,
                 channel_id,
                 vc,
                 packet.size_flits,
@@ -692,7 +799,13 @@ class Engine:
         # convention the original integer-vs-float comparison expressed.
         horizon_ticks = (now + 1) * self._ticks_per_cycle
         idle: List[int] = []
-        for comp_id in list(active):
+        # Sorted, not insertion, order: part of the canonical
+        # within-cycle schedule (event_sort_key) -- same-cycle grants
+        # across components are physically independent, so sorting only
+        # pins the observable emission order.
+        for comp_id in sorted(active):
+            if trace is not None:
+                self._trace_key = (3, comp_id)
             if is_endpoint[comp_id]:
                 if not inject(comp_id, now):
                     idle.append(comp_id)
@@ -933,14 +1046,20 @@ class Engine:
                 if head * 2 >= len(queue):
                     del queue[:head]
                     hds[from_vc] = 0
-            # Credit-return push, inlined timing-wheel fast path (the
-            # credit precedes this packet's own arrival in seq order,
-            # exactly as the old global heap pushed them).
+            # Credit-return push, inlined timing-wheel fast path. A
+            # channel fed from another shard returns its credits over
+            # the barrier instead (repro/sim/shard.py).
             credit_cycle = now + latency[from_channel]
-            if 0 < credit_cycle - now < wheel_size:
+            remote_src = self._remote_src
+            if remote_src is not None and from_channel in remote_src:
+                self._outbox_credits.append(
+                    (from_channel, from_vc, size, credit_cycle)
+                )
+            elif 0 < credit_cycle - now < wheel_size:
                 buckets[credit_cycle & mask].append(
                     (_EV_CREDIT, from_channel, from_vc, size)
                 )
+                events.pending += 1
             else:
                 events.seq += 1
                 heappush(
@@ -951,7 +1070,7 @@ class Engine:
                         (_EV_CREDIT, from_channel, from_vc, size),
                     ),
                 )
-            events.pending += 1
+                events.pending += 1
         hop_index = packet.hop_index + 1
         packet.hop_index = hop_index
         hops = packet.route.hops
@@ -962,15 +1081,25 @@ class Engine:
         arrival = (end_ticks - 1) // tpc - 1 + latency[oc]
         if arrival <= now:  # pragma: no cover - latency >= 1 prevents this
             arrival = now + 1
-        if 0 < arrival - now < wheel_size:
+        remote_dst = self._remote_dst
+        if remote_dst is not None and oc in remote_dst:
+            # Cross-shard hop: the peer shard materializes the arrival
+            # after the next barrier. The packet stays in ``_inflight``
+            # (and in ``_in_network``) until the barrier flush so a
+            # fault landing inside this window sweeps it exactly as the
+            # serial engine would -- its arrival provably lies beyond
+            # the lookahead window.
+            self._outbox.append((packet, oc, arrival))
+        elif 0 < arrival - now < wheel_size:
             buckets[arrival & mask].append((_EV_ARRIVAL, packet, oc, None))
+            events.pending += 1
         else:
             events.seq += 1
             heappush(
                 events.overflow,
                 (arrival, events.seq, (_EV_ARRIVAL, packet, oc, None)),
             )
-        events.pending += 1
+            events.pending += 1
         inflight = self._inflight
         if inflight is not None:
             inflight[packet] = oc
@@ -999,29 +1128,42 @@ class Engine:
                 return cid
         return -1
 
-    def _apply_fault(self, channel_id: int, is_down: bool) -> None:
+    def _apply_fault(self, channel_id: int, is_down: bool, fault_idx) -> None:
         now = self.cycle
+        if fault_idx is None:
+            # Pre-canonical checkpoints carry no timeline index; hand
+            # out fresh ones in drain order (the order they were saved).
+            fault_idx = self._fault_push_seq
+            self._fault_push_seq += 1
+        self._fault_idx_now = fault_idx
         if is_down:
             self._failed_channels.add(channel_id)
         else:
             self._failed_channels.discard(channel_id)
         self._fault_routes.set_failed(self._failed_channels)
-        self.stats.fault_events += 1
+        # Every shard applies every fault (routing state is global), but
+        # only the owner of the channel accounts and announces it.
+        owned = self._fault_owned
+        owner = owned is None or channel_id in owned
+        if owner:
+            self.stats.fault_events += 1
         # Applying a fault is progress for watchdog purposes: the drops
         # and re-routes below change the network state.
         self._last_progress = now
         if self.trace is not None:
-            self.trace.emit(
-                TraceEvent(
-                    "fault",
-                    now,
-                    now * self._ticks_per_cycle,
-                    -1,
-                    channel_id,
-                    0,
-                    (("down", int(is_down)),),
+            self._trace_key = (1, fault_idx, 0)
+            if owner:
+                self.trace.emit(
+                    TraceEvent(
+                        "fault",
+                        now,
+                        now * self._ticks_per_cycle,
+                        -1,
+                        channel_id,
+                        0,
+                        (("down", int(is_down)),),
+                    )
                 )
-            )
         if not is_down:
             # Recovery strands nothing; wake sources so resolutions that
             # can now use the channel are re-attempted promptly.
@@ -1084,7 +1226,10 @@ class Engine:
         return None
 
     def _sweep_source_queues(self, now: int) -> None:
-        for src in list(self._source_queues):
+        trace = self.trace
+        for src in sorted(self._source_queues):
+            if trace is not None:
+                self._trace_key = (1, self._fault_idx_now, 1, src)
             queue = self._source_queues[src]
             head = self._source_heads[src]
             survivors = []
@@ -1117,6 +1262,8 @@ class Engine:
                 head = heads[vc]
                 if head >= len(queue):
                     continue
+                if self.trace is not None:
+                    self._trace_key = (1, self._fault_idx_now, 2, ic, vc)
                 kept = []
                 removed = 0
                 for packet in queue[head:]:
@@ -1128,9 +1275,8 @@ class Engine:
                         removed += 1
                         self._buffered_count[ic] -= 1
                         self._in_network -= 1
-                        self._push_event(
+                        self._push_credit(
                             now + self._latency[ic],
-                            _EV_CREDIT,
                             ic,
                             vc,
                             packet.size_flits,
@@ -1194,10 +1340,16 @@ class Engine:
     def _sweep_inflight(self, now: int) -> None:
         machine = self.machine
         policy = self._fault_runtime.policy
-        # Snapshot: retry dispositions mutate engine state while we scan.
-        # ``_inflight`` iterates in insertion (event-seq) order, matching
-        # the order the old heap scan re-dispositioned packets in.
-        for packet, oc in list(self._inflight.items()):
+        trace = self.trace
+        # Snapshot (retry dispositions mutate engine state mid-scan) in
+        # canonical pid order -- shard-invariant, unlike insertion
+        # order. Stable sort keeps push order for duplicate pids (a
+        # retried packet's condemned copy and its clone), which only
+        # the serial engine can produce.
+        items = sorted(self._inflight.items(), key=lambda item: item[0].pid)
+        for packet, oc in items:
+            if trace is not None:
+                self._trace_key = (1, self._fault_idx_now, 3, packet.pid)
             if packet.drop_on_arrival:
                 continue
             hop_index = packet.hop_index

@@ -43,9 +43,9 @@ owned by exactly one component, a component's SA1 scan completes before
 any of its SA2 grants mutate state, and arrivals/credits land only in
 the event drain that precedes ``_step``. So evaluating all components'
 eligibility in one vector pass is exact, not approximate. Order-bearing
-decisions (grant emission order, event push order, ``_active`` dict
-insertion order, stats-dict key order) are preserved by walking the
-``_active`` dict in its own order, pushing credit-before-arrival per
+decisions (grant emission order, event push order, stats-dict key
+order) are preserved by walking the active set in the same canonical
+sorted order as the scalar ``_step``, pushing credit-before-arrival per
 grant exactly as the scalar departure does, and recording first-use
 order of stats keys. Arbiter policy state lives in flat mirrors
 (pointers, grant-count deltas) for the three closed-form policies
@@ -82,6 +82,8 @@ from repro.arbiters.age_based import AgeBasedArbiter
 from repro.arbiters.inverse_weighted import InverseWeightedArbiter
 from repro.arbiters.round_robin import FixedPriorityArbiter, RoundRobinArbiter
 from repro.core.machine import ComponentKind
+
+from .engine import event_sort_key
 
 __all__ = [
     "FastPath",
@@ -543,11 +545,12 @@ class FastPath:
     def process_events(self) -> None:
         """Drain this cycle's events, maintaining the mirrors.
 
-        Replicates ``Engine._process_events`` exactly: overdue overflow,
-        then the bucket in FIFO (= seq) order, then overflow again. The
-        arrival/credit/wake handler bodies are inlined (this runs for
-        every arrival at saturation); keep them in sync with
-        :meth:`_arrival`, the out-of-line copy the overflow drain uses.
+        Replicates ``Engine._process_events`` exactly: overdue overflow
+        and the bucket merge into one batch processed in the canonical
+        within-cycle order (:func:`~repro.sim.engine.event_sort_key`).
+        The arrival/credit/wake handler bodies are inlined (this runs
+        for every arrival at saturation); fault events never reach here
+        (fault injection disables the fast path at construction).
         """
         e = self.engine
         if not self.enabled:
@@ -556,10 +559,21 @@ class FastPath:
         events = e._events
         now = e.cycle
         overflow = events.overflow
+        batch = None
         if overflow and overflow[0][0] <= now:
-            self._drain_overflow(now)
+            batch = []
+            while overflow and overflow[0][0] <= now:
+                batch.append(heappop(overflow)[2])
+            events.pending -= len(batch)
         bucket = events.take_due(now)
         if bucket:
+            if batch is None:
+                batch = bucket
+            else:
+                batch.extend(bucket)
+        if batch:
+            if len(batch) > 1:
+                batch.sort(key=event_sort_key)
             vbits = self.vbits
             credits_flat = e._credits_flat
             active = e._active
@@ -594,7 +608,7 @@ class FastPath:
             nfin = 0
             lat_acc = 0
             nlat_acc = 0
-            for kind, a, b, c in bucket:
+            for kind, a, b, c in batch:
                 if kind == 0:  # arrival of packet `a` on channel `b`
                     if a.next_hop is None:
                         # Final hop: consume at the destination endpoint
@@ -665,67 +679,6 @@ class FastPath:
                 e._in_network -= nfin
                 e._last_progress = now
                 events.pending += nfin  # one credit push per delivery
-        if overflow and overflow[0][0] <= now:
-            self._drain_overflow(now)
-
-    def _drain_overflow(self, now: int) -> None:
-        e = self.engine
-        events = e._events
-        overflow = events.overflow
-        amask = self.active_mask
-        while overflow and overflow[0][0] <= now:
-            kind, a, b, c = heappop(overflow)[2]
-            events.pending -= 1
-            if kind == 0:
-                self._arrival(a, b, c, now)
-            elif kind == 1:
-                e._credits_flat[(a << self.vbits) | b] += c
-                comp = e._channel_src[a]
-                e._active[comp] = None
-                amask[comp] = 1
-            elif kind == 2:
-                e._active[a] = None
-                amask[a] = 1
-            else:  # pragma: no cover - faults disable the fast path
-                e._apply_fault(a, b)
-
-    def _arrival(self, packet, cid: int, vc: int, now: int) -> None:
-        """Out-of-line arrival handler for the (rare) overflow drain.
-
-        ``vc`` is the arrival VC carried in the event payload. Must stay
-        behaviorally identical to the inlined arrival case in
-        :meth:`process_events`.
-        """
-        e = self.engine
-        events = e._events
-        if packet.next_hop is None:
-            packet.deliver_cycle = now
-            e.stats.record_delivery(packet, e.keep_packet_latencies)
-            e._in_network -= 1
-            e._last_progress = now
-            events.push(
-                now + e._latency[cid], now, (1, cid, vc, packet.size_flits)
-            )
-            if e.on_delivery is not None:
-                e.on_delivery(packet, now)
-            return
-        packet.ready_cycle = ready = now + e._pipeline
-        queue = e._buffers[cid][vc]
-        queue.append(packet)
-        e._buffered_count[cid] += 1
-        comp = e._channel_dst[cid]
-        e._active[comp] = None
-        self.active_mask[comp] = 1
-        if e._buffer_heads[cid][vc] == len(queue) - 1:
-            vbits = self.vbits
-            slot = (cid << vbits) | vc
-            self.head_ready[slot] = ready
-            nh = packet.next_hop
-            self.head_pack[slot] = (
-                (((nh[0] << vbits) | nh[1]) << 3) | packet.size_flits
-            )
-            self.head_age[slot] = packet.inject_cycle
-            self.head_pkt[slot] = packet
 
     # --- the per-cycle allocation pass --------------------------------------
 
@@ -946,8 +899,14 @@ class FastPath:
             granted_append = granted.append
 
             iw_present = self.iw_present
+            remote_dst = e._remote_dst
+            remote_src = e._remote_src
+            outbox = e._outbox
+            outbox_credits = e._outbox_credits
+            ndivert = 0
 
             def grant(j: int) -> None:
+                nonlocal ndivert
                 # One departure: head pop + mirror update, route advance,
                 # and the credit-then-arrival event pushes -- the exact
                 # scalar ``_depart`` order. Timing was batched in Phase
@@ -989,12 +948,22 @@ class FastPath:
                 pkt.hop_index = hi
                 hops = pkt.route.hops
                 pkt.next_hop = hops[hi] if hi < len(hops) else None
-                if 0 < cc - now < wsize:
+                if remote_src is not None and ic in remote_src:
+                    # Ingress channel: its source arbitration point lives
+                    # in another shard -- the credit crosses the barrier.
+                    outbox_credits.append((ic, vc, size, cc))
+                    ndivert += 1
+                elif 0 < cc - now < wsize:
                     wbuckets[cc & wmask].append((1, ic, vc, size))
                 else:
                     events.seq += 1
                     heappush(overflow, (cc, events.seq, (1, ic, vc, size)))
-                if 0 < ac - now < wsize:
+                if remote_dst is not None and oc in remote_dst:
+                    # Egress channel: the peer shard materializes the
+                    # arrival after the barrier (repro/sim/shard.py).
+                    outbox.append((pkt, oc, ac))
+                    ndivert += 1
+                elif 0 < ac - now < wsize:
                     wbuckets[ac & wmask].append((0, pkt, oc, ovc))
                 else:
                     events.seq += 1
@@ -1008,7 +977,9 @@ class FastPath:
                     stat_new.append(oc)
                 granted_append(j)
 
-            for comp in active:
+            # Sorted, not insertion, order: the canonical within-cycle
+            # schedule the scalar ``_step`` walks (see event_sort_key).
+            for comp in sorted(active):
                 w = work[comp]
                 if w is None:
                     continue
@@ -1173,7 +1144,7 @@ class FastPath:
                     self.np_sa2_grants[gout] += 1
                 else:
                     self.np_sa2_grants[gout[m]] += 1
-                events.pending += 2 * len(granted)
+                events.pending += 2 * len(granted) - ndivert
                 e._last_progress = now
 
         # ---- Apply removals (scalar pops its idle list after the walk) ----

@@ -63,37 +63,81 @@ def _batch_golden(
     batch_size: int,
     arbitration: str,
     seed: int,
+    shards: int = 1,
+    fault_set=None,
 ) -> None:
     from repro.traffic.batch import BatchSpec
 
-    machine = Machine(MachineConfig(shape=shape, endpoints_per_chip=endpoints))
-    routes = RouteComputer(machine)
+    config = MachineConfig(shape=shape, endpoints_per_chip=endpoints)
+    machine = Machine(config)
     spec = BatchSpec(
         pattern,
         packets_per_source=batch_size,
         cores_per_chip=endpoints,
         seed=seed,
     )
-    stats = run_batch(
-        machine,
-        routes,
-        spec,
-        arbitration=arbitration,
-        weight_patterns=[pattern] if arbitration == "iw" else None,
-        trace=writer,
-    )
-    writer.write_record(
-        {
+    if shards > 1:
+        # The sharded runner is bit-identical to the serial path, so a
+        # golden regenerated under --shards N must byte-match the
+        # committed serial artifact; CI relies on exactly that.
+        from .shard import ShardedRun, run_sharded
+
+        stats = run_sharded(
+            ShardedRun(
+                config=config,
+                spec=spec,
+                arbitration=arbitration,
+                weight_patterns=(pattern,) if arbitration == "iw" else (),
+                fault_set=fault_set,
+            ),
+            shards,
+            machine=machine,
+            trace=writer,
+            transport="inline",
+        )
+    elif fault_set is not None:
+        from repro.faults import FaultRuntime
+
+        runtime = FaultRuntime(machine, fault_set)
+        stats = run_batch(
+            machine,
+            runtime.route_computer,
+            spec,
+            arbitration=arbitration,
+            trace=writer,
+            faults=runtime,
+        )
+    else:
+        routes = RouteComputer(machine)
+        stats = run_batch(
+            machine,
+            routes,
+            spec,
+            arbitration=arbitration,
+            weight_patterns=[pattern] if arbitration == "iw" else None,
+            trace=writer,
+        )
+    record = {
+        "ev": "end",
+        "cyc": stats.end_cycle,
+        "injected": stats.injected,
+        "delivered": stats.delivered,
+        "events": writer.events_written,
+    }
+    if fault_set is not None:
+        record = {
             "ev": "end",
             "cyc": stats.end_cycle,
             "injected": stats.injected,
             "delivered": stats.delivered,
+            "dropped": stats.dropped,
+            "rerouted": stats.rerouted,
             "events": writer.events_written,
         }
-    )
+    writer.write_record(record)
 
 
-def _run_uniform_2x2x2(writer: JsonlTraceWriter) -> None:
+def _run_uniform_2x2x2(writer: JsonlTraceWriter, shards: int = 1) -> None:
     from repro.traffic.patterns import UniformRandom
 
     _batch_golden(
@@ -104,10 +148,11 @@ def _run_uniform_2x2x2(writer: JsonlTraceWriter) -> None:
         batch_size=2,
         arbitration="rr",
         seed=5,
+        shards=shards,
     )
 
 
-def _run_tornado_4x1x1(writer: JsonlTraceWriter) -> None:
+def _run_tornado_4x1x1(writer: JsonlTraceWriter, shards: int = 1) -> None:
     from repro.traffic.patterns import Tornado
 
     _batch_golden(
@@ -118,17 +163,17 @@ def _run_tornado_4x1x1(writer: JsonlTraceWriter) -> None:
         batch_size=4,
         arbitration="iw",
         seed=3,
+        shards=shards,
     )
 
 
-def _run_faulted_2x2x2(writer: JsonlTraceWriter) -> None:
+def _run_faulted_2x2x2(writer: JsonlTraceWriter, shards: int = 1) -> None:
     """Mid-run fault golden: two scheduled torus-link failures (one of
     which recovers) under the reroute policy, pinning the fault sweep's
     re-disposition semantics -- fault/reroute event ordering, credit
     return for swept buffers, and the deterministic fault timeline."""
-    from repro.faults import FaultRuntime, FaultSet, FaultSpec
+    from repro.faults import FaultSet, FaultSpec
     from repro.faults.model import failable_channels
-    from repro.traffic.batch import BatchSpec
     from repro.traffic.patterns import UniformRandom
 
     machine = Machine(MachineConfig(shape=(2, 2, 2), endpoints_per_chip=2))
@@ -146,31 +191,20 @@ def _run_faulted_2x2x2(writer: JsonlTraceWriter) -> None:
         shape=(2, 2, 2),
         note="golden faulted run",
     )
-    runtime = FaultRuntime(machine, fault_set)
-    routes = runtime.route_computer
-    spec = BatchSpec(
-        UniformRandom((2, 2, 2)),
-        packets_per_source=4,
-        cores_per_chip=2,
+    _batch_golden(
+        writer,
+        shape=(2, 2, 2),
+        endpoints=2,
+        pattern=UniformRandom((2, 2, 2)),
+        batch_size=4,
+        arbitration="rr",
         seed=5,
-    )
-    stats = run_batch(
-        machine, routes, spec, arbitration="rr", trace=writer, faults=runtime
-    )
-    writer.write_record(
-        {
-            "ev": "end",
-            "cyc": stats.end_cycle,
-            "injected": stats.injected,
-            "delivered": stats.delivered,
-            "dropped": stats.dropped,
-            "rerouted": stats.rerouted,
-            "events": writer.events_written,
-        }
+        shards=shards,
+        fault_set=fault_set,
     )
 
 
-def _run_demand_2x2x2(writer: JsonlTraceWriter) -> None:
+def _run_demand_2x2x2(writer: JsonlTraceWriter, shards: int = 1) -> None:
     """Open-loop demand-matrix golden: a seeded hotspot matrix whose
     rates, hotspot count, and skew all shift at the cycle-32 epoch
     boundary, pinning the paced-injection schedule and the epoch
@@ -182,8 +216,8 @@ def _run_demand_2x2x2(writer: JsonlTraceWriter) -> None:
         run_demand,
     )
 
-    machine = Machine(MachineConfig(shape=(2, 2, 2), endpoints_per_chip=2))
-    routes = RouteComputer(machine)
+    config = MachineConfig(shape=(2, 2, 2), endpoints_per_chip=2)
+    machine = Machine(config)
     base = DemandMatrix.hotspot(
         (2, 2, 2), rate=0.25, hotspots=1, hot_fraction=0.6, seed=11
     )
@@ -197,7 +231,19 @@ def _run_demand_2x2x2(writer: JsonlTraceWriter) -> None:
         duration_cycles=64,
         seed=7,
     )
-    stats = run_demand(machine, routes, spec, arbitration="rr", trace=writer)
+    if shards > 1:
+        from .shard import ShardedRun, run_sharded
+
+        stats = run_sharded(
+            ShardedRun(config=config, spec=spec),
+            shards,
+            machine=machine,
+            trace=writer,
+            transport="inline",
+        )
+    else:
+        routes = RouteComputer(machine)
+        stats = run_demand(machine, routes, spec, arbitration="rr", trace=writer)
     writer.write_record(
         {
             "ev": "end",
@@ -303,15 +349,36 @@ _GOLDEN_RUNS = {
 
 GOLDEN_NAMES = tuple(_GOLDEN_RUNS)
 
+#: Goldens that can be regenerated through the sharded runner. Pingpong
+#: is driven by a delivery hook that re-injects at the replying
+#: endpoint, which may live in another shard, so it stays serial.
+SHARDABLE_GOLDEN_NAMES = (
+    "uniform_2x2x2",
+    "tornado_4x1x1",
+    "faulted_2x2x2",
+    "demand_2x2x2",
+)
 
-def write_golden(name: str, stream: IO[str]) -> int:
+
+def write_golden(name: str, stream: IO[str], shards: int = 1) -> int:
     """Run one canonical spec, streaming its JSONL trace; returns the
-    number of events written."""
+    number of events written.
+
+    ``shards > 1`` routes the run through the conservative-lookahead
+    shard runner (:mod:`repro.sim.shard`); the output must byte-match
+    the serial rendering -- CI regenerates goldens under ``--shards 2``
+    and ``--shards 4`` and diffs against the committed files.
+    """
     try:
         runner, meta = _GOLDEN_RUNS[name]
     except KeyError:
         raise ValueError(
             f"unknown golden trace {name!r}; known: {', '.join(GOLDEN_NAMES)}"
+        )
+    if shards > 1 and name not in SHARDABLE_GOLDEN_NAMES:
+        raise ValueError(
+            f"golden trace {name!r} cannot run sharded; shardable: "
+            f"{', '.join(SHARDABLE_GOLDEN_NAMES)}"
         )
     machine_meta = dict(meta)
     shape = tuple(machine_meta["shape"])
@@ -319,15 +386,18 @@ def write_golden(name: str, stream: IO[str]) -> int:
         MachineConfig(shape=shape, endpoints_per_chip=machine_meta["endpoints"])
     ).ticks_per_cycle
     writer = JsonlTraceWriter(stream, meta=machine_meta)
-    runner(writer)
+    if shards > 1:
+        runner(writer, shards=shards)
+    else:
+        runner(writer)
     writer.flush()
     return writer.events_written
 
 
-def render_golden(name: str) -> str:
+def render_golden(name: str, shards: int = 1) -> str:
     """One canonical run's full JSONL text (for byte comparison)."""
     buffer = io.StringIO()
-    write_golden(name, buffer)
+    write_golden(name, buffer, shards=shards)
     return buffer.getvalue()
 
 
@@ -335,12 +405,19 @@ def committed_golden_path(name: str) -> pathlib.Path:
     return GOLDEN_DIR / f"{name}.jsonl"
 
 
-def check_goldens() -> Dict[str, bool]:
-    """Regenerate every golden and compare against the committed bytes."""
+def check_goldens(shards: int = 1) -> Dict[str, bool]:
+    """Regenerate every golden and compare against the committed bytes.
+
+    With ``shards > 1`` only the shardable goldens are regenerated (and
+    they are still compared against the *serial* committed bytes --
+    sharding must not change a single byte).
+    """
+    names = SHARDABLE_GOLDEN_NAMES if shards > 1 else GOLDEN_NAMES
     results: Dict[str, bool] = {}
-    for name in GOLDEN_NAMES:
+    for name in names:
         path = committed_golden_path(name)
         results[name] = (
-            path.exists() and path.read_text() == render_golden(name)
+            path.exists()
+            and path.read_text() == render_golden(name, shards=shards)
         )
     return results

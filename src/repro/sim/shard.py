@@ -1,0 +1,1252 @@
+"""Sharded torus engine: conservative-lookahead spatial decomposition.
+
+The cycle-level engine is sequential; an interactive 8x8x8 run is bound
+by one core. This module partitions the torus into contiguous sub-boxes
+(1/2/4/8 shards, split along the largest dimensions), runs one
+:class:`~repro.sim.engine.Engine` per shard, and synchronizes them with
+a conservative-lookahead barrier -- classic conservative parallel
+discrete-event simulation, exact rather than approximate:
+
+* **Partitioning.** Chips map to shards by contiguous per-dimension
+  slabs (:func:`partition_parts`); every component on a chip belongs to
+  the chip's shard. Only torus channels can cross a shard boundary --
+  mesh and E-group channels connect components of a single chip.
+
+* **Lookahead.** A packet granted onto a cross-shard channel at cycle
+  ``g`` arrives at the remote buffer no earlier than
+  ``g + lat - 1 + (occ - 1) // tpc`` cycles (wire latency plus the
+  serialization already accrued by the grant), and its credit returns
+  to the sender at exactly ``g + lat``. With
+
+      ``L = min over cross-shard channels of min(lat, lat - 1 + (occ - 1) // tpc)``
+
+  every event a shard generates for a peer during the window
+  ``[B, B + L)`` lands at cycle ``>= B + L``: shards may run the window
+  independently and exchange at the barrier without ever producing an
+  event in a peer's past. On the default machine (torus latency 12
+  cycles, 45 occupancy ticks at 14 ticks/cycle) ``L = 12``.
+
+* **Exchange.** Cross-shard grants divert to a per-engine outbox
+  (``Engine._remote_dst``); at each barrier the hub routes them to the
+  destination shard, which replays them with
+  :meth:`~repro.sim.engine.Engine.feed_arrival`. Transfer records ride
+  the checkpoint module's canonical-JSON packet serialization as the
+  wire format; credit returns flow back the same way.
+
+* **Exactness.** Each shard generates the *full* workload (identical
+  pids and RNG draws) but enqueues only its local sources; the engine's
+  canonical within-cycle event order makes every observable stream a
+  pure function of simulation state. Stats, metrics summaries, golden
+  traces, and checkpoint bytes are therefore bit-identical to the
+  serial engine for every shard count -- the conformance suite under
+  ``tests/shard/`` pins this.
+
+* **Checkpointing.** At checkpoint barriers the hub snapshots every
+  shard, merges the snapshots into one serial-format checkpoint at
+  ``path`` (byte-identical to the serial oracle's), and writes the
+  per-shard snapshots to ``path.shard<i>`` plus a ``path.manifest``
+  index. A killed run resumes from the manifest bit-identically; the
+  "an existing file marks an interrupted run" contract is unchanged.
+
+Transports: ``transport="process"`` runs each shard in its own
+``multiprocessing`` process (the performance configuration);
+``transport="inline"`` drives the identical shard cores synchronously
+in-process (deterministic, debuggable, used by most conformance tests).
+Both produce byte-identical results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.machine import Machine, MachineConfig
+
+from .checkpoint import (
+    CRASH_ENV_VAR,
+    CheckpointError,
+    _packet_from_json,
+    _packet_to_json,
+    dumps,
+    load_checkpoint,
+    loads,
+    restore_engine,
+    snapshot_engine,
+)
+from .engine import _EV_FAULT, DeadlockError, Engine
+from .metrics import MetricsCollector
+from .stats import SimStats
+
+#: Which shard honors :data:`~repro.sim.checkpoint.CRASH_ENV_VAR` in a
+#: sharded run (default shard 0) -- the crash-resume tests kill one
+#: worker mid-window and resume the whole fleet from the manifest.
+CRASH_SHARD_ENV_VAR = "REPRO_CRASH_SHARD"
+
+MANIFEST_SCHEMA_VERSION = 1
+
+ALLOWED_SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Watchdog applied to shard engines while they run lookahead windows:
+#: progress is global, so a shard that is legitimately idle (its traffic
+#: drained, a neighbor's still coming) must not trip the per-engine
+#: watchdog. The hub enforces the true watchdog across all shards.
+_HUGE_WATCHDOG = 1 << 60
+
+
+# --- partitioning -----------------------------------------------------------------
+
+
+def partition_parts(shape: Sequence[int], shards: int) -> Tuple[int, int, int]:
+    """Split ``shape`` into ``shards`` contiguous sub-boxes.
+
+    Repeatedly halves the dimension with the largest remaining
+    per-shard extent (ties to the lowest dimension index), so an 8x8x8
+    torus becomes 4x8x8 / 4x4x8 / 4x4x4 slabs at 2 / 4 / 8 shards.
+    Every halving requires the extent to be even -- an odd split would
+    make shard membership depend on rounding, not geometry.
+    """
+    if shards not in ALLOWED_SHARD_COUNTS:
+        raise ValueError(
+            f"shard count must be one of {ALLOWED_SHARD_COUNTS}, got {shards}"
+        )
+    parts = [1, 1, 1]
+    remaining = shards
+    while remaining > 1:
+        dim = max(range(3), key=lambda d: (shape[d] // parts[d], -d))
+        extent = shape[dim] // parts[dim]
+        if extent % 2:
+            raise ValueError(
+                f"cannot split shape {tuple(shape)} into {shards} shards: "
+                f"dimension {dim} extent {extent} is not even"
+            )
+        parts[dim] *= 2
+        remaining //= 2
+    return tuple(parts)
+
+
+def component_owners(machine: Machine, parts: Sequence[int]) -> List[int]:
+    """Owning shard index per component id (chip slab membership)."""
+    shape = machine.config.shape
+
+    def owner(chip) -> int:
+        ix = chip[0] * parts[0] // shape[0]
+        iy = chip[1] * parts[1] // shape[1]
+        iz = chip[2] * parts[2] // shape[2]
+        return (ix * parts[1] + iy) * parts[2] + iz
+
+    return [owner(comp.chip) for comp in machine.components]
+
+
+def shard_boundary(
+    machine: Machine, owners: Sequence[int], shard: int
+) -> Tuple[frozenset, frozenset, frozenset]:
+    """A shard's boundary channel sets: (remote_dst, remote_src, fault_owned).
+
+    ``remote_dst`` -- channels whose source is local and destination
+    remote (grants divert to the outbox); ``remote_src`` -- the reverse
+    (credit returns divert); ``fault_owned`` -- channels whose fault
+    bookkeeping (stats, trace) this shard owns: every shard applies the
+    full fault timeline for routing parity, but only the channel's
+    source shard counts it.
+    """
+    remote_dst = set()
+    remote_src = set()
+    fault_owned = set()
+    for channel in machine.channels:
+        src_owner = owners[channel.src]
+        dst_owner = owners[channel.dst]
+        if src_owner == shard:
+            fault_owned.add(channel.cid)
+            if dst_owner != shard:
+                remote_dst.add(channel.cid)
+        elif dst_owner == shard:
+            remote_src.add(channel.cid)
+    return frozenset(remote_dst), frozenset(remote_src), frozenset(fault_owned)
+
+
+def _channel_lookahead(machine: Machine, channel) -> int:
+    """Safe window length contributed by one cross-shard channel.
+
+    The arrival bound is ``lat - 1 + (occ - 1) // tpc`` cycles after the
+    grant (a grant at cycle ``g`` ends serialization no earlier than
+    tick ``g * tpc + occ``); the credit bound is exactly ``lat``. Both
+    must be ``>= L`` for a window of length ``L``.
+    """
+    lat = channel.latency
+    occ = machine.occupancy_ticks_for_channel(channel)
+    tpc = machine.ticks_per_cycle
+    return min(lat, lat - 1 + (occ - 1) // tpc)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """A validated decomposition: slab geometry plus the safe lookahead."""
+
+    shape: Tuple[int, int, int]
+    parts: Tuple[int, int, int]
+    shards: int
+    lookahead: int
+
+    @classmethod
+    def for_machine(cls, machine: Machine, shards: int) -> "ShardPlan":
+        parts = partition_parts(machine.config.shape, shards)
+        owners = component_owners(machine, parts)
+        cross = [
+            c for c in machine.channels if owners[c.src] != owners[c.dst]
+        ]
+        if shards > 1 and not cross:
+            raise ValueError(
+                f"partition {parts} of shape {machine.config.shape} produced "
+                f"no cross-shard channels"
+            )
+        lookahead = (
+            min(_channel_lookahead(machine, c) for c in cross) if cross else 1
+        )
+        if lookahead < 1:
+            raise ValueError(
+                "cross-shard channel latency too small for a conservative "
+                f"lookahead window (computed {lookahead} cycles)"
+            )
+        return cls(
+            shape=tuple(machine.config.shape),
+            parts=parts,
+            shards=shards,
+            lookahead=lookahead,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "shape": list(self.shape),
+            "parts": list(self.parts),
+            "shards": self.shards,
+            "lookahead": self.lookahead,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ShardPlan":
+        return cls(
+            shape=tuple(data["shape"]),
+            parts=tuple(data["parts"]),
+            shards=data["shards"],
+            lookahead=data["lookahead"],
+        )
+
+
+# --- workload specification -------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardedRun:
+    """Picklable description of one sharded experiment.
+
+    Each shard process rebuilds the machine, route computer, and fault
+    runtime from this spec deterministically, generates the *full*
+    workload (keeping global packet ids and RNG draw order), and
+    enqueues only packets whose source it owns. ``spec`` is a
+    :class:`~repro.traffic.batch.BatchSpec` or
+    :class:`~repro.traffic.demand.DemandSpec`.
+    """
+
+    config: MachineConfig
+    spec: object
+    arbitration: str = "rr"
+    weight_patterns: tuple = ()
+    weight_bits: int = 5
+    fault_set: Optional[object] = None
+    fault_policy: Optional[object] = None
+
+
+def build_shard_context(run: ShardedRun, machine: Optional[Machine] = None):
+    """(machine, route computer, fault runtime) for one run, deterministically.
+
+    The serial fallback and every shard worker build through here, so a
+    faulted run's route computer sees the same initially-failed set (and
+    accrues the same generation-time resolution counts) everywhere.
+    """
+    from repro.core.routing import RouteComputer
+
+    if machine is None:
+        machine = Machine(run.config)
+    if run.fault_set is not None:
+        from repro.faults.routing import FaultAwareRouteComputer
+        from repro.faults.runtime import FaultRuntime
+
+        route_computer = FaultAwareRouteComputer(machine)
+        faults = FaultRuntime(
+            machine,
+            run.fault_set,
+            policy=run.fault_policy,
+            route_computer=route_computer,
+        )
+    else:
+        route_computer = RouteComputer(machine)
+        faults = None
+    return machine, route_computer, faults
+
+
+def _build_engine(
+    run: ShardedRun,
+    machine: Machine,
+    route_computer,
+    faults,
+    trace=None,
+    use_fastpath: Optional[bool] = None,
+    source_filter=None,
+) -> Engine:
+    weight_patterns = list(run.weight_patterns) if run.weight_patterns else None
+    if getattr(run.spec, "demand", None) is not None:
+        from repro.traffic.demand import build_demand_engine
+
+        return build_demand_engine(
+            machine,
+            route_computer,
+            run.spec,
+            arbitration=run.arbitration,
+            weight_patterns=weight_patterns,
+            weight_bits=run.weight_bits,
+            trace=trace,
+            faults=faults,
+            use_fastpath=use_fastpath,
+            source_filter=source_filter,
+        )
+    from .simulator import build_batch_engine
+
+    return build_batch_engine(
+        machine,
+        route_computer,
+        run.spec,
+        arbitration=run.arbitration,
+        weight_patterns=weight_patterns,
+        weight_bits=run.weight_bits,
+        trace=trace,
+        faults=faults,
+        use_fastpath=use_fastpath,
+        source_filter=source_filter,
+    )
+
+
+# --- wire format ------------------------------------------------------------------
+
+
+def _encode_transfer(packet, oc: int, cycle: int) -> str:
+    """Canonical-JSON transfer record: the cross-shard wire format."""
+    record = {
+        "cycle": cycle,
+        "oc": oc,
+        "packet": _packet_to_json(packet),
+    }
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _encode_credit(cid: int, vc: int, size: int, cycle: int) -> str:
+    record = {"channel": cid, "cycle": cycle, "size": size, "vc": vc}
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+# --- shard worker -----------------------------------------------------------------
+
+
+class _ShardTraceRecorder:
+    """Trace sink that tags each event with its canonical merge key.
+
+    The engine maintains ``_trace_key`` -- the (phase, site) tuple of
+    whatever is currently emitting -- whenever a sink is attached.
+    Sorting the union of all shards' records by ``(cycle, key, seq)``
+    reproduces the serial emission order exactly: within one
+    ``(cycle, key)`` class a single shard is the producer, so the
+    per-shard sequence number only breaks ties the producer itself
+    created in order.
+    """
+
+    def __init__(self) -> None:
+        self.engine: Optional[Engine] = None
+        self.records: list = []
+        self._seq = 0
+
+    def emit(self, event) -> None:
+        self._seq += 1
+        self.records.append((event.cycle, self.engine._trace_key, self._seq, event))
+
+    def flush(self) -> None:
+        pass
+
+    def drain(self) -> list:
+        out = self.records
+        self.records = []
+        return out
+
+
+class _ShardCore:
+    """One shard's engine plus the barrier-protocol message handlers.
+
+    Transport-agnostic: the inline worker calls the handlers directly,
+    the process worker drives them over a pipe. Identical computation
+    either way.
+    """
+
+    def __init__(self, init: dict) -> None:
+        self.index: int = init["shard"]
+        run: ShardedRun = init["run"]
+        plan = ShardPlan.from_json(init["plan"])
+        machine = Machine(run.config)
+        owners = component_owners(machine, plan.parts)
+        recorder = _ShardTraceRecorder() if init["tracing"] else None
+        snapshot = init.get("snapshot")
+        self._g_counts: Optional[dict] = None
+        if snapshot is not None:
+            engine = restore_engine(
+                snapshot,
+                machine=machine,
+                trace=recorder,
+                use_fastpath=init["use_fastpath"],
+            )
+        else:
+            shard = self.index
+            _, route_computer, faults = build_shard_context(run, machine=machine)
+            engine = _build_engine(
+                run,
+                machine,
+                route_computer,
+                faults,
+                trace=recorder,
+                use_fastpath=init["use_fastpath"],
+                source_filter=lambda comp: owners[comp] == shard,
+            )
+            if faults is not None:
+                # Generation-time resolution counts: identical in every
+                # shard (each generates the full workload), subtracted
+                # once per extra shard when merging checkpoint state.
+                self._g_counts = dict(route_computer.resolution_counts)
+        remote_dst, remote_src, fault_owned = shard_boundary(
+            machine, owners, self.index
+        )
+        engine._remote_dst = remote_dst
+        engine._remote_src = remote_src
+        engine._outbox = []
+        engine._outbox_credits = []
+        if engine._fault_runtime is not None:
+            engine._fault_owned = fault_owned
+        if recorder is not None:
+            recorder.engine = engine
+        self._true_watchdog = engine.watchdog_cycles
+        engine.watchdog_cycles = _HUGE_WATCHDOG
+        crash_env = os.environ.get(CRASH_ENV_VAR)
+        crash_shard = int(os.environ.get(CRASH_SHARD_ENV_VAR, "0"))
+        self._crash_cycle = (
+            int(crash_env) if crash_env and self.index == crash_shard else None
+        )
+        self._choices: dict = {}
+        self.engine = engine
+        self.recorder = recorder
+
+    def ready_info(self) -> dict:
+        return {"g_counts": self._g_counts, "watchdog": self._true_watchdog}
+
+    def _report(self) -> dict:
+        engine = self.engine
+        return {
+            "drained": engine.drained,
+            "queued": engine._queued,
+            "in_network": engine._in_network,
+            "pending": engine._events.pending,
+            "last_progress": engine._last_progress,
+        }
+
+    def feed(self, arrivals: list, credits: list) -> tuple:
+        """Replay the barrier's incoming transfer and credit records."""
+        engine = self.engine
+        for text in arrivals:
+            record = json.loads(text)
+            packet = _packet_from_json(record["packet"], self._choices)
+            engine.feed_arrival(packet, record["oc"], record["cycle"])
+        for text in credits:
+            record = json.loads(text)
+            engine.feed_credit(
+                record["channel"], record["vc"], record["size"], record["cycle"]
+            )
+        return ("fed", self._report())
+
+    def run_window(self, w_end: int) -> tuple:
+        """Advance to the barrier at ``w_end`` and flush the outboxes."""
+        engine = self.engine
+        start = engine.cycle
+        if not engine.drained:
+            crash = self._crash_cycle
+            if crash is not None and crash <= w_end:
+                if crash > start:
+                    engine.run_for(crash - start)
+                if not engine.drained:
+                    return ("crash", engine.cycle)
+                # Drained before the crash cycle: like a real process
+                # finishing before the kill lands, the run exits normally.
+                self._crash_cycle = None
+            if not engine.drained and engine.cycle < w_end:
+                engine.run_for(w_end - engine.cycle)
+        # A shard that drained mid-window still observes the barrier: a
+        # checkpoint taken here must place every shard at the same cycle.
+        # (run_for already left stats.end_cycle at the true drain cycle;
+        # forcing the clock does not disturb it.)
+        engine.cycle = w_end
+        packets = []
+        inflight = engine._inflight
+        for packet, oc, cycle in engine._outbox:
+            # The packet now belongs to the destination shard, which
+            # re-registers it via feed_arrival.
+            engine._in_network -= 1
+            if inflight is not None:
+                inflight.pop(packet, None)
+            packets.append(_encode_transfer(packet, oc, cycle))
+        del engine._outbox[:]
+        credits = [
+            _encode_credit(cid, vc, size, cycle)
+            for cid, vc, size, cycle in engine._outbox_credits
+        ]
+        del engine._outbox_credits[:]
+        records = self.recorder.drain() if self.recorder is not None else []
+        return ("ok", packets, credits, records)
+
+    def snapshot(self) -> tuple:
+        """Serial-format snapshot of this shard's engine at the barrier."""
+        engine = self.engine
+        engine.watchdog_cycles = self._true_watchdog
+        try:
+            data = snapshot_engine(engine)
+        finally:
+            engine.watchdog_cycles = _HUGE_WATCHDOG
+        return ("snap", data)
+
+    def finish(self) -> tuple:
+        return ("stats", self.engine.stats)
+
+
+def _dispatch(core: _ShardCore, msg: tuple) -> tuple:
+    kind = msg[0]
+    if kind == "feed":
+        return core.feed(msg[1], msg[2])
+    if kind == "run":
+        return core.run_window(msg[1])
+    if kind == "snapshot":
+        return core.snapshot()
+    if kind == "finish":
+        return core.finish()
+    raise ValueError(f"unknown shard message {kind!r}")
+
+
+class _InlineWorker:
+    """Synchronous in-process transport: the conformance default.
+
+    With ``init["profile"]`` set, everything this shard executes -- core
+    construction (workload generation, engine build) and every barrier
+    message -- runs under a private :mod:`cProfile` profiler, so
+    ``repro profile --shards N`` can merge deterministic per-shard call
+    tables.
+    """
+
+    def __init__(self, init: dict) -> None:
+        self.profiler = None
+        if init.get("profile"):
+            import cProfile
+
+            self.profiler = cProfile.Profile()
+        if self.profiler is not None:
+            self.profiler.enable()
+        try:
+            self._core = _ShardCore(init)
+        finally:
+            if self.profiler is not None:
+                self.profiler.disable()
+        self._reply: Optional[tuple] = ("ready", self._core.ready_info())
+
+    def send(self, msg: tuple) -> None:
+        if msg[0] == "stop":
+            self._reply = None
+            return
+        if self.profiler is not None:
+            self.profiler.enable()
+            try:
+                self._reply = _dispatch(self._core, msg)
+            finally:
+                self.profiler.disable()
+        else:
+            self._reply = _dispatch(self._core, msg)
+
+    def recv_reply(self) -> tuple:
+        return self._reply
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker_main(conn) -> None:
+    try:
+        init = conn.recv()
+        core = _ShardCore(init)
+        conn.send(("ready", core.ready_info()))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                return
+            conn.send(_dispatch(core, msg))
+    except EOFError:
+        return
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _ProcessWorker:
+    """One shard in its own process, driven over a ``multiprocessing`` pipe."""
+
+    def __init__(self, init: dict) -> None:
+        ctx = multiprocessing.get_context()
+        self._conn, child_conn = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_shard_worker_main, args=(child_conn,), daemon=True
+        )
+        self._proc.start()
+        child_conn.close()
+        self._conn.send(init)
+
+    def send(self, msg: tuple) -> None:
+        self._conn.send(msg)
+
+    def recv_reply(self) -> tuple:
+        reply = self._conn.recv()
+        if reply[0] == "error":
+            raise RuntimeError(f"shard worker failed:\n{reply[1]}")
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        self._proc.join(timeout=10)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join()
+
+
+# --- checkpoint materialization ---------------------------------------------------
+
+
+def _manifest_path(path: str) -> str:
+    return path + ".manifest"
+
+
+def _shard_path(path: str, shard: int) -> str:
+    return f"{path}.shard{shard}"
+
+
+def _atomic_write(path: str, text: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def _wheel_insert(wheel, cycle: int, now: int, payload: tuple) -> None:
+    # Mirror Engine._feed_event: a barrier-cycle event must land in its
+    # bucket (where the serial engine's copy lives), not the overflow heap.
+    if 0 <= cycle - now < wheel.size:
+        wheel.buckets[cycle & wheel.mask].append(payload)
+        wheel.pending += 1
+    else:
+        wheel.push(cycle, now, payload)
+
+
+def merge_shard_snapshots(
+    plan: ShardPlan,
+    machine: Machine,
+    snaps: List[dict],
+    trace=None,
+    resolution_base: Optional[dict] = None,
+    cycle: Optional[int] = None,
+) -> dict:
+    """Merge per-shard barrier snapshots into one serial-format snapshot.
+
+    Restores every shard into a live engine and copies each piece of
+    state into shard 0's engine from its owning shard: channel-source
+    state (staging timer, credit view, SA2 arbiter) from the source
+    component's owner, channel-destination state (buffers, input timer,
+    SA1 arbiter) from the destination's, source queues and in-flight
+    registries as disjoint unions. Foreign wheel events are re-pushed
+    into the base wheel -- push order is irrelevant because checkpoint
+    serialization orders every cycle canonically -- skipping fault
+    timeline events, which every shard schedules in full. The result is
+    byte-identical (via :func:`~repro.sim.checkpoint.dumps`) to the
+    snapshot the serial engine would write at the same cycle.
+    """
+    if cycle is None:
+        cycle = snaps[0]["cycle"]
+    engines = [
+        restore_engine(snap, machine=machine, use_fastpath=False)
+        for snap in snaps
+    ]
+    base = engines[0]
+    owners = component_owners(machine, plan.parts)
+    for shard in range(1, len(engines)):
+        eng = engines[shard]
+        if eng.cycle != cycle:
+            raise CheckpointError(
+                f"shard {shard} snapshot is at cycle {eng.cycle}, "
+                f"expected barrier cycle {cycle}"
+            )
+        base._source_queues.update(eng._source_queues)
+        base._source_heads.update(eng._source_heads)
+        for channel in machine.channels:
+            cid = channel.cid
+            if owners[channel.dst] == shard:
+                base._buffers[cid] = eng._buffers[cid]
+                base._buffer_heads[cid] = eng._buffer_heads[cid]
+                base._buffered_count[cid] = eng._buffered_count[cid]
+                base._input_free_at[cid] = eng._input_free_at[cid]
+                if base.vc_arbiters[cid] is not None:
+                    base.vc_arbiters[cid] = eng.vc_arbiters[cid]
+            if owners[channel.src] == shard:
+                base._channel_free_at[cid] = eng._channel_free_at[cid]
+                src_row = eng._credits[cid]
+                dst_row = base._credits[cid]
+                for vc in range(len(dst_row)):
+                    dst_row[vc] = src_row[vc]
+                if cid in base.arbiters:
+                    base.arbiters[cid] = eng.arbiters[cid]
+        wheel = eng._events
+        for delta in range(wheel.size):
+            cyc = cycle + delta
+            for payload in wheel.buckets[cyc & wheel.mask]:
+                if payload[0] == _EV_FAULT:
+                    continue
+                _wheel_insert(base._events, cyc, cycle, payload)
+        for cyc, _seq, payload in wheel.overflow:
+            if payload[0] == _EV_FAULT:
+                continue
+            _wheel_insert(base._events, cyc, cycle, payload)
+        for comp in eng._active:
+            base._active[comp] = None
+        base._queued += eng._queued
+        base._in_network += eng._in_network
+        base._last_progress = max(base._last_progress, eng._last_progress)
+        if base._inflight is not None:
+            base._inflight.update(eng._inflight)
+        base.stats.merge(eng.stats)
+    # A serial engine checkpointing mid-run sits exactly at the barrier.
+    base.stats.end_cycle = cycle
+    if base._fault_routes is not None and resolution_base is not None:
+        counts = base._fault_routes.resolution_counts
+        merged = dict(counts)
+        for shard in range(1, len(engines)):
+            shard_counts = engines[shard]._fault_routes.resolution_counts
+            for stage in set(shard_counts) | set(resolution_base):
+                merged[stage] = (
+                    merged.get(stage, 0)
+                    + shard_counts.get(stage, 0)
+                    - resolution_base.get(stage, 0)
+                )
+        counts.clear()
+        counts.update(merged)
+    base.trace = trace
+    return snapshot_engine(base)
+
+
+def load_sharded_checkpoint(
+    path: str,
+    expected_shards: Optional[int] = None,
+    expected_plan: Optional[ShardPlan] = None,
+) -> Tuple[dict, List[dict]]:
+    """Load and validate a sharded checkpoint's manifest and shard files.
+
+    Raises :class:`~repro.sim.checkpoint.CheckpointError` -- naming the
+    offending file -- if the manifest references a missing shard file or
+    a stray extra one exists: a resume must never silently run with a
+    different decomposition than the one that wrote the checkpoint.
+    """
+    manifest_path = _manifest_path(path)
+    try:
+        with open(manifest_path, "r") as handle:
+            manifest = json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read sharded manifest {manifest_path}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"sharded manifest {manifest_path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or manifest.get("kind") != "sharded-manifest":
+        raise CheckpointError(
+            f"{manifest_path} is not a sharded-run manifest "
+            f"(missing kind='sharded-manifest')"
+        )
+    if manifest.get("schema") != MANIFEST_SCHEMA_VERSION:
+        raise CheckpointError(
+            f"unsupported sharded-manifest schema {manifest.get('schema')!r}; "
+            f"this build reads version {MANIFEST_SCHEMA_VERSION}"
+        )
+    shards = manifest["shards"]
+    if expected_shards is not None and shards != expected_shards:
+        raise CheckpointError(
+            f"manifest {manifest_path} records {shards} shards but this run "
+            f"was asked for {expected_shards}; resume with the original "
+            f"shard count"
+        )
+    if expected_plan is not None and manifest["plan"] != expected_plan.to_json():
+        raise CheckpointError(
+            f"manifest {manifest_path} was written by a different "
+            f"decomposition ({manifest['plan']}) than this run computes "
+            f"({expected_plan.to_json()})"
+        )
+    for shard in range(shards):
+        if not os.path.exists(_shard_path(path, shard)):
+            raise CheckpointError(
+                f"sharded checkpoint {path} is missing shard file "
+                f"{_shard_path(path, shard)}; refusing to resume with fewer "
+                f"shards than the manifest records"
+            )
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    prefix = os.path.basename(path) + ".shard"
+    for name in sorted(os.listdir(directory)):
+        if not name.startswith(prefix):
+            continue
+        suffix = name[len(prefix):]
+        if suffix.isdigit() and int(suffix) >= shards:
+            raise CheckpointError(
+                f"sharded checkpoint {path} has unexpected extra shard file "
+                f"{os.path.join(directory, name)}; the manifest records "
+                f"{shards} shards"
+            )
+    snaps = []
+    for shard in range(shards):
+        with open(_shard_path(path, shard), "r") as handle:
+            snap = loads(handle.read())
+        if snap["cycle"] != manifest["cycle"]:
+            raise CheckpointError(
+                f"shard file {_shard_path(path, shard)} is at cycle "
+                f"{snap['cycle']} but the manifest records "
+                f"{manifest['cycle']}"
+            )
+        snaps.append(snap)
+    return manifest, snaps
+
+
+def _cleanup_checkpoint_files(path: str, shards: int) -> None:
+    for target in (
+        [path, _manifest_path(path)]
+        + [_shard_path(path, shard) for shard in range(shards)]
+    ):
+        if os.path.exists(target):
+            os.unlink(target)
+
+
+# --- hub --------------------------------------------------------------------------
+
+
+class _Hub:
+    """Barrier coordinator: windows, exchange, checkpoints, merge."""
+
+    def __init__(
+        self,
+        run: ShardedRun,
+        plan: ShardPlan,
+        machine: Machine,
+        trace,
+        use_fastpath: Optional[bool],
+        transport: str,
+        checkpoint_path: Optional[str],
+        checkpoint_every: int,
+        max_cycles: int,
+        timings: Optional[dict] = None,
+        halt_at: Optional[int] = None,
+        profiles: Optional[list] = None,
+    ) -> None:
+        if transport not in ("process", "inline"):
+            raise ValueError(f"unknown shard transport {transport!r}")
+        if profiles is not None and transport != "inline":
+            raise ValueError(
+                "per-shard profiling requires the inline transport"
+            )
+        self.run = run
+        self.plan = plan
+        self.machine = machine
+        self.trace = trace
+        self.use_fastpath = use_fastpath
+        self.transport = transport
+        self.checkpoint_path = (
+            checkpoint_path if checkpoint_path and checkpoint_every > 0 else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.max_cycles = max_cycles
+        owners = component_owners(machine, plan.parts)
+        self._arrival_dest = [owners[c.dst] for c in machine.channels]
+        self._credit_dest = [owners[c.src] for c in machine.channels]
+        self._workers: list = []
+        self._g_counts: Optional[dict] = None
+        #: Optional caller-supplied dict filled with wall-clock phase
+        #: timings (``setup_s``: spawn through every worker ready,
+        #: ``windows_s``: barrier loop through final merge). The
+        #: throughput benchmark separates steady-state simulation rate
+        #: from the per-worker workload-generation cost this way.
+        self._timings = timings
+        #: ``halt_at``: stop right after the checkpoint saved at this
+        #: barrier, leaving the files on disk (``repro checkpoint save
+        #: --shards``). Windows keep advancing past drained engines so
+        #: the save lands at exactly this cycle, mirroring ``run_for``.
+        self._halt_at = halt_at
+        #: ``profiles``: list extended with each inline worker's
+        #: :class:`cProfile.Profile` once the run finishes.
+        self._profiles = profiles
+
+    def run_to_completion(self) -> SimStats:
+        try:
+            return self._run()
+        finally:
+            for worker in self._workers:
+                try:
+                    worker.send(("stop",))
+                except Exception:
+                    pass
+            for worker in self._workers:
+                worker.close()
+
+    def _exchange(self, messages: List[tuple]) -> List[tuple]:
+        for worker, msg in zip(self._workers, messages):
+            worker.send(msg)
+        return [worker.recv_reply() for worker in self._workers]
+
+    def _run(self) -> SimStats:
+        plan = self.plan
+        shards = plan.shards
+        cycle = 0
+        snaps = None
+        resumed = False
+        if self.checkpoint_path:
+            manifest_path = _manifest_path(self.checkpoint_path)
+            if os.path.exists(manifest_path):
+                manifest, snaps = load_sharded_checkpoint(
+                    self.checkpoint_path,
+                    expected_shards=shards,
+                    expected_plan=plan,
+                )
+                cycle = manifest["cycle"]
+                self._g_counts = manifest["resolution_base"]
+                resumed = True
+                if isinstance(self.trace, MetricsCollector) and os.path.exists(
+                    self.checkpoint_path
+                ):
+                    state = load_checkpoint(self.checkpoint_path)["trace"][
+                        "collector"
+                    ]
+                    if state is not None:
+                        self.trace.restore_state(state)
+            elif os.path.exists(self.checkpoint_path):
+                raise CheckpointError(
+                    f"checkpoint {self.checkpoint_path} exists but its sharded "
+                    f"manifest {manifest_path} is missing; cannot resume a "
+                    f"sharded run without per-shard state"
+                )
+        worker_cls = _InlineWorker if self.transport == "inline" else _ProcessWorker
+        t_spawn = time.perf_counter()
+        for shard in range(shards):
+            init = {
+                "shard": shard,
+                "run": self.run,
+                "plan": plan.to_json(),
+                "tracing": self.trace is not None,
+                "use_fastpath": self.use_fastpath,
+                "snapshot": snaps[shard] if snaps is not None else None,
+                "profile": self._profiles is not None,
+            }
+            self._workers.append(worker_cls(init))
+        infos = [reply[1] for reply in
+                 [worker.recv_reply() for worker in self._workers]]
+        t_ready = time.perf_counter()
+        if self._timings is not None:
+            self._timings["setup_s"] = t_ready - t_spawn
+        watchdog = infos[0]["watchdog"]
+        if not resumed:
+            g_counts = infos[0]["g_counts"]
+            for shard, info in enumerate(infos):
+                if info["g_counts"] != g_counts:
+                    raise RuntimeError(
+                        f"shard {shard} generated different resolution "
+                        f"counts than shard 0; workload generation is not "
+                        f"deterministic"
+                    )
+            self._g_counts = g_counts
+
+        pending = [([], []) for _ in range(shards)]
+        last_saved = cycle if resumed else None
+        halted = False
+        while True:
+            replies = self._exchange(
+                [("feed", pending[s][0], pending[s][1]) for s in range(shards)]
+            )
+            pending = [([], []) for _ in range(shards)]
+            reports = [reply[1] for reply in replies]
+            if (
+                all(report["drained"] for report in reports)
+                and self._halt_at is None
+            ):
+                break
+            if cycle >= self.max_cycles:
+                outstanding = sum(
+                    report["queued"] + report["in_network"]
+                    for report in reports
+                )
+                raise RuntimeError(
+                    f"simulation exceeded {self.max_cycles} cycles with "
+                    f"{outstanding} packets outstanding"
+                )
+            in_network = sum(report["in_network"] for report in reports)
+            progress = max(report["last_progress"] for report in reports)
+            if in_network and cycle - progress > watchdog:
+                raise DeadlockError(
+                    f"no progress for {watchdog} cycles at cycle {cycle}; "
+                    f"{in_network} packets stuck in the network"
+                )
+            if (
+                self.checkpoint_path
+                and cycle > 0
+                and cycle % self.checkpoint_every == 0
+                and cycle != last_saved
+            ):
+                self._save(cycle)
+                last_saved = cycle
+                if self._halt_at is not None and cycle >= self._halt_at:
+                    halted = True
+            if halted:
+                break
+            w_end = cycle + plan.lookahead
+            if self.checkpoint_path:
+                next_save = (
+                    cycle // self.checkpoint_every + 1
+                ) * self.checkpoint_every
+                w_end = min(w_end, next_save)
+            w_end = min(w_end, self.max_cycles)
+
+            replies = self._exchange([("run", w_end)] * shards)
+            for shard, reply in enumerate(replies):
+                if reply[0] == "crash":
+                    raise KeyboardInterrupt(
+                        f"simulated crash at cycle {reply[1]} "
+                        f"({CRASH_ENV_VAR}={reply[1]}) in shard {shard}"
+                    )
+            records: list = []
+            for reply in replies:
+                _, packets, credits, shard_records = reply
+                for text in packets:
+                    oc = json.loads(text)["oc"]
+                    pending[self._arrival_dest[oc]][0].append(text)
+                for text in credits:
+                    cid = json.loads(text)["channel"]
+                    pending[self._credit_dest[cid]][1].append(text)
+                records.extend(shard_records)
+            if self.trace is not None and records:
+                records.sort(key=lambda item: (item[0], item[1], item[2]))
+                emit = self.trace.emit
+                for _cycle, _key, _seq, event in records:
+                    emit(event)
+            cycle = w_end
+
+        replies = self._exchange([("finish",)] * shards)
+        merged = replies[0][1]
+        for reply in replies[1:]:
+            merged.merge(reply[1])
+        if self._timings is not None:
+            self._timings["windows_s"] = time.perf_counter() - t_ready
+        if self._profiles is not None:
+            self._profiles.extend(
+                worker.profiler for worker in self._workers
+            )
+        if self.trace is not None:
+            self.trace.flush()
+        if self.checkpoint_path and not halted:
+            _cleanup_checkpoint_files(self.checkpoint_path, shards)
+        return merged
+
+    def _save(self, cycle: int) -> None:
+        replies = self._exchange([("snapshot",)] * self.plan.shards)
+        snaps = [reply[1] for reply in replies]
+        if self.trace is not None:
+            self.trace.flush()
+        data = merge_shard_snapshots(
+            self.plan,
+            self.machine,
+            snaps,
+            trace=self.trace,
+            resolution_base=self._g_counts,
+            cycle=cycle,
+        )
+        _atomic_write(self.checkpoint_path, dumps(data))
+        for shard, snap in enumerate(snaps):
+            _atomic_write(_shard_path(self.checkpoint_path, shard), dumps(snap))
+        manifest = {
+            "kind": "sharded-manifest",
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "shards": self.plan.shards,
+            "cycle": cycle,
+            "plan": self.plan.to_json(),
+            "resolution_base": self._g_counts,
+        }
+        _atomic_write(
+            _manifest_path(self.checkpoint_path),
+            json.dumps(manifest, separators=(",", ":")) + "\n",
+        )
+
+
+# --- entry points -----------------------------------------------------------------
+
+
+def run_sharded(
+    run: ShardedRun,
+    shards: int,
+    machine: Optional[Machine] = None,
+    trace=None,
+    max_cycles: int = 10_000_000,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
+    use_fastpath: Optional[bool] = None,
+    transport: str = "process",
+    timings: Optional[dict] = None,
+    profiles: Optional[list] = None,
+) -> SimStats:
+    """Run one experiment decomposed over ``shards`` sub-boxes.
+
+    ``shards=1`` is the serial engine itself (no hub, no proxies); any
+    other count produces bit-identical stats, trace events, and
+    checkpoint bytes. The retry fault policy is rejected: it re-injects
+    at the packet's original source, which may live in another shard.
+    """
+    if machine is None:
+        machine = Machine(run.config)
+    if shards == 1:
+        return _run_serial(
+            run,
+            machine,
+            trace=trace,
+            max_cycles=max_cycles,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            use_fastpath=use_fastpath,
+        )
+    if run.fault_policy is not None and run.fault_policy.mode == "retry":
+        raise ValueError(
+            "the retry fault policy is not supported in sharded runs: "
+            "re-injection happens at the stranded packet's source, which "
+            "may belong to another shard"
+        )
+    plan = ShardPlan.for_machine(machine, shards)
+    hub = _Hub(
+        run,
+        plan,
+        machine,
+        trace,
+        use_fastpath,
+        transport,
+        checkpoint_path,
+        checkpoint_every,
+        max_cycles,
+        timings=timings,
+        profiles=profiles,
+    )
+    return hub.run_to_completion()
+
+
+def save_sharded_checkpoint(
+    run: ShardedRun,
+    shards: int,
+    cycle: int,
+    path: str,
+    machine: Optional[Machine] = None,
+    trace=None,
+    transport: str = "inline",
+) -> SimStats:
+    """Run to the barrier at ``cycle``, save there, and stop.
+
+    The sharded analogue of ``build -> run_for(cycle) ->
+    save_checkpoint``: the merged checkpoint left at ``path`` is
+    byte-identical to what the serial engine writes at the same cycle
+    (the per-shard ``path.shard<i>`` files and ``path.manifest`` stay on
+    disk too). Returns the merged stats as of the save barrier.
+    """
+    if cycle <= 0:
+        raise ValueError(f"checkpoint cycle must be positive, got {cycle}")
+    if machine is None:
+        machine = Machine(run.config)
+    if shards == 1:
+        raise ValueError(
+            "save_sharded_checkpoint needs shards >= 2; use the serial "
+            "snapshot_engine/save_checkpoint flow for one shard"
+        )
+    if run.fault_policy is not None and run.fault_policy.mode == "retry":
+        raise ValueError(
+            "the retry fault policy is not supported in sharded runs: "
+            "re-injection happens at the stranded packet's source, which "
+            "may belong to another shard"
+        )
+    plan = ShardPlan.for_machine(machine, shards)
+    hub = _Hub(
+        run,
+        plan,
+        machine,
+        trace,
+        None,
+        transport,
+        path,
+        cycle,
+        max_cycles=10_000_000,
+        halt_at=cycle,
+    )
+    return hub.run_to_completion()
+
+
+def _run_serial(
+    run: ShardedRun,
+    machine: Machine,
+    trace=None,
+    max_cycles: int = 10_000_000,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
+    use_fastpath: Optional[bool] = None,
+) -> SimStats:
+    """The 1-shard fallback: the ordinary serial run path, via the same
+    deterministic context builder the shard workers use."""
+    from .simulator import run_engine
+
+    _, route_computer, faults = build_shard_context(run, machine=machine)
+
+    def build() -> Engine:
+        return _build_engine(
+            run,
+            machine,
+            route_computer,
+            faults,
+            trace=trace,
+            use_fastpath=use_fastpath,
+        )
+
+    return run_engine(
+        build,
+        trace=trace,
+        max_cycles=max_cycles,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        use_fastpath=use_fastpath,
+        machine=machine,
+    )

@@ -152,6 +152,7 @@ def build_batch_engine(
     latency_quantiles: bool = False,
     faults=None,
     use_fastpath: Optional[bool] = None,
+    source_filter=None,
 ) -> Engine:
     """Construct a cycle-0 engine with a full batch enqueued.
 
@@ -159,6 +160,12 @@ def build_batch_engine(
     attached, every generated packet in its source queue. Exposed so the
     checkpoint tooling (``repro checkpoint save``, the crash-resume
     tests) can build the exact engine a batch experiment would run.
+
+    ``source_filter`` (a predicate over source component ids) restricts
+    which generated packets are *enqueued*; the full batch is still
+    generated in order, so packet ids and RNG draws are unchanged. The
+    sharded runner uses this to give each shard exactly its local
+    sources while preserving global generation determinism.
     """
     from repro.traffic.batch import generate_batch
     from repro.traffic.loads import compute_loads
@@ -218,6 +225,8 @@ def build_batch_engine(
         use_fastpath=use_fastpath,
     )
     for packet in generate_batch(machine, route_computer, spec):
+        if source_filter is not None and not source_filter(packet.src):
+            continue
         engine.enqueue(packet)
     return engine
 
@@ -290,6 +299,58 @@ def run_batch(
         checkpoint_every=checkpoint_every,
         use_fastpath=use_fastpath,
         machine=machine,
+    )
+
+
+def run_batch_sharded(
+    machine: Machine,
+    spec: "BatchSpec",
+    shards: int = 1,
+    arbitration: str = "rr",
+    weight_patterns: Optional[Sequence["TrafficPattern"]] = None,
+    weight_bits: int = DEFAULT_WEIGHT_BITS,
+    fault_set=None,
+    fault_policy=None,
+    max_cycles: int = 10_000_000,
+    trace=None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
+    use_fastpath: Optional[bool] = None,
+    transport: str = "process",
+) -> SimStats:
+    """Run a batch experiment decomposed over ``shards`` torus sub-boxes.
+
+    Results (stats, trace events, checkpoint bytes) are bit-identical to
+    :func:`run_batch` on the same workload for every shard count;
+    ``shards=1`` *is* the serial path. Unlike :func:`run_batch`, fault
+    injection is specified by ``fault_set``/``fault_policy`` rather than
+    a pre-built runtime, because each shard process rebuilds its own
+    deterministic fault-aware route computer. See
+    :mod:`repro.sim.shard` for the synchronization protocol.
+    """
+    from .shard import ShardedRun, run_sharded
+
+    run = ShardedRun(
+        config=machine.config,
+        spec=spec,
+        arbitration=arbitration,
+        weight_patterns=(
+            tuple(weight_patterns) if weight_patterns is not None else ()
+        ),
+        weight_bits=weight_bits,
+        fault_set=fault_set,
+        fault_policy=fault_policy,
+    )
+    return run_sharded(
+        run,
+        shards,
+        machine=machine,
+        trace=trace,
+        max_cycles=max_cycles,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        use_fastpath=use_fastpath,
+        transport=transport,
     )
 
 

@@ -176,6 +176,9 @@ class SimStats:
         Unlike raw ``dataclasses.asdict``, the streaming estimator is
         rendered as its serialized state, so the result survives JSON (or
         pickling across the sweep runner's process boundary) losslessly.
+        Per-id dicts are emitted sorted by key so the rendering is a pure
+        function of the counts -- independent of first-touch order, and
+        therefore identical between a serial run and a shard-merged one.
         """
         out = {
             field.name: getattr(self, field.name)
@@ -183,7 +186,8 @@ class SimStats:
             if field.name != "latency_estimator"
         }
         for name in _COUNTER_DICT_FIELDS + ("source_finish_cycle",):
-            out[name] = dict(out[name])
+            src = out[name]
+            out[name] = {key: src[key] for key in sorted(src)}
         out["packet_latencies"] = list(out["packet_latencies"])
         out["latency_estimator"] = (
             None if self.latency_estimator is None

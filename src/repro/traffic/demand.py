@@ -651,6 +651,7 @@ def build_demand_engine(
     latency_quantiles: bool = False,
     faults=None,
     use_fastpath: Optional[bool] = None,
+    source_filter=None,
 ):
     """Construct a cycle-0 engine with a full demand workload enqueued.
 
@@ -727,6 +728,8 @@ def build_demand_engine(
         use_fastpath=use_fastpath,
     )
     for packet in generate_demand(machine, route_computer, spec):
+        if source_filter is not None and not source_filter(packet.src):
+            continue
         engine.enqueue(packet)
     return engine
 

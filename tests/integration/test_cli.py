@@ -302,3 +302,86 @@ class TestFaultsCommand:
         out = capsys.readouterr().out
         assert "delivered" in out
         assert "(2 fault events)" in out
+
+
+class TestShardedCli:
+    """The --shards surface: run, trace --golden, checkpoint save, and
+    profile all route through the sharded runner and must agree with
+    their serial counterparts."""
+
+    def test_run_sharded_matches_serial_summary(self, capsys):
+        args = [
+            "run", "--shape", "2x2x2", "--endpoints", "2",
+            "--batch", "4", "--cores", "2", "--seed", "7",
+        ]
+        assert main(args + ["--shards", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--shards", "2", "--transport", "inline"]) == 0
+        sharded = capsys.readouterr().out
+        # Same delivered/injected/cycle counts; only the wall-clock
+        # parenthetical and the shards= label may differ.
+        assert serial.split(":", 1)[1].split("(")[0] == \
+            sharded.split(":", 1)[1].split("(")[0]
+        assert "shards=2" in sharded
+
+    def test_golden_regenerates_sharded(self, tmp_path):
+        from repro.sim.goldens import committed_golden_path
+
+        out_path = tmp_path / "golden.jsonl"
+        code = main(
+            ["trace", "--golden", "uniform_2x2x2", "--shards", "2",
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        assert (
+            out_path.read_text()
+            == committed_golden_path("uniform_2x2x2").read_text()
+        )
+
+    def test_unshardable_golden_rejected(self, tmp_path, capsys):
+        code = main(
+            ["trace", "--golden", "pingpong_2x2x2", "--shards", "2",
+             "--out", str(tmp_path / "x.jsonl")]
+        )
+        assert code == 2
+        assert "cannot run sharded" in capsys.readouterr().err
+
+    def test_shards_require_golden_mode(self, tmp_path, capsys):
+        code = main(
+            ["trace", "--shape", "2x2x2", "--endpoints", "2", "--shards",
+             "2", "--out", str(tmp_path / "x.jsonl")]
+        )
+        assert code == 2
+        assert "--golden" in capsys.readouterr().err
+
+    def test_checkpoint_save_sharded_matches_golden(self, tmp_path, capsys):
+        import pathlib
+
+        out_path = tmp_path / "ck.json"
+        code = main(
+            [
+                "checkpoint", "save", "--shape", "2x2x2", "--endpoints",
+                "2", "--pattern", "uniform", "--batch", "8", "--cores",
+                "2", "--arbitration", "rr", "--seed", "3", "--cycles",
+                "40", "--shards", "2", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        golden = pathlib.Path("tests/golden/checkpoint_uniform_2x2x2.json")
+        assert out_path.read_bytes() == golden.read_bytes()
+        assert "cycle 40" in capsys.readouterr().err
+
+    def test_profile_sharded_prints_merged_table(self, capsys):
+        args = [
+            "profile", "--shape", "2x2x2", "--endpoints", "2",
+            "--cores", "2", "--batch", "8", "--top", "12", "--shards", "2",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "shards=2" in out
+        assert "ncalls" in out
+        assert "sim/engine.py" in out
+        assert len(out.strip().splitlines()) == 15
+        # Deterministic across invocations, like the serial table.
+        assert main(args) == 0
+        assert capsys.readouterr().out == out

@@ -1,0 +1,240 @@
+"""Sharded checkpointing: manifest validation, byte-identity, crash-resume.
+
+The hub writes three kinds of file at a checkpoint barrier: the merged
+serial-format checkpoint at ``path`` (byte-identical to what the serial
+engine would have written at the same cycle), per-shard snapshots at
+``path.shard<i>``, and a ``path.manifest`` index. These tests pin the
+byte contract, the manifest error paths (missing/extra shard files must
+raise :class:`CheckpointError` naming the offending file), and the
+full kill-one-worker-and-resume loop.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.sim.checkpoint import CRASH_ENV_VAR, CheckpointError
+from repro.sim.metrics import MetricsCollector
+from repro.sim.shard import (
+    CRASH_SHARD_ENV_VAR,
+    ShardPlan,
+    ShardedRun,
+    load_sharded_checkpoint,
+    run_sharded,
+)
+
+CONFIG = MachineConfig(shape=(2, 2, 2), endpoints_per_chip=2)
+EVERY = 16
+CRASH_AT = 32
+
+
+def _run():
+    from repro.traffic.batch import BatchSpec
+    from repro.traffic.patterns import UniformRandom
+
+    return ShardedRun(
+        config=CONFIG,
+        spec=BatchSpec(
+            UniformRandom((2, 2, 2)),
+            packets_per_source=6,
+            cores_per_chip=2,
+            seed=9,
+        ),
+    )
+
+
+def _crash_sharded(tmp_path, monkeypatch, shard="1", name="ck.json", trace=None):
+    """Run sharded until the simulated crash; returns the checkpoint path."""
+    path = str(tmp_path / name)
+    monkeypatch.setenv(CRASH_ENV_VAR, str(CRASH_AT))
+    monkeypatch.setenv(CRASH_SHARD_ENV_VAR, shard)
+    with pytest.raises(KeyboardInterrupt, match=f"in shard {shard}"):
+        run_sharded(
+            _run(),
+            2,
+            trace=trace,
+            checkpoint_path=path,
+            checkpoint_every=EVERY,
+            transport="inline",
+        )
+    monkeypatch.delenv(CRASH_ENV_VAR)
+    monkeypatch.delenv(CRASH_SHARD_ENV_VAR)
+    assert os.path.exists(path)
+    assert os.path.exists(path + ".manifest")
+    assert os.path.exists(path + ".shard0")
+    assert os.path.exists(path + ".shard1")
+    return path
+
+
+def test_run_long_enough_for_crash():
+    # Guard for the module's constants: the workload must still have
+    # work at CRASH_AT or the crash tests silently test nothing.
+    stats = run_sharded(_run(), 1)
+    assert stats.end_cycle > CRASH_AT + EVERY
+
+
+def test_merged_checkpoint_bytes_match_serial_oracle(tmp_path, monkeypatch):
+    sharded_path = _crash_sharded(tmp_path, monkeypatch)
+
+    serial_path = str(tmp_path / "serial.json")
+    monkeypatch.setenv(CRASH_ENV_VAR, str(CRASH_AT))
+    with pytest.raises(KeyboardInterrupt):
+        run_sharded(
+            _run(),
+            1,
+            checkpoint_path=serial_path,
+            checkpoint_every=EVERY,
+        )
+    monkeypatch.delenv(CRASH_ENV_VAR)
+
+    with open(sharded_path, "rb") as f:
+        sharded_bytes = f.read()
+    with open(serial_path, "rb") as f:
+        serial_bytes = f.read()
+    assert sharded_bytes == serial_bytes
+
+
+def test_crash_resume_bit_identical(tmp_path, monkeypatch):
+    clean = MetricsCollector(window_cycles=16)
+    expect = run_sharded(_run(), 2, trace=clean, transport="inline")
+
+    # The interrupted run carries its own collector: its reducer state
+    # rides the materialized checkpoint, and the resumed run's (fresh)
+    # collector is restored from it -- the serial resume contract.
+    path = _crash_sharded(
+        tmp_path, monkeypatch, trace=MetricsCollector(window_cycles=16)
+    )
+    resumed_collector = MetricsCollector(window_cycles=16)
+    stats = run_sharded(
+        _run(),
+        2,
+        trace=resumed_collector,
+        checkpoint_path=path,
+        checkpoint_every=EVERY,
+        transport="inline",
+    )
+    assert json.dumps(stats.asdict()) == json.dumps(expect.asdict())
+    assert resumed_collector.state() == clean.state()
+    # Completion removes every checkpoint artifact.
+    for suffix in ("", ".manifest", ".shard0", ".shard1"):
+        assert not os.path.exists(path + suffix)
+
+
+def test_crash_in_shard_zero(tmp_path, monkeypatch):
+    path = _crash_sharded(tmp_path, monkeypatch, shard="0")
+    stats = run_sharded(
+        _run(),
+        2,
+        checkpoint_path=path,
+        checkpoint_every=EVERY,
+        transport="inline",
+    )
+    expect = run_sharded(_run(), 1)
+    assert json.dumps(stats.asdict()) == json.dumps(expect.asdict())
+
+
+def test_missing_shard_file_names_the_shard(tmp_path, monkeypatch):
+    path = _crash_sharded(tmp_path, monkeypatch)
+    os.unlink(path + ".shard1")
+    with pytest.raises(CheckpointError, match=r"shard1"):
+        load_sharded_checkpoint(path)
+    # The full runner surfaces the same error.
+    with pytest.raises(CheckpointError, match=r"shard1"):
+        run_sharded(
+            _run(),
+            2,
+            checkpoint_path=path,
+            checkpoint_every=EVERY,
+            transport="inline",
+        )
+
+
+def test_extra_shard_file_rejected(tmp_path, monkeypatch):
+    path = _crash_sharded(tmp_path, monkeypatch)
+    with open(path + ".shard2", "w") as f:
+        f.write("{}")
+    with pytest.raises(CheckpointError, match=r"shard2"):
+        load_sharded_checkpoint(path)
+
+
+def test_checkpoint_without_manifest_rejected(tmp_path, monkeypatch):
+    path = _crash_sharded(tmp_path, monkeypatch)
+    os.unlink(path + ".manifest")
+    with pytest.raises(CheckpointError, match="manifest"):
+        run_sharded(
+            _run(),
+            2,
+            checkpoint_path=path,
+            checkpoint_every=EVERY,
+            transport="inline",
+        )
+
+
+def test_manifest_shard_count_mismatch(tmp_path, monkeypatch):
+    path = _crash_sharded(tmp_path, monkeypatch)
+    with pytest.raises(CheckpointError):
+        load_sharded_checkpoint(path, expected_shards=4)
+
+
+def test_manifest_plan_mismatch(tmp_path, monkeypatch):
+    from repro.core.machine import Machine
+
+    path = _crash_sharded(tmp_path, monkeypatch)
+    other = ShardPlan.for_machine(Machine(CONFIG), 4)
+    with pytest.raises(CheckpointError):
+        load_sharded_checkpoint(path, expected_plan=other)
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_save_sharded_checkpoint_matches_committed_golden(tmp_path, shards):
+    """The golden checkpoint recipe, halted at cycle 40 by the sharded
+    runner, must reproduce the committed serial golden byte for byte --
+    the hook CI's ``repro checkpoint save --shards`` leg relies on."""
+    import pathlib
+
+    from repro.sim.shard import save_sharded_checkpoint
+    from repro.traffic.batch import BatchSpec
+    from repro.traffic.patterns import UniformRandom
+
+    run = ShardedRun(
+        config=CONFIG,
+        spec=BatchSpec(
+            UniformRandom((2, 2, 2)),
+            packets_per_source=8,
+            cores_per_chip=2,
+            seed=3,
+        ),
+    )
+    out = str(tmp_path / "golden.json")
+    stats = save_sharded_checkpoint(run, shards, 40, out)
+    assert stats.end_cycle == 40
+    golden = pathlib.Path("tests/golden/checkpoint_uniform_2x2x2.json")
+    assert pathlib.Path(out).read_bytes() == golden.read_bytes()
+
+
+def test_process_transport_crash_resume(tmp_path, monkeypatch):
+    """Kill an actual worker process mid-window and resume."""
+    path = str(tmp_path / "ck.json")
+    monkeypatch.setenv(CRASH_ENV_VAR, str(CRASH_AT))
+    monkeypatch.setenv(CRASH_SHARD_ENV_VAR, "1")
+    with pytest.raises(KeyboardInterrupt):
+        run_sharded(
+            _run(),
+            2,
+            checkpoint_path=path,
+            checkpoint_every=EVERY,
+            transport="process",
+        )
+    monkeypatch.delenv(CRASH_ENV_VAR)
+    monkeypatch.delenv(CRASH_SHARD_ENV_VAR)
+    stats = run_sharded(
+        _run(),
+        2,
+        checkpoint_path=path,
+        checkpoint_every=EVERY,
+        transport="process",
+    )
+    expect = run_sharded(_run(), 1)
+    assert json.dumps(stats.asdict()) == json.dumps(expect.asdict())

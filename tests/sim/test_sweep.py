@@ -301,6 +301,44 @@ class TestDefaultWorkers:
         assert 1 <= default_workers() <= 4
 
 
+class TestWorkerEnvPinning:
+    """REPRO_SWEEP_WORKERS must flow through ``run_sweep`` end to end:
+    the env decides serial-vs-pool when ``max_workers`` is omitted, and
+    either route returns the same measured bytes -- the contract the CI
+    smoke sweep and the benchmarks rely on."""
+
+    def test_env_one_forces_in_process_execution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "1")
+        results = run_sweep(_points())
+        assert all(r.worker_pid == os.getpid() for r in results)
+
+    def test_env_pool_runs_out_of_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "2")
+        results = run_sweep(_points())
+        assert all(r.worker_pid != os.getpid() for r in results)
+
+    def test_env_serial_and_env_pool_results_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "1")
+        serial = run_sweep(_points())
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "2")
+        pooled = run_sweep(_points())
+        for s, p in zip(serial, pooled):
+            measured_s = dataclasses.asdict(s.value)
+            measured_p = dataclasses.asdict(p.value)
+            measured_s.pop("wall_seconds")
+            measured_p.pop("wall_seconds")
+            assert measured_s == measured_p
+
+    def test_explicit_max_workers_overrides_env(self, monkeypatch):
+        # An explicit kwarg wins over the env in both directions.
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "2")
+        results = run_sweep(_points(), max_workers=1)
+        assert all(r.worker_pid == os.getpid() for r in results)
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "1")
+        results = run_sweep(_points(), max_workers=2)
+        assert all(r.worker_pid != os.getpid() for r in results)
+
+
 class TestSharedMachine:
     def test_cached_per_config(self):
         config = MachineConfig(shape=(2, 2, 2), endpoints_per_chip=2)
