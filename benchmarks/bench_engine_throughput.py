@@ -168,6 +168,23 @@ def _uniform_8x8x8_sat() -> Tuple[Callable[[], Engine], List]:
     return (lambda: Engine(machine)), packets
 
 
+def _uniform_mesh_6x6_sat() -> Tuple[Callable[[], Engine], List]:
+    from repro.traffic.patterns import UniformRandom
+
+    machine = Machine(
+        MachineConfig(shape=(6, 6), endpoints_per_chip=2, topology="mesh")
+    )
+    routes = RouteComputer(machine)
+    spec = BatchSpec(
+        UniformRandom(machine.config.shape),
+        packets_per_source=32,
+        cores_per_chip=2,
+        seed=6,
+    )
+    packets = generate_batch(machine, routes, spec)
+    return (lambda: Engine(machine)), packets
+
+
 def _demand_4x4x2_hotspot() -> Tuple[Callable[[], Engine], List]:
     from repro.traffic.demand import (
         DemandMatrix,
@@ -218,6 +235,13 @@ CONFIGS: Dict[str, Tuple[Callable, str]] = {
     "demand_4x4x2_hotspot": (
         _demand_4x4x2_hotspot,
         "open-loop hotspot demand r0.6, 2 epochs x64 cycles, 4x4x2, rr",
+    ),
+    # Absent from BENCH_engine.json on purpose: check_against ignores
+    # configs present on only one side, so this leg measures the mesh
+    # topology without perturbing the committed torus baseline.
+    "uniform_mesh_6x6_sat": (
+        _uniform_mesh_6x6_sat,
+        "uniform batch x32, 6x6 standalone mesh, rr (line-dimension leg)",
     ),
 }
 

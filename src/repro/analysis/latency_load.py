@@ -44,10 +44,10 @@ class LatencyLoadPoint:
 
 def saturation_rate(machine: Machine, table: LoadTable) -> float:
     """Per-source injection rate (packets/cycle) that saturates the
-    busiest torus channel."""
+    busiest inter-node channel."""
     bottleneck = table.max_torus_load(machine) * machine.config.torus_cycles_per_flit
     if bottleneck <= 0:
-        raise ValueError("pattern places no load on the torus")
+        raise ValueError("pattern places no load on any inter-node channel")
     return 1.0 / bottleneck
 
 

@@ -41,10 +41,12 @@ from repro.core.routing import RouteChoice, RouteComputer
 
 
 def parse_shape(text: str):
-    """Parse '8x2x2' into a torus shape tuple."""
+    """Parse '8x2x2' (or '4x4' for a two-axis topology) into a shape tuple."""
     parts = text.lower().split("x")
-    if len(parts) != 3:
-        raise argparse.ArgumentTypeError(f"shape must be KxKxK, got {text!r}")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"shape must be KxKxK (torus) or KxK (mesh/chiplet), got {text!r}"
+        )
     try:
         return tuple(int(p) for p in parts)
     except ValueError as exc:
@@ -68,7 +70,11 @@ def parse_endpoint(text: str):
 
 def _machine(args) -> Machine:
     return Machine(
-        MachineConfig(shape=args.shape, endpoints_per_chip=args.endpoints)
+        MachineConfig(
+            shape=args.shape,
+            endpoints_per_chip=args.endpoints,
+            topology=getattr(args, "topology", "torus"),
+        )
     )
 
 
@@ -81,6 +87,10 @@ def _pattern_factories(shape):
 #: Literal mirror of :data:`repro.traffic.patterns.PATTERN_NAMES` --
 #: keeping the parser import-free costs a tuple; a test pins the sync.
 PATTERN_CHOICES = ("uniform", "1hop", "2hop", "tornado", "reverse-tornado")
+
+#: Literal mirror of :data:`repro.core.topology.TOPOLOGY_NAMES` (same
+#: import-free-parser rationale; a test pins the sync).
+TOPOLOGY_CHOICES = ("torus", "mesh", "chiplet")
 
 
 def _batch_trace_meta(machine, args, pattern) -> dict:
@@ -95,7 +105,8 @@ def _batch_trace_meta(machine, args, pattern) -> dict:
     reads them to reconstruct the engine configuration -- in particular
     the ``iw`` weight tables -- from the trace alone.
     """
-    return {
+    topology = machine.config.topology
+    meta = {
         "shape": list(machine.config.shape),
         "endpoints": args.endpoints,
         "tpc": machine.ticks_per_cycle,
@@ -107,6 +118,12 @@ def _batch_trace_meta(machine, args, pattern) -> dict:
         "workload": f"batch {pattern.name} x{args.batch} "
         f"{args.arbitration} seed{args.seed}",
     }
+    # Only non-default topologies annotate the header, so every existing
+    # torus trace (goldens included) keeps its exact bytes.
+    if topology != "torus":
+        meta["topology"] = topology
+        meta["workload"] += f" topology={topology}"
+    return meta
 
 
 def _batch_end_record(stats, events_written: int, faulted: bool) -> dict:
@@ -225,7 +242,7 @@ def _checkpointed_trace_writer(args, trace_meta):
 def cmd_info(args) -> int:
     machine = _machine(args)
     print(machine.describe())
-    print(Packaging(args.shape).summary())
+    print(Packaging(machine.config.shape).summary())
     return 0
 
 
@@ -267,17 +284,27 @@ def cmd_search(args) -> int:
     return 0
 
 
+def _default_validation_shape(topology: str):
+    """Small per-topology default shape for the verification commands."""
+    return {"torus": (3, 3, 3), "mesh": (3, 3), "chiplet": (2, 2)}[topology]
+
+
 def cmd_deadlock(args) -> int:
     from repro.core import deadlock
 
+    shape = args.shape or _default_validation_shape(args.topology)
     machine = Machine(
         MachineConfig(
-            shape=args.shape, endpoints_per_chip=1, vc_scheme=args.scheme
+            shape=shape,
+            endpoints_per_chip=1,
+            vc_scheme=args.scheme,
+            topology=args.topology,
         )
     )
     report = deadlock.analyze(machine, RouteComputer(machine))
     print(
-        f"scheme={args.scheme} shape={args.shape}: "
+        f"scheme={args.scheme} topology={args.topology} "
+        f"shape={machine.topology.shape_str()}: "
         f"deadlock_free={report.deadlock_free} "
         f"T-VCs={sorted(report.t_vcs_used)} M-VCs={sorted(report.m_vcs_used)} "
         f"routes={report.routes}"
@@ -298,12 +325,13 @@ def cmd_throughput(args) -> int:
 
     machine = _machine(args)
     routes = RouteComputer(machine)
+    shape = machine.config.shape  # normalized 3-tuple, not the raw arg
     patterns = {
-        "uniform": lambda: UniformRandom(args.shape),
-        "2hop": lambda: NHopNeighbor(args.shape, 2),
-        "1hop": lambda: NHopNeighbor(args.shape, 1),
-        "tornado": lambda: Tornado(args.shape),
-        "reverse-tornado": lambda: ReverseTornado(args.shape),
+        "uniform": lambda: UniformRandom(shape),
+        "2hop": lambda: NHopNeighbor(shape, 2),
+        "1hop": lambda: NHopNeighbor(shape, 1),
+        "tornado": lambda: Tornado(shape),
+        "reverse-tornado": lambda: ReverseTornado(shape),
     }
     pattern = patterns[args.pattern]()
     point = measure_batch(
@@ -333,7 +361,7 @@ def cmd_run(args) -> int:
     from repro.traffic.batch import BatchSpec
 
     machine = _machine(args)
-    pattern = _pattern_factories(args.shape)[args.pattern]()
+    pattern = _pattern_factories(machine.config.shape)[args.pattern]()
     spec = BatchSpec(
         pattern,
         packets_per_source=args.batch,
@@ -428,12 +456,13 @@ def cmd_trace(args) -> int:
 
     machine = _machine(args)
     routes = RouteComputer(machine)
+    shape = machine.config.shape  # normalized 3-tuple, not the raw arg
     patterns = {
-        "uniform": lambda: UniformRandom(args.shape),
-        "2hop": lambda: NHopNeighbor(args.shape, 2),
-        "1hop": lambda: NHopNeighbor(args.shape, 1),
-        "tornado": lambda: Tornado(args.shape),
-        "reverse-tornado": lambda: ReverseTornado(args.shape),
+        "uniform": lambda: UniformRandom(shape),
+        "2hop": lambda: NHopNeighbor(shape, 2),
+        "1hop": lambda: NHopNeighbor(shape, 1),
+        "tornado": lambda: Tornado(shape),
+        "reverse-tornado": lambda: ReverseTornado(shape),
     }
     pattern = patterns[args.pattern]()
     collector = MetricsCollector(window_cycles=args.window)
@@ -686,8 +715,13 @@ def _load_fault_set(args):
         raise ValueError(
             f"{args.fault_file} records no machine shape; pass --shape"
         )
+    topology = getattr(args, "topology", None) or fault_set.topology
     machine = Machine(
-        MachineConfig(shape=tuple(shape), endpoints_per_chip=args.endpoints)
+        MachineConfig(
+            shape=tuple(shape),
+            endpoints_per_chip=args.endpoints,
+            topology=topology,
+        )
     )
     fault_set.validate(machine)
     return machine, fault_set
@@ -720,9 +754,52 @@ def cmd_faults_sample(args) -> int:
     return 0
 
 
+def _validate_topology(args) -> int:
+    """Mechanical deadlock-freedom proof for one registered topology.
+
+    ``repro faults validate --topology NAME`` (no fault file) runs the
+    full bar every shipped topology must clear: the healthy machine's
+    (channel, VC) dependency graph is acyclic, and it stays acyclic --
+    with no pair unroutable -- under every possible single inter-node
+    link failure.
+    """
+    from repro.core import deadlock
+    from repro.faults.verify import verify_single_link_failures
+
+    shape = args.shape or _default_validation_shape(args.topology)
+    machine = Machine(
+        MachineConfig(shape=shape, endpoints_per_chip=1, topology=args.topology)
+    )
+    report = deadlock.analyze(machine, RouteComputer(machine))
+    print(
+        f"topology={args.topology} shape={machine.topology.shape_str()}: "
+        f"healthy dependency graph "
+        f"{'acyclic (deadlock-free)' if report.deadlock_free else 'CYCLIC'} "
+        f"over {report.routes} routes "
+        f"(T-VCs={sorted(report.t_vcs_used)} M-VCs={sorted(report.m_vcs_used)})"
+    )
+    if not report.deadlock_free:
+        print("cycle:", deadlock.describe_cycle(machine, report.cycle),
+              file=sys.stderr)
+        return 1
+    sweep = verify_single_link_failures(machine)
+    dead = sum(sweep.unroutable.values())
+    print(
+        f"single-link sweep: {sweep.checked} inter-node link failure(s), "
+        f"{'all degraded graphs acyclic' if sweep.all_acyclic else 'CYCLIC: ' + str(sweep.cyclic)}, "
+        f"{dead} unroutable request(s), "
+        f"{len(sweep.escalations)} link(s) needed escalation beyond re-pick"
+    )
+    return 0 if sweep.all_acyclic and not dead else 1
+
+
 def cmd_faults_validate(args) -> int:
     from repro.faults import FaultAwareRouteComputer, degraded_report
 
+    if args.fault_file is None:
+        if args.topology is None:
+            args.topology = "torus"
+        return _validate_topology(args)
     machine, fault_set = _load_fault_set(args)
     failed = fault_set.all_channels(machine)
     print(
@@ -1090,7 +1167,7 @@ def cmd_profile(args) -> int:
 
     machine = _machine(args)
     routes = RouteComputer(machine)
-    pattern = _pattern_factories(args.shape)[args.pattern]()
+    pattern = _pattern_factories(machine.config.shape)[args.pattern]()
     spec = BatchSpec(
         pattern,
         packets_per_source=args.batch,
@@ -1209,9 +1286,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_topology_arg(p):
+        p.add_argument(
+            "--topology",
+            default="torus",
+            choices=list(TOPOLOGY_CHOICES),
+            help="inter-node topology (default: torus; mesh and chiplet "
+                 "take KxK shapes)",
+        )
+
     def add_machine_args(p, endpoints=4):
         p.add_argument("--shape", type=parse_shape, default=(4, 4, 4))
         p.add_argument("--endpoints", type=int, default=endpoints)
+        add_topology_arg(p)
 
     p = sub.add_parser("info", help="machine and packaging summary")
     add_machine_args(p)
@@ -1229,10 +1316,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("deadlock", help="Section 2.5 dependency check")
-    p.add_argument("--shape", type=parse_shape, default=(3, 3, 3))
+    p.add_argument("--shape", type=parse_shape, default=None,
+                   help="machine shape (default: 3x3x3 torus, 3x3 mesh, "
+                        "2x2 chiplet)")
     p.add_argument(
         "--scheme", default="anton", choices=["anton", "baseline", "unsafe-single"]
     )
+    add_topology_arg(p)
     p.set_defaults(func=cmd_deadlock)
 
     p = sub.add_parser("throughput", help="one batch-throughput point")
@@ -1454,11 +1544,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="output JSON path ('-' for stdout)")
     fp.set_defaults(func=cmd_faults_sample)
 
-    fp = fsub.add_parser("validate", help="check a fault set against a machine")
-    fp.add_argument("fault_file", help="fault-set JSON file")
+    fp = fsub.add_parser(
+        "validate",
+        help="check a fault set against a machine, or (with no fault "
+             "file) mechanically verify a topology's deadlock freedom",
+    )
+    fp.add_argument("fault_file", nargs="?", default=None,
+                    help="fault-set JSON file; omit to run the topology "
+                         "deadlock + single-link-failure verification")
     fp.add_argument("--shape", type=parse_shape, default=None,
-                    help="override the machine shape (default: the file's)")
+                    help="override the machine shape (default: the "
+                         "file's, or a small per-topology default)")
     fp.add_argument("--endpoints", type=int, default=2)
+    fp.add_argument("--topology", default=None,
+                    choices=list(TOPOLOGY_CHOICES),
+                    help="inter-node topology (default: the fault "
+                         "file's, else torus)")
     fp.add_argument("--check-routes", action="store_true",
                     help="resolve every degraded route; fail on unroutable")
     fp.add_argument("--check-deadlock", action="store_true",
@@ -1470,6 +1571,9 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--shape", type=parse_shape, default=None,
                     help="override the machine shape (default: the file's)")
     fp.add_argument("--endpoints", type=int, default=2)
+    fp.add_argument("--topology", default=None,
+                    choices=list(TOPOLOGY_CHOICES),
+                    help="inter-node topology (default: the fault file's)")
     fp.add_argument(
         "--pattern", default="uniform", choices=list(PATTERN_CHOICES)
     )

@@ -215,21 +215,31 @@ def dateline_hop_index(src: int, delta: int, radix: int) -> int:
     return -1
 
 
-def validate_shape(shape: Sequence[int], max_radix: int = 16) -> Coord3:
-    """Validate a torus shape tuple and return it as a 3-tuple.
+def validate_shape(
+    shape: Sequence[int], max_radix: int = 16, num_dims: int = 3
+) -> Coord3:
+    """Validate a machine shape and return it as a normalized 3-tuple.
 
-    Every radix must be at least 1 and at most ``max_radix`` (the paper's
-    maximum machine is 16 x 16 x 16).
+    ``num_dims`` is the number of axes the caller's topology exposes
+    (3 for the torus, 2 for the planar topologies); shorter shapes are
+    padded with degenerate radix-1 dimensions so every coordinate in the
+    system stays a 3-tuple. Every radix must be at least 1 and at most
+    ``max_radix`` (the paper's maximum machine is 16 x 16 x 16; other
+    topologies may impose tighter caps).
     """
-    if len(shape) != 3:
-        raise ValueError(f"torus shape must have 3 dimensions, got {shape!r}")
-    x, y, z = (int(k) for k in shape)
-    for k in (x, y, z):
+    if not 1 <= num_dims <= 3:
+        raise ValueError(f"num_dims must be in [1, 3], got {num_dims}")
+    if len(shape) != num_dims:
+        raise ValueError(
+            f"shape must have {num_dims} dimension(s), got {tuple(shape)!r}"
+        )
+    radices = tuple(int(k) for k in shape)
+    for k in radices:
         if not 1 <= k <= max_radix:
             raise ValueError(
-                f"torus radix must be in [1, {max_radix}], got shape {shape!r}"
+                f"radix must be in [1, {max_radix}], got shape {tuple(shape)!r}"
             )
-    return (x, y, z)
+    return radices + (1,) * (3 - num_dims)
 
 
 def all_coords(shape: Coord3) -> Iterator[Coord3]:

@@ -36,8 +36,8 @@ from .geometry import (
     TORUS_DIRECTIONS,
     TorusDirection,
     all_coords,
-    validate_shape,
 )
+from .topology import Topology, make_topology
 
 
 class ComponentKind(enum.IntEnum):
@@ -162,7 +162,10 @@ class MachineConfig:
     substitutions.
     """
 
-    #: Torus radices (k_X, k_Y, k_Z). The paper's machine is (8, 8, 8).
+    #: Machine radices. For the default torus topology these are the
+    #: torus radices (k_X, k_Y, k_Z); the paper's machine is (8, 8, 8).
+    #: Two-axis topologies (``mesh``, ``chiplet``) accept a 2-tuple and
+    #: normalize it to ``(k_X, k_Y, 1)``.
     shape: Coord3 = (4, 4, 4)
     #: Endpoint adapters instantiated per chip (the real chip has 23; small
     #: simulations reduce this since idle endpoints only cost memory).
@@ -196,9 +199,16 @@ class MachineConfig:
     #: one-cycle-per-hop abstraction used by the throughput experiments;
     #: latency-focused studies can set it to the four router stages.
     router_pipeline_cycles: int = 0
+    #: Inter-node topology name (:data:`repro.core.topology.TOPOLOGIES`):
+    #: ``"torus"`` (the default; the paper's machine), ``"mesh"`` (a
+    #: standalone 2D mesh, no datelines), or ``"chiplet"`` (chiplets on
+    #: an interposer).
+    topology: str = "torus"
 
     def __post_init__(self) -> None:
-        validate_shape(self.shape, params.MAX_TORUS_RADIX)
+        # Building the topology validates (and normalizes) the shape.
+        topo = make_topology(self.topology, self.shape)
+        object.__setattr__(self, "shape", topo.shape)
         if self.vc_scheme not in ("anton", "baseline", "unsafe-single"):
             raise ValueError(f"unknown vc_scheme {self.vc_scheme!r}")
         if not 1 <= self.num_classes <= params.NUM_TRAFFIC_CLASSES:
@@ -247,6 +257,10 @@ class MachineConfig:
         kx, ky, kz = self.shape
         return kx * ky * kz
 
+    def make_topology(self) -> Topology:
+        """Instantiate this configuration's :class:`Topology`."""
+        return make_topology(self.topology, self.shape)
+
 
 class Machine:
     """A fully elaborated Anton 2 machine (component/channel graph)."""
@@ -257,6 +271,8 @@ class Machine:
         floorplan: Optional[ChipFloorplan] = None,
     ) -> None:
         self.config = config or MachineConfig()
+        #: The inter-node :class:`Topology` (torus by default).
+        self.topology: Topology = self.config.make_topology()
         self.floorplan = floorplan or default_floorplan(
             num_endpoints=self.config.endpoints_per_chip
         )
@@ -296,13 +312,21 @@ class Machine:
         self.components.append(Component(cid, kind, chip, detail))
         return cid
 
-    def _add_channel(self, src: int, dst: int, kind: ChannelKind, latency: int) -> int:
+    def _add_channel(
+        self,
+        src: int,
+        dst: int,
+        kind: ChannelKind,
+        latency: int,
+        cycles_per_flit: Optional[Fraction] = None,
+    ) -> int:
         cid = len(self.channels)
-        cycles_per_flit = (
-            self.config.torus_cycles_per_flit
-            if kind == ChannelKind.TORUS
-            else Fraction(1)
-        )
+        if cycles_per_flit is None:
+            cycles_per_flit = (
+                self.config.torus_cycles_per_flit
+                if kind == ChannelKind.TORUS
+                else Fraction(1)
+            )
         channel = Channel(cid, src, dst, kind, group_of(kind), latency, cycles_per_flit)
         self.channels.append(channel)
         key = (src, dst)
@@ -365,18 +389,31 @@ class Machine:
                     endpoint, router, ChannelKind.EP_TO_ROUTER, cfg.adapter_link_latency
                 )
 
-        # Inter-node torus channels. A packet departing chip c in direction
-        # d arrives at the neighbor's adapter for the opposite direction.
+        # Inter-node channels. A packet departing chip c in direction d
+        # arrives at the neighbor's adapter for the opposite direction. The
+        # topology decides which links exist (a torus dimension wraps; a
+        # mesh/chiplet line has no edge-wrapping link) and what the channel
+        # costs (torus cable vs. interposer trace).
+        internode_latency = self.topology.internode_latency(cfg)
+        internode_cpf = self.topology.internode_cycles_per_flit(cfg)
         for chip in all_coords(cfg.shape):
             for direction in TORUS_DIRECTIONS:
                 radix = cfg.shape[direction.dim]
                 if radix < 2:
                     continue
+                neighbor = self.topology.neighbor(chip, direction)
+                if neighbor is None:
+                    continue
                 for slice_index in range(params.NUM_SLICES):
-                    neighbor = self.neighbor(chip, direction)
                     src = self.ca_id[(chip, direction, slice_index)]
                     dst = self.ca_id[(neighbor, direction.opposite, slice_index)]
-                    self._add_channel(src, dst, ChannelKind.TORUS, cfg.torus_latency)
+                    self._add_channel(
+                        src,
+                        dst,
+                        ChannelKind.TORUS,
+                        internode_latency,
+                        cycles_per_flit=internode_cpf,
+                    )
 
         # Input/output indices.
         self.component_inputs = [[] for _ in self.components]
@@ -394,12 +431,13 @@ class Machine:
 
     # --- queries ------------------------------------------------------------
 
-    def neighbor(self, chip: Coord3, direction: TorusDirection) -> Coord3:
-        """The torus coordinate one hop away in ``direction``."""
-        coords = list(chip)
-        radix = self.config.shape[direction.dim]
-        coords[direction.dim] = (coords[direction.dim] + direction.sign) % radix
-        return tuple(coords)
+    def neighbor(self, chip: Coord3, direction: TorusDirection) -> Optional[Coord3]:
+        """The coordinate one hop away in ``direction``.
+
+        ``None`` when the topology has no link there (stepping off the
+        edge of a non-wrapping dimension); never ``None`` on the torus.
+        """
+        return self.topology.neighbor(chip, direction)
 
     def channel(self, src: int, dst: int) -> Channel:
         """The directed channel from component ``src`` to ``dst``."""
@@ -451,6 +489,13 @@ class Machine:
     def describe(self) -> str:
         """A short human-readable summary of the machine."""
         kx, ky, kz = self.config.shape
+        if self.config.topology != "torus":
+            return (
+                f"Anton 2 machine {self.topology.describe()} "
+                f"({self.config.num_chips} chips, {len(self.components)} "
+                f"components, {len(self.channels)} directed channels, "
+                f"vc_scheme={self.config.vc_scheme})"
+            )
         return (
             f"Anton 2 machine {kx}x{ky}x{kz} "
             f"({self.config.num_chips} chips, {len(self.components)} components, "

@@ -1,13 +1,16 @@
 """Full route construction: inter-node + on-chip + VC assignment.
 
 Unicast routing in the Anton 2 network is *oblivious* (Section 2.3): a
-packet follows a minimal dimension-order route through the torus, where
-the dimension order is any of the six permutations of X, Y, Z and the
-packet is pinned to one of the two torus slices; typically both choices
-are randomized per packet. Within each chip the packet follows the
-direction-order on-chip algorithm (:mod:`repro.core.onchip`); between
-chips it hops torus channels through the channel adapters, using the skip
-channels for X through traffic.
+packet follows a minimal dimension-order route through the inter-node
+network, where the dimension order is any of the six permutations of
+X, Y, Z and the packet is pinned to one of the two channel slices;
+typically both choices are randomized per packet. Within each chip the
+packet follows the direction-order on-chip algorithm
+(:mod:`repro.core.onchip`); between chips it hops inter-node channels
+through the channel adapters, using the skip channels for X through
+traffic. Which displacements are minimal, and where datelines sit, is
+the machine's :class:`~repro.core.topology.Topology`'s call -- the
+route builder itself is topology-agnostic.
 
 This module turns a (source endpoint, destination endpoint, route choice)
 triple into the exact sequence of ``(channel, VC)`` hops the hardware
@@ -24,14 +27,7 @@ import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from . import params
-from .geometry import (
-    Coord3,
-    Dim,
-    TorusDirection,
-    minimal_deltas,
-    ring_deltas,
-    torus_delta,
-)
+from .geometry import Coord3, Dim, TorusDirection
 from .machine import Channel, ChannelGroup, ComponentKind, Machine
 from .onchip import ANTON_DIRECTION_ORDER, mesh_route_coords, validate_direction_order
 from .vc import make_allocator
@@ -159,9 +155,9 @@ class RouteComputer:
         """
         dim_order = ALL_DIM_ORDERS[rng.randrange(len(ALL_DIM_ORDERS))]
         slice_index = rng.randrange(params.NUM_SLICES)
-        shape = self.machine.config.shape
+        topology = self.machine.topology
         deltas = tuple(
-            rng.choice(minimal_deltas(src_chip[d], dst_chip[d], shape[d]))
+            rng.choice(topology.minimal_deltas(src_chip[d], dst_chip[d], d))
             for d in range(3)
         )
         return self.intern_choice(dim_order, slice_index, deltas)
@@ -173,9 +169,9 @@ class RouteComputer:
         pairs whose probabilities sum to one and match the distribution of
         :meth:`random_choice`.
         """
-        shape = self.machine.config.shape
+        topology = self.machine.topology
         delta_options = [
-            minimal_deltas(src_chip[d], dst_chip[d], shape[d]) for d in range(3)
+            topology.minimal_deltas(src_chip[d], dst_chip[d], d) for d in range(3)
         ]
         num_delta_combos = 1
         for options in delta_options:
@@ -232,7 +228,7 @@ class RouteComputer:
         legs: Sequence[Tuple[Coord3, RouteChoice]],
         traffic_class: int = 0,
     ) -> Route:
-        """A route from any component through a sequence of torus legs.
+        """A route from any component through a sequence of inter-node legs.
 
         ``start`` may be an endpoint adapter, a router, or a channel
         adapter (the latter two are used when re-routing an in-flight
@@ -254,18 +250,18 @@ class RouteComputer:
     def _leg_deltas(
         self, cur_chip: Coord3, target_chip: Coord3, choice: RouteChoice
     ) -> Coord3:
-        """Validate (or derive) the signed displacements for one torus leg."""
-        shape = self.machine.config.shape
+        """Validate (or derive) the signed displacements for one leg."""
+        topology = self.machine.topology
         deltas = choice.deltas
         if deltas is None:
             return tuple(
-                torus_delta(cur_chip[d], target_chip[d], shape[d]) for d in range(3)
+                topology.delta(cur_chip[d], target_chip[d], d) for d in range(3)
             )
         for d in range(3):
             legal = (
-                ring_deltas(cur_chip[d], target_chip[d], shape[d])
+                topology.monotone_deltas(cur_chip[d], target_chip[d], d)
                 if self.allow_nonminimal
-                else minimal_deltas(cur_chip[d], target_chip[d], shape[d])
+                else topology.minimal_deltas(cur_chip[d], target_chip[d], d)
             )
             if deltas[d] not in legal:
                 raise ValueError(
@@ -377,10 +373,7 @@ class RouteComputer:
                 steps = abs(delta)
                 for step in range(steps):
                     next_coord = (coord + direction.sign) % radix
-                    crossing = (coord == radix - 1 and next_coord == 0) or (
-                        coord == 0 and next_coord == radix - 1
-                    )
-                    if crossing:
+                    if machine.topology.crossing_step(dim, coord, next_coord):
                         # The dateline channel itself is used at the promoted VC.
                         alloc.cross_dateline()
                     next_chip = machine.neighbor(cur_chip, direction)

@@ -1,0 +1,299 @@
+"""Inter-node topology abstraction: torus, 2D mesh, and chiplet.
+
+The paper's central claim is that one switching/VC-promotion discipline
+serves both the on-chip mesh and the inter-node network. This module
+factors the *inter-node* part of that claim behind a small interface so
+the same engine, arbiters, route builder, and mechanical deadlock
+machinery carry to other unified hierarchies:
+
+* :class:`TorusTopology` -- the paper's channel-sliced 3D torus (the
+  default; every method delegates to the exact :mod:`repro.core.geometry`
+  primitives, so the torus path is bit-for-bit unchanged by the
+  abstraction);
+* :class:`Mesh2DTopology` -- a standalone 2D mesh of nodes. No dimension
+  wraps, so the dateline is *degenerate*: :meth:`Topology.crosses_dateline`
+  is identically false and the escape (promoted-by-crossing) VC is never
+  entered via rule 1. This is proven mechanically, not assumed -- the
+  property suite asserts zero crossings over every mesh route, and the
+  CDG analysis passes with the same allocator;
+* :class:`ChipletTopology` -- a package of chiplets on an interposer:
+  each node keeps the Anton 2 on-chip mesh NoC and channel adapters
+  (:mod:`repro.core.chip`), while the inter-node channels model short
+  interposer (NoI) links -- lower latency and higher bandwidth than the
+  torus cables, and no wraparound. A second "unified on-chip +
+  inter-node" hierarchy in the paper's spirit.
+
+Every dimension of a topology is either a **ring** (wraps; carries a
+dateline between coordinates ``k - 1`` and ``0``) or a **line** (does not
+wrap; no dateline, and monotone displacement equals the unique minimal
+displacement). The route builder, fault-aware escalation, and analytic
+load computation only consume the per-dimension queries below, so a new
+topology is one subclass plus a registry entry -- and it inherits the
+conformance suite under ``tests/properties/`` for free.
+"""
+
+from __future__ import annotations
+
+import abc
+from fractions import Fraction
+from typing import ClassVar, Dict, Optional, Sequence, Tuple, Type
+
+from . import params
+from .geometry import (
+    Coord3,
+    TORUS_DIRECTIONS,
+    TorusDirection,
+    crosses_dateline,
+    minimal_deltas,
+    ring_deltas,
+    torus_delta,
+    validate_shape,
+)
+
+
+class Topology(abc.ABC):
+    """Per-dimension semantics of one inter-node network.
+
+    Instances are immutable and bound to a normalized 3-tuple ``shape``
+    (2D topologies pad a degenerate third dimension of radix 1, so every
+    coordinate in the system remains a :data:`~repro.core.geometry.Coord3`
+    and the engine, checkpoint schema, and trace format are untouched).
+    """
+
+    #: Registry key and CLI name of the topology.
+    name: ClassVar[str] = ""
+    #: Number of user-facing shape axes (3 for the torus, 2 for mesh and
+    #: chiplet; the normalized shape is always a 3-tuple).
+    num_axes: ClassVar[int] = 3
+    #: Largest per-dimension radix this topology supports.
+    max_radix: ClassVar[int] = params.MAX_TORUS_RADIX
+
+    def __init__(self, shape: Sequence[int]) -> None:
+        self.shape: Coord3 = self.normalize_shape(shape)
+
+    # --- shape ------------------------------------------------------------
+
+    @classmethod
+    def normalize_shape(cls, shape: Sequence[int]) -> Coord3:
+        """Validate a shape and return it as a normalized 3-tuple.
+
+        Accepts ``num_axes`` axes, or a 3-tuple whose surplus trailing
+        axes are radix 1 (the normalized rendering round-trips).
+        """
+        shape = tuple(int(k) for k in shape)
+        if len(shape) == 3 and cls.num_axes == 2:
+            if shape[2] != 1:
+                raise ValueError(
+                    f"{cls.name} topology is two-dimensional; the third "
+                    f"axis must have radix 1, got shape {shape!r}"
+                )
+            shape = shape[:2]
+        return validate_shape(
+            shape, max_radix=cls.max_radix, num_dims=cls.num_axes
+        )
+
+    # --- per-dimension ring/line semantics --------------------------------
+
+    @abc.abstractmethod
+    def wraps(self, dim: int) -> bool:
+        """Whether dimension ``dim`` is a ring (wraps) or a line."""
+
+    def minimal_deltas(self, src: int, dst: int, dim: int) -> Tuple[int, ...]:
+        """All minimal signed displacements from ``src`` to ``dst``.
+
+        Rings may return two (the half-way tie of an even radix); lines
+        always return exactly one.
+        """
+        if self.wraps(dim):
+            return minimal_deltas(src, dst, self.shape[dim])
+        return (dst - src,)
+
+    def monotone_deltas(self, src: int, dst: int, dim: int) -> Tuple[int, ...]:
+        """All monotone displacements, including non-minimal fallbacks.
+
+        On a ring this adds the long way around (still crossing the
+        dateline at most once, so the Section 2.5 argument holds); on a
+        line the unique minimal displacement is the only monotone one --
+        there is no second way along a line, so fault escalation goes
+        straight from re-pick to the two-phase detour.
+        """
+        if self.wraps(dim):
+            return ring_deltas(src, dst, self.shape[dim])
+        return (dst - src,)
+
+    def delta(self, src: int, dst: int, dim: int) -> int:
+        """The canonical (tie-break toward ``+``) signed displacement."""
+        if self.wraps(dim):
+            return torus_delta(src, dst, self.shape[dim])
+        return dst - src
+
+    def crosses_dateline(self, dim: int, src: int, delta: int) -> bool:
+        """Whether moving ``delta`` from ``src`` crosses dimension
+        ``dim``'s dateline. Identically false on line dimensions -- the
+        degenerate dateline the mesh topology proves harmless."""
+        if self.wraps(dim):
+            return crosses_dateline(src, delta, self.shape[dim])
+        return False
+
+    def crossing_step(self, dim: int, coord: int, next_coord: int) -> bool:
+        """Whether a single hop ``coord -> next_coord`` crosses the
+        dateline (the exact per-hop test the route builder applies)."""
+        if not self.wraps(dim):
+            return False
+        radix = self.shape[dim]
+        return (coord == radix - 1 and next_coord == 0) or (
+            coord == 0 and next_coord == radix - 1
+        )
+
+    # --- links ------------------------------------------------------------
+
+    def neighbor(self, chip: Coord3, direction: TorusDirection) -> Optional[Coord3]:
+        """The coordinate one hop away, or ``None`` off a line's edge."""
+        dim = direction.dim
+        radix = self.shape[dim]
+        nxt = chip[dim] + direction.sign
+        if self.wraps(dim):
+            nxt %= radix
+        elif not 0 <= nxt < radix:
+            return None
+        coords = list(chip)
+        coords[dim] = nxt
+        return tuple(coords)
+
+    def has_link(self, chip: Coord3, direction: TorusDirection) -> bool:
+        """Whether an inter-node channel leaves ``chip`` in ``direction``."""
+        if self.shape[direction.dim] < 2:
+            return False
+        return self.neighbor(chip, direction) is not None
+
+    def active_directions(self) -> Tuple[TorusDirection, ...]:
+        """The inter-node directions with any channel instantiated."""
+        return tuple(
+            d for d in TORUS_DIRECTIONS if self.shape[d.dim] >= 2
+        )
+
+    def hops(self, src: Coord3, dst: Coord3) -> int:
+        """Minimal inter-node hop count between two coordinates."""
+        return sum(
+            abs(self.delta(src[d], dst[d], d)) for d in range(3)
+        )
+
+    # --- symmetry and channel parameters ----------------------------------
+
+    @property
+    def translation_invariant(self) -> bool:
+        """Whether the machine graph is invariant under coordinate
+        translation (true only when every dimension wraps). The analytic
+        load computation may exploit this; line topologies must use the
+        exhaustive enumeration."""
+        return all(self.wraps(d) for d in range(3))
+
+    def internode_latency(self, config) -> int:
+        """Latency (cycles) of one inter-node channel."""
+        return config.torus_latency
+
+    def internode_cycles_per_flit(self, config) -> Fraction:
+        """Serialization cost (cycles per flit) of one inter-node channel."""
+        return config.torus_cycles_per_flit
+
+    # --- cosmetics ---------------------------------------------------------
+
+    def shape_str(self) -> str:
+        """The user-facing shape rendering (2D topologies drop the pad)."""
+        axes = self.shape[: self.num_axes]
+        return "x".join(str(k) for k in axes)
+
+    def describe(self) -> str:
+        return f"{self.name} {self.shape_str()}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.shape!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Topology)
+            and type(other) is type(self)
+            and other.shape == self.shape
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.shape))
+
+
+class TorusTopology(Topology):
+    """The paper's 3D torus: every dimension is a ring with a dateline."""
+
+    name = "torus"
+    num_axes = 3
+    max_radix = params.MAX_TORUS_RADIX
+
+    def wraps(self, dim: int) -> bool:
+        return True
+
+
+class Mesh2DTopology(Topology):
+    """A standalone 2D mesh of nodes: two line dimensions, no datelines.
+
+    Minimal routing on a line never wraps, so rule 1 of the promotion
+    algorithm (dateline crossing) is unreachable; the VC still advances
+    via rule 2 (dimension completion), and the CDG analysis proves the
+    resulting route set acyclic with the same ``n + 1``-VC allocator.
+    """
+
+    name = "mesh"
+    num_axes = 2
+    max_radix = params.MAX_TORUS_RADIX
+
+    def wraps(self, dim: int) -> bool:
+        return False
+
+
+class ChipletTopology(Topology):
+    """Chiplets on an interposer: per-chip NoC plus a 2D-mesh NoI.
+
+    Each node is a full Anton 2 chip (4 x 4 mesh, skip channels, channel
+    adapters); the inter-node channels model interposer traces instead of
+    torus cables: :data:`INTERPOSER_LATENCY` cycles of wire latency and
+    :data:`INTERPOSER_CYCLES_PER_FLIT` cycles per flit (an interposer
+    link is wide and short -- 2/3 of the on-chip mesh bandwidth, against
+    the torus cable's 14/45). The interposer is a small package, so the
+    grid is capped at :data:`MAX_INTERPOSER_RADIX` per side.
+    """
+
+    name = "chiplet"
+    num_axes = 2
+    #: Interposer reach: at most a 4 x 4 chiplet grid fits the package.
+    MAX_INTERPOSER_RADIX: ClassVar[int] = 4
+    max_radix = MAX_INTERPOSER_RADIX
+    #: Interposer trace latency, in cycles (short wires, no SerDes).
+    INTERPOSER_LATENCY: ClassVar[int] = 4
+    #: Interposer serialization: 3/2 cycles per flit (2/3 of mesh width).
+    INTERPOSER_CYCLES_PER_FLIT: ClassVar[Fraction] = Fraction(3, 2)
+
+    def wraps(self, dim: int) -> bool:
+        return False
+
+    def internode_latency(self, config) -> int:
+        return self.INTERPOSER_LATENCY
+
+    def internode_cycles_per_flit(self, config) -> Fraction:
+        return self.INTERPOSER_CYCLES_PER_FLIT
+
+
+#: Registered topologies, by CLI/config name.
+TOPOLOGIES: Dict[str, Type[Topology]] = {
+    cls.name: cls for cls in (TorusTopology, Mesh2DTopology, ChipletTopology)
+}
+
+TOPOLOGY_NAMES: Tuple[str, ...] = tuple(TOPOLOGIES)
+
+
+def make_topology(name: str, shape: Sequence[int]) -> Topology:
+    """Build a registered topology by name, normalizing ``shape``."""
+    try:
+        cls = TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; registered: {', '.join(TOPOLOGIES)}"
+        )
+    return cls(shape)

@@ -50,13 +50,19 @@ def _channel_usage(
     floorplan: ChipFloorplan,
     order: Sequence,
     use_skip: bool,
+    directions: Sequence = TORUS_DIRECTIONS,
 ) -> Dict[Tuple, np.ndarray]:
-    """For each mesh channel, the 6x6 indicator of demands that use it."""
-    num_dirs = len(TORUS_DIRECTIONS)
+    """For each mesh channel, the NxN indicator of demands that use it.
+
+    ``directions`` is the inter-node direction set demands arrive from
+    and depart to -- all six for the torus, the four planar ones for a
+    2D topology (a mesh or chiplet node never sees Z through traffic).
+    """
+    num_dirs = len(directions)
     usage: Dict[Tuple, np.ndarray] = {}
     for slice_index in range(params.NUM_SLICES):
-        for i, src in enumerate(TORUS_DIRECTIONS):
-            for j, dst in enumerate(TORUS_DIRECTIONS):
+        for i, src in enumerate(directions):
+            for j, dst in enumerate(directions):
                 route = demand_route(floorplan, src, dst, slice_index, order, use_skip)
                 for link in route.mesh_links:
                     key = (slice_index, link[0], link[1])
@@ -98,13 +104,22 @@ def worst_case_lp(
     floorplan: Optional[ChipFloorplan] = None,
     order: Sequence = ANTON_DIRECTION_ORDER,
     use_skip: bool = True,
+    topology=None,
 ) -> LpResult:
-    """The LP worst-case mesh load for one direction-order algorithm."""
+    """The LP worst-case mesh load for one direction-order algorithm.
+
+    ``topology`` (a :class:`~repro.core.topology.Topology`) restricts the
+    demand matrix to the directions its links actually carry; ``None``
+    keeps the full six-direction torus demand set.
+    """
     floorplan = floorplan or default_floorplan()
-    usage = _channel_usage(floorplan, order, use_skip)
+    directions = (
+        TORUS_DIRECTIONS if topology is None else topology.active_directions()
+    )
+    usage = _channel_usage(floorplan, order, use_skip, directions)
     best_load = 0.0
     best_channel: Tuple = ()
-    best_demand = np.zeros((len(TORUS_DIRECTIONS), len(TORUS_DIRECTIONS)))
+    best_demand = np.zeros((len(directions), len(directions)))
     for channel, matrix in usage.items():
         load, demand = max_channel_load_lp(matrix)
         if load > best_load:

@@ -116,6 +116,9 @@ class FaultSet:
     shape: Optional[Coord3] = None
     seed: Optional[int] = None
     note: str = ""
+    #: Topology the set was drawn for; channel ids are only meaningful
+    #: on the machine graph they were sampled from.
+    topology: str = "torus"
 
     def __len__(self) -> int:
         return len(self.specs)
@@ -128,6 +131,11 @@ class FaultSet:
             raise ValueError(
                 f"fault set was drawn for shape {self.shape}, "
                 f"machine is {machine.config.shape}"
+            )
+        if self.topology != machine.config.topology:
+            raise ValueError(
+                f"fault set was drawn for topology {self.topology!r}, "
+                f"machine is {machine.config.topology!r}"
             )
         num_channels = len(machine.channels)
         for spec in self.specs:
@@ -192,6 +200,8 @@ class FaultSet:
             data["seed"] = self.seed
         if self.note:
             data["note"] = self.note
+        if self.topology != "torus":
+            data["topology"] = self.topology
         return json.dumps(data, sort_keys=True, indent=indent)
 
     @classmethod
@@ -209,6 +219,7 @@ class FaultSet:
             shape=tuple(shape) if shape is not None else None,
             seed=data.get("seed"),
             note=data.get("note", ""),
+            topology=data.get("topology", "torus"),
         )
 
 
@@ -252,5 +263,9 @@ def sample_link_faults(
         for cid in chosen
     )
     return FaultSet(
-        specs=specs, shape=machine.config.shape, seed=seed, note=note
+        specs=specs,
+        shape=machine.config.shape,
+        seed=seed,
+        note=note,
+        topology=machine.config.topology,
     )

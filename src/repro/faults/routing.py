@@ -7,7 +7,7 @@ order that stays as close to the healthy machine's behavior as possible:
 1. **primary** — the requested choice, unchanged, if its route avoids
    every failed channel (so a fault-free machine routes identically);
 2. **re-pick** — another of the existing legal choices: a different
-   dimension order, torus slice, or minimal tie-break direction;
+   dimension order, channel slice, or minimal tie-break direction;
 3. **non-minimal** — a monotone displacement the long way around one or
    more rings (``|delta| <= radix - 1``). A monotone ring traversal still
    crosses the dateline at most once, so the Section 2.5 VC-promotion
@@ -32,13 +32,7 @@ from collections import Counter
 from typing import Dict, Iterable, Iterator, Optional, Sequence, Set, Tuple
 
 from ..core import params
-from ..core.geometry import (
-    Coord3,
-    all_coords,
-    minimal_deltas,
-    ring_deltas,
-    torus_hops,
-)
+from ..core.geometry import Coord3, all_coords
 from ..core.machine import Machine
 from ..core.onchip import ANTON_DIRECTION_ORDER
 from ..core.routing import (
@@ -227,9 +221,9 @@ class FaultAwareRouteComputer(RouteComputer):
         """Every existing legal choice, the requested slice's choices first."""
         preferred = requested.slice_index if requested is not None else 0
         ordered = sorted(range(params.NUM_SLICES), key=lambda s: s != preferred)
-        shape = self.machine.config.shape
+        topology = self.machine.topology
         delta_options = [
-            minimal_deltas(src_chip[d], dst_chip[d], shape[d]) for d in range(3)
+            topology.minimal_deltas(src_chip[d], dst_chip[d], d) for d in range(3)
         ]
         for slice_index in ordered:
             for dim_order in ALL_DIM_ORDERS:
@@ -242,13 +236,18 @@ class FaultAwareRouteComputer(RouteComputer):
     def _nonminimal_choices(
         self, src_chip: Coord3, dst_chip: Coord3, preferred_slice: int
     ) -> Iterator[RouteChoice]:
-        """Monotone non-minimal delta combinations, shortest paths first."""
-        shape = self.machine.config.shape
+        """Monotone non-minimal delta combinations, shortest paths first.
+
+        On line dimensions the monotone displacement set equals the
+        minimal one, so every combination is skipped as already covered
+        by re-pick and escalation proceeds straight to the detour stage.
+        """
+        topology = self.machine.topology
         options = [
-            ring_deltas(src_chip[d], dst_chip[d], shape[d]) for d in range(3)
+            topology.monotone_deltas(src_chip[d], dst_chip[d], d) for d in range(3)
         ]
         minimal = [
-            minimal_deltas(src_chip[d], dst_chip[d], shape[d]) for d in range(3)
+            topology.minimal_deltas(src_chip[d], dst_chip[d], d) for d in range(3)
         ]
         combos = sorted(
             itertools.product(*options),
@@ -268,10 +267,11 @@ class FaultAwareRouteComputer(RouteComputer):
         self, src_chip: Coord3, dst_chip: Coord3, preferred_slice: int
     ) -> Iterator[Tuple[Tuple[Coord3, RouteChoice], ...]]:
         """Two-phase plans through intermediate chips, nearest first."""
+        topology = self.machine.topology
         shape = self.machine.config.shape
         vias = sorted(
             (
-                (torus_hops(src_chip, via, shape) + torus_hops(via, dst_chip, shape), via)
+                (topology.hops(src_chip, via) + topology.hops(via, dst_chip), via)
                 for via in all_coords(shape)
                 if via != src_chip and via != dst_chip
             ),

@@ -368,8 +368,11 @@ class Session:
                 f"unknown workload kind {kind!r}; known: {WORKLOAD_KINDS}"
             )
         shape = tuple(int(x) for x in workload.get("shape", (2, 2, 2)))
-        if len(shape) != 3 or any(x < 1 for x in shape):
-            raise SessionError(f"shape must be 3 positive ints, got {shape}")
+        if len(shape) not in (2, 3) or any(x < 1 for x in shape):
+            raise SessionError(
+                f"shape must be 2 or 3 positive ints, got {shape}"
+            )
+        topology = workload.get("topology", "torus")
         endpoints = int(workload.get("endpoints", 2))
         cores = int(workload.get("cores", 2))
         arbitration = workload.get("arbitration", "rr")
@@ -380,14 +383,26 @@ class Session:
         seed = int(workload.get("seed", 0))
 
         def build_machine() -> Machine:
-            return Machine(
-                MachineConfig(shape=shape, endpoints_per_chip=endpoints)
-            )
+            try:
+                return Machine(
+                    MachineConfig(
+                        shape=shape,
+                        endpoints_per_chip=endpoints,
+                        topology=topology,
+                    )
+                )
+            except ValueError as exc:
+                raise SessionError(str(exc))
 
         if machines is not None:
-            machine = machines.get(("config", shape, endpoints), build_machine)
+            machine = machines.get(
+                ("config", shape, endpoints, topology), build_machine
+            )
         else:
             machine = build_machine()
+        # Patterns and demand matrices key off the normalized 3-tuple
+        # (two-axis workloads write "shape": [4, 4]).
+        shape = machine.config.shape
         routes: RouteComputer = RouteComputer(machine)
 
         faults = None
@@ -397,7 +412,9 @@ class Session:
             if workload.get("faults") is not None:
                 fault_set = FaultSet.from_json(json.dumps(workload["faults"]))
             else:
-                fault_set = FaultSet(shape=shape)
+                fault_set = FaultSet(
+                    shape=machine.config.shape, topology=topology
+                )
             fault_set.validate(machine)
             pol = workload.get("policy") or {}
             policy = FaultPolicy(

@@ -151,7 +151,7 @@ def rng_state_from_json(state: list) -> random.Random:
 def _machine_to_json(machine: Machine) -> dict:
     cfg = machine.config
     tcf = cfg.torus_cycles_per_flit
-    return {
+    data = {
         "shape": list(cfg.shape),
         "endpoints_per_chip": cfg.endpoints_per_chip,
         "vc_scheme": cfg.vc_scheme,
@@ -165,12 +165,18 @@ def _machine_to_json(machine: Machine) -> dict:
         "torus_cycles_per_flit": [tcf.numerator, tcf.denominator],
         "router_pipeline_cycles": cfg.router_pipeline_cycles,
     }
+    # Emitted only for non-default topologies: every torus checkpoint --
+    # including the committed golden -- keeps its exact byte layout.
+    if cfg.topology != "torus":
+        data["topology"] = cfg.topology
+    return data
 
 
 def _machine_from_json(data: dict) -> Machine:
     num, den = data["torus_cycles_per_flit"]
     config = MachineConfig(
         shape=tuple(data["shape"]),
+        topology=data.get("topology", "torus"),
         endpoints_per_chip=data["endpoints_per_chip"],
         vc_scheme=data["vc_scheme"],
         num_classes=data["num_classes"],

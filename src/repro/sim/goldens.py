@@ -19,7 +19,16 @@ slice of engine behavior:
 * ``demand_2x2x2`` -- an open-loop seeded-hotspot demand matrix whose
   rates shift at an epoch boundary mid-run: exercises the demand-matrix
   workload generator, paced Bernoulli injection, and piecewise-constant
-  rate evolution.
+  rate evolution;
+* ``mesh_4x4`` -- uniform random batch on a standalone 2D mesh
+  (``topology="mesh"``): exercises line-dimension routing where the
+  dateline is degenerate and the escape VC is never entered via
+  crossing;
+* ``chiplet_2x2`` -- uniform batch with inverse-weighted arbitration on
+  a 2x2 chiplet grid (``topology="chiplet"``): exercises interposer
+  channel timing (3/2 cycles per flit, so ``ticks_per_cycle`` is 2, not
+  14) and the exhaustive -- non-translation-symmetric -- analytic load
+  path feeding the weight tables.
 
 Golden headers carry machine-readable run metadata (``arb``, ``cores``,
 and for batch runs ``pattern``/``batch``/``seed``) so ``repro replay``
@@ -65,10 +74,13 @@ def _batch_golden(
     seed: int,
     shards: int = 1,
     fault_set=None,
+    topology: str = "torus",
 ) -> None:
     from repro.traffic.batch import BatchSpec
 
-    config = MachineConfig(shape=shape, endpoints_per_chip=endpoints)
+    config = MachineConfig(
+        shape=shape, endpoints_per_chip=endpoints, topology=topology
+    )
     machine = Machine(config)
     spec = BatchSpec(
         pattern,
@@ -255,6 +267,43 @@ def _run_demand_2x2x2(writer: JsonlTraceWriter, shards: int = 1) -> None:
     )
 
 
+def _run_mesh_4x4(writer: JsonlTraceWriter, shards: int = 1) -> None:
+    """Mesh-topology golden: pins line-dimension route construction and
+    the rule-2-only VC promotion discipline (no dateline ever crossed)."""
+    from repro.traffic.patterns import UniformRandom
+
+    _batch_golden(
+        writer,
+        shape=(4, 4),
+        endpoints=1,
+        pattern=UniformRandom((4, 4, 1)),
+        batch_size=2,
+        arbitration="rr",
+        seed=5,
+        shards=shards,
+        topology="mesh",
+    )
+
+
+def _run_chiplet_2x2(writer: JsonlTraceWriter, shards: int = 1) -> None:
+    """Chiplet-topology golden: pins interposer channel timing (3/2
+    cycles per flit => 2 ticks per cycle) and the exhaustive analytic
+    load path behind the inverse-weight arbitration tables."""
+    from repro.traffic.patterns import UniformRandom
+
+    _batch_golden(
+        writer,
+        shape=(2, 2),
+        endpoints=2,
+        pattern=UniformRandom((2, 2, 1)),
+        batch_size=3,
+        arbitration="iw",
+        seed=9,
+        shards=shards,
+        topology="chiplet",
+    )
+
+
 def _run_pingpong_2x2x2(writer: JsonlTraceWriter) -> None:
     machine = Machine(MachineConfig(shape=(2, 2, 2), endpoints_per_chip=1))
     routes = RouteComputer(machine)
@@ -345,13 +394,45 @@ _GOLDEN_RUNS = {
             "workload": "demand hotspot 2-epoch open dur64 seed7",
         },
     ),
+    "mesh_4x4": (
+        _run_mesh_4x4,
+        {
+            "name": "mesh_4x4",
+            "topology": "mesh",
+            "shape": [4, 4],
+            "endpoints": 1,
+            "arb": "rr",
+            "cores": 1,
+            "pattern": "uniform",
+            "batch": 2,
+            "seed": 5,
+            "workload": "batch uniform x2 rr seed5 topology=mesh",
+        },
+    ),
+    "chiplet_2x2": (
+        _run_chiplet_2x2,
+        {
+            "name": "chiplet_2x2",
+            "topology": "chiplet",
+            "shape": [2, 2],
+            "endpoints": 2,
+            "arb": "iw",
+            "cores": 2,
+            "pattern": "uniform",
+            "batch": 3,
+            "seed": 9,
+            "workload": "batch uniform x3 iw seed9 topology=chiplet",
+        },
+    ),
 }
 
 GOLDEN_NAMES = tuple(_GOLDEN_RUNS)
 
 #: Goldens that can be regenerated through the sharded runner. Pingpong
 #: is driven by a delivery hook that re-injects at the replying
-#: endpoint, which may live in another shard, so it stays serial.
+#: endpoint, which may live in another shard, so it stays serial; the
+#: mesh/chiplet goldens stay serial because the shard partitioner is
+#: torus-only (it rejects other topologies with a ValueError).
 SHARDABLE_GOLDEN_NAMES = (
     "uniform_2x2x2",
     "tornado_4x1x1",
@@ -383,7 +464,11 @@ def write_golden(name: str, stream: IO[str], shards: int = 1) -> int:
     machine_meta = dict(meta)
     shape = tuple(machine_meta["shape"])
     machine_meta["tpc"] = Machine(
-        MachineConfig(shape=shape, endpoints_per_chip=machine_meta["endpoints"])
+        MachineConfig(
+            shape=shape,
+            endpoints_per_chip=machine_meta["endpoints"],
+            topology=machine_meta.get("topology", "torus"),
+        )
     ).ticks_per_cycle
     writer = JsonlTraceWriter(stream, meta=machine_meta)
     if shards > 1:

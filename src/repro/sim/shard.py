@@ -195,6 +195,16 @@ class ShardPlan:
 
     @classmethod
     def for_machine(cls, machine: Machine, shards: int) -> "ShardPlan":
+        # The slab partitioner and its lookahead derivation assume the
+        # wrap links of a torus; rather than risk a silently wrong
+        # decomposition, other topologies are rejected outright and must
+        # run serially (``shards=1``).
+        if machine.config.topology != "torus":
+            raise ValueError(
+                f"sharded runs support only the torus topology, not "
+                f"{machine.config.topology!r}; run serially (shards=1) "
+                f"instead"
+            )
         parts = partition_parts(machine.config.shape, shards)
         owners = component_owners(machine, parts)
         cross = [

@@ -15,7 +15,7 @@ Loads are normalized to "every active source endpoint injects exactly one
 packet": multiplying by a per-source batch size B gives the expected
 number of packets crossing each channel during a batch, which is how the
 throughput experiments normalize completion time (a normalized throughput
-of 1 means the most-loaded torus channel never idles).
+of 1 means the most-loaded inter-node channel never idles).
 """
 
 from __future__ import annotations
@@ -79,7 +79,7 @@ class LoadTable:
         return best
 
     def max_torus_load(self, machine: Machine) -> float:
-        """Peak torus-channel load; the throughput normalizer."""
+        """Peak inter-node channel load; the throughput normalizer."""
         return self.max_load(machine, ChannelKind.TORUS)
 
 
@@ -124,18 +124,28 @@ def compute_loads(
     ``"uniform"`` (uniform over the active endpoints of the destination
     node).
 
-    For translation-symmetric patterns (``pattern.node_symmetric``),
+    For translation-symmetric patterns (``pattern.node_symmetric``) on a
+    translation-invariant topology (every dimension wraps -- the torus),
     only sources on one chip are enumerated and the resulting loads are
     translated over the machine -- exact, and an O(num_chips) speedup.
-    ``use_symmetry`` overrides the automatic choice (tests use this to
-    verify the fast and slow paths agree).
+    Mesh and chiplet machines are not translation-invariant (an edge node
+    differs from an interior one), so they always take the exhaustive
+    path. ``use_symmetry`` overrides the automatic choice (tests use this
+    to verify the fast and slow paths agree).
     """
     if pattern.shape != machine.config.shape:
         raise ValueError("pattern shape does not match the machine")
     if dst_endpoint_mode not in ("same_index", "uniform"):
         raise ValueError(f"unknown dst_endpoint_mode {dst_endpoint_mode!r}")
     if use_symmetry is None:
-        use_symmetry = pattern.node_symmetric
+        use_symmetry = (
+            pattern.node_symmetric and machine.topology.translation_invariant
+        )
+    elif use_symmetry and not machine.topology.translation_invariant:
+        raise ValueError(
+            f"use_symmetry requires a translation-invariant topology; "
+            f"{machine.config.topology!r} is not"
+        )
 
     sources = active_endpoints(machine, cores_per_chip)
     channel_load: Dict[int, float] = defaultdict(float)

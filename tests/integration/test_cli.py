@@ -9,12 +9,14 @@ class TestParsers:
     def test_parse_shape(self):
         assert parse_shape("8x2x2") == (8, 2, 2)
         assert parse_shape("4X4X4") == (4, 4, 4)
+        # Two axes are valid for the 2D topologies (mesh, chiplet).
+        assert parse_shape("8x2") == (8, 2)
 
     def test_parse_shape_invalid(self):
         import argparse
 
         with pytest.raises(argparse.ArgumentTypeError):
-            parse_shape("8x2")
+            parse_shape("8")
         with pytest.raises(argparse.ArgumentTypeError):
             parse_shape("axbxc")
 

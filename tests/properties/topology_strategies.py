@@ -1,0 +1,78 @@
+"""Shared Hypothesis strategies parameterized over every Topology.
+
+One strategy module feeds the whole conformance layer: a registered
+topology is sampled together with a representative shape set, a cached
+machine/route-computer pair, and random endpoint pairs on it. Adding a
+topology to :data:`repro.core.topology.TOPOLOGIES` without adding its
+shapes to :data:`SUITE_SHAPES` fails the coverage pin in
+``test_topology_properties.py`` -- future topologies inherit the suite
+for free, and cannot silently opt out of it.
+"""
+
+from hypothesis import strategies as st
+
+from repro.core.geometry import all_coords
+from repro.core.machine import Machine, MachineConfig
+from repro.core.routing import RouteComputer
+from repro.core.topology import TOPOLOGY_NAMES
+
+#: Shapes the property suite samples per registered topology. Every
+#: name in :data:`TOPOLOGY_NAMES` must appear here (pinned by
+#: ``test_every_registered_topology_is_in_the_suite``). Shapes mix odd
+#: and even radices so both the unique-minimal and the half-way-tie
+#: delta branches are exercised where the topology has them.
+SUITE_SHAPES = {
+    "torus": ((2, 2, 2), (3, 2, 2), (4, 2, 1)),
+    "mesh": ((3, 3), (4, 2), (2, 2)),
+    "chiplet": ((2, 2), (3, 2)),
+}
+
+#: Every (topology name, shape) pair the suite covers, in registry order.
+TOPOLOGY_CASES = tuple(
+    (name, shape)
+    for name in TOPOLOGY_NAMES
+    for shape in SUITE_SHAPES.get(name, ())
+)
+
+_CACHE = {}
+
+
+def machine_for(topology, shape, scheme="anton"):
+    """A cached (machine, route computer) pair for one suite case."""
+    key = (topology, shape, scheme)
+    if key not in _CACHE:
+        machine = Machine(
+            MachineConfig(
+                shape=shape,
+                endpoints_per_chip=2,
+                vc_scheme=scheme,
+                topology=topology,
+            )
+        )
+        _CACHE[key] = (machine, RouteComputer(machine))
+    return _CACHE[key]
+
+
+topology_cases = st.sampled_from(TOPOLOGY_CASES)
+
+
+@st.composite
+def endpoint_pair(draw, schemes=("anton",)):
+    """A random (src, dst) endpoint pair on a random suite topology.
+
+    Returns ``(name, shape, scheme, src_chip, dst_chip, src_ep, dst_ep,
+    seed)``; src and dst chips may coincide (endpoints still differ), so
+    pure on-chip routes are covered too.
+    """
+    name, shape = draw(topology_cases)
+    scheme = draw(st.sampled_from(schemes))
+    machine, _ = machine_for(name, shape, scheme)
+    chips = sorted(all_coords(machine.config.shape))
+    src_chip = draw(st.sampled_from(chips))
+    dst_chip = draw(st.sampled_from(chips))
+    src_ep = draw(st.integers(min_value=0, max_value=1))
+    dst_ep = draw(st.integers(min_value=0, max_value=1))
+    if src_chip == dst_chip and src_ep == dst_ep:
+        dst_ep = 1 - dst_ep
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    return name, shape, scheme, src_chip, dst_chip, src_ep, dst_ep, seed
